@@ -1,0 +1,332 @@
+package xmlordb_test
+
+// Benchmarks, one family per experiment of EXPERIMENTS.md. Each bench
+// wraps the same operation the cmd/xmlbench harness times, so
+// `go test -bench=. -benchmem` regenerates the performance shapes of the
+// paper's claims.
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlordb"
+	"xmlordb/internal/bench"
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/objview"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/relmap"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+func benchTree(b *testing.B) *dtd.Tree {
+	b.Helper()
+	d, err := dtd.Parse("University", workload.UniversityDTD)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := dtd.BuildTree(d, "University")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+func benchDoc(students int) *xmldom.Document {
+	return workload.University(workload.UniversityParams{
+		Students: students, CoursesPerStudent: 3, ProfsPerCourse: 2, SubjectsPerProf: 2, Seed: 1,
+	})
+}
+
+// BenchmarkE1_Load measures document upload per mapping (experiment E1):
+// the or-nested mapping loads any document with a single INSERT.
+func BenchmarkE1_Load(b *testing.B) {
+	tree := benchTree(b)
+	for _, students := range []int{10, 50} {
+		doc := benchDoc(students)
+		for _, label := range bench.E1Mappings {
+			b.Run(fmt.Sprintf("%s/students=%d", label, students), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := bench.LoadOnce(label, doc, tree); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE2_Query measures the Section 4.1 query (experiment E2): dot
+// navigation over the nested store vs joins over shredded relations vs
+// the edge-table path walk.
+func BenchmarkE2_Query(b *testing.B) {
+	setup, err := bench.NewE2Setup(workload.UniversityParams{
+		Students: 20, CoursesPerStudent: 3, ProfsPerCourse: 2, SubjectsPerProf: 2, Seed: 1,
+	}, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("or-dot-navigation", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := setup.RunOR(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("relational-join", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := setup.RunJoin(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("edge-path-walk", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := setup.RunEdge(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3_SchemaGeneration measures DTD analysis + schema generation
+// (experiment E3's generation cost side).
+func BenchmarkE3_SchemaGeneration(b *testing.B) {
+	tree := benchTree(b)
+	for _, spec := range []struct {
+		label string
+		opts  mapping.Options
+	}{
+		{"nested", mapping.Options{}},
+		{"ref", mapping.Options{Strategy: mapping.StrategyRef}},
+	} {
+		b.Run(spec.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mapping.Generate(tree, spec.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE4_RoundTrip measures store + retrieve + fidelity comparison
+// (experiment E4).
+func BenchmarkE4_RoundTrip(b *testing.B) {
+	doc := benchDoc(10)
+	for _, spec := range []struct {
+		label string
+		cfg   xmlordb.Config
+	}{
+		{"with-meta", xmlordb.Config{}},
+		{"no-meta", xmlordb.Config{DisableMetadata: true}},
+	} {
+		b.Run(spec.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store, err := xmlordb.Open(workload.UniversityDTD, "University", spec.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				id, err := store.Load(doc, "bench")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Retrieve(id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5_Strategies measures end-to-end load under both strategies
+// (experiment E5).
+func BenchmarkE5_Strategies(b *testing.B) {
+	doc := benchDoc(20)
+	for _, spec := range []struct {
+		label string
+		cfg   xmlordb.Config
+	}{
+		{"nested-oracle9", xmlordb.Config{DisableMetadata: true}},
+		{"ref-oracle8", xmlordb.Config{Strategy: xmlordb.StrategyRef, DisableMetadata: true}},
+	} {
+		b.Run(spec.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				store, err := xmlordb.Open(workload.UniversityDTD, "University", spec.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Load(doc, "bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE6_ObjectViews measures querying through the Section 6.3
+// object view vs the native nested store (experiment E6).
+func BenchmarkE6_ObjectViews(b *testing.B) {
+	tree := benchTree(b)
+	doc := benchDoc(10)
+
+	store, err := xmlordb.Open(workload.UniversityDTD, "University", xmlordb.Config{DisableMetadata: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Load(doc, "bench"); err != nil {
+		b.Fatal(err)
+	}
+
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	sch, err := mapping.Generate(tree, mapping.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		b.Fatal(err)
+	}
+	shred, err := relmap.GenerateShredded(tree, en)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := shred.Load(doc, 1); err != nil {
+		b.Fatal(err)
+	}
+	view, err := objview.Generate(sch, shred, en)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	nativeQ := `SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`
+	viewQ := `SELECT st.attrLName FROM ` + view + ` v, TABLE(v.University.attrStudent) st`
+	b.Run("native-or", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Query(nativeQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("object-view", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := en.Query(viewQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE7_ConstraintChecking measures insert cost with and without
+// the Section 4.3 CHECK constraints (experiment E7's ablation).
+func BenchmarkE7_ConstraintChecking(b *testing.B) {
+	setup := func(withChecks bool) *sql.Engine {
+		en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+		script := `
+CREATE TYPE Type_Address AS OBJECT(attrStreet VARCHAR(4000), attrCity VARCHAR(4000));
+CREATE TYPE Type_Course AS OBJECT(attrName VARCHAR(4000), attrAddress Type_Address);`
+		if withChecks {
+			script += `
+CREATE TABLE TabCourse OF Type_Course(attrName NOT NULL, CHECK (attrAddress.attrStreet IS NOT NULL));`
+		} else {
+			script += `
+CREATE TABLE TabCourse OF Type_Course(attrName NOT NULL);`
+		}
+		if _, err := en.ExecScript(script); err != nil {
+			b.Fatal(err)
+		}
+		return en
+	}
+	insert := `INSERT INTO TabCourse VALUES('DB II', Type_Address('Main St','Leipzig'))`
+	b.Run("with-checks", func(b *testing.B) {
+		en := setup(true)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := en.Exec(insert); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("without-checks", func(b *testing.B) {
+		en := setup(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := en.Exec(insert); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE8_Reconstruction measures document reconstruction (the order
+// experiment's mechanical side): nested retrieval vs edge rebuild.
+func BenchmarkE8_Reconstruction(b *testing.B) {
+	doc := benchDoc(10)
+	store, err := xmlordb.Open(workload.UniversityDTD, "University", xmlordb.Config{DisableMetadata: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id, err := store.Load(doc, "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	edge, err := relmap.InstallEdge(en)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := edge.Load(doc, 1); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("or-nested", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := store.Retrieve(id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("edge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := edge.Retrieve(1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParser measures the two front-end parsers of Fig. 1.
+func BenchmarkParser(b *testing.B) {
+	doc := xmldom.Serialize(benchDoc(20))
+	b.Run("xml", func(b *testing.B) {
+		b.SetBytes(int64(len(doc)))
+		for i := 0; i < b.N; i++ {
+			if _, err := xmlparser.ParseWith(doc, xmlparser.Options{KeepEntityRefs: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dtd", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := dtd.Parse("University", workload.UniversityDTD); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkInsertSQLGeneration measures rendering the single nested
+// INSERT statement (Section 4.2's artifact).
+func BenchmarkInsertSQLGeneration(b *testing.B) {
+	store, err := xmlordb.Open(workload.UniversityDTD, "University", xmlordb.Config{DisableMetadata: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := benchDoc(10)
+	for i := 0; i < b.N; i++ {
+		if _, err := store.InsertSQL(doc, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,314 @@
+// Command xml2ordb is the Go counterpart of the paper's XML2Oracle
+// utility: it analyzes an XML document and its DTD, generates the
+// equivalent object-relational schema, loads documents, answers SQL
+// queries against the embedded object-relational engine and round-trips
+// documents back to XML.
+//
+// Usage:
+//
+//	xml2ordb analyze   [flags] doc.xml     # print the DTD tree and schema analysis
+//	xml2ordb schema    [flags] doc.xml     # print the generated DDL script
+//	xml2ordb insertsql [flags] doc.xml     # print the single nested INSERT statement
+//	xml2ordb load      [flags] doc.xml...  # load documents, print statistics
+//	xml2ordb query     [flags] doc.xml     # load, then run -q or stdin SQL
+//	xml2ordb xpath     -q /a/b[...] doc.xml # translate an XPath to SQL and run it
+//	xml2ordb template  doc.xml tpl.xml     # expand a Section 6.3 export template
+//	xml2ordb roundtrip [flags] doc.xml     # load, retrieve, print XML + fidelity
+//
+// Flags:
+//
+//	-strategy nested|ref    mapping strategy (default nested; ref = Oracle 8)
+//	-collection varray|table collection kind (default varray)
+//	-clob                   map text to CLOB instead of VARCHAR(4000)
+//	-inline-attrs           inline XML attributes (skip TypeAttrL_ types)
+//	-nested-checks          emit the Section 4.3 CHECK constraints
+//	-no-meta                disable the meta-database
+//	-schema-id s            schema identifier prefix
+//	-q sql                  query to run (query subcommand; repeatable via ';')
+//	-xsd file.xsd           analyze an XML Schema instead of the document's DTD
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xmlordb"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "xml2ordb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (analyze|schema|insertsql|load|query|roundtrip)")
+	}
+	cmd := args[0]
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
+	var (
+		strategy     = fs.String("strategy", "nested", "mapping strategy: nested or ref")
+		collection   = fs.String("collection", "varray", "collection kind: varray or table")
+		clob         = fs.Bool("clob", false, "map text to CLOB")
+		inlineAttrs  = fs.Bool("inline-attrs", false, "inline XML attributes")
+		nestedChecks = fs.Bool("nested-checks", false, "emit Section 4.3 CHECK constraints")
+		noMeta       = fs.Bool("no-meta", false, "disable the meta-database")
+		schemaID     = fs.String("schema-id", "", "schema identifier prefix")
+		query        = fs.String("q", "", "SQL to run (query subcommand)")
+		xsdFile      = fs.String("xsd", "", "XML Schema file to analyze instead of the document's DTD")
+	)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return fmt.Errorf("%s: missing input file", cmd)
+	}
+
+	cfg := xmlordb.Config{
+		SchemaID:         *schemaID,
+		InlineAttributes: *inlineAttrs,
+		EmitNestedChecks: *nestedChecks,
+		UseCLOBForText:   *clob,
+		DisableMetadata:  *noMeta,
+	}
+	switch *strategy {
+	case "nested":
+		cfg.Strategy = xmlordb.StrategyNested
+	case "ref":
+		cfg.Strategy = xmlordb.StrategyRef
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	switch *collection {
+	case "varray":
+		cfg.Collection = xmlordb.CollVarray
+	case "table":
+		cfg.Collection = xmlordb.CollNestedTable
+	default:
+		return fmt.Errorf("unknown collection kind %q", *collection)
+	}
+
+	switch cmd {
+	case "analyze":
+		store, _, err := openFile(files[0], *xsdFile, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(store.DescribeSchema())
+		return nil
+	case "schema":
+		store, _, err := openFile(files[0], *xsdFile, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(store.Script())
+		return nil
+	case "insertsql":
+		store, doc, err := openFile(files[0], *xsdFile, cfg)
+		if err != nil {
+			return err
+		}
+		stmt, err := store.InsertSQL(doc, 1)
+		if err != nil {
+			return err
+		}
+		fmt.Println(stmt + ";")
+		return nil
+	case "load":
+		return loadCmd(files, *xsdFile, cfg)
+	case "query":
+		return queryCmd(files[0], *xsdFile, cfg, *query)
+	case "xpath":
+		if *query == "" {
+			return fmt.Errorf("xpath: pass the path via -q")
+		}
+		store, doc, err := openFile(files[0], *xsdFile, cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := store.Load(doc, files[0]); err != nil {
+			return err
+		}
+		rows, stmt, err := store.XPath(*query)
+		if err != nil {
+			return err
+		}
+		fmt.Println("-- " + stmt)
+		fmt.Print(rows)
+		fmt.Printf("(%d rows)\n", len(rows.Data))
+		return nil
+	case "template":
+		// Section 6.3 template-driven export: the second file is the
+		// template whose <?xmlordb-query ...?> instructions expand.
+		if len(files) < 2 {
+			return fmt.Errorf("template: usage: xml2ordb template doc.xml template.xml")
+		}
+		store, doc, err := openFile(files[0], *xsdFile, cfg)
+		if err != nil {
+			return err
+		}
+		if _, err := store.Load(doc, files[0]); err != nil {
+			return err
+		}
+		tpl, err := os.ReadFile(files[1])
+		if err != nil {
+			return err
+		}
+		out, err := store.ExpandTemplate(string(tpl))
+		if err != nil {
+			return err
+		}
+		fmt.Println(out)
+		return nil
+	case "roundtrip":
+		return roundtripCmd(files[0], *xsdFile, cfg)
+	default:
+		return fmt.Errorf("unknown subcommand %q", cmd)
+	}
+}
+
+// openFile parses the document and opens a store from its DTD, or from an
+// explicit XML Schema file when -xsd is given.
+func openFile(path, xsdPath string, cfg xmlordb.Config) (*xmlordb.Store, *xmldom.Document, error) {
+	text, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if xsdPath != "" {
+		xsdText, err := os.ReadFile(xsdPath)
+		if err != nil {
+			return nil, nil, err
+		}
+		store, err := xmlordb.OpenXSD(string(xsdText), cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := xmlparser.ParseWith(string(text), xmlparser.Options{KeepEntityRefs: true})
+		if err != nil {
+			return nil, nil, err
+		}
+		return store, res.Doc, nil
+	}
+	res, err := xmlparser.Parse(string(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.DTD == nil {
+		return nil, nil, fmt.Errorf("%s: document carries no DTD (pass -xsd schema.xsd for schema-based analysis)", path)
+	}
+	store, err := xmlordb.Open(res.DTD.String(), res.Doc.Root().Name, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return store, res.Doc, nil
+}
+
+func loadCmd(files []string, xsdPath string, cfg xmlordb.Config) error {
+	store, doc, err := openFile(files[0], xsdPath, cfg)
+	if err != nil {
+		return err
+	}
+	id, err := store.Load(doc, files[0])
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: DocID %d\n", files[0], id)
+	for _, f := range files[1:] {
+		text, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		id, err := store.LoadXML(string(text), f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: DocID %d\n", f, id)
+	}
+	stats := store.DB().Stats()
+	types, tables, views, storage := store.DB().SchemaObjectCount()
+	fmt.Printf("engine: %d inserts; catalog: %d types, %d tables, %d views, %d storage tables\n",
+		stats.Inserts, types, tables, views, storage)
+	for _, w := range store.Warnings() {
+		fmt.Println("warning:", w)
+	}
+	return nil
+}
+
+func queryCmd(file, xsdPath string, cfg xmlordb.Config, q string) error {
+	store, doc, err := openFile(file, xsdPath, cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := store.Load(doc, file); err != nil {
+		return err
+	}
+	runOne := func(stmt string) {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			return
+		}
+		if strings.HasPrefix(strings.ToUpper(stmt), "SELECT") {
+			rows, err := store.Query(stmt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				return
+			}
+			fmt.Print(rows)
+			fmt.Printf("(%d rows)\n", len(rows.Data))
+			return
+		}
+		res, err := store.Exec(stmt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return
+		}
+		fmt.Printf("ok (%d rows affected)\n", res.RowsAffected)
+	}
+	if q != "" {
+		for _, stmt := range strings.Split(q, ";") {
+			runOne(stmt)
+		}
+		return nil
+	}
+	fmt.Println("enter SQL statements, one per line (empty line quits):")
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			return nil
+		}
+		runOne(strings.TrimSuffix(line, ";"))
+	}
+	return sc.Err()
+}
+
+func roundtripCmd(file, xsdPath string, cfg xmlordb.Config) error {
+	store, doc, err := openFile(file, xsdPath, cfg)
+	if err != nil {
+		return err
+	}
+	id, err := store.Load(doc, file)
+	if err != nil {
+		return err
+	}
+	xml, err := store.RetrieveXML(id)
+	if err != nil {
+		return err
+	}
+	fmt.Println(xml)
+	rep, err := store.Fidelity(doc, id)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fidelity:", rep)
+	return nil
+}

@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleDoc = `<?xml version="1.0"?>
+<!DOCTYPE University [
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+]>
+<University>
+  <StudyCourse>CS</StudyCourse>
+  <Student StudNr="1"><LName>Conrad</LName><FName>Matthias</FName></Student>
+</University>`
+
+func sampleFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(path, []byte(sampleDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// capture runs fn with stdout redirected and returns what it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	io.Copy(&buf, r)
+	return buf.String(), runErr
+}
+
+func TestAnalyzeCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"analyze", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	for _, want := range []string{"DTD tree", "Student*", "Root table: TabUniversity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("analyze output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSchemaCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"schema", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+	for _, want := range []string{"CREATE TYPE Type_Student", "CREATE TABLE TabUniversity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schema output missing %q", want)
+		}
+	}
+}
+
+func TestSchemaRefStrategy(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"schema", "-strategy", "ref", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("schema -strategy ref: %v", err)
+	}
+	if !strings.Contains(out, "REF Type_University") {
+		t.Errorf("ref schema missing parent REF:\n%s", out)
+	}
+}
+
+func TestInsertSQLCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"insertsql", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("insertsql: %v", err)
+	}
+	if !strings.Contains(out, "INSERT INTO TabUniversity VALUES(1, 'CS'") {
+		t.Errorf("insertsql output:\n%s", out)
+	}
+}
+
+func TestLoadCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"load", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if !strings.Contains(out, "DocID 1") || !strings.Contains(out, "inserts") {
+		t.Errorf("load output:\n%s", out)
+	}
+}
+
+func TestQueryCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"query", "-q",
+			"SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st",
+			sampleFile(t)})
+	})
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !strings.Contains(out, "Conrad") || !strings.Contains(out, "(1 rows)") {
+		t.Errorf("query output:\n%s", out)
+	}
+}
+
+func TestRoundtripCommand(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"roundtrip", sampleFile(t)}) })
+	if err != nil {
+		t.Fatalf("roundtrip: %v", err)
+	}
+	if !strings.Contains(out, "<LName>Conrad</LName>") {
+		t.Errorf("roundtrip output:\n%s", out)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus", "x.xml"},
+		{"analyze"},
+		{"analyze", "/does/not/exist.xml"},
+		{"schema", "-strategy", "bogus", "x.xml"},
+		{"schema", "-collection", "bogus", "x.xml"},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestCLIDocumentWithoutDTD(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nodtd.xml")
+	os.WriteFile(path, []byte("<a/>"), 0o644)
+	if _, err := capture(t, func() error { return run([]string{"schema", path}) }); err == nil {
+		t.Error("document without DTD accepted")
+	}
+}
+
+func TestXPathCommand(t *testing.T) {
+	out, err := capture(t, func() error {
+		return run([]string{"xpath", "-q", "/University/Student/LName", sampleFile(t)})
+	})
+	if err != nil {
+		t.Fatalf("xpath: %v", err)
+	}
+	if !strings.Contains(out, "Conrad") || !strings.Contains(out, "-- SELECT") {
+		t.Errorf("xpath output:\n%s", out)
+	}
+	if _, err := capture(t, func() error {
+		return run([]string{"xpath", sampleFile(t)})
+	}); err == nil {
+		t.Error("xpath without -q accepted")
+	}
+}
+
+func TestXSDFlag(t *testing.T) {
+	dir := t.TempDir()
+	xsdPath := filepath.Join(dir, "s.xsd")
+	docPath := filepath.Join(dir, "d.xml")
+	os.WriteFile(xsdPath, []byte(`<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="R"><xs:complexType><xs:sequence>
+    <xs:element name="N" type="xs:integer"/>
+  </xs:sequence></xs:complexType></xs:element>
+</xs:schema>`), 0o644)
+	os.WriteFile(docPath, []byte(`<R><N>7</N></R>`), 0o644)
+	out, err := capture(t, func() error {
+		return run([]string{"schema", "-xsd", xsdPath, docPath})
+	})
+	if err != nil {
+		t.Fatalf("schema -xsd: %v", err)
+	}
+	if !strings.Contains(out, "attrN INTEGER") {
+		t.Errorf("typed column missing:\n%s", out)
+	}
+	out, err = capture(t, func() error {
+		return run([]string{"query", "-xsd", xsdPath, "-q", "SELECT r.attrN FROM TabR r", docPath})
+	})
+	if err != nil {
+		t.Fatalf("query -xsd: %v", err)
+	}
+	if !strings.Contains(out, "7") {
+		t.Errorf("query output:\n%s", out)
+	}
+}
+
+func TestTemplateCommand(t *testing.T) {
+	dir := t.TempDir()
+	tplPath := filepath.Join(dir, "tpl.xml")
+	os.WriteFile(tplPath, []byte(`<Report><?xmlordb-query SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st ?></Report>`), 0o644)
+	out, err := capture(t, func() error {
+		return run([]string{"template", sampleFile(t), tplPath})
+	})
+	if err != nil {
+		t.Fatalf("template: %v", err)
+	}
+	if !strings.Contains(out, "<LName>Conrad</LName>") {
+		t.Errorf("template output:\n%s", out)
+	}
+	if _, err := capture(t, func() error { return run([]string{"template", sampleFile(t)}) }); err == nil {
+		t.Error("missing template file accepted")
+	}
+}

@@ -1,0 +1,43 @@
+// Command xmlbench regenerates the reproduction experiments of
+// EXPERIMENTS.md: every table, figure and measurable claim of the paper
+// maps to one experiment ID (see DESIGN.md section 4).
+//
+// Usage:
+//
+//	xmlbench            # run every experiment
+//	xmlbench -exp E1    # run one experiment
+//	xmlbench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xmlordb/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	list := flag.Bool("list", false, "list experiment IDs")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.Experiments {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := bench.Experiments
+	if *exp != "" {
+		ids = []string{*exp}
+	}
+	for _, id := range ids {
+		t, err := bench.Run(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xmlbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t)
+	}
+}

@@ -1,0 +1,143 @@
+package xmlordb
+
+import (
+	"fmt"
+
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+)
+
+// DeleteDocument removes a stored document: the root-table row, every
+// object-table row reachable from it (REF-stored elements under the
+// Oracle 8 strategy, recursive elements and ID targets under the nested
+// strategy, including child-table rows holding parent back-REFs), and the
+// TabMetadata registration.
+func (s *Store) DeleteDocument(docID int) error {
+	rootTab, err := s.Engine.DB().Table(s.Schema.RootTable)
+	if err != nil {
+		return err
+	}
+	var rowVals []ordb.Value
+	rootTab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) == docID {
+			rowVals = r.Vals
+			return false
+		}
+		return true
+	})
+	if rowVals == nil {
+		return fmt.Errorf("xmlordb: document %d not found in %s", docID, s.Schema.RootTable)
+	}
+	// Collect every row object belonging to the document.
+	refs := map[ordb.Ref]bool{}
+	for _, v := range rowVals[1:] {
+		s.collectRefs(v, refs)
+	}
+	// Expand through child tables (StrategyRef back-pointers) until the
+	// set is closed.
+	for {
+		before := len(refs)
+		for ref := range refs {
+			if err := s.collectChildTableRefs(ref, refs); err != nil {
+				return err
+			}
+			obj, err := s.Engine.DB().Deref(ref)
+			if err != nil {
+				continue // already deleted or dangling
+			}
+			for _, v := range obj.Attrs {
+				s.collectRefs(v, refs)
+			}
+		}
+		if len(refs) == before {
+			break
+		}
+	}
+	// Delete the collected rows per table.
+	byTable := map[string][]ordb.OID{}
+	for ref := range refs {
+		byTable[ref.Table] = append(byTable[ref.Table], ref.OID)
+	}
+	for table, oids := range byTable {
+		tab, err := s.Engine.DB().Table(table)
+		if err != nil {
+			return err
+		}
+		want := map[ordb.OID]bool{}
+		for _, oid := range oids {
+			want[oid] = true
+		}
+		if _, err := tab.Delete(func(r *ordb.Row) (bool, error) { return want[r.OID], nil }); err != nil {
+			return err
+		}
+	}
+	// Delete the root row.
+	if _, err := rootTab.Delete(func(r *ordb.Row) (bool, error) {
+		n, ok := r.Vals[0].(ordb.Num)
+		return ok && int(n) == docID, nil
+	}); err != nil {
+		return err
+	}
+	// Delete the meta registration.
+	if s.Meta != nil {
+		metaTab, err := s.Engine.DB().Table("TabMetadata")
+		if err == nil {
+			if _, err := metaTab.Delete(func(r *ordb.Row) (bool, error) {
+				n, ok := r.Vals[0].(ordb.Num)
+				return ok && int(n) == docID, nil
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// collectRefs walks a value collecting REFs (without dereferencing).
+func (s *Store) collectRefs(v ordb.Value, out map[ordb.Ref]bool) {
+	switch x := v.(type) {
+	case ordb.Ref:
+		out[x] = true
+	case *ordb.Object:
+		for _, a := range x.Attrs {
+			s.collectRefs(a, out)
+		}
+	case *ordb.Coll:
+		for _, e := range x.Elems {
+			s.collectRefs(e, out)
+		}
+	}
+}
+
+// collectChildTableRefs finds rows of child tables whose parent REF
+// points at ref (the Section 4.2 variant, where the parent has no column
+// for the relationship).
+func (s *Store) collectChildTableRefs(ref ordb.Ref, out map[ordb.Ref]bool) error {
+	for _, m := range s.Schema.Elems {
+		if m.ObjectTable == "" {
+			continue
+		}
+		var parentIdxs []int
+		for i, f := range m.Fields {
+			if f.Kind == mapping.FieldParentRef {
+				parentIdxs = append(parentIdxs, i)
+			}
+		}
+		if len(parentIdxs) == 0 {
+			continue
+		}
+		tab, err := s.Engine.DB().Table(m.ObjectTable)
+		if err != nil {
+			return err
+		}
+		tab.Scan(func(r *ordb.Row) bool {
+			for _, idx := range parentIdxs {
+				if pr, ok := r.Vals[idx].(ordb.Ref); ok && pr == ref {
+					out[ordb.Ref{Table: m.ObjectTable, OID: r.OID}] = true
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

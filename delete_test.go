@@ -1,0 +1,106 @@
+package xmlordb
+
+import (
+	"testing"
+
+	"xmlordb/internal/workload"
+)
+
+func TestDeleteDocumentNested(t *testing.T) {
+	store, docID, err := OpenDocument(paperDoc, "p", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := store.LoadXML(
+		`<University><StudyCourse>Math</StudyCourse></University>`, "second")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DeleteDocument(docID); err != nil {
+		t.Fatalf("DeleteDocument: %v", err)
+	}
+	if _, err := store.Retrieve(docID); err == nil {
+		t.Error("deleted document still retrievable")
+	}
+	// The other document must survive.
+	if _, err := store.Retrieve(id2); err != nil {
+		t.Errorf("unrelated document lost: %v", err)
+	}
+	// The meta row is gone too.
+	if _, err := store.Meta.Document(docID); err == nil {
+		t.Error("meta registration survived")
+	}
+	if _, err := store.Meta.Document(id2); err != nil {
+		t.Errorf("unrelated meta lost: %v", err)
+	}
+	if err := store.DeleteDocument(docID); err == nil {
+		t.Error("double delete must fail")
+	}
+}
+
+func TestDeleteDocumentRefStrategy(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University",
+		Config{Strategy: StrategyRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.University(workload.UniversityParams{
+		Students: 3, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 1,
+	})
+	id1, err := store.Load(doc, "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := store.Load(doc, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	students, _ := store.DB().Table("TabStudent")
+	profs, _ := store.DB().Table("TabProfessor")
+	if students.RowCount() != 6 || profs.RowCount() != 12 {
+		t.Fatalf("pre-delete rows: students=%d profs=%d", students.RowCount(), profs.RowCount())
+	}
+	if err := store.DeleteDocument(id1); err != nil {
+		t.Fatalf("DeleteDocument: %v", err)
+	}
+	// Exactly one document's rows are gone from every object table.
+	if students.RowCount() != 3 {
+		t.Errorf("students after delete = %d, want 3", students.RowCount())
+	}
+	if profs.RowCount() != 6 {
+		t.Errorf("professors after delete = %d, want 6", profs.RowCount())
+	}
+	// The surviving document still round-trips completely.
+	rep, err := store.Fidelity(doc, id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ElementsMatched != rep.ElementsTotal {
+		t.Errorf("survivor damaged: %s", rep)
+	}
+}
+
+func TestDeleteDocumentRecursive(t *testing.T) {
+	src := `<!DOCTYPE part [
+<!ELEMENT part (name,part*)>
+<!ELEMENT name (#PCDATA)>
+]>
+<part><name>root</name><part><name>child</name><part><name>leaf</name></part></part></part>`
+	store, docID, err := OpenDocument(src, "parts", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts, err := store.DB().Table("Tabpart")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.RowCount() != 3 {
+		t.Fatalf("pre-delete parts = %d", parts.RowCount())
+	}
+	if err := store.DeleteDocument(docID); err != nil {
+		t.Fatalf("DeleteDocument: %v", err)
+	}
+	if parts.RowCount() != 0 {
+		t.Errorf("parts after delete = %d, want 0", parts.RowCount())
+	}
+}

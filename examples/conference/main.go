@@ -1,0 +1,80 @@
+// Command conference exercises the special cases of Sections 4.4 and 6.2
+// of the paper on a conference-program document:
+//
+//   - ID/IDREF attributes: talks reference their speakers by IDREF; the
+//     mapping stores speakers in an object table and turns the IDREF
+//     columns into REF-valued attributes (uniform object identity).
+//   - Recursive relationships: sessions nest inside sessions; the
+//     generated schema breaks the cycle with a forward type declaration
+//     and a TABLE OF REF collection, exactly like the paper's
+//     TabRefProfessor example.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlordb"
+)
+
+const program = `<?xml version="1.0"?>
+<!DOCTYPE Conference [
+<!ELEMENT Conference (CName,Session*,Speaker*)>
+<!ELEMENT Session (SName,Talk*,Session*)>
+<!ELEMENT Talk (Title)>
+<!ATTLIST Talk by IDREF #REQUIRED>
+<!ELEMENT Speaker (FullName,Affiliation)>
+<!ATTLIST Speaker sid ID #REQUIRED>
+<!ELEMENT CName (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT FullName (#PCDATA)>
+<!ELEMENT Affiliation (#PCDATA)>
+]>
+<Conference>
+  <CName>EDBT Workshops 2002</CName>
+  <Session>
+    <SName>XML Data Management</SName>
+    <Talk by="s1"><Title>Management of XML Documents in ORDBs</Title></Talk>
+    <Session>
+      <SName>Mapping Approaches (subsession)</SName>
+      <Talk by="s2"><Title>Edge Tables Revisited</Title></Talk>
+    </Session>
+  </Session>
+  <Speaker sid="s1"><FullName>Thomas Kudrass</FullName><Affiliation>HTWK Leipzig</Affiliation></Speaker>
+  <Speaker sid="s2"><FullName>Matthias Conrad</FullName><Affiliation>HTWK Leipzig</Affiliation></Speaker>
+</Conference>`
+
+func main() {
+	store, docID, err := xmlordb.OpenDocument(program, "program.xml", xmlordb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Generated schema: note the forward declaration and TABLE OF REF ===")
+	fmt.Println(store.Script())
+	fmt.Println(store.DescribeSchema())
+
+	fmt.Println("=== Speakers live in an object table; talks reference them ===")
+	rows, err := store.Query(`SELECT s.attrFullName, s.attrAffiliation FROM TabSpeaker s`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("=== Resolve a talk's IDREF through the REF column ===")
+	rows, err = store.Query(`
+		SELECT t.attrTitle, t.attrListTalk.attrby.attrFullName
+		FROM TabSession s, TABLE(s.attrTalk) t`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("=== Round trip: recursion and IDREFs reconstruct faithfully ===")
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xml)
+}

@@ -1,0 +1,62 @@
+// Command oracle8vs9 contrasts the paper's two mapping strategies on the
+// same document (Section 4.2): the Oracle 9i nested-collection mapping
+// loads a whole document with a single INSERT, while the Oracle 8i REF
+// workaround decomposes it into one object-table row per complex element,
+// linked by REF-valued attributes pointing at the parent.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlordb"
+	"xmlordb/internal/workload"
+)
+
+func main() {
+	doc := workload.University(workload.UniversityParams{
+		Students: 5, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: 4,
+	})
+
+	for _, cfg := range []struct {
+		label string
+		conf  xmlordb.Config
+	}{
+		{"Oracle 9i nested collections (StrategyNested)", xmlordb.Config{Strategy: xmlordb.StrategyNested, DisableMetadata: true}},
+		{"Oracle 8i REF workaround (StrategyRef)", xmlordb.Config{Strategy: xmlordb.StrategyRef, DisableMetadata: true}},
+	} {
+		store, err := xmlordb.Open(workload.UniversityDTD, "University", cfg.conf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		docID, err := store.Load(doc, "uni.xml")
+		if err != nil {
+			log.Fatal(err)
+		}
+		types, tables, _, storage := store.DB().SchemaObjectCount()
+		stats := store.DB().Stats()
+		fmt.Printf("=== %s ===\n", cfg.label)
+		fmt.Printf("mode: %v\n", store.DB().Mode())
+		fmt.Printf("schema objects: %d types, %d tables, %d storage tables\n", types, tables, storage)
+		fmt.Printf("INSERT operations for one document: %d\n", stats.Inserts)
+
+		rep, err := store.Fidelity(doc, docID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("round-trip: %s\n\n", rep)
+
+		if cfg.conf.Strategy == xmlordb.StrategyRef {
+			fmt.Println("object tables under the REF strategy:")
+			for _, name := range store.DB().TableNames() {
+				t, _ := store.DB().Table(name)
+				fmt.Printf("  %-16s %4d rows\n", name, t.RowCount())
+			}
+			fmt.Println()
+		}
+	}
+
+	fmt.Println("The nested strategy needs ONE insert per document; the REF")
+	fmt.Println("strategy needs one per complex element — the decomposition the")
+	fmt.Println("paper works around Oracle 8's collection restrictions with.")
+}

@@ -1,0 +1,111 @@
+// Command quickstart walks the paper's Appendix A example end to end:
+// parse the sample University document and its DTD, generate the
+// object-relational schema, load the document with a single nested
+// INSERT, run the Section 4.1 query, and round-trip the document back to
+// XML with entity references restored from the meta-database.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xmlordb"
+)
+
+const appendixA = `<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE University [
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+]>
+<University>
+  <StudyCourse>&cs;</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName>
+    <FName>Matthias</FName>
+    <Course>
+      <Name>Database Systems II</Name>
+      <Professor>
+        <PName>Kudrass</PName>
+        <Subject>Database Systems</Subject>
+        <Subject>Operat. Systems</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+    <Course>
+      <Name>CAD Intro</Name>
+      <Professor>
+        <PName>Jaeger</PName>
+        <Subject>CAD</Subject>
+        <Subject>CAE</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+  <Student StudNr="00011">
+    <LName>Meier</LName>
+    <FName>Ralf</FName>
+  </Student>
+</University>`
+
+func main() {
+	store, docID, err := xmlordb.OpenDocument(appendixA, "appendixA.xml", xmlordb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== Generated object-relational schema (Section 4.2) ===")
+	fmt.Println(store.Script())
+
+	fmt.Println("=== Schema analysis ===")
+	fmt.Println(store.DescribeSchema())
+
+	fmt.Printf("Document loaded as DocID %d with %d INSERT operation(s)\n"+
+		"(one nested INSERT for the document + one TabMetadata registration).\n\n",
+		docID, store.DB().Stats().Inserts)
+
+	fmt.Println("=== Section 4.1 query: students taught by Professor Jaeger ===")
+	rows, err := store.Query(`
+		SELECT st.attrLName, st.attrFName
+		FROM TabUniversity u, TABLE(u.attrStudent) st,
+		     TABLE(st.attrCourse) c, TABLE(c.attrProfessor) p
+		WHERE p.attrPName = 'Jaeger'`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("=== Dot-notation projection ===")
+	rows, err = store.Query(`SELECT u.attrStudyCourse FROM TabUniversity u`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("=== Meta-database entry (Section 5) ===")
+	rows, err = store.Query(`SELECT m.DocID, m.DocName, m.XMLVersion, m.CharacterSet FROM TabMetadata m`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rows)
+
+	fmt.Println("=== Round trip (entity references restored, Section 6.1) ===")
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(xml)
+}

@@ -1,0 +1,3 @@
+module xmlordb
+
+go 1.22

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRun executes every experiment once and sanity-checks
+// the table shapes, so a regression in any layer surfaces here before the
+// harness is used to regenerate EXPERIMENTS.md.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range Experiments {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tab, err := Run(id)
+			if err != nil {
+				t.Fatalf("Run(%s): %v", id, err)
+			}
+			if tab.ID != id {
+				t.Errorf("table ID = %q", tab.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Errorf("row width %d != header width %d: %v", len(r), len(tab.Header), r)
+				}
+			}
+			if !strings.Contains(tab.String(), tab.Title) {
+				t.Error("String() missing title")
+			}
+		})
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("E99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestE1Shape pins the headline claim: or-nested = 1 INSERT at every
+// size; every shredding variant grows with the document.
+func TestE1Shape(t *testing.T) {
+	tab, err := E1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inserts := map[string][]int{}
+	for _, r := range tab.Rows {
+		n, err := strconv.Atoi(r[2])
+		if err != nil {
+			t.Fatalf("bad count %q", r[2])
+		}
+		inserts[r[1]] = append(inserts[r[1]], n)
+	}
+	for _, n := range inserts["or-nested"] {
+		if n != 1 {
+			t.Errorf("or-nested inserts = %v, want all 1", inserts["or-nested"])
+		}
+	}
+	for _, label := range []string{"or-ref", "shredded", "per-name", "edge"} {
+		ns := inserts[label]
+		for i := 1; i < len(ns); i++ {
+			if ns[i] <= ns[i-1] {
+				t.Errorf("%s inserts not growing: %v", label, ns)
+			}
+		}
+		if ns[0] <= 1 {
+			t.Errorf("%s inserts = %v, want > 1", label, ns)
+		}
+	}
+}
+
+// TestE2Shape pins: the OR query scans exactly one row; the join side
+// scans orders of magnitude more and grows superlinearly.
+func TestE2Shape(t *testing.T) {
+	tab, err := E2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var joinScans []int
+	for _, r := range tab.Rows {
+		or, _ := strconv.Atoi(r[1])
+		join, _ := strconv.Atoi(r[2])
+		if or != 1 {
+			t.Errorf("OR rows scanned = %d, want 1", or)
+		}
+		// Even with hash joins the relational plan must touch every row
+		// of the joined relations at least once.
+		if join < 50*or {
+			t.Errorf("join rows scanned = %d, want >> OR", join)
+		}
+		joinScans = append(joinScans, join)
+	}
+	for i := 1; i < len(joinScans); i++ {
+		if joinScans[i] <= joinScans[i-1] {
+			t.Errorf("join scans not growing: %v", joinScans)
+		}
+	}
+}
+
+// TestE4Shape pins the fidelity ordering: meta restores entities, no-meta
+// loses them; nothing structural keeps comments.
+func TestE4Shape(t *testing.T) {
+	tab, err := E4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string][]string{}
+	for _, r := range tab.Rows {
+		byLabel[r[0]] = r
+	}
+	if byLabel["or-nested+meta"][5] != "2/2" {
+		t.Errorf("meta entities = %s", byLabel["or-nested+meta"][5])
+	}
+	if byLabel["or-nested-nometa"][5] != "0/2" {
+		t.Errorf("no-meta entities = %s", byLabel["or-nested-nometa"][5])
+	}
+	if byLabel["or-nested+meta"][6] != "1" {
+		t.Errorf("comments lost = %s, structural mappings must lose the comment", byLabel["or-nested+meta"][6])
+	}
+	if byLabel["clob"][1] != "1.000" {
+		t.Errorf("clob score = %s", byLabel["clob"][1])
+	}
+}
+
+// TestE7Shape pins the constraint matrix: with checks both problematic
+// inserts are rejected; without, everything is accepted.
+func TestE7Shape(t *testing.T) {
+	tab, err := E7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"address without street|true":        "rejected",
+		"no address at all (optional)|true":  "rejected",
+		"complete address|true":              "accepted",
+		"address without street|false":       "accepted",
+		"no address at all (optional)|false": "accepted",
+		"complete address|false":             "accepted",
+	}
+	for _, r := range tab.Rows {
+		key := r[0] + "|" + r[1]
+		if got := r[2]; got != want[key] {
+			t.Errorf("%s: outcome = %s, want %s", key, got, want[key])
+		}
+	}
+}
+
+// TestE8Shape pins the order matrix.
+func TestE8Shape(t *testing.T) {
+	tab, err := E8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if r[2] != "true" {
+			t.Errorf("%s/%s lost content", r[0], r[1])
+		}
+		wantOrder := "true"
+		if r[0] == "interleaved (a|b)*" && r[1] == "or-nested" {
+			wantOrder = "false"
+		}
+		if r[3] != wantOrder {
+			t.Errorf("%s/%s order = %s, want %s", r[0], r[1], r[3], wantOrder)
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}},
+		Notes:  []string{"a note"},
+	}
+	s := tab.String()
+	for _, want := range []string{"== X: demo ==", "a  bb", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+// TestAblationShapes pins the A1/A2 trade-offs.
+func TestAblationShapes(t *testing.T) {
+	a1, err := A1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inlining must reduce the type count by exactly the TypeAttrL_ types (1 here).
+	t1, _ := strconv.Atoi(a1.Rows[0][1])
+	t2, _ := strconv.Atoi(a1.Rows[1][1])
+	if t2 != t1-1 {
+		t.Errorf("A1 types: attrlist=%d inlined=%d, want difference of 1", t1, t2)
+	}
+	for _, r := range a1.Rows {
+		if r[4] != "true" {
+			t.Errorf("A1 %s: round trip broken", r[0])
+		}
+	}
+
+	a2, err := A2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !labelContains(a2, 5, "rejected") {
+		t.Error("A2: VARRAY overflow not rejected")
+	}
+	if !labelContains(a2, 5, "accepted") {
+		t.Error("A2: nested table overflow not accepted")
+	}
+	// Nested tables must show storage tables in the catalog.
+	if a2.Rows[1][2] == "0" {
+		t.Error("A2: nested table variant reports no storage tables")
+	}
+}

@@ -1,0 +1,554 @@
+// Package dtd models and parses XML Document Type Definitions.
+//
+// The paper's XML2Oracle utility relies on a dedicated, non-validating DTD
+// parser (Wutka's Java parser) to turn the document type definition into a
+// "DTD DOM tree" — the intermediate representation that the schema
+// generation algorithm of Section 4 walks. This package is the Go
+// equivalent built from scratch: it parses element type declarations with
+// full content models (EMPTY, ANY, mixed, and children particles combined
+// with sequence/choice and the ?, *, + occurrence operators), attribute
+// list declarations (including ID/IDREF types, enumerations and the
+// #REQUIRED/#IMPLIED/#FIXED defaults), and entity declarations (general
+// and parameter, with parameter entity expansion inside the DTD).
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Occurrence is the iteration operator attached to a content particle.
+type Occurrence int
+
+// The four occurrence indicators of XML content models.
+const (
+	// Once means exactly one occurrence (no operator).
+	Once Occurrence = iota
+	// Optional is the '?' operator: zero or one.
+	Optional
+	// ZeroOrMore is the '*' operator.
+	ZeroOrMore
+	// OneOrMore is the '+' operator.
+	OneOrMore
+)
+
+// String returns the DTD operator symbol ("", "?", "*", "+").
+func (o Occurrence) String() string {
+	switch o {
+	case Optional:
+		return "?"
+	case ZeroOrMore:
+		return "*"
+	case OneOrMore:
+		return "+"
+	default:
+		return ""
+	}
+}
+
+// Repeats reports whether the occurrence allows more than one instance,
+// i.e. the element is set-valued in the sense of Section 4.2.
+func (o Occurrence) Repeats() bool { return o == ZeroOrMore || o == OneOrMore }
+
+// IsOptional reports whether the occurrence allows zero instances, i.e.
+// the element maps to a nullable column (Section 4.3).
+func (o Occurrence) IsOptional() bool { return o == Optional || o == ZeroOrMore }
+
+// ContentKind classifies an element type declaration's content model.
+type ContentKind int
+
+// The content model categories of XML 1.0.
+const (
+	// EmptyContent is declared EMPTY.
+	EmptyContent ContentKind = iota
+	// AnyContent is declared ANY.
+	AnyContent
+	// PCDATAContent is (#PCDATA): a simple element in the paper's
+	// terminology (Section 4.1).
+	PCDATAContent
+	// MixedContent is (#PCDATA | a | b)*: character data interleaved
+	// with elements — one of the round-trip hazards of Section 1.
+	MixedContent
+	// ChildrenContent is a particle tree of element names: a complex
+	// element in the paper's terminology.
+	ChildrenContent
+)
+
+// String names the content kind.
+func (k ContentKind) String() string {
+	switch k {
+	case EmptyContent:
+		return "EMPTY"
+	case AnyContent:
+		return "ANY"
+	case PCDATAContent:
+		return "#PCDATA"
+	case MixedContent:
+		return "MIXED"
+	case ChildrenContent:
+		return "CHILDREN"
+	default:
+		return fmt.Sprintf("ContentKind(%d)", int(k))
+	}
+}
+
+// ParticleKind distinguishes the three node kinds of a content particle tree.
+type ParticleKind int
+
+// Particle node kinds.
+const (
+	// NameParticle is a reference to an element type.
+	NameParticle ParticleKind = iota
+	// SeqParticle is a sequence group (a, b, c).
+	SeqParticle
+	// ChoiceParticle is a choice group (a | b | c).
+	ChoiceParticle
+)
+
+// Particle is one node of a content model. Leaves reference element names;
+// interior nodes are sequence or choice groups. Every node carries an
+// occurrence operator.
+type Particle struct {
+	Kind     ParticleKind
+	Name     string // element name for NameParticle
+	Children []*Particle
+	Occ      Occurrence
+}
+
+// String renders the particle in DTD syntax.
+func (p *Particle) String() string {
+	switch p.Kind {
+	case NameParticle:
+		return p.Name + p.Occ.String()
+	case SeqParticle, ChoiceParticle:
+		sep := ","
+		if p.Kind == ChoiceParticle {
+			sep = "|"
+		}
+		parts := make([]string, len(p.Children))
+		for i, c := range p.Children {
+			parts[i] = c.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")" + p.Occ.String()
+	default:
+		return "?"
+	}
+}
+
+// childRef describes one element name reachable from a content model with
+// the effective occurrence and optionality after flattening groups.
+type childRef struct {
+	name     string
+	repeats  bool
+	optional bool
+	order    int
+}
+
+// ChildRef is a flattened view of one sub-element position in a content
+// model: which element, whether it is set-valued, and whether it may be
+// absent. The schema generator consumes these instead of raw particles.
+type ChildRef struct {
+	// Name is the referenced element type name.
+	Name string
+	// Repeats reports whether more than one occurrence is allowed ('*'
+	// or '+', or multiple positions referencing the same name).
+	Repeats bool
+	// Optional reports whether zero occurrences are valid ('?' or '*',
+	// or membership in a choice group).
+	Optional bool
+}
+
+// ElementDecl is one <!ELEMENT> declaration.
+type ElementDecl struct {
+	Name    string
+	Content ContentKind
+	// Model is the particle tree for ChildrenContent, nil otherwise.
+	Model *Particle
+	// MixedNames lists the element names admitted by a mixed content
+	// model, in declaration order.
+	MixedNames []string
+	// Attrs holds the attribute declarations attached to this element
+	// type by <!ATTLIST>, in declaration order.
+	Attrs []*AttrDecl
+}
+
+// IsSimple reports whether the element is a simple element in the sense of
+// Section 4.1: character data only.
+func (e *ElementDecl) IsSimple() bool { return e.Content == PCDATAContent }
+
+// AttrByName returns the declaration of the named attribute, or nil.
+func (e *ElementDecl) AttrByName(name string) *AttrDecl {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// ChildRefs flattens the content model into per-name references with
+// effective occurrence flags. A name that appears several times in the
+// model (e.g. (a, b, a)) is reported once with Repeats=true. Names inside
+// a choice group are optional, because the other alternative may be taken.
+// For mixed content the admitted names are all optional and repeating.
+func (e *ElementDecl) ChildRefs() []ChildRef {
+	switch e.Content {
+	case MixedContent:
+		out := make([]ChildRef, len(e.MixedNames))
+		for i, n := range e.MixedNames {
+			out[i] = ChildRef{Name: n, Repeats: true, Optional: true}
+		}
+		return out
+	case ChildrenContent:
+		acc := map[string]*childRef{}
+		var order []string
+		collectRefs(e.Model, false, false, acc, &order)
+		out := make([]ChildRef, 0, len(order))
+		for _, n := range order {
+			r := acc[n]
+			out = append(out, ChildRef{Name: r.name, Repeats: r.repeats, Optional: r.optional})
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// collectRefs walks the particle tree accumulating effective flags.
+// repeating/optional are the flags inherited from enclosing groups.
+func collectRefs(p *Particle, repeating, optional bool, acc map[string]*childRef, order *[]string) {
+	if p == nil {
+		return
+	}
+	rep := repeating || p.Occ.Repeats()
+	opt := optional || p.Occ.IsOptional()
+	switch p.Kind {
+	case NameParticle:
+		if prev, ok := acc[p.Name]; ok {
+			// A second syntactic position for the same name makes the
+			// element effectively set-valued.
+			prev.repeats = true
+			if opt {
+				prev.optional = true
+			}
+			return
+		}
+		acc[p.Name] = &childRef{name: p.Name, repeats: rep, optional: opt, order: len(*order)}
+		*order = append(*order, p.Name)
+	case SeqParticle:
+		for _, c := range p.Children {
+			collectRefs(c, rep, opt, acc, order)
+		}
+	case ChoiceParticle:
+		// Within a choice every alternative may be skipped.
+		for _, c := range p.Children {
+			collectRefs(c, rep, true, acc, order)
+		}
+	}
+}
+
+// AttrType is the declared type of an XML attribute.
+type AttrType int
+
+// Attribute types of XML 1.0 DTDs.
+const (
+	CDATAAttr AttrType = iota
+	IDAttr
+	IDREFAttr
+	IDREFSAttr
+	NMTOKENAttr
+	NMTOKENSAttr
+	EntityAttr
+	EntitiesAttr
+	NotationAttr
+	EnumeratedAttr
+)
+
+// String renders the attribute type keyword.
+func (t AttrType) String() string {
+	switch t {
+	case CDATAAttr:
+		return "CDATA"
+	case IDAttr:
+		return "ID"
+	case IDREFAttr:
+		return "IDREF"
+	case IDREFSAttr:
+		return "IDREFS"
+	case NMTOKENAttr:
+		return "NMTOKEN"
+	case NMTOKENSAttr:
+		return "NMTOKENS"
+	case EntityAttr:
+		return "ENTITY"
+	case EntitiesAttr:
+		return "ENTITIES"
+	case NotationAttr:
+		return "NOTATION"
+	case EnumeratedAttr:
+		return "ENUMERATION"
+	default:
+		return fmt.Sprintf("AttrType(%d)", int(t))
+	}
+}
+
+// DefaultKind is the default-value category of an attribute declaration.
+type DefaultKind int
+
+// Attribute default categories.
+const (
+	// ImpliedDefault is #IMPLIED: the attribute is optional and maps to
+	// a nullable column (Section 4.3).
+	ImpliedDefault DefaultKind = iota
+	// RequiredDefault is #REQUIRED: maps to NOT NULL (Section 4.4).
+	RequiredDefault
+	// FixedDefault is #FIXED "value".
+	FixedDefault
+	// ValueDefault is a plain default value.
+	ValueDefault
+)
+
+// String renders the default keyword.
+func (k DefaultKind) String() string {
+	switch k {
+	case ImpliedDefault:
+		return "#IMPLIED"
+	case RequiredDefault:
+		return "#REQUIRED"
+	case FixedDefault:
+		return "#FIXED"
+	case ValueDefault:
+		return "DEFAULT"
+	default:
+		return fmt.Sprintf("DefaultKind(%d)", int(k))
+	}
+}
+
+// AttrDecl is one attribute definition from an <!ATTLIST> declaration.
+type AttrDecl struct {
+	Element string
+	Name    string
+	Type    AttrType
+	// Enum lists the tokens of an enumerated or NOTATION type.
+	Enum    []string
+	Default DefaultKind
+	// DefaultValue is the literal default for FixedDefault/ValueDefault.
+	DefaultValue string
+}
+
+// Required reports whether the attribute must appear in every instance.
+func (a *AttrDecl) Required() bool { return a.Default == RequiredDefault }
+
+// EntityDecl is one <!ENTITY> declaration.
+type EntityDecl struct {
+	Name string
+	// Parameter marks a parameter entity (<!ENTITY % name ...>).
+	Parameter bool
+	// Value is the replacement text for internal entities.
+	Value string
+	// SystemID/PublicID identify external entities.
+	SystemID string
+	PublicID string
+	// NData names the notation of an unparsed external entity.
+	NData string
+}
+
+// External reports whether the entity refers to external storage.
+func (e *EntityDecl) External() bool { return e.SystemID != "" }
+
+// NotationDecl is one <!NOTATION> declaration.
+type NotationDecl struct {
+	Name     string
+	SystemID string
+	PublicID string
+}
+
+// DTD is a parsed document type definition: the input of the mapping
+// algorithm.
+type DTD struct {
+	// Name is the document type name from <!DOCTYPE name ...> when the
+	// DTD was taken from a document, or the name passed by the caller.
+	Name string
+	// Elements maps element type names to their declarations.
+	Elements map[string]*ElementDecl
+	// ElementOrder preserves declaration order, which the naming and
+	// schema generation steps use for deterministic output.
+	ElementOrder []string
+	// Entities maps general entity names to declarations.
+	Entities map[string]*EntityDecl
+	// ParamEntities maps parameter entity names to declarations.
+	ParamEntities map[string]*EntityDecl
+	// EntityOrder preserves general entity declaration order.
+	EntityOrder []string
+	// Notations maps notation names to declarations.
+	Notations map[string]*NotationDecl
+}
+
+// NewDTD returns an empty DTD with initialized maps.
+func NewDTD(name string) *DTD {
+	return &DTD{
+		Name:          name,
+		Elements:      map[string]*ElementDecl{},
+		Entities:      map[string]*EntityDecl{},
+		ParamEntities: map[string]*EntityDecl{},
+		Notations:     map[string]*NotationDecl{},
+	}
+}
+
+// Element returns the declaration of the named element type, or nil.
+func (d *DTD) Element(name string) *ElementDecl { return d.Elements[name] }
+
+// AddElement registers an element declaration, preserving order. A second
+// declaration for the same name is an error per XML 1.0 validity.
+func (d *DTD) AddElement(e *ElementDecl) error {
+	if _, dup := d.Elements[e.Name]; dup {
+		return fmt.Errorf("dtd: duplicate element declaration %q", e.Name)
+	}
+	d.Elements[e.Name] = e
+	d.ElementOrder = append(d.ElementOrder, e.Name)
+	return nil
+}
+
+// AddEntity registers an entity declaration. Per XML 1.0, the first
+// declaration of an entity name binds; later ones are ignored.
+func (d *DTD) AddEntity(e *EntityDecl) {
+	if e.Parameter {
+		if _, dup := d.ParamEntities[e.Name]; !dup {
+			d.ParamEntities[e.Name] = e
+		}
+		return
+	}
+	if _, dup := d.Entities[e.Name]; !dup {
+		d.Entities[e.Name] = e
+		d.EntityOrder = append(d.EntityOrder, e.Name)
+	}
+}
+
+// RootCandidates returns element names that are never referenced as a
+// child of another element — the possible document elements. Names are
+// returned in declaration order.
+func (d *DTD) RootCandidates() []string {
+	referenced := map[string]bool{}
+	for _, name := range d.ElementOrder {
+		for _, ref := range d.Elements[name].ChildRefs() {
+			referenced[ref.Name] = true
+		}
+	}
+	var roots []string
+	for _, name := range d.ElementOrder {
+		if !referenced[name] {
+			roots = append(roots, name)
+		}
+	}
+	return roots
+}
+
+// UndeclaredReferences returns element names that are referenced in some
+// content model but never declared, sorted alphabetically. A valid DTD
+// has none; the mapping layer refuses such DTDs.
+func (d *DTD) UndeclaredReferences() []string {
+	missing := map[string]bool{}
+	for _, name := range d.ElementOrder {
+		for _, ref := range d.Elements[name].ChildRefs() {
+			if _, ok := d.Elements[ref.Name]; !ok {
+				missing[ref.Name] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(missing))
+	for n := range missing {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IDAttributes returns, per element name, the name of its ID-typed
+// attribute (XML validity allows at most one per element type).
+func (d *DTD) IDAttributes() map[string]string {
+	out := map[string]string{}
+	for _, name := range d.ElementOrder {
+		for _, a := range d.Elements[name].Attrs {
+			if a.Type == IDAttr {
+				out[name] = a.Name
+			}
+		}
+	}
+	return out
+}
+
+// String renders the DTD back to declaration syntax (normalized).
+func (d *DTD) String() string {
+	var sb strings.Builder
+	for _, name := range d.EntityOrder {
+		e := d.Entities[name]
+		sb.WriteString("<!ENTITY ")
+		sb.WriteString(e.Name)
+		if e.External() {
+			if e.PublicID != "" {
+				fmt.Fprintf(&sb, " PUBLIC %q %q", e.PublicID, e.SystemID)
+			} else {
+				fmt.Fprintf(&sb, " SYSTEM %q", e.SystemID)
+			}
+			if e.NData != "" {
+				sb.WriteString(" NDATA ")
+				sb.WriteString(e.NData)
+			}
+		} else {
+			fmt.Fprintf(&sb, " %q", e.Value)
+		}
+		sb.WriteString(">\n")
+	}
+	for _, name := range d.ElementOrder {
+		e := d.Elements[name]
+		sb.WriteString("<!ELEMENT ")
+		sb.WriteString(e.Name)
+		sb.WriteString(" ")
+		switch e.Content {
+		case EmptyContent:
+			sb.WriteString("EMPTY")
+		case AnyContent:
+			sb.WriteString("ANY")
+		case PCDATAContent:
+			sb.WriteString("(#PCDATA)")
+		case MixedContent:
+			sb.WriteString("(#PCDATA")
+			for _, n := range e.MixedNames {
+				sb.WriteString("|")
+				sb.WriteString(n)
+			}
+			sb.WriteString(")*")
+		case ChildrenContent:
+			sb.WriteString(e.Model.String())
+		}
+		sb.WriteString(">\n")
+		for _, a := range e.Attrs {
+			sb.WriteString("<!ATTLIST ")
+			sb.WriteString(e.Name)
+			sb.WriteString(" ")
+			sb.WriteString(a.Name)
+			sb.WriteString(" ")
+			if a.Type == EnumeratedAttr {
+				sb.WriteString("(" + strings.Join(a.Enum, "|") + ")")
+			} else if a.Type == NotationAttr {
+				sb.WriteString("NOTATION (" + strings.Join(a.Enum, "|") + ")")
+			} else {
+				sb.WriteString(a.Type.String())
+			}
+			sb.WriteString(" ")
+			switch a.Default {
+			case ImpliedDefault:
+				sb.WriteString("#IMPLIED")
+			case RequiredDefault:
+				sb.WriteString("#REQUIRED")
+			case FixedDefault:
+				fmt.Fprintf(&sb, "#FIXED %q", a.DefaultValue)
+			case ValueDefault:
+				fmt.Fprintf(&sb, "%q", a.DefaultValue)
+			}
+			sb.WriteString(">\n")
+		}
+	}
+	return sb.String()
+}

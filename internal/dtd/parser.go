@@ -1,0 +1,641 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// ParseError describes a syntax error in a DTD with its byte offset and
+// line number in the input.
+type ParseError struct {
+	Offset int
+	Line   int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("dtd: line %d: %s", e.Line, e.Msg)
+}
+
+// Parse parses the text of a DTD (an internal subset or the content of an
+// external DTD file, without the surrounding DOCTYPE declaration) and
+// returns the model. Parameter entities declared in the text are expanded
+// at their references. name becomes the DTD's document type name.
+func Parse(name, text string) (*DTD, error) {
+	p := &parser{src: text, dtd: NewDTD(name)}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	return p.dtd, nil
+}
+
+// MustParse is Parse for tests and examples with known-good input; it
+// panics on error.
+func MustParse(name, text string) *DTD {
+	d, err := Parse(name, text)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+type parser struct {
+	src string
+	pos int
+	dtd *DTD
+	// peDepth guards against runaway parameter entity recursion.
+	peDepth int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return &ParseError{Offset: p.pos, Line: line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) skipWS() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		case '%':
+			// Parameter entity reference in the DTD body: expand in place.
+			if !p.expandPERef() {
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+// expandPERef expands a parameter entity reference at the current position
+// by splicing its replacement text (padded with spaces per XML 1.0) into
+// the source. Returns false when '%' is not followed by a name (e.g. the
+// '%' of a parameter entity *declaration*).
+func (p *parser) expandPERef() bool {
+	start := p.pos
+	if p.pos+1 >= len(p.src) || !isNameStart(rune(p.src[p.pos+1])) {
+		return false
+	}
+	p.pos++
+	name := p.readName()
+	if p.peek() != ';' {
+		p.pos = start
+		return false
+	}
+	p.pos++
+	ent, ok := p.dtd.ParamEntities[name]
+	if !ok {
+		// Undeclared parameter entity: a non-validating parser may skip;
+		// we substitute nothing but keep going.
+		return true
+	}
+	p.peDepth++
+	if p.peDepth > 64 {
+		p.peDepth--
+		return true
+	}
+	p.src = p.src[:start] + " " + ent.Value + " " + p.src[p.pos:]
+	p.pos = start
+	p.peDepth--
+	return true
+}
+
+func (p *parser) readName() string {
+	start := p.pos
+	for !p.eof() && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) expect(lit string) error {
+	if !strings.HasPrefix(p.src[p.pos:], lit) {
+		return p.errf("expected %q", lit)
+	}
+	p.pos += len(lit)
+	return nil
+}
+
+func (p *parser) run() error {
+	for {
+		p.skipWS()
+		if p.eof() {
+			return nil
+		}
+		switch {
+		case strings.HasPrefix(p.src[p.pos:], "<!ELEMENT"):
+			if err := p.parseElement(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ATTLIST"):
+			if err := p.parseAttlist(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!ENTITY"):
+			if err := p.parseEntity(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!NOTATION"):
+			if err := p.parseNotation(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!--"):
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<?"):
+			if err := p.skipPI(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(p.src[p.pos:], "<!["):
+			if err := p.parseConditional(); err != nil {
+				return err
+			}
+		default:
+			return p.errf("unexpected character %q in DTD", p.peek())
+		}
+	}
+}
+
+func (p *parser) skipComment() error {
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "-->")
+	if end < 0 {
+		return p.errf("unterminated comment")
+	}
+	p.pos += end + len("-->")
+	return nil
+}
+
+func (p *parser) skipPI() error {
+	p.pos += len("<?")
+	end := strings.Index(p.src[p.pos:], "?>")
+	if end < 0 {
+		return p.errf("unterminated processing instruction")
+	}
+	p.pos += end + len("?>")
+	return nil
+}
+
+// parseConditional handles <![INCLUDE[...]]> and <![IGNORE[...]]> sections.
+func (p *parser) parseConditional() error {
+	p.pos += len("<![")
+	p.skipWS()
+	kw := p.readName()
+	p.skipWS()
+	if err := p.expect("["); err != nil {
+		return err
+	}
+	end := strings.Index(p.src[p.pos:], "]]>")
+	if end < 0 {
+		return p.errf("unterminated conditional section")
+	}
+	body := p.src[p.pos : p.pos+end]
+	p.pos += end + len("]]>")
+	if kw == "INCLUDE" {
+		// Splice the body in place of the (consumed) section.
+		p.src = p.src[:p.pos] + body + p.src[p.pos:]
+	} else if kw != "IGNORE" {
+		return p.errf("unknown conditional section keyword %q", kw)
+	}
+	return nil
+}
+
+func (p *parser) parseElement() error {
+	p.pos += len("<!ELEMENT")
+	p.skipWS()
+	name := p.readName()
+	if name == "" {
+		return p.errf("element declaration missing name")
+	}
+	p.skipWS()
+	decl := &ElementDecl{Name: name}
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "EMPTY"):
+		p.pos += len("EMPTY")
+		decl.Content = EmptyContent
+	case strings.HasPrefix(p.src[p.pos:], "ANY"):
+		p.pos += len("ANY")
+		decl.Content = AnyContent
+	case p.peek() == '(':
+		if err := p.parseContentSpec(decl); err != nil {
+			return err
+		}
+	default:
+		return p.errf("element %s: expected content specification", name)
+	}
+	p.skipWS()
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	return p.dtd.AddElement(decl)
+}
+
+// parseContentSpec parses the parenthesized content model, distinguishing
+// (#PCDATA), mixed and children models.
+func (p *parser) parseContentSpec(decl *ElementDecl) error {
+	save := p.pos
+	p.pos++ // consume '('
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], "#PCDATA") {
+		p.pos += len("#PCDATA")
+		p.skipWS()
+		if p.peek() == ')' {
+			p.pos++
+			// Optional trailing '*' is permitted for pure PCDATA.
+			if p.peek() == '*' {
+				p.pos++
+			}
+			decl.Content = PCDATAContent
+			return nil
+		}
+		// Mixed: (#PCDATA | a | b)*
+		decl.Content = MixedContent
+		for {
+			p.skipWS()
+			if p.peek() == ')' {
+				p.pos++
+				break
+			}
+			if p.peek() != '|' {
+				return p.errf("element %s: expected '|' in mixed content", decl.Name)
+			}
+			p.pos++
+			p.skipWS()
+			n := p.readName()
+			if n == "" {
+				return p.errf("element %s: expected name in mixed content", decl.Name)
+			}
+			decl.MixedNames = append(decl.MixedNames, n)
+		}
+		if p.peek() != '*' {
+			return p.errf("element %s: mixed content with names requires trailing '*'", decl.Name)
+		}
+		p.pos++
+		return nil
+	}
+	// Children content: back up and parse the particle group.
+	p.pos = save
+	particle, err := p.parseParticle()
+	if err != nil {
+		return err
+	}
+	decl.Content = ChildrenContent
+	decl.Model = particle
+	return nil
+}
+
+// parseParticle parses a cp: (group | name) with optional occurrence.
+func (p *parser) parseParticle() (*Particle, error) {
+	p.skipWS()
+	var part *Particle
+	if p.peek() == '(' {
+		p.pos++
+		group, err := p.parseGroup()
+		if err != nil {
+			return nil, err
+		}
+		part = group
+	} else {
+		name := p.readName()
+		if name == "" {
+			return nil, p.errf("expected element name or '(' in content model")
+		}
+		part = &Particle{Kind: NameParticle, Name: name}
+	}
+	switch p.peek() {
+	case '?':
+		part.Occ = Optional
+		p.pos++
+	case '*':
+		part.Occ = ZeroOrMore
+		p.pos++
+	case '+':
+		part.Occ = OneOrMore
+		p.pos++
+	}
+	return part, nil
+}
+
+// parseGroup parses the inside of a group after '(' until ')'.
+func (p *parser) parseGroup() (*Particle, error) {
+	var children []*Particle
+	sep := byte(0)
+	for {
+		child, err := p.parseParticle()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, child)
+		p.skipWS()
+		switch p.peek() {
+		case ')':
+			p.pos++
+			kind := SeqParticle
+			if sep == '|' {
+				kind = ChoiceParticle
+			}
+			if len(children) == 1 && children[0].Kind != NameParticle && children[0].Occ == Once {
+				// Collapse a redundant single-child group.
+				return children[0], nil
+			}
+			return &Particle{Kind: kind, Children: children}, nil
+		case ',', '|':
+			c := p.peek()
+			if sep != 0 && sep != c {
+				return nil, p.errf("content model mixes ',' and '|' in one group")
+			}
+			sep = c
+			p.pos++
+		default:
+			return nil, p.errf("expected ',', '|' or ')' in content model, got %q", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseAttlist() error {
+	p.pos += len("<!ATTLIST")
+	p.skipWS()
+	elemName := p.readName()
+	if elemName == "" {
+		return p.errf("attlist declaration missing element name")
+	}
+	for {
+		p.skipWS()
+		if p.peek() == '>' {
+			p.pos++
+			return nil
+		}
+		attr := &AttrDecl{Element: elemName}
+		attr.Name = p.readName()
+		if attr.Name == "" {
+			return p.errf("attlist %s: expected attribute name", elemName)
+		}
+		p.skipWS()
+		if err := p.parseAttrType(attr); err != nil {
+			return err
+		}
+		p.skipWS()
+		if err := p.parseAttrDefault(attr); err != nil {
+			return err
+		}
+		// Attach to the element declaration; XML permits ATTLIST before
+		// ELEMENT, so create a placeholder declaration if needed.
+		decl := p.dtd.Elements[elemName]
+		if decl == nil {
+			decl = &ElementDecl{Name: elemName, Content: AnyContent}
+			// Ignore the error: elemName cannot be a duplicate here.
+			_ = p.dtd.AddElement(decl)
+		}
+		// First declaration of an attribute name wins (XML 1.0 3.3).
+		if decl.AttrByName(attr.Name) == nil {
+			decl.Attrs = append(decl.Attrs, attr)
+		}
+	}
+}
+
+func (p *parser) parseAttrType(attr *AttrDecl) error {
+	switch {
+	case p.peek() == '(':
+		attr.Type = EnumeratedAttr
+		return p.parseEnum(attr)
+	case strings.HasPrefix(p.src[p.pos:], "NOTATION"):
+		p.pos += len("NOTATION")
+		attr.Type = NotationAttr
+		p.skipWS()
+		if p.peek() != '(' {
+			return p.errf("NOTATION attribute requires an enumeration")
+		}
+		return p.parseEnum(attr)
+	}
+	kw := p.readName()
+	switch kw {
+	case "CDATA":
+		attr.Type = CDATAAttr
+	case "ID":
+		attr.Type = IDAttr
+	case "IDREF":
+		attr.Type = IDREFAttr
+	case "IDREFS":
+		attr.Type = IDREFSAttr
+	case "NMTOKEN":
+		attr.Type = NMTOKENAttr
+	case "NMTOKENS":
+		attr.Type = NMTOKENSAttr
+	case "ENTITY":
+		attr.Type = EntityAttr
+	case "ENTITIES":
+		attr.Type = EntitiesAttr
+	default:
+		return p.errf("unknown attribute type %q", kw)
+	}
+	return nil
+}
+
+func (p *parser) parseEnum(attr *AttrDecl) error {
+	p.pos++ // consume '('
+	for {
+		p.skipWS()
+		tok := p.readNmtoken()
+		if tok == "" {
+			return p.errf("expected token in enumeration")
+		}
+		attr.Enum = append(attr.Enum, tok)
+		p.skipWS()
+		switch p.peek() {
+		case '|':
+			p.pos++
+		case ')':
+			p.pos++
+			return nil
+		default:
+			return p.errf("expected '|' or ')' in enumeration")
+		}
+	}
+}
+
+func (p *parser) readNmtoken() string {
+	start := p.pos
+	for !p.eof() && isNameChar(rune(p.src[p.pos])) {
+		p.pos++
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) parseAttrDefault(attr *AttrDecl) error {
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "#REQUIRED"):
+		p.pos += len("#REQUIRED")
+		attr.Default = RequiredDefault
+	case strings.HasPrefix(p.src[p.pos:], "#IMPLIED"):
+		p.pos += len("#IMPLIED")
+		attr.Default = ImpliedDefault
+	case strings.HasPrefix(p.src[p.pos:], "#FIXED"):
+		p.pos += len("#FIXED")
+		p.skipWS()
+		v, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		attr.Default = FixedDefault
+		attr.DefaultValue = v
+	default:
+		v, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		attr.Default = ValueDefault
+		attr.DefaultValue = v
+	}
+	return nil
+}
+
+func (p *parser) readQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated literal")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) parseEntity() error {
+	p.pos += len("<!ENTITY")
+	p.skipWS()
+	ent := &EntityDecl{}
+	if p.peek() == '%' {
+		// '%' followed by whitespace introduces a parameter entity
+		// declaration (reference expansion already handled in skipWS).
+		p.pos++
+		ent.Parameter = true
+		p.skipWS()
+	}
+	ent.Name = p.readName()
+	if ent.Name == "" {
+		return p.errf("entity declaration missing name")
+	}
+	p.skipWS()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "SYSTEM"):
+		p.pos += len("SYSTEM")
+		p.skipWS()
+		sys, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		ent.SystemID = sys
+	case strings.HasPrefix(p.src[p.pos:], "PUBLIC"):
+		p.pos += len("PUBLIC")
+		p.skipWS()
+		pub, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		sys, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		ent.PublicID = pub
+		ent.SystemID = sys
+	default:
+		v, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		ent.Value = v
+	}
+	p.skipWS()
+	if strings.HasPrefix(p.src[p.pos:], "NDATA") {
+		p.pos += len("NDATA")
+		p.skipWS()
+		ent.NData = p.readName()
+		p.skipWS()
+	}
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	p.dtd.AddEntity(ent)
+	return nil
+}
+
+func (p *parser) parseNotation() error {
+	p.pos += len("<!NOTATION")
+	p.skipWS()
+	n := &NotationDecl{}
+	n.Name = p.readName()
+	if n.Name == "" {
+		return p.errf("notation declaration missing name")
+	}
+	p.skipWS()
+	switch {
+	case strings.HasPrefix(p.src[p.pos:], "SYSTEM"):
+		p.pos += len("SYSTEM")
+		p.skipWS()
+		sys, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		n.SystemID = sys
+	case strings.HasPrefix(p.src[p.pos:], "PUBLIC"):
+		p.pos += len("PUBLIC")
+		p.skipWS()
+		pub, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		n.PublicID = pub
+		p.skipWS()
+		if p.peek() == '"' || p.peek() == '\'' {
+			sys, err := p.readQuoted()
+			if err != nil {
+				return err
+			}
+			n.SystemID = sys
+		}
+	default:
+		return p.errf("notation %s: expected SYSTEM or PUBLIC", n.Name)
+	}
+	p.skipWS()
+	if err := p.expect(">"); err != nil {
+		return err
+	}
+	p.dtd.Notations[n.Name] = n
+	return nil
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,401 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// universityDTD is the sample document definition of the paper's
+// Appendix A.
+const universityDTD = `
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+`
+
+func TestParseUniversityDTD(t *testing.T) {
+	d, err := Parse("University", universityDTD)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(d.ElementOrder) != 12 {
+		t.Errorf("elements = %d, want 12", len(d.ElementOrder))
+	}
+	uni := d.Element("University")
+	if uni == nil || uni.Content != ChildrenContent {
+		t.Fatalf("University decl wrong: %+v", uni)
+	}
+	refs := uni.ChildRefs()
+	if len(refs) != 2 {
+		t.Fatalf("University refs = %v", refs)
+	}
+	if refs[0].Name != "StudyCourse" || refs[0].Repeats || refs[0].Optional {
+		t.Errorf("StudyCourse ref = %+v, want mandatory single", refs[0])
+	}
+	if refs[1].Name != "Student" || !refs[1].Repeats || !refs[1].Optional {
+		t.Errorf("Student ref = %+v, want repeating optional", refs[1])
+	}
+}
+
+func TestParseOccurrenceOperators(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a?,b*,c+,d)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>`)
+	refs := d.Element("r").ChildRefs()
+	want := []ChildRef{
+		{Name: "a", Repeats: false, Optional: true},
+		{Name: "b", Repeats: true, Optional: true},
+		{Name: "c", Repeats: true, Optional: false},
+		{Name: "d", Repeats: false, Optional: false},
+	}
+	for i, w := range want {
+		if refs[i] != w {
+			t.Errorf("ref[%d] = %+v, want %+v", i, refs[i], w)
+		}
+	}
+}
+
+func TestParseChoiceMakesOptional(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a|b)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`)
+	for _, ref := range d.Element("r").ChildRefs() {
+		if !ref.Optional {
+			t.Errorf("choice member %s should be optional", ref.Name)
+		}
+	}
+}
+
+func TestParseRepeatedNameBecomesSetValued(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a,b,a)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`)
+	refs := d.Element("r").ChildRefs()
+	if len(refs) != 2 {
+		t.Fatalf("refs = %v, want deduplicated", refs)
+	}
+	if !refs[0].Repeats {
+		t.Error("name occurring twice must be set-valued")
+	}
+}
+
+func TestParseNestedGroups(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r ((a,b)+,(c|d)*)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>`)
+	refs := d.Element("r").ChildRefs()
+	byName := map[string]ChildRef{}
+	for _, r := range refs {
+		byName[r.Name] = r
+	}
+	if !byName["a"].Repeats || byName["a"].Optional {
+		t.Errorf("a = %+v, want repeating mandatory", byName["a"])
+	}
+	if !byName["c"].Repeats || !byName["c"].Optional {
+		t.Errorf("c = %+v, want repeating optional", byName["c"])
+	}
+}
+
+func TestParseEmptyAndAny(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a,b)><!ELEMENT a EMPTY><!ELEMENT b ANY>`)
+	if d.Element("a").Content != EmptyContent {
+		t.Error("a should be EMPTY")
+	}
+	if d.Element("b").Content != AnyContent {
+		t.Error("b should be ANY")
+	}
+}
+
+func TestParseMixedContent(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA | em | strong)*><!ELEMENT em (#PCDATA)><!ELEMENT strong (#PCDATA)>`)
+	r := d.Element("r")
+	if r.Content != MixedContent {
+		t.Fatalf("content = %v, want mixed", r.Content)
+	}
+	if len(r.MixedNames) != 2 || r.MixedNames[0] != "em" {
+		t.Errorf("MixedNames = %v", r.MixedNames)
+	}
+	for _, ref := range r.ChildRefs() {
+		if !ref.Repeats || !ref.Optional {
+			t.Errorf("mixed ref %s should be repeating optional", ref.Name)
+		}
+	}
+}
+
+func TestParsePCDATAWithTrailingStar(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)*>`)
+	if d.Element("r").Content != PCDATAContent {
+		t.Error("(#PCDATA)* should be simple content")
+	}
+}
+
+func TestParseMixedWithoutStarRejected(t *testing.T) {
+	if _, err := Parse("r", `<!ELEMENT r (#PCDATA|a)>`); err == nil {
+		t.Error("mixed content without trailing '*' must be rejected")
+	}
+}
+
+func TestParseMixedSeparatorRejected(t *testing.T) {
+	if _, err := Parse("r", `<!ELEMENT r (#PCDATA,a)*>`); err == nil {
+		t.Error("',' in mixed content must be rejected")
+	}
+}
+
+func TestParseMixedSeparators(t *testing.T) {
+	if _, err := Parse("r", `<!ELEMENT r (a,b|c)>`); err == nil {
+		t.Error("mixing ',' and '|' in one group must be rejected")
+	}
+}
+
+func TestParseAttlist(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>
+<!ATTLIST r
+  id    ID     #REQUIRED
+  ref   IDREF  #IMPLIED
+  refs  IDREFS #IMPLIED
+  kind  (a|b|c) "a"
+  fixed CDATA  #FIXED "1.0"
+  tok   NMTOKEN #IMPLIED>`)
+	r := d.Element("r")
+	if len(r.Attrs) != 6 {
+		t.Fatalf("attrs = %d, want 6", len(r.Attrs))
+	}
+	byName := map[string]*AttrDecl{}
+	for _, a := range r.Attrs {
+		byName[a.Name] = a
+	}
+	if byName["id"].Type != IDAttr || byName["id"].Default != RequiredDefault {
+		t.Errorf("id = %+v", byName["id"])
+	}
+	if byName["ref"].Type != IDREFAttr {
+		t.Errorf("ref = %+v", byName["ref"])
+	}
+	if byName["kind"].Type != EnumeratedAttr || byName["kind"].DefaultValue != "a" {
+		t.Errorf("kind = %+v", byName["kind"])
+	}
+	if len(byName["kind"].Enum) != 3 {
+		t.Errorf("kind enum = %v", byName["kind"].Enum)
+	}
+	if byName["fixed"].Default != FixedDefault || byName["fixed"].DefaultValue != "1.0" {
+		t.Errorf("fixed = %+v", byName["fixed"])
+	}
+	if !byName["id"].Required() || byName["ref"].Required() {
+		t.Error("Required() wrong")
+	}
+}
+
+func TestParseAttlistBeforeElement(t *testing.T) {
+	d := MustParse("r", `<!ATTLIST r a CDATA #IMPLIED><!ELEMENT q (#PCDATA)>`)
+	if d.Element("r") == nil {
+		t.Fatal("ATTLIST must create placeholder element declaration")
+	}
+	if d.Element("r").AttrByName("a") == nil {
+		t.Error("attribute lost")
+	}
+}
+
+func TestParseAttlistFirstDeclarationWins(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>
+<!ATTLIST r a CDATA "first">
+<!ATTLIST r a CDATA "second">`)
+	if got := d.Element("r").AttrByName("a").DefaultValue; got != "first" {
+		t.Errorf("first attlist declaration must win, got %q", got)
+	}
+}
+
+func TestParseEntities(t *testing.T) {
+	d := MustParse("r", `<!ENTITY cs "Computer Science">
+<!ENTITY logo SYSTEM "logo.gif" NDATA gif>
+<!ENTITY chapter PUBLIC "-//X//EN" "ch.xml">
+<!NOTATION gif SYSTEM "viewer.exe">
+<!ELEMENT r (#PCDATA)>`)
+	if e := d.Entities["cs"]; e == nil || e.Value != "Computer Science" {
+		t.Errorf("cs entity = %+v", e)
+	}
+	if e := d.Entities["logo"]; e == nil || e.NData != "gif" || !e.External() {
+		t.Errorf("logo entity = %+v", e)
+	}
+	if e := d.Entities["chapter"]; e == nil || e.PublicID != "-//X//EN" {
+		t.Errorf("chapter entity = %+v", e)
+	}
+	if d.Notations["gif"] == nil {
+		t.Error("notation lost")
+	}
+}
+
+func TestParseParameterEntityExpansion(t *testing.T) {
+	d := MustParse("r", `<!ENTITY % fields "LName,FName">
+<!ELEMENT r (%fields;,Extra?)>
+<!ELEMENT LName (#PCDATA)><!ELEMENT FName (#PCDATA)><!ELEMENT Extra (#PCDATA)>`)
+	refs := d.Element("r").ChildRefs()
+	if len(refs) != 3 || refs[0].Name != "LName" || refs[1].Name != "FName" {
+		t.Errorf("refs = %v, want parameter entity expanded", refs)
+	}
+}
+
+func TestParseParameterEntityInAttlist(t *testing.T) {
+	d := MustParse("r", `<!ENTITY % reqd "#REQUIRED">
+<!ELEMENT r (#PCDATA)>
+<!ATTLIST r id ID %reqd;>`)
+	if d.Element("r").AttrByName("id").Default != RequiredDefault {
+		t.Error("parameter entity in attlist not expanded")
+	}
+}
+
+func TestParseFirstEntityDeclarationWins(t *testing.T) {
+	d := MustParse("r", `<!ENTITY e "one"><!ENTITY e "two"><!ELEMENT r (#PCDATA)>`)
+	if d.Entities["e"].Value != "one" {
+		t.Error("first entity declaration must win")
+	}
+}
+
+func TestParseConditionalSections(t *testing.T) {
+	d := MustParse("r", `<![INCLUDE[<!ELEMENT r (#PCDATA)>]]><![IGNORE[<!ELEMENT junk (#PCDATA)>]]>`)
+	if d.Element("r") == nil {
+		t.Error("INCLUDE section dropped")
+	}
+	if d.Element("junk") != nil {
+		t.Error("IGNORE section parsed")
+	}
+}
+
+func TestParseCommentsAndPIsSkipped(t *testing.T) {
+	d := MustParse("r", `<!-- a comment --><?pi data?><!ELEMENT r (#PCDATA)>`)
+	if d.Element("r") == nil {
+		t.Error("declarations after comment/PI lost")
+	}
+}
+
+func TestParseDuplicateElementRejected(t *testing.T) {
+	if _, err := Parse("r", `<!ELEMENT r (#PCDATA)><!ELEMENT r (#PCDATA)>`); err == nil {
+		t.Error("duplicate element declaration must be rejected")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		`<!ELEMENT>`,
+		`<!ELEMENT r>`,
+		`<!ELEMENT r (a`,
+		`<!ELEMENT r (a,)>`,
+		`<!ATTLIST r a BOGUS #IMPLIED>`,
+		`<!ATTLIST r a CDATA>`,
+		`<!ENTITY>`,
+		`<!ENTITY e>`,
+		`<!NOTATION n BAD>`,
+		`<!-- unterminated`,
+		`garbage`,
+	}
+	for _, src := range cases {
+		if _, err := Parse("r", src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseErrorHasLineNumber(t *testing.T) {
+	_, err := Parse("r", "<!ELEMENT a (#PCDATA)>\n<!BOGUS>")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var pe *ParseError
+	if !asParseError(err, &pe) {
+		t.Fatalf("error type = %T", err)
+	}
+	if pe.Line != 2 {
+		t.Errorf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("error message %q should mention line", err)
+	}
+}
+
+func asParseError(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestRootCandidates(t *testing.T) {
+	d := MustParse("", universityDTD)
+	roots := d.RootCandidates()
+	if len(roots) != 1 || roots[0] != "University" {
+		t.Errorf("roots = %v, want [University]", roots)
+	}
+}
+
+func TestUndeclaredReferences(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (ghost,a)><!ELEMENT a (#PCDATA)>`)
+	missing := d.UndeclaredReferences()
+	if len(missing) != 1 || missing[0] != "ghost" {
+		t.Errorf("missing = %v, want [ghost]", missing)
+	}
+}
+
+func TestIDAttributes(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>
+<!ATTLIST a key ID #REQUIRED other CDATA #IMPLIED>`)
+	ids := d.IDAttributes()
+	if ids["a"] != "key" {
+		t.Errorf("IDAttributes = %v", ids)
+	}
+}
+
+func TestDTDStringRoundTrip(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	text := d.String()
+	d2, err := Parse("University", text)
+	if err != nil {
+		t.Fatalf("re-parse of String() output: %v\n%s", err, text)
+	}
+	if len(d2.ElementOrder) != len(d.ElementOrder) {
+		t.Errorf("element count changed: %d vs %d", len(d2.ElementOrder), len(d.ElementOrder))
+	}
+	if d2.Entities["cs"] == nil || d2.Entities["cs"].Value != "Computer Science" {
+		t.Error("entity lost in round trip")
+	}
+	// A second round trip must be a fixed point.
+	if d2.String() != text {
+		t.Error("String() is not a fixed point after one round trip")
+	}
+}
+
+func TestParticleString(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r ((a,b)+,(c|d)*)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>
+<!ELEMENT c (#PCDATA)><!ELEMENT d (#PCDATA)>`)
+	got := d.Element("r").Model.String()
+	want := "((a,b)+,(c|d)*)"
+	if got != want {
+		t.Errorf("Model.String() = %q, want %q", got, want)
+	}
+}
+
+func TestOccurrenceHelpers(t *testing.T) {
+	for _, tc := range []struct {
+		o        Occurrence
+		str      string
+		repeats  bool
+		optional bool
+	}{
+		{Once, "", false, false},
+		{Optional, "?", false, true},
+		{ZeroOrMore, "*", true, true},
+		{OneOrMore, "+", true, false},
+	} {
+		if tc.o.String() != tc.str || tc.o.Repeats() != tc.repeats || tc.o.IsOptional() != tc.optional {
+			t.Errorf("occurrence %v helpers wrong", tc.o)
+		}
+	}
+}

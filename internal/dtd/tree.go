@@ -1,0 +1,209 @@
+package dtd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tree is the "DTD DOM tree" of the paper's Fig. 1: an intermediate
+// representation of the document type rooted at the document element.
+// Every node carries the occurrence and optionality constraints of the
+// corresponding content-model position.
+//
+// Trees cannot faithfully represent two DTD phenomena (Section 6.2):
+//
+//   - non-hierarchical relationships — an element type referenced by more
+//     than one parent appears as a *repeated* node (Fig. 3);
+//   - recursive relationships — expansion would never terminate, so
+//     recursive references become back-edge nodes (Recursive=true) that
+//     the mapping layer resolves with REF-valued attributes.
+type Tree struct {
+	// DTD is the source definition.
+	DTD *DTD
+	// Root is the node for the document element.
+	Root *TreeNode
+	// MultiParent lists element names with more than one distinct parent
+	// element type, sorted; these are the Fig. 3 cases.
+	MultiParent []string
+	// RecursiveNames lists element names involved in a recursive cycle,
+	// sorted.
+	RecursiveNames []string
+}
+
+// TreeNode is one node of the DTD tree: an element in the context of a
+// specific parent, annotated with the occurrence constraints of that
+// position.
+type TreeNode struct {
+	// Name is the element type name.
+	Name string
+	// Decl is the element declaration; never nil in a validated tree.
+	Decl *ElementDecl
+	// Repeats marks a set-valued position ('*' or '+', Section 4.2).
+	Repeats bool
+	// Optional marks a nullable position ('?' or '*', Section 4.3).
+	Optional bool
+	// Recursive marks a back-edge: the same element name occurs on the
+	// path from the root to this node, so the subtree is not expanded.
+	Recursive bool
+	// Children are the sub-element nodes in content-model order.
+	Children []*TreeNode
+	// Parent is nil for the root.
+	Parent *TreeNode
+	// Depth is the distance from the root (root = 0).
+	Depth int
+}
+
+// IsSimple reports whether the node's element has (#PCDATA) content.
+func (n *TreeNode) IsSimple() bool { return n.Decl != nil && n.Decl.IsSimple() }
+
+// Path returns the slash-separated element path from the root.
+func (n *TreeNode) Path() string {
+	if n.Parent == nil {
+		return n.Name
+	}
+	return n.Parent.Path() + "/" + n.Name
+}
+
+// BuildTree expands the DTD into its tree representation starting from
+// root. When root is empty, the single root candidate of the DTD is used;
+// it is an error if the DTD has none or several candidates (the caller
+// must disambiguate, as XML2Oracle does via the DOCTYPE name).
+func BuildTree(d *DTD, root string) (*Tree, error) {
+	if root == "" {
+		cands := d.RootCandidates()
+		switch len(cands) {
+		case 1:
+			root = cands[0]
+		case 0:
+			return nil, fmt.Errorf("dtd: no root candidate (every element is referenced; specify the root explicitly)")
+		default:
+			return nil, fmt.Errorf("dtd: ambiguous root, candidates %v (specify the root explicitly)", cands)
+		}
+	}
+	decl := d.Element(root)
+	if decl == nil {
+		return nil, fmt.Errorf("dtd: root element %q is not declared", root)
+	}
+	if missing := d.UndeclaredReferences(); len(missing) > 0 {
+		return nil, fmt.Errorf("dtd: content models reference undeclared elements %v", missing)
+	}
+	t := &Tree{DTD: d}
+	onPath := map[string]bool{}
+	recursive := map[string]bool{}
+	t.Root = expand(d, root, nil, false, false, 0, onPath, recursive)
+
+	// Multi-parent analysis over the declaration graph (not the expanded
+	// tree, which would double-count through repeated subtrees).
+	parents := map[string]map[string]bool{}
+	for _, name := range d.ElementOrder {
+		for _, ref := range d.Elements[name].ChildRefs() {
+			if parents[ref.Name] == nil {
+				parents[ref.Name] = map[string]bool{}
+			}
+			parents[ref.Name][name] = true
+		}
+	}
+	for child, ps := range parents {
+		if len(ps) > 1 {
+			t.MultiParent = append(t.MultiParent, child)
+		}
+	}
+	sort.Strings(t.MultiParent)
+	for name := range recursive {
+		t.RecursiveNames = append(t.RecursiveNames, name)
+	}
+	sort.Strings(t.RecursiveNames)
+	return t, nil
+}
+
+func expand(d *DTD, name string, parent *TreeNode, repeats, optional bool, depth int, onPath, recursive map[string]bool) *TreeNode {
+	node := &TreeNode{
+		Name:     name,
+		Decl:     d.Element(name),
+		Repeats:  repeats,
+		Optional: optional,
+		Parent:   parent,
+		Depth:    depth,
+	}
+	if onPath[name] {
+		node.Recursive = true
+		recursive[name] = true
+		return node
+	}
+	onPath[name] = true
+	defer delete(onPath, name)
+	if node.Decl != nil {
+		for _, ref := range node.Decl.ChildRefs() {
+			child := expand(d, ref.Name, node, ref.Repeats, ref.Optional, depth+1, onPath, recursive)
+			node.Children = append(node.Children, child)
+		}
+	}
+	return node
+}
+
+// Walk visits the tree in depth-first pre-order.
+func (t *Tree) Walk(fn func(*TreeNode)) {
+	var rec func(*TreeNode)
+	rec = func(n *TreeNode) {
+		fn(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// NodeCount returns the number of nodes in the expanded tree.
+func (t *Tree) NodeCount() int {
+	n := 0
+	t.Walk(func(*TreeNode) { n++ })
+	return n
+}
+
+// MaxDepth returns the maximum node depth (root = 0).
+func (t *Tree) MaxDepth() int {
+	max := 0
+	t.Walk(func(n *TreeNode) {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	})
+	return max
+}
+
+// String renders the tree with indentation and occurrence markers, in the
+// style XML2Oracle's GUI displays the DTD DOM tree.
+func (t *Tree) String() string {
+	var sb strings.Builder
+	t.Walk(func(n *TreeNode) {
+		sb.WriteString(strings.Repeat("  ", n.Depth))
+		sb.WriteString(n.Name)
+		switch {
+		case n.Repeats && n.Optional:
+			sb.WriteString("*")
+		case n.Repeats:
+			sb.WriteString("+")
+		case n.Optional:
+			sb.WriteString("?")
+		}
+		if n.Recursive {
+			sb.WriteString(" (recursive)")
+		}
+		if n.IsSimple() {
+			sb.WriteString(" : #PCDATA")
+		}
+		for _, a := range nodeAttrs(n) {
+			sb.WriteString(fmt.Sprintf(" [@%s %s %s]", a.Name, a.Type, a.Default))
+		}
+		sb.WriteString("\n")
+	})
+	return sb.String()
+}
+
+func nodeAttrs(n *TreeNode) []*AttrDecl {
+	if n.Decl == nil {
+		return nil
+	}
+	return n.Decl.Attrs
+}

@@ -1,0 +1,197 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTreeUniversity(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	tree, err := BuildTree(d, "")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if tree.Root.Name != "University" {
+		t.Fatalf("root = %s", tree.Root.Name)
+	}
+	if got := len(tree.Root.Children); got != 2 {
+		t.Fatalf("root children = %d, want 2", got)
+	}
+	student := tree.Root.Children[1]
+	if student.Name != "Student" || !student.Repeats || !student.Optional {
+		t.Errorf("Student node = %+v", student)
+	}
+	course := student.Children[2]
+	if course.Name != "Course" || !course.Repeats {
+		t.Errorf("Course node = %+v", course)
+	}
+	prof := course.Children[1]
+	if prof.Name != "Professor" || !prof.Repeats {
+		t.Errorf("Professor node = %+v", prof)
+	}
+	subject := prof.Children[1]
+	if subject.Name != "Subject" || !subject.Repeats || subject.Optional {
+		t.Errorf("Subject node = %+v (want + : repeats, not optional)", subject)
+	}
+	credit := course.Children[2]
+	if credit.Name != "CreditPts" || credit.Repeats || !credit.Optional {
+		t.Errorf("CreditPts node = %+v (want ? : optional only)", credit)
+	}
+	if !subject.IsSimple() {
+		t.Error("Subject should be simple (#PCDATA)")
+	}
+	if student.IsSimple() {
+		t.Error("Student is complex")
+	}
+}
+
+func TestBuildTreeExplicitRoot(t *testing.T) {
+	d := MustParse("", universityDTD)
+	tree, err := BuildTree(d, "Course")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if tree.Root.Name != "Course" {
+		t.Errorf("root = %s", tree.Root.Name)
+	}
+}
+
+func TestBuildTreeUnknownRoot(t *testing.T) {
+	d := MustParse("", universityDTD)
+	if _, err := BuildTree(d, "Nope"); err == nil {
+		t.Error("unknown root must fail")
+	}
+}
+
+func TestBuildTreeAmbiguousRoot(t *testing.T) {
+	d := MustParse("", `<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`)
+	if _, err := BuildTree(d, ""); err == nil {
+		t.Error("two root candidates without explicit root must fail")
+	}
+	if _, err := BuildTree(d, "a"); err != nil {
+		t.Errorf("explicit root should resolve ambiguity: %v", err)
+	}
+}
+
+func TestBuildTreeUndeclaredReference(t *testing.T) {
+	d := MustParse("", `<!ELEMENT r (ghost)>`)
+	if _, err := BuildTree(d, "r"); err == nil {
+		t.Error("undeclared child reference must fail")
+	}
+}
+
+func TestBuildTreeRecursion(t *testing.T) {
+	// Section 6.2: Professor contains Dept, Dept contains Professor*.
+	d := MustParse("", `
+<!ELEMENT Professor (PName,Dept)>
+<!ELEMENT Dept (DName,Professor*)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT DName (#PCDATA)>`)
+	tree, err := BuildTree(d, "Professor")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	dept := tree.Root.Children[1]
+	if dept.Name != "Dept" {
+		t.Fatalf("dept node = %+v", dept)
+	}
+	backEdge := dept.Children[1]
+	if backEdge.Name != "Professor" || !backEdge.Recursive {
+		t.Errorf("recursive back edge not detected: %+v", backEdge)
+	}
+	if len(backEdge.Children) != 0 {
+		t.Error("recursive node must not be expanded")
+	}
+	if len(tree.RecursiveNames) != 1 || tree.RecursiveNames[0] != "Professor" {
+		t.Errorf("RecursiveNames = %v", tree.RecursiveNames)
+	}
+}
+
+func TestBuildTreeSelfRecursion(t *testing.T) {
+	d := MustParse("", `<!ELEMENT part (name,part*)><!ELEMENT name (#PCDATA)>`)
+	tree, err := BuildTree(d, "part")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	inner := tree.Root.Children[1]
+	if !inner.Recursive {
+		t.Error("self-recursive element not marked")
+	}
+}
+
+func TestBuildTreeMultiParent(t *testing.T) {
+	// Fig. 3: Address appears under both Professor and Student.
+	d := MustParse("", `
+<!ELEMENT Uni (Professor,Student)>
+<!ELEMENT Professor (PName,Address)>
+<!ELEMENT Address (Street,City)>
+<!ELEMENT Student (Address,SName)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>`)
+	tree, err := BuildTree(d, "Uni")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if len(tree.MultiParent) != 1 || tree.MultiParent[0] != "Address" {
+		t.Errorf("MultiParent = %v, want [Address]", tree.MultiParent)
+	}
+	// The shared element appears as a repeated node in the tree (Fig. 3).
+	count := 0
+	tree.Walk(func(n *TreeNode) {
+		if n.Name == "Address" {
+			count++
+		}
+	})
+	if count != 2 {
+		t.Errorf("Address nodes = %d, want 2 (repeated representation)", count)
+	}
+}
+
+func TestTreeNodePath(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	tree, _ := BuildTree(d, "")
+	var subjectPath string
+	tree.Walk(func(n *TreeNode) {
+		if n.Name == "Subject" {
+			subjectPath = n.Path()
+		}
+	})
+	want := "University/Student/Course/Professor/Subject"
+	if subjectPath != want {
+		t.Errorf("Path = %q, want %q", subjectPath, want)
+	}
+}
+
+func TestTreeMetrics(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	tree, _ := BuildTree(d, "")
+	if got := tree.MaxDepth(); got != 4 {
+		t.Errorf("MaxDepth = %d, want 4", got)
+	}
+	// University + StudyCourse + Student + LName + FName + Course + Name +
+	// Professor + PName + Subject + Dept + CreditPts = 12 nodes.
+	if got := tree.NodeCount(); got != 12 {
+		t.Errorf("NodeCount = %d, want 12", got)
+	}
+}
+
+func TestTreeString(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	tree, _ := BuildTree(d, "")
+	s := tree.String()
+	for _, want := range []string{"University", "Student*", "Subject+", "CreditPts?", "#PCDATA", "[@StudNr CDATA #REQUIRED]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tree dump missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTreeStringMarksRecursion(t *testing.T) {
+	d := MustParse("", `<!ELEMENT part (name,part*)><!ELEMENT name (#PCDATA)>`)
+	tree, _ := BuildTree(d, "part")
+	if !strings.Contains(tree.String(), "(recursive)") {
+		t.Error("recursive marker missing from dump")
+	}
+}

@@ -1,0 +1,304 @@
+package dtd
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/xmldom"
+)
+
+// ValidationError collects all validity violations found in a document.
+type ValidationError struct {
+	Violations []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	if len(e.Violations) == 1 {
+		return "dtd: invalid document: " + e.Violations[0]
+	}
+	return fmt.Sprintf("dtd: invalid document: %d violations, first: %s",
+		len(e.Violations), e.Violations[0])
+}
+
+// Validate checks the document against the DTD per XML 1.0 validity:
+// the document element matches the DOCTYPE name, every element's content
+// matches its declared content model, attributes conform to their
+// declarations (required present, enumerations respected, fixed values
+// unchanged), ID values are unique and IDREF/IDREFS values resolve.
+// Missing attributes with declared defaults are filled in (marked
+// Specified=false). A nil error means the document is valid.
+func Validate(d *DTD, doc *xmldom.Document) error {
+	v := &validator{dtd: d}
+	root := doc.Root()
+	if root == nil {
+		v.addf("document has no root element")
+		return v.err()
+	}
+	if d.Name != "" && root.Name != d.Name {
+		v.addf("root element is %q but DOCTYPE declares %q", root.Name, d.Name)
+	}
+	v.element(root)
+	// IDREF resolution is a document-global check.
+	for _, ref := range v.idrefs {
+		if !v.ids[ref.value] {
+			v.addf("%s: IDREF %q does not match any ID", ref.context, ref.value)
+		}
+	}
+	return v.err()
+}
+
+type idref struct {
+	context string
+	value   string
+}
+
+type validator struct {
+	dtd        *DTD
+	violations []string
+	ids        map[string]bool
+	idrefs     []idref
+}
+
+func (v *validator) addf(format string, args ...any) {
+	v.violations = append(v.violations, fmt.Sprintf(format, args...))
+}
+
+func (v *validator) err() error {
+	if len(v.violations) == 0 {
+		return nil
+	}
+	return &ValidationError{Violations: v.violations}
+}
+
+func (v *validator) element(e *xmldom.Element) {
+	decl := v.dtd.Element(e.Name)
+	if decl == nil {
+		v.addf("element %q is not declared", e.Name)
+		return
+	}
+	v.attributes(e, decl)
+	v.content(e, decl)
+	for _, c := range e.Children() {
+		if el, ok := c.(*xmldom.Element); ok {
+			v.element(el)
+		}
+	}
+}
+
+func (v *validator) attributes(e *xmldom.Element, decl *ElementDecl) {
+	for _, a := range e.Attrs {
+		ad := decl.AttrByName(a.Name)
+		if ad == nil {
+			v.addf("element %s: attribute %q is not declared", e.Name, a.Name)
+			continue
+		}
+		switch ad.Type {
+		case IDAttr:
+			if v.ids == nil {
+				v.ids = map[string]bool{}
+			}
+			if v.ids[a.Value] {
+				v.addf("element %s: duplicate ID value %q", e.Name, a.Value)
+			}
+			v.ids[a.Value] = true
+		case IDREFAttr:
+			v.idrefs = append(v.idrefs, idref{context: "element " + e.Name, value: a.Value})
+		case IDREFSAttr:
+			for _, tok := range strings.Fields(a.Value) {
+				v.idrefs = append(v.idrefs, idref{context: "element " + e.Name, value: tok})
+			}
+		case EnumeratedAttr, NotationAttr:
+			ok := false
+			for _, t := range ad.Enum {
+				if t == a.Value {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				v.addf("element %s: attribute %s value %q not in enumeration %v",
+					e.Name, a.Name, a.Value, ad.Enum)
+			}
+		}
+		if ad.Default == FixedDefault && a.Value != ad.DefaultValue {
+			v.addf("element %s: attribute %s is #FIXED %q but has value %q",
+				e.Name, a.Name, ad.DefaultValue, a.Value)
+		}
+	}
+	// Required attributes must appear; defaulted ones are filled in.
+	for _, ad := range decl.Attrs {
+		if _, present := e.Attr(ad.Name); present {
+			continue
+		}
+		switch ad.Default {
+		case RequiredDefault:
+			v.addf("element %s: required attribute %q is missing", e.Name, ad.Name)
+		case FixedDefault, ValueDefault:
+			e.Attrs = append(e.Attrs, xmldom.Attr{Name: ad.Name, Value: ad.DefaultValue, Specified: false})
+		}
+	}
+}
+
+func (v *validator) content(e *xmldom.Element, decl *ElementDecl) {
+	switch decl.Content {
+	case AnyContent:
+		return
+	case EmptyContent:
+		for _, c := range e.Children() {
+			switch n := c.(type) {
+			case *xmldom.Element:
+				v.addf("element %s is declared EMPTY but contains element %s", e.Name, n.Name)
+				return
+			case *xmldom.Text:
+				if !n.IsWhitespace() {
+					v.addf("element %s is declared EMPTY but contains text", e.Name)
+					return
+				}
+			case *xmldom.CDATA, *xmldom.EntityRef:
+				v.addf("element %s is declared EMPTY but contains character data", e.Name)
+				return
+			}
+		}
+	case PCDATAContent:
+		for _, c := range e.Children() {
+			if el, ok := c.(*xmldom.Element); ok {
+				v.addf("element %s has #PCDATA content but contains element %s", e.Name, el.Name)
+				return
+			}
+		}
+	case MixedContent:
+		admitted := map[string]bool{}
+		for _, n := range decl.MixedNames {
+			admitted[n] = true
+		}
+		for _, c := range e.Children() {
+			if el, ok := c.(*xmldom.Element); ok && !admitted[el.Name] {
+				v.addf("element %s: child %s not admitted by mixed content model", e.Name, el.Name)
+			}
+		}
+	case ChildrenContent:
+		var names []string
+		for _, c := range e.Children() {
+			switch n := c.(type) {
+			case *xmldom.Element:
+				names = append(names, n.Name)
+			case *xmldom.Text:
+				if !n.IsWhitespace() {
+					v.addf("element %s has element content but contains text %q",
+						e.Name, truncate(n.Data, 20))
+				}
+			case *xmldom.CDATA:
+				v.addf("element %s has element content but contains a CDATA section", e.Name)
+			}
+		}
+		if !MatchModel(decl.Model, names) {
+			v.addf("element %s: children %v do not match content model %s",
+				e.Name, names, decl.Model)
+		}
+	}
+}
+
+// MatchModel reports whether the sequence of child element names matches
+// the content model particle. The matcher computes, for each particle, the
+// set of input positions reachable after consuming it — a standard
+// position-set (Glushkov-style) evaluation that handles nested groups,
+// choices and all occurrence operators without exponential backtracking.
+func MatchModel(p *Particle, names []string) bool {
+	ends := matchAt(p, names, map[posKey]map[int]bool{}, 0)
+	return ends[len(names)]
+}
+
+type posKey struct {
+	p   *Particle
+	pos int
+}
+
+// matchAt returns the set of positions reachable after matching p starting
+// at position pos. Results are memoized per (particle, position).
+func matchAt(p *Particle, names []string, memo map[posKey]map[int]bool, pos int) map[int]bool {
+	key := posKey{p, pos}
+	if r, ok := memo[key]; ok {
+		return r
+	}
+	// Seed the memo entry to cut cycles on degenerate models.
+	memo[key] = map[int]bool{}
+	base := matchOnce(p, names, memo, pos)
+	result := map[int]bool{}
+	switch p.Occ {
+	case Once:
+		for e := range base {
+			result[e] = true
+		}
+	case Optional:
+		result[pos] = true
+		for e := range base {
+			result[e] = true
+		}
+	case ZeroOrMore, OneOrMore:
+		if p.Occ == ZeroOrMore {
+			result[pos] = true
+		}
+		frontier := base
+		for len(frontier) > 0 {
+			next := map[int]bool{}
+			for e := range frontier {
+				if !result[e] {
+					result[e] = true
+					for e2 := range matchOnce(p, names, memo, e) {
+						if !result[e2] {
+							next[e2] = true
+						}
+					}
+				}
+			}
+			frontier = next
+		}
+	}
+	memo[key] = result
+	return result
+}
+
+// matchOnce matches exactly one instance of the particle body (ignoring
+// its occurrence operator) starting at pos.
+func matchOnce(p *Particle, names []string, memo map[posKey]map[int]bool, pos int) map[int]bool {
+	switch p.Kind {
+	case NameParticle:
+		if pos < len(names) && names[pos] == p.Name {
+			return map[int]bool{pos + 1: true}
+		}
+		return nil
+	case ChoiceParticle:
+		out := map[int]bool{}
+		for _, c := range p.Children {
+			for e := range matchAt(c, names, memo, pos) {
+				out[e] = true
+			}
+		}
+		return out
+	case SeqParticle:
+		current := map[int]bool{pos: true}
+		for _, c := range p.Children {
+			next := map[int]bool{}
+			for s := range current {
+				for e := range matchAt(c, names, memo, s) {
+					next[e] = true
+				}
+			}
+			current = next
+			if len(current) == 0 {
+				return nil
+			}
+		}
+		return current
+	default:
+		return nil
+	}
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

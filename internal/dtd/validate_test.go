@@ -1,0 +1,323 @@
+package dtd
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlordb/internal/xmldom"
+)
+
+// mkDoc builds an xmldom document with root element tree described by a
+// tiny helper structure.
+func elem(name string, children ...xmldom.Node) *xmldom.Element {
+	e := xmldom.NewElement(name)
+	for _, c := range children {
+		e.AppendChild(c)
+	}
+	return e
+}
+
+func text(s string) *xmldom.Text { return xmldom.NewText(s) }
+
+func docWith(root *xmldom.Element) *xmldom.Document {
+	d := xmldom.NewDocument()
+	d.AppendChild(root)
+	return d
+}
+
+func TestValidateUniversitySample(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	student := elem("Student",
+		elem("LName", text("Conrad")),
+		elem("FName", text("Matthias")),
+		elem("Course",
+			elem("Name", text("CAD Intro")),
+			elem("Professor",
+				elem("PName", text("Jaeger")),
+				elem("Subject", text("CAD")),
+				elem("Dept", text("Computer Science"))),
+			elem("CreditPts", text("4"))))
+	student.SetAttr("StudNr", "23374")
+	root := elem("University", elem("StudyCourse", text("Computer Science")), student)
+	if err := Validate(d, docWith(root)); err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+}
+
+func TestValidateRootNameMismatch(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	err := Validate(d, docWith(elem("StudyCourse", text("x"))))
+	if err == nil || !strings.Contains(err.Error(), "DOCTYPE") {
+		t.Errorf("root mismatch not reported: %v", err)
+	}
+}
+
+func TestValidateNoRoot(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>`)
+	if err := Validate(d, xmldom.NewDocument()); err == nil {
+		t.Error("document without root must be invalid")
+	}
+}
+
+func TestValidateUndeclaredElement(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>`)
+	root := elem("r")
+	root.AppendChild(elem("ghost"))
+	err := Validate(d, docWith(root))
+	if err == nil {
+		t.Fatal("undeclared child must be invalid")
+	}
+}
+
+func TestValidateMissingRequiredAttr(t *testing.T) {
+	d := MustParse("University", universityDTD)
+	root := elem("University",
+		elem("StudyCourse", text("CS")),
+		elem("Student", elem("LName", text("x")), elem("FName", text("y"))))
+	err := Validate(d, docWith(root))
+	if err == nil || !strings.Contains(err.Error(), "StudNr") {
+		t.Errorf("missing required attribute not reported: %v", err)
+	}
+}
+
+func TestValidateUndeclaredAttr(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>`)
+	root := elem("r")
+	root.SetAttr("bogus", "1")
+	if err := Validate(d, docWith(root)); err == nil {
+		t.Error("undeclared attribute must be invalid")
+	}
+}
+
+func TestValidateDefaultsFilledIn(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)><!ATTLIST r lang CDATA "en">`)
+	root := elem("r")
+	if err := Validate(d, docWith(root)); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	v, ok := root.Attr("lang")
+	if !ok || v != "en" {
+		t.Fatalf("default not applied: %q %v", v, ok)
+	}
+	for _, a := range root.Attrs {
+		if a.Name == "lang" && a.Specified {
+			t.Error("defaulted attribute must be marked unspecified")
+		}
+	}
+}
+
+func TestValidateFixedViolation(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)><!ATTLIST r v CDATA #FIXED "1.0">`)
+	root := elem("r")
+	root.SetAttr("v", "2.0")
+	if err := Validate(d, docWith(root)); err == nil {
+		t.Error("#FIXED violation must be invalid")
+	}
+}
+
+func TestValidateEnumeration(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)><!ATTLIST r kind (a|b) #REQUIRED>`)
+	ok := elem("r")
+	ok.SetAttr("kind", "a")
+	if err := Validate(d, docWith(ok)); err != nil {
+		t.Errorf("valid enum rejected: %v", err)
+	}
+	bad := elem("r")
+	bad.SetAttr("kind", "z")
+	if err := Validate(d, docWith(bad)); err == nil {
+		t.Error("out-of-enumeration value must be invalid")
+	}
+}
+
+func TestValidateIDUniquenessAndIDREF(t *testing.T) {
+	src := `<!ELEMENT r (p,p,q?)><!ELEMENT p (#PCDATA)><!ELEMENT q (#PCDATA)>
+<!ATTLIST p id ID #REQUIRED>
+<!ATTLIST q ref IDREF #IMPLIED refs IDREFS #IMPLIED>`
+	d := MustParse("r", src)
+
+	mk := func(id1, id2, ref, refs string) *xmldom.Document {
+		p1 := elem("p")
+		p1.SetAttr("id", id1)
+		p2 := elem("p")
+		p2.SetAttr("id", id2)
+		q := elem("q")
+		if ref != "" {
+			q.SetAttr("ref", ref)
+		}
+		if refs != "" {
+			q.SetAttr("refs", refs)
+		}
+		return docWith(elem("r", p1, p2, q))
+	}
+	if err := Validate(d, mk("a", "b", "a", "a b")); err != nil {
+		t.Errorf("valid ID/IDREF rejected: %v", err)
+	}
+	if err := Validate(d, mk("a", "a", "", "")); err == nil {
+		t.Error("duplicate ID must be invalid")
+	}
+	if err := Validate(d, mk("a", "b", "zz", "")); err == nil {
+		t.Error("dangling IDREF must be invalid")
+	}
+	if err := Validate(d, mk("a", "b", "", "a zz")); err == nil {
+		t.Error("dangling IDREFS token must be invalid")
+	}
+}
+
+func TestValidateEmptyContent(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a)><!ELEMENT a EMPTY>`)
+	okDoc := docWith(elem("r", elem("a")))
+	if err := Validate(d, okDoc); err != nil {
+		t.Errorf("valid EMPTY rejected: %v", err)
+	}
+	badDoc := docWith(elem("r", elem("a", text("boo"))))
+	if err := Validate(d, badDoc); err == nil {
+		t.Error("EMPTY element with text must be invalid")
+	}
+}
+
+func TestValidatePCDATARejectsChildren(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA)>`)
+	bad := docWith(elem("r", elem("r")))
+	if err := Validate(d, bad); err == nil {
+		t.Error("#PCDATA element with child element must be invalid")
+	}
+}
+
+func TestValidateMixedContent(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (#PCDATA|em)*><!ELEMENT em (#PCDATA)>`)
+	okDoc := docWith(elem("r", text("a"), elem("em", text("b")), text("c")))
+	if err := Validate(d, okDoc); err != nil {
+		t.Errorf("valid mixed rejected: %v", err)
+	}
+	d2 := MustParse("r", `<!ELEMENT r (#PCDATA|em)*><!ELEMENT em (#PCDATA)><!ELEMENT x (#PCDATA)>`)
+	bad := docWith(elem("r", elem("x")))
+	if err := Validate(d2, bad); err == nil {
+		t.Error("non-admitted element in mixed content must be invalid")
+	}
+}
+
+func TestValidateChildrenContentRejectsText(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>`)
+	bad := docWith(elem("r", text("stray"), elem("a")))
+	if err := Validate(d, bad); err == nil {
+		t.Error("significant text in element content must be invalid")
+	}
+	// Whitespace between children is ignorable.
+	okDoc := docWith(elem("r", text("\n  "), elem("a"), text("\n")))
+	if err := Validate(d, okDoc); err != nil {
+		t.Errorf("ignorable whitespace rejected: %v", err)
+	}
+}
+
+func TestValidateSequenceOrder(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a,b)><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)>`)
+	if err := Validate(d, docWith(elem("r", elem("a"), elem("b")))); err != nil {
+		t.Errorf("in-order rejected: %v", err)
+	}
+	if err := Validate(d, docWith(elem("r", elem("b"), elem("a")))); err == nil {
+		t.Error("out-of-order children must be invalid")
+	}
+	if err := Validate(d, docWith(elem("r", elem("a")))); err == nil {
+		t.Error("missing mandatory child must be invalid")
+	}
+}
+
+func TestMatchModelOperators(t *testing.T) {
+	model := func(src string) *Particle {
+		d := MustParse("r", `<!ELEMENT r `+src+`><!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>`)
+		return d.Element("r").Model
+	}
+	cases := []struct {
+		model string
+		names []string
+		want  bool
+	}{
+		{"(a)", []string{"a"}, true},
+		{"(a)", []string{}, false},
+		{"(a)", []string{"a", "a"}, false},
+		{"(a?)", []string{}, true},
+		{"(a?)", []string{"a"}, true},
+		{"(a*)", []string{}, true},
+		{"(a*)", []string{"a", "a", "a"}, true},
+		{"(a+)", []string{}, false},
+		{"(a+)", []string{"a", "a"}, true},
+		{"(a,b)", []string{"a", "b"}, true},
+		{"(a,b)", []string{"b", "a"}, false},
+		{"(a|b)", []string{"a"}, true},
+		{"(a|b)", []string{"b"}, true},
+		{"(a|b)", []string{"a", "b"}, false},
+		{"((a,b)+)", []string{"a", "b", "a", "b"}, true},
+		{"((a,b)+)", []string{"a", "b", "a"}, false},
+		{"((a|b)*,c)", []string{"c"}, true},
+		{"((a|b)*,c)", []string{"a", "b", "b", "c"}, true},
+		{"((a|b)*,c)", []string{"a", "c", "b"}, false},
+		{"(a,(b|c)?,a*)", []string{"a"}, true},
+		{"(a,(b|c)?,a*)", []string{"a", "c", "a", "a"}, true},
+		{"(a,(b|c)?,a*)", []string{"c", "a"}, false},
+	}
+	for _, tc := range cases {
+		if got := MatchModel(model(tc.model), tc.names); got != tc.want {
+			t.Errorf("MatchModel(%s, %v) = %v, want %v", tc.model, tc.names, got, tc.want)
+		}
+	}
+}
+
+// TestMatchModelGeneratedSequences property-checks the matcher: any
+// sequence *generated from* the model must match, and the same sequence
+// with one extra unknown name must not.
+func TestMatchModelGeneratedSequences(t *testing.T) {
+	d := MustParse("r", `<!ELEMENT r (a,(b|c)*,(d,e)?,f+)>
+<!ELEMENT a (#PCDATA)><!ELEMENT b (#PCDATA)><!ELEMENT c (#PCDATA)>
+<!ELEMENT d (#PCDATA)><!ELEMENT e (#PCDATA)><!ELEMENT f (#PCDATA)>`)
+	model := d.Element("r").Model
+	gen := func(rng *rand.Rand) []string {
+		var out []string
+		out = append(out, "a")
+		for i := rng.Intn(4); i > 0; i-- {
+			if rng.Intn(2) == 0 {
+				out = append(out, "b")
+			} else {
+				out = append(out, "c")
+			}
+		}
+		if rng.Intn(2) == 0 {
+			out = append(out, "d", "e")
+		}
+		for i := 1 + rng.Intn(3); i > 0; i-- {
+			out = append(out, "f")
+		}
+		return out
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		names := gen(rng)
+		if !MatchModel(model, names) {
+			t.Logf("generated sequence rejected: %v", names)
+			return false
+		}
+		// Inserting an unknown name anywhere must break the match.
+		pos := rng.Intn(len(names) + 1)
+		broken := append(append(append([]string{}, names[:pos]...), "zz"), names[pos:]...)
+		if MatchModel(model, broken) {
+			t.Logf("broken sequence accepted: %v", broken)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	e := &ValidationError{Violations: []string{"one"}}
+	if !strings.Contains(e.Error(), "one") {
+		t.Error("single violation message wrong")
+	}
+	e2 := &ValidationError{Violations: []string{"one", "two"}}
+	if !strings.Contains(e2.Error(), "2 violations") {
+		t.Error("multi violation message wrong")
+	}
+}

@@ -1,0 +1,550 @@
+// Package loader populates a generated object-relational schema from XML
+// documents. Under the nested strategy a whole document becomes ONE row
+// of the root table — built with nested type constructors, exactly the
+// single-INSERT property Section 4.1/4.2 of the paper contrasts with
+// relational shredding. Under the REF strategy (Oracle 8) every complex
+// element becomes a row of its own object table, linked by REF-valued
+// attributes, and the document decomposes into many insertions.
+package loader
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/meta"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmldom"
+)
+
+// ErrRefStrategySQL reports that textual INSERT generation is not
+// available for the REF strategy — the difficulty the paper itself
+// describes in Section 4.2 ("it is hard to generate the appropriate
+// INSERT statements" because the referenced object's identifier has to be
+// retrieved first; that is why XML2Oracle introduced the generated unique
+// attribute).
+var ErrRefStrategySQL = errors.New(
+	"loader: SQL text generation requires the nested strategy; REF-linked rows are loaded through the API")
+
+// Loader loads documents conforming to one generated schema.
+type Loader struct {
+	sch *mapping.Schema
+	en  *sql.Engine
+	// Meta, when non-nil, registers each loaded document in TabMetadata
+	// and uses the assigned DocID.
+	Meta *meta.Store
+}
+
+// New returns a loader for the schema over the engine. The schema's DDL
+// script must already have been executed against the engine's database.
+func New(sch *mapping.Schema, en *sql.Engine) *Loader {
+	return &Loader{sch: sch, en: en}
+}
+
+// pendingRef is an IDREF whose target row does not exist yet; path is the
+// index path from the row value slice to the REF slot (indexes descend
+// through object attributes and collection elements).
+type pendingRef struct {
+	id   string
+	path []int
+}
+
+// idrefFixup is a pendingRef bound to its row: an object-table row (table
+// + oid) or, with table == "", the root-table row of the document.
+type idrefFixup struct {
+	table string
+	oid   ordb.OID
+	path  []int
+	id    string
+}
+
+// load carries the state of loading one document.
+type load struct {
+	*Loader
+	docID int
+	// ids maps ID attribute values to the REF of the row carrying them
+	// (Section 4.4 IDREF resolution).
+	ids map[string]ordb.Ref
+	// pending are forward IDREFs of the row currently being built.
+	pending []pendingRef
+	// fixups are pending refs bound to their rows, patched at the end.
+	fixups []idrefFixup
+	// genSeq numbers the generated ID values of StrategyRef.
+	genSeq int
+}
+
+// Load stores the document and returns its DocID.
+func (l *Loader) Load(doc *xmldom.Document, docName string) (int, error) {
+	root := doc.Root()
+	if root == nil {
+		return 0, fmt.Errorf("loader: document has no root element")
+	}
+	if root.Name != l.sch.RootElem {
+		return 0, fmt.Errorf("loader: document root %q does not match schema root %q",
+			root.Name, l.sch.RootElem)
+	}
+	rootTab, err := l.en.DB().Table(l.sch.RootTable)
+	if err != nil {
+		return 0, err
+	}
+	st := &load{Loader: l, ids: map[string]ordb.Ref{}}
+	if l.Meta != nil {
+		id, err := l.Meta.Register(doc, l.sch, docName, "")
+		if err != nil {
+			return 0, err
+		}
+		st.docID = id
+	} else {
+		st.docID = rootTab.RowCount() + 1
+	}
+	rm := l.sch.Elems[root.Name]
+	var rowVals []ordb.Value
+	switch {
+	case rm.StoredByRef:
+		ref, err := st.insertByRef(root, nil)
+		if err != nil {
+			return 0, err
+		}
+		rowVals = []ordb.Value{ordb.Num(st.docID), ref}
+	default:
+		fields, err := st.buildVals(root, rm, nil, []int{1})
+		if err != nil {
+			return 0, err
+		}
+		rowVals = append([]ordb.Value{ordb.Num(st.docID)}, fields...)
+	}
+	if _, err := rootTab.Insert(rowVals); err != nil {
+		return 0, err
+	}
+	// Pending refs remaining at this point live in the root row.
+	for _, p := range st.pending {
+		st.fixups = append(st.fixups, idrefFixup{table: "", path: p.path, id: p.id})
+	}
+	st.pending = nil
+	if err := st.applyFixups(); err != nil {
+		return 0, err
+	}
+	return st.docID, nil
+}
+
+// InsertSQL renders the single nested INSERT statement that loads the
+// document — the artifact the paper shows in Sections 4.1 and 4.2. Only
+// the nested strategy admits it; documents whose schema needs REF rows
+// (recursion, ID targets) are loaded through the API instead.
+func (l *Loader) InsertSQL(doc *xmldom.Document, docID int) (string, error) {
+	if l.sch.Opts.Strategy != mapping.StrategyNested {
+		return "", ErrRefStrategySQL
+	}
+	root := doc.Root()
+	if root == nil {
+		return "", fmt.Errorf("loader: document has no root element")
+	}
+	rm := l.sch.Elems[root.Name]
+	if rm.StoredByRef || len(l.sch.ObjectTables()) > 0 {
+		return "", ErrRefStrategySQL
+	}
+	st := &load{Loader: l, docID: docID, ids: map[string]ordb.Ref{}}
+	vals, err := st.buildVals(root, rm, nil, []int{1})
+	if err != nil {
+		return "", err
+	}
+	parts := make([]string, 0, len(vals)+1)
+	parts = append(parts, fmt.Sprintf("%d", docID))
+	for _, v := range vals {
+		parts = append(parts, v.SQL())
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES(%s)", l.sch.RootTable, strings.Join(parts, ", ")), nil
+}
+
+// textContent returns the character data of an element including the
+// expansions of entity references — the stored form Section 6.1 of the
+// paper describes (entities are expanded at their occurrences).
+func textContent(e *xmldom.Element) string {
+	var sb strings.Builder
+	var rec func(n xmldom.Node)
+	rec = func(n xmldom.Node) {
+		switch m := n.(type) {
+		case *xmldom.Text:
+			sb.WriteString(m.Data)
+		case *xmldom.CDATA:
+			sb.WriteString(m.Data)
+		case *xmldom.EntityRef:
+			sb.WriteString(m.Expansion)
+		case *xmldom.Element:
+			for _, c := range m.Children() {
+				rec(c)
+			}
+		}
+	}
+	for _, c := range e.Children() {
+		rec(c)
+	}
+	return sb.String()
+}
+
+// pathAt extends base with more steps, always copying.
+func pathAt(base []int, steps ...int) []int {
+	out := make([]int, 0, len(base)+len(steps))
+	out = append(out, base...)
+	return append(out, steps...)
+}
+
+// buildVals assembles the field values of el under mapping m. base[i]
+// addressing: the value of field i will live at path pathAt(base[:len-1],
+// base[len-1]+i) — i.e. base points at field 0's slot; subsequent fields
+// shift the final index.
+func (st *load) buildVals(el *xmldom.Element, m *mapping.ElemMapping, parent *ordb.Ref, base []int) ([]ordb.Value, error) {
+	out := make([]ordb.Value, 0, len(m.Fields))
+	for i, f := range m.Fields {
+		p := pathAt(base[:len(base)-1], base[len(base)-1]+i)
+		v, err := st.fieldValue(el, m, f, parent, p)
+		if err != nil {
+			return nil, fmt.Errorf("element %s field %s: %w", el.Name, f.DBName, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// fieldValue computes one field's value; path addresses the slot the
+// value will occupy within the enclosing row.
+func (st *load) fieldValue(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, parent *ordb.Ref, path []int) (ordb.Value, error) {
+	switch f.Kind {
+	case mapping.FieldDocID:
+		return ordb.Num(st.docID), nil
+	case mapping.FieldGenID:
+		st.genSeq++
+		return ordb.Str(fmt.Sprintf("%s#%d", el.Name, st.genSeq)), nil
+	case mapping.FieldParentRef:
+		if parent != nil && parentMatches(f.RefTarget, el) {
+			return *parent, nil
+		}
+		return ordb.Null{}, nil
+	case mapping.FieldAttrList:
+		return st.attrListValue(el, m, path)
+	case mapping.FieldXMLAttr:
+		if v, ok := el.Attr(f.XMLName); ok {
+			return ordb.Str(v), nil
+		}
+		return ordb.Null{}, nil
+	case mapping.FieldIDRef:
+		return st.idrefValue(el, f, path)
+	case mapping.FieldPCDATA, mapping.FieldMixedText:
+		if f.XMLName == el.Name {
+			return ordb.Str(textContent(el)), nil
+		}
+		return st.simpleChild(el, f)
+	case mapping.FieldSimpleChild:
+		return st.simpleChild(el, f)
+	case mapping.FieldComplexChild:
+		return st.complexChild(el, f, path)
+	case mapping.FieldRefChild:
+		return st.refChild(el, f)
+	default:
+		return nil, fmt.Errorf("loader: unhandled field kind %d", f.Kind)
+	}
+}
+
+// parentMatches reports whether the actual parent element of el matches
+// the declared REF target (multi-parent children carry one REF slot per
+// possible parent; only the actual one is filled).
+func parentMatches(target string, el *xmldom.Element) bool {
+	p, ok := el.Parent().(*xmldom.Element)
+	return ok && p.Name == target
+}
+
+func (st *load) idrefValue(el *xmldom.Element, f mapping.Field, path []int) (ordb.Value, error) {
+	v, ok := el.Attr(f.XMLName)
+	if !ok {
+		return ordb.Null{}, nil
+	}
+	if ref, ok := st.ids[v]; ok {
+		return ref, nil
+	}
+	// Forward reference: patched once the target row exists.
+	st.pending = append(st.pending, pendingRef{id: v, path: path})
+	return ordb.Null{}, nil
+}
+
+// attrListValue builds the TypeAttrL_ object for an element.
+func (st *load) attrListValue(el *xmldom.Element, m *mapping.ElemMapping, path []int) (ordb.Value, error) {
+	if len(m.AttrListFields) == 0 {
+		return ordb.Null{}, nil
+	}
+	attrs := make([]ordb.Value, len(m.AttrListFields))
+	for i, af := range m.AttrListFields {
+		switch af.Kind {
+		case mapping.FieldIDRef:
+			v, err := st.idrefValue(el, af, pathAt(path, i))
+			if err != nil {
+				return nil, err
+			}
+			attrs[i] = v
+		default:
+			if v, ok := el.Attr(af.XMLName); ok {
+				attrs[i] = ordb.Str(v)
+			} else {
+				attrs[i] = ordb.Null{}
+			}
+		}
+	}
+	return &ordb.Object{TypeName: m.AttrListTypeName, Attrs: attrs}, nil
+}
+
+// simpleChild maps (collections of) text-valued children.
+func (st *load) simpleChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
+	children := el.ChildElementsNamed(f.XMLName)
+	decl := st.sch.DTD.Element(f.XMLName)
+	empty := decl != nil && decl.Content == dtd.EmptyContent
+	if f.SetValued {
+		elems := make([]ordb.Value, 0, len(children))
+		for _, c := range children {
+			elems = append(elems, simpleValue(c, empty))
+		}
+		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
+	}
+	if len(children) == 0 {
+		return ordb.Null{}, nil
+	}
+	return simpleValue(children[0], empty), nil
+}
+
+func simpleValue(c *xmldom.Element, empty bool) ordb.Value {
+	if empty {
+		return ordb.Str("Y")
+	}
+	return ordb.Str(textContent(c))
+}
+
+// complexChild maps (collections of) embedded object children.
+func (st *load) complexChild(el *xmldom.Element, f mapping.Field, path []int) (ordb.Value, error) {
+	cm := st.sch.Elems[f.XMLName]
+	children := el.ChildElementsNamed(f.XMLName)
+	if f.SetValued {
+		elems := make([]ordb.Value, 0, len(children))
+		for j, c := range children {
+			vals, err := st.buildVals(c, cm, nil, pathAt(path, j, 0))
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, &ordb.Object{TypeName: cm.TypeName, Attrs: vals})
+		}
+		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
+	}
+	if len(children) == 0 {
+		return ordb.Null{}, nil
+	}
+	vals, err := st.buildVals(children[0], cm, nil, pathAt(path, 0))
+	if err != nil {
+		return nil, err
+	}
+	return &ordb.Object{TypeName: cm.TypeName, Attrs: vals}, nil
+}
+
+// refChild maps children stored in their own object tables: the value is
+// a REF (or collection of REFs) to rows inserted recursively.
+func (st *load) refChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
+	children := el.ChildElementsNamed(f.XMLName)
+	if f.SetValued {
+		elems := make([]ordb.Value, 0, len(children))
+		for _, c := range children {
+			ref, err := st.insertByRef(c, nil)
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, ref)
+		}
+		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
+	}
+	if len(children) == 0 {
+		return ordb.Null{}, nil
+	}
+	return st.insertByRef(children[0], nil)
+}
+
+// insertByRef inserts the element (and recursively its subtree) into its
+// object table and returns the REF to the new row. parent is the REF of
+// the containing element's row for StrategyRef back-pointers.
+func (st *load) insertByRef(el *xmldom.Element, parent *ordb.Ref) (ordb.Value, error) {
+	m := st.sch.Elems[el.Name]
+	if m == nil || m.ObjectTable == "" {
+		return nil, fmt.Errorf("loader: element %s has no object table", el.Name)
+	}
+	tab, err := st.en.DB().Table(m.ObjectTable)
+	if err != nil {
+		return nil, err
+	}
+	// Pendings created while building this row belong to this row.
+	savedPending := st.pending
+	st.pending = nil
+	vals, err := st.buildVals(el, m, parent, []int{0})
+	if err != nil {
+		st.pending = savedPending
+		return nil, err
+	}
+	myPending := st.pending
+	st.pending = savedPending
+	oid, err := tab.Insert(vals)
+	if err != nil {
+		return nil, err
+	}
+	ref := ordb.Ref{Table: m.ObjectTable, OID: oid}
+	if m.HasIDAttr != "" {
+		if v, ok := el.Attr(m.HasIDAttr); ok {
+			st.ids[v] = ref
+		}
+	}
+	for _, p := range myPending {
+		st.fixups = append(st.fixups, idrefFixup{table: m.ObjectTable, oid: oid, path: p.path, id: p.id})
+	}
+	// Children whose relationship lives in the child table (the Section
+	// 4.2 Oracle 8 variant) are inserted after the parent so the back
+	// REF resolves, in document order.
+	decl := st.sch.DTD.Element(el.Name)
+	if decl != nil {
+		for _, refd := range decl.ChildRefs() {
+			cm := st.sch.Elems[refd.Name]
+			if cm == nil || !childLivesInChildTable(m, cm, refd.Name) {
+				continue
+			}
+			for _, c := range el.ChildElementsNamed(refd.Name) {
+				if _, err := st.insertByRef(c, &ref); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return ref, nil
+}
+
+// childLivesInChildTable reports the Section 4.2 variant: the child's
+// type carries a parent REF back to this element type and the parent
+// type has no field for the child.
+func childLivesInChildTable(parent, child *mapping.ElemMapping, childName string) bool {
+	if child.ObjectTable == "" {
+		return false
+	}
+	for _, f := range parent.Fields {
+		if f.XMLName == childName {
+			return false // the parent holds the relationship
+		}
+	}
+	for _, f := range child.Fields {
+		if f.Kind == mapping.FieldParentRef && f.RefTarget == parent.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyFixups patches forward IDREFs now that every row exists.
+func (st *load) applyFixups() error {
+	for _, fx := range st.fixups {
+		ref, ok := st.ids[fx.id]
+		if !ok {
+			return fmt.Errorf("loader: IDREF %q does not match any ID in the document", fx.id)
+		}
+		if fx.table == "" {
+			if err := st.patchRootRow(fx, ref); err != nil {
+				return err
+			}
+			continue
+		}
+		tab, err := st.en.DB().Table(fx.table)
+		if err != nil {
+			return err
+		}
+		obj, err := st.en.DB().FetchByOID(fx.table, fx.oid)
+		if err != nil {
+			return err
+		}
+		vals, err := patched(obj.Attrs, fx.path, ref)
+		if err != nil {
+			return err
+		}
+		if err := tab.ReplaceByOID(fx.oid, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (st *load) patchRootRow(fx idrefFixup, ref ordb.Ref) error {
+	rootTab, err := st.en.DB().Table(st.sch.RootTable)
+	if err != nil {
+		return err
+	}
+	var current []ordb.Value
+	rootTab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) == st.docID {
+			current = r.Vals
+			return false
+		}
+		return true
+	})
+	if current == nil {
+		return fmt.Errorf("loader: root row for document %d not found", st.docID)
+	}
+	vals, err := patched(current, fx.path, ref)
+	if err != nil {
+		return err
+	}
+	found, err := rootTab.ReplaceWhere(func(r *ordb.Row) bool {
+		n, ok := r.Vals[0].(ordb.Num)
+		return ok && int(n) == st.docID
+	}, vals)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("loader: root row for document %d vanished", st.docID)
+	}
+	return nil
+}
+
+// patched returns a copy of vals with the value at the index path
+// replaced; the path descends through object attributes and collection
+// elements.
+func patched(vals []ordb.Value, path []int, v ordb.Value) ([]ordb.Value, error) {
+	out := make([]ordb.Value, len(vals))
+	copy(out, vals)
+	if len(path) == 0 {
+		return nil, fmt.Errorf("loader: empty fixup path")
+	}
+	i := path[0]
+	if i < 0 || i >= len(out) {
+		return nil, fmt.Errorf("loader: fixup index %d out of range", i)
+	}
+	if len(path) == 1 {
+		out[i] = v
+		return out, nil
+	}
+	nv, err := patchedValue(out[i], path[1:], v)
+	if err != nil {
+		return nil, err
+	}
+	out[i] = nv
+	return out, nil
+}
+
+func patchedValue(cur ordb.Value, path []int, v ordb.Value) (ordb.Value, error) {
+	switch x := cur.(type) {
+	case *ordb.Object:
+		attrs, err := patched(x.Attrs, path, v)
+		if err != nil {
+			return nil, err
+		}
+		return &ordb.Object{TypeName: x.TypeName, Attrs: attrs}, nil
+	case *ordb.Coll:
+		elems, err := patched(x.Elems, path, v)
+		if err != nil {
+			return nil, err
+		}
+		return &ordb.Coll{TypeName: x.TypeName, Elems: elems}, nil
+	default:
+		return nil, fmt.Errorf("loader: fixup path descends into %T", cur)
+	}
+}

@@ -1,0 +1,736 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/dtd"
+)
+
+// elemClass is the generator's classification of an element type,
+// refining Fig. 2's simple/complex split with the content models the
+// paper treats as special cases.
+type elemClass int
+
+const (
+	// classSimple is (#PCDATA) without attributes: a VARCHAR column in
+	// the parent (Section 4.1).
+	classSimple elemClass = iota
+	// classText is mixed or ANY content without attributes: flattened
+	// to character data with documented information loss (Section 1).
+	classText
+	// classEmpty is EMPTY without attributes: a CHAR(1) presence flag.
+	classEmpty
+	// classObject needs an object type: complex elements, and any
+	// element with XML attributes (Section 4.4).
+	classObject
+)
+
+// generator holds the state of one Generate run.
+type generator struct {
+	opts  Options
+	d     *dtd.DTD
+	tree  *dtd.Tree
+	namer *Namer
+	sch   *Schema
+
+	reachable map[string]bool
+	parents   map[string][]string // child -> distinct parent names
+	setValued map[string]bool     // child is set-valued under some parent
+	recursive map[string]bool
+	idTarget  map[string]bool
+	class     map[string]elemClass
+
+	// collTypes caches generated collection type names per element.
+	collTypes map[string]string
+	// typeStmts and tableStmts are emitted separately so that all object
+	// tables follow all type definitions.
+	fwdStmts   []string
+	typeStmts  []string
+	tableStmts []string
+	done       map[string]bool
+}
+
+// Generate maps the DTD tree to an object-relational schema. The result
+// contains the executable DDL script and the mapping dictionary.
+func Generate(tree *dtd.Tree, opts Options) (*Schema, error) {
+	opts = opts.withDefaults()
+	g := &generator{
+		opts:      opts,
+		d:         tree.DTD,
+		tree:      tree,
+		namer:     NewNamer(opts.SchemaID),
+		reachable: map[string]bool{},
+		parents:   map[string][]string{},
+		setValued: map[string]bool{},
+		recursive: map[string]bool{},
+		idTarget:  map[string]bool{},
+		class:     map[string]elemClass{},
+		collTypes: map[string]string{},
+		done:      map[string]bool{},
+	}
+	g.sch = &Schema{
+		Opts:     opts,
+		DTD:      tree.DTD,
+		Tree:     tree,
+		RootElem: tree.Root.Name,
+		Elems:    map[string]*ElemMapping{},
+		Namer:    g.namer,
+	}
+	g.analyze()
+	if err := g.emitAll(); err != nil {
+		return nil, err
+	}
+	g.sch.Statements = append(append(append([]string{}, g.fwdStmts...), g.typeStmts...), g.tableStmts...)
+	return g.sch, nil
+}
+
+// analyze computes reachability, parent sets, set-valuedness, recursion
+// and classifications over the declaration graph.
+func (g *generator) analyze() {
+	var visit func(name string)
+	visit = func(name string) {
+		if g.reachable[name] {
+			return
+		}
+		g.reachable[name] = true
+		decl := g.d.Element(name)
+		if decl == nil {
+			return
+		}
+		for _, ref := range decl.ChildRefs() {
+			if ref.Repeats {
+				g.setValued[ref.Name] = true
+			}
+			if !containsStr(g.parents[ref.Name], name) {
+				g.parents[ref.Name] = append(g.parents[ref.Name], name)
+			}
+			visit(ref.Name)
+		}
+	}
+	visit(g.tree.Root.Name)
+	for _, n := range g.tree.RecursiveNames {
+		g.recursive[n] = true
+	}
+	for name := range g.reachable {
+		decl := g.d.Element(name)
+		if decl == nil {
+			continue
+		}
+		for _, a := range decl.Attrs {
+			if a.Type == dtd.IDAttr {
+				g.idTarget[name] = true
+			}
+		}
+		g.class[name] = classify(decl)
+	}
+}
+
+func classify(decl *dtd.ElementDecl) elemClass {
+	hasAttrs := len(decl.Attrs) > 0
+	switch decl.Content {
+	case dtd.PCDATAContent:
+		if hasAttrs {
+			return classObject
+		}
+		return classSimple
+	case dtd.MixedContent, dtd.AnyContent:
+		if hasAttrs {
+			return classObject
+		}
+		return classText
+	case dtd.EmptyContent:
+		if hasAttrs {
+			return classObject
+		}
+		return classEmpty
+	default:
+		return classObject
+	}
+}
+
+func containsStr(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// storedByRef reports whether the element lives in its own object table
+// and is linked (rather than embedded).
+func (g *generator) storedByRef(name string) bool {
+	if g.class[name] != classObject {
+		return false
+	}
+	if g.opts.Strategy == StrategyRef {
+		return true // every complex element decomposes under Oracle 8
+	}
+	return g.recursive[name] || g.idTarget[name]
+}
+
+// childStoredInChildTable reports the Section 4.2 variant where the
+// relationship lives in the child as a parent-pointing REF: the Oracle 8
+// workaround for set-valued complex children. ID targets keep
+// parent-side references even under StrategyRef, because shared elements
+// cannot carry a single parent pointer.
+func (g *generator) childStoredInChildTable(child string) bool {
+	return g.opts.Strategy == StrategyRef && g.setValued[child] &&
+		g.class[child] == classObject && !g.idTarget[child]
+}
+
+func (g *generator) varcharSQL() string {
+	if g.opts.UseCLOBForText {
+		return "CLOB"
+	}
+	return fmt.Sprintf("VARCHAR(%d)", g.opts.VarcharLen)
+}
+
+// emitAll walks elements in dependency order and generates all DDL.
+func (g *generator) emitAll() error {
+	// Forward declarations for every REF target, so REF columns can be
+	// declared before the full type definitions (Section 6.2).
+	for _, name := range g.d.ElementOrder {
+		if g.reachable[name] && g.storedByRef(name) {
+			m := g.mappingFor(name)
+			g.fwdStmts = append(g.fwdStmts, fmt.Sprintf("CREATE TYPE %s", m.TypeName))
+		}
+	}
+	if err := g.emitElement(g.tree.Root.Name); err != nil {
+		return err
+	}
+	return g.emitRootTable()
+}
+
+// mappingFor returns (creating on first use) the ElemMapping with the
+// conventional names reserved.
+func (g *generator) mappingFor(name string) *ElemMapping {
+	if m, ok := g.sch.Elems[name]; ok {
+		return m
+	}
+	m := &ElemMapping{Name: name}
+	switch g.class[name] {
+	case classSimple:
+		m.Simple = true
+	case classText:
+		m.Simple = true
+		m.MixedOrAny = true
+	case classEmpty:
+		m.Simple = true
+	case classObject:
+		m.TypeName = g.namer.TypeName(name)
+		decl := g.d.Element(name)
+		if decl.Content == dtd.MixedContent || decl.Content == dtd.AnyContent {
+			m.MixedOrAny = true
+		}
+		for _, a := range decl.Attrs {
+			if a.Type == dtd.IDAttr {
+				m.HasIDAttr = a.Name
+			}
+		}
+	}
+	m.Recursive = g.recursive[name]
+	g.sch.Elems[name] = m
+	return m
+}
+
+// emitElement generates the types for one element and (recursively) its
+// children, children first. Elements already emitted are skipped, which
+// both deduplicates multi-parent elements (Fig. 3) and terminates
+// recursion (Section 6.2).
+func (g *generator) emitElement(name string) error {
+	if g.done[name] {
+		return nil
+	}
+	g.done[name] = true
+	m := g.mappingFor(name)
+	decl := g.d.Element(name)
+	if decl == nil {
+		return fmt.Errorf("mapping: element %q is not declared", name)
+	}
+	// Children first (post-order) so embedded types exist when used.
+	for _, ref := range decl.ChildRefs() {
+		if err := g.emitElement(ref.Name); err != nil {
+			return err
+		}
+	}
+	if g.class[name] != classObject {
+		g.sch.Order = append(g.sch.Order, name)
+		if m.MixedOrAny {
+			g.warnf("element %s has %s content: character data is preserved, embedded markup is flattened",
+				name, contentLabel(decl))
+		}
+		return nil
+	}
+
+	// Attribute list type (Section 4.4).
+	attrFields, attrListStmt := g.buildAttrFields(name, decl, m)
+
+	// Field list of the object type.
+	fields, err := g.buildFields(name, decl, m, attrFields)
+	if err != nil {
+		return err
+	}
+	m.Fields = fields
+
+	if attrListStmt != "" {
+		g.typeStmts = append(g.typeStmts, attrListStmt)
+	}
+	g.typeStmts = append(g.typeStmts, g.objectTypeDDL(m.TypeName, fields, g.storedByRef(name)))
+
+	if g.storedByRef(name) {
+		m.StoredByRef = true
+		m.ObjectTable = g.namer.TableName(name)
+		g.tableStmts = append(g.tableStmts, g.objectTableDDL(m))
+	}
+	g.sch.Order = append(g.sch.Order, name)
+	return nil
+}
+
+func contentLabel(decl *dtd.ElementDecl) string {
+	if decl.Content == dtd.AnyContent {
+		return "ANY"
+	}
+	return "mixed"
+}
+
+// buildAttrFields maps the XML attributes of an element (Section 4.4).
+func (g *generator) buildAttrFields(name string, decl *dtd.ElementDecl, m *ElemMapping) (fields []Field, attrListStmt string) {
+	if len(decl.Attrs) == 0 {
+		return nil, ""
+	}
+	var afs []Field
+	for _, a := range decl.Attrs {
+		f := Field{
+			Kind:     FieldXMLAttr,
+			DBName:   g.namer.AttrName(a.Name),
+			XMLName:  a.Name,
+			Optional: !a.Required(),
+			SQLType:  g.opts.TypeHints[name+"/@"+a.Name],
+		}
+		switch a.Type {
+		case dtd.IDREFAttr:
+			target := g.idrefTarget(name, a.Name)
+			if target != "" {
+				f.Kind = FieldIDRef
+				f.RefTarget = target
+			} else {
+				g.warnf("element %s: IDREF attribute %s has no known target; mapped to VARCHAR, losing its semantics",
+					name, a.Name)
+			}
+		case dtd.IDREFSAttr:
+			g.warnf("element %s: IDREFS attribute %s mapped to VARCHAR (token list)", name, a.Name)
+		}
+		afs = append(afs, f)
+	}
+	if g.opts.InlineAttributes {
+		return afs, ""
+	}
+	m.AttrListTypeName = g.namer.AttrListTypeName(name)
+	m.AttrListFields = afs
+	stmt := g.objectTypeDDLNamed(m.AttrListTypeName, afs)
+	wrapper := Field{
+		Kind:     FieldAttrList,
+		DBName:   g.namer.AttrListName(name),
+		TypeName: m.AttrListTypeName,
+		Optional: true,
+	}
+	return []Field{wrapper}, stmt
+}
+
+// idrefTarget resolves the element an IDREF attribute points to: an
+// explicit option, else the unique ID-bearing element of the DTD.
+func (g *generator) idrefTarget(elem, attr string) string {
+	if t, ok := g.opts.IDRefTargets[elem+"/"+attr]; ok {
+		if g.idTarget[t] {
+			return t
+		}
+		g.warnf("IDRefTargets[%s/%s]=%s: element has no ID attribute; ignored", elem, attr, t)
+		return ""
+	}
+	var only string
+	for t := range g.idTarget {
+		if only != "" {
+			return "" // ambiguous
+		}
+		only = t
+	}
+	return only
+}
+
+// buildFields maps the content model of a complex element (Sections 4.1,
+// 4.2, 4.3).
+func (g *generator) buildFields(name string, decl *dtd.ElementDecl, m *ElemMapping, attrFields []Field) ([]Field, error) {
+	used := map[string]bool{}
+	unique := func(db string) string {
+		cand := db
+		for i := 2; used[strings.ToUpper(cand)]; i++ {
+			cand = capTo(db, fmt.Sprintf("_%d", i))
+		}
+		used[strings.ToUpper(cand)] = true
+		return cand
+	}
+	var fields []Field
+	for i := range attrFields {
+		attrFields[i].DBName = unique(attrFields[i].DBName)
+		fields = append(fields, attrFields[i])
+	}
+	// Simple elements with attributes keep their character content next
+	// to the attribute list (Section 4.4: "the resulting object type is
+	// assigned the simple element").
+	if decl.Content == dtd.PCDATAContent || m.MixedOrAny {
+		fields = append(fields, Field{
+			Kind:     FieldPCDATA,
+			DBName:   unique(g.namer.AttrName(name)),
+			XMLName:  name,
+			Optional: true,
+			SQLType:  g.opts.TypeHints[name],
+		})
+	}
+	if decl.Content == dtd.EmptyContent {
+		// Attribute-only element: nothing beyond the attribute list.
+		return fields, nil
+	}
+	// The generated identity and parent references of StrategyRef. The
+	// paper introduces the unique attribute "for the sole purpose of
+	// simplifying the generation of INSERT operations"; giving it to
+	// every REF-stored type also guarantees non-empty type bodies.
+	if g.opts.Strategy == StrategyRef && g.storedByRef(name) {
+		fields = append(fields, Field{
+			Kind:   FieldGenID,
+			DBName: unique(g.namer.IDName(name)),
+		})
+	}
+	if g.childStoredInChildTable(name) {
+		for _, p := range g.parents[name] {
+			pm := g.mappingFor(p)
+			if pm.TypeName == "" {
+				continue // parent without object type cannot be referenced
+			}
+			fields = append(fields, Field{
+				Kind:      FieldParentRef,
+				DBName:    unique(g.namer.AttrName("Parent" + p)),
+				RefTarget: p,
+				Optional:  true,
+			})
+		}
+	}
+	for _, ref := range decl.ChildRefs() {
+		f, err := g.childField(name, ref)
+		if err != nil {
+			return nil, err
+		}
+		if f == nil {
+			continue // relationship lives in the child's table
+		}
+		f.DBName = unique(f.DBName)
+		fields = append(fields, *f)
+	}
+	return fields, nil
+}
+
+func capTo(base, suffix string) string {
+	if len(base)+len(suffix) > 30 {
+		base = base[:30-len(suffix)]
+	}
+	return base + suffix
+}
+
+// childField maps one parent→child relationship to a field of the parent
+// type, or to nil when the child's table holds the relationship.
+func (g *generator) childField(parent string, ref dtd.ChildRef) (*Field, error) {
+	child := ref.Name
+	cm := g.mappingFor(child)
+	f := &Field{
+		XMLName:   child,
+		DBName:    g.namer.AttrName(child),
+		SetValued: ref.Repeats,
+		Optional:  ref.Optional,
+	}
+	switch g.class[child] {
+	case classSimple, classText:
+		f.Kind = FieldSimpleChild
+		if cm.MixedOrAny {
+			f.Kind = FieldMixedText
+		}
+		f.SQLType = g.opts.TypeHints[child]
+		if ref.Repeats {
+			f.TypeName = g.scalarCollection(child)
+			cm.CollectionTypeName = f.TypeName
+		}
+		return f, nil
+	case classEmpty:
+		f.Kind = FieldSimpleChild
+		if ref.Repeats {
+			// A set of presence flags degenerates to a count; store the
+			// flags as a collection of CHAR(1).
+			f.TypeName = g.scalarCollection(child)
+			cm.CollectionTypeName = f.TypeName
+		}
+		return f, nil
+	case classObject:
+		if g.childStoredInChildTable(child) {
+			// Section 4.2 Oracle 8 workaround: the child table carries
+			// the REF to this parent; the parent type has no field.
+			return nil, nil
+		}
+		if g.storedByRef(child) {
+			f.Kind = FieldRefChild
+			f.RefTarget = child
+			if ref.Repeats {
+				f.TypeName = g.refCollection(child)
+				cm.CollectionTypeName = f.TypeName
+			}
+			return f, nil
+		}
+		// Embedded object (Section 4.1 complex mapping).
+		f.Kind = FieldComplexChild
+		if ref.Repeats {
+			f.TypeName = g.objectCollection(child)
+			f.ElemTypeName = cm.TypeName
+			cm.CollectionTypeName = f.TypeName
+		} else {
+			f.TypeName = cm.TypeName
+		}
+		return f, nil
+	default:
+		return nil, fmt.Errorf("mapping: unclassified element %q", child)
+	}
+}
+
+// scalarCollection emits (once) the collection type for a set-valued
+// simple element and returns its name.
+func (g *generator) scalarCollection(child string) string {
+	if t, ok := g.collTypes[child]; ok {
+		return t
+	}
+	elemSQL := g.varcharSQL()
+	if hint := g.opts.TypeHints[child]; hint != "" {
+		elemSQL = hint
+	}
+	if g.class[child] == classEmpty {
+		elemSQL = "CHAR(1)"
+	}
+	name := g.emitCollection(child, elemSQL)
+	g.collTypes[child] = name
+	return name
+}
+
+// objectCollection emits the collection of an embedded object type.
+func (g *generator) objectCollection(child string) string {
+	if t, ok := g.collTypes[child]; ok {
+		return t
+	}
+	name := g.emitCollection(child, g.mappingFor(child).TypeName)
+	g.collTypes[child] = name
+	return name
+}
+
+// refCollection emits TABLE OF REF for set-valued referenced children
+// (Section 6.2's TabRefProfessor pattern).
+func (g *generator) refCollection(child string) string {
+	if t, ok := g.collTypes[child]; ok {
+		return t
+	}
+	name := g.namer.RefTableName(child)
+	g.typeStmts = append(g.typeStmts,
+		fmt.Sprintf("CREATE TYPE %s AS TABLE OF REF %s", name, g.mappingFor(child).TypeName))
+	g.collTypes[child] = name
+	return name
+}
+
+func (g *generator) emitCollection(child, elemSQL string) string {
+	if g.opts.Collection == CollNestedTable {
+		name := g.namer.NestedTableName(child)
+		g.typeStmts = append(g.typeStmts,
+			fmt.Sprintf("CREATE TYPE %s AS TABLE OF %s", name, elemSQL))
+		return name
+	}
+	name := g.namer.VarrayName(child)
+	g.typeStmts = append(g.typeStmts,
+		fmt.Sprintf("CREATE TYPE %s AS VARRAY(%d) OF %s", name, g.opts.VarrayMax, elemSQL))
+	return name
+}
+
+// objectTypeDDL renders CREATE TYPE ... AS OBJECT for an element type.
+func (g *generator) objectTypeDDL(typeName string, fields []Field, _ bool) string {
+	return g.objectTypeDDLNamed(typeName, fields)
+}
+
+func (g *generator) objectTypeDDLNamed(typeName string, fields []Field) string {
+	var attrs []string
+	for _, f := range fields {
+		attrs = append(attrs, "\t"+f.DBName+" "+g.fieldSQLType(f))
+	}
+	return fmt.Sprintf("CREATE TYPE %s AS OBJECT(\n%s)", typeName, strings.Join(attrs, ",\n"))
+}
+
+// fieldSQLType renders the declared SQL type of a field.
+func (g *generator) fieldSQLType(f Field) string {
+	switch f.Kind {
+	case FieldIDRef, FieldParentRef:
+		return "REF " + g.mappingFor(f.RefTarget).TypeName
+	case FieldRefChild:
+		if f.SetValued {
+			return f.TypeName // TABLE OF REF type
+		}
+		return "REF " + g.mappingFor(f.RefTarget).TypeName
+	case FieldAttrList:
+		return f.TypeName
+	case FieldGenID:
+		return g.varchar()
+	case FieldDocID:
+		return "INTEGER"
+	default:
+		if f.TypeName != "" {
+			return f.TypeName
+		}
+		if f.Kind == FieldSimpleChild && g.class[f.XMLName] == classEmpty {
+			return "CHAR(1)"
+		}
+		if f.SQLType != "" {
+			return f.SQLType
+		}
+		return g.varchar()
+	}
+}
+
+func (g *generator) varchar() string { return g.varcharSQL() }
+
+// objectTableDDL renders CREATE TABLE t OF type with the constraints the
+// paper derives: NOT NULL for mandatory simple content (Section 4.3),
+// plus optional CHECK constraints for nested mandatory content.
+func (g *generator) objectTableDDL(m *ElemMapping) string {
+	var body []string
+	for _, f := range m.Fields {
+		if g.fieldNotNull(f) {
+			body = append(body, "\t"+f.DBName+" NOT NULL")
+		}
+	}
+	if g.opts.EmitNestedChecks {
+		body = append(body, g.nestedChecks(m)...)
+	}
+	ddl := fmt.Sprintf("CREATE TABLE %s OF %s", m.ObjectTable, m.TypeName)
+	if len(body) > 0 {
+		ddl += "(\n" + strings.Join(body, ",\n") + ")"
+	}
+	ddl += g.storageClauses(m.Fields)
+	return ddl
+}
+
+// fieldNotNull decides whether a field takes a NOT NULL constraint:
+// mandatory, not set-valued (collections cannot be NOT NULL, Section
+// 4.3), and scalar or REF valued.
+func (g *generator) fieldNotNull(f Field) bool {
+	if f.Optional || f.SetValued {
+		return false
+	}
+	switch f.Kind {
+	case FieldSimpleChild, FieldMixedText, FieldRefChild, FieldPCDATA:
+		return !f.Optional && f.Kind != FieldPCDATA
+	case FieldXMLAttr:
+		return true // only non-optional (i.e. #REQUIRED) reach here
+	case FieldComplexChild:
+		// NOT NULL on an object column is expressible at table level.
+		return true
+	default:
+		return false
+	}
+}
+
+// nestedChecks emits the Section 4.3 CHECK constraints for mandatory
+// subelements of optional complex children — reproducing the construct
+// the paper shows and then advises against.
+func (g *generator) nestedChecks(m *ElemMapping) []string {
+	var out []string
+	for _, f := range m.Fields {
+		if f.Kind != FieldComplexChild || f.SetValued || !f.Optional {
+			continue
+		}
+		cm := g.sch.Elems[f.XMLName]
+		if cm == nil {
+			continue
+		}
+		for _, cf := range cm.Fields {
+			if g.fieldNotNull(cf) {
+				out = append(out, fmt.Sprintf("\tCHECK (%s.%s IS NOT NULL)", f.DBName, cf.DBName))
+			}
+		}
+	}
+	return out
+}
+
+// storageClauses renders NESTED TABLE ... STORE AS clauses for
+// nested-table-typed direct columns (both Type_Tab element collections
+// and TabRef REF collections need them, matching Oracle's requirement).
+func (g *generator) storageClauses(fields []Field) string {
+	var sb strings.Builder
+	for _, f := range fields {
+		if !f.SetValued || f.TypeName == "" {
+			continue
+		}
+		if strings.HasPrefix(f.TypeName, PrefixNestedTable) || strings.HasPrefix(f.TypeName, PrefixRefTable) {
+			store := g.namer.Name(PrefixTable, f.XMLName+"_List")
+			fmt.Fprintf(&sb, "\n\tNESTED TABLE %s STORE AS %s", f.DBName, store)
+		}
+	}
+	return sb.String()
+}
+
+// emitRootTable generates the document table for the root element. For a
+// by-ref root (recursive or Oracle 8 strategy) the table holds a DocID
+// and a REF to the root row object; otherwise the root element's fields
+// become the table columns directly, as in the paper's TabUniversity
+// example.
+func (g *generator) emitRootTable() error {
+	root := g.tree.Root.Name
+	m := g.sch.Elems[root]
+	switch {
+	case g.class[root] != classObject:
+		// Degenerate document: a simple root element. The loader
+		// prepends the DocID column, so the mapping lists only the
+		// content field.
+		g.sch.RootTable = g.namer.TableName(root)
+		f := Field{
+			Kind: FieldPCDATA, DBName: g.namer.AttrName(root),
+			XMLName: root, Optional: true,
+			SQLType: g.opts.TypeHints[root],
+		}
+		m.Fields = []Field{f}
+		g.tableStmts = append(g.tableStmts, fmt.Sprintf(
+			"CREATE TABLE %s(\n\tDocID INTEGER,\n\t%s %s)",
+			g.sch.RootTable, f.DBName, g.fieldSQLType(f)))
+		return nil
+	case m.StoredByRef:
+		g.sch.RootTable = g.namer.TableName(root + "Doc")
+		g.tableStmts = append(g.tableStmts, fmt.Sprintf(
+			"CREATE TABLE %s(\n\tDocID INTEGER,\n\t%s REF %s)",
+			g.sch.RootTable, g.namer.AttrName(root), m.TypeName))
+		return nil
+	default:
+		g.sch.RootTable = g.namer.TableName(root)
+		var cols []string
+		cols = append(cols, "\tDocID INTEGER")
+		var body []string
+		for _, f := range m.Fields {
+			col := "\t" + f.DBName + " " + g.fieldSQLType(f)
+			if g.fieldNotNull(f) {
+				col += " NOT NULL"
+			}
+			cols = append(cols, col)
+		}
+		if g.opts.EmitNestedChecks {
+			body = g.nestedChecks(m)
+		}
+		all := strings.Join(append(cols, body...), ",\n")
+		ddl := fmt.Sprintf("CREATE TABLE %s(\n%s)", g.sch.RootTable, all)
+		ddl += g.storageClauses(m.Fields)
+		g.tableStmts = append(g.tableStmts, ddl)
+		return nil
+	}
+}
+
+func (g *generator) warnf(format string, args ...any) {
+	g.sch.Warnings = append(g.sch.Warnings, fmt.Sprintf(format, args...))
+}

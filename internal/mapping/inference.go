@@ -1,0 +1,74 @@
+package mapping
+
+import (
+	"strings"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/xmldom"
+)
+
+// InferIDRefTargets determines which element type each IDREF attribute
+// references by inspecting an actual document — implementing the paper's
+// Section 4.4 observation: "This mapping rule requires determining in
+// advance which ID attribute is referenced by an IDREF value. This kind
+// of information cannot be captured from the DTD, rather from the XML
+// document."
+//
+// The result maps "Element/attr" keys to the referenced element name and
+// feeds Options.IDRefTargets. An IDREF attribute whose occurrences point
+// at elements of different types is ambiguous and omitted (it falls back
+// to a VARCHAR column, as the paper notes a naive mapping would).
+func InferIDRefTargets(d *dtd.DTD, doc *xmldom.Document) map[string]string {
+	// Index ID values to the element type carrying them.
+	idOwner := map[string]string{}
+	idAttrs := d.IDAttributes()
+	xmldom.Walk(doc, func(n xmldom.Node) bool {
+		el, ok := n.(*xmldom.Element)
+		if !ok {
+			return true
+		}
+		if attr, has := idAttrs[el.Name]; has {
+			if v, ok := el.Attr(attr); ok {
+				idOwner[v] = el.Name
+			}
+		}
+		return true
+	})
+	// Resolve every IDREF occurrence and keep the unambiguous ones.
+	candidates := map[string]string{}
+	ambiguous := map[string]bool{}
+	xmldom.Walk(doc, func(n xmldom.Node) bool {
+		el, ok := n.(*xmldom.Element)
+		if !ok {
+			return true
+		}
+		decl := d.Element(el.Name)
+		if decl == nil {
+			return true
+		}
+		for _, ad := range decl.Attrs {
+			if ad.Type != dtd.IDREFAttr {
+				continue
+			}
+			v, has := el.Attr(ad.Name)
+			if !has {
+				continue
+			}
+			target, known := idOwner[strings.TrimSpace(v)]
+			if !known {
+				continue
+			}
+			key := el.Name + "/" + ad.Name
+			if prev, seen := candidates[key]; seen && prev != target {
+				ambiguous[key] = true
+				continue
+			}
+			candidates[key] = target
+		}
+		return true
+	})
+	for key := range ambiguous {
+		delete(candidates, key)
+	}
+	return candidates
+}

@@ -1,0 +1,558 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmlparser"
+)
+
+// universityDTD is Appendix A of the paper.
+const universityDTD = `
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+`
+
+func universityTree(t *testing.T) *dtd.Tree {
+	t.Helper()
+	d := dtd.MustParse("University", universityDTD)
+	tree, err := dtd.BuildTree(d, "")
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	return tree
+}
+
+// generate maps and executes the script, returning schema and engine.
+func generate(t *testing.T, tree *dtd.Tree, opts Options, mode ordb.Mode) (*Schema, *sql.Engine) {
+	t.Helper()
+	sch, err := Generate(tree, opts)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	en := sql.NewEngine(ordb.New(mode))
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		t.Fatalf("script does not execute: %v\nscript:\n%s", err, sch.Script())
+	}
+	return sch, en
+}
+
+func TestGenerateUniversityNested(t *testing.T) {
+	sch, en := generate(t, universityTree(t), Options{Strategy: StrategyNested}, ordb.ModeOracle9)
+	if sch.RootTable != "TabUniversity" {
+		t.Errorf("root table = %q", sch.RootTable)
+	}
+	script := sch.Script()
+	for _, want := range []string{
+		"CREATE TYPE TypeVA_Subject AS VARRAY(100) OF VARCHAR(4000)",
+		"CREATE TYPE Type_Professor AS OBJECT",
+		"CREATE TYPE TypeVA_Professor AS VARRAY(100) OF Type_Professor",
+		"CREATE TYPE Type_Course AS OBJECT",
+		"CREATE TYPE TypeVA_Course AS VARRAY(100) OF Type_Course",
+		"CREATE TYPE Type_Student AS OBJECT",
+		"CREATE TYPE TypeVA_Student AS VARRAY(100) OF Type_Student",
+		"CREATE TYPE TypeAttrL_Student AS OBJECT",
+		"CREATE TABLE TabUniversity",
+		"attrStudyCourse VARCHAR(4000) NOT NULL",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q\n%s", want, script)
+		}
+	}
+	// No object tables under the nested strategy for this DTD.
+	if got := len(sch.ObjectTables()); got != 0 {
+		t.Errorf("object tables = %d, want 0", got)
+	}
+	// The schema catalog contains exactly the expected object counts.
+	types, tables, _, _ := en.DB().SchemaObjectCount()
+	if tables != 1 {
+		t.Errorf("tables = %d, want 1", tables)
+	}
+	if types < 8 {
+		t.Errorf("types = %d, want >= 8", types)
+	}
+	// Optionality: CreditPts? must NOT be NOT NULL; Name must be.
+	course, _ := sch.Mapping("Course")
+	byName := map[string]Field{}
+	for _, f := range course.Fields {
+		byName[f.XMLName] = f
+	}
+	if !byName["CreditPts"].Optional {
+		t.Error("CreditPts? must be optional")
+	}
+	if byName["Name"].Optional {
+		t.Error("Name must be mandatory")
+	}
+	if !byName["Professor"].SetValued || !byName["Professor"].Optional {
+		t.Error("Professor* must be set-valued optional")
+	}
+	prof, _ := sch.Mapping("Professor")
+	for _, f := range prof.Fields {
+		if f.XMLName == "Subject" {
+			if !f.SetValued || f.Optional {
+				t.Error("Subject+ must be set-valued mandatory")
+			}
+		}
+	}
+}
+
+func TestGenerateUniversityRefStrategy(t *testing.T) {
+	sch, en := generate(t, universityTree(t), Options{Strategy: StrategyRef}, ordb.ModeOracle8)
+	script := sch.Script()
+	// Under Oracle 8 every complex element gets an object table.
+	for _, want := range []string{
+		"CREATE TABLE TabUniversity", // root doc table name differs; see below
+		"CREATE TABLE TabStudent OF Type_Student",
+		"CREATE TABLE TabCourse OF Type_Course",
+		"CREATE TABLE TabProfessor OF Type_Professor",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q\n%s", want, script)
+		}
+	}
+	// Set-valued complex children carry parent REFs and generated IDs.
+	student, _ := sch.Mapping("Student")
+	var hasGenID, hasParentRef bool
+	for _, f := range student.Fields {
+		if f.Kind == FieldGenID {
+			hasGenID = true
+		}
+		if f.Kind == FieldParentRef && f.RefTarget == "University" {
+			hasParentRef = true
+		}
+	}
+	if !hasGenID || !hasParentRef {
+		t.Errorf("StrategyRef student fields = %+v", student.Fields)
+	}
+	// Simple set-valued children still use flat collections (legal in
+	// Oracle 8): Subject+ inside Type_Professor.
+	if !strings.Contains(script, "TypeVA_Subject") {
+		t.Error("flat VARRAY for Subject+ missing")
+	}
+	// The whole script executed against ModeOracle8 — no nested
+	// collections were generated (generate() would have failed).
+	_, tables, _, _ := en.DB().SchemaObjectCount()
+	if tables < 5 {
+		t.Errorf("tables = %d, want >= 5 (doc + 4 object tables)", tables)
+	}
+}
+
+func TestGenerateNamingConventions(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{}, ordb.ModeOracle9)
+	student, _ := sch.Mapping("Student")
+	if student.TypeName != "Type_Student" {
+		t.Errorf("TypeName = %q", student.TypeName)
+	}
+	if student.AttrListTypeName != "TypeAttrL_Student" {
+		t.Errorf("AttrListTypeName = %q", student.AttrListTypeName)
+	}
+	if student.CollectionTypeName != "TypeVA_Student" {
+		t.Errorf("CollectionTypeName = %q", student.CollectionTypeName)
+	}
+	if len(student.AttrListFields) != 1 || student.AttrListFields[0].DBName != "attrStudNr" {
+		t.Errorf("AttrListFields = %+v", student.AttrListFields)
+	}
+	var wrapper *Field
+	for i := range student.Fields {
+		if student.Fields[i].Kind == FieldAttrList {
+			wrapper = &student.Fields[i]
+		}
+	}
+	if wrapper == nil || wrapper.DBName != "attrListStudent" {
+		t.Errorf("attrList wrapper = %+v", wrapper)
+	}
+}
+
+func TestGenerateInlineAttributes(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{InlineAttributes: true}, ordb.ModeOracle9)
+	student, _ := sch.Mapping("Student")
+	if student.AttrListTypeName != "" {
+		t.Error("InlineAttributes must not create TypeAttrL_")
+	}
+	found := false
+	for _, f := range student.Fields {
+		if f.Kind == FieldXMLAttr && f.DBName == "attrStudNr" {
+			found = true
+			if f.Optional {
+				t.Error("#REQUIRED attribute must be mandatory")
+			}
+		}
+	}
+	if !found {
+		t.Errorf("inlined attribute missing: %+v", student.Fields)
+	}
+}
+
+func TestGenerateNestedTableCollections(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{Collection: CollNestedTable}, ordb.ModeOracle9)
+	script := sch.Script()
+	if !strings.Contains(script, "CREATE TYPE Type_TabSubject AS TABLE OF VARCHAR(4000)") {
+		t.Errorf("nested table type missing:\n%s", script)
+	}
+	if !strings.Contains(script, "NESTED TABLE attrStudent STORE AS") {
+		t.Errorf("STORE AS clause missing:\n%s", script)
+	}
+}
+
+func TestGenerateRecursion(t *testing.T) {
+	// Section 6.2's Professor/Dept recursion.
+	d := dtd.MustParse("", `
+<!ELEMENT Professor (PName,Dept)>
+<!ELEMENT Dept (DName,Professor*)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT DName (#PCDATA)>`)
+	tree, err := dtd.BuildTree(d, "Professor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, en := generate(t, tree, Options{}, ordb.ModeOracle9)
+	script := sch.Script()
+	for _, want := range []string{
+		"CREATE TYPE Type_Professor;", // forward declaration
+		"CREATE TYPE TabRefProfessor AS TABLE OF REF Type_Professor",
+		"CREATE TABLE TabProfessor OF Type_Professor",
+	} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q\n%s", want, script)
+		}
+	}
+	prof, _ := sch.Mapping("Professor")
+	if !prof.StoredByRef || !prof.Recursive {
+		t.Errorf("Professor mapping = %+v", prof)
+	}
+	// Root is by-ref: the doc table holds a REF.
+	if !strings.Contains(script, "REF Type_Professor)") {
+		t.Errorf("root doc table must hold a REF:\n%s", script)
+	}
+	if sch.RootTable == prof.ObjectTable {
+		t.Error("doc table and object table must differ")
+	}
+	_ = en
+}
+
+func TestGenerateMultiParent(t *testing.T) {
+	// Fig. 3: Address under Professor and Student.
+	d := dtd.MustParse("", `
+<!ELEMENT Uni (Professor,Student)>
+<!ELEMENT Professor (PName,Address)>
+<!ELEMENT Address (Street,City)>
+<!ELEMENT Student (Address,SName)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "Uni")
+	sch, _ := generate(t, tree, Options{}, ordb.ModeOracle9)
+	// One single Type_Address despite two parents.
+	count := strings.Count(sch.Script(), "CREATE TYPE Type_Address AS OBJECT")
+	if count != 1 {
+		t.Errorf("Type_Address defined %d times, want 1", count)
+	}
+	// Both parents embed it.
+	for _, parent := range []string{"Professor", "Student"} {
+		m, _ := sch.Mapping(parent)
+		found := false
+		for _, f := range m.Fields {
+			if f.XMLName == "Address" && f.Kind == FieldComplexChild && f.TypeName == "Type_Address" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s does not embed Address: %+v", parent, m.Fields)
+		}
+	}
+}
+
+func TestGenerateIDRef(t *testing.T) {
+	d := dtd.MustParse("", `
+<!ELEMENT Library (Book*,Author*)>
+<!ELEMENT Book (Title)>
+<!ATTLIST Book writer IDREF #REQUIRED>
+<!ELEMENT Author (AName)>
+<!ATTLIST Author key ID #REQUIRED>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT AName (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "Library")
+	sch, _ := generate(t, tree, Options{}, ordb.ModeOracle9)
+	author, _ := sch.Mapping("Author")
+	if !author.StoredByRef || author.ObjectTable == "" {
+		t.Errorf("ID target must live in an object table: %+v", author)
+	}
+	if author.HasIDAttr != "key" {
+		t.Errorf("HasIDAttr = %q", author.HasIDAttr)
+	}
+	book, _ := sch.Mapping("Book")
+	var idref *Field
+	for i := range book.AttrListFields {
+		if book.AttrListFields[i].Kind == FieldIDRef {
+			idref = &book.AttrListFields[i]
+		}
+	}
+	if idref == nil || idref.RefTarget != "Author" {
+		t.Errorf("IDREF field = %+v", idref)
+	}
+	// Library embeds Authors as a collection of REFs.
+	lib, _ := sch.Mapping("Library")
+	var refColl *Field
+	for i := range lib.Fields {
+		if lib.Fields[i].XMLName == "Author" {
+			refColl = &lib.Fields[i]
+		}
+	}
+	if refColl == nil || refColl.Kind != FieldRefChild || !refColl.SetValued {
+		t.Errorf("Author field in Library = %+v", refColl)
+	}
+	if !strings.Contains(sch.Script(), "TabRefAuthor") {
+		t.Errorf("TABLE OF REF for authors missing:\n%s", sch.Script())
+	}
+}
+
+func TestGenerateIDRefUnresolvedFallsBack(t *testing.T) {
+	// Two ID-bearing elements: the target is ambiguous without hints.
+	d := dtd.MustParse("", `
+<!ELEMENT R (A*,B*,C*)>
+<!ELEMENT A (#PCDATA)><!ATTLIST A id ID #REQUIRED>
+<!ELEMENT B (#PCDATA)><!ATTLIST B id ID #REQUIRED>
+<!ELEMENT C (#PCDATA)><!ATTLIST C r IDREF #IMPLIED>`)
+	tree, _ := dtd.BuildTree(d, "R")
+	sch, _ := generate(t, tree, Options{}, ordb.ModeOracle9)
+	c, _ := sch.Mapping("C")
+	for _, f := range c.AttrListFields {
+		if f.XMLName == "r" && f.Kind == FieldIDRef {
+			t.Error("ambiguous IDREF must fall back to VARCHAR")
+		}
+	}
+	if len(sch.Warnings) == 0 {
+		t.Error("fallback must be recorded as a warning")
+	}
+	// With an explicit hint it resolves.
+	sch2, _ := generate(t, tree, Options{IDRefTargets: map[string]string{"C/r": "B"}}, ordb.ModeOracle9)
+	c2, _ := sch2.Mapping("C")
+	found := false
+	for _, f := range c2.AttrListFields {
+		if f.XMLName == "r" && f.Kind == FieldIDRef && f.RefTarget == "B" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hinted IDREF not resolved: %+v", c2.AttrListFields)
+	}
+}
+
+func TestGenerateMixedContentWarns(t *testing.T) {
+	d := dtd.MustParse("", `
+<!ELEMENT doc (para+)>
+<!ELEMENT para (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "doc")
+	sch, _ := generate(t, tree, Options{}, ordb.ModeOracle9)
+	para, _ := sch.Mapping("para")
+	if !para.MixedOrAny || !para.Simple {
+		t.Errorf("mixed element mapping = %+v", para)
+	}
+	warned := false
+	for _, w := range sch.Warnings {
+		if strings.Contains(w, "mixed") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("no mixed-content warning: %v", sch.Warnings)
+	}
+}
+
+func TestGenerateEmptyElements(t *testing.T) {
+	d := dtd.MustParse("", `
+<!ELEMENT doc (flag?,hr*)>
+<!ELEMENT flag EMPTY>
+<!ELEMENT hr EMPTY>`)
+	tree, _ := dtd.BuildTree(d, "doc")
+	sch, en := generate(t, tree, Options{}, ordb.ModeOracle9)
+	if !strings.Contains(sch.Script(), "CHAR(1)") {
+		t.Errorf("EMPTY elements should map to CHAR(1) flags:\n%s", sch.Script())
+	}
+	_ = en
+}
+
+func TestGenerateCLOBOption(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{UseCLOBForText: true}, ordb.ModeOracle9)
+	if !strings.Contains(sch.Script(), "CLOB") {
+		t.Error("UseCLOBForText did not emit CLOB columns")
+	}
+}
+
+func TestGenerateSchemaID(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{SchemaID: "S1_"}, ordb.ModeOracle9)
+	if sch.RootTable != "TabS1_University" {
+		t.Errorf("root table = %q", sch.RootTable)
+	}
+	student, _ := sch.Mapping("Student")
+	if student.TypeName != "Type_S1_Student" {
+		t.Errorf("student type = %q", student.TypeName)
+	}
+}
+
+func TestGenerateEmitNestedChecks(t *testing.T) {
+	// Section 4.3: Course(Name, Address?), Address(Street, City) where
+	// Street is mandatory inside the optional Address.
+	d := dtd.MustParse("", `
+<!ELEMENT Course (Name,Address?)>
+<!ELEMENT Address (Street,City)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "Course")
+	sch, _ := generate(t, tree, Options{EmitNestedChecks: true}, ordb.ModeOracle9)
+	if !strings.Contains(sch.Script(), "CHECK (attrAddress.attrStreet IS NOT NULL)") {
+		t.Errorf("nested CHECK missing:\n%s", sch.Script())
+	}
+	// Default: no nested checks (the paper's recommendation).
+	sch2, _ := generate(t, tree, Options{}, ordb.ModeOracle9)
+	if strings.Contains(sch2.Script(), "CHECK") {
+		t.Error("nested CHECK emitted by default")
+	}
+}
+
+func TestGenerateLongNamesTruncated(t *testing.T) {
+	longName := strings.Repeat("VeryLongElementName", 3) // 57 chars
+	d := dtd.MustParse("", `<!ELEMENT root (`+longName+`*)><!ELEMENT `+longName+` (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "root")
+	sch, en := generate(t, tree, Options{}, ordb.ModeOracle9)
+	for _, stmt := range sch.Statements {
+		_ = stmt
+	}
+	_ = en // script executed without identifier-length errors
+	root, _ := sch.Mapping("root")
+	for _, f := range root.Fields {
+		if len(f.DBName) > ordb.MaxIdentLen {
+			t.Errorf("column name too long: %q", f.DBName)
+		}
+		if f.TypeName != "" && len(f.TypeName) > ordb.MaxIdentLen {
+			t.Errorf("type name too long: %q", f.TypeName)
+		}
+	}
+}
+
+func TestNamerUniquing(t *testing.T) {
+	n := NewNamer("")
+	a := n.Name("Type_", "Item")
+	b := n.Name("Type_", "Item")
+	if a == b {
+		t.Errorf("duplicate names not uniqued: %q %q", a, b)
+	}
+	if a != "Type_Item" || b != "Type_Item_2" {
+		t.Errorf("names = %q, %q", a, b)
+	}
+	// Truncation uniquing.
+	long1 := n.Name("Type_", strings.Repeat("A", 40))
+	long2 := n.Name("Type_", strings.Repeat("A", 41))
+	if long1 == long2 {
+		t.Error("truncated names collide")
+	}
+	if len(long1) > ordb.MaxIdentLen || len(long2) > ordb.MaxIdentLen {
+		t.Error("names exceed limit")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"simple":      "simple",
+		"with-dash":   "with_dash",
+		"with.dot":    "with_dot",
+		"ns:local":    "ns_local",
+		"123num":      "X123num",
+		"ähnlich":     "_hnlich",
+		"":            "X",
+		"_underscore": "_underscore",
+	} {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestNamerConventionHelpers(t *testing.T) {
+	n := NewNamer("")
+	checks := map[string]string{
+		n.TableName("University"):      "TabUniversity",
+		n.AttrName("LName"):            "attrLName",
+		n.AttrListName("Student"):      "attrListStudent",
+		n.IDName("Student"):            "IDStudent",
+		n.TypeName("Professor"):        "Type_Professor",
+		n.AttrListTypeName("B"):        "TypeAttrL_B",
+		n.VarrayName("Subject"):        "TypeVA_Subject",
+		n.NestedTableName("Subject"):   "Type_TabSubject",
+		n.RefTableName("Professor"):    "TabRefProfessor",
+		n.ObjectViewName("University"): "OView_University",
+	}
+	for got, want := range checks {
+		if got != want {
+			t.Errorf("naming convention: got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestGenerateStatementsAreSplittable(t *testing.T) {
+	sch, _ := generate(t, universityTree(t), Options{}, ordb.ModeOracle9)
+	stmts, err := sql.SplitScript(sch.Script())
+	if err != nil {
+		t.Fatalf("SplitScript: %v", err)
+	}
+	if len(stmts) != len(sch.Statements) {
+		t.Errorf("split = %d statements, generated %d", len(stmts), len(sch.Statements))
+	}
+}
+
+func TestInferIDRefTargets(t *testing.T) {
+	src := `<!DOCTYPE R [
+<!ELEMENT R (A*,B*,C*)>
+<!ELEMENT A (#PCDATA)><!ATTLIST A id ID #REQUIRED>
+<!ELEMENT B (#PCDATA)><!ATTLIST B id ID #REQUIRED>
+<!ELEMENT C (#PCDATA)><!ATTLIST C r IDREF #IMPLIED s IDREF #IMPLIED>
+]>
+<R>
+  <A id="a1">x</A>
+  <B id="b1">y</B>
+  <C r="a1" s="b1">z</C>
+  <C r="a1">w</C>
+</R>`
+	res, err := xmlparser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := InferIDRefTargets(res.DTD, res.Doc)
+	if got["C/r"] != "A" || got["C/s"] != "B" {
+		t.Errorf("inferred = %v", got)
+	}
+	// Ambiguous references are omitted.
+	src2 := `<!DOCTYPE R [
+<!ELEMENT R (A*,B*,C*)>
+<!ELEMENT A (#PCDATA)><!ATTLIST A id ID #REQUIRED>
+<!ELEMENT B (#PCDATA)><!ATTLIST B id ID #REQUIRED>
+<!ELEMENT C (#PCDATA)><!ATTLIST C r IDREF #IMPLIED>
+]>
+<R><A id="a1">x</A><B id="b1">y</B><C r="a1">z</C><C r="b1">w</C></R>`
+	res2, err := xmlparser.Parse(src2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := InferIDRefTargets(res2.DTD, res2.Doc)
+	if _, present := got2["C/r"]; present {
+		t.Errorf("ambiguous IDREF must be omitted: %v", got2)
+	}
+}

@@ -1,0 +1,171 @@
+// Package mapping implements the paper's core contribution: the
+// generation of an object-relational database schema from a DTD
+// (Section 4) and the supporting naming conventions and meta-data
+// (Section 5), including the special cases of Section 6 (entities,
+// non-hierarchical and recursive relationships).
+//
+// The entry point is Generate, which turns a dtd.Tree into a Schema: an
+// executable SQL DDL script plus the per-element mapping information the
+// loader and retrieval layers use. Two strategies reproduce the paper's
+// version split: StrategyNested (Oracle 9i, arbitrarily nested collection
+// types, Section 4.2's second half) and StrategyRef (Oracle 8i, where
+// set-valued complex elements must be stored in separate object tables
+// linked by REF-valued attributes pointing to the parent).
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+)
+
+// Name prefixes of Table 1 of the paper ("Naming Conventions in
+// XML2Oracle").
+const (
+	// PrefixTable names tables: TabElementname.
+	PrefixTable = "Tab"
+	// PrefixAttr names database attributes derived from simple XML
+	// elements or XML attributes: attrName.
+	PrefixAttr = "attr"
+	// PrefixAttrList names attributes representing an XML attribute
+	// list: attrListElementname.
+	PrefixAttrList = "attrList"
+	// PrefixID names primary/foreign key attributes: IDElementname.
+	PrefixID = "ID"
+	// PrefixType names object types derived from elements:
+	// Type_Elementname.
+	PrefixType = "Type_"
+	// PrefixTypeAttrL names object types generated for attribute lists:
+	// TypeAttrL_Elementname.
+	PrefixTypeAttrL = "TypeAttrL_"
+	// PrefixVarray names array types: TypeVA_Elementname.
+	PrefixVarray = "TypeVA_"
+	// PrefixNestedTable names nested-table collection types, following
+	// the paper's Type_TabSubject example.
+	PrefixNestedTable = "Type_Tab"
+	// PrefixRefTable names TABLE OF REF types, following the paper's
+	// TabRefProfessor example in Section 6.2.
+	PrefixRefTable = "TabRef"
+	// PrefixObjectView names object views: OView_Elementname.
+	PrefixObjectView = "OView_"
+)
+
+// Namer generates database identifiers that follow the Table 1
+// conventions while respecting the engine's identifier length limit
+// (Section 5: "Oracle accepts only 30 characters") and avoiding SQL
+// keyword collisions. Identical element names from different document
+// types are disambiguated with the SchemaID.
+type Namer struct {
+	// SchemaID is inserted after the convention prefix; it is generated
+	// per document type (Section 5).
+	SchemaID string
+	used     map[string]bool
+}
+
+// NewNamer returns a Namer for the given schema identifier (may be
+// empty).
+func NewNamer(schemaID string) *Namer {
+	return &Namer{SchemaID: schemaID, used: map[string]bool{}}
+}
+
+// sanitize turns an XML name into SQL identifier characters. XML names
+// admit '-', '.' and ':' which SQL identifiers do not.
+func sanitize(xmlName string) string {
+	var sb strings.Builder
+	for i, r := range xmlName {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('X')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "X"
+	}
+	return sb.String()
+}
+
+// Name builds "prefix + schemaID + base" truncated to the identifier
+// limit and uniqued with a numeric suffix on collision. The same input
+// always yields the same output within one Namer.
+func (n *Namer) Name(prefix, base string) string {
+	raw := prefix + n.SchemaID + sanitize(base)
+	name := raw
+	if len(name) > ordb.MaxIdentLen {
+		name = name[:ordb.MaxIdentLen]
+	}
+	if sql.IsReservedWord(name) {
+		// Cannot happen with non-empty prefixes, but guard anyway.
+		name = "X" + name
+		if len(name) > ordb.MaxIdentLen {
+			name = name[:ordb.MaxIdentLen]
+		}
+	}
+	if !n.used[strings.ToUpper(name)] {
+		n.used[strings.ToUpper(name)] = true
+		return name
+	}
+	// Collision (duplicate sanitized names or truncation clash): append
+	// a counter within the length budget.
+	for i := 2; ; i++ {
+		suffix := fmt.Sprintf("_%d", i)
+		cut := name
+		if len(cut)+len(suffix) > ordb.MaxIdentLen {
+			cut = cut[:ordb.MaxIdentLen-len(suffix)]
+		}
+		cand := cut + suffix
+		if !n.used[strings.ToUpper(cand)] {
+			n.used[strings.ToUpper(cand)] = true
+			return cand
+		}
+	}
+}
+
+// Conventional naming helpers, one per Table 1 row.
+
+// TableName returns TabElementname.
+func (n *Namer) TableName(elem string) string { return n.Name(PrefixTable, elem) }
+
+// AttrName returns attrName for an element- or attribute-derived column.
+// Column names are scoped to their type, so they are truncated but not
+// uniqued globally.
+func (n *Namer) AttrName(name string) string { return capIdent(PrefixAttr + sanitize(name)) }
+
+// AttrListName returns attrListElementname.
+func (n *Namer) AttrListName(elem string) string { return capIdent(PrefixAttrList + sanitize(elem)) }
+
+// IDName returns IDElementname.
+func (n *Namer) IDName(elem string) string { return capIdent(PrefixID + sanitize(elem)) }
+
+func capIdent(s string) string {
+	if len(s) > ordb.MaxIdentLen {
+		return s[:ordb.MaxIdentLen]
+	}
+	return s
+}
+
+// TypeName returns Type_Elementname.
+func (n *Namer) TypeName(elem string) string { return n.Name(PrefixType, elem) }
+
+// AttrListTypeName returns TypeAttrL_Elementname.
+func (n *Namer) AttrListTypeName(elem string) string { return n.Name(PrefixTypeAttrL, elem) }
+
+// VarrayName returns TypeVA_Elementname.
+func (n *Namer) VarrayName(elem string) string { return n.Name(PrefixVarray, elem) }
+
+// NestedTableName returns Type_TabElementname.
+func (n *Namer) NestedTableName(elem string) string { return n.Name(PrefixNestedTable, elem) }
+
+// RefTableName returns TabRefElementname.
+func (n *Namer) RefTableName(elem string) string { return n.Name(PrefixRefTable, elem) }
+
+// ObjectViewName returns OView_Elementname.
+func (n *Namer) ObjectViewName(elem string) string { return n.Name(PrefixObjectView, elem) }

@@ -1,0 +1,286 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/dtd"
+)
+
+// Strategy selects how set-valued complex elements are represented.
+type Strategy int
+
+// The two mapping strategies of Section 4.2.
+const (
+	// StrategyNested uses nested collection types (VARRAY of object
+	// type) — possible from Oracle 9i on. Whole documents load with a
+	// single INSERT statement.
+	StrategyNested Strategy = iota
+	// StrategyRef is the Oracle 8i workaround: each set-valued complex
+	// element type gets its own object table; the child rows carry a
+	// REF-valued attribute pointing to their parent element, analogous
+	// to a foreign key, plus a generated unique ID attribute that
+	// simplifies INSERT generation.
+	StrategyRef
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	if s == StrategyRef {
+		return "ref(Oracle8)"
+	}
+	return "nested(Oracle9)"
+}
+
+// CollectionKind selects the collection constructor for set-valued
+// elements under StrategyNested.
+type CollectionKind int
+
+// Collection kinds.
+const (
+	// CollVarray uses VARRAY types — the paper's prototype choice
+	// ("In our prototype, we chose the VARRAY collection type").
+	CollVarray CollectionKind = iota
+	// CollNestedTable uses nested tables, which "work in nearly the
+	// same manner" but have no element limit.
+	CollNestedTable
+)
+
+// Options control schema generation.
+type Options struct {
+	// Strategy selects nested collections vs the REF workaround.
+	Strategy Strategy
+	// Collection selects VARRAY or nested tables under StrategyNested.
+	Collection CollectionKind
+	// VarrayMax is the VARRAY size limit (default 100, matching the
+	// paper's examples).
+	VarrayMax int
+	// VarcharLen is the default string column length (default 4000 —
+	// "our mapping schema generates VARCHAR(4000) as default attribute
+	// type in order to avoid value assignment conflicts").
+	VarcharLen int
+	// SchemaID disambiguates identical element names from different
+	// DTDs (Section 5). Empty for single-schema databases.
+	SchemaID string
+	// InlineAttributes, when true, stores XML attributes as direct
+	// columns of the element type instead of the TypeAttrL_ indirection
+	// — an ablation of the Section 4.4 design.
+	InlineAttributes bool
+	// EmitNestedChecks, when true, emits CHECK constraints for
+	// mandatory subelements of optional complex elements. The paper
+	// concludes this "is not recommendable" (Section 4.3: the check
+	// also fires when the whole optional element is absent); the flag
+	// exists to reproduce that finding (experiment E7).
+	EmitNestedChecks bool
+	// UseCLOBForText maps simple elements to CLOB instead of
+	// VARCHAR(4000) — the Section 7 recommendation for large text.
+	UseCLOBForText bool
+	// IDRefTargets maps "Element/attribute" IDREF attribute keys to the
+	// element name they reference. The DTD cannot express this
+	// (Section 4.4: "This kind of information cannot be captured from
+	// the DTD, rather from the XML document"); callers supply it or
+	// derive it with InferIDRefTargets. IDREF attributes without a
+	// target entry fall back to VARCHAR columns.
+	IDRefTargets map[string]string
+	// TypeHints overrides the VARCHAR default for text values: keys are
+	// element names ("Price") for element content and "Elem/@attr" for
+	// attributes; values are SQL column types ("INTEGER", "DATE",
+	// "VARCHAR(80)"). The XML Schema front end (internal/xsd) supplies
+	// these — the paper's Section 7 future-work item, lifting the "no
+	// type concept in DTDs" drawback.
+	TypeHints map[string]string
+}
+
+// withDefaults fills in the paper's default parameters.
+func (o Options) withDefaults() Options {
+	if o.VarrayMax == 0 {
+		o.VarrayMax = 100
+	}
+	if o.VarcharLen == 0 {
+		o.VarcharLen = 4000
+	}
+	return o
+}
+
+// FieldKind classifies one attribute of a generated object type.
+type FieldKind int
+
+// Field kinds.
+const (
+	// FieldPCDATA stores the character content of a simple element
+	// that has XML attributes (the element value next to its attrList).
+	FieldPCDATA FieldKind = iota
+	// FieldAttrList stores the TypeAttrL_ object for XML attributes.
+	FieldAttrList
+	// FieldXMLAttr stores one XML attribute inlined as a column
+	// (InlineAttributes mode, and inside TypeAttrL_ types).
+	FieldXMLAttr
+	// FieldSimpleChild stores a simple child element as VARCHAR (or a
+	// collection of VARCHAR when set-valued).
+	FieldSimpleChild
+	// FieldComplexChild stores a complex child element as an object
+	// type (or a collection of it).
+	FieldComplexChild
+	// FieldRefChild stores a REF (or collection of REFs) to a child
+	// stored in its own object table: recursive elements (Section 6.2)
+	// and ID-bearing elements (Section 4.4).
+	FieldRefChild
+	// FieldIDRef stores an IDREF XML attribute as a REF column.
+	FieldIDRef
+	// FieldParentRef is the StrategyRef back-pointer: a REF to the
+	// parent element's row (Section 4.2 workaround).
+	FieldParentRef
+	// FieldGenID is the generated unique identifier the paper
+	// introduces to simplify INSERT generation under StrategyRef.
+	FieldGenID
+	// FieldDocID links a root-table row to its TabMetadata entry.
+	FieldDocID
+	// FieldMixedText stores the flattened character content of a mixed
+	// or ANY element — the documented information loss of Section 1.
+	FieldMixedText
+)
+
+// String names the field kind.
+func (k FieldKind) String() string {
+	switch k {
+	case FieldPCDATA:
+		return "pcdata"
+	case FieldAttrList:
+		return "attr-list"
+	case FieldXMLAttr:
+		return "xml-attribute"
+	case FieldSimpleChild:
+		return "simple-child"
+	case FieldComplexChild:
+		return "complex-child"
+	case FieldRefChild:
+		return "ref-child"
+	case FieldIDRef:
+		return "idref"
+	case FieldParentRef:
+		return "parent-ref"
+	case FieldGenID:
+		return "generated-id"
+	case FieldDocID:
+		return "doc-id"
+	case FieldMixedText:
+		return "mixed-text"
+	default:
+		return fmt.Sprintf("FieldKind(%d)", int(k))
+	}
+}
+
+// Field is one generated column/attribute with enough information for
+// the loader to populate it and for the retrieval layer to invert it.
+type Field struct {
+	Kind FieldKind
+	// DBName is the column or attribute name in the database.
+	DBName string
+	// XMLName is the source element or attribute name ("" for
+	// generated fields).
+	XMLName string
+	// SetValued marks collection-typed fields.
+	SetValued bool
+	// Optional marks nullable fields (Section 4.3).
+	Optional bool
+	// TypeName is the named user-defined type of the field: the object
+	// type of complex children, the collection type of set-valued
+	// fields, the attrlist type. Empty for plain VARCHAR/CLOB fields.
+	TypeName string
+	// ElemTypeName is, for collections, the element type inside the
+	// collection ("" when elements are plain VARCHAR).
+	ElemTypeName string
+	// RefTarget is, for REF-valued fields, the element name whose
+	// object table the REF points into.
+	RefTarget string
+	// SQLType overrides the column type for scalar fields ("" = the
+	// VARCHAR/CLOB default). Set from Options.TypeHints.
+	SQLType string
+}
+
+// ElemMapping describes how one element type of the DTD is represented.
+type ElemMapping struct {
+	// Name is the element type name.
+	Name string
+	// Simple reports (#PCDATA) content without attributes: such
+	// elements have no object type and appear as VARCHAR columns of
+	// their parent.
+	Simple bool
+	// TypeName is the object type for complex or attributed elements.
+	TypeName string
+	// Fields are the attributes of TypeName in declaration order (or,
+	// for the root element, the columns of the root table).
+	Fields []Field
+	// AttrListTypeName is the TypeAttrL_ type, "" when the element has
+	// no XML attributes or InlineAttributes is set.
+	AttrListTypeName string
+	// AttrListFields are the attributes inside the TypeAttrL_ type.
+	AttrListFields []Field
+	// ObjectTable is the object table storing rows of this element
+	// ("" when the element lives inline in its parent). Set for the
+	// StrategyRef children, recursive elements, and ID targets.
+	ObjectTable string
+	// StoredByRef marks elements that live in ObjectTable and are
+	// referenced (not embedded) by their parents.
+	StoredByRef bool
+	// Recursive marks members of a recursion cycle (Section 6.2).
+	Recursive bool
+	// CollectionTypeName is the collection type wrapping this element
+	// where it appears set-valued ("" when never set-valued). For
+	// simple elements it is a collection of VARCHAR; for complex, of
+	// the object type; for StoredByRef, of REF.
+	CollectionTypeName string
+	// HasIDAttr names the ID-typed XML attribute ("" if none).
+	HasIDAttr string
+	// MixedOrAny marks elements whose content collapses to text.
+	MixedOrAny bool
+}
+
+// Schema is the output of Generate: an executable DDL script plus the
+// mapping dictionary used by the loader, retrieval and meta layers.
+type Schema struct {
+	Opts Options
+	DTD  *dtd.DTD
+	Tree *dtd.Tree
+	// RootElem is the document element name, RootTable its table.
+	RootElem  string
+	RootTable string
+	// Statements is the DDL in execution order; Script joins them.
+	Statements []string
+	// Elems maps element names to their mappings.
+	Elems map[string]*ElemMapping
+	// Order lists element names in generation order (children before
+	// parents).
+	Order []string
+	// Warnings records information-loss notes the generator emits
+	// (mixed content, unresolved IDREFs, ...).
+	Warnings []string
+	// Namer is the naming state, reused by the object-view generator.
+	Namer *Namer
+}
+
+// Script returns the full DDL script.
+func (s *Schema) Script() string {
+	return strings.Join(s.Statements, ";\n\n") + ";\n"
+}
+
+// Mapping returns the mapping for an element name.
+func (s *Schema) Mapping(elem string) (*ElemMapping, error) {
+	m, ok := s.Elems[elem]
+	if !ok {
+		return nil, fmt.Errorf("mapping: no mapping for element %q", elem)
+	}
+	return m, nil
+}
+
+// ObjectTables lists elements stored in their own object tables, in
+// generation order.
+func (s *Schema) ObjectTables() []*ElemMapping {
+	var out []*ElemMapping
+	for _, name := range s.Order {
+		if m := s.Elems[name]; m.ObjectTable != "" {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+// Package meta implements the meta-data structures of Section 5 of the
+// paper. XML2Oracle maintains a meta-table, TabMetadata, that assigns
+// every stored document a unique DocID and records document name, URL,
+// schema identifier, namespace, prolog information (XML version,
+// character set, standalone), and — per generated database object — a
+// DocData entry stating whether a database attribute was derived from an
+// XML element or an XML attribute, with its database name and type.
+//
+// Following the Section 6.1 proposal, the store also keeps the internal
+// entity definitions of the DTD (reference name and substitution text) so
+// that the retrieval layer can restore the original entity references
+// that the parser expanded.
+package meta
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmldom"
+)
+
+// SchemaSQL is the DDL of the meta-database, executed once per database.
+const SchemaSQL = `
+CREATE TYPE Type_DocData AS OBJECT(
+	XML_Type VARCHAR(16),
+	XML_Name VARCHAR(256),
+	DB_Name VARCHAR(30),
+	DB_Type VARCHAR(64),
+	NameSpace VARCHAR(256));
+
+CREATE TYPE TypeVA_DocData AS VARRAY(1000) OF Type_DocData;
+
+CREATE TYPE Type_Entity AS OBJECT(
+	EntityName VARCHAR(256),
+	Substitution VARCHAR(4000));
+
+CREATE TYPE TypeVA_Entity AS VARRAY(256) OF Type_Entity;
+
+CREATE TABLE TabMetadata(
+	DocID INTEGER PRIMARY KEY,
+	DocName VARCHAR(256),
+	URL VARCHAR(1024),
+	SchemaID VARCHAR(64),
+	NameSpace VARCHAR(256),
+	XMLVersion VARCHAR(8),
+	CharacterSet VARCHAR(32),
+	Standalone CHAR(3),
+	DocData TypeVA_DocData,
+	Entities TypeVA_Entity,
+	DocDate DATE);
+`
+
+// ErrNoSuchDocument reports a DocID without a TabMetadata entry.
+var ErrNoSuchDocument = errors.New("meta: no such document")
+
+// DocData is one provenance entry: where a database object came from.
+type DocData struct {
+	// XMLType is "element" or "attribute" — the distinction the
+	// object-relational mapping loses without meta-data (Section 5).
+	XMLType string
+	// XMLName is the source element or attribute name.
+	XMLName string
+	// DBName and DBType describe the generated database attribute.
+	DBName string
+	DBType string
+	// Namespace of the source name, if any.
+	Namespace string
+}
+
+// Entity is one internal entity definition captured from the DTD.
+type Entity struct {
+	Name         string
+	Substitution string
+}
+
+// Document is the meta record of one stored document.
+type Document struct {
+	DocID        int
+	DocName      string
+	URL          string
+	SchemaID     string
+	Namespace    string
+	XMLVersion   string
+	CharacterSet string
+	Standalone   string
+	Data         []DocData
+	Entities     []Entity
+	Date         time.Time
+}
+
+// Store manages the meta-database inside an engine.
+type Store struct {
+	en *sql.Engine
+	// Now supplies timestamps (injectable for reproducible tests).
+	Now func() time.Time
+}
+
+// Install creates the meta schema in the database (idempotent: a second
+// call on the same database fails with ErrExists, which is reported).
+func Install(en *sql.Engine) (*Store, error) {
+	if _, err := en.DB().Table("TabMetadata"); err == nil {
+		return &Store{en: en, Now: time.Now}, nil
+	}
+	if _, err := en.ExecScript(SchemaSQL); err != nil {
+		return nil, fmt.Errorf("meta: installing schema: %w", err)
+	}
+	return &Store{en: en, Now: time.Now}, nil
+}
+
+// Register records a document and its mapping provenance, returning the
+// assigned DocID. The entity definitions are taken from the schema's DTD.
+func (s *Store) Register(doc *xmldom.Document, sch *mapping.Schema, docName, url string) (int, error) {
+	tab, err := s.en.DB().Table("TabMetadata")
+	if err != nil {
+		return 0, err
+	}
+	docID := tab.RowCount() + 1
+	var docData []ordb.Value
+	for _, name := range sch.Order {
+		m := sch.Elems[name]
+		for _, f := range m.Fields {
+			if dd := fieldDocData(f); dd != nil {
+				docData = append(docData, dd)
+			}
+		}
+		for _, f := range m.AttrListFields {
+			if dd := fieldDocData(f); dd != nil {
+				docData = append(docData, dd)
+			}
+		}
+	}
+	var entities []ordb.Value
+	for _, name := range sch.DTD.EntityOrder {
+		e := sch.DTD.Entities[name]
+		if e.External() {
+			continue
+		}
+		entities = append(entities, &ordb.Object{TypeName: "Type_Entity", Attrs: []ordb.Value{
+			ordb.Str(e.Name), ordb.Str(e.Value),
+		}})
+	}
+	// A document-level default namespace, when declared (and admitted by
+	// the DTD's attribute list), is recorded per Section 5.
+	var namespace ordb.Value = ordb.Null{}
+	if root := doc.Root(); root != nil {
+		if ns, ok := root.Attr("xmlns"); ok {
+			namespace = ordb.Str(ns)
+		}
+	}
+	vals := []ordb.Value{
+		ordb.Num(docID),
+		ordb.Str(docName),
+		ordb.Str(url),
+		ordb.Str(sch.Opts.SchemaID),
+		namespace,
+		strOrNull(doc.Version),
+		strOrNull(doc.Encoding),
+		strOrNull(doc.Standalone),
+		&ordb.Coll{TypeName: "TypeVA_DocData", Elems: docData},
+		&ordb.Coll{TypeName: "TypeVA_Entity", Elems: entities},
+		ordb.DateVal(s.Now()),
+	}
+	if _, err := tab.Insert(vals); err != nil {
+		return 0, fmt.Errorf("meta: registering document: %w", err)
+	}
+	return docID, nil
+}
+
+func strOrNull(s string) ordb.Value {
+	if s == "" {
+		return ordb.Null{}
+	}
+	return ordb.Str(s)
+}
+
+// fieldDocData classifies one generated field for the DocData array.
+func fieldDocData(f mapping.Field) ordb.Value {
+	var xmlType string
+	switch f.Kind {
+	case mapping.FieldXMLAttr, mapping.FieldIDRef:
+		xmlType = "attribute"
+	case mapping.FieldSimpleChild, mapping.FieldComplexChild, mapping.FieldRefChild,
+		mapping.FieldPCDATA, mapping.FieldMixedText:
+		xmlType = "element"
+	default:
+		return nil // generated fields have no XML source
+	}
+	dbType := f.TypeName
+	if dbType == "" {
+		dbType = "VARCHAR"
+	}
+	return &ordb.Object{TypeName: "Type_DocData", Attrs: []ordb.Value{
+		ordb.Str(xmlType), ordb.Str(f.XMLName), ordb.Str(f.DBName), ordb.Str(dbType), ordb.Null{},
+	}}
+}
+
+// Document fetches the meta record for a DocID.
+func (s *Store) Document(docID int) (*Document, error) {
+	tab, err := s.en.DB().Table("TabMetadata")
+	if err != nil {
+		return nil, err
+	}
+	var found []ordb.Value
+	tab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) == docID {
+			found = r.Vals
+			return false
+		}
+		return true
+	})
+	if found == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchDocument, docID)
+	}
+	doc := &Document{
+		DocID:        docID,
+		DocName:      str(found[1]),
+		URL:          str(found[2]),
+		SchemaID:     str(found[3]),
+		Namespace:    str(found[4]),
+		XMLVersion:   str(found[5]),
+		CharacterSet: str(found[6]),
+		Standalone:   strings.TrimRight(str(found[7]), " "), // CHAR(3) is blank-padded
+	}
+	if c, ok := found[8].(*ordb.Coll); ok {
+		for _, e := range c.Elems {
+			o := e.(*ordb.Object)
+			doc.Data = append(doc.Data, DocData{
+				XMLType:   str(o.Attrs[0]),
+				XMLName:   str(o.Attrs[1]),
+				DBName:    str(o.Attrs[2]),
+				DBType:    str(o.Attrs[3]),
+				Namespace: str(o.Attrs[4]),
+			})
+		}
+	}
+	if c, ok := found[9].(*ordb.Coll); ok {
+		for _, e := range c.Elems {
+			o := e.(*ordb.Object)
+			doc.Entities = append(doc.Entities, Entity{
+				Name:         str(o.Attrs[0]),
+				Substitution: str(o.Attrs[1]),
+			})
+		}
+	}
+	if d, ok := found[10].(ordb.DateVal); ok {
+		doc.Date = time.Time(d)
+	}
+	return doc, nil
+}
+
+// Documents lists all registered documents in DocID order.
+func (s *Store) Documents() ([]*Document, error) {
+	tab, err := s.en.DB().Table("TabMetadata")
+	if err != nil {
+		return nil, err
+	}
+	var ids []int
+	tab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok {
+			ids = append(ids, int(n))
+		}
+		return true
+	})
+	out := make([]*Document, 0, len(ids))
+	for _, id := range ids {
+		d, err := s.Document(id)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func str(v ordb.Value) string {
+	if s, ok := v.(ordb.Str); ok {
+		return string(s)
+	}
+	return ""
+}

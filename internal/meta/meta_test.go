@@ -1,0 +1,152 @@
+package meta
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmlparser"
+)
+
+func testStore(t *testing.T) (*Store, *sql.Engine, *mapping.Schema) {
+	t.Helper()
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	store, err := Install(en)
+	if err != nil {
+		t.Fatalf("Install: %v", err)
+	}
+	store.Now = func() time.Time { return time.Date(2002, 3, 25, 0, 0, 0, 0, time.UTC) }
+	d := dtd.MustParse("University", workload.UniversityDTD)
+	tree, err := dtd.BuildTree(d, "University")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := mapping.Generate(tree, mapping.Options{SchemaID: ""})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, en, sch
+}
+
+func TestInstallIdempotent(t *testing.T) {
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	if _, err := Install(en); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Install(en); err != nil {
+		t.Errorf("second install: %v", err)
+	}
+}
+
+func TestRegisterAndLookup(t *testing.T) {
+	store, en, sch := testStore(t)
+	doc := workload.University(workload.DefaultUniversity())
+	id, err := store.Register(doc, sch, "uni.xml", "file:///uni.xml")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if id != 1 {
+		t.Errorf("DocID = %d", id)
+	}
+	md, err := store.Document(id)
+	if err != nil {
+		t.Fatalf("Document: %v", err)
+	}
+	if md.DocName != "uni.xml" || md.URL != "file:///uni.xml" {
+		t.Errorf("meta = %+v", md)
+	}
+	if md.XMLVersion != "1.0" || md.CharacterSet != "UTF-8" {
+		t.Errorf("prolog = %q %q", md.XMLVersion, md.CharacterSet)
+	}
+	if md.Date.Year() != 2002 {
+		t.Errorf("date = %v", md.Date)
+	}
+	// Entity definitions are captured.
+	if len(md.Entities) != 1 || md.Entities[0].Name != "cs" {
+		t.Errorf("entities = %+v", md.Entities)
+	}
+	// The meta-table itself is queryable through SQL, as in the paper.
+	rows, err := en.Query(`SELECT m.DocName FROM TabMetadata m WHERE m.DocID = 1`)
+	if err != nil {
+		t.Fatalf("query meta: %v", err)
+	}
+	if rows.Data[0][0] != ordb.Str("uni.xml") {
+		t.Errorf("SQL lookup = %v", rows.Data[0][0])
+	}
+}
+
+func TestDocDataProvenance(t *testing.T) {
+	store, _, sch := testStore(t)
+	doc := workload.University(workload.DefaultUniversity())
+	id, _ := store.Register(doc, sch, "uni.xml", "")
+	md, _ := store.Document(id)
+	// Every element-derived and attribute-derived column appears.
+	kinds := map[string]int{}
+	for _, dd := range md.Data {
+		kinds[dd.XMLType]++
+	}
+	if kinds["element"] == 0 || kinds["attribute"] == 0 {
+		t.Errorf("DocData kinds = %v", kinds)
+	}
+	// Element/attribute distinction: StudNr is an attribute even though
+	// it lands in a column named like element-derived ones.
+	for _, dd := range md.Data {
+		if dd.XMLName == "StudNr" && dd.XMLType != "attribute" {
+			t.Errorf("StudNr misclassified: %+v", dd)
+		}
+		if dd.XMLName == "LName" && dd.XMLType != "element" {
+			t.Errorf("LName misclassified: %+v", dd)
+		}
+	}
+}
+
+func TestDocumentsListingAndSequence(t *testing.T) {
+	store, _, sch := testStore(t)
+	doc := workload.University(workload.DefaultUniversity())
+	for i := 0; i < 3; i++ {
+		if _, err := store.Register(doc, sch, "d", ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := store.Documents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("documents = %d", len(docs))
+	}
+	for i, d := range docs {
+		if d.DocID != i+1 {
+			t.Errorf("DocID[%d] = %d", i, d.DocID)
+		}
+	}
+}
+
+func TestUnknownDocument(t *testing.T) {
+	store, _, _ := testStore(t)
+	if _, err := store.Document(99); !errors.Is(err, ErrNoSuchDocument) {
+		t.Errorf("unknown doc = %v", err)
+	}
+}
+
+func TestStandaloneRoundTrip(t *testing.T) {
+	store, _, sch := testStore(t)
+	res, err := xmlparser.Parse(`<?xml version="1.0" standalone="yes"?><!DOCTYPE University [` +
+		workload.UniversityDTD + `]><University><StudyCourse>CS</StudyCourse></University>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.Register(res.Doc, sch, "s", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	md, _ := store.Document(id)
+	if md.Standalone != "yes" {
+		t.Errorf("standalone = %q (CHAR padding not stripped?)", md.Standalone)
+	}
+}

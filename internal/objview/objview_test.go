@@ -1,0 +1,183 @@
+package objview
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/relmap"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/workload"
+)
+
+// setup installs OR types (nested mapping), the shredded relations, loads
+// a document into the relations, and generates the object view.
+func setup(t *testing.T) (*sql.Engine, string, *mapping.Schema) {
+	t.Helper()
+	d, err := dtd.Parse("University", workload.UniversityDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtd.BuildTree(d, "University")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := mapping.Generate(tree, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	// Install only the types (the root table is unused by the view but
+	// harmless).
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		t.Fatalf("types: %v", err)
+	}
+	shred, err := relmap.GenerateShredded(tree, en)
+	if err != nil {
+		t.Fatalf("shredded: %v", err)
+	}
+	doc := workload.University(workload.UniversityParams{
+		Students: 3, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: 3,
+	})
+	if _, err := shred.Load(doc, 1); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	view, err := Generate(sch, shred, en)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return en, view, sch
+}
+
+func TestObjectViewRebuildsNestedStructure(t *testing.T) {
+	en, view, _ := setup(t)
+	rows, err := en.Query("SELECT * FROM " + view)
+	if err != nil {
+		t.Fatalf("query view: %v", err)
+	}
+	if len(rows.Data) != 1 {
+		t.Fatalf("view rows = %d, want 1 (one University row)", len(rows.Data))
+	}
+	uni, ok := rows.Data[0][0].(*ordb.Object)
+	if !ok {
+		t.Fatalf("view value = %T", rows.Data[0][0])
+	}
+	if !strings.HasPrefix(uni.TypeName, "Type_University") {
+		t.Errorf("type = %s", uni.TypeName)
+	}
+	// Navigate: University → students collection → first student.
+	students, ok := uni.Attrs[len(uni.Attrs)-1].(*ordb.Coll)
+	if !ok {
+		t.Fatalf("students = %T (%v)", uni.Attrs[len(uni.Attrs)-1], uni.Attrs)
+	}
+	if len(students.Elems) != 3 {
+		t.Errorf("students = %d", len(students.Elems))
+	}
+	stud := students.Elems[0].(*ordb.Object)
+	courses := stud.Attrs[len(stud.Attrs)-1].(*ordb.Coll)
+	if len(courses.Elems) != 2 {
+		t.Errorf("courses = %d", len(courses.Elems))
+	}
+	course := courses.Elems[0].(*ordb.Object)
+	profs := course.Attrs[1].(*ordb.Coll)
+	if len(profs.Elems) != 1 {
+		t.Errorf("profs = %d", len(profs.Elems))
+	}
+	prof := profs.Elems[0].(*ordb.Object)
+	subjects := prof.Attrs[1].(*ordb.Coll)
+	if len(subjects.Elems) != 2 {
+		t.Errorf("subjects = %d: %v", len(subjects.Elems), subjects.Elems)
+	}
+}
+
+func TestObjectViewQueryable(t *testing.T) {
+	en, view, _ := setup(t)
+	// Dot navigation over the view output plus TABLE() unnesting.
+	rows, err := en.Query(`
+		SELECT st.attrLName
+		FROM ` + view + ` v, TABLE(v.University.attrStudent) st`)
+	if err != nil {
+		t.Fatalf("view navigation: %v", err)
+	}
+	if len(rows.Data) != 3 {
+		t.Errorf("student names via view = %d", len(rows.Data))
+	}
+}
+
+func TestObjectViewDefinitionText(t *testing.T) {
+	en, view, _ := setup(t)
+	v, err := en.DB().View(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CAST(MULTISET(", "Type_Student(", "IDParent"} {
+		if !strings.Contains(v.Definition, want) {
+			t.Errorf("view definition missing %q:\n%s", want, v.Definition)
+		}
+	}
+}
+
+func TestSingleComplexWarning(t *testing.T) {
+	d := dtd.MustParse("", `
+<!ELEMENT Course (Name,Address?)>
+<!ELEMENT Address (Street)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "Course")
+	warns := SingleComplexWarning(tree)
+	if len(warns) != 1 || warns[0] != "Course/Address" {
+		t.Errorf("warnings = %v", warns)
+	}
+}
+
+func TestObjectViewWithSingleComplexChild(t *testing.T) {
+	// A single-valued complex child forces collection synthesis.
+	d := dtd.MustParse("", `
+<!ELEMENT Course (Name,Address)>
+<!ELEMENT Address (Street,City)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT Street (#PCDATA)>
+<!ELEMENT City (#PCDATA)>`)
+	tree, _ := dtd.BuildTree(d, "Course")
+	sch, err := mapping.Generate(tree, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		t.Fatal(err)
+	}
+	shred, err := relmap.GenerateShredded(tree, en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert one course with one address directly.
+	mustExec(t, en, `INSERT INTO RelCourse VALUES (1, 0, 0, 1, 'CAD Intro')`)
+	mustExec(t, en, `INSERT INTO RelAddress VALUES (1, 1, 0, 1, 'Main St', 'Leipzig')`)
+	view, err := Generate(sch, shred, en)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	rows, err := en.Query("SELECT * FROM " + view)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	course := rows.Data[0][0].(*ordb.Object)
+	addr := course.Attrs[1].(*ordb.Coll)
+	if len(addr.Elems) != 1 {
+		t.Fatalf("address collection = %v", addr.Elems)
+	}
+	inner := addr.Elems[0].(*ordb.Object)
+	if inner.Attrs[0] != ordb.Str("Main St") {
+		t.Errorf("street = %v", inner.Attrs[0])
+	}
+}
+
+func mustExec(t *testing.T, en *sql.Engine, stmt string) {
+	t.Helper()
+	if _, err := en.Exec(stmt); err != nil {
+		t.Fatalf("Exec(%s): %v", stmt, err)
+	}
+}

@@ -1,0 +1,45 @@
+package ordb
+
+import "errors"
+
+// Sentinel errors of the engine. All returned errors wrap one of these,
+// so callers can classify failures with errors.Is.
+var (
+	// ErrExists reports a name collision in the catalog.
+	ErrExists = errors.New("name already exists")
+	// ErrNotFound reports a missing catalog object.
+	ErrNotFound = errors.New("not found")
+	// ErrIdentTooLong reports an identifier beyond MaxIdentLen — the
+	// Oracle restriction the paper notes in Section 5.
+	ErrIdentTooLong = errors.New("identifier exceeds maximum length")
+	// ErrNestedCollection reports a collection-of-collection definition
+	// under ModeOracle8 (Section 2.2 restriction).
+	ErrNestedCollection = errors.New("collection element type not allowed in Oracle 8 mode")
+	// ErrDependentTypes reports a DROP TYPE without FORCE while other
+	// types or tables still depend on the type.
+	ErrDependentTypes = errors.New("type has dependents (use DROP ... FORCE)")
+	// ErrIncompleteType reports use of a forward-declared type whose
+	// body has not been supplied yet.
+	ErrIncompleteType = errors.New("type declaration is incomplete")
+	// ErrTypeMismatch reports a value that does not conform to the
+	// declared column or attribute type.
+	ErrTypeMismatch = errors.New("value does not match declared type")
+	// ErrNotNull reports a NOT NULL constraint violation.
+	ErrNotNull = errors.New("NOT NULL constraint violated")
+	// ErrCheck reports a CHECK constraint violation.
+	ErrCheck = errors.New("CHECK constraint violated")
+	// ErrPrimaryKey reports a PRIMARY KEY violation (duplicate or NULL).
+	ErrPrimaryKey = errors.New("PRIMARY KEY constraint violated")
+	// ErrVarrayOverflow reports more elements than a VARRAY's limit.
+	ErrVarrayOverflow = errors.New("VARRAY maximum size exceeded")
+	// ErrValueTooLong reports a string longer than its VARCHAR/CHAR
+	// column allows — the Section 7 drawback for chunks of text.
+	ErrValueTooLong = errors.New("value exceeds declared length")
+	// ErrDanglingRef reports a REF whose target row does not exist.
+	ErrDanglingRef = errors.New("dangling REF")
+	// ErrScope reports a REF outside its SCOPE FOR table.
+	ErrScope = errors.New("REF violates SCOPE FOR restriction")
+	// ErrArity reports a constructor or INSERT with the wrong number of
+	// arguments.
+	ErrArity = errors.New("wrong number of values")
+)

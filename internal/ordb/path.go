@@ -1,0 +1,67 @@
+package ordb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+func parseInLayout(layout, s string) (DateVal, error) {
+	t, err := time.Parse(layout, s)
+	if err != nil {
+		return DateVal{}, err
+	}
+	return DateVal(t), nil
+}
+
+// NavigatePath walks a dot-notation attribute path through nested object
+// values — the paper's "simple database queries by using dot notation"
+// (Section 7). A NULL anywhere along the path yields NULL. REF values are
+// dereferenced transparently (Oracle requires the references to be scoped;
+// we resolve via the stored table name). Collections cannot be navigated
+// into with plain dot notation, matching Oracle: the caller must unnest
+// them (TABLE() in the sql package).
+func (db *DB) NavigatePath(v Value, path []string) (Value, error) {
+	cur := v
+	for _, step := range path {
+		if IsNull(cur) {
+			return Null{}, nil
+		}
+		if r, ok := cur.(Ref); ok {
+			o, err := db.FetchByOID(r.Table, r.OID)
+			if err != nil {
+				return nil, err
+			}
+			cur = o
+		}
+		o, ok := cur.(*Object)
+		if !ok {
+			if _, isColl := cur.(*Coll); isColl {
+				return nil, fmt.Errorf("ordb: cannot navigate %q into a collection; unnest with TABLE()", step)
+			}
+			return nil, fmt.Errorf("ordb: cannot navigate %q into scalar %T", step, cur)
+		}
+		t, err := db.Type(o.TypeName)
+		if err != nil {
+			return nil, err
+		}
+		ot := t.(*ObjectType)
+		idx := ot.AttrIndex(step)
+		if idx < 0 {
+			return nil, fmt.Errorf("ordb: type %s has no attribute %q", ot.Name, step)
+		}
+		cur = o.Attrs[idx]
+	}
+	if cur == nil {
+		return Null{}, nil
+	}
+	return cur, nil
+}
+
+// ParsePath splits a dot-notation path string into steps.
+func ParsePath(s string) []string {
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, ".")
+}

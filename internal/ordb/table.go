@@ -1,0 +1,563 @@
+package ordb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column is one column of a table. For object tables the columns are
+// derived from the row type's attributes.
+type Column struct {
+	Name string
+	Type Type
+	// NotNull marks a column-level NOT NULL constraint. Note the paper's
+	// observation (Section 4.3): constraints are bound to the *table*
+	// definition, never to the object type.
+	NotNull bool
+	// PrimaryKey marks the column as (part of) the primary key.
+	PrimaryKey bool
+	// Scope restricts a REF column to rows of the named object table
+	// (SCOPE FOR, Section 2.3). Empty means unscoped.
+	Scope string
+}
+
+// CheckExpr is a CHECK constraint predicate. The engine stores it opaquely
+// and evaluates it against a row; the sql package supplies implementations
+// parsed from CHECK(...) clauses. Eval returns whether the row passes.
+type CheckExpr interface {
+	Eval(row RowView) (bool, error)
+	String() string
+}
+
+// RowView gives a CheckExpr access to the column values of the row being
+// checked.
+type RowView interface {
+	// Col returns the value of the named column (case-insensitive) and
+	// whether the column exists.
+	Col(name string) (Value, bool)
+}
+
+// Row is one stored row. OID is non-zero only in object tables.
+type Row struct {
+	OID  OID
+	Vals []Value
+}
+
+// Table is a base table: either a relational table with explicit columns
+// or an object table (CREATE TABLE name OF type) whose rows are objects
+// with system-managed OIDs.
+type Table struct {
+	Name string
+	// RowType is non-nil for object tables.
+	RowType *ObjectType
+	Cols    []Column
+	Checks  []CheckExpr
+	// NestedStorage maps collection column names to the storage table
+	// name given by NESTED TABLE col STORE AS name. The engine stores
+	// elements inline but records the clause because each storage table
+	// is a schema object that counts toward decomposition (E3).
+	NestedStorage map[string]string
+
+	db   *DB
+	rows []*Row
+	// oidIndex gives O(1) REF dereference for object tables.
+	oidIndex map[OID]*Row
+	// pkCols are the column positions of the primary key.
+	pkCols []int
+}
+
+// TableSpec describes a table to create.
+type TableSpec struct {
+	Name string
+	// OfType names an object type to create an object table; when set,
+	// Columns must be empty and constraint fields of Columns entries are
+	// matched to the type's attributes by name.
+	OfType string
+	// Columns define a relational table (or, for object tables, carry
+	// only constraint annotations keyed by attribute name).
+	Columns []Column
+	// Checks are table-level CHECK constraints.
+	Checks []CheckExpr
+	// NestedStorage maps collection columns to storage table names.
+	NestedStorage map[string]string
+}
+
+// CreateTable creates a table from the spec and registers it.
+func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
+	if err := checkIdent(spec.Name); err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Name:          spec.Name,
+		Checks:        spec.Checks,
+		NestedStorage: map[string]string{},
+		db:            db,
+	}
+	for k, v := range spec.NestedStorage {
+		if err := checkIdent(v); err != nil {
+			return nil, err
+		}
+		t.NestedStorage[k] = v
+	}
+	if spec.OfType != "" {
+		rt, err := db.ObjectTypeByName(spec.OfType)
+		if err != nil {
+			return nil, err
+		}
+		if rt.Incomplete {
+			return nil, fmt.Errorf("ordb: table %s: type %s: %w", spec.Name, rt.Name, ErrIncompleteType)
+		}
+		t.RowType = rt
+		// Columns mirror the type's attributes; spec.Columns may add
+		// constraints to them by name.
+		for _, a := range rt.Attrs {
+			col := Column{Name: a.Name, Type: a.Type}
+			for _, sc := range spec.Columns {
+				if strings.EqualFold(sc.Name, a.Name) {
+					col.NotNull = sc.NotNull
+					col.PrimaryKey = sc.PrimaryKey
+					col.Scope = sc.Scope
+				}
+			}
+			t.Cols = append(t.Cols, col)
+		}
+		// Constraint names must exist on the type.
+		for _, sc := range spec.Columns {
+			if rt.AttrIndex(sc.Name) < 0 {
+				return nil, fmt.Errorf("ordb: table %s: constraint on unknown attribute %q", spec.Name, sc.Name)
+			}
+		}
+	} else {
+		if len(spec.Columns) == 0 {
+			return nil, fmt.Errorf("ordb: table %s has no columns", spec.Name)
+		}
+		for _, c := range spec.Columns {
+			if err := checkIdent(c.Name); err != nil {
+				return nil, err
+			}
+			if err := db.checkAttrType(c.Type); err != nil {
+				return nil, fmt.Errorf("ordb: table %s column %s: %w", spec.Name, c.Name, err)
+			}
+			t.Cols = append(t.Cols, c)
+		}
+	}
+	// Collection columns need storage declarations for nested tables
+	// (Oracle requires the STORE AS clause; we accept their absence for
+	// VARRAYs which are stored inline).
+	for _, c := range t.Cols {
+		if c.Type.Kind() == KindNestedTable {
+			if _, ok := t.NestedStorage[key(c.Name)]; !ok {
+				return nil, fmt.Errorf("ordb: table %s: nested table column %s requires a STORE AS clause", spec.Name, c.Name)
+			}
+		}
+		if c.Scope != "" && c.Type.Kind() != KindRef {
+			return nil, fmt.Errorf("ordb: table %s: SCOPE FOR on non-REF column %s", spec.Name, c.Name)
+		}
+		if c.NotNull && IsCollection(c.Type) {
+			// Paper, Section 4.3: "NOT NULL constraints cannot be
+			// applied to collection types."
+			return nil, fmt.Errorf("ordb: table %s column %s: NOT NULL on collection type: %w",
+				spec.Name, c.Name, ErrTypeMismatch)
+		}
+	}
+	for i, c := range t.Cols {
+		if c.PrimaryKey {
+			t.pkCols = append(t.pkCols, i)
+		}
+	}
+	if err := db.registerTable(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// IsObjectTable reports whether rows carry OIDs.
+func (t *Table) IsObjectTable() bool { return t.RowType != nil }
+
+// ColIndex returns the position of the named column, or -1.
+func (t *Table) ColIndex(name string) int {
+	for i, c := range t.Cols {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowView adapts a value slice to RowView for CHECK evaluation.
+type rowView struct {
+	t    *Table
+	vals []Value
+}
+
+// Col implements RowView.
+func (r rowView) Col(name string) (Value, bool) {
+	i := r.t.ColIndex(name)
+	if i < 0 {
+		return nil, false
+	}
+	return r.vals[i], true
+}
+
+// Insert validates vals against the table's column types and constraints
+// and stores a deep copy as a new row. For object tables the new row is
+// assigned a fresh OID, which is returned (zero for relational tables).
+func (t *Table) Insert(vals []Value) (OID, error) {
+	if len(vals) != len(t.Cols) {
+		return 0, fmt.Errorf("ordb: table %s: got %d values for %d columns: %w",
+			t.Name, len(vals), len(t.Cols), ErrArity)
+	}
+	checked := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := t.db.conform(v, t.Cols[i].Type)
+		if err != nil {
+			return 0, fmt.Errorf("ordb: table %s column %s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		checked[i] = cv
+	}
+	if err := t.checkConstraints(checked); err != nil {
+		return 0, err
+	}
+	row := &Row{Vals: checked}
+	t.db.mu.Lock()
+	if t.IsObjectTable() {
+		t.db.nextOID++
+		row.OID = t.db.nextOID
+		if t.oidIndex == nil {
+			t.oidIndex = map[OID]*Row{}
+		}
+		t.oidIndex[row.OID] = row
+	}
+	t.rows = append(t.rows, row)
+	t.db.mu.Unlock()
+	t.db.stats.Inserts.Add(1)
+	return row.OID, nil
+}
+
+func (t *Table) checkConstraints(vals []Value) error {
+	for i, c := range t.Cols {
+		if (c.NotNull || c.PrimaryKey) && IsNull(vals[i]) {
+			kind := ErrNotNull
+			if c.PrimaryKey {
+				kind = ErrPrimaryKey
+			}
+			return fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, kind)
+		}
+		if c.Scope != "" {
+			if err := t.db.checkScope(vals[i], c.Scope); err != nil {
+				return fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, err)
+			}
+		}
+	}
+	if len(t.pkCols) > 0 {
+		t.db.mu.RLock()
+		dup := false
+		for _, r := range t.rows {
+			same := true
+			for _, pi := range t.pkCols {
+				if !DeepEqual(r.Vals[pi], vals[pi]) {
+					same = false
+					break
+				}
+			}
+			if same {
+				dup = true
+				break
+			}
+		}
+		t.db.mu.RUnlock()
+		if dup {
+			return fmt.Errorf("ordb: table %s: duplicate key: %w", t.Name, ErrPrimaryKey)
+		}
+	}
+	for _, chk := range t.Checks {
+		ok, err := chk.Eval(rowView{t: t, vals: vals})
+		if err != nil {
+			return fmt.Errorf("ordb: table %s CHECK (%s): %w", t.Name, chk, err)
+		}
+		if !ok {
+			return fmt.Errorf("ordb: table %s: CHECK (%s): %w", t.Name, chk, ErrCheck)
+		}
+	}
+	return nil
+}
+
+// checkScope verifies a REF value points into the scoped table.
+func (db *DB) checkScope(v Value, scope string) error {
+	if IsNull(v) {
+		return nil
+	}
+	r, ok := v.(Ref)
+	if !ok {
+		return ErrTypeMismatch
+	}
+	if !strings.EqualFold(r.Table, scope) {
+		return fmt.Errorf("ref into %s, scope is %s: %w", r.Table, scope, ErrScope)
+	}
+	return nil
+}
+
+// RestoreRow re-creates a row with a known OID during snapshot loading.
+// Values are trusted (they were validated when the snapshot was written)
+// and deep-copied; the OID allocator is advanced past the restored OID so
+// later inserts never collide.
+func (t *Table) RestoreRow(oid OID, vals []Value) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("ordb: table %s: restoring %d values for %d columns: %w",
+			t.Name, len(vals), len(t.Cols), ErrArity)
+	}
+	copied := make([]Value, len(vals))
+	for i, v := range vals {
+		copied[i] = CloneValue(v)
+	}
+	row := &Row{OID: oid, Vals: copied}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if t.IsObjectTable() {
+		if oid == 0 {
+			return fmt.Errorf("ordb: table %s: object-table row restored without OID", t.Name)
+		}
+		if t.oidIndex == nil {
+			t.oidIndex = map[OID]*Row{}
+		}
+		if _, dup := t.oidIndex[oid]; dup {
+			return fmt.Errorf("ordb: table %s: duplicate OID %d in snapshot", t.Name, oid)
+		}
+		t.oidIndex[oid] = row
+		if oid > t.db.nextOID {
+			t.db.nextOID = oid
+		}
+	}
+	t.rows = append(t.rows, row)
+	return nil
+}
+
+// Scan calls fn for every row in insertion order. The callback receives
+// the stored row; callers must not mutate it. Returning false stops the
+// scan early.
+func (t *Table) Scan(fn func(*Row) bool) {
+	t.db.mu.RLock()
+	rows := t.rows
+	t.db.mu.RUnlock()
+	scanned := int64(0)
+	defer func() { t.db.stats.RowsScanned.Add(scanned) }()
+	for _, r := range rows {
+		scanned++
+		if !fn(r) {
+			return
+		}
+	}
+}
+
+// RowCount reports the number of stored rows.
+func (t *Table) RowCount() int {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Delete removes rows for which pred returns true and reports how many
+// were removed. A nil pred removes all rows.
+func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	kept := t.rows[:0]
+	removed := 0
+	for _, r := range t.rows {
+		del := true
+		if pred != nil {
+			var err error
+			del, err = pred(r)
+			if err != nil {
+				return removed, err
+			}
+		}
+		if del {
+			removed++
+			if r.OID != 0 {
+				delete(t.oidIndex, r.OID)
+			}
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	t.rows = kept
+	return removed, nil
+}
+
+// ReplaceByOID re-validates vals and replaces the row with the given OID
+// in place, keeping its identity (all REFs to it stay valid). Used by the
+// loader to resolve forward IDREF references after all rows exist.
+func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
+	if !t.IsObjectTable() {
+		return fmt.Errorf("ordb: table %s is not an object table", t.Name)
+	}
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("ordb: table %s: got %d values for %d columns: %w",
+			t.Name, len(vals), len(t.Cols), ErrArity)
+	}
+	checked := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := t.db.conform(v, t.Cols[i].Type)
+		if err != nil {
+			return fmt.Errorf("ordb: table %s column %s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		checked[i] = cv
+	}
+	t.db.mu.Lock()
+	row := t.oidIndex[oid]
+	t.db.mu.Unlock()
+	if row == nil {
+		return fmt.Errorf("ordb: %s oid %d: %w", t.Name, oid, ErrDanglingRef)
+	}
+	// Constraint checking (PK uniqueness would compare against the row
+	// itself; skip PK re-check when key columns are unchanged).
+	for i, c := range t.Cols {
+		if (c.NotNull || c.PrimaryKey) && IsNull(checked[i]) {
+			return fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, ErrNotNull)
+		}
+		if c.Scope != "" {
+			if err := t.db.checkScope(checked[i], c.Scope); err != nil {
+				return fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, err)
+			}
+		}
+	}
+	for _, chk := range t.Checks {
+		ok, err := chk.Eval(rowView{t: t, vals: checked})
+		if err != nil {
+			return fmt.Errorf("ordb: table %s CHECK (%s): %w", t.Name, chk, err)
+		}
+		if !ok {
+			return fmt.Errorf("ordb: table %s: CHECK (%s): %w", t.Name, chk, ErrCheck)
+		}
+	}
+	t.db.mu.Lock()
+	row.Vals = checked
+	t.db.mu.Unlock()
+	return nil
+}
+
+// UpdateWhere applies transform to every row matching pred, re-validating
+// the produced values against column types and constraints. It returns
+// the number of rows updated. Matching and new values are computed first,
+// then applied, so a failed conform leaves the table unchanged.
+func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals []Value) ([]Value, error)) (int, error) {
+	t.db.mu.RLock()
+	rows := append([]*Row(nil), t.rows...)
+	t.db.mu.RUnlock()
+	type change struct {
+		row  *Row
+		vals []Value
+	}
+	var changes []change
+	for _, r := range rows {
+		ok, err := pred(r)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			continue
+		}
+		nv, err := transform(r.Vals)
+		if err != nil {
+			return 0, err
+		}
+		if len(nv) != len(t.Cols) {
+			return 0, fmt.Errorf("ordb: table %s: update produced %d values for %d columns: %w",
+				t.Name, len(nv), len(t.Cols), ErrArity)
+		}
+		checked := make([]Value, len(nv))
+		for i, v := range nv {
+			cv, err := t.db.conform(v, t.Cols[i].Type)
+			if err != nil {
+				return 0, fmt.Errorf("ordb: table %s column %s: %w", t.Name, t.Cols[i].Name, err)
+			}
+			checked[i] = cv
+		}
+		for i, c := range t.Cols {
+			if (c.NotNull || c.PrimaryKey) && IsNull(checked[i]) {
+				return 0, fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, ErrNotNull)
+			}
+			if c.Scope != "" {
+				if err := t.db.checkScope(checked[i], c.Scope); err != nil {
+					return 0, fmt.Errorf("ordb: table %s column %s: %w", t.Name, c.Name, err)
+				}
+			}
+		}
+		for _, chk := range t.Checks {
+			ok, err := chk.Eval(rowView{t: t, vals: checked})
+			if err != nil {
+				return 0, fmt.Errorf("ordb: table %s CHECK (%s): %w", t.Name, chk, err)
+			}
+			if !ok {
+				return 0, fmt.Errorf("ordb: table %s: CHECK (%s): %w", t.Name, chk, ErrCheck)
+			}
+		}
+		changes = append(changes, change{row: r, vals: checked})
+	}
+	t.db.mu.Lock()
+	for _, c := range changes {
+		c.row.Vals = c.vals
+	}
+	t.db.mu.Unlock()
+	return len(changes), nil
+}
+
+// ReplaceWhere re-validates vals and replaces the first row matching pred,
+// reporting whether a row was found. Relational counterpart to
+// ReplaceByOID.
+func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
+	if len(vals) != len(t.Cols) {
+		return false, fmt.Errorf("ordb: table %s: got %d values for %d columns: %w",
+			t.Name, len(vals), len(t.Cols), ErrArity)
+	}
+	checked := make([]Value, len(vals))
+	for i, v := range vals {
+		cv, err := t.db.conform(v, t.Cols[i].Type)
+		if err != nil {
+			return false, fmt.Errorf("ordb: table %s column %s: %w", t.Name, t.Cols[i].Name, err)
+		}
+		checked[i] = cv
+	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	for _, r := range t.rows {
+		if pred(r) {
+			r.Vals = checked
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// FetchByOID returns the row object with the given OID, dereferencing a
+// REF. The returned value is the stored object (row type instance).
+func (db *DB) FetchByOID(table string, oid OID) (*Object, error) {
+	t, err := db.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if !t.IsObjectTable() {
+		return nil, fmt.Errorf("ordb: table %s is not an object table", table)
+	}
+	db.stats.Derefs.Add(1)
+	db.mu.RLock()
+	found := t.oidIndex[oid]
+	db.mu.RUnlock()
+	if found == nil {
+		return nil, fmt.Errorf("ordb: %s oid %d: %w", table, oid, ErrDanglingRef)
+	}
+	return &Object{TypeName: t.RowType.Name, Attrs: found.Vals}, nil
+}
+
+// Deref resolves a REF value to its row object.
+func (db *DB) Deref(v Value) (*Object, error) {
+	r, ok := v.(Ref)
+	if !ok {
+		if IsNull(v) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("ordb: DEREF of non-REF value %T: %w", v, ErrTypeMismatch)
+	}
+	return db.FetchByOID(r.Table, r.OID)
+}

@@ -1,0 +1,306 @@
+// Package ordb is an in-memory object-relational database engine modeled
+// on the Oracle 8i/9i feature set the paper exercises: user-defined object
+// types, collection types (VARRAY and nested TABLE OF), object tables with
+// system-managed object identifiers, REF-valued columns with optional
+// SCOPE FOR restriction, table-level constraints (PRIMARY KEY, NOT NULL,
+// CHECK) and object views.
+//
+// Two compatibility modes reproduce the version difference that drives
+// Section 4.2 of the paper: in ModeOracle8 a collection's element type
+// must not itself be a collection or large object, which forces the REF
+// workaround for set-valued complex elements; ModeOracle9 lifts the
+// restriction and admits arbitrarily nested collections.
+//
+// The engine is the storage substrate for the XML-to-object-relational
+// mapping; the SQL scripts that the mapping layer generates execute
+// against it through the companion sql package.
+package ordb
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects the emulated DBMS version.
+type Mode int
+
+// The two emulated Oracle versions.
+const (
+	// ModeOracle8 rejects nested collection types (Section 2.2) — the
+	// restriction the paper works around with REF-valued attributes.
+	ModeOracle8 Mode = iota
+	// ModeOracle9 accepts any element type in a collection.
+	ModeOracle9
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == ModeOracle8 {
+		return "Oracle8"
+	}
+	return "Oracle9"
+}
+
+// MaxIdentLen is the maximum identifier length the engine accepts,
+// matching the Oracle restriction the paper notes in Section 5.
+const MaxIdentLen = 30
+
+// TypeKind classifies a Type.
+type TypeKind int
+
+// Type kinds.
+const (
+	KindVarchar TypeKind = iota
+	KindChar
+	KindNumber
+	KindInteger
+	KindDate
+	KindCLOB
+	KindObject
+	KindVarray
+	KindNestedTable
+	KindRef
+)
+
+// String names the kind.
+func (k TypeKind) String() string {
+	switch k {
+	case KindVarchar:
+		return "VARCHAR"
+	case KindChar:
+		return "CHAR"
+	case KindNumber:
+		return "NUMBER"
+	case KindInteger:
+		return "INTEGER"
+	case KindDate:
+		return "DATE"
+	case KindCLOB:
+		return "CLOB"
+	case KindObject:
+		return "OBJECT"
+	case KindVarray:
+		return "VARRAY"
+	case KindNestedTable:
+		return "NESTED TABLE"
+	case KindRef:
+		return "REF"
+	default:
+		return fmt.Sprintf("TypeKind(%d)", int(k))
+	}
+}
+
+// Type is the interface of all SQL types.
+type Type interface {
+	Kind() TypeKind
+	// SQL renders the type as it appears in a column definition.
+	SQL() string
+}
+
+// IsCollection reports whether t is a VARRAY or nested table type.
+func IsCollection(t Type) bool {
+	k := t.Kind()
+	return k == KindVarray || k == KindNestedTable
+}
+
+// IsLOB reports whether t is a large object type.
+func IsLOB(t Type) bool { return t.Kind() == KindCLOB }
+
+// VarcharType is VARCHAR/VARCHAR2(n). MaxOracleVarchar is the engine's
+// limit, matching the "restricted maximum length of the VARCHAR datatype"
+// drawback the paper lists in Section 7.
+type VarcharType struct {
+	Len int
+}
+
+// MaxOracleVarchar is the byte limit of a VARCHAR2 column (Oracle 8i/9i).
+const MaxOracleVarchar = 4000
+
+// Kind reports KindVarchar.
+func (t VarcharType) Kind() TypeKind { return KindVarchar }
+
+// SQL renders "VARCHAR(n)".
+func (t VarcharType) SQL() string { return fmt.Sprintf("VARCHAR(%d)", t.Len) }
+
+// CharType is CHAR(n), fixed length.
+type CharType struct {
+	Len int
+}
+
+// Kind reports KindChar.
+func (t CharType) Kind() TypeKind { return KindChar }
+
+// SQL renders "CHAR(n)".
+func (t CharType) SQL() string { return fmt.Sprintf("CHAR(%d)", t.Len) }
+
+// NumberType is the NUMBER datatype.
+type NumberType struct{}
+
+// Kind reports KindNumber.
+func (NumberType) Kind() TypeKind { return KindNumber }
+
+// SQL renders "NUMBER".
+func (NumberType) SQL() string { return "NUMBER" }
+
+// IntegerType is the INTEGER datatype.
+type IntegerType struct{}
+
+// Kind reports KindInteger.
+func (IntegerType) Kind() TypeKind { return KindInteger }
+
+// SQL renders "INTEGER".
+func (IntegerType) SQL() string { return "INTEGER" }
+
+// DateType is the DATE datatype (used by the meta-table of Section 5).
+type DateType struct{}
+
+// Kind reports KindDate.
+func (DateType) Kind() TypeKind { return KindDate }
+
+// SQL renders "DATE".
+func (DateType) SQL() string { return "DATE" }
+
+// CLOBType is a character large object — the alternative the paper
+// recommends for large text elements in Section 7.
+type CLOBType struct{}
+
+// Kind reports KindCLOB.
+func (CLOBType) Kind() TypeKind { return KindCLOB }
+
+// SQL renders "CLOB".
+func (CLOBType) SQL() string { return "CLOB" }
+
+// AttrDef is one attribute of an object type.
+type AttrDef struct {
+	Name string
+	Type Type
+}
+
+// ObjectType is a user-defined type created with CREATE TYPE ... AS
+// OBJECT. An incomplete type (forward declaration, CREATE TYPE name;) has
+// Incomplete=true until its body is supplied — the mechanism Section 6.2
+// uses to break recursive type cycles.
+type ObjectType struct {
+	Name       string
+	Attrs      []AttrDef
+	Incomplete bool
+}
+
+// Kind reports KindObject.
+func (t *ObjectType) Kind() TypeKind { return KindObject }
+
+// SQL renders the type name (as used in column definitions).
+func (t *ObjectType) SQL() string { return t.Name }
+
+// AttrIndex returns the position of the named attribute
+// (case-insensitive), or -1.
+func (t *ObjectType) AttrIndex(name string) int {
+	for i, a := range t.Attrs {
+		if strings.EqualFold(a.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Attr returns the definition of the named attribute, or nil.
+func (t *ObjectType) Attr(name string) *AttrDef {
+	if i := t.AttrIndex(name); i >= 0 {
+		return &t.Attrs[i]
+	}
+	return nil
+}
+
+// VarrayType is CREATE TYPE name AS VARRAY(max) OF elem.
+type VarrayType struct {
+	Name string
+	Max  int
+	Elem Type
+}
+
+// Kind reports KindVarray.
+func (t *VarrayType) Kind() TypeKind { return KindVarray }
+
+// SQL renders the type name.
+func (t *VarrayType) SQL() string { return t.Name }
+
+// NestedTableType is CREATE TYPE name AS TABLE OF elem.
+type NestedTableType struct {
+	Name string
+	Elem Type
+}
+
+// Kind reports KindNestedTable.
+func (t *NestedTableType) Kind() TypeKind { return KindNestedTable }
+
+// SQL renders the type name.
+func (t *NestedTableType) SQL() string { return t.Name }
+
+// ElemType returns the element type of a collection type, or nil when t
+// is not a collection.
+func ElemType(t Type) Type {
+	switch c := t.(type) {
+	case *VarrayType:
+		return c.Elem
+	case *NestedTableType:
+		return c.Elem
+	default:
+		return nil
+	}
+}
+
+// RefType is REF target: a reference to row objects of the target object
+// type (Section 2.3).
+type RefType struct {
+	Target *ObjectType
+}
+
+// Kind reports KindRef.
+func (t *RefType) Kind() TypeKind { return KindRef }
+
+// SQL renders "REF name".
+func (t *RefType) SQL() string { return "REF " + t.Target.Name }
+
+// NamedType reports the user-declared name of t, or "" for anonymous
+// scalar and REF types.
+func NamedType(t Type) string {
+	switch n := t.(type) {
+	case *ObjectType:
+		return n.Name
+	case *VarrayType:
+		return n.Name
+	case *NestedTableType:
+		return n.Name
+	default:
+		return ""
+	}
+}
+
+// typeDependencies returns the names of user-defined types that t's
+// definition references directly. Used for DROP dependency tracking.
+func typeDependencies(t Type) []string {
+	switch n := t.(type) {
+	case *ObjectType:
+		var deps []string
+		for _, a := range n.Attrs {
+			deps = append(deps, refOrName(a.Type)...)
+		}
+		return deps
+	case *VarrayType:
+		return refOrName(n.Elem)
+	case *NestedTableType:
+		return refOrName(n.Elem)
+	default:
+		return nil
+	}
+}
+
+func refOrName(t Type) []string {
+	if r, ok := t.(*RefType); ok {
+		return []string{r.Target.Name}
+	}
+	if n := NamedType(t); n != "" {
+		return []string{n}
+	}
+	return nil
+}

@@ -1,0 +1,260 @@
+package ordb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Value is the interface of all runtime values the engine stores.
+// The zero of every column is Null{}.
+type Value interface {
+	isValue()
+	// SQL renders the value as an SQL literal or constructor expression,
+	// suitable for re-insertion.
+	SQL() string
+}
+
+// Null is the SQL NULL value.
+type Null struct{}
+
+func (Null) isValue() {}
+
+// SQL renders "NULL".
+func (Null) SQL() string { return "NULL" }
+
+// IsNull reports whether v is NULL (or a nil interface).
+func IsNull(v Value) bool {
+	if v == nil {
+		return true
+	}
+	_, ok := v.(Null)
+	return ok
+}
+
+// Str is a character value (VARCHAR, CHAR, CLOB).
+type Str string
+
+func (Str) isValue() {}
+
+// SQL renders a single-quoted literal with quotes doubled.
+func (s Str) SQL() string {
+	return "'" + strings.ReplaceAll(string(s), "'", "''") + "'"
+}
+
+// Num is a numeric value (NUMBER, INTEGER).
+type Num float64
+
+func (Num) isValue() {}
+
+// SQL renders the number.
+func (n Num) SQL() string {
+	return strconv.FormatFloat(float64(n), 'g', -1, 64)
+}
+
+// DateVal is a DATE value.
+type DateVal time.Time
+
+func (DateVal) isValue() {}
+
+// SQL renders DATE 'YYYY-MM-DD'.
+func (d DateVal) SQL() string {
+	return "DATE '" + time.Time(d).Format("2006-01-02") + "'"
+}
+
+// GobEncode implements gob.GobEncoder (time.Time's fields are
+// unexported, so the defined type must delegate explicitly).
+func (d DateVal) GobEncode() ([]byte, error) { return time.Time(d).MarshalBinary() }
+
+// GobDecode implements gob.GobDecoder.
+func (d *DateVal) GobDecode(b []byte) error {
+	var t time.Time
+	if err := t.UnmarshalBinary(b); err != nil {
+		return err
+	}
+	*d = DateVal(t)
+	return nil
+}
+
+// Object is an instance of an object type: the attribute values in
+// declaration order.
+type Object struct {
+	TypeName string
+	Attrs    []Value
+}
+
+func (*Object) isValue() {}
+
+// SQL renders the constructor expression Type(attr, attr, ...).
+func (o *Object) SQL() string {
+	parts := make([]string, len(o.Attrs))
+	for i, a := range o.Attrs {
+		parts[i] = valueSQL(a)
+	}
+	return o.TypeName + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Coll is an instance of a collection type (VARRAY or nested table).
+type Coll struct {
+	TypeName string
+	Elems    []Value
+}
+
+func (*Coll) isValue() {}
+
+// SQL renders the collection constructor Type(elem, elem, ...).
+func (c *Coll) SQL() string {
+	parts := make([]string, len(c.Elems))
+	for i, e := range c.Elems {
+		parts[i] = valueSQL(e)
+	}
+	return c.TypeName + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// OID is a system-generated object identifier of a row object.
+type OID int64
+
+// Ref is a reference to a row object: the paper's uniform element
+// identity (Section 7, advantages).
+type Ref struct {
+	// Table is the object table holding the referenced row.
+	Table string
+	// OID identifies the row within the database.
+	OID OID
+}
+
+func (Ref) isValue() {}
+
+// SQL renders an opaque REF literal (REFs cannot be written literally in
+// Oracle either; this form is for diagnostics).
+func (r Ref) SQL() string { return fmt.Sprintf("REF(%s:%d)", r.Table, r.OID) }
+
+func valueSQL(v Value) string {
+	if v == nil {
+		return "NULL"
+	}
+	return v.SQL()
+}
+
+// DeepEqual compares two values structurally. NULL equals only NULL
+// (this is Go-level comparison for tests and uniqueness checks, not SQL
+// three-valued logic).
+func DeepEqual(a, b Value) bool {
+	if IsNull(a) || IsNull(b) {
+		return IsNull(a) && IsNull(b)
+	}
+	switch x := a.(type) {
+	case Str:
+		y, ok := b.(Str)
+		return ok && x == y
+	case Num:
+		y, ok := b.(Num)
+		return ok && x == y
+	case DateVal:
+		y, ok := b.(DateVal)
+		return ok && time.Time(x).Equal(time.Time(y))
+	case Ref:
+		y, ok := b.(Ref)
+		return ok && x == y
+	case *Object:
+		y, ok := b.(*Object)
+		if !ok || !strings.EqualFold(x.TypeName, y.TypeName) || len(x.Attrs) != len(y.Attrs) {
+			return false
+		}
+		for i := range x.Attrs {
+			if !DeepEqual(x.Attrs[i], y.Attrs[i]) {
+				return false
+			}
+		}
+		return true
+	case *Coll:
+		y, ok := b.(*Coll)
+		if !ok || !strings.EqualFold(x.TypeName, y.TypeName) || len(x.Elems) != len(y.Elems) {
+			return false
+		}
+		for i := range x.Elems {
+			if !DeepEqual(x.Elems[i], y.Elems[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Compare orders two scalar values. It returns <0, 0, >0 and an error for
+// non-comparable kinds. NULL never compares (SQL semantics handled by the
+// caller).
+func Compare(a, b Value) (int, error) {
+	switch x := a.(type) {
+	case Str:
+		if y, ok := b.(Str); ok {
+			return strings.Compare(string(x), string(y)), nil
+		}
+	case Num:
+		if y, ok := b.(Num); ok {
+			switch {
+			case x < y:
+				return -1, nil
+			case x > y:
+				return 1, nil
+			default:
+				return 0, nil
+			}
+		}
+	case DateVal:
+		if y, ok := b.(DateVal); ok {
+			return time.Time(x).Compare(time.Time(y)), nil
+		}
+	case Ref:
+		if y, ok := b.(Ref); ok {
+			if x == y {
+				return 0, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, fmt.Errorf("ordb: cannot compare %T with %T", a, b)
+}
+
+// CloneValue returns a deep copy of v so that stored rows never alias
+// caller-owned memory.
+func CloneValue(v Value) Value {
+	switch x := v.(type) {
+	case *Object:
+		attrs := make([]Value, len(x.Attrs))
+		for i, a := range x.Attrs {
+			attrs[i] = CloneValue(a)
+		}
+		return &Object{TypeName: x.TypeName, Attrs: attrs}
+	case *Coll:
+		elems := make([]Value, len(x.Elems))
+		for i, e := range x.Elems {
+			elems[i] = CloneValue(e)
+		}
+		return &Coll{TypeName: x.TypeName, Elems: elems}
+	case nil:
+		return Null{}
+	default:
+		return v // scalars and refs are immutable
+	}
+}
+
+// FormatValue renders a value for result-set display: strings unquoted,
+// nested objects in constructor syntax.
+func FormatValue(v Value) string {
+	switch x := v.(type) {
+	case nil, Null:
+		return "NULL"
+	case Str:
+		return string(x)
+	case Num:
+		return x.SQL()
+	case DateVal:
+		return time.Time(x).Format("2006-01-02")
+	default:
+		return v.SQL()
+	}
+}

@@ -1,0 +1,76 @@
+package ordb
+
+import (
+	"fmt"
+)
+
+// View is a stored query definition. The engine keeps the definition
+// opaque (the sql package compiles and executes it); object views over
+// relational tables are the Section 6.3 mechanism for superimposing the
+// document structure on a shredded schema.
+type View struct {
+	Name string
+	// Definition is the SQL text of the defining query, kept for
+	// catalog listings.
+	Definition string
+	// Compiled is the executable form supplied by the sql package.
+	Compiled any
+}
+
+// CreateView registers a view. With orReplace, an existing view of the
+// same name is replaced.
+func (db *DB) CreateView(name, definition string, compiled any, orReplace bool) (*View, error) {
+	if err := checkIdent(name); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := key(name)
+	if _, ok := db.tables[k]; ok {
+		return nil, fmt.Errorf("ordb: view %q collides with table: %w", name, ErrExists)
+	}
+	if _, ok := db.views[k]; ok && !orReplace {
+		return nil, fmt.Errorf("ordb: view %q: %w", name, ErrExists)
+	}
+	v := &View{Name: name, Definition: definition, Compiled: compiled}
+	if _, ok := db.views[k]; !ok {
+		db.viewOrder = append(db.viewOrder, k)
+	}
+	db.views[k] = v
+	return v, nil
+}
+
+// View looks up a view by name.
+func (db *DB) View(name string) (*View, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.views[key(name)]
+	if !ok {
+		return nil, fmt.Errorf("ordb: view %q: %w", name, ErrNotFound)
+	}
+	return v, nil
+}
+
+// ViewNames lists view names in creation order.
+func (db *DB) ViewNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.viewOrder))
+	for _, k := range db.viewOrder {
+		out = append(out, db.views[k].Name)
+	}
+	return out
+}
+
+// DropView removes a view.
+func (db *DB) DropView(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	k := key(name)
+	if _, ok := db.views[k]; !ok {
+		return fmt.Errorf("ordb: view %q: %w", name, ErrNotFound)
+	}
+	delete(db.views, k)
+	db.viewOrder = removeString(db.viewOrder, k)
+	return nil
+}

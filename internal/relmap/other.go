@@ -1,0 +1,152 @@
+package relmap
+
+import (
+	"fmt"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmldom"
+)
+
+// PerName stores one table per distinct element name (the "attribute
+// table" flavor of generic shredding): each table holds the node identity
+// and value of its element occurrences.
+type PerName struct {
+	en     *sql.Engine
+	nextID int
+	tables map[string]bool
+}
+
+// InstallPerName prepares the per-name mapping (tables are created lazily
+// as element names appear).
+func InstallPerName(en *sql.Engine) *PerName {
+	return &PerName{en: en, tables: map[string]bool{}}
+}
+
+// Load shreds the document into per-name tables, one INSERT per element
+// or attribute, and reports the insert count.
+func (p *PerName) Load(doc *xmldom.Document, docID int) (int, error) {
+	root := doc.Root()
+	if root == nil {
+		return 0, fmt.Errorf("relmap: document has no root element")
+	}
+	before := p.en.DB().Stats().Inserts
+	if err := p.insert(root, 0, 0, docID); err != nil {
+		return 0, err
+	}
+	return int(p.en.DB().Stats().Inserts - before), nil
+}
+
+func (p *PerName) tableFor(name, kind string) (*ordb.Table, error) {
+	tab := "PN_" + kind + "_" + sanitize(name)
+	if !p.tables[tab] {
+		ddl := fmt.Sprintf(`CREATE TABLE %s(
+	DocID INTEGER, NodeID INTEGER, ParentID INTEGER, Ord INTEGER, NodeValue VARCHAR(4000))`, tab)
+		if _, err := p.en.Exec(ddl); err != nil {
+			return nil, err
+		}
+		p.tables[tab] = true
+	}
+	return p.en.DB().Table(tab)
+}
+
+func (p *PerName) insert(el *xmldom.Element, parent, ord, docID int) error {
+	tab, err := p.tableFor(el.Name, "E")
+	if err != nil {
+		return err
+	}
+	p.nextID++
+	id := p.nextID
+	var text ordb.Value = ordb.Null{}
+	if !el.HasElementChildren() {
+		text = ordb.Str(el.Text())
+	}
+	if _, err := tab.Insert([]ordb.Value{
+		ordb.Num(docID), ordb.Num(id), ordb.Num(parent), ordb.Num(ord), text,
+	}); err != nil {
+		return err
+	}
+	for i, a := range el.Attrs {
+		if !a.Specified {
+			continue
+		}
+		atab, err := p.tableFor(a.Name, "A")
+		if err != nil {
+			return err
+		}
+		p.nextID++
+		if _, err := atab.Insert([]ordb.Value{
+			ordb.Num(docID), ordb.Num(p.nextID), ordb.Num(id), ordb.Num(i), ordb.Str(a.Value),
+		}); err != nil {
+			return err
+		}
+	}
+	for i, c := range el.ChildElements() {
+		if err := p.insert(c, id, i, docID); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TableCount reports how many per-name tables exist — the decomposition
+// degree of this mapping for experiment E3.
+func (p *PerName) TableCount() int { return len(p.tables) }
+
+// CLOB stores whole documents as character large objects — the storage
+// model the paper notes RDBMS vendors focused on ("XML datatypes
+// currently provided by RDBMS vendors focus mainly on the implementation
+// of XML documents as CLOBs", Section 7). One INSERT per document, no
+// structural queries.
+type CLOB struct {
+	en *sql.Engine
+}
+
+// CLOBDDL is the single-table schema of the CLOB mapping.
+const CLOBDDL = `CREATE TABLE ClobDocs(DocID INTEGER PRIMARY KEY, Content CLOB);`
+
+// InstallCLOB creates the CLOB schema.
+func InstallCLOB(en *sql.Engine) (*CLOB, error) {
+	if _, err := en.ExecScript(CLOBDDL); err != nil {
+		return nil, fmt.Errorf("relmap: installing CLOB schema: %w", err)
+	}
+	return &CLOB{en: en}, nil
+}
+
+// Load serializes and stores the document, reporting the insert count
+// (always 1).
+func (c *CLOB) Load(doc *xmldom.Document, docID int) (int, error) {
+	tab, err := c.en.DB().Table("ClobDocs")
+	if err != nil {
+		return 0, err
+	}
+	if _, err := tab.Insert([]ordb.Value{
+		ordb.Num(docID), ordb.Str(xmldom.Serialize(doc)),
+	}); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}
+
+// Retrieve parses the stored text back into a document: CLOB storage is
+// perfectly lossless — at the price of no structural query capability.
+func (c *CLOB) Retrieve(docID int) (string, error) {
+	tab, err := c.en.DB().Table("ClobDocs")
+	if err != nil {
+		return "", err
+	}
+	var content string
+	found := false
+	tab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) == docID {
+			content = string(r.Vals[1].(ordb.Str))
+			found = true
+			return false
+		}
+		return true
+	})
+	if !found {
+		return "", fmt.Errorf("relmap: document %d not in CLOB store", docID)
+	}
+	return content, nil
+}

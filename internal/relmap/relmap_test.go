@@ -1,0 +1,282 @@
+package relmap
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+func sampleDoc(t *testing.T) (*xmldom.Document, *dtd.Tree) {
+	t.Helper()
+	doc := workload.University(workload.UniversityParams{
+		Students: 2, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: 7,
+	})
+	d, err := dtd.Parse("University", workload.UniversityDTD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := dtd.BuildTree(d, "University")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc, tree
+}
+
+func TestEdgeLoadAndRetrieve(t *testing.T) {
+	doc, _ := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	edge, err := InstallEdge(en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := edge.Load(doc, 1)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// One INSERT per element + attribute + text node: far more than 1.
+	counts := xmldom.CountNodes(doc)
+	if n < counts[xmldom.ElementNode] {
+		t.Errorf("edge inserts = %d, want >= element count %d", n, counts[xmldom.ElementNode])
+	}
+	restored, err := edge.Retrieve(1)
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if restored.Root().Name != "University" {
+		t.Errorf("root = %s", restored.Root().Name)
+	}
+	// The edge mapping preserves order and attributes.
+	origStudents := doc.Root().ChildElementsNamed("Student")
+	gotStudents := restored.Root().ChildElementsNamed("Student")
+	if len(gotStudents) != len(origStudents) {
+		t.Fatalf("students = %d, want %d", len(gotStudents), len(origStudents))
+	}
+	for i := range origStudents {
+		ov, _ := origStudents[i].Attr("StudNr")
+		gv, _ := gotStudents[i].Attr("StudNr")
+		if ov != gv {
+			t.Errorf("student %d StudNr = %q, want %q", i, gv, ov)
+		}
+	}
+}
+
+func TestEdgePathValues(t *testing.T) {
+	doc, _ := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	edge, _ := InstallEdge(en)
+	if _, err := edge.Load(doc, 1); err != nil {
+		t.Fatal(err)
+	}
+	names, err := edge.PathValues(1, []string{"University", "Student", "LName"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Errorf("LName values = %v", names)
+	}
+	none, _ := edge.PathValues(1, []string{"University", "Nope"})
+	if len(none) != 0 {
+		t.Errorf("bogus path = %v", none)
+	}
+}
+
+func TestEdgeMultipleDocuments(t *testing.T) {
+	doc, _ := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	edge, _ := InstallEdge(en)
+	edge.Load(doc, 1)
+	edge.Load(doc, 2)
+	d1, err := edge.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := edge.Retrieve(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xmldom.Serialize(d1) != xmldom.Serialize(d2) {
+		t.Error("same document stored twice retrieves differently")
+	}
+	if _, err := edge.Retrieve(3); err == nil {
+		t.Error("missing doc must fail")
+	}
+}
+
+func TestShreddedSchemaAndLoad(t *testing.T) {
+	doc, tree := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	shred, err := GenerateShredded(tree, en)
+	if err != nil {
+		t.Fatalf("GenerateShredded: %v", err)
+	}
+	// Section 6.3's table inventory: University, Student, Course,
+	// Professor relations plus a Subject side table.
+	for _, elem := range []string{"University", "Student", "Course", "Professor", "Subject"} {
+		if _, ok := shred.TableFor(elem); !ok {
+			t.Errorf("no relation for %s; tables = %v", elem, shred.Tables)
+		}
+	}
+	n, err := shred.Load(doc, 1)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// 1 University + 2 Students + 4 Courses + 4 Professors + 8 Subjects.
+	if n != 19 {
+		t.Errorf("shredded inserts = %d, want 19", n)
+	}
+	// The Section 4.1-style query needs joins over the shredded tables.
+	rows, err := en.Query(`
+		SELECT s.attrLName
+		FROM RelStudent s, RelCourse c, RelProfessor p
+		WHERE c.IDParent = s.IDStudent AND p.IDParent = c.IDCourse
+		  AND p.attrPName = 'Jaeger'`)
+	if err != nil {
+		t.Fatalf("join query: %v", err)
+	}
+	// Count professors named Jaeger to validate the join result size.
+	jaeger, _ := en.Query(`SELECT COUNT(*) FROM RelProfessor p WHERE p.attrPName = 'Jaeger'`)
+	if int(jaeger.Data[0][0].(ordb.Num)) != len(rows.Data) {
+		t.Errorf("join rows = %d, jaeger profs = %v", len(rows.Data), jaeger.Data[0][0])
+	}
+}
+
+func TestShreddedAttrsAndFlags(t *testing.T) {
+	src := `<!DOCTYPE r [
+<!ELEMENT r (item*)>
+<!ELEMENT item (name,flag?)>
+<!ATTLIST item kind CDATA #REQUIRED>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT flag EMPTY>
+]>
+<r><item kind="a"><name>x</name><flag/></item><item kind="b"><name>y</name></item></r>`
+	res, err := xmlparser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, _ := dtd.BuildTree(res.DTD, "r")
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	shred, err := GenerateShredded(tree, en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := shred.Load(res.Doc, 1); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := en.Query(`SELECT i.attrkind, i.attrname, i.attrflag FROM Relitem i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Fatalf("items = %d", len(rows.Data))
+	}
+	if rows.Data[0][0] != ordb.Str("a") || rows.Data[0][1] != ordb.Str("x") {
+		t.Errorf("row 0 = %v", rows.Data[0])
+	}
+	if !strings.HasPrefix(string(rows.Data[0][2].(ordb.Str)), "Y") {
+		t.Errorf("flag = %v", rows.Data[0][2])
+	}
+	if !ordb.IsNull(rows.Data[1][2]) {
+		t.Errorf("absent flag = %v", rows.Data[1][2])
+	}
+}
+
+func TestShreddedWrongRoot(t *testing.T) {
+	_, tree := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	shred, _ := GenerateShredded(tree, en)
+	bad := xmldom.NewDocument()
+	bad.AppendChild(xmldom.NewElement("Other"))
+	if _, err := shred.Load(bad, 1); err == nil {
+		t.Error("wrong root accepted")
+	}
+}
+
+func TestPerNameLoad(t *testing.T) {
+	doc, _ := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	pn := InstallPerName(en)
+	n, err := pn.Load(doc, 1)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	counts := xmldom.CountNodes(doc)
+	want := counts[xmldom.ElementNode] + 2 // + the two StudNr attributes
+	if n != want {
+		t.Errorf("per-name inserts = %d, want %d", n, want)
+	}
+	// One table per element name (12 names in the DTD) + one per
+	// attribute name (StudNr).
+	if got := pn.TableCount(); got != 12+1 {
+		t.Errorf("table count = %d, want 13", got)
+	}
+	// Values are queryable per name.
+	rows, err := en.Query(`SELECT NodeValue FROM PN_E_LName l WHERE l.DocID = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 2 {
+		t.Errorf("LName rows = %d", len(rows.Data))
+	}
+}
+
+func TestCLOBLoadAndRetrieve(t *testing.T) {
+	doc, _ := sampleDoc(t)
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	clob, err := InstallCLOB(en)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := clob.Load(doc, 1)
+	if err != nil || n != 1 {
+		t.Fatalf("Load = %d, %v", n, err)
+	}
+	text, err := clob.Retrieve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CLOB storage is byte-exact.
+	if text != xmldom.Serialize(doc) {
+		t.Error("CLOB content differs from serialization")
+	}
+	// And it re-parses.
+	if _, err := xmlparser.Parse(text); err != nil {
+		t.Errorf("CLOB round trip invalid: %v", err)
+	}
+	if _, err := clob.Retrieve(9); err == nil {
+		t.Error("missing doc must fail")
+	}
+}
+
+func TestInsertCountOrdering(t *testing.T) {
+	// E1's headline shape: OR-nested = 1 insert; shredded = tables rows;
+	// per-name ≈ nodes; edge ≥ nodes. Verify the ordering holds on one
+	// document.
+	doc, tree := sampleDoc(t)
+
+	edgeEn := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	edge, _ := InstallEdge(edgeEn)
+	edgeN, _ := edge.Load(doc, 1)
+
+	pnEn := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	pn := InstallPerName(pnEn)
+	pnN, _ := pn.Load(doc, 1)
+
+	shredEn := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	shred, _ := GenerateShredded(tree, shredEn)
+	shredN, _ := shred.Load(doc, 1)
+
+	clobEn := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	clob, _ := InstallCLOB(clobEn)
+	clobN, _ := clob.Load(doc, 1)
+
+	if !(clobN < shredN && shredN < pnN && pnN <= edgeN) {
+		t.Errorf("insert counts out of order: clob=%d shred=%d pername=%d edge=%d",
+			clobN, shredN, pnN, edgeN)
+	}
+}

@@ -1,0 +1,309 @@
+package relmap
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmldom"
+)
+
+// Shredded is the schema-aware hybrid-inlining mapping in the spirit of
+// Shanmugasundaram [9]: every complex element type becomes a relation
+// keyed by a generated ID with a foreign key to its parent; single-valued
+// simple children are inlined as VARCHAR columns; set-valued simple
+// children go to side tables. This is exactly the relational layout the
+// paper's Section 6.3 assumes underneath its object views (tables
+// tabUniversity, tabStudent, tabCourse, tabProfessor, tabSubject with
+// IDxxx key columns).
+type Shredded struct {
+	en   *sql.Engine
+	d    *dtd.DTD
+	root string
+	// Tables maps element names to their relation names ("" for inlined
+	// simple elements).
+	Tables map[string]string
+	// cols caches the column layout per table element.
+	cols map[string][]shredCol
+	// nextID hands out row identifiers per table.
+	nextID map[string]int
+	// Statements is the generated DDL.
+	Statements []string
+}
+
+// shredCol is one column of a shredded relation.
+type shredCol struct {
+	name string
+	// kind: "id", "parent", "ord", "docid", "attr", "simple", "text",
+	// "flag", "value"
+	kind string
+	// xml is the source element/attribute name for attr/simple/flag.
+	xml string
+}
+
+// tableElement reports whether the element gets its own relation.
+func tableElement(decl *dtd.ElementDecl) bool {
+	if decl == nil {
+		return false
+	}
+	return decl.Content == dtd.ChildrenContent || len(decl.Attrs) > 0
+}
+
+// GenerateShredded builds the shredded schema for a DTD tree and executes
+// its DDL.
+func GenerateShredded(tree *dtd.Tree, en *sql.Engine) (*Shredded, error) {
+	s := &Shredded{
+		en:     en,
+		d:      tree.DTD,
+		root:   tree.Root.Name,
+		Tables: map[string]string{},
+		cols:   map[string][]shredCol{},
+		nextID: map[string]int{},
+	}
+	seen := map[string]bool{}
+	var emit func(name string) error
+	emit = func(name string) error {
+		if seen[name] {
+			return nil
+		}
+		seen[name] = true
+		decl := s.d.Element(name)
+		if decl == nil {
+			return fmt.Errorf("relmap: element %q not declared", name)
+		}
+		if !tableElement(decl) {
+			return nil
+		}
+		cols := []shredCol{
+			{name: "ID" + sanitize(name), kind: "id"},
+			{name: "IDParent", kind: "parent"},
+			{name: "Ord", kind: "ord"},
+			{name: "DocID", kind: "docid"},
+		}
+		for _, a := range decl.Attrs {
+			cols = append(cols, shredCol{name: "attr" + sanitize(a.Name), kind: "attr", xml: a.Name})
+		}
+		switch decl.Content {
+		case dtd.PCDATAContent, dtd.MixedContent, dtd.AnyContent:
+			cols = append(cols, shredCol{name: "attrValue", kind: "text", xml: name})
+		case dtd.ChildrenContent:
+			for _, ref := range decl.ChildRefs() {
+				cdecl := s.d.Element(ref.Name)
+				if tableElement(cdecl) {
+					if err := emit(ref.Name); err != nil {
+						return err
+					}
+					continue
+				}
+				switch {
+				case cdecl != nil && cdecl.Content == dtd.EmptyContent && !ref.Repeats:
+					cols = append(cols, shredCol{name: "attr" + sanitize(ref.Name), kind: "flag", xml: ref.Name})
+				case ref.Repeats:
+					// Side table for set-valued simple children.
+					side := "Rel" + sanitize(ref.Name)
+					if _, dup := s.cols[side]; !dup {
+						s.Tables[ref.Name] = side
+						s.cols[side] = []shredCol{
+							{name: "ID" + sanitize(ref.Name), kind: "id"},
+							{name: "IDParent", kind: "parent"},
+							{name: "Ord", kind: "ord"},
+							{name: "DocID", kind: "docid"},
+							{name: "attrValue", kind: "value", xml: ref.Name},
+						}
+						s.Statements = append(s.Statements, s.tableDDL(side))
+					}
+				default:
+					cols = append(cols, shredCol{name: "attr" + sanitize(ref.Name), kind: "simple", xml: ref.Name})
+				}
+			}
+		}
+		tab := "Rel" + sanitize(name)
+		s.Tables[name] = tab
+		s.cols[tab] = cols
+		s.Statements = append(s.Statements, s.tableDDL(tab))
+		return nil
+	}
+	if err := emit(tree.Root.Name); err != nil {
+		return nil, err
+	}
+	for _, stmt := range s.Statements {
+		if _, err := en.Exec(stmt); err != nil {
+			return nil, fmt.Errorf("relmap: shredded DDL: %w", err)
+		}
+	}
+	return s, nil
+}
+
+func (s *Shredded) tableDDL(tab string) string {
+	var parts []string
+	for _, c := range s.cols[tab] {
+		switch c.kind {
+		case "id":
+			parts = append(parts, "\t"+c.name+" INTEGER PRIMARY KEY")
+		case "parent", "ord", "docid":
+			parts = append(parts, "\t"+c.name+" INTEGER")
+		case "flag":
+			parts = append(parts, "\t"+c.name+" CHAR(1)")
+		default:
+			parts = append(parts, "\t"+c.name+" VARCHAR(4000)")
+		}
+	}
+	return fmt.Sprintf("CREATE TABLE %s(\n%s)", tab, strings.Join(parts, ",\n"))
+}
+
+// sanitize mirrors the mapping package's identifier cleanup.
+func sanitize(name string) string {
+	var sb strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('X')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "X"
+	}
+	s := sb.String()
+	if len(s) > 24 {
+		s = s[:24]
+	}
+	return s
+}
+
+// Load shreds one document, returning the number of INSERT operations.
+func (s *Shredded) Load(doc *xmldom.Document, docID int) (int, error) {
+	root := doc.Root()
+	if root == nil {
+		return 0, fmt.Errorf("relmap: document has no root element")
+	}
+	if root.Name != s.root {
+		return 0, fmt.Errorf("relmap: root %q does not match schema root %q", root.Name, s.root)
+	}
+	before := s.en.DB().Stats().Inserts
+	if _, err := s.insertElement(root, 0, 0, docID); err != nil {
+		return 0, err
+	}
+	return int(s.en.DB().Stats().Inserts - before), nil
+}
+
+// insertElement stores one table element and its subtree; returns its ID.
+func (s *Shredded) insertElement(el *xmldom.Element, parentID, ord, docID int) (int, error) {
+	tabName, ok := s.Tables[el.Name]
+	if !ok {
+		return 0, fmt.Errorf("relmap: element %q has no relation", el.Name)
+	}
+	tab, err := s.en.DB().Table(tabName)
+	if err != nil {
+		return 0, err
+	}
+	s.nextID[tabName]++
+	id := s.nextID[tabName]
+	cols := s.cols[tabName]
+	vals := make([]ordb.Value, len(cols))
+	for i, c := range cols {
+		switch c.kind {
+		case "id":
+			vals[i] = ordb.Num(id)
+		case "parent":
+			vals[i] = ordb.Num(parentID)
+		case "ord":
+			vals[i] = ordb.Num(ord)
+		case "docid":
+			vals[i] = ordb.Num(docID)
+		case "attr":
+			if v, ok := el.Attr(c.xml); ok {
+				vals[i] = ordb.Str(v)
+			} else {
+				vals[i] = ordb.Null{}
+			}
+		case "simple":
+			if child := el.FirstChildNamed(c.xml); child != nil {
+				vals[i] = ordb.Str(child.Text())
+			} else {
+				vals[i] = ordb.Null{}
+			}
+		case "flag":
+			if el.FirstChildNamed(c.xml) != nil {
+				vals[i] = ordb.Str("Y")
+			} else {
+				vals[i] = ordb.Null{}
+			}
+		case "text":
+			vals[i] = ordb.Str(el.Text())
+		default:
+			vals[i] = ordb.Null{}
+		}
+	}
+	if _, err := tab.Insert(vals); err != nil {
+		return 0, err
+	}
+	// Children: table elements recurse; set-valued simple children go to
+	// their side tables.
+	decl := s.d.Element(el.Name)
+	if decl == nil || decl.Content != dtd.ChildrenContent {
+		return id, nil
+	}
+	childOrd := 0
+	for _, c := range el.ChildElements() {
+		cdecl := s.d.Element(c.Name)
+		switch {
+		case tableElement(cdecl):
+			if _, err := s.insertElement(c, id, childOrd, docID); err != nil {
+				return 0, err
+			}
+		case s.Tables[c.Name] != "" && !tableElement(cdecl):
+			if err := s.insertSideRow(c, id, childOrd, docID); err != nil {
+				return 0, err
+			}
+		}
+		childOrd++
+	}
+	return id, nil
+}
+
+func (s *Shredded) insertSideRow(el *xmldom.Element, parentID, ord, docID int) error {
+	tabName := s.Tables[el.Name]
+	tab, err := s.en.DB().Table(tabName)
+	if err != nil {
+		return err
+	}
+	s.nextID[tabName]++
+	return insertErr(tab.Insert([]ordb.Value{
+		ordb.Num(s.nextID[tabName]), ordb.Num(parentID), ordb.Num(ord),
+		ordb.Num(docID), ordb.Str(el.Text()),
+	}))
+}
+
+func insertErr(_ ordb.OID, err error) error { return err }
+
+// TableFor returns the relation name storing an element type.
+func (s *Shredded) TableFor(elem string) (string, bool) {
+	t, ok := s.Tables[elem]
+	return t, ok
+}
+
+// Columns returns the column layout of a relation (name/kind/xml source),
+// used by the object-view generator.
+func (s *Shredded) Columns(tab string) []ShredColumn {
+	var out []ShredColumn
+	for _, c := range s.cols[tab] {
+		out = append(out, ShredColumn{Name: c.name, Kind: c.kind, XMLName: c.xml})
+	}
+	return out
+}
+
+// ShredColumn is the exported view of a shredded column.
+type ShredColumn struct {
+	Name    string
+	Kind    string
+	XMLName string
+}

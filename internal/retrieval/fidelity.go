@@ -1,0 +1,185 @@
+package retrieval
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/xmldom"
+)
+
+// FidelityReport quantifies how much of a document survives the
+// store-and-retrieve round trip. It operationalizes the information-loss
+// discussion of Sections 1, 5 and 6.1: generic mappings lose comments,
+// processing instructions, entity references and the element/attribute
+// distinction; the meta-database wins some of it back.
+type FidelityReport struct {
+	// ElementsTotal/ElementsMatched compare the element trees (names and
+	// multiplicity per path).
+	ElementsTotal   int
+	ElementsMatched int
+	// AttrsTotal/AttrsMatched compare specified attributes.
+	AttrsTotal   int
+	AttrsMatched int
+	// TextMatched reports whether the concatenated character data of
+	// corresponding elements agrees (entity expansions count as text).
+	TextTotal   int
+	TextMatched int
+	// EntityRefsTotal/Restored count entity reference nodes.
+	EntityRefsTotal    int
+	EntityRefsRestored int
+	// CommentsLost and PIsLost count nodes with no database
+	// representation.
+	CommentsLost int
+	PIsLost      int
+	// OrderPreserved reports whether sibling element order agrees.
+	OrderPreserved bool
+	// PrologPreserved reports whether the XML declaration survived.
+	PrologPreserved bool
+}
+
+// Score is the fraction of comparable items preserved, in [0,1].
+func (f *FidelityReport) Score() float64 {
+	total := f.ElementsTotal + f.AttrsTotal + f.TextTotal + f.EntityRefsTotal
+	matched := f.ElementsMatched + f.AttrsMatched + f.TextMatched + f.EntityRefsRestored
+	if total == 0 {
+		return 1
+	}
+	return float64(matched) / float64(total)
+}
+
+// String renders a one-line summary.
+func (f *FidelityReport) String() string {
+	return fmt.Sprintf(
+		"score=%.3f elements=%d/%d attrs=%d/%d text=%d/%d entities=%d/%d comments-lost=%d pis-lost=%d order=%v prolog=%v",
+		f.Score(), f.ElementsMatched, f.ElementsTotal, f.AttrsMatched, f.AttrsTotal,
+		f.TextMatched, f.TextTotal, f.EntityRefsRestored, f.EntityRefsTotal,
+		f.CommentsLost, f.PIsLost, f.OrderPreserved, f.PrologPreserved)
+}
+
+// Fidelity compares an original document with its round-tripped
+// reconstruction.
+func Fidelity(original, restored *xmldom.Document) *FidelityReport {
+	r := &FidelityReport{OrderPreserved: true}
+	r.PrologPreserved = original.Version == restored.Version &&
+		original.Encoding == restored.Encoding &&
+		original.Standalone == restored.Standalone
+	counts := xmldom.CountNodes(original)
+	r.CommentsLost = counts[xmldom.CommentNode] - xmldom.CountNodes(restored)[xmldom.CommentNode]
+	if r.CommentsLost < 0 {
+		r.CommentsLost = 0
+	}
+	r.PIsLost = counts[xmldom.ProcessingInstructionNode] - xmldom.CountNodes(restored)[xmldom.ProcessingInstructionNode]
+	if r.PIsLost < 0 {
+		r.PIsLost = 0
+	}
+	compareElems(original.Root(), restored.Root(), r)
+	return r
+}
+
+func compareElems(a, b *xmldom.Element, r *FidelityReport) {
+	if a == nil {
+		return
+	}
+	r.ElementsTotal++
+	if b == nil || a.Name != b.Name {
+		r.OrderPreserved = false
+		return
+	}
+	r.ElementsMatched++
+
+	// Specified attributes.
+	for _, attr := range a.Attrs {
+		if !attr.Specified {
+			continue
+		}
+		r.AttrsTotal++
+		if v, ok := b.Attr(attr.Name); ok && v == attr.Value {
+			r.AttrsMatched++
+		}
+	}
+
+	// Character data (entity expansions flattened).
+	at := flatText(a)
+	if strings.TrimSpace(at) != "" {
+		r.TextTotal++
+		if normalizeWS(at) == normalizeWS(flatText(b)) {
+			r.TextMatched++
+		}
+	}
+
+	// Entity references.
+	for _, c := range a.Children() {
+		if er, ok := c.(*xmldom.EntityRef); ok {
+			r.EntityRefsTotal++
+			if hasEntityRef(b, er.Name) {
+				r.EntityRefsRestored++
+			}
+		}
+	}
+
+	// Child elements: match greedily per name in order; order deviation
+	// flips OrderPreserved.
+	ac := a.ChildElements()
+	bc := b.ChildElements()
+	if !sameNameSequence(ac, bc) {
+		r.OrderPreserved = false
+	}
+	used := make([]bool, len(bc))
+	for _, child := range ac {
+		var match *xmldom.Element
+		for j, cand := range bc {
+			if !used[j] && cand.Name == child.Name {
+				used[j] = true
+				match = cand
+				break
+			}
+		}
+		compareElems(child, match, r)
+	}
+}
+
+func sameNameSequence(a, b []*xmldom.Element) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			return false
+		}
+	}
+	return true
+}
+
+// flatText is the element's direct character data including entity
+// expansions (not descending into child elements).
+func flatText(e *xmldom.Element) string {
+	if e == nil {
+		return ""
+	}
+	var sb strings.Builder
+	for _, c := range e.Children() {
+		switch n := c.(type) {
+		case *xmldom.Text:
+			sb.WriteString(n.Data)
+		case *xmldom.CDATA:
+			sb.WriteString(n.Data)
+		case *xmldom.EntityRef:
+			sb.WriteString(n.Expansion)
+		}
+	}
+	return sb.String()
+}
+
+func normalizeWS(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+func hasEntityRef(e *xmldom.Element, name string) bool {
+	if e == nil {
+		return false
+	}
+	for _, c := range e.Children() {
+		if er, ok := c.(*xmldom.EntityRef); ok && er.Name == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,430 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/ordb"
+)
+
+// scope is one row binding visible to expression evaluation: an alias and
+// the current row of a FROM item.
+type scope struct {
+	alias string
+	// cols/vals hold the named columns of a table or view row.
+	cols []string
+	vals []ordb.Value
+	// whole is the row as a single value: the row object for object
+	// tables and TABLE() elements; nil for plain relational rows.
+	whole ordb.Value
+	// table and oid identify the source row for REF().
+	table string
+	oid   ordb.OID
+	// rowView, when set, resolves columns lazily (used for CHECK
+	// constraint evaluation against a candidate row).
+	rowView ordb.RowView
+}
+
+// env is the evaluation environment: a chain of scopes, innermost last.
+// Correlated subqueries extend the chain.
+type env struct {
+	scopes []*scope
+	parent *env
+}
+
+func (e *env) lookupAlias(name string) *scope {
+	for cur := e; cur != nil; cur = cur.parent {
+		for i := len(cur.scopes) - 1; i >= 0; i-- {
+			if strings.EqualFold(cur.scopes[i].alias, name) {
+				return cur.scopes[i]
+			}
+		}
+	}
+	return nil
+}
+
+// lookupColumn finds an unqualified column across all scopes.
+func (e *env) lookupColumn(name string) (ordb.Value, bool) {
+	for cur := e; cur != nil; cur = cur.parent {
+		for i := len(cur.scopes) - 1; i >= 0; i-- {
+			if v, ok := cur.scopes[i].colValue(name); ok {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// colValue resolves a column of a single scope.
+func (s *scope) colValue(name string) (ordb.Value, bool) {
+	for j, c := range s.cols {
+		if strings.EqualFold(c, name) {
+			return s.vals[j], true
+		}
+	}
+	if s.rowView != nil {
+		return s.rowView.Col(name)
+	}
+	return nil, false
+}
+
+// eval evaluates an expression to a value. SQL three-valued logic is
+// represented with ordb.Null{} for UNKNOWN and ordb.Num(0/1) for booleans.
+func (en *Engine) eval(e Expr, ev *env) (ordb.Value, error) {
+	switch x := e.(type) {
+	case *Lit:
+		switch x.Kind {
+		case "string":
+			return ordb.Str(x.Str), nil
+		case "number":
+			return ordb.Num(x.Num), nil
+		case "null":
+			return ordb.Null{}, nil
+		case "date":
+			d, err := ParseDateLiteral(x.Str)
+			if err != nil {
+				return nil, err
+			}
+			return d, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown literal kind %q", x.Kind)
+		}
+	case *Path:
+		return en.evalPath(x, ev)
+	case *Call:
+		return en.evalCall(x, ev)
+	case *CastMultiset:
+		return en.evalCastMultiset(x, ev)
+	case *Binary:
+		return en.evalBinary(x, ev)
+	case *Unary:
+		v, err := en.eval(x.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "NOT":
+			if ordb.IsNull(v) {
+				return ordb.Null{}, nil
+			}
+			return boolVal(!truthy(v)), nil
+		case "-":
+			n, ok := v.(ordb.Num)
+			if !ok {
+				if ordb.IsNull(v) {
+					return ordb.Null{}, nil
+				}
+				return nil, fmt.Errorf("sql: unary minus on %T", v)
+			}
+			return -n, nil
+		default:
+			return nil, fmt.Errorf("sql: unknown unary op %q", x.Op)
+		}
+	case *IsNull:
+		v, err := en.eval(x.E, ev)
+		if err != nil {
+			return nil, err
+		}
+		isNull := ordb.IsNull(v)
+		if x.Not {
+			return boolVal(!isNull), nil
+		}
+		return boolVal(isNull), nil
+	case *Exists:
+		rows, err := en.querySelect(x.Sub, ev)
+		if err != nil {
+			return nil, err
+		}
+		return boolVal(len(rows.Data) > 0), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown expression %T", e)
+	}
+}
+
+func (en *Engine) evalPath(p *Path, ev *env) (ordb.Value, error) {
+	head := p.Parts[0]
+	if s := ev.lookupAlias(head); s != nil {
+		if len(p.Parts) == 1 {
+			// Bare alias: the whole row value (for TABLE() elements and
+			// object tables) or an error for plain relational rows.
+			if s.whole != nil {
+				return s.whole, nil
+			}
+			return nil, fmt.Errorf("sql: alias %q does not denote a single value", head)
+		}
+		// First step after the alias is a column lookup, the rest is
+		// attribute navigation.
+		base, ok := s.colValue(p.Parts[1])
+		if !ok {
+			// TABLE() scalar elements have no columns; allow navigation
+			// into the whole value instead.
+			if s.whole != nil {
+				return en.db.NavigatePath(s.whole, p.Parts[1:])
+			}
+			return nil, fmt.Errorf("sql: %s has no column %q", head, p.Parts[1])
+		}
+		return en.db.NavigatePath(base, p.Parts[2:])
+	}
+	// Unqualified: first part is a column.
+	base, ok := ev.lookupColumn(head)
+	if !ok {
+		return nil, fmt.Errorf("sql: unknown column or alias %q", head)
+	}
+	return en.db.NavigatePath(base, p.Parts[1:])
+}
+
+func (en *Engine) evalCall(c *Call, ev *env) (ordb.Value, error) {
+	switch strings.ToUpper(c.Name) {
+	case "COUNT", "MIN", "MAX", "SUM", "AVG":
+		return nil, fmt.Errorf("sql: aggregate %s is only allowed in the select list", strings.ToUpper(c.Name))
+	case "REF":
+		s, err := aliasArg(c, ev)
+		if err != nil {
+			return nil, err
+		}
+		if s.oid == 0 {
+			return nil, fmt.Errorf("sql: REF(%s): not an object table row", s.alias)
+		}
+		return ordb.Ref{Table: s.table, OID: s.oid}, nil
+	case "VALUE":
+		s, err := aliasArg(c, ev)
+		if err != nil {
+			return nil, err
+		}
+		if s.whole == nil {
+			return nil, fmt.Errorf("sql: VALUE(%s): not an object table row", s.alias)
+		}
+		return s.whole, nil
+	case "DEREF":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("sql: DEREF takes one argument")
+		}
+		v, err := en.eval(c.Args[0], ev)
+		if err != nil {
+			return nil, err
+		}
+		if ordb.IsNull(v) {
+			return ordb.Null{}, nil
+		}
+		o, err := en.db.Deref(v)
+		if err != nil {
+			return nil, err
+		}
+		if o == nil {
+			return ordb.Null{}, nil
+		}
+		return o, nil
+	}
+	// Constructor: the name must resolve to a user-defined type.
+	t, err := en.db.Type(c.Name)
+	if err != nil {
+		return nil, fmt.Errorf("sql: unknown function or type %q", c.Name)
+	}
+	args := make([]ordb.Value, len(c.Args))
+	for i, a := range c.Args {
+		v, err := en.eval(a, ev)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = v
+	}
+	switch ty := t.(type) {
+	case *ordb.ObjectType:
+		if len(args) != len(ty.Attrs) {
+			return nil, fmt.Errorf("sql: constructor %s: %d arguments for %d attributes",
+				ty.Name, len(args), len(ty.Attrs))
+		}
+		return &ordb.Object{TypeName: ty.Name, Attrs: args}, nil
+	case *ordb.VarrayType:
+		return &ordb.Coll{TypeName: ty.Name, Elems: args}, nil
+	case *ordb.NestedTableType:
+		return &ordb.Coll{TypeName: ty.Name, Elems: args}, nil
+	default:
+		return nil, fmt.Errorf("sql: type %s has no constructor", c.Name)
+	}
+}
+
+func aliasArg(c *Call, ev *env) (*scope, error) {
+	if len(c.Args) != 1 {
+		return nil, fmt.Errorf("sql: %s takes one alias argument", c.Name)
+	}
+	p, ok := c.Args[0].(*Path)
+	if !ok || len(p.Parts) != 1 {
+		return nil, fmt.Errorf("sql: %s argument must be a table alias", c.Name)
+	}
+	s := ev.lookupAlias(p.Parts[0])
+	if s == nil {
+		return nil, fmt.Errorf("sql: unknown alias %q", p.Parts[0])
+	}
+	return s, nil
+}
+
+func (en *Engine) evalCastMultiset(cm *CastMultiset, ev *env) (ordb.Value, error) {
+	t, err := en.db.Type(cm.TypeName)
+	if err != nil {
+		return nil, err
+	}
+	if !ordb.IsCollection(t) {
+		return nil, fmt.Errorf("sql: CAST AS %s: not a collection type", cm.TypeName)
+	}
+	rows, err := en.querySelect(cm.Sub, ev)
+	if err != nil {
+		return nil, err
+	}
+	elems := make([]ordb.Value, 0, len(rows.Data))
+	for _, r := range rows.Data {
+		switch len(r) {
+		case 1:
+			elems = append(elems, r[0])
+		default:
+			return nil, fmt.Errorf("sql: MULTISET subquery must select exactly one expression")
+		}
+	}
+	return &ordb.Coll{TypeName: ordb.NamedType(t), Elems: elems}, nil
+}
+
+func (en *Engine) evalBinary(b *Binary, ev *env) (ordb.Value, error) {
+	switch b.Op {
+	case "AND", "OR":
+		l, err := en.eval(b.L, ev)
+		if err != nil {
+			return nil, err
+		}
+		// Short-circuit with three-valued logic.
+		if b.Op == "AND" {
+			if !ordb.IsNull(l) && !truthy(l) {
+				return boolVal(false), nil
+			}
+		} else {
+			if !ordb.IsNull(l) && truthy(l) {
+				return boolVal(true), nil
+			}
+		}
+		r, err := en.eval(b.R, ev)
+		if err != nil {
+			return nil, err
+		}
+		if ordb.IsNull(l) || ordb.IsNull(r) {
+			// The definite branch was handled above; anything involving
+			// NULL now is UNKNOWN except OR with true / AND with false
+			// on the right.
+			if b.Op == "OR" && !ordb.IsNull(r) && truthy(r) {
+				return boolVal(true), nil
+			}
+			if b.Op == "AND" && !ordb.IsNull(r) && !truthy(r) {
+				return boolVal(false), nil
+			}
+			return ordb.Null{}, nil
+		}
+		if b.Op == "AND" {
+			return boolVal(truthy(l) && truthy(r)), nil
+		}
+		return boolVal(truthy(l) || truthy(r)), nil
+	}
+	l, err := en.eval(b.L, ev)
+	if err != nil {
+		return nil, err
+	}
+	r, err := en.eval(b.R, ev)
+	if err != nil {
+		return nil, err
+	}
+	if b.Op == "||" {
+		if ordb.IsNull(l) && ordb.IsNull(r) {
+			return ordb.Null{}, nil
+		}
+		return ordb.Str(asString(l) + asString(r)), nil
+	}
+	if ordb.IsNull(l) || ordb.IsNull(r) {
+		return ordb.Null{}, nil // comparisons with NULL are UNKNOWN
+	}
+	if b.Op == "LIKE" {
+		ls, lok := l.(ordb.Str)
+		rs, rok := r.(ordb.Str)
+		if !lok || !rok {
+			return nil, fmt.Errorf("sql: LIKE requires character operands")
+		}
+		return boolVal(likeMatch(string(ls), string(rs))), nil
+	}
+	cmp, err := ordb.Compare(normalize(l), normalize(r))
+	if err != nil {
+		return nil, err
+	}
+	switch b.Op {
+	case "=":
+		return boolVal(cmp == 0), nil
+	case "!=":
+		return boolVal(cmp != 0), nil
+	case "<":
+		return boolVal(cmp < 0), nil
+	case ">":
+		return boolVal(cmp > 0), nil
+	case "<=":
+		return boolVal(cmp <= 0), nil
+	case ">=":
+		return boolVal(cmp >= 0), nil
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", b.Op)
+	}
+}
+
+// normalize trims CHAR blank padding for comparisons (Oracle compares
+// CHAR with non-padded semantics against VARCHAR).
+func normalize(v ordb.Value) ordb.Value {
+	if s, ok := v.(ordb.Str); ok {
+		return ordb.Str(strings.TrimRight(string(s), " "))
+	}
+	return v
+}
+
+func asString(v ordb.Value) string {
+	if ordb.IsNull(v) {
+		return ""
+	}
+	return ordb.FormatValue(v)
+}
+
+func boolVal(b bool) ordb.Value {
+	if b {
+		return ordb.Num(1)
+	}
+	return ordb.Num(0)
+}
+
+func truthy(v ordb.Value) bool {
+	n, ok := v.(ordb.Num)
+	return ok && n != 0
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single char).
+func likeMatch(s, pattern string) bool {
+	// Dynamic program over bytes; patterns are short.
+	m, n := len(s), len(pattern)
+	prev := make([]bool, m+1)
+	curr := make([]bool, m+1)
+	prev[0] = true
+	for j := 1; j <= n; j++ {
+		curr[0] = prev[0] && pattern[j-1] == '%'
+		for i := 1; i <= m; i++ {
+			switch pattern[j-1] {
+			case '%':
+				curr[i] = curr[i-1] || prev[i]
+			case '_':
+				curr[i] = prev[i-1]
+			default:
+				curr[i] = prev[i-1] && s[i-1] == pattern[j-1]
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[m]
+}
+
+// ParseDateLiteral parses the body of a DATE 'yyyy-mm-dd' literal.
+func ParseDateLiteral(s string) (ordb.Value, error) {
+	d, err := ordb.ParseDateString(s)
+	if err != nil {
+		return nil, fmt.Errorf("sql: bad date literal %q: %w", s, err)
+	}
+	return d, nil
+}

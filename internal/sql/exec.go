@@ -1,0 +1,435 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/ordb"
+)
+
+// Engine executes SQL against an ordb database.
+type Engine struct {
+	db *ordb.DB
+}
+
+// NewEngine returns an Engine over db.
+func NewEngine(db *ordb.DB) *Engine { return &Engine{db: db} }
+
+// DB exposes the underlying database.
+func (en *Engine) DB() *ordb.DB { return en.db }
+
+// Result reports the outcome of a non-query statement.
+type Result struct {
+	// RowsAffected counts inserted or deleted rows.
+	RowsAffected int
+	// LastOID is the object identifier assigned by an INSERT into an
+	// object table, zero otherwise.
+	LastOID ordb.OID
+}
+
+// Rows is a materialized query result.
+type Rows struct {
+	Cols []string
+	Data [][]ordb.Value
+}
+
+// String renders the result set as an aligned text table.
+func (r *Rows) String() string {
+	widths := make([]int, len(r.Cols))
+	for i, c := range r.Cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Data))
+	for i, row := range r.Data {
+		cells[i] = make([]string, len(row))
+		for j, v := range row {
+			cells[i][j] = ordb.FormatValue(v)
+			if len(cells[i][j]) > widths[j] {
+				widths[j] = len(cells[i][j])
+			}
+		}
+	}
+	var sb strings.Builder
+	for i, c := range r.Cols {
+		fmt.Fprintf(&sb, "%-*s", widths[i]+2, c)
+	}
+	sb.WriteString("\n")
+	for i := range r.Cols {
+		sb.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	sb.WriteString("\n")
+	for _, row := range cells {
+		for j, c := range row {
+			fmt.Fprintf(&sb, "%-*s", widths[j]+2, c)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Exec parses and executes one statement. SELECT statements are rejected;
+// use Query.
+func (en *Engine) Exec(src string) (*Result, error) {
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	if _, isSel := stmt.(*SelectStmt); isSel {
+		return nil, fmt.Errorf("sql: use Query for SELECT statements")
+	}
+	return en.execStmt(stmt)
+}
+
+// Query parses and executes a SELECT statement.
+func (en *Engine) Query(src string) (*Rows, error) {
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	}
+	return en.querySelect(sel, nil)
+}
+
+// ExecScript splits a script on top-level semicolons and executes every
+// statement in order, returning the number of statements executed. The
+// first error aborts the script.
+func (en *Engine) ExecScript(script string) (int, error) {
+	stmts, err := SplitScript(script)
+	if err != nil {
+		return 0, err
+	}
+	for i, s := range stmts {
+		stmt, err := ParseStatement(s)
+		if err != nil {
+			return i, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+		if sel, isSel := stmt.(*SelectStmt); isSel {
+			if _, err := en.querySelect(sel, nil); err != nil {
+				return i, fmt.Errorf("statement %d: %w", i+1, err)
+			}
+			continue
+		}
+		if _, err := en.execStmt(stmt); err != nil {
+			return i, fmt.Errorf("statement %d: %w", i+1, err)
+		}
+	}
+	return len(stmts), nil
+}
+
+func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
+	switch s := stmt.(type) {
+	case *CreateTypeStmt:
+		return en.execCreateType(s)
+	case *CreateTableStmt:
+		return en.execCreateTable(s)
+	case *CreateViewStmt:
+		if _, err := en.db.CreateView(s.Name, s.Text, s.Select, s.OrReplace); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *InsertStmt:
+		return en.execInsert(s)
+	case *DeleteStmt:
+		return en.execDelete(s)
+	case *UpdateStmt:
+		return en.execUpdate(s)
+	case *DropStmt:
+		switch s.Kind {
+		case "TYPE":
+			return &Result{}, en.db.DropType(s.Name, s.Force)
+		case "TABLE":
+			return &Result{}, en.db.DropTable(s.Name)
+		case "VIEW":
+			return &Result{}, en.db.DropView(s.Name)
+		}
+		return nil, fmt.Errorf("sql: unknown DROP kind %q", s.Kind)
+	default:
+		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
+	}
+}
+
+// resolveTypeRef turns a syntactic type reference into an engine type.
+func (en *Engine) resolveTypeRef(r TypeRef) (ordb.Type, error) {
+	switch {
+	case r.Scalar == "VARCHAR":
+		return ordb.VarcharType{Len: r.Len}, nil
+	case r.Scalar == "CHAR":
+		return ordb.CharType{Len: r.Len}, nil
+	case r.Scalar == "NUMBER":
+		return ordb.NumberType{}, nil
+	case r.Scalar == "INTEGER":
+		return ordb.IntegerType{}, nil
+	case r.Scalar == "DATE":
+		return ordb.DateType{}, nil
+	case r.Scalar == "CLOB":
+		return ordb.CLOBType{}, nil
+	case r.Ref != "":
+		target, err := en.db.ObjectTypeByName(r.Ref)
+		if err != nil {
+			// REF may name a type that is only forward-declared later in
+			// the same script; declare it implicitly as Oracle's
+			// incomplete-type mechanism does.
+			target, err = en.db.DeclareType(r.Ref)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &ordb.RefType{Target: target}, nil
+	case r.Named != "":
+		return en.db.Type(r.Named)
+	default:
+		return nil, fmt.Errorf("sql: invalid type reference")
+	}
+}
+
+func (en *Engine) execCreateType(s *CreateTypeStmt) (*Result, error) {
+	switch {
+	case s.Forward:
+		_, err := en.db.DeclareType(s.Name)
+		return &Result{}, err
+	case s.IsObject:
+		attrs := make([]ordb.AttrDef, len(s.Object))
+		for i, c := range s.Object {
+			t, err := en.resolveTypeRef(c.Type)
+			if err != nil {
+				return nil, err
+			}
+			attrs[i] = ordb.AttrDef{Name: c.Name, Type: t}
+		}
+		_, err := en.db.CreateObjectType(s.Name, attrs)
+		return &Result{}, err
+	case s.TableOf:
+		elem, err := en.resolveTypeRef(s.Elem)
+		if err != nil {
+			return nil, err
+		}
+		_, err = en.db.CreateNestedTableType(s.Name, elem)
+		return &Result{}, err
+	default:
+		elem, err := en.resolveTypeRef(s.Elem)
+		if err != nil {
+			return nil, err
+		}
+		_, err = en.db.CreateVarrayType(s.Name, s.VarrayMax, elem)
+		return &Result{}, err
+	}
+}
+
+func (en *Engine) execCreateTable(s *CreateTableStmt) (*Result, error) {
+	spec := ordb.TableSpec{Name: s.Name, OfType: s.OfType, NestedStorage: s.NestedStorage}
+	if s.OfType == "" {
+		for _, c := range s.Cols {
+			t, err := en.resolveTypeRef(c.Type)
+			if err != nil {
+				return nil, err
+			}
+			spec.Columns = append(spec.Columns, ordb.Column{Name: c.Name, Type: t})
+		}
+		// Apply constraints to the matching column definitions.
+		for _, con := range s.Constraints {
+			found := false
+			for i := range spec.Columns {
+				if strings.EqualFold(spec.Columns[i].Name, con.Col) {
+					applyConstraint(&spec.Columns[i], con)
+					found = true
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("sql: constraint on unknown column %q", con.Col)
+			}
+		}
+	} else {
+		// Object table: constraint entries reference row-type attributes.
+		byName := map[string]*ordb.Column{}
+		var cols []ordb.Column
+		for _, con := range s.Constraints {
+			c, ok := byName[strings.ToUpper(con.Col)]
+			if !ok {
+				cols = append(cols, ordb.Column{Name: con.Col})
+				c = &cols[len(cols)-1]
+				byName[strings.ToUpper(con.Col)] = c
+			}
+			applyConstraint(c, con)
+		}
+		spec.Columns = cols
+	}
+	for _, chk := range s.Checks {
+		spec.Checks = append(spec.Checks, &checkAdapter{engine: en, expr: chk})
+	}
+	_, err := en.db.CreateTable(spec)
+	return &Result{}, err
+}
+
+func applyConstraint(col *ordb.Column, con ColConstraint) {
+	if con.NotNull {
+		col.NotNull = true
+	}
+	if con.PrimaryKey {
+		col.PrimaryKey = true
+	}
+	if con.Scope != "" {
+		col.Scope = con.Scope
+	}
+}
+
+// checkAdapter bridges a parsed CHECK expression to the engine's
+// constraint interface. Per SQL, a CHECK passes unless it evaluates to
+// definite FALSE — which still reproduces the paper's Section 4.3
+// observation, because x.y IS NOT NULL is definitely false when x is NULL.
+type checkAdapter struct {
+	engine *Engine
+	expr   Expr
+}
+
+// Eval implements ordb.CheckExpr.
+func (c *checkAdapter) Eval(row ordb.RowView) (bool, error) {
+	ev := &env{scopes: []*scope{rowViewScope(row)}}
+	v, err := c.engine.eval(c.expr, ev)
+	if err != nil {
+		return false, err
+	}
+	if ordb.IsNull(v) {
+		return true, nil // UNKNOWN passes
+	}
+	return truthy(v), nil
+}
+
+// String implements ordb.CheckExpr.
+func (c *checkAdapter) String() string { return FormatExpr(c.expr) }
+
+// rowViewScope exposes a RowView's columns to the evaluator. Column names
+// are resolved lazily through the view.
+func rowViewScope(row ordb.RowView) *scope {
+	return &scope{alias: "", cols: nil, vals: nil, whole: nil, rowView: row}
+}
+
+func (en *Engine) execInsert(s *InsertStmt) (*Result, error) {
+	tbl, err := en.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]ordb.Value, len(tbl.Cols))
+	for i := range vals {
+		vals[i] = ordb.Null{}
+	}
+	if len(s.Cols) > 0 {
+		if len(s.Cols) != len(s.Values) {
+			return nil, fmt.Errorf("sql: INSERT column/value count mismatch")
+		}
+		for i, cname := range s.Cols {
+			idx := tbl.ColIndex(cname)
+			if idx < 0 {
+				return nil, fmt.Errorf("sql: table %s has no column %q", s.Table, cname)
+			}
+			v, err := en.eval(s.Values[i], nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[idx] = v
+		}
+	} else {
+		if len(s.Values) != len(tbl.Cols) {
+			return nil, fmt.Errorf("sql: INSERT supplies %d values for %d columns",
+				len(s.Values), len(tbl.Cols))
+		}
+		for i, e := range s.Values {
+			v, err := en.eval(e, nil)
+			if err != nil {
+				return nil, err
+			}
+			vals[i] = v
+		}
+	}
+	oid, err := tbl.Insert(vals)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: 1, LastOID: oid}, nil
+}
+
+func (en *Engine) execDelete(s *DeleteStmt) (*Result, error) {
+	tbl, err := en.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	var pred func(*ordb.Row) (bool, error)
+	if s.Where != nil {
+		pred = func(r *ordb.Row) (bool, error) {
+			ev := &env{scopes: []*scope{en.tableScope(tbl, "", r)}}
+			v, err := en.eval(s.Where, ev)
+			if err != nil {
+				return false, err
+			}
+			return !ordb.IsNull(v) && truthy(v), nil
+		}
+	}
+	n, err := tbl.Delete(pred)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+func (en *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
+	tbl, err := en.db.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve target columns up front.
+	idxs := make([]int, len(s.Sets))
+	for i, set := range s.Sets {
+		idx := tbl.ColIndex(set.Col)
+		if idx < 0 {
+			return nil, fmt.Errorf("sql: table %s has no column %q", s.Table, set.Col)
+		}
+		idxs[i] = idx
+	}
+	pred := func(r *ordb.Row) (bool, error) {
+		if s.Where == nil {
+			return true, nil
+		}
+		ev := &env{scopes: []*scope{en.tableScope(tbl, "", r)}}
+		v, err := en.eval(s.Where, ev)
+		if err != nil {
+			return false, err
+		}
+		return !ordb.IsNull(v) && truthy(v), nil
+	}
+	transform := func(vals []ordb.Value) ([]ordb.Value, error) {
+		out := make([]ordb.Value, len(vals))
+		copy(out, vals)
+		ev := &env{scopes: []*scope{en.tableScope(tbl, "", &ordb.Row{Vals: vals})}}
+		for i, set := range s.Sets {
+			v, err := en.eval(set.Expr, ev)
+			if err != nil {
+				return nil, err
+			}
+			out[idxs[i]] = v
+		}
+		return out, nil
+	}
+	n, err := tbl.UpdateWhere(pred, transform)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RowsAffected: n}, nil
+}
+
+// tableScope builds the evaluation scope for one row of a base table.
+func (en *Engine) tableScope(t *ordb.Table, alias string, r *ordb.Row) *scope {
+	s := &scope{alias: alias, table: t.Name, oid: r.OID}
+	if alias == "" {
+		s.alias = t.Name
+	}
+	for _, c := range t.Cols {
+		s.cols = append(s.cols, c.Name)
+	}
+	s.vals = r.Vals
+	if t.IsObjectTable() {
+		s.whole = &ordb.Object{TypeName: t.RowType.Name, Attrs: r.Vals}
+	}
+	return s
+}

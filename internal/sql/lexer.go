@@ -1,0 +1,218 @@
+// Package sql implements the Oracle SQL subset that the paper's generated
+// scripts use: CREATE TYPE (object, VARRAY, TABLE OF, forward
+// declarations), CREATE TABLE (relational and object tables, with
+// PRIMARY KEY / NOT NULL / CHECK / SCOPE FOR constraints and NESTED TABLE
+// ... STORE AS clauses), CREATE VIEW (object views with constructor
+// expressions and CAST(MULTISET(...))), INSERT with nested type
+// constructors, SELECT with dot-notation path expressions, joins and
+// collection unnesting via TABLE(), DELETE, and DROP.
+//
+// The package compiles statements against an ordb.DB, so SQL scripts
+// emitted by the mapping layer execute without modification — the
+// property the paper states for XML2Oracle's output.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokString // 'literal'
+	tokNumber
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep their case
+	pos  int    // byte offset in the source
+}
+
+// Error is a parse or execution error with source position context.
+type Error struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return fmt.Sprintf("sql: offset %d: %s", e.Pos, e.Msg) }
+
+// keywords are the reserved words of the subset. An unquoted identifier
+// that collides with one of these cannot be used as a name — the conflict
+// the paper's naming conventions (Table 1) exist to avoid (e.g. an XML
+// element named ORDER).
+var keywords = map[string]bool{
+	"CREATE": true, "TYPE": true, "TABLE": true, "VIEW": true, "AS": true,
+	"OBJECT": true, "VARRAY": true, "OF": true, "REF": true, "SCOPE": true,
+	"FOR": true, "NESTED": true, "STORE": true, "NOT": true, "NULL": true,
+	"PRIMARY": true, "KEY": true, "CHECK": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "SELECT": true, "FROM": true, "WHERE": true, "AND": true,
+	"OR": true, "IS": true, "LIKE": true, "CAST": true, "MULTISET": true,
+	"DELETE": true, "DROP": true, "FORCE": true, "REPLACE": true,
+	"VARCHAR": true, "VARCHAR2": true, "CHAR": true, "NUMBER": true,
+	"INTEGER": true, "DATE": true, "CLOB": true, "COUNT": true,
+	"DEREF": true, "VALUE": true, "EXISTS": true, "ORDER": true, "BY": true,
+	"GROUP": true, "DISTINCT": true, "UNIQUE": true, "CONSTRAINT": true,
+	"UPDATE": true, "SET": true, "ASC": true, "DESC": true,
+	"MIN": true, "MAX": true, "SUM": true, "AVG": true,
+}
+
+// IsReservedWord reports whether name collides with an SQL keyword of the
+// subset (case-insensitive). The mapping layer consults this to apply its
+// naming conventions.
+func IsReservedWord(name string) bool { return keywords[strings.ToUpper(name)] }
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the source, stripping -- and /* */ comments.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpaceAndComments()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '\'':
+			s, err := l.lexString()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: s, pos: start})
+		case c >= '0' && c <= '9', c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.lexNumber(), pos: start})
+		case isIdentStart(rune(c)):
+			word := l.lexWord()
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				l.toks = append(l.toks, token{kind: tokKeyword, text: upper, pos: start})
+			} else {
+				l.toks = append(l.toks, token{kind: tokIdent, text: word, pos: start})
+			}
+		default:
+			sym, err := l.lexSymbol()
+			if err != nil {
+				return nil, err
+			}
+			l.toks = append(l.toks, token{kind: tokSymbol, text: sym, pos: start})
+		}
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case strings.HasPrefix(l.src[l.pos:], "--"):
+			nl := strings.IndexByte(l.src[l.pos:], '\n')
+			if nl < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += nl + 1
+			}
+		case strings.HasPrefix(l.src[l.pos:], "/*"):
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexString() (string, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", &Error{Pos: start, Msg: "unterminated string literal"}
+}
+
+func (l *lexer) lexNumber() string {
+	start := l.pos
+	for l.pos < len(l.src) && (isDigit(l.src[l.pos]) || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	// Exponent part.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		next := l.pos + 1
+		if next < len(l.src) && (l.src[next] == '+' || l.src[next] == '-') {
+			next++
+		}
+		if next < len(l.src) && isDigit(l.src[next]) {
+			l.pos = next
+			for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+				l.pos++
+			}
+		}
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexWord() string {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentChar(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *lexer) lexSymbol() (string, error) {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "!=", "<>", "<=", ">=", "||":
+		l.pos += 2
+		return two, nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '.', '=', '<', '>', '*', '+', '-', '/':
+		l.pos++
+		return string(c), nil
+	}
+	return "", &Error{Pos: l.pos, Msg: fmt.Sprintf("unexpected character %q", c)}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '#' || r == '$' || unicode.IsLetter(r)
+}
+
+func isIdentChar(r rune) bool { return isIdentStart(r) || unicode.IsDigit(r) }

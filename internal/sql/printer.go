@@ -1,0 +1,92 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FormatExpr renders an expression back to SQL text. The output re-parses
+// to an equivalent tree; it is used for catalog listings and CHECK
+// constraint error messages.
+func FormatExpr(e Expr) string {
+	switch x := e.(type) {
+	case *Lit:
+		switch x.Kind {
+		case "string":
+			return "'" + strings.ReplaceAll(x.Str, "'", "''") + "'"
+		case "number":
+			return strings.TrimSuffix(fmt.Sprintf("%g", x.Num), ".0")
+		case "null":
+			return "NULL"
+		case "date":
+			return "DATE '" + x.Str + "'"
+		}
+		return "?"
+	case *Path:
+		return strings.Join(x.Parts, ".")
+	case *Call:
+		if x.Star {
+			return x.Name + "(*)"
+		}
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = FormatExpr(a)
+		}
+		return x.Name + "(" + strings.Join(args, ", ") + ")"
+	case *CastMultiset:
+		return "CAST(MULTISET(" + FormatSelect(x.Sub) + ") AS " + x.TypeName + ")"
+	case *Binary:
+		return "(" + FormatExpr(x.L) + " " + x.Op + " " + FormatExpr(x.R) + ")"
+	case *Unary:
+		if x.Op == "NOT" {
+			return "NOT " + FormatExpr(x.E)
+		}
+		return x.Op + FormatExpr(x.E)
+	case *IsNull:
+		if x.Not {
+			return FormatExpr(x.E) + " IS NOT NULL"
+		}
+		return FormatExpr(x.E) + " IS NULL"
+	case *Exists:
+		return "EXISTS (" + FormatSelect(x.Sub) + ")"
+	default:
+		return "?"
+	}
+}
+
+// FormatSelect renders a SELECT statement back to SQL text.
+func FormatSelect(s *SelectStmt) string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	for i, item := range s.Items {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if item.Star {
+			sb.WriteString("*")
+			continue
+		}
+		sb.WriteString(FormatExpr(item.Expr))
+		if item.Alias != "" {
+			sb.WriteString(" AS " + item.Alias)
+		}
+	}
+	sb.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		if f.Unnest != nil {
+			sb.WriteString("TABLE(" + FormatExpr(f.Unnest) + ")")
+		} else {
+			sb.WriteString(f.Table)
+		}
+		if f.Alias != "" {
+			sb.WriteString(" " + f.Alias)
+		}
+	}
+	if s.Where != nil {
+		sb.WriteString(" WHERE " + FormatExpr(s.Where))
+	}
+	return sb.String()
+}

@@ -1,0 +1,88 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xmlordb/internal/ordb"
+)
+
+// TestQuickStringLiteralRoundTrip property-checks the lexer against
+// ordb's SQL literal renderer: any string stored as a quoted literal must
+// lex back to the same value.
+func TestQuickStringLiteralRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		lit := ordb.Str(s).SQL()
+		toks, err := lex(lit)
+		if err != nil {
+			return false
+		}
+		return len(toks) == 2 && toks[0].kind == tokString && toks[0].text == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickInsertValueRoundTrip property-checks the full value path: a
+// string inserted via a generated SQL literal reads back identically.
+func TestQuickInsertValueRoundTrip(t *testing.T) {
+	en := NewEngine(ordb.New(ordb.ModeOracle9))
+	if _, err := en.Exec(`CREATE TABLE t (s CLOB)`); err != nil {
+		t.Fatal(err)
+	}
+	f := func(s string) bool {
+		if _, err := en.Exec(`DELETE FROM t`); err != nil {
+			return false
+		}
+		if _, err := en.Exec(`INSERT INTO t VALUES (` + ordb.Str(s).SQL() + `)`); err != nil {
+			return false
+		}
+		rows, err := en.Query(`SELECT s FROM t`)
+		if err != nil || len(rows.Data) != 1 {
+			return false
+		}
+		got, ok := rows.Data[0][0].(ordb.Str)
+		return ok && string(got) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLikeSelfMatch property-checks that every string matches itself
+// as a LIKE pattern once wildcards are absent.
+func TestQuickLikeSelfMatch(t *testing.T) {
+	f := func(s string) bool {
+		if strings.ContainsAny(s, "%_") {
+			return true // skip strings that are themselves patterns
+		}
+		return likeMatch(s, s) && likeMatch(s, "%") &&
+			likeMatch("prefix"+s, "prefix%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSplitScriptCounts property-checks that SplitScript returns one
+// statement per semicolon-separated INSERT regardless of literal content.
+func TestQuickSplitScriptCounts(t *testing.T) {
+	f := func(vals []string) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var sb strings.Builder
+		for _, v := range vals {
+			sb.WriteString("INSERT INTO t VALUES (")
+			sb.WriteString(ordb.Str(v).SQL())
+			sb.WriteString(");\n")
+		}
+		stmts, err := SplitScript(sb.String())
+		return err == nil && len(stmts) == len(vals)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,739 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlordb/internal/ordb"
+)
+
+// querySelect executes a SELECT with an optional outer environment (for
+// correlated subqueries). FROM items are evaluated left to right with
+// lateral visibility: a TABLE(expr) item may reference the aliases bound
+// by items to its left, as Oracle's collection unnesting permits.
+//
+// Equality predicates between base-table columns are executed as hash
+// joins: the inner table is indexed once per query and probed with the
+// outer key, so equi-joins cost O(n+m) rather than O(n*m).
+func (en *Engine) querySelect(sel *SelectStmt, outer *env) (*Rows, error) {
+	if len(sel.From) == 0 {
+		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
+	}
+	cols, err := en.resultColumns(sel)
+	if err != nil {
+		return nil, err
+	}
+	out := &Rows{Cols: cols}
+	plan := en.planJoins(sel)
+
+	if len(sel.GroupBy) > 0 {
+		return en.groupedSelect(sel, outer, plan, out)
+	}
+
+	if aggs := aggregateCalls(sel); aggs != nil {
+		accs, err := newAccumulators(sel)
+		if err != nil {
+			return nil, err
+		}
+		err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+			ok, err := en.whereMatches(sel.Where, ev)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			for _, a := range accs {
+				if err := a.add(en, ev); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := make([]ordb.Value, len(accs))
+		for i, a := range accs {
+			row[i] = a.result()
+		}
+		out.Data = append(out.Data, row)
+		return out, nil
+	}
+
+	type keyedRow struct {
+		row  []ordb.Value
+		keys []ordb.Value
+	}
+	var keyed []keyedRow
+	err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+		ok, err := en.whereMatches(sel.Where, ev)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		row, err := en.projectRow(sel, ev)
+		if err != nil {
+			return err
+		}
+		if len(sel.OrderBy) == 0 {
+			out.Data = append(out.Data, row)
+			return nil
+		}
+		keys := make([]ordb.Value, len(sel.OrderBy))
+		for i, o := range sel.OrderBy {
+			k, err := en.eval(o.Expr, ev)
+			if err != nil {
+				return err
+			}
+			keys[i] = k
+		}
+		keyed = append(keyed, keyedRow{row: row, keys: keys})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(sel.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(keyed, func(i, j int) bool {
+			for k, o := range sel.OrderBy {
+				c, err := orderCompare(keyed[i].keys[k], keyed[j].keys[k])
+				if err != nil && sortErr == nil {
+					sortErr = err
+				}
+				if o.Desc {
+					c = -c
+				}
+				if c != 0 {
+					return c < 0
+				}
+			}
+			return false
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+		for _, kr := range keyed {
+			out.Data = append(out.Data, kr.row)
+		}
+	}
+	return out, nil
+}
+
+// orderCompare orders values with NULLs last (Oracle's ascending default).
+func orderCompare(a, b ordb.Value) (int, error) {
+	an, bn := ordb.IsNull(a), ordb.IsNull(b)
+	switch {
+	case an && bn:
+		return 0, nil
+	case an:
+		return 1, nil
+	case bn:
+		return -1, nil
+	}
+	return ordb.Compare(a, b)
+}
+
+// groupedSelect evaluates GROUP BY queries: rows are bucketed by the
+// group keys; aggregate select items accumulate per group and
+// non-aggregate items (which must be group expressions) take the value of
+// the group's first row. ORDER BY keys may be group expressions or
+// aggregates appearing in the select list.
+func (en *Engine) groupedSelect(sel *SelectStmt, outer *env, plan *queryPlan, out *Rows) (*Rows, error) {
+	groupTexts := make([]string, len(sel.GroupBy))
+	for i, g := range sel.GroupBy {
+		groupTexts[i] = FormatExpr(g)
+	}
+	isGroupExpr := func(e Expr) bool {
+		text := FormatExpr(e)
+		for _, g := range groupTexts {
+			if g == text {
+				return true
+			}
+		}
+		return false
+	}
+	// Classify select items.
+	type itemPlan struct {
+		agg      bool
+		groupIdx int // representative value index for non-aggregates
+	}
+	plans := make([]itemPlan, len(sel.Items))
+	for i, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY")
+		}
+		if c, ok := item.Expr.(*Call); ok && aggregateNames[strings.ToUpper(c.Name)] {
+			plans[i] = itemPlan{agg: true}
+			continue
+		}
+		if !isGroupExpr(item.Expr) {
+			return nil, fmt.Errorf("sql: %s is neither an aggregate nor a GROUP BY expression",
+				FormatExpr(item.Expr))
+		}
+		plans[i] = itemPlan{agg: false}
+	}
+	type group struct {
+		accs []*accumulator
+		rep  []ordb.Value // representative values per select item
+	}
+	groups := map[string]*group{}
+	var order []string
+	err := en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+		ok, err := en.whereMatches(sel.Where, ev)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		var keyParts []string
+		for _, g := range sel.GroupBy {
+			v, err := en.eval(g, ev)
+			if err != nil {
+				return err
+			}
+			k, _ := joinKey(v)
+			keyParts = append(keyParts, k)
+		}
+		key := strings.Join(keyParts, "\x00")
+		grp, ok2 := groups[key]
+		if !ok2 {
+			grp = &group{rep: make([]ordb.Value, len(sel.Items))}
+			for i, item := range sel.Items {
+				if plans[i].agg {
+					grp.accs = append(grp.accs, &accumulator{call: item.Expr.(*Call)})
+					continue
+				}
+				grp.accs = append(grp.accs, nil)
+				v, err := en.eval(item.Expr, ev)
+				if err != nil {
+					return err
+				}
+				grp.rep[i] = v
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for i := range sel.Items {
+			if plans[i].agg {
+				if err := grp.accs[i].add(en, ev); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range order {
+		grp := groups[key]
+		row := make([]ordb.Value, len(sel.Items))
+		for i := range sel.Items {
+			if plans[i].agg {
+				row[i] = grp.accs[i].result()
+			} else {
+				row[i] = grp.rep[i]
+			}
+		}
+		out.Data = append(out.Data, row)
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := sortGroupedRows(sel, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// sortGroupedRows orders GROUP BY output: each ORDER BY key must match a
+// select item (by alias or expression text) and sorts on that column.
+func sortGroupedRows(sel *SelectStmt, out *Rows) error {
+	keyCols := make([]int, len(sel.OrderBy))
+	for i, o := range sel.OrderBy {
+		text := FormatExpr(o.Expr)
+		idx := -1
+		for j, item := range sel.Items {
+			if item.Star {
+				continue
+			}
+			if FormatExpr(item.Expr) == text {
+				idx = j
+				break
+			}
+			// A single-name key also matches an item's alias or its
+			// default result column name (e.g. ORDER BY name against
+			// SELECT d.name).
+			if p, ok := o.Expr.(*Path); ok && len(p.Parts) == 1 &&
+				(strings.EqualFold(item.Alias, p.Parts[0]) ||
+					(item.Alias == "" && strings.EqualFold(defaultColumnName(item.Expr), p.Parts[0]))) {
+				idx = j
+				break
+			}
+		}
+		if idx < 0 {
+			return fmt.Errorf("sql: ORDER BY %s does not match a select item of the GROUP BY query", text)
+		}
+		keyCols[i] = idx
+	}
+	var sortErr error
+	sort.SliceStable(out.Data, func(a, b int) bool {
+		for i, o := range sel.OrderBy {
+			c, err := orderCompare(out.Data[a][keyCols[i]], out.Data[b][keyCols[i]])
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			if o.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return sortErr
+}
+
+// aggregate machinery -------------------------------------------------
+
+var aggregateNames = map[string]bool{
+	"COUNT": true, "MIN": true, "MAX": true, "SUM": true, "AVG": true,
+}
+
+// aggregateCalls returns the aggregate calls of the select list, or nil
+// when the query is not an aggregation.
+func aggregateCalls(sel *SelectStmt) []*Call {
+	var out []*Call
+	for _, item := range sel.Items {
+		if c, ok := item.Expr.(*Call); ok && aggregateNames[strings.ToUpper(c.Name)] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+type accumulator struct {
+	call *Call
+	n    int
+	sum  float64
+	best ordb.Value // MIN/MAX running value
+}
+
+// newAccumulators validates that every select item is an aggregate (no
+// GROUP BY support) and builds the accumulators.
+func newAccumulators(sel *SelectStmt) ([]*accumulator, error) {
+	var out []*accumulator
+	for _, item := range sel.Items {
+		c, ok := item.Expr.(*Call)
+		if !ok || !aggregateNames[strings.ToUpper(c.Name)] {
+			return nil, fmt.Errorf("sql: cannot mix aggregates with row expressions (no GROUP BY support)")
+		}
+		if !c.Star && len(c.Args) != 1 {
+			return nil, fmt.Errorf("sql: %s takes one argument", c.Name)
+		}
+		out = append(out, &accumulator{call: c})
+	}
+	return out, nil
+}
+
+func (a *accumulator) add(en *Engine, ev *env) error {
+	name := strings.ToUpper(a.call.Name)
+	if a.call.Star {
+		a.n++
+		return nil
+	}
+	v, err := en.eval(a.call.Args[0], ev)
+	if err != nil {
+		return err
+	}
+	if ordb.IsNull(v) {
+		return nil // aggregates skip NULLs
+	}
+	switch name {
+	case "COUNT":
+		a.n++
+	case "SUM", "AVG":
+		n, ok := v.(ordb.Num)
+		if !ok {
+			return fmt.Errorf("sql: %s requires numeric values, got %T", name, v)
+		}
+		a.n++
+		a.sum += float64(n)
+	case "MIN", "MAX":
+		if a.best == nil {
+			a.best = v
+			return nil
+		}
+		c, err := ordb.Compare(v, a.best)
+		if err != nil {
+			return err
+		}
+		if (name == "MIN" && c < 0) || (name == "MAX" && c > 0) {
+			a.best = v
+		}
+	}
+	return nil
+}
+
+func (a *accumulator) result() ordb.Value {
+	switch strings.ToUpper(a.call.Name) {
+	case "COUNT":
+		return ordb.Num(a.n)
+	case "SUM":
+		if a.n == 0 {
+			return ordb.Null{}
+		}
+		return ordb.Num(a.sum)
+	case "AVG":
+		if a.n == 0 {
+			return ordb.Null{}
+		}
+		return ordb.Num(a.sum / float64(a.n))
+	default: // MIN, MAX
+		if a.best == nil {
+			return ordb.Null{}
+		}
+		return a.best
+	}
+}
+
+// join planning --------------------------------------------------------
+
+// joinSpec accelerates one FROM item: rows of the item's base table are
+// indexed by keyCol; probing evaluates otherExpr against the already
+// bound scopes.
+type joinSpec struct {
+	keyCol    string
+	otherExpr Expr
+	index     map[string][]*ordb.Row
+	built     bool
+}
+
+type queryPlan struct {
+	joins []*joinSpec // one slot per FROM item, nil = full scan
+}
+
+// planJoins finds equality conjuncts `a.x = b.y` joining a FROM item to
+// an earlier one and prepares hash-join specs.
+func (en *Engine) planJoins(sel *SelectStmt) *queryPlan {
+	plan := &queryPlan{joins: make([]*joinSpec, len(sel.From))}
+	conjuncts := flattenAnd(sel.Where)
+	aliases := make([]string, len(sel.From))
+	for i, f := range sel.From {
+		aliases[i] = f.Alias
+		if aliases[i] == "" {
+			aliases[i] = f.Table
+		}
+	}
+	boundBefore := func(idx int, alias string) bool {
+		for j := 0; j < idx; j++ {
+			if strings.EqualFold(aliases[j], alias) {
+				return true
+			}
+		}
+		return false
+	}
+	for i, f := range sel.From {
+		if f.Table == "" || i == 0 {
+			continue
+		}
+		tbl, err := en.db.Table(f.Table)
+		if err != nil {
+			continue // views and TABLE() items scan normally
+		}
+		for _, c := range conjuncts {
+			b, ok := c.(*Binary)
+			if !ok || b.Op != "=" {
+				continue
+			}
+			lp, lok := b.L.(*Path)
+			rp, rok := b.R.(*Path)
+			if !lok || !rok || len(lp.Parts) != 2 || len(rp.Parts) != 2 {
+				continue
+			}
+			var mine, other *Path
+			switch {
+			case strings.EqualFold(lp.Parts[0], aliases[i]) && boundBefore(i, rp.Parts[0]):
+				mine, other = lp, rp
+			case strings.EqualFold(rp.Parts[0], aliases[i]) && boundBefore(i, lp.Parts[0]):
+				mine, other = rp, lp
+			default:
+				continue
+			}
+			if tbl.ColIndex(mine.Parts[1]) < 0 {
+				continue
+			}
+			plan.joins[i] = &joinSpec{keyCol: mine.Parts[1], otherExpr: other}
+			break
+		}
+	}
+	return plan
+}
+
+// flattenAnd splits a WHERE tree into its top-level AND conjuncts.
+func flattenAnd(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*Binary); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// joinKey normalizes a value for hash probing.
+func joinKey(v ordb.Value) (string, bool) {
+	if ordb.IsNull(v) {
+		return "", false // NULL never joins
+	}
+	switch x := v.(type) {
+	case ordb.Str:
+		return "s:" + strings.TrimRight(string(x), " "), true
+	case ordb.Num:
+		return "n:" + x.SQL(), true
+	default:
+		return "o:" + v.SQL(), true
+	}
+}
+
+func (js *joinSpec) buildIndex(t *ordb.Table) {
+	if js.built {
+		return
+	}
+	js.built = true
+	js.index = map[string][]*ordb.Row{}
+	idx := t.ColIndex(js.keyCol)
+	t.Scan(func(r *ordb.Row) bool {
+		if k, ok := joinKey(r.Vals[idx]); ok {
+			js.index[k] = append(js.index[k], r)
+		}
+		return true
+	})
+}
+
+func (en *Engine) whereMatches(where Expr, ev *env) (bool, error) {
+	if where == nil {
+		return true, nil
+	}
+	v, err := en.eval(where, ev)
+	if err != nil {
+		return false, err
+	}
+	return !ordb.IsNull(v) && truthy(v), nil
+}
+
+// enumRows recursively enumerates the cross product of the FROM items,
+// extending the environment scope by scope so that later items can
+// reference earlier aliases. Items with a joinSpec probe the hash index
+// instead of scanning.
+func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, fn func(*env) error) error {
+	if idx == len(from) {
+		return fn(ev)
+	}
+	item := from[idx]
+	push := func(s *scope) error {
+		ev.scopes = append(ev.scopes, s)
+		err := en.enumRows(from, idx+1, ev, plan, fn)
+		ev.scopes = ev.scopes[:len(ev.scopes)-1]
+		return err
+	}
+	if item.Unnest != nil {
+		// TABLE(collection expression), evaluated laterally.
+		v, err := en.eval(item.Unnest, ev)
+		if err != nil {
+			return err
+		}
+		if ordb.IsNull(v) {
+			return nil // empty source
+		}
+		coll, ok := v.(*ordb.Coll)
+		if !ok {
+			return fmt.Errorf("sql: TABLE() requires a collection, got %T", v)
+		}
+		alias := item.Alias
+		if alias == "" {
+			alias = fmt.Sprintf("TABLE_%d", idx+1)
+		}
+		for _, elem := range coll.Elems {
+			s := &scope{alias: alias, whole: elem}
+			// Object elements expose their attributes as columns; a REF
+			// element is dereferenced transparently for column access.
+			resolved := elem
+			if r, isRef := elem.(ordb.Ref); isRef {
+				o, err := en.db.Deref(r)
+				if err != nil {
+					return err
+				}
+				resolved = o
+				s.table = r.Table
+				s.oid = r.OID
+			}
+			if o, isObj := resolved.(*ordb.Object); isObj {
+				t, err := en.db.Type(o.TypeName)
+				if err != nil {
+					return err
+				}
+				for _, a := range t.(*ordb.ObjectType).Attrs {
+					s.cols = append(s.cols, a.Name)
+				}
+				s.vals = o.Attrs
+				s.whole = o
+			} else {
+				// Scalar elements expose Oracle's COLUMN_VALUE.
+				s.cols = []string{"COLUMN_VALUE"}
+				s.vals = []ordb.Value{resolved}
+			}
+			if err := push(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Base table or view.
+	if tbl, err := en.db.Table(item.Table); err == nil {
+		alias := item.Alias
+		if alias == "" {
+			alias = tbl.Name
+		}
+		if js := plan.join(idx); js != nil {
+			js.buildIndex(tbl)
+			key, err := en.eval(js.otherExpr, ev)
+			if err != nil {
+				return err
+			}
+			k, ok := joinKey(key)
+			if !ok {
+				return nil // NULL join key matches nothing
+			}
+			for _, r := range js.index[k] {
+				if err := push(en.tableScope(tbl, alias, r)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var scanErr error
+		tbl.Scan(func(r *ordb.Row) bool {
+			if err := push(en.tableScope(tbl, alias, r)); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		return scanErr
+	}
+	view, err := en.db.View(item.Table)
+	if err != nil {
+		return fmt.Errorf("sql: no table or view %q", item.Table)
+	}
+	vsel, ok := view.Compiled.(*SelectStmt)
+	if !ok {
+		return fmt.Errorf("sql: view %s has no compiled definition", view.Name)
+	}
+	rows, err := en.querySelect(vsel, nil)
+	if err != nil {
+		return fmt.Errorf("sql: view %s: %w", view.Name, err)
+	}
+	alias := item.Alias
+	if alias == "" {
+		alias = view.Name
+	}
+	for _, r := range rows.Data {
+		s := &scope{alias: alias, cols: rows.Cols, vals: r}
+		if len(r) == 1 {
+			s.whole = r[0]
+		}
+		if err := push(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *queryPlan) join(idx int) *joinSpec {
+	if p == nil || idx >= len(p.joins) {
+		return nil
+	}
+	return p.joins[idx]
+}
+
+// projectRow evaluates the select list for the current row environment.
+func (en *Engine) projectRow(sel *SelectStmt, ev *env) ([]ordb.Value, error) {
+	var out []ordb.Value
+	for _, item := range sel.Items {
+		if item.Star {
+			// Expand every column of every scope bound by this query.
+			for _, s := range ev.scopes {
+				out = append(out, s.vals...)
+			}
+			continue
+		}
+		v, err := en.eval(item.Expr, ev)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// resultColumns derives the output column names.
+func (en *Engine) resultColumns(sel *SelectStmt) ([]string, error) {
+	var cols []string
+	for _, item := range sel.Items {
+		switch {
+		case item.Star:
+			// Star columns are resolved against the FROM tables.
+			for _, f := range sel.From {
+				if f.Table == "" {
+					cols = append(cols, "COLUMN_VALUE")
+					continue
+				}
+				if tbl, err := en.db.Table(f.Table); err == nil {
+					for _, c := range tbl.Cols {
+						cols = append(cols, c.Name)
+					}
+					continue
+				}
+				if view, err := en.db.View(f.Table); err == nil {
+					if vsel, ok := view.Compiled.(*SelectStmt); ok {
+						vc, err := en.resultColumns(vsel)
+						if err != nil {
+							return nil, err
+						}
+						cols = append(cols, vc...)
+						continue
+					}
+				}
+				return nil, fmt.Errorf("sql: no table or view %q", f.Table)
+			}
+		case item.Alias != "":
+			cols = append(cols, item.Alias)
+		default:
+			cols = append(cols, defaultColumnName(item.Expr))
+		}
+	}
+	return cols, nil
+}
+
+func defaultColumnName(e Expr) string {
+	switch x := e.(type) {
+	case *Path:
+		return x.Parts[len(x.Parts)-1]
+	case *Call:
+		if x.Star {
+			return "COUNT(*)"
+		}
+		return strings.ToUpper(x.Name)
+	case *CastMultiset:
+		return x.TypeName
+	default:
+		return "EXPR"
+	}
+}

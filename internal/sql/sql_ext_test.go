@@ -1,0 +1,375 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+// seedNumbers creates a small numeric table for aggregate/order tests.
+func seedNumbers(t *testing.T) *Engine {
+	t.Helper()
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (name VARCHAR(20), n NUMBER)`,
+		`INSERT INTO t VALUES ('c', 3)`,
+		`INSERT INTO t VALUES ('a', 1)`,
+		`INSERT INTO t VALUES ('b', 2)`,
+		`INSERT INTO t VALUES ('d', NULL)`,
+	)
+	return en
+}
+
+func TestOrderByAscending(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT name FROM t ORDER BY n`)
+	want := []string{"a", "b", "c", "d"} // NULL sorts last ascending
+	for i, w := range want {
+		if rows.Data[i][0] != ordb.Str(w) {
+			t.Errorf("row %d = %v, want %s", i, rows.Data[i][0], w)
+		}
+	}
+}
+
+func TestOrderByDescending(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT name FROM t ORDER BY n DESC`)
+	want := []string{"d", "c", "b", "a"} // NULL first when descending
+	for i, w := range want {
+		if rows.Data[i][0] != ordb.Str(w) {
+			t.Errorf("row %d = %v, want %s", i, rows.Data[i][0], w)
+		}
+	}
+}
+
+func TestOrderByMultipleKeys(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (g VARCHAR(5), n NUMBER)`,
+		`INSERT INTO t VALUES ('x', 2)`,
+		`INSERT INTO t VALUES ('y', 1)`,
+		`INSERT INTO t VALUES ('x', 1)`,
+	)
+	rows := mustQuery(t, en, `SELECT g, n FROM t ORDER BY g, n DESC`)
+	got := [][2]string{}
+	for _, r := range rows.Data {
+		got = append(got, [2]string{string(r[0].(ordb.Str)), r[1].SQL()})
+	}
+	want := [][2]string{{"x", "2"}, {"x", "1"}, {"y", "1"}}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT COUNT(*), COUNT(n), MIN(n), MAX(n), SUM(n), AVG(n) FROM t`)
+	r := rows.Data[0]
+	want := []ordb.Value{ordb.Num(4), ordb.Num(3), ordb.Num(1), ordb.Num(3), ordb.Num(6), ordb.Num(2)}
+	for i, w := range want {
+		if !ordb.DeepEqual(r[i], w) {
+			t.Errorf("agg %d (%s) = %v, want %v", i, rows.Cols[i], r[i], w)
+		}
+	}
+}
+
+func TestAggregatesOnStrings(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT MIN(name), MAX(name) FROM t`)
+	if rows.Data[0][0] != ordb.Str("a") || rows.Data[0][1] != ordb.Str("d") {
+		t.Errorf("MIN/MAX strings = %v", rows.Data[0])
+	}
+	if _, err := en.Query(`SELECT SUM(name) FROM t`); err == nil {
+		t.Error("SUM over strings must fail")
+	}
+}
+
+func TestAggregatesEmptyTable(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en, `CREATE TABLE e (n NUMBER)`)
+	rows := mustQuery(t, en, `SELECT COUNT(*), MIN(n), SUM(n), AVG(n) FROM e`)
+	r := rows.Data[0]
+	if !ordb.DeepEqual(r[0], ordb.Num(0)) {
+		t.Errorf("COUNT(*) = %v", r[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !ordb.IsNull(r[i]) {
+			t.Errorf("agg %d on empty table = %v, want NULL", i, r[i])
+		}
+	}
+}
+
+func TestAggregateWithWhere(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT SUM(n) FROM t WHERE n > 1`)
+	if !ordb.DeepEqual(rows.Data[0][0], ordb.Num(5)) {
+		t.Errorf("filtered SUM = %v", rows.Data[0][0])
+	}
+}
+
+func TestAggregateMixError(t *testing.T) {
+	en := seedNumbers(t)
+	if _, err := en.Query(`SELECT name, COUNT(*) FROM t`); err == nil {
+		t.Error("mixing aggregates and row expressions must fail")
+	}
+	if _, err := en.Query(`SELECT name FROM t WHERE COUNT(*) > 1`); err == nil {
+		t.Error("aggregate in WHERE must fail")
+	}
+}
+
+func TestUpdateStatement(t *testing.T) {
+	en := seedNumbers(t)
+	res, err := en.Exec(`UPDATE t SET n = 99 WHERE name = 'a'`)
+	if err != nil || res.RowsAffected != 1 {
+		t.Fatalf("update = %+v, %v", res, err)
+	}
+	rows := mustQuery(t, en, `SELECT n FROM t WHERE name = 'a'`)
+	if !ordb.DeepEqual(rows.Data[0][0], ordb.Num(99)) {
+		t.Errorf("updated value = %v", rows.Data[0][0])
+	}
+}
+
+func TestUpdateAllRowsAndSelfReference(t *testing.T) {
+	en := seedNumbers(t)
+	// n = n + 10 is not in the grammar (no arithmetic); use concat-style
+	// self reference on a string column instead.
+	res, err := en.Exec(`UPDATE t SET name = name || '!'`)
+	if err != nil || res.RowsAffected != 4 {
+		t.Fatalf("update = %+v, %v", res, err)
+	}
+	rows := mustQuery(t, en, `SELECT name FROM t WHERE name = 'a!'`)
+	if len(rows.Data) != 1 {
+		t.Errorf("self-referencing update failed: %v", rows.Data)
+	}
+}
+
+func TestUpdateRespectsConstraints(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (a VARCHAR(10) NOT NULL, b VARCHAR(3))`,
+		`INSERT INTO t VALUES ('x', 'ok')`,
+	)
+	if _, err := en.Exec(`UPDATE t SET a = NULL`); !errors.Is(err, ordb.ErrNotNull) {
+		t.Errorf("NOT NULL update = %v", err)
+	}
+	if _, err := en.Exec(`UPDATE t SET b = 'too long'`); !errors.Is(err, ordb.ErrValueTooLong) {
+		t.Errorf("overlong update = %v", err)
+	}
+	// The failed updates must not have modified the row.
+	rows := mustQuery(t, en, `SELECT a, b FROM t`)
+	if rows.Data[0][0] != ordb.Str("x") {
+		t.Errorf("row mutated by failed update: %v", rows.Data[0])
+	}
+}
+
+func TestUpdateUnknownColumn(t *testing.T) {
+	en := seedNumbers(t)
+	if _, err := en.Exec(`UPDATE t SET nope = 1`); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestHashJoinMatchesNestedLoopSemantics(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE a (id INTEGER, name VARCHAR(10))`,
+		`CREATE TABLE b (aid INTEGER, val VARCHAR(10))`,
+	)
+	for i := 1; i <= 20; i++ {
+		mustExec(t, en, `INSERT INTO a VALUES (`+itoa(i)+`, 'n`+itoa(i)+`')`)
+	}
+	for i := 1; i <= 40; i++ {
+		aid := i % 21
+		mustExec(t, en, `INSERT INTO b VALUES (`+itoa(aid)+`, 'v`+itoa(i)+`')`)
+	}
+	// NULL keys never join.
+	mustExec(t, en, `INSERT INTO b VALUES (NULL, 'nullkey')`)
+	rows := mustQuery(t, en, `SELECT a.name, b.val FROM a, b WHERE a.id = b.aid ORDER BY val`)
+	// Expected: every b row with aid in 1..20 joins exactly once.
+	want := 0
+	for i := 1; i <= 40; i++ {
+		if i%21 >= 1 && i%21 <= 20 {
+			want++
+		}
+	}
+	if len(rows.Data) != want {
+		t.Errorf("join rows = %d, want %d", len(rows.Data), want)
+	}
+	for _, r := range rows.Data {
+		if r[1] == ordb.Str("nullkey") {
+			t.Error("NULL key joined")
+		}
+	}
+}
+
+func TestHashJoinReducesScans(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE a (id INTEGER)`,
+		`CREATE TABLE b (aid INTEGER)`,
+	)
+	const n = 50
+	for i := 0; i < n; i++ {
+		mustExec(t, en, `INSERT INTO a VALUES (`+itoa(i)+`)`)
+		mustExec(t, en, `INSERT INTO b VALUES (`+itoa(i)+`)`)
+	}
+	en.DB().ResetStats()
+	rows := mustQuery(t, en, `SELECT a.id FROM a, b WHERE a.id = b.aid`)
+	if len(rows.Data) != n {
+		t.Fatalf("rows = %d", len(rows.Data))
+	}
+	scanned := en.DB().Stats().RowsScanned
+	// Hash join: each table scanned once (n + n); nested loop would be
+	// n + n*n.
+	if scanned > 3*n {
+		t.Errorf("rows scanned = %d, want ~%d (hash join)", scanned, 2*n)
+	}
+}
+
+func TestJoinStillWorksWithExtraPredicates(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE a (id INTEGER, kind VARCHAR(5))`,
+		`CREATE TABLE b (aid INTEGER, v INTEGER)`,
+		`INSERT INTO a VALUES (1, 'x')`,
+		`INSERT INTO a VALUES (2, 'y')`,
+		`INSERT INTO b VALUES (1, 10)`,
+		`INSERT INTO b VALUES (2, 20)`,
+	)
+	rows := mustQuery(t, en, `SELECT b.v FROM a, b WHERE a.id = b.aid AND a.kind = 'y'`)
+	if len(rows.Data) != 1 || !ordb.DeepEqual(rows.Data[0][0], ordb.Num(20)) {
+		t.Errorf("rows = %v", rows.Data)
+	}
+}
+
+func TestJoinAcrossCharPadding(t *testing.T) {
+	// CHAR blank padding must not break hash probing.
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE a (k CHAR(5))`,
+		`CREATE TABLE b (k VARCHAR(5), v INTEGER)`,
+		`INSERT INTO a VALUES ('ab')`,
+		`INSERT INTO b VALUES ('ab', 7)`,
+	)
+	rows := mustQuery(t, en, `SELECT b.v FROM a, b WHERE a.k = b.k`)
+	if len(rows.Data) != 1 {
+		t.Errorf("padded join rows = %v", rows.Data)
+	}
+}
+
+func TestOrderByExpressionNotInSelect(t *testing.T) {
+	en := seedNumbers(t)
+	rows := mustQuery(t, en, `SELECT name FROM t WHERE n IS NOT NULL ORDER BY n DESC`)
+	if rows.Data[0][0] != ordb.Str("c") {
+		t.Errorf("first = %v", rows.Data[0][0])
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestGroupBy(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (dept VARCHAR(10), n NUMBER)`,
+		`INSERT INTO t VALUES ('cs', 1)`,
+		`INSERT INTO t VALUES ('cs', 2)`,
+		`INSERT INTO t VALUES ('math', 5)`,
+		`INSERT INTO t VALUES ('cs', 3)`,
+		`INSERT INTO t VALUES ('math', NULL)`,
+	)
+	rows := mustQuery(t, en, `SELECT dept, COUNT(*), SUM(n), AVG(n) FROM t GROUP BY dept ORDER BY dept`)
+	if len(rows.Data) != 2 {
+		t.Fatalf("groups = %d", len(rows.Data))
+	}
+	cs := rows.Data[0]
+	if cs[0] != ordb.Str("cs") || !ordb.DeepEqual(cs[1], ordb.Num(3)) ||
+		!ordb.DeepEqual(cs[2], ordb.Num(6)) || !ordb.DeepEqual(cs[3], ordb.Num(2)) {
+		t.Errorf("cs group = %v", cs)
+	}
+	math := rows.Data[1]
+	if math[0] != ordb.Str("math") || !ordb.DeepEqual(math[1], ordb.Num(2)) ||
+		!ordb.DeepEqual(math[2], ordb.Num(5)) {
+		t.Errorf("math group = %v", math)
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (g VARCHAR(5))`,
+		`INSERT INTO t VALUES ('a')`,
+		`INSERT INTO t VALUES ('b')`,
+		`INSERT INTO t VALUES ('b')`,
+		`INSERT INTO t VALUES ('b')`,
+		`INSERT INTO t VALUES ('a')`,
+	)
+	rows := mustQuery(t, en, `SELECT g, COUNT(*) FROM t GROUP BY g ORDER BY COUNT(*) DESC`)
+	if rows.Data[0][0] != ordb.Str("b") || !ordb.DeepEqual(rows.Data[0][1], ordb.Num(3)) {
+		t.Errorf("top group = %v", rows.Data[0])
+	}
+}
+
+func TestGroupByWithWhereAndJoin(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE d (id INTEGER, name VARCHAR(10))`,
+		`CREATE TABLE p (did INTEGER, sal NUMBER)`,
+		`INSERT INTO d VALUES (1, 'cs')`,
+		`INSERT INTO d VALUES (2, 'math')`,
+		`INSERT INTO p VALUES (1, 10)`,
+		`INSERT INTO p VALUES (1, 20)`,
+		`INSERT INTO p VALUES (2, 5)`,
+		`INSERT INTO p VALUES (2, 1)`,
+	)
+	rows := mustQuery(t, en, `
+		SELECT d.name, MAX(p.sal) FROM d, p
+		WHERE p.did = d.id AND p.sal > 1
+		GROUP BY d.name ORDER BY name`)
+	if len(rows.Data) != 2 {
+		t.Fatalf("groups = %v", rows.Data)
+	}
+	if !ordb.DeepEqual(rows.Data[0][1], ordb.Num(20)) || !ordb.DeepEqual(rows.Data[1][1], ordb.Num(5)) {
+		t.Errorf("maxes = %v", rows.Data)
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en, `CREATE TABLE t (a VARCHAR(5), b VARCHAR(5))`, `INSERT INTO t VALUES ('x','y')`)
+	if _, err := en.Query(`SELECT b, COUNT(*) FROM t GROUP BY a`); err == nil {
+		t.Error("non-grouped column accepted")
+	}
+	if _, err := en.Query(`SELECT * FROM t GROUP BY a`); err == nil {
+		t.Error("star with GROUP BY accepted")
+	}
+	if _, err := en.Query(`SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY b`); err == nil {
+		t.Error("ORDER BY non-selected column accepted in GROUP BY query")
+	}
+}
+
+func TestGroupByNullKeys(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE t (g VARCHAR(5))`,
+		`INSERT INTO t VALUES (NULL)`,
+		`INSERT INTO t VALUES (NULL)`,
+		`INSERT INTO t VALUES ('x')`,
+	)
+	rows := mustQuery(t, en, `SELECT g, COUNT(*) FROM t GROUP BY g`)
+	if len(rows.Data) != 2 {
+		t.Fatalf("NULLs must form one group: %v", rows.Data)
+	}
+}

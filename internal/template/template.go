@@ -1,0 +1,277 @@
+// Package template implements the export path the paper sketches at the
+// end of Section 6.3: "Object views can be applied in template-driven
+// mapping procedures, i.e., SELECT queries on the object view can be
+// embedded into XML template documents. This can be exploited by software
+// utilities that transfer data from object-relational databases to XML
+// documents."
+//
+// A template is an XML document containing processing instructions of the
+// form
+//
+//	<?xmlordb-query SELECT ... ?>
+//
+// Expand replaces each such instruction with the query's result rendered
+// as XML: object values become elements named after their source XML
+// element (reversing the Type_/attr naming conventions through the
+// schema's mapping dictionary), collections repeat their element, and
+// scalar columns become elements named after the result column.
+package template
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+// QueryTarget is the processing-instruction target that marks embedded
+// queries.
+const QueryTarget = "xmlordb-query"
+
+// Expand runs every embedded query of the template against the engine
+// and returns the expanded document as XML text. The schema's mapping
+// dictionary reverses the generated names back to XML names.
+func Expand(sch *mapping.Schema, en *sql.Engine, templateXML string) (string, error) {
+	res, err := xmlparser.ParseWith(templateXML, xmlparser.Options{KeepEntityRefs: true})
+	if err != nil {
+		return "", fmt.Errorf("template: %w", err)
+	}
+	r := &renderer{sch: sch, en: en}
+	if err := r.expandIn(res.Doc); err != nil {
+		return "", err
+	}
+	root := res.Doc.Root()
+	if root != nil {
+		if err := r.expandIn(root); err != nil {
+			return "", err
+		}
+	}
+	return xmldom.SerializeWith(res.Doc, xmldom.SerializeOptions{Indent: "  "}), nil
+}
+
+type renderer struct {
+	sch *mapping.Schema
+	en  *sql.Engine
+}
+
+// expandIn rewrites the children of a node, replacing query PIs with
+// rendered results and recursing into elements.
+func (r *renderer) expandIn(n xmldom.ChildBearer) error {
+	old := n.Children()
+	rebuilt := make([]xmldom.Node, 0, len(old))
+	changed := false
+	for _, c := range old {
+		pi, isPI := c.(*xmldom.ProcInst)
+		if !isPI || pi.Target != QueryTarget {
+			if el, isElem := c.(*xmldom.Element); isElem {
+				if err := r.expandIn(el); err != nil {
+					return err
+				}
+			}
+			rebuilt = append(rebuilt, c)
+			continue
+		}
+		nodes, err := r.runQuery(strings.TrimSpace(pi.Data))
+		if err != nil {
+			return err
+		}
+		rebuilt = append(rebuilt, nodes...)
+		changed = true
+	}
+	if changed {
+		switch m := n.(type) {
+		case *xmldom.Element:
+			m.SetChildren(rebuilt)
+		case *xmldom.Document:
+			// Documents cannot hold text/result nodes at top level; a
+			// query PI outside the root element is an error.
+			for _, c := range rebuilt {
+				if _, ok := c.(*xmldom.Element); !ok {
+					if _, isPI := c.(*xmldom.ProcInst); !isPI {
+						return fmt.Errorf("template: query result outside the document element")
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runQuery executes one embedded query and renders its rows.
+func (r *renderer) runQuery(q string) ([]xmldom.Node, error) {
+	rows, err := r.en.Query(q)
+	if err != nil {
+		return nil, fmt.Errorf("template: embedded query failed: %w\n%s", err, q)
+	}
+	var out []xmldom.Node
+	for _, row := range rows.Data {
+		for i, v := range row {
+			nodes, err := r.renderValue(rows.Cols[i], v)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, nodes...)
+		}
+	}
+	return out, nil
+}
+
+// renderValue converts one result value to XML nodes.
+func (r *renderer) renderValue(col string, v ordb.Value) ([]xmldom.Node, error) {
+	if ordb.IsNull(v) {
+		return nil, nil
+	}
+	switch x := v.(type) {
+	case *ordb.Object:
+		return r.renderObject(x)
+	case *ordb.Coll:
+		var out []xmldom.Node
+		for _, e := range x.Elems {
+			nodes, err := r.renderValue(col, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, nodes...)
+		}
+		return out, nil
+	case ordb.Ref:
+		obj, err := r.en.DB().Deref(x)
+		if err != nil {
+			return nil, err
+		}
+		return r.renderObject(obj)
+	default:
+		el := xmldom.NewElement(columnElementName(col))
+		el.AppendChild(xmldom.NewText(ordb.FormatValue(v)))
+		return []xmldom.Node{el}, nil
+	}
+}
+
+// renderObject reverses the mapping: Type_X instances become <X> elements
+// with their fields rendered from the mapping dictionary.
+func (r *renderer) renderObject(obj *ordb.Object) ([]xmldom.Node, error) {
+	name, m := r.elementForType(obj.TypeName)
+	if m == nil {
+		// Not a schema type (e.g. ad-hoc constructor): render fields
+		// positionally under the type name.
+		el := xmldom.NewElement(sanitizeName(obj.TypeName))
+		for _, a := range obj.Attrs {
+			nodes, err := r.renderValue("Value", a)
+			if err != nil {
+				return nil, err
+			}
+			for _, n := range nodes {
+				el.AppendChild(n)
+			}
+		}
+		return []xmldom.Node{el}, nil
+	}
+	el := xmldom.NewElement(name)
+	for i, f := range m.Fields {
+		if i >= len(obj.Attrs) {
+			break
+		}
+		if err := r.applyField(el, m, f, obj.Attrs[i]); err != nil {
+			return nil, err
+		}
+	}
+	return []xmldom.Node{el}, nil
+}
+
+func (r *renderer) applyField(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, v ordb.Value) error {
+	if ordb.IsNull(v) {
+		return nil
+	}
+	switch f.Kind {
+	case mapping.FieldAttrList:
+		obj, ok := v.(*ordb.Object)
+		if !ok {
+			return nil
+		}
+		for i, af := range m.AttrListFields {
+			if i >= len(obj.Attrs) || ordb.IsNull(obj.Attrs[i]) {
+				continue
+			}
+			el.SetAttr(af.XMLName, ordb.FormatValue(obj.Attrs[i]))
+		}
+		return nil
+	case mapping.FieldXMLAttr:
+		el.SetAttr(f.XMLName, ordb.FormatValue(v))
+		return nil
+	case mapping.FieldPCDATA, mapping.FieldMixedText:
+		if f.XMLName == m.Name {
+			el.AppendChild(xmldom.NewText(ordb.FormatValue(v)))
+			return nil
+		}
+		fallthrough
+	case mapping.FieldSimpleChild:
+		emit := func(val ordb.Value) {
+			c := xmldom.NewElement(f.XMLName)
+			c.AppendChild(xmldom.NewText(ordb.FormatValue(val)))
+			el.AppendChild(c)
+		}
+		if coll, ok := v.(*ordb.Coll); ok {
+			for _, e := range coll.Elems {
+				if !ordb.IsNull(e) {
+					emit(e)
+				}
+			}
+			return nil
+		}
+		emit(v)
+		return nil
+	case mapping.FieldComplexChild, mapping.FieldRefChild:
+		nodes, err := r.renderValue(f.XMLName, v)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			el.AppendChild(n)
+		}
+		return nil
+	default:
+		return nil // generated fields have no XML form
+	}
+}
+
+// elementForType reverses Type_X to its element mapping.
+func (r *renderer) elementForType(typeName string) (string, *mapping.ElemMapping) {
+	for name, m := range r.sch.Elems {
+		if strings.EqualFold(m.TypeName, typeName) {
+			return name, m
+		}
+	}
+	return "", nil
+}
+
+// columnElementName derives an element name from a result column,
+// stripping the attr prefix the naming conventions add.
+func columnElementName(col string) string {
+	name := col
+	if strings.HasPrefix(name, mapping.PrefixAttr) && len(name) > len(mapping.PrefixAttr) {
+		name = name[len(mapping.PrefixAttr):]
+	}
+	return sanitizeName(name)
+}
+
+func sanitizeName(s string) string {
+	var sb strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_':
+			sb.WriteRune(r)
+		case (r >= '0' && r <= '9') && i > 0:
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "Value"
+	}
+	return sb.String()
+}

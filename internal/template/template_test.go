@@ -1,0 +1,124 @@
+package template
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/loader"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmlparser"
+)
+
+func setup(t *testing.T) (*mapping.Schema, *sql.Engine) {
+	t.Helper()
+	d := dtd.MustParse("University", workload.UniversityDTD)
+	tree, err := dtd.BuildTree(d, "University")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch, err := mapping.Generate(tree, mapping.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := sql.NewEngine(ordb.New(ordb.ModeOracle9))
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.UniversityWithJaeger(workload.UniversityParams{
+		Students: 4, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: 13,
+	}, 1)
+	if _, err := loader.New(sch, en).Load(doc, "d"); err != nil {
+		t.Fatal(err)
+	}
+	return sch, en
+}
+
+func TestExpandScalarQuery(t *testing.T) {
+	sch, en := setup(t)
+	tpl := `<Report>
+  <Heading>Enrolled students</Heading>
+  <?xmlordb-query SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st ?>
+</Report>`
+	out, err := Expand(sch, en, tpl)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if strings.Count(out, "<LName>") != 4 {
+		t.Errorf("expected 4 <LName> elements:\n%s", out)
+	}
+	if !strings.Contains(out, "<Heading>Enrolled students</Heading>") {
+		t.Errorf("static content lost:\n%s", out)
+	}
+	// The result must be well-formed XML.
+	if _, err := xmlparser.ParseWith(out, xmlparser.Options{}); err != nil {
+		t.Errorf("expanded template not well-formed: %v\n%s", err, out)
+	}
+}
+
+func TestExpandObjectQuery(t *testing.T) {
+	sch, en := setup(t)
+	tpl := `<Export><?xmlordb-query SELECT VALUE(st) FROM TabUniversity u, TABLE(u.attrStudent) st ?></Export>`
+	out, err := Expand(sch, en, tpl)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	// Whole Student objects expand into nested XML with attributes
+	// restored from the TypeAttrL_ object.
+	for _, want := range []string{"<Student StudNr=", "<Course>", "<Professor>", "<Subject>"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expanded objects missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := xmlparser.ParseWith(out, xmlparser.Options{}); err != nil {
+		t.Errorf("not well-formed: %v", err)
+	}
+}
+
+func TestExpandWithPredicate(t *testing.T) {
+	sch, en := setup(t)
+	tpl := `<JaegerStudents><?xmlordb-query SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st, TABLE(st.attrCourse) c, TABLE(c.attrProfessor) p WHERE p.attrPName = 'Jaeger' ?></JaegerStudents>`
+	out, err := Expand(sch, en, tpl)
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	if strings.Count(out, "<LName>") != 1 {
+		t.Errorf("want exactly one match:\n%s", out)
+	}
+}
+
+func TestExpandNestedTemplates(t *testing.T) {
+	sch, en := setup(t)
+	tpl := `<R><Section><?xmlordb-query SELECT u.attrStudyCourse FROM TabUniversity u ?></Section></R>`
+	out, err := Expand(sch, en, tpl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<Section>") || !strings.Contains(out, "<StudyCourse>Computer Science</StudyCourse>") {
+		t.Errorf("nested expansion wrong:\n%s", out)
+	}
+}
+
+func TestExpandBadQuery(t *testing.T) {
+	sch, en := setup(t)
+	if _, err := Expand(sch, en, `<R><?xmlordb-query SELECT nope FROM nowhere ?></R>`); err == nil {
+		t.Error("bad embedded query accepted")
+	}
+	if _, err := Expand(sch, en, `not xml`); err == nil {
+		t.Error("bad template accepted")
+	}
+}
+
+func TestExpandLeavesOtherPIsAlone(t *testing.T) {
+	sch, en := setup(t)
+	out, err := Expand(sch, en, `<R><?other keep me?></R>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "<?other keep me?>") {
+		t.Errorf("unrelated PI removed:\n%s", out)
+	}
+}

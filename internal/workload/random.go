@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/xmldom"
+)
+
+// RandomSchemaParams bound the shape of generated random DTDs.
+type RandomSchemaParams struct {
+	// MaxChildren bounds the children per complex element (>=1).
+	MaxChildren int
+	// MaxDepth bounds the nesting depth of complex elements.
+	MaxDepth int
+	// MaxAttrs bounds the attributes per complex element.
+	MaxAttrs int
+}
+
+// DefaultRandomSchema returns moderate bounds.
+func DefaultRandomSchema() RandomSchemaParams {
+	return RandomSchemaParams{MaxChildren: 4, MaxDepth: 4, MaxAttrs: 2}
+}
+
+// RandomDTD generates a random document type: a tree of sequence content
+// models with random occurrence operators, PCDATA leaves and CDATA
+// attributes. Every generated DTD is valid input for the mapping layer,
+// making it the driver for end-to-end property tests.
+func RandomDTD(rng *rand.Rand, p RandomSchemaParams) *dtd.DTD {
+	d := dtd.NewDTD("E0")
+	counter := 0
+	newName := func() string {
+		name := fmt.Sprintf("E%d", counter)
+		counter++
+		return name
+	}
+	var build func(depth int) string
+	build = func(depth int) string {
+		name := newName()
+		decl := &dtd.ElementDecl{Name: name}
+		leaf := depth >= p.MaxDepth || rng.Intn(100) < 45
+		if leaf {
+			decl.Content = dtd.PCDATAContent
+		} else {
+			decl.Content = dtd.ChildrenContent
+			n := 1 + rng.Intn(p.MaxChildren)
+			seq := &dtd.Particle{Kind: dtd.SeqParticle}
+			for i := 0; i < n; i++ {
+				child := build(depth + 1)
+				seq.Children = append(seq.Children, &dtd.Particle{
+					Kind: dtd.NameParticle,
+					Name: child,
+					Occ:  dtd.Occurrence(rng.Intn(4)),
+				})
+			}
+			decl.Model = seq
+			for i := rng.Intn(p.MaxAttrs + 1); i > 0; i-- {
+				def := dtd.ImpliedDefault
+				if rng.Intn(2) == 0 {
+					def = dtd.RequiredDefault
+				}
+				decl.Attrs = append(decl.Attrs, &dtd.AttrDecl{
+					Element: name,
+					Name:    fmt.Sprintf("a%d", i),
+					Type:    dtd.CDATAAttr,
+					Default: def,
+				})
+			}
+		}
+		// Names are unique by construction; AddElement cannot fail.
+		if err := d.AddElement(decl); err != nil {
+			panic(err)
+		}
+		return name
+	}
+	root := build(0)
+	d.Name = root
+	return d
+}
+
+// RandomDocument generates a valid document for the DTD rooted at its
+// document type name. Occurrence operators expand to bounded random
+// counts; attribute values and text are short random words.
+func RandomDocument(rng *rand.Rand, d *dtd.DTD) *xmldom.Document {
+	doc := xmldom.NewDocument()
+	doc.Version = "1.0"
+	doc.DoctypeName = d.Name
+	doc.InternalSubset = "\n" + d.String()
+	doc.AppendChild(randomElement(rng, d, d.Name))
+	return doc
+}
+
+func randomElement(rng *rand.Rand, d *dtd.DTD, name string) *xmldom.Element {
+	el := xmldom.NewElement(name)
+	decl := d.Element(name)
+	if decl == nil {
+		return el
+	}
+	for _, a := range decl.Attrs {
+		if a.Required() || rng.Intn(2) == 0 {
+			el.SetAttr(a.Name, randomWord(rng))
+		}
+	}
+	switch decl.Content {
+	case dtd.PCDATAContent:
+		el.AppendChild(xmldom.NewText(randomWord(rng)))
+	case dtd.ChildrenContent:
+		for _, ref := range decl.ChildRefs() {
+			count := 1
+			switch {
+			case ref.Repeats && ref.Optional: // '*'
+				count = rng.Intn(4)
+			case ref.Repeats: // '+'
+				count = 1 + rng.Intn(3)
+			case ref.Optional: // '?'
+				count = rng.Intn(2)
+			}
+			for i := 0; i < count; i++ {
+				el.AppendChild(randomElement(rng, d, ref.Name))
+			}
+		}
+	}
+	return el
+}
+
+var randomWords = []string{
+	"alpha", "beta", "gamma", "delta", "omega", "data", "value",
+	"Leipzig", "Dresden", "xml", "schema", "storage", "query",
+}
+
+func randomWord(rng *rand.Rand) string {
+	n := 1 + rng.Intn(3)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = randomWords[rng.Intn(len(randomWords))]
+	}
+	return strings.Join(parts, " ")
+}

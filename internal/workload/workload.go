@@ -1,0 +1,223 @@
+// Package workload generates synthetic XML documents and DTDs for the
+// benchmark harness. The generators are deterministic (seeded) so bench
+// runs are reproducible.
+//
+// Three families cover the document spectrum the paper discusses:
+//
+//   - University: the Appendix A schema scaled by student/course/
+//     professor counts — the data-centric case the paper targets.
+//   - Deep: a chain of nested elements parameterized by depth — stresses
+//     the "multiple nesting of XML elements" advantage.
+//   - DocumentOriented: few elements, large text chunks — the case where
+//     the VARCHAR(4000) limit bites (Section 7 drawback).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xmlordb/internal/xmldom"
+)
+
+// UniversityDTD is the Appendix A document type definition.
+const UniversityDTD = `<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>`
+
+// UniversityParams size the scaled Appendix A documents.
+type UniversityParams struct {
+	Students          int
+	CoursesPerStudent int
+	ProfsPerCourse    int
+	SubjectsPerProf   int
+	Seed              int64
+}
+
+// DefaultUniversity matches a small but non-trivial document.
+func DefaultUniversity() UniversityParams {
+	return UniversityParams{Students: 10, CoursesPerStudent: 3, ProfsPerCourse: 2, SubjectsPerProf: 2, Seed: 1}
+}
+
+// NodeCount estimates the number of element nodes the parameters produce.
+func (p UniversityParams) NodeCount() int {
+	perProf := 2 + p.SubjectsPerProf              // PName, Dept, Subjects
+	perCourse := 2 + p.ProfsPerCourse*(1+perProf) // Name, CreditPts, Professors
+	perStudent := 2 + p.CoursesPerStudent*(1+perCourse)
+	return 2 + p.Students*(1+perStudent)
+}
+
+var (
+	lastNames  = []string{"Conrad", "Meier", "Schmidt", "Jaeger", "Kudrass", "Wagner", "Becker", "Hoffmann"}
+	firstNames = []string{"Matthias", "Ralf", "Anna", "Petra", "Jonas", "Lena", "Felix", "Marie"}
+	courses    = []string{"Database Systems II", "CAD Intro", "Operating Systems", "Compiler Construction", "Information Retrieval", "Distributed Systems"}
+	subjects   = []string{"Database Systems", "Operat. Systems", "CAD", "CAE", "XML", "Modeling"}
+)
+
+// University generates a scaled Appendix A document.
+func University(p UniversityParams) *xmldom.Document {
+	rng := rand.New(rand.NewSource(p.Seed))
+	doc := xmldom.NewDocument()
+	doc.Version = "1.0"
+	doc.Encoding = "UTF-8"
+	doc.DoctypeName = "University"
+	doc.InternalSubset = "\n" + UniversityDTD + "\n"
+	root := xmldom.NewElement("University")
+	doc.AppendChild(root)
+	sc := xmldom.NewElement("StudyCourse")
+	sc.AppendChild(xmldom.NewText("Computer Science"))
+	root.AppendChild(sc)
+	for i := 0; i < p.Students; i++ {
+		st := xmldom.NewElement("Student")
+		st.SetAttr("StudNr", fmt.Sprintf("%05d", 10000+i))
+		appendLeaf(st, "LName", pick(rng, lastNames))
+		appendLeaf(st, "FName", pick(rng, firstNames))
+		for j := 0; j < p.CoursesPerStudent; j++ {
+			c := xmldom.NewElement("Course")
+			appendLeaf(c, "Name", pick(rng, courses))
+			for k := 0; k < p.ProfsPerCourse; k++ {
+				prof := xmldom.NewElement("Professor")
+				appendLeaf(prof, "PName", pick(rng, lastNames))
+				for s := 0; s < p.SubjectsPerProf; s++ {
+					appendLeaf(prof, "Subject", pick(rng, subjects))
+				}
+				appendLeaf(prof, "Dept", "Computer Science")
+				c.AppendChild(prof)
+			}
+			appendLeaf(c, "CreditPts", fmt.Sprintf("%d", 2+rng.Intn(6)))
+			st.AppendChild(c)
+		}
+		root.AppendChild(st)
+	}
+	return doc
+}
+
+// UniversityWithJaeger generates a university document guaranteeing that
+// exactly wantMatches students attend a course taught by "Jaeger" — the
+// selectivity control for the Section 4.1 query benchmarks.
+func UniversityWithJaeger(p UniversityParams, wantMatches int) *xmldom.Document {
+	doc := University(p)
+	// Scrub any accidental Jaeger professors, then plant deterministic
+	// ones in the first wantMatches students.
+	students := doc.Root().ChildElementsNamed("Student")
+	for _, st := range students {
+		for _, c := range st.ChildElementsNamed("Course") {
+			for _, prof := range c.ChildElementsNamed("Professor") {
+				if p := prof.FirstChildNamed("PName"); p != nil && p.Text() == "Jaeger" {
+					setLeaf(p, "Schmidt")
+				}
+			}
+		}
+	}
+	for i := 0; i < wantMatches && i < len(students); i++ {
+		course := students[i].FirstChildNamed("Course")
+		if course == nil {
+			continue
+		}
+		prof := course.FirstChildNamed("Professor")
+		if prof == nil {
+			continue
+		}
+		setLeaf(prof.FirstChildNamed("PName"), "Jaeger")
+	}
+	return doc
+}
+
+func setLeaf(el *xmldom.Element, text string) {
+	if el == nil {
+		return
+	}
+	el.SetChildren([]xmldom.Node{xmldom.NewText(text)})
+}
+
+// DeepDTD builds a chain DTD of the given depth: L0 contains L1 contains
+// ... L(depth-1), ending in a text leaf.
+func DeepDTD(depth int) string {
+	var sb strings.Builder
+	for i := 0; i < depth-1; i++ {
+		fmt.Fprintf(&sb, "<!ELEMENT L%d (L%d)>\n", i, i+1)
+	}
+	fmt.Fprintf(&sb, "<!ELEMENT L%d (#PCDATA)>\n", depth-1)
+	return sb.String()
+}
+
+// Deep generates a document of the given nesting depth.
+func Deep(depth int) *xmldom.Document {
+	doc := xmldom.NewDocument()
+	doc.Version = "1.0"
+	doc.DoctypeName = "L0"
+	doc.InternalSubset = "\n" + DeepDTD(depth)
+	var cur *xmldom.Element
+	for i := 0; i < depth; i++ {
+		e := xmldom.NewElement(fmt.Sprintf("L%d", i))
+		if cur == nil {
+			doc.AppendChild(e)
+		} else {
+			cur.AppendChild(e)
+		}
+		cur = e
+	}
+	cur.AppendChild(xmldom.NewText("leaf"))
+	return doc
+}
+
+// DocOrientedDTD is a minimal document-oriented schema: articles holding
+// large text sections.
+const DocOrientedDTD = `<!ELEMENT Journal (Article+)>
+<!ELEMENT Article (Title,Body+)>
+<!ELEMENT Title (#PCDATA)>
+<!ELEMENT Body (#PCDATA)>`
+
+// DocOriented generates articles whose Body sections hold textSize
+// characters each — probing the VARCHAR(4000) ceiling.
+func DocOriented(articles, bodiesPerArticle, textSize int, seed int64) *xmldom.Document {
+	rng := rand.New(rand.NewSource(seed))
+	doc := xmldom.NewDocument()
+	doc.Version = "1.0"
+	doc.DoctypeName = "Journal"
+	doc.InternalSubset = "\n" + DocOrientedDTD + "\n"
+	root := xmldom.NewElement("Journal")
+	doc.AppendChild(root)
+	for i := 0; i < articles; i++ {
+		a := xmldom.NewElement("Article")
+		appendLeaf(a, "Title", fmt.Sprintf("Article %d", i+1))
+		for j := 0; j < bodiesPerArticle; j++ {
+			appendLeaf(a, "Body", prose(rng, textSize))
+		}
+		root.AppendChild(a)
+	}
+	return doc
+}
+
+var words = []string{"database", "object", "relational", "document", "element",
+	"attribute", "schema", "mapping", "storage", "query", "nested", "structure"}
+
+func prose(rng *rand.Rand, size int) string {
+	var sb strings.Builder
+	for sb.Len() < size {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(words[rng.Intn(len(words))])
+	}
+	return sb.String()[:size]
+}
+
+func appendLeaf(parent *xmldom.Element, name, text string) {
+	e := xmldom.NewElement(name)
+	e.AppendChild(xmldom.NewText(text))
+	parent.AppendChild(e)
+}
+
+func pick(rng *rand.Rand, ss []string) string { return ss[rng.Intn(len(ss))] }

@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+func TestUniversityValidatesAgainstDTD(t *testing.T) {
+	doc := University(DefaultUniversity())
+	d := dtd.MustParse("University", UniversityDTD)
+	if err := dtd.Validate(d, doc); err != nil {
+		t.Fatalf("generated document invalid: %v", err)
+	}
+}
+
+func TestUniversityDeterministic(t *testing.T) {
+	p := DefaultUniversity()
+	a := xmldom.Serialize(University(p))
+	b := xmldom.Serialize(University(p))
+	if a != b {
+		t.Error("same seed produced different documents")
+	}
+	p2 := p
+	p2.Seed = 99
+	if xmldom.Serialize(University(p2)) == a {
+		t.Error("different seed produced identical documents")
+	}
+}
+
+func TestUniversityScales(t *testing.T) {
+	p := UniversityParams{Students: 5, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 3, Seed: 1}
+	doc := University(p)
+	students := doc.Root().ChildElementsNamed("Student")
+	if len(students) != 5 {
+		t.Errorf("students = %d", len(students))
+	}
+	courses := students[0].ChildElementsNamed("Course")
+	if len(courses) != 2 {
+		t.Errorf("courses = %d", len(courses))
+	}
+	profs := courses[0].ChildElementsNamed("Professor")
+	if len(profs) != 1 {
+		t.Errorf("professors = %d", len(profs))
+	}
+	if got := len(profs[0].ChildElementsNamed("Subject")); got != 3 {
+		t.Errorf("subjects = %d", got)
+	}
+	// The serialized document re-parses and validates.
+	if _, err := xmlparser.Parse(xmldom.Serialize(doc)); err != nil {
+		t.Fatalf("serialized form invalid: %v", err)
+	}
+}
+
+func TestNodeCountEstimate(t *testing.T) {
+	p := UniversityParams{Students: 3, CoursesPerStudent: 2, ProfsPerCourse: 2, SubjectsPerProf: 2, Seed: 1}
+	doc := University(p)
+	got := xmldom.CountNodes(doc)[xmldom.ElementNode]
+	if est := p.NodeCount(); est != got {
+		t.Errorf("NodeCount() = %d, actual elements = %d", est, got)
+	}
+}
+
+func TestUniversityWithJaeger(t *testing.T) {
+	p := UniversityParams{Students: 10, CoursesPerStudent: 2, ProfsPerCourse: 2, SubjectsPerProf: 1, Seed: 5}
+	doc := UniversityWithJaeger(p, 3)
+	matched := map[*xmldom.Element]bool{}
+	for _, st := range doc.Root().ChildElementsNamed("Student") {
+		for _, c := range st.ChildElementsNamed("Course") {
+			for _, prof := range c.ChildElementsNamed("Professor") {
+				if prof.FirstChildNamed("PName").Text() == "Jaeger" {
+					matched[st] = true
+				}
+			}
+		}
+	}
+	if len(matched) != 3 {
+		t.Errorf("students with Jaeger = %d, want 3", len(matched))
+	}
+	// Still valid.
+	d := dtd.MustParse("University", UniversityDTD)
+	if err := dtd.Validate(d, doc); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestDeepDocument(t *testing.T) {
+	doc := Deep(12)
+	d := dtd.MustParse("L0", DeepDTD(12))
+	if err := dtd.Validate(d, doc); err != nil {
+		t.Fatalf("deep document invalid: %v", err)
+	}
+	depth := 0
+	cur := doc.Root()
+	for cur != nil {
+		depth++
+		cur = func() *xmldom.Element {
+			for _, c := range cur.ChildElements() {
+				return c
+			}
+			return nil
+		}()
+	}
+	if depth != 12 {
+		t.Errorf("depth = %d", depth)
+	}
+}
+
+func TestDocOriented(t *testing.T) {
+	doc := DocOriented(2, 3, 5000, 1)
+	d := dtd.MustParse("Journal", DocOrientedDTD)
+	if err := dtd.Validate(d, doc); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	articles := doc.Root().ChildElementsNamed("Article")
+	if len(articles) != 2 {
+		t.Fatalf("articles = %d", len(articles))
+	}
+	bodies := articles[0].ChildElementsNamed("Body")
+	if len(bodies) != 3 {
+		t.Fatalf("bodies = %d", len(bodies))
+	}
+	if got := len(bodies[0].Text()); got != 5000 {
+		t.Errorf("body size = %d", got)
+	}
+	if strings.TrimSpace(bodies[0].Text()) == "" {
+		t.Error("body empty")
+	}
+}

@@ -1,0 +1,376 @@
+// Package xmldom provides a Document Object Model for XML 1.0 documents.
+//
+// The model mirrors the W3C DOM Level 1 core at the granularity the paper's
+// XML2Oracle pipeline needs: documents, elements, attributes, character
+// data (text and CDATA sections), comments, processing instructions and
+// entity references. Unlike encoding/xml's streaming tokens, xmldom keeps
+// the whole logical structure of a document in memory so that the loader
+// can translate it into a single nested INSERT statement and the retrieval
+// layer can reconstruct the original document (round-trip).
+//
+// Nodes form an ordered tree. Every node knows its parent; child order is
+// document order and is preserved through serialization.
+package xmldom
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType identifies the concrete kind of a Node.
+type NodeType int
+
+// The node kinds of the model. The numeric values match the W3C DOM
+// nodeType constants where a counterpart exists, which makes debugging
+// dumps comparable with browser tooling.
+const (
+	ElementNode               NodeType = 1
+	AttributeNode             NodeType = 2
+	TextNode                  NodeType = 3
+	CDATANode                 NodeType = 4
+	EntityRefNode             NodeType = 5
+	ProcessingInstructionNode NodeType = 7
+	CommentNode               NodeType = 8
+	DocumentNode              NodeType = 9
+)
+
+// String returns the DOM-style name of the node type.
+func (t NodeType) String() string {
+	switch t {
+	case ElementNode:
+		return "element"
+	case AttributeNode:
+		return "attribute"
+	case TextNode:
+		return "text"
+	case CDATANode:
+		return "cdata-section"
+	case EntityRefNode:
+		return "entity-reference"
+	case ProcessingInstructionNode:
+		return "processing-instruction"
+	case CommentNode:
+		return "comment"
+	case DocumentNode:
+		return "document"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(t))
+	}
+}
+
+// Node is the interface implemented by every member of the document tree.
+type Node interface {
+	// Type reports the concrete kind of the node.
+	Type() NodeType
+	// Parent returns the containing node, or nil for a detached node or
+	// the Document itself.
+	Parent() Node
+	// setParent is used internally when attaching children.
+	setParent(Node)
+}
+
+// ChildBearer is implemented by nodes that can contain children
+// (Document and Element).
+type ChildBearer interface {
+	Node
+	// Children returns the child list in document order. The returned
+	// slice is the live backing slice; callers must not mutate it.
+	Children() []Node
+	// AppendChild attaches a child at the end of the child list and sets
+	// its parent pointer.
+	AppendChild(Node)
+}
+
+// base carries the parent pointer shared by all node kinds.
+type base struct {
+	parent Node
+}
+
+func (b *base) Parent() Node     { return b.parent }
+func (b *base) setParent(p Node) { b.parent = p }
+
+// Document is the root of a parsed XML document. It records the prolog
+// (XML declaration), the document type declaration and all top-level
+// nodes (comments and processing instructions may precede or follow the
+// single document element).
+type Document struct {
+	base
+	// Version is the XML version from the XML declaration ("1.0"), empty
+	// when the document has no XML declaration.
+	Version string
+	// Encoding is the declared character set, e.g. "UTF-8".
+	Encoding string
+	// Standalone is the literal standalone declaration value: "yes",
+	// "no" or empty when absent.
+	Standalone string
+	// DoctypeName is the name given in <!DOCTYPE name ...>, empty when
+	// the document has no DOCTYPE.
+	DoctypeName string
+	// SystemID and PublicID identify the external DTD subset, if any.
+	SystemID string
+	PublicID string
+	// InternalSubset is the verbatim text between '[' and ']' of the
+	// DOCTYPE declaration, if present.
+	InternalSubset string
+	children       []Node
+}
+
+// NewDocument returns an empty document.
+func NewDocument() *Document { return &Document{} }
+
+// Type reports DocumentNode.
+func (d *Document) Type() NodeType { return DocumentNode }
+
+// Children returns the document-level node list.
+func (d *Document) Children() []Node { return d.children }
+
+// AppendChild adds a document-level node (element, comment or PI).
+func (d *Document) AppendChild(n Node) {
+	n.setParent(d)
+	d.children = append(d.children, n)
+}
+
+// Root returns the document element, or nil if none has been attached.
+func (d *Document) Root() *Element {
+	for _, c := range d.children {
+		if e, ok := c.(*Element); ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// Attr is a single attribute of an element. Specified reports whether the
+// attribute appeared literally in the document (true) or was supplied as a
+// DTD default value during validation (false); the distinction matters for
+// round-tripping.
+type Attr struct {
+	Name      string
+	Value     string
+	Specified bool
+}
+
+// Element is a named node with attributes and ordered children.
+type Element struct {
+	base
+	Name     string
+	Attrs    []Attr
+	children []Node
+}
+
+// NewElement returns a detached element with the given tag name.
+func NewElement(name string) *Element { return &Element{Name: name} }
+
+// Type reports ElementNode.
+func (e *Element) Type() NodeType { return ElementNode }
+
+// Children returns the ordered child list.
+func (e *Element) Children() []Node { return e.children }
+
+// AppendChild attaches a child node at the end of the element content.
+func (e *Element) AppendChild(n Node) {
+	n.setParent(e)
+	e.children = append(e.children, n)
+}
+
+// SetChildren replaces the element's child list, reparenting every node.
+func (e *Element) SetChildren(children []Node) {
+	e.children = e.children[:0]
+	for _, c := range children {
+		e.AppendChild(c)
+	}
+}
+
+// SetAttr sets (or replaces) an attribute value, marking it as specified.
+func (e *Element) SetAttr(name, value string) {
+	for i := range e.Attrs {
+		if e.Attrs[i].Name == name {
+			e.Attrs[i].Value = value
+			e.Attrs[i].Specified = true
+			return
+		}
+	}
+	e.Attrs = append(e.Attrs, Attr{Name: name, Value: value, Specified: true})
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Element) Attr(name string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// ChildElements returns the element children only, in document order.
+func (e *Element) ChildElements() []*Element {
+	var out []*Element
+	for _, c := range e.children {
+		if el, ok := c.(*Element); ok {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// ChildElementsNamed returns child elements with the given tag name.
+func (e *Element) ChildElementsNamed(name string) []*Element {
+	var out []*Element
+	for _, c := range e.children {
+		if el, ok := c.(*Element); ok && el.Name == name {
+			out = append(out, el)
+		}
+	}
+	return out
+}
+
+// FirstChildNamed returns the first child element with the given name, or
+// nil when the element has none.
+func (e *Element) FirstChildNamed(name string) *Element {
+	for _, c := range e.children {
+		if el, ok := c.(*Element); ok && el.Name == name {
+			return el
+		}
+	}
+	return nil
+}
+
+// Text concatenates the character data of all text and CDATA descendants
+// in document order — the "string value" of the element.
+func (e *Element) Text() string {
+	var sb strings.Builder
+	e.appendText(&sb)
+	return sb.String()
+}
+
+func (e *Element) appendText(sb *strings.Builder) {
+	for _, c := range e.children {
+		switch n := c.(type) {
+		case *Text:
+			sb.WriteString(n.Data)
+		case *CDATA:
+			sb.WriteString(n.Data)
+		case *Element:
+			n.appendText(sb)
+		}
+	}
+}
+
+// HasElementChildren reports whether any child is an element.
+func (e *Element) HasElementChildren() bool {
+	for _, c := range e.children {
+		if _, ok := c.(*Element); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Text is a run of character data.
+type Text struct {
+	base
+	Data string
+}
+
+// NewText returns a detached text node.
+func NewText(data string) *Text { return &Text{Data: data} }
+
+// Type reports TextNode.
+func (t *Text) Type() NodeType { return TextNode }
+
+// IsWhitespace reports whether the node consists solely of XML whitespace
+// characters. Whitespace-only text between child elements is ignorable for
+// element-content models.
+func (t *Text) IsWhitespace() bool {
+	for _, r := range t.Data {
+		if r != ' ' && r != '\t' && r != '\n' && r != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// CDATA is a CDATA section; its content is never markup.
+type CDATA struct {
+	base
+	Data string
+}
+
+// NewCDATA returns a detached CDATA section node.
+func NewCDATA(data string) *CDATA { return &CDATA{Data: data} }
+
+// Type reports CDATANode.
+func (c *CDATA) Type() NodeType { return CDATANode }
+
+// Comment is an XML comment. Comments are part of the round-trip problem:
+// generic shredding mappings lose them, which the paper calls out as
+// information loss.
+type Comment struct {
+	base
+	Data string
+}
+
+// NewComment returns a detached comment node.
+func NewComment(data string) *Comment { return &Comment{Data: data} }
+
+// Type reports CommentNode.
+func (c *Comment) Type() NodeType { return CommentNode }
+
+// ProcInst is a processing instruction <?target data?>.
+type ProcInst struct {
+	base
+	Target string
+	Data   string
+}
+
+// NewProcInst returns a detached processing instruction node.
+func NewProcInst(target, data string) *ProcInst {
+	return &ProcInst{Target: target, Data: data}
+}
+
+// Type reports ProcessingInstructionNode.
+func (p *ProcInst) Type() NodeType { return ProcessingInstructionNode }
+
+// EntityRef records a general entity reference that the parser expanded.
+// Name is the entity name (without '&' and ';'); Expansion is the
+// replacement text that was substituted. Keeping the node allows the
+// retrieval layer to re-substitute the original reference when the
+// meta-database preserves entity definitions (Section 6.1 of the paper).
+type EntityRef struct {
+	base
+	Name      string
+	Expansion string
+}
+
+// NewEntityRef returns a detached entity-reference node.
+func NewEntityRef(name, expansion string) *EntityRef {
+	return &EntityRef{Name: name, Expansion: expansion}
+}
+
+// Type reports EntityRefNode.
+func (e *EntityRef) Type() NodeType { return EntityRefNode }
+
+// Walk visits n and all its descendants in document order, calling fn for
+// each node. If fn returns false the subtree below the node is skipped.
+func Walk(n Node, fn func(Node) bool) {
+	if !fn(n) {
+		return
+	}
+	if cb, ok := n.(ChildBearer); ok {
+		for _, c := range cb.Children() {
+			Walk(c, fn)
+		}
+	}
+}
+
+// CountNodes returns the number of nodes of each type in the subtree
+// rooted at n, keyed by NodeType.
+func CountNodes(n Node) map[NodeType]int {
+	counts := make(map[NodeType]int)
+	Walk(n, func(m Node) bool {
+		counts[m.Type()]++
+		return true
+	})
+	return counts
+}

@@ -1,0 +1,191 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func buildSample() *Document {
+	doc := NewDocument()
+	doc.Version = "1.0"
+	doc.Encoding = "UTF-8"
+	root := NewElement("University")
+	doc.AppendChild(root)
+	sc := NewElement("StudyCourse")
+	sc.AppendChild(NewText("Computer Science"))
+	root.AppendChild(sc)
+	st := NewElement("Student")
+	st.SetAttr("StudNr", "23374")
+	root.AppendChild(st)
+	ln := NewElement("LName")
+	ln.AppendChild(NewText("Conrad"))
+	st.AppendChild(ln)
+	return doc
+}
+
+func TestDocumentRoot(t *testing.T) {
+	doc := buildSample()
+	if doc.Root() == nil || doc.Root().Name != "University" {
+		t.Fatalf("Root() = %v, want University", doc.Root())
+	}
+}
+
+func TestRootSkipsCommentsAndPIs(t *testing.T) {
+	doc := NewDocument()
+	doc.AppendChild(NewComment("header"))
+	doc.AppendChild(NewProcInst("xsl", "href=\"x\""))
+	doc.AppendChild(NewElement("r"))
+	if doc.Root() == nil || doc.Root().Name != "r" {
+		t.Fatalf("Root() should skip non-element document children")
+	}
+}
+
+func TestRootNilWhenAbsent(t *testing.T) {
+	doc := NewDocument()
+	doc.AppendChild(NewComment("only a comment"))
+	if doc.Root() != nil {
+		t.Fatal("Root() should be nil without a document element")
+	}
+}
+
+func TestParentPointers(t *testing.T) {
+	doc := buildSample()
+	root := doc.Root()
+	if root.Parent() != doc {
+		t.Error("root parent should be the document")
+	}
+	for _, c := range root.Children() {
+		if c.Parent() != root {
+			t.Errorf("child %v parent not set", c.Type())
+		}
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	e := NewElement("x")
+	e.SetAttr("a", "1")
+	e.SetAttr("a", "2")
+	if len(e.Attrs) != 1 {
+		t.Fatalf("SetAttr should replace, got %d attrs", len(e.Attrs))
+	}
+	if v, _ := e.Attr("a"); v != "2" {
+		t.Errorf("Attr(a) = %q, want 2", v)
+	}
+}
+
+func TestAttrMissing(t *testing.T) {
+	e := NewElement("x")
+	if _, ok := e.Attr("nope"); ok {
+		t.Error("Attr should report missing attribute")
+	}
+}
+
+func TestChildElementsNamed(t *testing.T) {
+	e := NewElement("p")
+	e.AppendChild(NewElement("a"))
+	e.AppendChild(NewText("t"))
+	e.AppendChild(NewElement("b"))
+	e.AppendChild(NewElement("a"))
+	if got := len(e.ChildElementsNamed("a")); got != 2 {
+		t.Errorf("ChildElementsNamed(a) = %d, want 2", got)
+	}
+	if got := len(e.ChildElements()); got != 3 {
+		t.Errorf("ChildElements() = %d, want 3", got)
+	}
+	if e.FirstChildNamed("b") == nil {
+		t.Error("FirstChildNamed(b) should find child")
+	}
+	if e.FirstChildNamed("zz") != nil {
+		t.Error("FirstChildNamed(zz) should be nil")
+	}
+}
+
+func TestTextConcatenatesDescendants(t *testing.T) {
+	e := NewElement("p")
+	e.AppendChild(NewText("a"))
+	inner := NewElement("i")
+	inner.AppendChild(NewText("b"))
+	inner.AppendChild(NewCDATA("c"))
+	e.AppendChild(inner)
+	e.AppendChild(NewText("d"))
+	if got := e.Text(); got != "abcd" {
+		t.Errorf("Text() = %q, want abcd", got)
+	}
+}
+
+func TestTextIsWhitespace(t *testing.T) {
+	for _, tc := range []struct {
+		data string
+		want bool
+	}{
+		{"   \t\r\n", true},
+		{"", true},
+		{" x ", false},
+		{" ", false}, // NBSP is not XML whitespace
+	} {
+		if got := NewText(tc.data).IsWhitespace(); got != tc.want {
+			t.Errorf("IsWhitespace(%q) = %v, want %v", tc.data, got, tc.want)
+		}
+	}
+}
+
+func TestHasElementChildren(t *testing.T) {
+	e := NewElement("p")
+	e.AppendChild(NewText("t"))
+	if e.HasElementChildren() {
+		t.Error("text-only element should report no element children")
+	}
+	e.AppendChild(NewElement("c"))
+	if !e.HasElementChildren() {
+		t.Error("element child not detected")
+	}
+}
+
+func TestWalkOrderAndSkip(t *testing.T) {
+	doc := buildSample()
+	var names []string
+	Walk(doc, func(n Node) bool {
+		if e, ok := n.(*Element); ok {
+			names = append(names, e.Name)
+			return e.Name != "Student" // skip Student subtree
+		}
+		return true
+	})
+	got := strings.Join(names, ",")
+	want := "University,StudyCourse,Student"
+	if got != want {
+		t.Errorf("Walk order = %s, want %s", got, want)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	doc := buildSample()
+	counts := CountNodes(doc)
+	if counts[ElementNode] != 4 {
+		t.Errorf("elements = %d, want 4", counts[ElementNode])
+	}
+	if counts[TextNode] != 2 {
+		t.Errorf("texts = %d, want 2", counts[TextNode])
+	}
+	if counts[DocumentNode] != 1 {
+		t.Errorf("documents = %d, want 1", counts[DocumentNode])
+	}
+}
+
+func TestNodeTypeString(t *testing.T) {
+	for ty, want := range map[NodeType]string{
+		ElementNode:               "element",
+		AttributeNode:             "attribute",
+		TextNode:                  "text",
+		CDATANode:                 "cdata-section",
+		EntityRefNode:             "entity-reference",
+		ProcessingInstructionNode: "processing-instruction",
+		CommentNode:               "comment",
+		DocumentNode:              "document",
+		NodeType(42):              "NodeType(42)",
+	} {
+		if got := ty.String(); got != want {
+			t.Errorf("NodeType(%d).String() = %q, want %q", int(ty), got, want)
+		}
+	}
+}

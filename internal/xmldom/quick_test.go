@@ -1,0 +1,82 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickEscapeTextRoundTrip property-checks that escaped character
+// data, embedded in an element and re-parsed conceptually (by reversing
+// the escapes), reproduces the original string.
+func TestQuickEscapeTextRoundTrip(t *testing.T) {
+	unescape := func(s string) string {
+		r := strings.NewReplacer("&lt;", "<", "&gt;", ">", "&amp;", "&")
+		return r.Replace(s)
+	}
+	f := func(s string) bool {
+		return unescape(EscapeText(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickEscapeAttrNeverBreaksQuoting property-checks that escaped
+// attribute values never contain a raw double quote or '<'.
+func TestQuickEscapeAttrNeverBreaksQuoting(t *testing.T) {
+	f := func(s string) bool {
+		e := EscapeAttr(s)
+		return !strings.ContainsAny(e, "\"<")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSerializeStableUnderText property-checks that serializing an
+// element whose text is arbitrary (escapable) content always yields a
+// string that contains no raw markup inside the text region.
+func TestQuickSerializeStableUnderText(t *testing.T) {
+	f := func(s string) bool {
+		doc := NewDocument()
+		e := NewElement("a")
+		e.AppendChild(NewText(s))
+		doc.AppendChild(e)
+		out := Serialize(doc)
+		if !strings.HasPrefix(out, "<a") || !strings.HasSuffix(out, "</a>") && out != "<a/>" {
+			return false
+		}
+		inner := strings.TrimSuffix(strings.TrimPrefix(out, "<a>"), "</a>")
+		// The inner region must not contain an unescaped '<'.
+		return !strings.Contains(inner, "<")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSetChildrenReparents property-checks parent invariants after
+// arbitrary SetChildren shuffles.
+func TestQuickSetChildrenReparents(t *testing.T) {
+	f := func(texts []string) bool {
+		e := NewElement("p")
+		var kids []Node
+		for _, s := range texts {
+			kids = append(kids, NewText(s))
+		}
+		e.SetChildren(kids)
+		if len(e.Children()) != len(texts) {
+			return false
+		}
+		for _, c := range e.Children() {
+			if c.Parent() != e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

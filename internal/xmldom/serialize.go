@@ -1,0 +1,208 @@
+package xmldom
+
+import (
+	"strings"
+)
+
+// SerializeOptions control how a document tree is written back to XML text.
+type SerializeOptions struct {
+	// Indent, when non-empty, pretty-prints element content using the
+	// given unit of indentation. Mixed content (elements interleaved with
+	// non-whitespace text) is never re-indented, so character data is
+	// preserved byte-for-byte.
+	Indent string
+	// EntitySubstitutions maps replacement text back to entity names.
+	// When the serializer encounters an EntityRef node whose name appears
+	// here (or any EntityRef node at all), it writes &name; instead of
+	// the expansion. This implements the paper's Section 6.1 proposal:
+	// the meta-database keeps the entity definitions so the original
+	// references can be restored on retrieval.
+	EntitySubstitutions map[string]string
+	// OmitXMLDecl suppresses the <?xml ...?> declaration.
+	OmitXMLDecl bool
+	// OmitDoctype suppresses the <!DOCTYPE ...> declaration.
+	OmitDoctype bool
+}
+
+// Serialize renders the document as XML text using default options
+// (no pretty-printing, entity references restored from the tree).
+func Serialize(d *Document) string {
+	return SerializeWith(d, SerializeOptions{})
+}
+
+// SerializeWith renders the document as XML text.
+func SerializeWith(d *Document, opt SerializeOptions) string {
+	var sb strings.Builder
+	if !opt.OmitXMLDecl && d.Version != "" {
+		sb.WriteString("<?xml version=\"")
+		sb.WriteString(d.Version)
+		sb.WriteString("\"")
+		if d.Encoding != "" {
+			sb.WriteString(" encoding=\"")
+			sb.WriteString(d.Encoding)
+			sb.WriteString("\"")
+		}
+		if d.Standalone != "" {
+			sb.WriteString(" standalone=\"")
+			sb.WriteString(d.Standalone)
+			sb.WriteString("\"")
+		}
+		sb.WriteString("?>")
+		if opt.Indent != "" {
+			sb.WriteString("\n")
+		}
+	}
+	if !opt.OmitDoctype && d.DoctypeName != "" {
+		sb.WriteString("<!DOCTYPE ")
+		sb.WriteString(d.DoctypeName)
+		switch {
+		case d.PublicID != "":
+			sb.WriteString(" PUBLIC \"")
+			sb.WriteString(d.PublicID)
+			sb.WriteString("\" \"")
+			sb.WriteString(d.SystemID)
+			sb.WriteString("\"")
+		case d.SystemID != "":
+			sb.WriteString(" SYSTEM \"")
+			sb.WriteString(d.SystemID)
+			sb.WriteString("\"")
+		}
+		if d.InternalSubset != "" {
+			sb.WriteString(" [")
+			sb.WriteString(d.InternalSubset)
+			sb.WriteString("]")
+		}
+		sb.WriteString(">")
+		if opt.Indent != "" {
+			sb.WriteString("\n")
+		}
+	}
+	for _, c := range d.Children() {
+		serializeNode(&sb, c, opt, 0)
+	}
+	return sb.String()
+}
+
+func serializeNode(sb *strings.Builder, n Node, opt SerializeOptions, depth int) {
+	switch m := n.(type) {
+	case *Element:
+		serializeElement(sb, m, opt, depth)
+	case *Text:
+		sb.WriteString(EscapeText(m.Data))
+	case *CDATA:
+		sb.WriteString("<![CDATA[")
+		sb.WriteString(m.Data)
+		sb.WriteString("]]>")
+	case *Comment:
+		sb.WriteString("<!--")
+		sb.WriteString(m.Data)
+		sb.WriteString("-->")
+	case *ProcInst:
+		sb.WriteString("<?")
+		sb.WriteString(m.Target)
+		if m.Data != "" {
+			sb.WriteString(" ")
+			sb.WriteString(m.Data)
+		}
+		sb.WriteString("?>")
+	case *EntityRef:
+		sb.WriteString("&")
+		sb.WriteString(m.Name)
+		sb.WriteString(";")
+	}
+}
+
+func serializeElement(sb *strings.Builder, e *Element, opt SerializeOptions, depth int) {
+	sb.WriteString("<")
+	sb.WriteString(e.Name)
+	for _, a := range e.Attrs {
+		if !a.Specified {
+			continue // DTD-defaulted attributes are not re-emitted
+		}
+		sb.WriteString(" ")
+		sb.WriteString(a.Name)
+		sb.WriteString("=\"")
+		sb.WriteString(EscapeAttr(a.Value))
+		sb.WriteString("\"")
+	}
+	children := e.Children()
+	if len(children) == 0 {
+		sb.WriteString("/>")
+		return
+	}
+	sb.WriteString(">")
+	pretty := opt.Indent != "" && elementContentOnly(e)
+	for _, c := range children {
+		if pretty {
+			if t, ok := c.(*Text); ok && t.IsWhitespace() {
+				continue
+			}
+			sb.WriteString("\n")
+			sb.WriteString(strings.Repeat(opt.Indent, depth+1))
+		}
+		serializeNode(sb, c, opt, depth+1)
+	}
+	if pretty {
+		sb.WriteString("\n")
+		sb.WriteString(strings.Repeat(opt.Indent, depth))
+	}
+	sb.WriteString("</")
+	sb.WriteString(e.Name)
+	sb.WriteString(">")
+}
+
+// elementContentOnly reports whether e contains no significant character
+// data, i.e. re-indenting it cannot change its string value.
+func elementContentOnly(e *Element) bool {
+	hasElem := false
+	for _, c := range e.Children() {
+		switch n := c.(type) {
+		case *Element:
+			hasElem = true
+		case *Text:
+			if !n.IsWhitespace() {
+				return false
+			}
+		case *CDATA, *EntityRef:
+			return false
+		}
+	}
+	return hasElem
+}
+
+// EscapeText escapes character data for element content: the markup
+// characters that the paper notes are stored via the lt/gt/amp entities.
+func EscapeText(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '>':
+			sb.WriteString("&gt;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
+// EscapeAttr escapes character data for a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '&':
+			sb.WriteString("&amp;")
+		case '<':
+			sb.WriteString("&lt;")
+		case '"':
+			sb.WriteString("&quot;")
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}

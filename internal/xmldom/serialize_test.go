@@ -1,0 +1,175 @@
+package xmldom
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSerializeMinimal(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	doc.AppendChild(e)
+	if got := Serialize(doc); got != "<a/>" {
+		t.Errorf("Serialize = %q, want <a/>", got)
+	}
+}
+
+func TestSerializeXMLDecl(t *testing.T) {
+	doc := NewDocument()
+	doc.Version = "1.0"
+	doc.Encoding = "UTF-8"
+	doc.Standalone = "yes"
+	doc.AppendChild(NewElement("a"))
+	got := Serialize(doc)
+	want := `<?xml version="1.0" encoding="UTF-8" standalone="yes"?><a/>`
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeOmitXMLDecl(t *testing.T) {
+	doc := NewDocument()
+	doc.Version = "1.0"
+	doc.AppendChild(NewElement("a"))
+	got := SerializeWith(doc, SerializeOptions{OmitXMLDecl: true})
+	if got != "<a/>" {
+		t.Errorf("Serialize = %q, want <a/>", got)
+	}
+}
+
+func TestSerializeDoctype(t *testing.T) {
+	doc := NewDocument()
+	doc.DoctypeName = "University"
+	doc.InternalSubset = "<!ELEMENT University (#PCDATA)>"
+	doc.AppendChild(NewElement("University"))
+	got := Serialize(doc)
+	want := "<!DOCTYPE University [<!ELEMENT University (#PCDATA)>]><University/>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeDoctypeSystemAndPublic(t *testing.T) {
+	doc := NewDocument()
+	doc.DoctypeName = "r"
+	doc.SystemID = "r.dtd"
+	doc.AppendChild(NewElement("r"))
+	if got := Serialize(doc); !strings.Contains(got, `SYSTEM "r.dtd"`) {
+		t.Errorf("SYSTEM id missing: %q", got)
+	}
+	doc.PublicID = "-//X//DTD r//EN"
+	if got := Serialize(doc); !strings.Contains(got, `PUBLIC "-//X//DTD r//EN" "r.dtd"`) {
+		t.Errorf("PUBLIC id missing: %q", got)
+	}
+}
+
+func TestSerializeAttributesEscaped(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	e.SetAttr("v", `x<y&"z`)
+	doc.AppendChild(e)
+	got := Serialize(doc)
+	want := `<a v="x&lt;y&amp;&quot;z"/>`
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeDefaultedAttrOmitted(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	e.Attrs = append(e.Attrs, Attr{Name: "d", Value: "def", Specified: false})
+	doc.AppendChild(e)
+	if got := Serialize(doc); got != "<a/>" {
+		t.Errorf("DTD-defaulted attribute must not be re-emitted, got %q", got)
+	}
+}
+
+func TestSerializeTextEscaped(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	e.AppendChild(NewText("1 < 2 & 3 > 2"))
+	doc.AppendChild(e)
+	got := Serialize(doc)
+	want := "<a>1 &lt; 2 &amp; 3 &gt; 2</a>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeCDATAVerbatim(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	e.AppendChild(NewCDATA("<raw> & stuff"))
+	doc.AppendChild(e)
+	got := Serialize(doc)
+	want := "<a><![CDATA[<raw> & stuff]]></a>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeCommentAndPI(t *testing.T) {
+	doc := NewDocument()
+	doc.AppendChild(NewComment(" hello "))
+	e := NewElement("a")
+	e.AppendChild(NewProcInst("target", "data"))
+	doc.AppendChild(e)
+	got := Serialize(doc)
+	want := "<!-- hello --><a><?target data?></a>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeEntityRefRestored(t *testing.T) {
+	doc := NewDocument()
+	e := NewElement("a")
+	e.AppendChild(NewText("at "))
+	e.AppendChild(NewEntityRef("cs", "Computer Science"))
+	doc.AppendChild(e)
+	got := Serialize(doc)
+	want := "<a>at &cs;</a>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeIndent(t *testing.T) {
+	doc := NewDocument()
+	root := NewElement("r")
+	child := NewElement("c")
+	child.AppendChild(NewText("v"))
+	root.AppendChild(child)
+	doc.AppendChild(root)
+	got := SerializeWith(doc, SerializeOptions{Indent: "  "})
+	want := "<r>\n  <c>v</c>\n</r>"
+	if got != want {
+		t.Errorf("Serialize = %q, want %q", got, want)
+	}
+}
+
+func TestSerializeIndentPreservesMixedContent(t *testing.T) {
+	doc := NewDocument()
+	root := NewElement("p")
+	root.AppendChild(NewText("before "))
+	b := NewElement("b")
+	b.AppendChild(NewText("bold"))
+	root.AppendChild(b)
+	root.AppendChild(NewText(" after"))
+	doc.AppendChild(root)
+	got := SerializeWith(doc, SerializeOptions{Indent: "  "})
+	want := "<p>before <b>bold</b> after</p>"
+	if got != want {
+		t.Errorf("mixed content must not be re-indented: %q", got)
+	}
+}
+
+func TestEscapeRoundTripChars(t *testing.T) {
+	if got := EscapeText("<&>"); got != "&lt;&amp;&gt;" {
+		t.Errorf("EscapeText = %q", got)
+	}
+	if got := EscapeAttr(`<&"`); got != `&lt;&amp;&quot;` {
+		t.Errorf("EscapeAttr = %q", got)
+	}
+}

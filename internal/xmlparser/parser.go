@@ -1,0 +1,704 @@
+// Package xmlparser is a from-scratch XML 1.0 processor built for the
+// XML2Oracle-style pipeline of the paper's Fig. 1: it checks
+// well-formedness, builds an xmldom tree, captures the DOCTYPE declaration
+// (handing the internal subset to the dtd package), expands general entity
+// references — keeping EntityRef nodes so the original references can be
+// restored on retrieval (Section 6.1) — and optionally validates the
+// document against its DTD.
+package xmlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/xmldom"
+)
+
+// Options configure parsing.
+type Options struct {
+	// Validate runs DTD validation after parsing when the document
+	// carries a DOCTYPE with an internal subset (or ExternalDTD is set).
+	Validate bool
+	// ExternalDTD supplies the external DTD subset text for documents
+	// whose DOCTYPE uses SYSTEM/PUBLIC identifiers; the module is
+	// offline, so external entities are never fetched.
+	ExternalDTD string
+	// KeepEntityRefs controls whether non-predefined general entity
+	// references become EntityRef nodes (true, default behaviour needed
+	// for round-trip) or are flattened into text (false — the lossy
+	// behaviour the paper attributes to plain parsers).
+	KeepEntityRefs bool
+}
+
+// Result is the output of a parse: the document tree and, when a DOCTYPE
+// was present, the parsed DTD.
+type Result struct {
+	Doc *xmldom.Document
+	DTD *dtd.DTD
+}
+
+// SyntaxError reports a well-formedness violation with position info.
+type SyntaxError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("xml: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses src with default options: entity references kept,
+// validation enabled when a DTD is present.
+func Parse(src string) (*Result, error) {
+	return ParseWith(src, Options{Validate: true, KeepEntityRefs: true})
+}
+
+// MustParse is Parse for tests and examples with known-good input.
+func MustParse(src string) *Result {
+	r, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// ParseWith parses src with explicit options.
+func ParseWith(src string, opt Options) (*Result, error) {
+	p := &parser{src: src, opt: opt, doc: xmldom.NewDocument()}
+	if err := p.run(); err != nil {
+		return nil, err
+	}
+	res := &Result{Doc: p.doc, DTD: p.dtd}
+	if opt.Validate && p.dtd != nil {
+		if err := dtd.Validate(p.dtd, p.doc); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+type parser struct {
+	src string
+	pos int
+	opt Options
+	doc *xmldom.Document
+	dtd *dtd.DTD
+	// entityStack guards against recursive entity expansion.
+	entityStack []string
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	upTo := p.src[:min(p.pos, len(p.src))]
+	line := 1 + strings.Count(upTo, "\n")
+	col := p.pos - strings.LastIndex(upTo, "\n")
+	return &SyntaxError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.src[p.pos]
+}
+
+func (p *parser) has(lit string) bool { return strings.HasPrefix(p.src[p.pos:], lit) }
+
+func (p *parser) consume(lit string) bool {
+	if p.has(lit) {
+		p.pos += len(lit)
+		return true
+	}
+	return false
+}
+
+func (p *parser) skipWS() {
+	for !p.eof() {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) readName() string {
+	start := p.pos
+	if p.eof() {
+		return ""
+	}
+	r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+	if !isNameStart(r) {
+		return ""
+	}
+	p.pos += size
+	for !p.eof() {
+		r, size := utf8.DecodeRuneInString(p.src[p.pos:])
+		if !isNameChar(r) {
+			break
+		}
+		p.pos += size
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *parser) run() error {
+	// Prolog: XMLDecl? Misc* (doctypedecl Misc*)?
+	if p.has("<?xml") {
+		if err := p.parseXMLDecl(); err != nil {
+			return err
+		}
+	}
+	for {
+		p.skipWS()
+		switch {
+		case p.has("<!--"):
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			p.doc.AppendChild(c)
+		case p.has("<?"):
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			p.doc.AppendChild(pi)
+		case p.has("<!DOCTYPE"):
+			if p.dtd != nil || p.doc.Root() != nil {
+				return p.errf("misplaced DOCTYPE declaration")
+			}
+			if err := p.parseDoctype(); err != nil {
+				return err
+			}
+		case p.has("<"):
+			if p.doc.Root() != nil {
+				return p.errf("document has more than one root element")
+			}
+			el, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			p.doc.AppendChild(el)
+		case p.eof():
+			if p.doc.Root() == nil {
+				return p.errf("document has no root element")
+			}
+			return nil
+		default:
+			return p.errf("unexpected character %q at document level", p.peek())
+		}
+	}
+}
+
+func (p *parser) parseXMLDecl() error {
+	p.pos += len("<?xml")
+	attrs, err := p.parsePseudoAttrs("?>")
+	if err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		switch a.Name {
+		case "version":
+			p.doc.Version = a.Value
+		case "encoding":
+			p.doc.Encoding = a.Value
+		case "standalone":
+			p.doc.Standalone = a.Value
+		default:
+			return p.errf("unknown XML declaration attribute %q", a.Name)
+		}
+	}
+	if p.doc.Version == "" {
+		return p.errf("XML declaration missing version")
+	}
+	return nil
+}
+
+func (p *parser) parsePseudoAttrs(terminator string) ([]xmldom.Attr, error) {
+	var out []xmldom.Attr
+	for {
+		p.skipWS()
+		if p.consume(terminator) {
+			return out, nil
+		}
+		name := p.readName()
+		if name == "" {
+			return nil, p.errf("expected attribute name")
+		}
+		p.skipWS()
+		if !p.consume("=") {
+			return nil, p.errf("expected '=' after %q", name)
+		}
+		p.skipWS()
+		v, err := p.readQuoted()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, xmldom.Attr{Name: name, Value: v, Specified: true})
+	}
+}
+
+func (p *parser) readQuoted() (string, error) {
+	q := p.peek()
+	if q != '"' && q != '\'' {
+		return "", p.errf("expected quoted literal")
+	}
+	p.pos++
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != q {
+		p.pos++
+	}
+	if p.eof() {
+		return "", p.errf("unterminated literal")
+	}
+	v := p.src[start:p.pos]
+	p.pos++
+	return v, nil
+}
+
+func (p *parser) parseComment() (*xmldom.Comment, error) {
+	p.pos += len("<!--")
+	end := strings.Index(p.src[p.pos:], "--")
+	if end < 0 {
+		return nil, p.errf("unterminated comment")
+	}
+	data := p.src[p.pos : p.pos+end]
+	p.pos += end
+	if !p.consume("-->") {
+		return nil, p.errf("'--' is not allowed inside comments")
+	}
+	return xmldom.NewComment(data), nil
+}
+
+func (p *parser) parsePI() (*xmldom.ProcInst, error) {
+	p.pos += len("<?")
+	target := p.readName()
+	if target == "" {
+		return nil, p.errf("processing instruction missing target")
+	}
+	if strings.EqualFold(target, "xml") {
+		return nil, p.errf("reserved PI target %q", target)
+	}
+	var data string
+	if !p.consume("?>") {
+		p.skipWS()
+		end := strings.Index(p.src[p.pos:], "?>")
+		if end < 0 {
+			return nil, p.errf("unterminated processing instruction")
+		}
+		data = p.src[p.pos : p.pos+end]
+		p.pos += end + len("?>")
+	}
+	return xmldom.NewProcInst(target, data), nil
+}
+
+func (p *parser) parseDoctype() error {
+	p.pos += len("<!DOCTYPE")
+	p.skipWS()
+	name := p.readName()
+	if name == "" {
+		return p.errf("DOCTYPE missing document type name")
+	}
+	p.doc.DoctypeName = name
+	p.skipWS()
+	switch {
+	case p.consume("SYSTEM"):
+		p.skipWS()
+		sys, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		p.doc.SystemID = sys
+	case p.consume("PUBLIC"):
+		p.skipWS()
+		pub, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		p.skipWS()
+		sys, err := p.readQuoted()
+		if err != nil {
+			return err
+		}
+		p.doc.PublicID = pub
+		p.doc.SystemID = sys
+	}
+	p.skipWS()
+	dtdText := p.opt.ExternalDTD
+	if p.peek() == '[' {
+		p.pos++
+		subset, err := p.readInternalSubset()
+		if err != nil {
+			return err
+		}
+		p.doc.InternalSubset = subset
+		// The internal subset takes precedence over (precedes) the
+		// external subset per XML 1.0 entity/attlist binding rules.
+		dtdText = subset + "\n" + dtdText
+		p.skipWS()
+	}
+	if !p.consume(">") {
+		return p.errf("unterminated DOCTYPE declaration")
+	}
+	if strings.TrimSpace(dtdText) == "" {
+		return nil
+	}
+	d, err := dtd.Parse(name, dtdText)
+	if err != nil {
+		return err
+	}
+	p.dtd = d
+	return nil
+}
+
+// readInternalSubset scans to the matching ']' of the internal subset,
+// skipping quoted literals and comments so that brackets inside them do
+// not terminate the subset early.
+func (p *parser) readInternalSubset() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		switch {
+		case p.peek() == ']':
+			subset := p.src[start:p.pos]
+			p.pos++
+			return subset, nil
+		case p.peek() == '"' || p.peek() == '\'':
+			if _, err := p.readQuoted(); err != nil {
+				return "", err
+			}
+		case p.has("<!--"):
+			if _, err := p.parseComment(); err != nil {
+				return "", err
+			}
+		default:
+			p.pos++
+		}
+	}
+	return "", p.errf("unterminated internal DTD subset")
+}
+
+func (p *parser) parseElement() (*xmldom.Element, error) {
+	if !p.consume("<") {
+		return nil, p.errf("expected '<'")
+	}
+	name := p.readName()
+	if name == "" {
+		return nil, p.errf("expected element name")
+	}
+	el := xmldom.NewElement(name)
+	for {
+		p.skipWS()
+		switch {
+		case p.consume("/>"):
+			return el, nil
+		case p.consume(">"):
+			if err := p.parseContent(el); err != nil {
+				return nil, err
+			}
+			return el, nil
+		default:
+			aname := p.readName()
+			if aname == "" {
+				return nil, p.errf("element %s: expected attribute name, '>' or '/>'", name)
+			}
+			p.skipWS()
+			if !p.consume("=") {
+				return nil, p.errf("element %s: expected '=' after attribute %s", name, aname)
+			}
+			p.skipWS()
+			raw, err := p.readQuoted()
+			if err != nil {
+				return nil, err
+			}
+			if strings.ContainsRune(raw, '<') {
+				return nil, p.errf("element %s: '<' in attribute value %s", name, aname)
+			}
+			value, err := p.expandInAttr(raw)
+			if err != nil {
+				return nil, err
+			}
+			if _, dup := el.Attr(aname); dup {
+				return nil, p.errf("element %s: duplicate attribute %s", name, aname)
+			}
+			el.SetAttr(aname, value)
+		}
+	}
+}
+
+func (p *parser) parseContent(el *xmldom.Element) error {
+	var text strings.Builder
+	flush := func() {
+		if text.Len() > 0 {
+			el.AppendChild(xmldom.NewText(text.String()))
+			text.Reset()
+		}
+	}
+	for {
+		switch {
+		case p.eof():
+			return p.errf("element %s: unexpected end of input", el.Name)
+		case p.has("</"):
+			flush()
+			p.pos += 2
+			name := p.readName()
+			if name != el.Name {
+				return p.errf("mismatched end tag: expected </%s>, got </%s>", el.Name, name)
+			}
+			p.skipWS()
+			if !p.consume(">") {
+				return p.errf("malformed end tag </%s", name)
+			}
+			return nil
+		case p.has("<!--"):
+			flush()
+			c, err := p.parseComment()
+			if err != nil {
+				return err
+			}
+			el.AppendChild(c)
+		case p.has("<![CDATA["):
+			flush()
+			p.pos += len("<![CDATA[")
+			end := strings.Index(p.src[p.pos:], "]]>")
+			if end < 0 {
+				return p.errf("unterminated CDATA section")
+			}
+			el.AppendChild(xmldom.NewCDATA(p.src[p.pos : p.pos+end]))
+			p.pos += end + len("]]>")
+		case p.has("<?"):
+			flush()
+			pi, err := p.parsePI()
+			if err != nil {
+				return err
+			}
+			el.AppendChild(pi)
+		case p.has("<"):
+			flush()
+			child, err := p.parseElement()
+			if err != nil {
+				return err
+			}
+			el.AppendChild(child)
+		case p.has("&"):
+			if err := p.parseReference(el, &text); err != nil {
+				return err
+			}
+		default:
+			if p.has("]]>") {
+				return p.errf("']]>' is not allowed in character data")
+			}
+			text.WriteByte(p.src[p.pos])
+			p.pos++
+		}
+	}
+}
+
+// parseReference handles & references in element content. Character
+// references and the five predefined entities become text; other general
+// entities are looked up in the DTD. Depending on KeepEntityRefs the
+// expansion either becomes an EntityRef node (round-trip capable) or the
+// replacement text is re-parsed inline.
+func (p *parser) parseReference(el *xmldom.Element, text *strings.Builder) error {
+	p.pos++ // consume '&'
+	if p.peek() == '#' {
+		r, err := p.parseCharRef()
+		if err != nil {
+			return err
+		}
+		text.WriteRune(r)
+		return nil
+	}
+	name := p.readName()
+	if name == "" || !p.consume(";") {
+		return p.errf("malformed entity reference")
+	}
+	if repl, ok := predefined[name]; ok {
+		text.WriteString(repl)
+		return nil
+	}
+	ent := p.lookupEntity(name)
+	if ent == nil {
+		return p.errf("reference to undeclared entity %q", name)
+	}
+	if ent.External() {
+		if ent.NData != "" {
+			return p.errf("reference to unparsed entity %q", name)
+		}
+		// Offline: external parsed entities expand to nothing, but the
+		// reference is recorded so the document can be reproduced — the
+		// paper lists external entities among the round-trip hazards.
+		if text.Len() > 0 {
+			el.AppendChild(xmldom.NewText(text.String()))
+			text.Reset()
+		}
+		el.AppendChild(xmldom.NewEntityRef(name, ""))
+		return nil
+	}
+	expansion, err := p.expandEntityText(name, ent.Value)
+	if err != nil {
+		return err
+	}
+	if p.opt.KeepEntityRefs {
+		if text.Len() > 0 {
+			el.AppendChild(xmldom.NewText(text.String()))
+			text.Reset()
+		}
+		el.AppendChild(xmldom.NewEntityRef(name, expansion))
+		return nil
+	}
+	text.WriteString(expansion)
+	return nil
+}
+
+func (p *parser) lookupEntity(name string) *dtd.EntityDecl {
+	if p.dtd == nil {
+		return nil
+	}
+	return p.dtd.Entities[name]
+}
+
+// expandEntityText recursively expands entity references inside an
+// entity's replacement text, enforcing the no-recursion rule.
+func (p *parser) expandEntityText(name, value string) (string, error) {
+	for _, n := range p.entityStack {
+		if n == name {
+			return "", p.errf("recursive entity reference %q", name)
+		}
+	}
+	p.entityStack = append(p.entityStack, name)
+	defer func() { p.entityStack = p.entityStack[:len(p.entityStack)-1] }()
+
+	var sb strings.Builder
+	for i := 0; i < len(value); {
+		if value[i] != '&' {
+			sb.WriteByte(value[i])
+			i++
+			continue
+		}
+		end := strings.IndexByte(value[i:], ';')
+		if end < 0 {
+			sb.WriteByte(value[i])
+			i++
+			continue
+		}
+		ref := value[i+1 : i+end]
+		i += end + 1
+		switch {
+		case strings.HasPrefix(ref, "#"):
+			r, err := decodeCharRef(ref[1:])
+			if err != nil {
+				return "", p.errf("%v", err)
+			}
+			sb.WriteRune(r)
+		default:
+			if repl, ok := predefined[ref]; ok {
+				sb.WriteString(repl)
+				continue
+			}
+			inner := p.lookupEntity(ref)
+			if inner == nil {
+				return "", p.errf("reference to undeclared entity %q", ref)
+			}
+			exp, err := p.expandEntityText(ref, inner.Value)
+			if err != nil {
+				return "", err
+			}
+			sb.WriteString(exp)
+		}
+	}
+	return sb.String(), nil
+}
+
+// expandInAttr expands references inside an attribute value (always
+// flattened to text; attribute values cannot carry markup).
+func (p *parser) expandInAttr(raw string) (string, error) {
+	if !strings.ContainsRune(raw, '&') {
+		return normalizeAttrWS(raw), nil
+	}
+	expanded, err := p.expandEntityText("", raw)
+	if err != nil {
+		return "", err
+	}
+	return normalizeAttrWS(expanded), nil
+}
+
+// normalizeAttrWS applies XML 1.0 attribute-value normalization for CDATA
+// attributes: literal tab/newline become spaces.
+func normalizeAttrWS(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '\t' || r == '\n' || r == '\r' {
+			return ' '
+		}
+		return r
+	}, s)
+}
+
+func (p *parser) parseCharRef() (rune, error) {
+	p.pos++ // consume '#'
+	start := p.pos
+	for !p.eof() && p.src[p.pos] != ';' {
+		p.pos++
+	}
+	if p.eof() {
+		return 0, p.errf("unterminated character reference")
+	}
+	body := p.src[start:p.pos]
+	p.pos++
+	r, err := decodeCharRef(body)
+	if err != nil {
+		return 0, p.errf("%v", err)
+	}
+	return r, nil
+}
+
+func decodeCharRef(body string) (rune, error) {
+	var n int64
+	var err error
+	if strings.HasPrefix(body, "x") || strings.HasPrefix(body, "X") {
+		n, err = strconv.ParseInt(body[1:], 16, 32)
+	} else {
+		n, err = strconv.ParseInt(body, 10, 32)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad character reference &#%s;", body)
+	}
+	r := rune(n)
+	if !utf8.ValidRune(r) {
+		return 0, fmt.Errorf("character reference &#%s; is not a valid rune", body)
+	}
+	return r, nil
+}
+
+// predefined are the five XML predefined entities the paper discusses in
+// Section 6.1 (lt, gt, amp, quot, apos).
+var predefined = map[string]string{
+	"lt":   "<",
+	"gt":   ">",
+	"amp":  "&",
+	"quot": "\"",
+	"apos": "'",
+}
+
+func isNameStart(r rune) bool {
+	return r == '_' || r == ':' || unicode.IsLetter(r)
+}
+
+func isNameChar(r rune) bool {
+	return isNameStart(r) || r == '-' || r == '.' || unicode.IsDigit(r)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

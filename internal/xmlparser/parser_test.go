@@ -1,0 +1,369 @@
+package xmlparser
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/xmldom"
+)
+
+// appendixA is the sample document of the paper's Appendix A (with
+// document content added to exercise every declaration).
+const appendixA = `<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE University [
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+]>
+<University>
+  <StudyCourse>&cs;</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName>
+    <FName>Matthias</FName>
+    <Course>
+      <Name>Database Systems II</Name>
+      <Professor>
+        <PName>Kudrass</PName>
+        <Subject>Database Systems</Subject>
+        <Subject>Operat. Systems</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+    <Course>
+      <Name>CAD Intro</Name>
+      <Professor>
+        <PName>Jaeger</PName>
+        <Subject>CAD</Subject>
+        <Subject>CAE</Subject>
+        <Dept>&cs;</Dept>
+      </Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+  <Student StudNr="00011">
+    <LName>Meier</LName>
+    <FName>Ralf</FName>
+  </Student>
+</University>`
+
+func TestParseAppendixA(t *testing.T) {
+	res, err := Parse(appendixA)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	doc := res.Doc
+	if doc.Version != "1.0" || doc.Encoding != "UTF-8" {
+		t.Errorf("prolog = %q %q", doc.Version, doc.Encoding)
+	}
+	if doc.DoctypeName != "University" {
+		t.Errorf("doctype = %q", doc.DoctypeName)
+	}
+	if res.DTD == nil {
+		t.Fatal("DTD not captured")
+	}
+	root := doc.Root()
+	if root.Name != "University" {
+		t.Fatalf("root = %s", root.Name)
+	}
+	students := root.ChildElementsNamed("Student")
+	if len(students) != 2 {
+		t.Fatalf("students = %d", len(students))
+	}
+	if v, _ := students[0].Attr("StudNr"); v != "23374" {
+		t.Errorf("StudNr = %q", v)
+	}
+	// The &cs; entity is kept as an EntityRef node with its expansion.
+	sc := root.FirstChildNamed("StudyCourse")
+	if sc.Text() == "" {
+		// Text() skips entity refs; check the node directly.
+	}
+	var refs []*xmldom.EntityRef
+	xmldom.Walk(doc, func(n xmldom.Node) bool {
+		if e, ok := n.(*xmldom.EntityRef); ok {
+			refs = append(refs, e)
+		}
+		return true
+	})
+	if len(refs) != 3 {
+		t.Fatalf("entity refs = %d, want 3", len(refs))
+	}
+	if refs[0].Name != "cs" || refs[0].Expansion != "Computer Science" {
+		t.Errorf("entity ref = %+v", refs[0])
+	}
+	_ = sc
+}
+
+func TestParseFlattenEntities(t *testing.T) {
+	res, err := ParseWith(appendixA, Options{Validate: true, KeepEntityRefs: false})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	sc := res.Doc.Root().FirstChildNamed("StudyCourse")
+	if sc.Text() != "Computer Science" {
+		t.Errorf("flattened entity text = %q", sc.Text())
+	}
+}
+
+func TestParseMinimal(t *testing.T) {
+	res, err := Parse("<a/>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if res.Doc.Root().Name != "a" {
+		t.Error("root wrong")
+	}
+	if res.DTD != nil {
+		t.Error("no DTD expected")
+	}
+}
+
+func TestParsePredefinedEntities(t *testing.T) {
+	res, err := Parse(`<a attr="&lt;x&gt;">&amp;&lt;&gt;&quot;&apos;</a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := res.Doc.Root().Text(); got != `&<>"'` {
+		t.Errorf("text = %q", got)
+	}
+	if v, _ := res.Doc.Root().Attr("attr"); v != "<x>" {
+		t.Errorf("attr = %q", v)
+	}
+}
+
+func TestParseCharRefs(t *testing.T) {
+	res, err := Parse(`<a>&#65;&#x42;&#x1F600;</a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := res.Doc.Root().Text(); got != "AB\U0001F600" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseCDATA(t *testing.T) {
+	res, err := Parse(`<a><![CDATA[<not> & markup]]></a>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	root := res.Doc.Root()
+	if len(root.Children()) != 1 {
+		t.Fatalf("children = %d", len(root.Children()))
+	}
+	cd, ok := root.Children()[0].(*xmldom.CDATA)
+	if !ok || cd.Data != "<not> & markup" {
+		t.Errorf("CDATA = %+v", root.Children()[0])
+	}
+}
+
+func TestParseCommentsAndPIs(t *testing.T) {
+	res, err := Parse(`<!-- head --><?style css?><a><!-- in --><?p d?></a><!-- tail -->`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	counts := xmldom.CountNodes(res.Doc)
+	if counts[xmldom.CommentNode] != 3 {
+		t.Errorf("comments = %d", counts[xmldom.CommentNode])
+	}
+	if counts[xmldom.ProcessingInstructionNode] != 2 {
+		t.Errorf("PIs = %d", counts[xmldom.ProcessingInstructionNode])
+	}
+}
+
+func TestParseNestedEntityExpansion(t *testing.T) {
+	src := `<!DOCTYPE r [
+<!ENTITY inner "world">
+<!ENTITY outer "hello &inner;">
+<!ELEMENT r (#PCDATA)>
+]><r>&outer;</r>`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	var ref *xmldom.EntityRef
+	xmldom.Walk(res.Doc, func(n xmldom.Node) bool {
+		if e, ok := n.(*xmldom.EntityRef); ok {
+			ref = e
+		}
+		return true
+	})
+	if ref == nil || ref.Expansion != "hello world" {
+		t.Errorf("nested expansion = %+v", ref)
+	}
+}
+
+func TestParseRecursiveEntityRejected(t *testing.T) {
+	src := `<!DOCTYPE r [
+<!ENTITY a "&b;"><!ENTITY b "&a;"><!ELEMENT r (#PCDATA)>
+]><r>&a;</r>`
+	if _, err := Parse(src); err == nil {
+		t.Error("recursive entities must be rejected")
+	}
+}
+
+func TestParseUndeclaredEntityRejected(t *testing.T) {
+	if _, err := Parse(`<r>&nope;</r>`); err == nil {
+		t.Error("undeclared entity must be rejected")
+	}
+}
+
+func TestParseAttributeNormalization(t *testing.T) {
+	res, err := Parse("<a v=\"x\ty\nz\"/>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if v, _ := res.Doc.Root().Attr("v"); v != "x y z" {
+		t.Errorf("normalized attr = %q", v)
+	}
+}
+
+func TestParseExternalDTDOption(t *testing.T) {
+	src := `<!DOCTYPE r SYSTEM "r.dtd"><r><a>x</a></r>`
+	ext := `<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>`
+	res, err := ParseWith(src, Options{Validate: true, KeepEntityRefs: true, ExternalDTD: ext})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if res.DTD == nil || res.DTD.Element("a") == nil {
+		t.Error("external DTD not used")
+	}
+	if res.Doc.SystemID != "r.dtd" {
+		t.Errorf("SystemID = %q", res.Doc.SystemID)
+	}
+}
+
+func TestParseInternalSubsetPrecedes(t *testing.T) {
+	// Internal subset entity wins over external per XML 1.0.
+	src := `<!DOCTYPE r [<!ENTITY e "internal">]><r>&e;</r>`
+	ext := `<!ENTITY e "external"><!ELEMENT r (#PCDATA)>`
+	res, err := ParseWith(src, Options{ExternalDTD: ext, KeepEntityRefs: false})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := res.Doc.Root().Text(); got != "internal" {
+		t.Errorf("text = %q, want internal subset to win", got)
+	}
+}
+
+func TestParseValidationFailure(t *testing.T) {
+	src := `<!DOCTYPE r [<!ELEMENT r (a)><!ELEMENT a (#PCDATA)>]><r/>`
+	if _, err := Parse(src); err == nil {
+		t.Error("invalid document must be rejected when validating")
+	}
+	if _, err := ParseWith(src, Options{Validate: false}); err != nil {
+		t.Errorf("non-validating parse should succeed: %v", err)
+	}
+}
+
+func TestParseWellFormednessErrors(t *testing.T) {
+	cases := map[string]string{
+		"mismatched tags":       `<a><b></a></b>`,
+		"unclosed element":      `<a><b>`,
+		"two roots":             `<a/><b/>`,
+		"no root":               `<!-- only comment -->`,
+		"dup attribute":         `<a x="1" x="2"/>`,
+		"lt in attribute":       `<a x="a<b"/>`,
+		"bad entity":            `<a>&;</a>`,
+		"bad char ref":          `<a>&#xZZ;</a>`,
+		"cdata end in text":     `<a>]]></a>`,
+		"unterminated comment":  `<a><!-- x</a>`,
+		"double hyphen comment": `<a><!-- x -- y --></a>`,
+		"reserved pi target":    `<a><?XML data?></a>`,
+		"garbage after root":    `<a/>junk`,
+		"stray amp":             `<a>&</a>`,
+		"unterminated cdata":    `<a><![CDATA[x</a>`,
+		"eof in attr":           `<a x="1`,
+		"misplaced doctype":     `<a/><!DOCTYPE a []>`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse(%q) should fail", name, src)
+		}
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("<a>\n<b>\n</c>\n</a>")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("line = %d, want 3", se.Line)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("message %q", err)
+	}
+}
+
+func TestParseWhitespaceHandling(t *testing.T) {
+	res, err := Parse("<a>  <b/>  </a>")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	kids := res.Doc.Root().Children()
+	if len(kids) != 3 {
+		t.Fatalf("children = %d, want text,element,text", len(kids))
+	}
+}
+
+// TestRoundTripSerialization checks the full parse → serialize → parse
+// fidelity loop on a document exercising every construct.
+func TestRoundTripSerialization(t *testing.T) {
+	src := `<?xml version="1.0" encoding="UTF-8"?><!DOCTYPE r [<!ELEMENT r ANY><!ELEMENT c ANY><!ELEMENT empty EMPTY><!ATTLIST r a CDATA #IMPLIED><!ENTITY e "xx">]><!-- head --><r a="v"><c>text &e; more</c><![CDATA[raw]]><?pi data?><!-- inner --><empty/></r>`
+	res, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	out := xmldom.Serialize(res.Doc)
+	if out != src {
+		t.Errorf("round trip changed document:\n in: %s\nout: %s", src, out)
+	}
+	// And the output must re-parse to an equivalent tree.
+	res2, err := Parse(out)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	c1 := xmldom.CountNodes(res.Doc)
+	c2 := xmldom.CountNodes(res2.Doc)
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Errorf("node count %v: %d vs %d", k, v, c2[k])
+		}
+	}
+}
+
+func TestParseDoctypeBracketInLiteral(t *testing.T) {
+	src := `<!DOCTYPE r [<!ENTITY e "has ] bracket"><!ELEMENT r (#PCDATA)>]><r>&e;</r>`
+	res, err := ParseWith(src, Options{KeepEntityRefs: false})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := res.Doc.Root().Text(); got != "has ] bracket" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestParseStandalone(t *testing.T) {
+	res, err := Parse(`<?xml version="1.0" standalone="yes"?><a/>`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if res.Doc.Standalone != "yes" {
+		t.Errorf("standalone = %q", res.Doc.Standalone)
+	}
+}

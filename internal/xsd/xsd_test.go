@@ -1,0 +1,269 @@
+package xsd
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/dtd"
+)
+
+// orderSchema is the running XSD example: an order document with typed
+// elements (integer quantities, decimal prices, dates) and attributes.
+const orderSchema = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Customer" type="xs:string"/>
+        <xs:element name="OrderDate" type="xs:date"/>
+        <xs:element name="Item" minOccurs="1" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Product" type="ProductName"/>
+              <xs:element name="Quantity" type="xs:integer"/>
+              <xs:element name="Price" type="xs:decimal"/>
+              <xs:element name="Note" type="xs:string" minOccurs="0"/>
+            </xs:sequence>
+            <xs:attribute name="sku" type="xs:string" use="required"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="number" type="xs:integer" use="required"/>
+      <xs:attribute name="express" type="xs:boolean"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:simpleType name="ProductName">
+    <xs:restriction base="xs:string">
+      <xs:maxLength value="80"/>
+    </xs:restriction>
+  </xs:simpleType>
+</xs:schema>`
+
+func TestParseOrderSchema(t *testing.T) {
+	s, err := Parse(orderSchema)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if s.Root != "Order" {
+		t.Errorf("root = %q", s.Root)
+	}
+	order := s.DTD.Element("Order")
+	if order == nil || order.Content != dtd.ChildrenContent {
+		t.Fatalf("Order decl = %+v", order)
+	}
+	refs := order.ChildRefs()
+	if len(refs) != 3 {
+		t.Fatalf("Order refs = %v", refs)
+	}
+	if refs[2].Name != "Item" || !refs[2].Repeats || refs[2].Optional {
+		t.Errorf("Item ref = %+v (maxOccurs=unbounded minOccurs=1 → '+')", refs[2])
+	}
+	item := s.DTD.Element("Item")
+	itemRefs := item.ChildRefs()
+	if itemRefs[3].Name != "Note" || !itemRefs[3].Optional || itemRefs[3].Repeats {
+		t.Errorf("Note ref = %+v (minOccurs=0 → '?')", itemRefs[3])
+	}
+	// Attributes.
+	if item.AttrByName("sku") == nil || item.AttrByName("sku").Default != dtd.RequiredDefault {
+		t.Errorf("sku attr = %+v", item.AttrByName("sku"))
+	}
+	if order.AttrByName("express").Default != dtd.ImpliedDefault {
+		t.Errorf("express attr = %+v", order.AttrByName("express"))
+	}
+}
+
+func TestTypeHints(t *testing.T) {
+	s := MustParse(orderSchema)
+	want := map[string]string{
+		"Quantity":       "INTEGER",
+		"Price":          "NUMBER",
+		"OrderDate":      "DATE",
+		"Customer":       "VARCHAR(4000)",
+		"Product":        "VARCHAR(80)", // named simpleType with maxLength
+		"Order/@number":  "INTEGER",
+		"Order/@express": "VARCHAR(5)",
+	}
+	for k, v := range want {
+		if got := s.TypeHints[k]; got != v {
+			t.Errorf("TypeHints[%q] = %q, want %q", k, got, v)
+		}
+	}
+}
+
+func TestBuildTree(t *testing.T) {
+	s := MustParse(orderSchema)
+	tree, err := s.BuildTree()
+	if err != nil {
+		t.Fatalf("BuildTree: %v", err)
+	}
+	if tree.Root.Name != "Order" {
+		t.Errorf("tree root = %s", tree.Root.Name)
+	}
+	var item *dtd.TreeNode
+	tree.Walk(func(n *dtd.TreeNode) {
+		if n.Name == "Item" {
+			item = n
+		}
+	})
+	if item == nil || !item.Repeats {
+		t.Errorf("Item node = %+v", item)
+	}
+}
+
+func TestNamedComplexTypeAndRefs(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Library" type="LibType"/>
+  <xs:complexType name="LibType">
+    <xs:sequence>
+      <xs:element ref="Book" minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+  <xs:element name="Book">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Title" type="xs:string"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	lib := s.DTD.Element("Library")
+	refs := lib.ChildRefs()
+	if len(refs) != 1 || refs[0].Name != "Book" || !refs[0].Repeats || !refs[0].Optional {
+		t.Errorf("Library refs = %v", refs)
+	}
+	if s.DTD.Element("Book") == nil {
+		t.Error("global Book element not declared")
+	}
+}
+
+func TestSimpleContentWithAttributes(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Price">
+    <xs:complexType>
+      <xs:simpleContent>
+        <xs:extension base="xs:decimal">
+          <xs:attribute name="currency" type="xs:string" use="required"/>
+        </xs:extension>
+      </xs:simpleContent>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	price := s.DTD.Element("Price")
+	if price.Content != dtd.PCDATAContent {
+		t.Errorf("content = %v", price.Content)
+	}
+	if s.TypeHints["Price"] != "NUMBER" {
+		t.Errorf("Price hint = %q", s.TypeHints["Price"])
+	}
+	if price.AttrByName("currency") == nil {
+		t.Error("currency attribute lost")
+	}
+}
+
+func TestChoiceGroups(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Payment">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element name="Card" type="xs:string"/>
+        <xs:element name="Cash" type="xs:string"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	refs := s.DTD.Element("Payment").ChildRefs()
+	for _, r := range refs {
+		if !r.Optional {
+			t.Errorf("choice member %s should be optional", r.Name)
+		}
+	}
+	if got := s.DTD.Element("Payment").Model.String(); !strings.Contains(got, "|") {
+		t.Errorf("model = %s, want a choice", got)
+	}
+}
+
+func TestEmptyElementsAndIDAttrs(t *testing.T) {
+	src := `<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Node">
+    <xs:complexType>
+      <xs:attribute name="id" type="xs:ID" use="required"/>
+      <xs:attribute name="next" type="xs:IDREF"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	node := s.DTD.Element("Node")
+	if node.Content != dtd.EmptyContent {
+		t.Errorf("content = %v", node.Content)
+	}
+	if node.AttrByName("id").Type != dtd.IDAttr {
+		t.Errorf("id type = %v", node.AttrByName("id").Type)
+	}
+	if node.AttrByName("next").Type != dtd.IDREFAttr {
+		t.Errorf("next type = %v", node.AttrByName("next").Type)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"not a schema":            `<root/>`,
+		"no globals":              `<xs:schema xmlns:xs="x"><xs:complexType name="T"><xs:sequence><xs:element name="a" type="xs:string"/></xs:sequence></xs:complexType></xs:schema>`,
+		"unknown type":            `<xs:schema xmlns:xs="x"><xs:element name="a" type="Nope"/></xs:schema>`,
+		"nameless top-level type": `<xs:schema xmlns:xs="x"><xs:complexType><xs:sequence><xs:element name="a" type="xs:string"/></xs:sequence></xs:complexType><xs:element name="r" type="xs:string"/></xs:schema>`,
+		"empty group":             `<xs:schema xmlns:xs="x"><xs:element name="a"><xs:complexType><xs:sequence/></xs:complexType></xs:element></xs:schema>`,
+		"bad maxLength":           `<xs:schema xmlns:xs="x"><xs:simpleType name="S"><xs:restriction base="xs:string"><xs:maxLength value="x"/></xs:restriction></xs:simpleType><xs:element name="a" type="S"/></xs:schema>`,
+		"not xml":                 `garbage`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: Parse should fail", name)
+		}
+	}
+}
+
+func TestOccurrenceMapping(t *testing.T) {
+	mk := func(min, max string) dtd.Occurrence {
+		src := `<xs:schema xmlns:xs="x"><xs:element name="r"><xs:complexType><xs:sequence>
+<xs:element name="c" type="xs:string"`
+		if min != "" {
+			src += ` minOccurs="` + min + `"`
+		}
+		if max != "" {
+			src += ` maxOccurs="` + max + `"`
+		}
+		src += `/></xs:sequence></xs:complexType></xs:element></xs:schema>`
+		s := MustParse(src)
+		return s.DTD.Element("r").Model.Children[0].Occ
+	}
+	cases := []struct {
+		min, max string
+		want     dtd.Occurrence
+	}{
+		{"", "", dtd.Once},
+		{"0", "1", dtd.Optional},
+		{"0", "unbounded", dtd.ZeroOrMore},
+		{"1", "unbounded", dtd.OneOrMore},
+		{"2", "5", dtd.OneOrMore},
+		{"0", "3", dtd.ZeroOrMore},
+	}
+	for _, tc := range cases {
+		if got := mk(tc.min, tc.max); got != tc.want {
+			t.Errorf("min=%q max=%q → %v, want %v", tc.min, tc.max, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package xmlordb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/workload"
+)
+
+func TestSaveAndLoadStore(t *testing.T) {
+	store, docID, err := OpenDocument(paperDoc, "paper.xml", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	// The document is still there and still queryable.
+	rows, err := restored.Query(`
+		SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`)
+	if err != nil {
+		t.Fatalf("query after restore: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("Conrad") {
+		t.Errorf("rows = %v", rows.Data)
+	}
+	// Round trip still works, including the meta-database (entities!).
+	xml, err := restored.RetrieveXML(docID)
+	if err != nil {
+		t.Fatalf("retrieve after restore: %v", err)
+	}
+	for _, want := range []string{"&cs;", `<?xml version="1.0" encoding="UTF-8"?>`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("restored round trip missing %q", want)
+		}
+	}
+	// New documents load into the restored store with fresh DocIDs.
+	id2, err := restored.LoadXML(`<University><StudyCourse>Math</StudyCourse></University>`, "second")
+	if err != nil {
+		t.Fatalf("load after restore: %v", err)
+	}
+	if id2 == docID {
+		t.Errorf("DocID reused after restore: %d", id2)
+	}
+}
+
+func TestSaveAndLoadRefStrategy(t *testing.T) {
+	// REF-stored rows carry OIDs; the snapshot must preserve them so the
+	// REFs stay valid.
+	store, err := Open(workload.UniversityDTD, "University",
+		Config{Strategy: StrategyRef})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.University(workload.UniversityParams{
+		Students: 3, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: 5,
+	})
+	docID, err := store.Load(doc, "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	rep, err := restored.Fidelity(doc, docID)
+	if err != nil {
+		t.Fatalf("Fidelity after restore: %v", err)
+	}
+	if rep.ElementsMatched != rep.ElementsTotal || rep.TextMatched != rep.TextTotal {
+		t.Errorf("REF snapshot lost content: %s", rep)
+	}
+	// Inserting after restore continues the OID sequence without
+	// collisions.
+	if _, err := restored.Load(doc, "again"); err != nil {
+		t.Fatalf("load after restore: %v", err)
+	}
+}
+
+func TestSaveAndLoadRecursive(t *testing.T) {
+	src := `<!DOCTYPE part [
+<!ELEMENT part (name,part*)>
+<!ELEMENT name (#PCDATA)>
+]>
+<part><name>root</name><part><name>child</name></part></part>`
+	store, docID, err := OpenDocument(src, "parts", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := store.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadStore(&buf)
+	if err != nil {
+		t.Fatalf("LoadStore: %v", err)
+	}
+	xml, err := restored.RetrieveXML(docID)
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	if !strings.Contains(xml, "<name>child</name>") {
+		t.Errorf("recursive structure lost:\n%s", xml)
+	}
+}
+
+func TestLoadStoreGarbage(t *testing.T) {
+	if _, err := LoadStore(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage snapshot accepted")
+	}
+}
+
+func TestSaveIsDeterministicAboutCatalog(t *testing.T) {
+	// Saving twice yields equal snapshots for identical state (sanity
+	// check that catalog regeneration is stable).
+	store, _, err := OpenDocument(paperDoc, "p", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b bytes.Buffer
+	if err := store.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("two saves of the same state differ")
+	}
+}

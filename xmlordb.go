@@ -1,0 +1,362 @@
+// Package xmlordb stores XML documents with a known schema (DTD) in an
+// object-relational database, reproducing the XML2Oracle system of
+// Kudrass & Conrad, "Management of XML Documents in Object-Relational
+// Databases" (EDBT 2002 Workshops, LNCS 2490).
+//
+// The pipeline mirrors the paper's Fig. 1: an XML parser checks
+// well-formedness and validity and builds a DOM tree; a DTD parser builds
+// the DTD tree; the mapping layer (Section 4) generates an executable SQL
+// script of object-relational DDL — object types, collection types,
+// REF-valued attributes, constraints — which runs against the embedded
+// object-relational engine; the loader turns each document into a single
+// nested INSERT (or, under the Oracle 8 REF strategy, a set of REF-linked
+// rows); and the retrieval layer reconstructs documents, restoring prolog
+// and entity references from the meta-database of Section 5.
+//
+// Quick start:
+//
+//	store, err := xmlordb.Open(dtdText, "University", xmlordb.Config{})
+//	docID, err := store.LoadXML(xmlText, "doc.xml")
+//	rows, err := store.Query(`SELECT s.attrLName FROM TabUniversity u, ...`)
+//	xml, err := store.RetrieveXML(docID)
+package xmlordb
+
+import (
+	"fmt"
+	"strings"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/loader"
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/meta"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/retrieval"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/template"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+	"xmlordb/internal/xpath"
+	"xmlordb/internal/xsd"
+)
+
+// Re-exported strategy and mode constants.
+const (
+	// StrategyNested maps set-valued complex elements to nested
+	// collection types (Oracle 9i, Section 4.2).
+	StrategyNested = mapping.StrategyNested
+	// StrategyRef decomposes complex elements into object tables linked
+	// by REF attributes (the Oracle 8i workaround).
+	StrategyRef = mapping.StrategyRef
+	// ModeOracle8 enforces the Oracle 8 collection restrictions.
+	ModeOracle8 = ordb.ModeOracle8
+	// ModeOracle9 admits arbitrarily nested collections.
+	ModeOracle9 = ordb.ModeOracle9
+	// CollVarray selects VARRAY collection types (the paper's choice).
+	CollVarray = mapping.CollVarray
+	// CollNestedTable selects nested tables.
+	CollNestedTable = mapping.CollNestedTable
+)
+
+// Config selects mapping and engine behaviour.
+type Config struct {
+	// Mode is the emulated DBMS version; defaults to ModeOracle9 (and to
+	// ModeOracle8 when Strategy is StrategyRef).
+	Mode ordb.Mode
+	// ModeSet marks Mode as explicitly chosen.
+	ModeSet bool
+	// Strategy selects nested collections vs REF decomposition.
+	Strategy mapping.Strategy
+	// Collection selects VARRAY vs nested tables.
+	Collection mapping.CollectionKind
+	// VarrayMax, VarcharLen, SchemaID, InlineAttributes,
+	// EmitNestedChecks, UseCLOBForText and IDRefTargets mirror
+	// mapping.Options; zero values take the paper's defaults.
+	VarrayMax        int
+	VarcharLen       int
+	SchemaID         string
+	InlineAttributes bool
+	EmitNestedChecks bool
+	UseCLOBForText   bool
+	IDRefTargets     map[string]string
+	TypeHints        map[string]string
+	// DisableMetadata turns off the Section 5 meta-database; round trips
+	// then lose prolog and entity references (experiment E4).
+	DisableMetadata bool
+}
+
+func (c Config) mode() ordb.Mode {
+	if c.ModeSet {
+		return c.Mode
+	}
+	if c.Strategy == StrategyRef {
+		return ModeOracle8
+	}
+	return ModeOracle9
+}
+
+func (c Config) options() mapping.Options {
+	return mapping.Options{
+		Strategy:         c.Strategy,
+		Collection:       c.Collection,
+		VarrayMax:        c.VarrayMax,
+		VarcharLen:       c.VarcharLen,
+		SchemaID:         c.SchemaID,
+		InlineAttributes: c.InlineAttributes,
+		EmitNestedChecks: c.EmitNestedChecks,
+		UseCLOBForText:   c.UseCLOBForText,
+		IDRefTargets:     c.IDRefTargets,
+		TypeHints:        c.TypeHints,
+	}
+}
+
+// Store is one document store: a generated schema installed in an
+// embedded object-relational database.
+type Store struct {
+	cfg       Config
+	DTD       *dtd.DTD
+	Tree      *dtd.Tree
+	Schema    *mapping.Schema
+	Engine    *sql.Engine
+	Loader    *loader.Loader
+	Retriever *retrieval.Retriever
+	Meta      *meta.Store
+}
+
+// Open analyzes dtdText (the declarations of a DTD, without a DOCTYPE
+// wrapper), generates the object-relational schema for the given root
+// element (empty = the unique root candidate) and installs it in a fresh
+// engine.
+func Open(dtdText, root string, cfg Config) (*Store, error) {
+	d, err := dtd.Parse(root, dtdText)
+	if err != nil {
+		return nil, err
+	}
+	return openDTD(d, root, cfg)
+}
+
+// OpenXSD analyzes an XML Schema document instead of a DTD — the paper's
+// Section 7 future-work path. Element and attribute types declared in the
+// schema become typed columns (INTEGER, NUMBER, DATE, length-restricted
+// VARCHAR) instead of the DTD's uniform VARCHAR(4000). Explicit TypeHints
+// in cfg take precedence over schema-derived ones.
+func OpenXSD(xsdText string, cfg Config) (*Store, error) {
+	schema, err := xsd.Parse(xsdText)
+	if err != nil {
+		return nil, err
+	}
+	hints := map[string]string{}
+	for k, v := range schema.TypeHints {
+		hints[k] = v
+	}
+	for k, v := range cfg.TypeHints {
+		hints[k] = v
+	}
+	cfg.TypeHints = hints
+	return openDTD(schema.DTD, schema.Root, cfg)
+}
+
+// OpenDocument opens a store from a document that carries its own DOCTYPE
+// declaration, then loads that document. It returns the store and the
+// DocID of the loaded document. IDREF attribute targets that the DTD
+// cannot express are inferred from the document itself (Section 4.4);
+// explicit Config.IDRefTargets entries take precedence.
+func OpenDocument(xmlText, docName string, cfg Config) (*Store, int, error) {
+	res, err := xmlparser.Parse(xmlText)
+	if err != nil {
+		return nil, 0, err
+	}
+	if res.DTD == nil {
+		return nil, 0, fmt.Errorf("xmlordb: document has no DTD; use Open with an explicit DTD")
+	}
+	inferred := mapping.InferIDRefTargets(res.DTD, res.Doc)
+	if len(inferred) > 0 {
+		merged := map[string]string{}
+		for k, v := range inferred {
+			merged[k] = v
+		}
+		for k, v := range cfg.IDRefTargets {
+			merged[k] = v
+		}
+		cfg.IDRefTargets = merged
+	}
+	s, err := openDTD(res.DTD, res.Doc.Root().Name, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	id, err := s.Load(res.Doc, docName)
+	if err != nil {
+		return nil, 0, err
+	}
+	return s, id, nil
+}
+
+// OpenShared installs a schema for another document type into an existing
+// store's database, so documents of several DTDs coexist in one engine.
+// When both stores would generate colliding names, disambiguate them with
+// distinct Config.SchemaID values — the exact purpose of the Section 5
+// schema identifier ("SchemaIDs are necessary to deal with identical
+// element names from different DTDs").
+func OpenShared(base *Store, dtdText, root string, cfg Config) (*Store, error) {
+	d, err := dtd.Parse(root, dtdText)
+	if err != nil {
+		return nil, err
+	}
+	return openDTDOn(base.Engine, d, root, cfg)
+}
+
+func openDTD(d *dtd.DTD, root string, cfg Config) (*Store, error) {
+	return openDTDOn(nil, d, root, cfg)
+}
+
+func openDTDOn(en *sql.Engine, d *dtd.DTD, root string, cfg Config) (*Store, error) {
+	tree, err := dtd.BuildTree(d, root)
+	if err != nil {
+		return nil, err
+	}
+	sch, err := mapping.Generate(tree, cfg.options())
+	if err != nil {
+		return nil, err
+	}
+	if en == nil {
+		en = sql.NewEngine(ordb.New(cfg.mode()))
+	}
+	if _, err := en.ExecScript(sch.Script()); err != nil {
+		return nil, fmt.Errorf("xmlordb: executing generated schema: %w", err)
+	}
+	s := &Store{
+		cfg:       cfg,
+		DTD:       d,
+		Tree:      tree,
+		Schema:    sch,
+		Engine:    en,
+		Loader:    loader.New(sch, en),
+		Retriever: retrieval.New(sch, en),
+	}
+	if !cfg.DisableMetadata {
+		store, err := meta.Install(en)
+		if err != nil {
+			return nil, err
+		}
+		s.Meta = store
+		s.Loader.Meta = store
+		s.Retriever.Meta = store
+	}
+	return s, nil
+}
+
+// Script returns the generated DDL script (Section 4: "This script can be
+// executed afterwards without any modification").
+func (s *Store) Script() string { return s.Schema.Script() }
+
+// Warnings lists information-loss notes from schema generation.
+func (s *Store) Warnings() []string { return s.Schema.Warnings }
+
+// Load validates the document against the store's DTD and loads it,
+// returning its DocID.
+func (s *Store) Load(doc *xmldom.Document, docName string) (int, error) {
+	if err := dtd.Validate(s.DTD, doc); err != nil {
+		return 0, err
+	}
+	return s.Loader.Load(doc, docName)
+}
+
+// LoadXML parses, validates and loads an XML document given as text.
+func (s *Store) LoadXML(xmlText, docName string) (int, error) {
+	res, err := xmlparser.ParseWith(xmlText, xmlparser.Options{KeepEntityRefs: true})
+	if err != nil {
+		return 0, err
+	}
+	return s.Load(res.Doc, docName)
+}
+
+// InsertSQL renders the single nested INSERT statement for a document
+// (nested strategy only).
+func (s *Store) InsertSQL(doc *xmldom.Document, docID int) (string, error) {
+	return s.Loader.InsertSQL(doc, docID)
+}
+
+// Retrieve reconstructs a stored document.
+func (s *Store) Retrieve(docID int) (*xmldom.Document, error) {
+	return s.Retriever.Document(docID)
+}
+
+// RetrieveXML reconstructs a stored document as XML text.
+func (s *Store) RetrieveXML(docID int) (string, error) {
+	doc, err := s.Retriever.Document(docID)
+	if err != nil {
+		return "", err
+	}
+	return xmldom.SerializeWith(doc, xmldom.SerializeOptions{Indent: "  "}), nil
+}
+
+// Query runs a SELECT against the store.
+func (s *Store) Query(sqlText string) (*sql.Rows, error) { return s.Engine.Query(sqlText) }
+
+// XPath translates an absolute XPath (child steps with attribute/value
+// predicates) into SQL over the generated schema and runs it — the
+// Section 7 "tight correspondence with XPath expressions" made concrete.
+// It returns the rows and the SQL the path translated to.
+func (s *Store) XPath(path string) (*sql.Rows, string, error) {
+	stmt, err := xpath.Translate(s.Schema, path)
+	if err != nil {
+		return nil, "", err
+	}
+	rows, err := s.Engine.Query(stmt)
+	if err != nil {
+		return nil, stmt, err
+	}
+	return rows, stmt, nil
+}
+
+// Exec runs a non-query statement against the store.
+func (s *Store) Exec(sqlText string) (*sql.Result, error) { return s.Engine.Exec(sqlText) }
+
+// DB exposes the underlying engine database (for stats and inspection).
+func (s *Store) DB() *ordb.DB { return s.Engine.DB() }
+
+// ExpandTemplate runs the embedded <?xmlordb-query ...?> instructions of
+// an XML template against the store and returns the expanded document —
+// the template-driven export procedure of Section 6.3.
+func (s *Store) ExpandTemplate(templateXML string) (string, error) {
+	return template.Expand(s.Schema, s.Engine, templateXML)
+}
+
+// Fidelity compares an original document with its stored round trip.
+func (s *Store) Fidelity(original *xmldom.Document, docID int) (*retrieval.FidelityReport, error) {
+	restored, err := s.Retriever.Document(docID)
+	if err != nil {
+		return nil, err
+	}
+	return retrieval.Fidelity(original, restored), nil
+}
+
+// DescribeSchema renders a human-readable summary of the generated
+// schema: the DTD tree, the catalog objects and any warnings.
+func (s *Store) DescribeSchema() string {
+	var sb strings.Builder
+	sb.WriteString("DTD tree (" + s.Tree.Root.Name + "):\n")
+	sb.WriteString(s.Tree.String())
+	types, tables, views, storage := s.DB().SchemaObjectCount()
+	fmt.Fprintf(&sb, "\nCatalog: %d types, %d tables, %d views, %d storage tables\n",
+		types, tables, views, storage)
+	fmt.Fprintf(&sb, "Root table: %s\n", s.Schema.RootTable)
+	if len(s.Tree.RecursiveNames) > 0 {
+		fmt.Fprintf(&sb, "Recursive elements (REF-stored): %v\n", s.Tree.RecursiveNames)
+	}
+	if len(s.Tree.MultiParent) > 0 {
+		fmt.Fprintf(&sb, "Multi-parent elements (Fig. 3): %v\n", s.Tree.MultiParent)
+	}
+	for _, w := range s.Schema.Warnings {
+		sb.WriteString("warning: " + w + "\n")
+	}
+	return sb.String()
+}
+
+// ParseXML parses an XML document (exported convenience for store users).
+func ParseXML(src string) (*xmldom.Document, *dtd.DTD, error) {
+	res, err := xmlparser.Parse(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Doc, res.DTD, nil
+}

@@ -1,0 +1,425 @@
+package xmlordb
+
+import (
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+)
+
+const paperDoc = `<?xml version="1.0" encoding="UTF-8"?>
+<!DOCTYPE University [
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName,Course*)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT Course (Name,Professor*,CreditPts?)>
+<!ELEMENT Professor (PName,Subject+,Dept)>
+<!ENTITY cs "Computer Science">
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT PName (#PCDATA)>
+<!ELEMENT Subject (#PCDATA)>
+<!ELEMENT Dept (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+<!ELEMENT CreditPts (#PCDATA)>
+]>
+<University>
+  <StudyCourse>&cs;</StudyCourse>
+  <Student StudNr="23374">
+    <LName>Conrad</LName><FName>Matthias</FName>
+    <Course>
+      <Name>CAD Intro</Name>
+      <Professor><PName>Jaeger</PName><Subject>CAD</Subject><Dept>&cs;</Dept></Professor>
+      <CreditPts>4</CreditPts>
+    </Course>
+  </Student>
+</University>`
+
+func TestOpenDocumentEndToEnd(t *testing.T) {
+	store, docID, err := OpenDocument(paperDoc, "paper.xml", Config{})
+	if err != nil {
+		t.Fatalf("OpenDocument: %v", err)
+	}
+	// The paper's flagship query, adapted to collection unnesting.
+	rows, err := store.Query(`
+		SELECT st.attrLName
+		FROM TabUniversity u, TABLE(u.attrStudent) st,
+		     TABLE(st.attrCourse) c, TABLE(c.attrProfessor) p
+		WHERE p.attrPName = 'Jaeger'`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("Conrad") {
+		t.Errorf("query = %v", rows.Data)
+	}
+	// Round trip restores entity references and prolog.
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	for _, want := range []string{`<?xml version="1.0" encoding="UTF-8"?>`, "&cs;", "<LName>Conrad</LName>"} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("retrieved XML missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+func TestOpenWithSeparateDTD(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	doc := workload.University(workload.DefaultUniversity())
+	docID, err := store.Load(doc, "generated.xml")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	rep, err := store.Fidelity(doc, docID)
+	if err != nil {
+		t.Fatalf("Fidelity: %v", err)
+	}
+	if rep.Score() != 1 {
+		t.Errorf("fidelity = %s", rep)
+	}
+}
+
+func TestLoadXMLValidates(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invalid: Student without required StudNr attribute.
+	bad := `<University><StudyCourse>CS</StudyCourse><Student><LName>x</LName><FName>y</FName></Student></University>`
+	if _, err := store.LoadXML(bad, "bad.xml"); err == nil {
+		t.Error("invalid document accepted")
+	}
+}
+
+func TestConfigStrategyRefDefaultsToOracle8(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{Strategy: StrategyRef})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if store.DB().Mode() != ModeOracle8 {
+		t.Errorf("mode = %v", store.DB().Mode())
+	}
+	doc := workload.University(workload.DefaultUniversity())
+	docID, err := store.Load(doc, "d")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	rep, err := store.Fidelity(doc, docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ElementsMatched != rep.ElementsTotal {
+		t.Errorf("ref strategy round trip: %s", rep)
+	}
+}
+
+func TestDisableMetadata(t *testing.T) {
+	store, docID, err := OpenDocument(paperDoc, "p", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(xml, "&cs;") {
+		t.Error("entity restored without metadata?")
+	}
+	if strings.Contains(xml, "<?xml") {
+		t.Error("prolog restored without metadata?")
+	}
+}
+
+func TestInsertSQLFacade(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.University(workload.UniversityParams{
+		Students: 1, CoursesPerStudent: 1, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 1})
+	stmt, err := store.InsertSQL(doc, 7)
+	if err != nil {
+		t.Fatalf("InsertSQL: %v", err)
+	}
+	if _, err := store.Exec(stmt); err != nil {
+		t.Fatalf("generated SQL rejected: %v", err)
+	}
+}
+
+func TestDescribeSchema(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := store.DescribeSchema()
+	for _, want := range []string{"DTD tree", "Catalog:", "Root table: TabUniversity"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("DescribeSchema missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestOpenRejectsBadDTD(t *testing.T) {
+	if _, err := Open("<!ELEMENT r (ghost)>", "r", Config{}); err == nil {
+		t.Error("DTD with undeclared reference accepted")
+	}
+	if _, err := Open("garbage", "r", Config{}); err == nil {
+		t.Error("garbage DTD accepted")
+	}
+}
+
+func TestOpenDocumentWithoutDTD(t *testing.T) {
+	if _, _, err := OpenDocument("<a/>", "a", Config{}); err == nil {
+		t.Error("document without DTD accepted")
+	}
+}
+
+func TestParseXMLHelper(t *testing.T) {
+	doc, d, err := ParseXML(paperDoc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root().Name != "University" || d == nil {
+		t.Error("ParseXML results wrong")
+	}
+}
+
+func TestMultipleDocumentsRetrieveIndependently(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1 := workload.University(workload.UniversityParams{Students: 1, CoursesPerStudent: 1, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 1})
+	d2 := workload.University(workload.UniversityParams{Students: 2, CoursesPerStudent: 1, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 2})
+	id1, _ := store.Load(d1, "one")
+	id2, _ := store.Load(d2, "two")
+	r1, err := store.Retrieve(id1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := store.Retrieve(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Root().ChildElementsNamed("Student")) != 1 {
+		t.Error("doc 1 wrong")
+	}
+	if len(r2.Root().ChildElementsNamed("Student")) != 2 {
+		t.Error("doc 2 wrong")
+	}
+	_ = xmldom.Serialize(r1)
+}
+
+func TestXPathFacade(t *testing.T) {
+	store, _, err := OpenDocument(paperDoc, "p", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, stmt, err := store.XPath(`/University/Student[@StudNr="23374"]/LName`)
+	if err != nil {
+		t.Fatalf("XPath: %v", err)
+	}
+	if !strings.Contains(stmt, "attrStudNr = '23374'") {
+		t.Errorf("translated SQL = %s", stmt)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("Conrad") {
+		t.Errorf("rows = %v", rows.Data)
+	}
+	if _, _, err := store.XPath("not-absolute"); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestOpenSharedSchemaIDCoexistence(t *testing.T) {
+	// Two different document types whose DTDs share element names
+	// ("Course", "Name") coexist in one database thanks to SchemaIDs —
+	// the Section 5 scenario.
+	dtdA := `<!ELEMENT Course (Name)><!ELEMENT Name (#PCDATA)>`
+	dtdB := `<!ELEMENT Course (Name,Room)><!ELEMENT Name (#PCDATA)><!ELEMENT Room (#PCDATA)>`
+	a, err := Open(dtdA, "Course", Config{SchemaID: "A_"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenShared(a, dtdB, "Course", Config{SchemaID: "B_"})
+	if err != nil {
+		t.Fatalf("OpenShared: %v", err)
+	}
+	if a.Schema.RootTable == b.Schema.RootTable {
+		t.Fatalf("root tables collide: %s", a.Schema.RootTable)
+	}
+	if _, err := a.LoadXML(`<Course><Name>DB</Name></Course>`, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.LoadXML(`<Course><Name>CAD</Name><Room>101</Room></Course>`, "b"); err != nil {
+		t.Fatal(err)
+	}
+	// Both live in the same engine.
+	if a.DB() != b.DB() {
+		t.Fatal("stores do not share a database")
+	}
+	rowsA, err := a.Query(`SELECT c.attrName FROM TabA_Course c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsB, err := a.Query(`SELECT c.attrRoom FROM TabB_Course c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rowsA.Data) != 1 || len(rowsB.Data) != 1 {
+		t.Errorf("rows = %v / %v", rowsA.Data, rowsB.Data)
+	}
+	// Without SchemaIDs the second schema collides.
+	c, err := Open(dtdA, "Course", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenShared(c, dtdB, "Course", Config{}); err == nil {
+		t.Error("colliding schemas without SchemaIDs must fail")
+	}
+}
+
+func TestExpandTemplateFacade(t *testing.T) {
+	store, _, err := OpenDocument(paperDoc, "p", Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := store.ExpandTemplate(`<Report>
+  <?xmlordb-query SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st ?>
+</Report>`)
+	if err != nil {
+		t.Fatalf("ExpandTemplate: %v", err)
+	}
+	if !strings.Contains(out, "<LName>Conrad</LName>") {
+		t.Errorf("template output:\n%s", out)
+	}
+}
+
+func TestMixedContentEndToEnd(t *testing.T) {
+	src := `<!DOCTYPE doc [
+<!ELEMENT doc (para+)>
+<!ELEMENT para (#PCDATA | em)*>
+<!ELEMENT em (#PCDATA)>
+]>
+<doc><para>before <em>bold</em> after</para><para>plain</para></doc>`
+	store, docID, err := OpenDocument(src, "mixed", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if len(store.Warnings()) == 0 {
+		t.Error("mixed content must produce a warning")
+	}
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	// The character data survives flattened; the <em> markup is the
+	// documented information loss.
+	if !strings.Contains(xml, "before bold after") {
+		t.Errorf("flattened text lost:\n%s", xml)
+	}
+	if !strings.Contains(xml, "<para>plain</para>") {
+		t.Errorf("plain para lost:\n%s", xml)
+	}
+}
+
+func TestEmptyElementEndToEnd(t *testing.T) {
+	src := `<!DOCTYPE doc [
+<!ELEMENT doc (item+)>
+<!ELEMENT item (name,flag?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT flag EMPTY>
+]>
+<doc><item><name>a</name><flag/></item><item><name>b</name></item></doc>`
+	store, docID, err := OpenDocument(src, "flags", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatalf("retrieve: %v", err)
+	}
+	// The first item keeps its presence flag, the second has none.
+	if strings.Count(xml, "<flag/>") != 1 {
+		t.Errorf("flag presence wrong:\n%s", xml)
+	}
+}
+
+func TestGroupByOverStore(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{DisableMetadata: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := workload.University(workload.UniversityParams{
+		Students: 6, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 21,
+	})
+	if _, err := store.Load(doc, "d"); err != nil {
+		t.Fatal(err)
+	}
+	// Courses per student family name — GROUP BY over unnested collections.
+	rows, err := store.Query(`
+		SELECT st.attrLName, COUNT(*)
+		FROM TabUniversity u, TABLE(u.attrStudent) st, TABLE(st.attrCourse) c
+		GROUP BY st.attrLName ORDER BY COUNT(*) DESC`)
+	if err != nil {
+		t.Fatalf("group query: %v", err)
+	}
+	total := 0
+	for _, r := range rows.Data {
+		n := int(r[1].(ordb.Num))
+		total += n
+	}
+	if total != 12 {
+		t.Errorf("total courses = %d, want 12", total)
+	}
+}
+
+func TestOpenDocumentInfersIDRefTargets(t *testing.T) {
+	// Two ID-bearing element types: the DTD alone cannot resolve which
+	// one each IDREF attribute references; the document can.
+	src := `<!DOCTYPE Prog [
+<!ELEMENT Prog (Talk*,Speaker*,Room*)>
+<!ELEMENT Talk (TTitle)>
+<!ATTLIST Talk by IDREF #REQUIRED at IDREF #REQUIRED>
+<!ELEMENT Speaker (SName)>
+<!ATTLIST Speaker sid ID #REQUIRED>
+<!ELEMENT Room (RName)>
+<!ATTLIST Room rid ID #REQUIRED>
+<!ELEMENT TTitle (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT RName (#PCDATA)>
+]>
+<Prog>
+  <Talk by="s1" at="r1"><TTitle>XML in ORDBs</TTitle></Talk>
+  <Speaker sid="s1"><SName>Kudrass</SName></Speaker>
+  <Room rid="r1"><RName>Aula</RName></Room>
+</Prog>`
+	store, docID, err := OpenDocument(src, "prog", Config{})
+	if err != nil {
+		t.Fatalf("OpenDocument: %v", err)
+	}
+	// Both IDREFs resolved to typed REF columns — navigate through them.
+	rows, err := store.Query(`
+		SELECT t.attrListTalk.attrby.attrSName, t.attrListTalk.attrat.attrRName
+		FROM TabProg p, TABLE(p.attrTalk) t`)
+	if err != nil {
+		t.Fatalf("navigation through inferred REFs: %v", err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("Kudrass") || rows.Data[0][1] != ordb.Str("Aula") {
+		t.Errorf("rows = %v", rows.Data)
+	}
+	// And the round trip restores the original ID strings.
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(xml, `by="s1"`) || !strings.Contains(xml, `at="r1"`) {
+		t.Errorf("IDREF attributes lost:\n%s", xml)
+	}
+}

@@ -1,0 +1,115 @@
+package xmlordb
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+const orderXSD = `<?xml version="1.0"?>
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="Order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="Customer" type="xs:string"/>
+        <xs:element name="OrderDate" type="xs:date"/>
+        <xs:element name="Item" minOccurs="0" maxOccurs="unbounded">
+          <xs:complexType>
+            <xs:sequence>
+              <xs:element name="Quantity" type="xs:integer"/>
+              <xs:element name="Price" type="xs:decimal"/>
+            </xs:sequence>
+            <xs:attribute name="sku" type="xs:string" use="required"/>
+          </xs:complexType>
+        </xs:element>
+      </xs:sequence>
+      <xs:attribute name="number" type="xs:integer" use="required"/>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>`
+
+const orderDoc = `<Order number="42">
+  <Customer>HTWK</Customer>
+  <OrderDate>2002-03-25</OrderDate>
+  <Item sku="a"><Quantity>3</Quantity><Price>79.95</Price></Item>
+  <Item sku="b"><Quantity>1</Quantity><Price>49.00</Price></Item>
+</Order>`
+
+func TestOpenXSDTypedColumns(t *testing.T) {
+	store, err := OpenXSD(orderXSD, Config{})
+	if err != nil {
+		t.Fatalf("OpenXSD: %v", err)
+	}
+	script := store.Script()
+	for _, want := range []string{"attrQuantity INTEGER", "attrPrice NUMBER", "attrOrderDate DATE", "attrnumber INTEGER"} {
+		if !strings.Contains(script, want) {
+			t.Errorf("script missing %q:\n%s", want, script)
+		}
+	}
+	docID, err := store.LoadXML(orderDoc, "o.xml")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	// Numeric comparison works with number semantics ("10" > "9" fails
+	// as a string comparison but holds numerically).
+	rows, err := store.Query(`
+		SELECT i.attrPrice FROM TabOrder o, TABLE(o.attrItem) i
+		WHERE i.attrQuantity > 2`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(rows.Data) != 1 || !ordb.DeepEqual(rows.Data[0][0], ordb.Num(79.95)) {
+		t.Errorf("typed query = %v", rows.Data)
+	}
+	// Aggregate over NUMBER.
+	sum, err := store.Query(`SELECT SUM(i.attrQuantity) FROM TabOrder o, TABLE(o.attrItem) i`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ordb.DeepEqual(sum.Data[0][0], ordb.Num(4)) {
+		t.Errorf("sum = %v", sum.Data[0][0])
+	}
+	// Round trip keeps the values (canonical form).
+	xml, err := store.RetrieveXML(docID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<Quantity>3</Quantity>", "<Price>79.95</Price>", "<OrderDate>2002-03-25</OrderDate>", `number="42"`} {
+		if !strings.Contains(xml, want) {
+			t.Errorf("round trip missing %q:\n%s", want, xml)
+		}
+	}
+}
+
+func TestOpenXSDTypeViolationRejected(t *testing.T) {
+	store, err := OpenXSD(orderXSD, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(orderDoc, "<Quantity>3</Quantity>", "<Quantity>lots</Quantity>", 1)
+	if _, err := store.LoadXML(bad, "bad.xml"); !errors.Is(err, ordb.ErrTypeMismatch) {
+		t.Errorf("non-numeric quantity = %v, want type mismatch", err)
+	}
+	bad2 := strings.Replace(orderDoc, "2002-03-25", "yesterday", 1)
+	if _, err := store.LoadXML(bad2, "bad2.xml"); !errors.Is(err, ordb.ErrTypeMismatch) {
+		t.Errorf("bad date = %v", err)
+	}
+}
+
+func TestOpenXSDHintOverride(t *testing.T) {
+	store, err := OpenXSD(orderXSD, Config{TypeHints: map[string]string{"Customer": "VARCHAR(10)"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(store.Script(), "attrCustomer VARCHAR(10)") {
+		t.Errorf("explicit hint not applied:\n%s", store.Script())
+	}
+}
+
+func TestOpenXSDBadSchema(t *testing.T) {
+	if _, err := OpenXSD("<not-a-schema/>", Config{}); err == nil {
+		t.Error("bad schema accepted")
+	}
+}
