@@ -1,0 +1,458 @@
+package xmlordb
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+// progDoc exercises every multi-step load mechanism: ID targets become
+// REF-stored object tables under both strategies, the forward IDREFs on
+// Talk force post-insert fixups (replaces) and dereferences, and the
+// collections give the VARRAY machinery work to do.
+const progDTD = `<!ELEMENT Prog (Talk*,Speaker*,Room*)>
+<!ELEMENT Talk (TTitle)>
+<!ATTLIST Talk by IDREF #REQUIRED at IDREF #REQUIRED>
+<!ELEMENT Speaker (SName)>
+<!ATTLIST Speaker sid ID #REQUIRED>
+<!ELEMENT Room (RName)>
+<!ATTLIST Room rid ID #REQUIRED>
+<!ELEMENT TTitle (#PCDATA)>
+<!ELEMENT SName (#PCDATA)>
+<!ELEMENT RName (#PCDATA)>`
+
+const progXML = `<?xml version="1.0"?>
+<Prog>
+  <Talk by="s1" at="r1"><TTitle>XML in ORDBs</TTitle></Talk>
+  <Talk by="s2" at="r1"><TTitle>Meta-databases</TTitle></Talk>
+  <Speaker sid="s1"><SName>Kudrass</SName></Speaker>
+  <Speaker sid="s2"><SName>Conrad</SName></Speaker>
+  <Room rid="r1"><RName>Aula</RName></Room>
+</Prog>`
+
+var progConfig = map[string]string{"Talk/by": "Speaker", "Talk/at": "Room"}
+
+func progStore(t *testing.T, strat int) *Store {
+	t.Helper()
+	cfg := Config{Strategy: StrategyNested, IDRefTargets: progConfig}
+	if strat == 1 {
+		cfg.Strategy = StrategyRef
+	}
+	store, err := Open(progDTD, "Prog", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// tableCounts snapshots every table's row count (including TabMetadata).
+func tableCounts(s *Store) map[string]int {
+	out := map[string]int{}
+	for _, name := range s.DB().TableNames() {
+		tab, err := s.DB().Table(name)
+		if err != nil {
+			continue
+		}
+		out[name] = tab.RowCount()
+	}
+	return out
+}
+
+func requireSameCounts(t *testing.T, context string, want, got map[string]int) {
+	t.Helper()
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s: table %s has %d rows, want %d", context, name, got[name], w)
+		}
+	}
+	for name, g := range got {
+		if _, ok := want[name]; !ok && g != 0 {
+			t.Errorf("%s: unexpected rows in new table %s: %d", context, name, g)
+		}
+	}
+}
+
+// opTotals counts, per fault operation, how many calls one successful
+// run of fn performs.
+func opTotals(t *testing.T, db *ordb.DB, fn func() error) map[string]int64 {
+	t.Helper()
+	totals := map[string]int64{}
+	db.SetFaultHook(func(op string, n int64) error {
+		if n > totals[op] {
+			totals[op] = n
+		}
+		return nil
+	})
+	defer db.SetFaultHook(nil)
+	if err := fn(); err != nil {
+		t.Fatalf("probe run failed: %v", err)
+	}
+	return totals
+}
+
+// TestChaosLoadSweep fails every single insert/replace/deref a document
+// load performs, under both mapping strategies, and asserts that each
+// failed load leaves the store indistinguishable from one that never
+// attempted it — and that the store then completes the same load with a
+// byte-identical round trip.
+func TestChaosLoadSweep(t *testing.T) {
+	for _, strat := range []int{0, 1} {
+		name := "nested"
+		if strat == 1 {
+			name = "ref"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Control: a store that never saw a failure.
+			control := progStore(t, strat)
+			controlID, err := control.LoadXML(progXML, "prog.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			controlXML, err := control.RetrieveXML(controlID)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Probe: count the ops one load performs.
+			probe := progStore(t, strat)
+			totals := opTotals(t, probe.DB(), func() error {
+				_, err := probe.LoadXML(progXML, "prog.xml")
+				return err
+			})
+			if totals[ordb.FaultInsert] < 3 {
+				t.Fatalf("probe saw only %d inserts; fixture too small", totals[ordb.FaultInsert])
+			}
+
+			// Sweep: fail the Nth occurrence of every op on one store.
+			victim := progStore(t, strat)
+			db := victim.DB()
+			pre := tableCounts(victim)
+			preStats := db.Stats().Inserts
+			injected := errors.New("injected fault")
+			for _, op := range []string{ordb.FaultInsert, ordb.FaultReplace, ordb.FaultDeref} {
+				for n := int64(1); n <= totals[op]; n++ {
+					op, n := op, n
+					db.SetFaultHook(func(gotOp string, gotN int64) error {
+						if gotOp == op && gotN == n {
+							return injected
+						}
+						return nil
+					})
+					_, err := victim.LoadXML(progXML, "prog.xml")
+					db.SetFaultHook(nil)
+					if !errors.Is(err, injected) {
+						t.Fatalf("%s#%d: load did not fail with the injected fault: %v", op, n, err)
+					}
+					requireSameCounts(t, fmt.Sprintf("%s#%d", op, n), pre, tableCounts(victim))
+					if got := db.Stats().Inserts; got != preStats {
+						t.Errorf("%s#%d: Inserts stat = %d, want %d (restored)", op, n, got, preStats)
+					}
+					if db.CurrentTx() != nil {
+						t.Fatalf("%s#%d: transaction leaked", op, n)
+					}
+				}
+			}
+
+			// After every injected failure, the same load must succeed and
+			// round-trip identically to the control store.
+			id, err := victim.LoadXML(progXML, "prog.xml")
+			if err != nil {
+				t.Fatalf("load after sweep: %v", err)
+			}
+			if id != controlID {
+				t.Errorf("DocID after failed attempts = %d, control = %d", id, controlID)
+			}
+			xml, err := victim.RetrieveXML(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if xml != controlXML {
+				t.Errorf("round trip differs from control:\n--- control:\n%s\n--- got:\n%s", controlXML, xml)
+			}
+		})
+	}
+}
+
+// TestChaosDeleteSweep fails every insert/delete/replace/deref a
+// DeleteDocument performs and asserts a failed delete leaves the loaded
+// document fully intact — rows, meta registration and retrieval.
+func TestChaosDeleteSweep(t *testing.T) {
+	for _, strat := range []int{0, 1} {
+		name := "nested"
+		if strat == 1 {
+			name = "ref"
+		}
+		t.Run(name, func(t *testing.T) {
+			// Probe a throwaway store for the delete's op totals.
+			probe := progStore(t, strat)
+			probeID, err := probe.LoadXML(progXML, "prog.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			totals := opTotals(t, probe.DB(), func() error {
+				return probe.DeleteDocument(probeID)
+			})
+			if totals[ordb.FaultDelete] < 2 {
+				t.Fatalf("probe saw only %d deletes; fixture too small", totals[ordb.FaultDelete])
+			}
+
+			victim := progStore(t, strat)
+			docID, err := victim.LoadXML(progXML, "prog.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			db := victim.DB()
+			loaded := tableCounts(victim)
+			wantXML, err := victim.RetrieveXML(docID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			injected := errors.New("injected fault")
+			for _, op := range []string{ordb.FaultInsert, ordb.FaultDelete, ordb.FaultReplace, ordb.FaultDeref} {
+				for n := int64(1); n <= totals[op]; n++ {
+					op, n := op, n
+					db.SetFaultHook(func(gotOp string, gotN int64) error {
+						if gotOp == op && gotN == n {
+							return injected
+						}
+						return nil
+					})
+					err := victim.DeleteDocument(docID)
+					db.SetFaultHook(nil)
+					if !errors.Is(err, injected) {
+						t.Fatalf("%s#%d: delete did not fail with the injected fault: %v", op, n, err)
+					}
+					requireSameCounts(t, fmt.Sprintf("%s#%d", op, n), loaded, tableCounts(victim))
+					if _, err := victim.Meta.Document(docID); err != nil {
+						t.Errorf("%s#%d: meta registration lost: %v", op, n, err)
+					}
+					gotXML, err := victim.RetrieveXML(docID)
+					if err != nil {
+						t.Fatalf("%s#%d: document unretrievable after failed delete: %v", op, n, err)
+					}
+					if gotXML != wantXML {
+						t.Errorf("%s#%d: document changed by failed delete", op, n)
+					}
+					if db.CurrentTx() != nil {
+						t.Fatalf("%s#%d: transaction leaked", op, n)
+					}
+				}
+			}
+
+			// The delete then succeeds cleanly.
+			if err := victim.DeleteDocument(docID); err != nil {
+				t.Fatalf("delete after sweep: %v", err)
+			}
+			for tab, n := range tableCounts(victim) {
+				if n != 0 {
+					t.Errorf("table %s still has %d rows after delete", tab, n)
+				}
+			}
+		})
+	}
+}
+
+// TestFailedLoadLeavesMetaUnchanged is the explicit regression for the
+// meta-registration ordering: Register runs first, so without the
+// transaction a failed load stranded a TabMetadata row.
+func TestFailedLoadLeavesMetaUnchanged(t *testing.T) {
+	store := progStore(t, 0)
+	if _, err := store.LoadXML(progXML, "first.xml"); err != nil {
+		t.Fatal(err)
+	}
+	metaTab, err := store.DB().Table("TabMetadata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := metaTab.RowCount()
+	injected := errors.New("injected fault")
+	// Fail the first insert AFTER the meta registration.
+	store.DB().SetFaultHook(func(op string, n int64) error {
+		if op == ordb.FaultInsert && n == 2 {
+			return injected
+		}
+		return nil
+	})
+	_, err = store.LoadXML(progXML, "second.xml")
+	store.DB().SetFaultHook(nil)
+	if !errors.Is(err, injected) {
+		t.Fatalf("load err = %v", err)
+	}
+	if got := metaTab.RowCount(); got != pre {
+		t.Errorf("TabMetadata rows = %d, want %d (registration rolled back)", got, pre)
+	}
+	docs, err := store.Meta.Documents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || docs[0].DocName != "first.xml" {
+		t.Errorf("meta documents = %+v", docs)
+	}
+}
+
+// TestUnresolvableIDRefRollsBack drives a real mid-operation failure (no
+// fault injection): an IDREF that matches no ID fails in applyFixups,
+// after every row was already inserted. The store must come back empty
+// and fully usable. Loader.Load is driven directly because Store.Load's
+// DTD validation would reject the document up front.
+func TestUnresolvableIDRefRollsBack(t *testing.T) {
+	badXML := strings.Replace(progXML, `by="s2"`, `by="missing"`, 1)
+	for _, strat := range []int{0, 1} {
+		store := progStore(t, strat)
+		doc, _, err := ParseXML(badXML)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := store.Loader.Load(doc, "bad.xml"); err == nil {
+			t.Fatal("load with unresolvable IDREF must fail")
+		}
+		for tab, n := range tableCounts(store) {
+			if n != 0 {
+				t.Errorf("strategy %d: table %s has %d partial rows", strat, tab, n)
+			}
+		}
+		// The store stays queryable and accepts the corrected document.
+		if _, err := store.Query("SELECT COUNT(*) FROM TabProg"); err != nil {
+			t.Errorf("store unqueryable after failed load: %v", err)
+		}
+		id, err := store.LoadXML(progXML, "good.xml")
+		if err != nil {
+			t.Fatalf("strategy %d: load after failure: %v", strat, err)
+		}
+		if _, err := store.RetrieveXML(id); err != nil {
+			t.Errorf("strategy %d: retrieve: %v", strat, err)
+		}
+	}
+}
+
+// TestVarrayOverflowRollsBack drives the other real failure: a document
+// with more repeated children than the generated VARRAY admits fails in
+// the root insert's conform step, after the REF-stored rows went in.
+func TestVarrayOverflowRollsBack(t *testing.T) {
+	store, err := Open(progDTD, "Prog", Config{VarrayMax: 2, IDRefTargets: progConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Talk* is an embedded collection under the nested strategy, so it
+	// maps to VARRAY(2); a third talk overflows it at the root insert —
+	// after the REF-stored Speaker and Room rows already went in.
+	big := strings.Replace(progXML,
+		`<Talk by="s2" at="r1"><TTitle>Meta-databases</TTitle></Talk>`,
+		`<Talk by="s2" at="r1"><TTitle>Meta-databases</TTitle></Talk>
+  <Talk by="s1" at="r1"><TTitle>Overflow</TTitle></Talk>`, 1)
+	if _, err := store.LoadXML(big, "big.xml"); !errors.Is(err, ordb.ErrVarrayOverflow) {
+		t.Fatalf("overflow load err = %v", err)
+	}
+	for tab, n := range tableCounts(store) {
+		if n != 0 {
+			t.Errorf("table %s has %d partial rows after overflow", tab, n)
+		}
+	}
+	id, err := store.LoadXML(progXML, "fits.xml")
+	if err != nil {
+		t.Fatalf("load after overflow: %v", err)
+	}
+	if id != 1 {
+		t.Errorf("DocID after rolled-back attempt = %d, want 1", id)
+	}
+}
+
+// TestDocIDNotReusedAfterDelete is the regression for the metadata-less
+// DocID fallback: RowCount()+1 handed a deleted document's ID to the next
+// load, colliding with the surviving document.
+func TestDocIDNotReusedAfterDelete(t *testing.T) {
+	store, err := Open(progDTD, "Prog", Config{DisableMetadata: true, IDRefTargets: progConfig})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id1, err := store.LoadXML(progXML, "one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := store.LoadXML(progXML, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DeleteDocument(id1); err != nil {
+		t.Fatal(err)
+	}
+	id3, err := store.LoadXML(progXML, "three")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id3 == id2 {
+		t.Fatalf("DocID %d reused while document %d still exists", id3, id2)
+	}
+	if id3 <= id2 {
+		t.Errorf("DocID not monotonic: got %d after %d", id3, id2)
+	}
+	// Both documents retrieve independently.
+	if _, err := store.RetrieveXML(id2); err != nil {
+		t.Errorf("retrieve %d: %v", id2, err)
+	}
+	if _, err := store.RetrieveXML(id3); err != nil {
+		t.Errorf("retrieve %d: %v", id3, err)
+	}
+
+	// The meta-database path must not recycle IDs into collisions either:
+	// its DocID column is a primary key.
+	mstore := progStore(t, 0)
+	m1, _ := mstore.LoadXML(progXML, "one")
+	m2, err := mstore.LoadXML(progXML, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mstore.DeleteDocument(m1); err != nil {
+		t.Fatal(err)
+	}
+	m3, err := mstore.LoadXML(progXML, "three")
+	if err != nil {
+		t.Fatalf("register after delete: %v", err)
+	}
+	if m3 == m2 {
+		t.Errorf("meta DocID %d collides with live document", m3)
+	}
+}
+
+// TestUserTransactionWrapsLoad exercises BEGIN/ROLLBACK through the SQL
+// surface around a whole document load: the load joins the user
+// transaction via a savepoint, and the user's ROLLBACK takes the document
+// with it.
+func TestUserTransactionWrapsLoad(t *testing.T) {
+	store := progStore(t, 0)
+	if _, err := store.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := store.LoadXML(progXML, "tx.xml")
+	if err != nil {
+		t.Fatalf("load inside user transaction: %v", err)
+	}
+	if _, err := store.RetrieveXML(id); err != nil {
+		t.Fatalf("retrieve inside transaction: %v", err)
+	}
+	if _, err := store.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	for tab, n := range tableCounts(store) {
+		if n != 0 {
+			t.Errorf("table %s has %d rows after user ROLLBACK", tab, n)
+		}
+	}
+	// And COMMIT keeps it.
+	if _, err := store.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	id2, err := store.LoadXML(progXML, "tx2.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.RetrieveXML(id2); err != nil {
+		t.Errorf("committed document lost: %v", err)
+	}
+}

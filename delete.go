@@ -1,18 +1,41 @@
 package xmlordb
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"xmlordb/internal/mapping"
 	"xmlordb/internal/ordb"
 )
 
+// sortedRefs returns the set's members ordered by table name then OID.
+func sortedRefs(refs map[ordb.Ref]bool) []ordb.Ref {
+	out := make([]ordb.Ref, 0, len(refs))
+	for ref := range refs {
+		out = append(out, ref)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Table != out[j].Table {
+			return out[i].Table < out[j].Table
+		}
+		return out[i].OID < out[j].OID
+	})
+	return out
+}
+
 // DeleteDocument removes a stored document: the root-table row, every
 // object-table row reachable from it (REF-stored elements under the
 // Oracle 8 strategy, recursive elements and ID targets under the nested
 // strategy, including child-table rows holding parent back-REFs), and the
-// TabMetadata registration.
+// TabMetadata registration. The per-table deletes run in one engine
+// transaction: a failure at any step restores every already-deleted row,
+// so the document is never left half-removed.
 func (s *Store) DeleteDocument(docID int) error {
+	return s.Engine.DB().RunInTx(func() error { return s.deleteDocument(docID) })
+}
+
+func (s *Store) deleteDocument(docID int) error {
 	rootTab, err := s.Engine.DB().Table(s.Schema.RootTable)
 	if err != nil {
 		return err
@@ -34,16 +57,22 @@ func (s *Store) DeleteDocument(docID int) error {
 		s.collectRefs(v, refs)
 	}
 	// Expand through child tables (StrategyRef back-pointers) until the
-	// set is closed.
+	// set is closed. Each pass walks a sorted snapshot so the deref (and
+	// therefore fault-injection) sequence is deterministic across runs.
 	for {
 		before := len(refs)
-		for ref := range refs {
+		for _, ref := range sortedRefs(refs) {
 			if err := s.collectChildTableRefs(ref, refs); err != nil {
 				return err
 			}
 			obj, err := s.Engine.DB().Deref(ref)
 			if err != nil {
-				continue // already deleted or dangling
+				if errors.Is(err, ordb.ErrDanglingRef) {
+					continue // target already gone
+				}
+				// Any other failure (e.g. an injected fault) must abort —
+				// an incomplete closure would orphan unreachable rows.
+				return err
 			}
 			for _, v := range obj.Attrs {
 				s.collectRefs(v, refs)
@@ -53,12 +82,19 @@ func (s *Store) DeleteDocument(docID int) error {
 			break
 		}
 	}
-	// Delete the collected rows per table.
+	// Delete the collected rows per table, in table-name order (again for
+	// a deterministic delete/fault sequence).
 	byTable := map[string][]ordb.OID{}
+	tables := []string{}
 	for ref := range refs {
+		if byTable[ref.Table] == nil {
+			tables = append(tables, ref.Table)
+		}
 		byTable[ref.Table] = append(byTable[ref.Table], ref.OID)
 	}
-	for table, oids := range byTable {
+	sort.Strings(tables)
+	for _, table := range tables {
+		oids := byTable[table]
 		tab, err := s.Engine.DB().Table(table)
 		if err != nil {
 			return err

@@ -1,0 +1,64 @@
+package dtd
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDTD asserts the DTD parser never panics: any input must
+// produce either a DTD or an error, with no recover() involved. Invalid
+// declarations must yield an error, not a silently broken model.
+func FuzzParseDTD(f *testing.F) {
+	seeds := []string{
+		``,
+		`<!ELEMENT a (#PCDATA)>`,
+		`<!ELEMENT a (b, c*, (d | e)+)>
+<!ELEMENT b (#PCDATA)>
+<!ATTLIST a id ID #REQUIRED ref IDREF #IMPLIED>`,
+		`<!ELEMENT conf (title, day+)>
+<!ENTITY copy "&#169;">
+<!ENTITY % pc "(#PCDATA)">
+<!ELEMENT title %pc;>`,
+		`<!ELEMENT m (#PCDATA | em | strong)*>`,
+		`<!ATTLIST x y CDATA "def" z (a|b) "a">`,
+		`<!ELEMENT a EMPTY><!ELEMENT b ANY>`,
+		`<!-- comment --> <!ELEMENT a (#PCDATA)>`,
+		`<!ELEMENT`,
+		`<!ELEMENT a ((((b))))>`,
+		`<!ENTITY e1 "&e2;"><!ENTITY e2 "&e1;">`,
+		"<!ELEMENT a (#PCDATA)>\x00\xff",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := Parse("fuzz", text)
+		if err != nil {
+			return
+		}
+		if d == nil {
+			t.Fatal("Parse returned nil DTD with nil error")
+		}
+		// The parsed model must be internally consistent: every element
+		// referenced by order exists, and re-parsing is deterministic.
+		for _, name := range d.ElementOrder {
+			if _, ok := d.Elements[name]; !ok {
+				t.Fatalf("ElementOrder names %q but Elements lacks it", name)
+			}
+		}
+		d2, err2 := Parse("fuzz", text)
+		if err2 != nil || d2 == nil {
+			t.Fatalf("re-parse diverged: %v", err2)
+		}
+		if len(d2.Elements) != len(d.Elements) || len(d2.Entities) != len(d.Entities) {
+			t.Fatalf("re-parse produced a different model")
+		}
+		// Entity values must not retain raw parameter-entity markers that
+		// would explode later consumers.
+		for _, name := range d.EntityOrder {
+			if strings.Contains(name, "\x00") {
+				t.Fatalf("entity name contains NUL: %q", name)
+			}
+		}
+	})
+}

@@ -36,6 +36,10 @@ type Loader struct {
 	// Meta, when non-nil, registers each loaded document in TabMetadata
 	// and uses the assigned DocID.
 	Meta *meta.Store
+	// lastDocID is the highest DocID this loader ever assigned without a
+	// meta store. It only grows, so DocIDs stay unique even after
+	// DeleteDocument removes rows from the root table.
+	lastDocID int
 }
 
 // New returns a loader for the schema over the engine. The schema's DDL
@@ -76,7 +80,11 @@ type load struct {
 	genSeq int
 }
 
-// Load stores the document and returns its DocID.
+// Load stores the document and returns its DocID. The whole load — meta
+// registration, REF-row inserts, the root insert, IDREF fixups — runs in
+// one engine transaction, so a failure at any step restores the exact
+// prior state: no orphan rows, no dangling TabMetadata registration, no
+// consumed OIDs.
 func (l *Loader) Load(doc *xmldom.Document, docName string) (int, error) {
 	root := doc.Root()
 	if root == nil {
@@ -91,43 +99,68 @@ func (l *Loader) Load(doc *xmldom.Document, docName string) (int, error) {
 		return 0, err
 	}
 	st := &load{Loader: l, ids: map[string]ordb.Ref{}}
-	if l.Meta != nil {
-		id, err := l.Meta.Register(doc, l.sch, docName, "")
-		if err != nil {
-			return 0, err
+	err = l.en.DB().RunInTx(func() error {
+		if l.Meta != nil {
+			id, err := l.Meta.Register(doc, l.sch, docName, "")
+			if err != nil {
+				return err
+			}
+			st.docID = id
+		} else {
+			st.docID = l.nextDocID(rootTab)
 		}
-		st.docID = id
-	} else {
-		st.docID = rootTab.RowCount() + 1
-	}
-	rm := l.sch.Elems[root.Name]
-	var rowVals []ordb.Value
-	switch {
-	case rm.StoredByRef:
-		ref, err := st.insertByRef(root, nil)
-		if err != nil {
-			return 0, err
+		rm := l.sch.Elems[root.Name]
+		var rowVals []ordb.Value
+		switch {
+		case rm.StoredByRef:
+			ref, err := st.insertByRef(root, nil)
+			if err != nil {
+				return err
+			}
+			rowVals = []ordb.Value{ordb.Num(st.docID), ref}
+		default:
+			fields, err := st.buildVals(root, rm, nil, []int{1})
+			if err != nil {
+				return err
+			}
+			rowVals = append([]ordb.Value{ordb.Num(st.docID)}, fields...)
 		}
-		rowVals = []ordb.Value{ordb.Num(st.docID), ref}
-	default:
-		fields, err := st.buildVals(root, rm, nil, []int{1})
-		if err != nil {
-			return 0, err
+		if _, err := rootTab.Insert(rowVals); err != nil {
+			return err
 		}
-		rowVals = append([]ordb.Value{ordb.Num(st.docID)}, fields...)
-	}
-	if _, err := rootTab.Insert(rowVals); err != nil {
+		// Pending refs remaining at this point live in the root row.
+		for _, p := range st.pending {
+			st.fixups = append(st.fixups, idrefFixup{table: "", path: p.path, id: p.id})
+		}
+		st.pending = nil
+		return st.applyFixups()
+	})
+	if err != nil {
 		return 0, err
 	}
-	// Pending refs remaining at this point live in the root row.
-	for _, p := range st.pending {
-		st.fixups = append(st.fixups, idrefFixup{table: "", path: p.path, id: p.id})
-	}
-	st.pending = nil
-	if err := st.applyFixups(); err != nil {
-		return 0, err
+	// Only a committed load advances the monotonic counter: a rolled-back
+	// attempt reuses its DocID, keeping the store bit-identical to one
+	// that never attempted the operation.
+	if st.docID > l.lastDocID {
+		l.lastDocID = st.docID
 	}
 	return st.docID, nil
+}
+
+// nextDocID allocates a DocID when no meta store assigns one: one more
+// than the highest of (a) any DocID still present in the root table and
+// (b) any DocID this loader ever committed. The previous RowCount()+1
+// scheme reused IDs after a DeleteDocument, silently merging a new
+// document into a deleted one's identity.
+func (l *Loader) nextDocID(rootTab *ordb.Table) int {
+	max := l.lastDocID
+	rootTab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) > max {
+			max = int(n)
+		}
+		return true
+	})
+	return max + 1
 }
 
 // InsertSQL renders the single nested INSERT statement that loads the

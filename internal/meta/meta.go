@@ -119,7 +119,17 @@ func (s *Store) Register(doc *xmldom.Document, sch *mapping.Schema, docName, url
 	if err != nil {
 		return 0, err
 	}
-	docID := tab.RowCount() + 1
+	// One more than the highest registered DocID — RowCount()+1 would
+	// collide with surviving rows after a DeleteDocument removed an
+	// earlier registration (DocID is the table's primary key).
+	docID := 0
+	tab.Scan(func(r *ordb.Row) bool {
+		if n, ok := r.Vals[0].(ordb.Num); ok && int(n) > docID {
+			docID = int(n)
+		}
+		return true
+	})
+	docID++
 	var docData []ordb.Value
 	for _, name := range sch.Order {
 		m := sch.Elems[name]

@@ -24,8 +24,16 @@ type DB struct {
 	tableOrder []string
 	viewOrder  []string
 	nextOID    OID
+	// tx is the open transaction, if any (see tx.go).
+	tx *Tx
 	// stats counts engine operations for the benchmark harness.
 	stats Stats
+	// autoSave numbers the auto-generated savepoints of RunInTx.
+	autoSave atomic.Int64
+	// faultMu guards the fault-injection hook and its counters.
+	faultMu   sync.Mutex
+	faultHook FaultHook
+	faultSeq  map[string]int64
 }
 
 // Stats counts low-level engine work, letting the benches report the

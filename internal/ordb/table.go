@@ -203,6 +203,9 @@ func (r rowView) Col(name string) (Value, bool) {
 // and stores a deep copy as a new row. For object tables the new row is
 // assigned a fresh OID, which is returned (zero for relational tables).
 func (t *Table) Insert(vals []Value) (OID, error) {
+	if err := t.db.fault(FaultInsert); err != nil {
+		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
+	}
 	if len(vals) != len(t.Cols) {
 		return 0, fmt.Errorf("ordb: table %s: got %d values for %d columns: %w",
 			t.Name, len(vals), len(t.Cols), ErrArity)
@@ -229,6 +232,7 @@ func (t *Table) Insert(vals []Value) (OID, error) {
 		t.oidIndex[row.OID] = row
 	}
 	t.rows = append(t.rows, row)
+	t.db.logUndo(undoInsert{t: t, row: row, counted: true})
 	t.db.mu.Unlock()
 	t.db.stats.Inserts.Add(1)
 	return row.OID, nil
@@ -329,6 +333,7 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.db.logUndo(undoInsert{t: t, row: row})
 	return nil
 }
 
@@ -357,38 +362,51 @@ func (t *Table) RowCount() int {
 }
 
 // Delete removes rows for which pred returns true and reports how many
-// were removed. A nil pred removes all rows.
+// were removed. A nil pred removes all rows. Matching runs before any
+// mutation, so a predicate error leaves the table unchanged.
 func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
+	if err := t.db.fault(FaultDelete); err != nil {
+		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
+	}
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
-	kept := t.rows[:0]
-	removed := 0
+	var removed []*Row
+	kept := make([]*Row, 0, len(t.rows))
 	for _, r := range t.rows {
 		del := true
 		if pred != nil {
 			var err error
 			del, err = pred(r)
 			if err != nil {
-				return removed, err
+				return 0, err
 			}
 		}
 		if del {
-			removed++
-			if r.OID != 0 {
-				delete(t.oidIndex, r.OID)
-			}
+			removed = append(removed, r)
 		} else {
 			kept = append(kept, r)
 		}
 	}
+	if len(removed) == 0 {
+		return 0, nil
+	}
+	t.db.logUndo(undoDelete{t: t, prev: t.rows, removed: removed})
+	for _, r := range removed {
+		if r.OID != 0 {
+			delete(t.oidIndex, r.OID)
+		}
+	}
 	t.rows = kept
-	return removed, nil
+	return len(removed), nil
 }
 
 // ReplaceByOID re-validates vals and replaces the row with the given OID
 // in place, keeping its identity (all REFs to it stay valid). Used by the
 // loader to resolve forward IDREF references after all rows exist.
 func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
+	if err := t.db.fault(FaultReplace); err != nil {
+		return fmt.Errorf("ordb: table %s: %w", t.Name, err)
+	}
 	if !t.IsObjectTable() {
 		return fmt.Errorf("ordb: table %s is not an object table", t.Name)
 	}
@@ -432,6 +450,7 @@ func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
 		}
 	}
 	t.db.mu.Lock()
+	t.db.logUndo(undoReplace{row: row, prev: row.Vals})
 	row.Vals = checked
 	t.db.mu.Unlock()
 	return nil
@@ -497,6 +516,7 @@ func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals [
 	}
 	t.db.mu.Lock()
 	for _, c := range changes {
+		t.db.logUndo(undoReplace{row: c.row, prev: c.row.Vals})
 		c.row.Vals = c.vals
 	}
 	t.db.mu.Unlock()
@@ -507,6 +527,9 @@ func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals [
 // reporting whether a row was found. Relational counterpart to
 // ReplaceByOID.
 func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
+	if err := t.db.fault(FaultReplace); err != nil {
+		return false, fmt.Errorf("ordb: table %s: %w", t.Name, err)
+	}
 	if len(vals) != len(t.Cols) {
 		return false, fmt.Errorf("ordb: table %s: got %d values for %d columns: %w",
 			t.Name, len(vals), len(t.Cols), ErrArity)
@@ -523,6 +546,7 @@ func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
 	defer t.db.mu.Unlock()
 	for _, r := range t.rows {
 		if pred(r) {
+			t.db.logUndo(undoReplace{row: r, prev: r.Vals})
 			r.Vals = checked
 			return true, nil
 		}
@@ -539,6 +563,9 @@ func (db *DB) FetchByOID(table string, oid OID) (*Object, error) {
 	}
 	if !t.IsObjectTable() {
 		return nil, fmt.Errorf("ordb: table %s is not an object table", table)
+	}
+	if err := db.fault(FaultDeref); err != nil {
+		return nil, fmt.Errorf("ordb: %s oid %d: %w", table, oid, err)
 	}
 	db.stats.Derefs.Add(1)
 	db.mu.RLock()

@@ -1,0 +1,274 @@
+package ordb
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func txFixture(t *testing.T) (*DB, *Table) {
+	t.Helper()
+	db := New(ModeOracle9)
+	tab, err := db.CreateTable(TableSpec{Name: "T", Columns: []Column{
+		{Name: "id", Type: IntegerType{}},
+		{Name: "v", Type: VarcharType{Len: 100}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, tab
+}
+
+func rowIDs(t *testing.T, tab *Table) []int {
+	t.Helper()
+	var ids []int
+	tab.Scan(func(r *Row) bool {
+		ids = append(ids, int(r.Vals[0].(Num)))
+		return true
+	})
+	return ids
+}
+
+func TestTxRollbackInserts(t *testing.T) {
+	db, tab := txFixture(t)
+	tab.Insert([]Value{Num(1), Str("before")})
+	pre := db.Stats().Inserts
+
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert([]Value{Num(2), Str("in-tx")})
+	tab.Insert([]Value{Num(3), Str("in-tx")})
+	if got := tab.RowCount(); got != 3 {
+		t.Fatalf("rows before rollback = %d", got)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowIDs(t, tab); len(got) != 1 || got[0] != 1 {
+		t.Errorf("rows after rollback = %v, want [1]", got)
+	}
+	if got := db.Stats().Inserts; got != pre {
+		t.Errorf("Inserts stat = %d, want %d (restored)", got, pre)
+	}
+	if db.CurrentTx() != nil {
+		t.Error("transaction still active after rollback")
+	}
+}
+
+func TestTxCommitKeepsRows(t *testing.T) {
+	db, tab := txFixture(t)
+	tx, _ := db.Begin()
+	tab.Insert([]Value{Num(1), Str("a")})
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.RowCount(); got != 1 {
+		t.Errorf("rows after commit = %d", got)
+	}
+	// Finished transactions reject further operations.
+	if err := tx.Rollback(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("rollback after commit = %v", err)
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxDone) {
+		t.Errorf("double commit = %v", err)
+	}
+}
+
+func TestTxRollbackDeleteRestoresRowsAndOrder(t *testing.T) {
+	db, tab := txFixture(t)
+	for i := 1; i <= 4; i++ {
+		tab.Insert([]Value{Num(i), Str("x")})
+	}
+	tx, _ := db.Begin()
+	n, err := tab.Delete(func(r *Row) (bool, error) {
+		return int(r.Vals[0].(Num))%2 == 0, nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("delete = %d, %v", n, err)
+	}
+	tx.Rollback()
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1 2 3 4]" {
+		t.Errorf("rows after rollback = %v, want [1 2 3 4]", got)
+	}
+	_ = db
+}
+
+func TestTxRollbackRestoresOIDsAndIndex(t *testing.T) {
+	db := New(ModeOracle9)
+	db.CreateObjectType("Type_P", []AttrDef{{Name: "a", Type: VarcharType{Len: 10}}})
+	tab, _ := db.CreateTable(TableSpec{Name: "TabP", OfType: "Type_P"})
+	keepOID, _ := tab.Insert([]Value{Str("keep")})
+
+	tx, _ := db.Begin()
+	txOID, _ := tab.Insert([]Value{Str("gone")})
+	tab.Delete(func(r *Row) (bool, error) { return r.OID == keepOID, nil })
+	tx.Rollback()
+
+	// The kept row is dereferenceable again; the rolled-back OID is not,
+	// and the allocator reuses it.
+	if _, err := db.FetchByOID("TabP", keepOID); err != nil {
+		t.Errorf("kept row gone after rollback: %v", err)
+	}
+	if _, err := db.FetchByOID("TabP", txOID); !errors.Is(err, ErrDanglingRef) {
+		t.Errorf("rolled-back row still dereferenceable: %v", err)
+	}
+	newOID, _ := tab.Insert([]Value{Str("new")})
+	if newOID != txOID {
+		t.Errorf("OID after rollback = %d, want reuse of %d", newOID, txOID)
+	}
+}
+
+func TestTxRollbackReplaceAndUpdate(t *testing.T) {
+	db := New(ModeOracle9)
+	db.CreateObjectType("Type_P", []AttrDef{{Name: "a", Type: VarcharType{Len: 10}}})
+	tab, _ := db.CreateTable(TableSpec{Name: "TabP", OfType: "Type_P"})
+	oid, _ := tab.Insert([]Value{Str("orig")})
+
+	tx, _ := db.Begin()
+	if err := tab.ReplaceByOID(oid, []Value{Str("changed")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.UpdateWhere(
+		func(*Row) (bool, error) { return true, nil },
+		func(vals []Value) ([]Value, error) { return []Value{Str("again")}, nil },
+	); err != nil {
+		t.Fatal(err)
+	}
+	tx.Rollback()
+	obj, err := db.FetchByOID("TabP", oid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Attrs[0] != Str("orig") {
+		t.Errorf("value after rollback = %v, want orig", obj.Attrs[0])
+	}
+}
+
+func TestTxSavepoints(t *testing.T) {
+	db, tab := txFixture(t)
+	tx, _ := db.Begin()
+	tab.Insert([]Value{Num(1), Str("a")})
+	if err := tx.Savepoint("sp1"); err != nil {
+		t.Fatal(err)
+	}
+	tab.Insert([]Value{Num(2), Str("b")})
+	tx.Savepoint("sp2")
+	tab.Insert([]Value{Num(3), Str("c")})
+
+	if err := tx.RollbackTo("sp2"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1 2]" {
+		t.Errorf("after ROLLBACK TO sp2: %v", got)
+	}
+	// sp2 survives its own rollback; sp1 still reachable.
+	if err := tx.RollbackTo("sp2"); err != nil {
+		t.Errorf("second rollback to sp2: %v", err)
+	}
+	if err := tx.RollbackTo("sp1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1]" {
+		t.Errorf("after ROLLBACK TO sp1: %v", got)
+	}
+	// sp2 was discarded by rolling back past it.
+	if err := tx.RollbackTo("sp2"); !errors.Is(err, ErrNoSavepoint) {
+		t.Errorf("rollback to discarded sp2 = %v", err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1]" {
+		t.Errorf("after commit: %v", got)
+	}
+}
+
+func TestTxBeginWhileActive(t *testing.T) {
+	db, _ := txFixture(t)
+	tx, _ := db.Begin()
+	if _, err := db.Begin(); !errors.Is(err, ErrTxActive) {
+		t.Errorf("nested Begin = %v", err)
+	}
+	tx.Rollback()
+	if _, err := db.Begin(); err != nil {
+		t.Errorf("Begin after rollback = %v", err)
+	}
+}
+
+func TestRunInTxCommitAndRollback(t *testing.T) {
+	db, tab := txFixture(t)
+	if err := db.RunInTx(func() error {
+		_, err := tab.Insert([]Value{Num(1), Str("ok")})
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := db.RunInTx(func() error {
+		tab.Insert([]Value{Num(2), Str("doomed")})
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("RunInTx error = %v", err)
+	}
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1]" {
+		t.Errorf("rows = %v, want [1]", got)
+	}
+	if db.CurrentTx() != nil {
+		t.Error("transaction leaked")
+	}
+}
+
+func TestRunInTxNestsViaSavepoint(t *testing.T) {
+	db, tab := txFixture(t)
+	tx, _ := db.Begin()
+	tab.Insert([]Value{Num(1), Str("outer")})
+	boom := errors.New("boom")
+	if err := db.RunInTx(func() error {
+		tab.Insert([]Value{Num(2), Str("inner")})
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("nested RunInTx = %v", err)
+	}
+	// Outer transaction still open, outer insert intact, inner undone.
+	if db.CurrentTx() != tx {
+		t.Fatal("outer transaction closed by nested RunInTx")
+	}
+	if got := rowIDs(t, tab); fmt.Sprint(got) != "[1]" {
+		t.Errorf("rows = %v, want [1]", got)
+	}
+	tx.Rollback()
+	if got := tab.RowCount(); got != 0 {
+		t.Errorf("rows after outer rollback = %d", got)
+	}
+}
+
+func TestFaultHookSequencing(t *testing.T) {
+	db, tab := txFixture(t)
+	var calls []string
+	db.SetFaultHook(func(op string, n int64) error {
+		calls = append(calls, fmt.Sprintf("%s#%d", op, n))
+		if op == FaultInsert && n == 2 {
+			return errors.New("injected")
+		}
+		return nil
+	})
+	if _, err := tab.Insert([]Value{Num(1), Str("a")}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Insert([]Value{Num(2), Str("b")}); err == nil {
+		t.Fatal("second insert should fail")
+	}
+	if got := tab.RowCount(); got != 1 {
+		t.Errorf("rows = %d", got)
+	}
+	// Clearing the hook resets counters.
+	db.SetFaultHook(nil)
+	if _, err := tab.Insert([]Value{Num(2), Str("b")}); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(calls) != "[insert#1 insert#2]" {
+		t.Errorf("calls = %v", calls)
+	}
+}

@@ -156,6 +156,31 @@ type DropStmt struct {
 
 func (*DropStmt) stmtNode() {}
 
+// BeginStmt is BEGIN [WORK|TRANSACTION]: open a data transaction.
+type BeginStmt struct{}
+
+func (*BeginStmt) stmtNode() {}
+
+// CommitStmt is COMMIT [WORK].
+type CommitStmt struct{}
+
+func (*CommitStmt) stmtNode() {}
+
+// RollbackStmt is ROLLBACK [WORK] [TO [SAVEPOINT] name]. An empty
+// Savepoint rolls back the whole transaction.
+type RollbackStmt struct {
+	Savepoint string
+}
+
+func (*RollbackStmt) stmtNode() {}
+
+// SavepointStmt is SAVEPOINT name.
+type SavepointStmt struct {
+	Name string
+}
+
+func (*SavepointStmt) stmtNode() {}
+
 // Expr is any expression node.
 type Expr interface{ exprNode() }
 

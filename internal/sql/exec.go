@@ -122,14 +122,47 @@ func (en *Engine) ExecScript(script string) (int, error) {
 func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 	switch s := stmt.(type) {
 	case *CreateTypeStmt:
+		if err := en.commitBeforeDDL(); err != nil {
+			return nil, err
+		}
 		return en.execCreateType(s)
 	case *CreateTableStmt:
+		if err := en.commitBeforeDDL(); err != nil {
+			return nil, err
+		}
 		return en.execCreateTable(s)
 	case *CreateViewStmt:
+		if err := en.commitBeforeDDL(); err != nil {
+			return nil, err
+		}
 		if _, err := en.db.CreateView(s.Name, s.Text, s.Select, s.OrReplace); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
+	case *BeginStmt:
+		_, err := en.db.Begin()
+		return &Result{}, err
+	case *CommitStmt:
+		tx := en.db.CurrentTx()
+		if tx == nil {
+			return nil, fmt.Errorf("sql: COMMIT: %w", ordb.ErrNoTx)
+		}
+		return &Result{}, tx.Commit()
+	case *RollbackStmt:
+		tx := en.db.CurrentTx()
+		if tx == nil {
+			return nil, fmt.Errorf("sql: ROLLBACK: %w", ordb.ErrNoTx)
+		}
+		if s.Savepoint != "" {
+			return &Result{}, tx.RollbackTo(s.Savepoint)
+		}
+		return &Result{}, tx.Rollback()
+	case *SavepointStmt:
+		tx := en.db.CurrentTx()
+		if tx == nil {
+			return nil, fmt.Errorf("sql: SAVEPOINT: %w", ordb.ErrNoTx)
+		}
+		return &Result{}, tx.Savepoint(s.Name)
 	case *InsertStmt:
 		return en.execInsert(s)
 	case *DeleteStmt:
@@ -137,6 +170,9 @@ func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 	case *UpdateStmt:
 		return en.execUpdate(s)
 	case *DropStmt:
+		if err := en.commitBeforeDDL(); err != nil {
+			return nil, err
+		}
 		switch s.Kind {
 		case "TYPE":
 			return &Result{}, en.db.DropType(s.Name, s.Force)
@@ -149,6 +185,17 @@ func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("sql: unsupported statement %T", stmt)
 	}
+}
+
+// commitBeforeDDL implicitly commits an open transaction before a DDL
+// statement, mirroring Oracle: DDL is auto-commit and never part of a
+// data transaction (documented in README "Atomicity and failure
+// semantics").
+func (en *Engine) commitBeforeDDL() error {
+	if tx := en.db.CurrentTx(); tx != nil {
+		return tx.Commit()
+	}
+	return nil
 }
 
 // resolveTypeRef turns a syntactic type reference into an engine type.

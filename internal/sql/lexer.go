@@ -63,6 +63,8 @@ var keywords = map[string]bool{
 	"GROUP": true, "DISTINCT": true, "UNIQUE": true, "CONSTRAINT": true,
 	"UPDATE": true, "SET": true, "ASC": true, "DESC": true,
 	"MIN": true, "MAX": true, "SUM": true, "AVG": true,
+	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "SAVEPOINT": true,
+	"TO": true, "WORK": true, "TRANSACTION": true,
 }
 
 // IsReservedWord reports whether name collides with an SQL keyword of the

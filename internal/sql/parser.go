@@ -147,6 +147,32 @@ func (p *parser) parseStatement() (Stmt, error) {
 		return p.parseUpdate()
 	case p.acceptKw("DROP"):
 		return p.parseDrop()
+	case p.acceptKw("BEGIN"):
+		if !p.acceptKw("WORK") {
+			p.acceptKw("TRANSACTION")
+		}
+		return &BeginStmt{}, nil
+	case p.acceptKw("COMMIT"):
+		p.acceptKw("WORK")
+		return &CommitStmt{}, nil
+	case p.acceptKw("ROLLBACK"):
+		p.acceptKw("WORK")
+		stmt := &RollbackStmt{}
+		if p.acceptKw("TO") {
+			p.acceptKw("SAVEPOINT")
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Savepoint = name
+		}
+		return stmt, nil
+	case p.acceptKw("SAVEPOINT"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &SavepointStmt{Name: name}, nil
 	default:
 		return nil, p.errf("unexpected statement start %q", p.cur().text)
 	}

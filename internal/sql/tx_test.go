@@ -1,0 +1,145 @@
+package sql
+
+import (
+	"errors"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+func txEngine(t *testing.T) *Engine {
+	t.Helper()
+	en := NewEngine(ordb.New(ordb.ModeOracle9))
+	if _, err := en.ExecScript(`
+CREATE TABLE T(id INTEGER PRIMARY KEY, v VARCHAR(100));
+INSERT INTO T VALUES(1, 'base');
+`); err != nil {
+		t.Fatal(err)
+	}
+	return en
+}
+
+func count(t *testing.T, en *Engine) int {
+	t.Helper()
+	rows, err := en.Query("SELECT COUNT(*) FROM T")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(rows.Data[0][0].(ordb.Num))
+}
+
+func TestSQLBeginRollback(t *testing.T) {
+	en := txEngine(t)
+	for _, stmt := range []string{
+		"BEGIN",
+		"INSERT INTO T VALUES(2, 'in-tx')",
+		"DELETE FROM T WHERE id = 1",
+	} {
+		if _, err := en.Exec(stmt); err != nil {
+			t.Fatalf("%s: %v", stmt, err)
+		}
+	}
+	if got := count(t, en); got != 1 {
+		t.Fatalf("rows inside tx = %d", got)
+	}
+	if _, err := en.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := en.Query("SELECT v FROM T WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("base") {
+		t.Errorf("base row not restored: %v", rows.Data)
+	}
+	if got := count(t, en); got != 1 {
+		t.Errorf("rows after rollback = %d", got)
+	}
+}
+
+func TestSQLCommitWork(t *testing.T) {
+	en := txEngine(t)
+	script := `
+BEGIN WORK;
+INSERT INTO T VALUES(2, 'kept');
+COMMIT WORK;
+`
+	if _, err := en.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	if got := count(t, en); got != 2 {
+		t.Errorf("rows after commit = %d", got)
+	}
+}
+
+func TestSQLSavepointRollbackTo(t *testing.T) {
+	en := txEngine(t)
+	script := `
+BEGIN;
+INSERT INTO T VALUES(2, 'a');
+SAVEPOINT sp1;
+INSERT INTO T VALUES(3, 'b');
+ROLLBACK TO SAVEPOINT sp1;
+INSERT INTO T VALUES(4, 'c');
+COMMIT;
+`
+	if _, err := en.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := en.Query("SELECT id FROM T ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []int
+	for _, r := range rows.Data {
+		ids = append(ids, int(r[0].(ordb.Num)))
+	}
+	if len(ids) != 3 || ids[0] != 1 || ids[1] != 2 || ids[2] != 4 {
+		t.Errorf("ids = %v, want [1 2 4]", ids)
+	}
+	// ROLLBACK TO also accepts the short form without SAVEPOINT keyword.
+	if _, err := en.ExecScript("BEGIN; SAVEPOINT s; ROLLBACK TO s; ROLLBACK;"); err != nil {
+		t.Errorf("short form: %v", err)
+	}
+}
+
+func TestSQLTxErrors(t *testing.T) {
+	en := txEngine(t)
+	if _, err := en.Exec("COMMIT"); !errors.Is(err, ordb.ErrNoTx) {
+		t.Errorf("COMMIT without tx = %v", err)
+	}
+	if _, err := en.Exec("ROLLBACK"); !errors.Is(err, ordb.ErrNoTx) {
+		t.Errorf("ROLLBACK without tx = %v", err)
+	}
+	if _, err := en.Exec("SAVEPOINT sp"); !errors.Is(err, ordb.ErrNoTx) {
+		t.Errorf("SAVEPOINT without tx = %v", err)
+	}
+	en.Exec("BEGIN")
+	if _, err := en.Exec("BEGIN"); !errors.Is(err, ordb.ErrTxActive) {
+		t.Errorf("nested BEGIN = %v", err)
+	}
+	if _, err := en.Exec("ROLLBACK TO SAVEPOINT nope"); !errors.Is(err, ordb.ErrNoSavepoint) {
+		t.Errorf("unknown savepoint = %v", err)
+	}
+	en.Exec("ROLLBACK")
+}
+
+func TestSQLDDLImplicitlyCommits(t *testing.T) {
+	en := txEngine(t)
+	script := `
+BEGIN;
+INSERT INTO T VALUES(2, 'sticky');
+CREATE TABLE U(x INTEGER);
+`
+	if _, err := en.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	// The CREATE TABLE committed the open transaction: ROLLBACK now has
+	// nothing to undo and the insert survives.
+	if _, err := en.Exec("ROLLBACK"); !errors.Is(err, ordb.ErrNoTx) {
+		t.Fatalf("tx should have been committed by DDL, got %v", err)
+	}
+	if got := count(t, en); got != 2 {
+		t.Errorf("rows = %d, want insert committed by DDL", got)
+	}
+}
