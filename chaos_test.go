@@ -456,3 +456,98 @@ func TestUserTransactionWrapsLoad(t *testing.T) {
 		t.Errorf("committed document lost: %v", err)
 	}
 }
+
+// TestPredicateErrorLeavesTablesUntouched pins the two-phase mutation
+// contract of Table.Delete and Table.UpdateWhere: when the caller's
+// predicate or transform fails partway through — after earlier rows have
+// already matched — not a single row is touched, every persistent index
+// still answers probes exactly as before, and the stored documents
+// reconstruct byte-for-byte.
+func TestPredicateErrorLeavesTablesUntouched(t *testing.T) {
+	for _, strat := range []int{0, 1} {
+		name := "nested"
+		if strat == 1 {
+			name = "ref"
+		}
+		t.Run(name, func(t *testing.T) {
+			store := progStore(t, strat)
+			docID, err := store.LoadXML(progXML, "a.xml")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := store.LoadXML(progXML, "b.xml"); err != nil {
+				t.Fatal(err)
+			}
+			db := store.DB()
+			loaded := tableCounts(store)
+			wantXML, err := store.RetrieveXML(docID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			insertsBefore := db.Stats().Inserts
+			injected := errors.New("injected predicate fault")
+			tested := 0
+			for _, tabName := range db.TableNames() {
+				tab, err := db.Table(tabName)
+				if err != nil || tab.RowCount() < 2 {
+					continue
+				}
+				tested++
+				// Materialize the DocID index (where the table has one) so
+				// the post-failure probe checks incremental maintenance,
+				// not a rebuild.
+				probeLen := -1
+				if rows, ok := tab.ProbeEqual("DocID", ordb.Num(float64(docID))); ok {
+					probeLen = len(rows)
+				}
+				calls := 0
+				if _, err := tab.Delete(func(r *ordb.Row) (bool, error) {
+					calls++
+					if calls >= 2 {
+						return false, injected
+					}
+					return true, nil // first row already matched for deletion
+				}); !errors.Is(err, injected) {
+					t.Fatalf("%s: Delete did not surface the predicate error: %v", tabName, err)
+				}
+				calls = 0
+				if _, err := tab.UpdateWhere(
+					func(r *ordb.Row) (bool, error) { return true, nil },
+					func(vals []ordb.Value) ([]ordb.Value, error) {
+						calls++
+						if calls >= 2 {
+							return nil, injected
+						}
+						return vals, nil
+					},
+				); !errors.Is(err, injected) {
+					t.Fatalf("%s: UpdateWhere did not surface the transform error: %v", tabName, err)
+				}
+				if probeLen >= 0 {
+					rows, ok := tab.ProbeEqual("DocID", ordb.Num(float64(docID)))
+					if !ok || len(rows) != probeLen {
+						t.Errorf("%s: DocID probe changed by failed mutations: %d rows, want %d",
+							tabName, len(rows), probeLen)
+					}
+				}
+			}
+			if tested == 0 {
+				t.Fatal("no table with >= 2 rows; fixture too small")
+			}
+			requireSameCounts(t, "after failed mutations", loaded, tableCounts(store))
+			if got := db.Stats().Inserts; got != insertsBefore {
+				t.Errorf("failed mutations inserted rows: %d -> %d", insertsBefore, got)
+			}
+			gotXML, err := store.RetrieveXML(docID)
+			if err != nil {
+				t.Fatalf("document unretrievable after failed mutations: %v", err)
+			}
+			if gotXML != wantXML {
+				t.Error("document changed by failed mutations")
+			}
+			if db.CurrentTx() != nil {
+				t.Fatal("transaction leaked")
+			}
+		})
+	}
+}

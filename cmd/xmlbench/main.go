@@ -4,15 +4,21 @@
 //
 // Usage:
 //
-//	xmlbench            # run every experiment
-//	xmlbench -exp E1    # run one experiment
-//	xmlbench -list      # list experiment IDs
+//	xmlbench                      # run every experiment
+//	xmlbench -exp E1              # run one experiment
+//	xmlbench -list                # list experiment IDs
+//	xmlbench -json                # emit results as JSON instead of tables
+//	xmlbench -cpuprofile cpu.out  # write a CPU profile of the run
+//	xmlbench -memprofile mem.out  # write a heap profile after the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"xmlordb/internal/bench"
 )
@@ -20,6 +26,9 @@ import (
 func main() {
 	exp := flag.String("exp", "", "experiment ID to run (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs")
+	asJSON := flag.Bool("json", false, "emit results as a JSON array")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write heap profile to file")
 	flag.Parse()
 
 	if *list {
@@ -28,16 +37,57 @@ func main() {
 		}
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatalf("create %s: %v", *cpuprofile, err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("start CPU profile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ids := bench.Experiments
 	if *exp != "" {
 		ids = []string{*exp}
 	}
+	var results []*bench.Table
 	for _, id := range ids {
 		t, err := bench.Run(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xmlbench: %s: %v\n", id, err)
-			os.Exit(1)
+			fatalf("%s: %v", id, err)
 		}
-		fmt.Println(t)
+		if *asJSON {
+			results = append(results, t)
+		} else {
+			fmt.Println(t)
+		}
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatalf("encode: %v", err)
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatalf("create %s: %v", *memprofile, err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatalf("write heap profile: %v", err)
+		}
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "xmlbench: "+format+"\n", args...)
+	os.Exit(1)
 }

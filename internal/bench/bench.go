@@ -491,8 +491,8 @@ func E2() (*Table, error) {
 		})
 	}
 	t.Notes = append(t.Notes,
-		"the OR query scans ONE row of ONE table (TabUniversity); the join must touch every row of all three relations",
-		"the engine executes equality joins as hash joins (O(n+m)); even so the relational side grows with document size while the OR side stays flat")
+		"the OR query scans ONE row of ONE table (TabUniversity); the join must read every matching row of all three relations",
+		"the engine executes equality joins as persistent-index probes (hash join fallback); even so the relational side grows with document size while the OR side stays flat")
 	return t, nil
 }
 

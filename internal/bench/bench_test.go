@@ -88,8 +88,8 @@ func TestE2Shape(t *testing.T) {
 		if or != 1 {
 			t.Errorf("OR rows scanned = %d, want 1", or)
 		}
-		// Even with hash joins the relational plan must touch every row
-		// of the joined relations at least once.
+		// Even with persistent-index probes the relational plan must
+		// read every matching row of the joined relations.
 		if join < 50*or {
 			t.Errorf("join rows scanned = %d, want >> OR", join)
 		}

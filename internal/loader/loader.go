@@ -10,7 +10,9 @@ package loader
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
+	"sync"
 
 	"xmlordb/internal/dtd"
 	"xmlordb/internal/mapping"
@@ -78,6 +80,29 @@ type load struct {
 	fixups []idrefFixup
 	// genSeq numbers the generated ID values of StrategyRef.
 	genSeq int
+	// path is the shared index-path scratch: the slot the value currently
+	// being built will occupy within its row. Only pendingRef stores a
+	// path beyond the current call, and it clones first.
+	path []int
+	// strs interns the boxed Value form of short character data so a
+	// document full of repeated attribute values and tags boxes each
+	// distinct string once instead of once per occurrence.
+	strs map[string]ordb.Value
+}
+
+// strVal boxes s as an ordb.Value, reusing the box for short strings
+// already seen in this document. Values are immutable engine-wide, so
+// sharing one box across rows is safe.
+func (st *load) strVal(s string) ordb.Value {
+	if len(s) > 64 {
+		return ordb.Str(s)
+	}
+	if v, ok := st.strs[s]; ok {
+		return v
+	}
+	v := ordb.Value(ordb.Str(s))
+	st.strs[s] = v
+	return v
 }
 
 // Load stores the document and returns its DocID. The whole load — meta
@@ -98,7 +123,7 @@ func (l *Loader) Load(doc *xmldom.Document, docName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	st := &load{Loader: l, ids: map[string]ordb.Ref{}}
+	st := &load{Loader: l, ids: map[string]ordb.Ref{}, strs: map[string]ordb.Value{}}
 	err = l.en.DB().RunInTx(func() error {
 		if l.Meta != nil {
 			id, err := l.Meta.Register(doc, l.sch, docName, "")
@@ -119,7 +144,7 @@ func (l *Loader) Load(doc *xmldom.Document, docName string) (int, error) {
 			}
 			rowVals = []ordb.Value{ordb.Num(st.docID), ref}
 		default:
-			fields, err := st.buildVals(root, rm, nil, []int{1})
+			fields, err := st.buildVals(root, rm, nil, 1)
 			if err != nil {
 				return err
 			}
@@ -179,23 +204,47 @@ func (l *Loader) InsertSQL(doc *xmldom.Document, docID int) (string, error) {
 	if rm.StoredByRef || len(l.sch.ObjectTables()) > 0 {
 		return "", ErrRefStrategySQL
 	}
-	st := &load{Loader: l, docID: docID, ids: map[string]ordb.Ref{}}
-	vals, err := st.buildVals(root, rm, nil, []int{1})
+	st := &load{Loader: l, docID: docID, ids: map[string]ordb.Ref{}, strs: map[string]ordb.Value{}}
+	vals, err := st.buildVals(root, rm, nil, 1)
 	if err != nil {
 		return "", err
 	}
-	parts := make([]string, 0, len(vals)+1)
-	parts = append(parts, fmt.Sprintf("%d", docID))
+	sb := sqlBuilders.Get().(*strings.Builder)
+	defer func() {
+		sb.Reset()
+		sqlBuilders.Put(sb)
+	}()
+	sb.WriteString("INSERT INTO ")
+	sb.WriteString(l.sch.RootTable)
+	sb.WriteString(" VALUES(")
+	sb.WriteString(strconv.Itoa(docID))
 	for _, v := range vals {
-		parts = append(parts, v.SQL())
+		sb.WriteString(", ")
+		ordb.WriteSQL(sb, v)
 	}
-	return fmt.Sprintf("INSERT INTO %s VALUES(%s)", l.sch.RootTable, strings.Join(parts, ", ")), nil
+	sb.WriteByte(')')
+	return sb.String(), nil
 }
+
+// sqlBuilders pools the builders InsertSQL renders into, so concurrent
+// renders do not allocate a fresh builder each.
+var sqlBuilders = sync.Pool{New: func() any { return new(strings.Builder) }}
 
 // textContent returns the character data of an element including the
 // expansions of entity references — the stored form Section 6.1 of the
 // paper describes (entities are expanded at their occurrences).
 func textContent(e *xmldom.Element) string {
+	// Fast paths: the vast majority of simple elements hold zero children
+	// or exactly one text node, neither of which needs a builder.
+	kids := e.Children()
+	if len(kids) == 0 {
+		return ""
+	}
+	if len(kids) == 1 {
+		if t, ok := kids[0].(*xmldom.Text); ok {
+			return t.Data
+		}
+	}
 	var sb strings.Builder
 	var rec func(n xmldom.Node)
 	rec = func(n xmldom.Node) {
@@ -218,22 +267,16 @@ func textContent(e *xmldom.Element) string {
 	return sb.String()
 }
 
-// pathAt extends base with more steps, always copying.
-func pathAt(base []int, steps ...int) []int {
-	out := make([]int, 0, len(base)+len(steps))
-	out = append(out, base...)
-	return append(out, steps...)
-}
-
-// buildVals assembles the field values of el under mapping m. base[i]
-// addressing: the value of field i will live at path pathAt(base[:len-1],
-// base[len-1]+i) — i.e. base points at field 0's slot; subsequent fields
-// shift the final index.
-func (st *load) buildVals(el *xmldom.Element, m *mapping.ElemMapping, parent *ordb.Ref, base []int) ([]ordb.Value, error) {
+// buildVals assembles the field values of el under mapping m. st.path
+// holds the index path to the enclosing value slice; field i's value
+// lives at slot start+i within it. The scratch is pushed and popped per
+// field — only pendingRef retains a path, and it clones first.
+func (st *load) buildVals(el *xmldom.Element, m *mapping.ElemMapping, parent *ordb.Ref, start int) ([]ordb.Value, error) {
 	out := make([]ordb.Value, 0, len(m.Fields))
 	for i, f := range m.Fields {
-		p := pathAt(base[:len(base)-1], base[len(base)-1]+i)
-		v, err := st.fieldValue(el, m, f, parent, p)
+		st.path = append(st.path, start+i)
+		v, err := st.fieldValue(el, m, f, parent)
+		st.path = st.path[:len(st.path)-1]
 		if err != nil {
 			return nil, fmt.Errorf("element %s field %s: %w", el.Name, f.DBName, err)
 		}
@@ -242,38 +285,38 @@ func (st *load) buildVals(el *xmldom.Element, m *mapping.ElemMapping, parent *or
 	return out, nil
 }
 
-// fieldValue computes one field's value; path addresses the slot the
+// fieldValue computes one field's value; st.path addresses the slot the
 // value will occupy within the enclosing row.
-func (st *load) fieldValue(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, parent *ordb.Ref, path []int) (ordb.Value, error) {
+func (st *load) fieldValue(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, parent *ordb.Ref) (ordb.Value, error) {
 	switch f.Kind {
 	case mapping.FieldDocID:
 		return ordb.Num(st.docID), nil
 	case mapping.FieldGenID:
 		st.genSeq++
-		return ordb.Str(fmt.Sprintf("%s#%d", el.Name, st.genSeq)), nil
+		return ordb.Str(el.Name + "#" + strconv.Itoa(st.genSeq)), nil
 	case mapping.FieldParentRef:
 		if parent != nil && parentMatches(f.RefTarget, el) {
 			return *parent, nil
 		}
 		return ordb.Null{}, nil
 	case mapping.FieldAttrList:
-		return st.attrListValue(el, m, path)
+		return st.attrListValue(el, m)
 	case mapping.FieldXMLAttr:
 		if v, ok := el.Attr(f.XMLName); ok {
-			return ordb.Str(v), nil
+			return st.strVal(v), nil
 		}
 		return ordb.Null{}, nil
 	case mapping.FieldIDRef:
-		return st.idrefValue(el, f, path)
+		return st.idrefValue(el, f)
 	case mapping.FieldPCDATA, mapping.FieldMixedText:
 		if f.XMLName == el.Name {
-			return ordb.Str(textContent(el)), nil
+			return st.strVal(textContent(el)), nil
 		}
 		return st.simpleChild(el, f)
 	case mapping.FieldSimpleChild:
 		return st.simpleChild(el, f)
 	case mapping.FieldComplexChild:
-		return st.complexChild(el, f, path)
+		return st.complexChild(el, f)
 	case mapping.FieldRefChild:
 		return st.refChild(el, f)
 	default:
@@ -289,7 +332,7 @@ func parentMatches(target string, el *xmldom.Element) bool {
 	return ok && p.Name == target
 }
 
-func (st *load) idrefValue(el *xmldom.Element, f mapping.Field, path []int) (ordb.Value, error) {
+func (st *load) idrefValue(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
 	v, ok := el.Attr(f.XMLName)
 	if !ok {
 		return ordb.Null{}, nil
@@ -297,13 +340,15 @@ func (st *load) idrefValue(el *xmldom.Element, f mapping.Field, path []int) (ord
 	if ref, ok := st.ids[v]; ok {
 		return ref, nil
 	}
-	// Forward reference: patched once the target row exists.
-	st.pending = append(st.pending, pendingRef{id: v, path: path})
+	// Forward reference: patched once the target row exists. The shared
+	// path scratch is cloned — this is the one place a path outlives the
+	// call that built it.
+	st.pending = append(st.pending, pendingRef{id: v, path: append([]int(nil), st.path...)})
 	return ordb.Null{}, nil
 }
 
 // attrListValue builds the TypeAttrL_ object for an element.
-func (st *load) attrListValue(el *xmldom.Element, m *mapping.ElemMapping, path []int) (ordb.Value, error) {
+func (st *load) attrListValue(el *xmldom.Element, m *mapping.ElemMapping) (ordb.Value, error) {
 	if len(m.AttrListFields) == 0 {
 		return ordb.Null{}, nil
 	}
@@ -311,14 +356,16 @@ func (st *load) attrListValue(el *xmldom.Element, m *mapping.ElemMapping, path [
 	for i, af := range m.AttrListFields {
 		switch af.Kind {
 		case mapping.FieldIDRef:
-			v, err := st.idrefValue(el, af, pathAt(path, i))
+			st.path = append(st.path, i)
+			v, err := st.idrefValue(el, af)
+			st.path = st.path[:len(st.path)-1]
 			if err != nil {
 				return nil, err
 			}
 			attrs[i] = v
 		default:
 			if v, ok := el.Attr(af.XMLName); ok {
-				attrs[i] = ordb.Str(v)
+				attrs[i] = st.strVal(v)
 			} else {
 				attrs[i] = ordb.Null{}
 			}
@@ -329,48 +376,57 @@ func (st *load) attrListValue(el *xmldom.Element, m *mapping.ElemMapping, path [
 
 // simpleChild maps (collections of) text-valued children.
 func (st *load) simpleChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
-	children := el.ChildElementsNamed(f.XMLName)
 	decl := st.sch.DTD.Element(f.XMLName)
 	empty := decl != nil && decl.Content == dtd.EmptyContent
 	if f.SetValued {
-		elems := make([]ordb.Value, 0, len(children))
-		for _, c := range children {
-			elems = append(elems, simpleValue(c, empty))
+		var elems []ordb.Value
+		for _, c := range el.Children() {
+			if ce, ok := c.(*xmldom.Element); ok && ce.Name == f.XMLName {
+				elems = append(elems, st.simpleValue(ce, empty))
+			}
 		}
 		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
 	}
-	if len(children) == 0 {
-		return ordb.Null{}, nil
+	if c := el.FirstChildNamed(f.XMLName); c != nil {
+		return st.simpleValue(c, empty), nil
 	}
-	return simpleValue(children[0], empty), nil
+	return ordb.Null{}, nil
 }
 
-func simpleValue(c *xmldom.Element, empty bool) ordb.Value {
+func (st *load) simpleValue(c *xmldom.Element, empty bool) ordb.Value {
 	if empty {
-		return ordb.Str("Y")
+		return st.strVal("Y")
 	}
-	return ordb.Str(textContent(c))
+	return st.strVal(textContent(c))
 }
 
 // complexChild maps (collections of) embedded object children.
-func (st *load) complexChild(el *xmldom.Element, f mapping.Field, path []int) (ordb.Value, error) {
+func (st *load) complexChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
 	cm := st.sch.Elems[f.XMLName]
-	children := el.ChildElementsNamed(f.XMLName)
 	if f.SetValued {
-		elems := make([]ordb.Value, 0, len(children))
-		for j, c := range children {
-			vals, err := st.buildVals(c, cm, nil, pathAt(path, j, 0))
+		var elems []ordb.Value
+		j := 0
+		for _, c := range el.Children() {
+			ce, ok := c.(*xmldom.Element)
+			if !ok || ce.Name != f.XMLName {
+				continue
+			}
+			st.path = append(st.path, j)
+			vals, err := st.buildVals(ce, cm, nil, 0)
+			st.path = st.path[:len(st.path)-1]
 			if err != nil {
 				return nil, err
 			}
 			elems = append(elems, &ordb.Object{TypeName: cm.TypeName, Attrs: vals})
+			j++
 		}
 		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
 	}
-	if len(children) == 0 {
+	c := el.FirstChildNamed(f.XMLName)
+	if c == nil {
 		return ordb.Null{}, nil
 	}
-	vals, err := st.buildVals(children[0], cm, nil, pathAt(path, 0))
+	vals, err := st.buildVals(c, cm, nil, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -380,11 +436,14 @@ func (st *load) complexChild(el *xmldom.Element, f mapping.Field, path []int) (o
 // refChild maps children stored in their own object tables: the value is
 // a REF (or collection of REFs) to rows inserted recursively.
 func (st *load) refChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error) {
-	children := el.ChildElementsNamed(f.XMLName)
 	if f.SetValued {
-		elems := make([]ordb.Value, 0, len(children))
-		for _, c := range children {
-			ref, err := st.insertByRef(c, nil)
+		var elems []ordb.Value
+		for _, c := range el.Children() {
+			ce, ok := c.(*xmldom.Element)
+			if !ok || ce.Name != f.XMLName {
+				continue
+			}
+			ref, err := st.insertByRef(ce, nil)
 			if err != nil {
 				return nil, err
 			}
@@ -392,10 +451,11 @@ func (st *load) refChild(el *xmldom.Element, f mapping.Field) (ordb.Value, error
 		}
 		return &ordb.Coll{TypeName: f.TypeName, Elems: elems}, nil
 	}
-	if len(children) == 0 {
+	c := el.FirstChildNamed(f.XMLName)
+	if c == nil {
 		return ordb.Null{}, nil
 	}
-	return st.insertByRef(children[0], nil)
+	return st.insertByRef(c, nil)
 }
 
 // insertByRef inserts the element (and recursively its subtree) into its
@@ -410,16 +470,19 @@ func (st *load) insertByRef(el *xmldom.Element, parent *ordb.Ref) (ordb.Value, e
 	if err != nil {
 		return nil, err
 	}
-	// Pendings created while building this row belong to this row.
-	savedPending := st.pending
-	st.pending = nil
-	vals, err := st.buildVals(el, m, parent, []int{0})
+	// Pendings created while building this row belong to this row, and
+	// paths restart at the new row's value slice. The tail of the shared
+	// scratch is reused for the child row; the parent overwrites it again
+	// after the recursion returns, so nothing leaks between rows.
+	savedPending, savedPath := st.pending, st.path
+	st.pending, st.path = nil, savedPath[len(savedPath):]
+	vals, err := st.buildVals(el, m, parent, 0)
 	if err != nil {
-		st.pending = savedPending
+		st.pending, st.path = savedPending, savedPath
 		return nil, err
 	}
 	myPending := st.pending
-	st.pending = savedPending
+	st.pending, st.path = savedPending, savedPath
 	oid, err := tab.Insert(vals)
 	if err != nil {
 		return nil, err
@@ -443,8 +506,12 @@ func (st *load) insertByRef(el *xmldom.Element, parent *ordb.Ref) (ordb.Value, e
 			if cm == nil || !childLivesInChildTable(m, cm, refd.Name) {
 				continue
 			}
-			for _, c := range el.ChildElementsNamed(refd.Name) {
-				if _, err := st.insertByRef(c, &ref); err != nil {
+			for _, c := range el.Children() {
+				ce, ok := c.(*xmldom.Element)
+				if !ok || ce.Name != refd.Name {
+					continue
+				}
+				if _, err := st.insertByRef(ce, &ref); err != nil {
 					return nil, err
 				}
 			}

@@ -47,6 +47,8 @@ type Stats struct {
 	RowsScanned atomic.Int64
 	// Derefs is the number of REF dereferences performed.
 	Derefs atomic.Int64
+	// IndexProbes is the number of persistent-index equality probes.
+	IndexProbes atomic.Int64
 }
 
 // StatsSnapshot is a point-in-time copy of the counters.
@@ -54,6 +56,7 @@ type StatsSnapshot struct {
 	Inserts     int64
 	RowsScanned int64
 	Derefs      int64
+	IndexProbes int64
 }
 
 // New returns an empty database emulating the given Oracle mode.
@@ -75,6 +78,7 @@ func (db *DB) Stats() StatsSnapshot {
 		Inserts:     db.stats.Inserts.Load(),
 		RowsScanned: db.stats.RowsScanned.Load(),
 		Derefs:      db.stats.Derefs.Load(),
+		IndexProbes: db.stats.IndexProbes.Load(),
 	}
 }
 
@@ -83,6 +87,7 @@ func (db *DB) ResetStats() {
 	db.stats.Inserts.Store(0)
 	db.stats.RowsScanned.Store(0)
 	db.stats.Derefs.Store(0)
+	db.stats.IndexProbes.Store(0)
 }
 
 func key(name string) string { return strings.ToUpper(name) }

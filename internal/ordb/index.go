@@ -1,0 +1,339 @@
+package ordb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Secondary equality indexes. Every object table already carries the
+// OID→row hash index (oidIndex) that makes FetchByOID/Deref O(1); the
+// structures here extend the same idea to scalar columns so that
+// equi-joins and WHERE col = const probe a persistent hash instead of
+// rebuilding one per query. Indexes are created explicitly with CREATE
+// INDEX and automatically on PRIMARY KEY and ID-named columns, and are
+// maintained incrementally by every row mutation — including the undo
+// paths of the transaction layer, so a rollback leaves probes exactly as
+// they were before the operation.
+
+// indexKey is the normalized, comparable hash key of one indexed value.
+// Normalization mirrors SQL `=` semantics as the evaluator implements
+// them: CHAR blank padding is insignificant for character values, and
+// numbers compare by value. NULLs are never indexed (NULL never equals
+// anything under three-valued logic).
+type indexKey struct {
+	kind byte // 's' string, 'n' number, 'd' date, 'r' ref
+	num  float64
+	str  string
+}
+
+// makeIndexKey normalizes v into a probe key. The second result is false
+// for NULLs and non-scalar values, which are not indexed.
+func makeIndexKey(v Value) (indexKey, bool) {
+	switch x := v.(type) {
+	case Str:
+		return indexKey{kind: 's', str: strings.TrimRight(string(x), " ")}, true
+	case Num:
+		return indexKey{kind: 'n', num: float64(x)}, true
+	case DateVal:
+		return indexKey{kind: 'd', num: float64(time.Time(x).UnixNano())}, true
+	case Ref:
+		return indexKey{kind: 'r', num: float64(x.OID), str: x.Table}, true
+	default:
+		return indexKey{}, false
+	}
+}
+
+// Index is a persistent equality index over one scalar column.
+//
+// An index may be registered but not yet materialized (rows == nil).
+// Unmaterialized indexes cost nothing on the write path — insert-heavy
+// loads skip them entirely — and the first probe builds the hash under
+// the write lock, after which it is maintained incrementally. That is
+// still strictly better than the per-query hash builds it replaces: the
+// build happens once per index lifetime, not once per query.
+type Index struct {
+	Name string
+	Col  string
+
+	colIdx int
+	rows   map[indexKey][]*Row
+}
+
+// indexableType reports whether a column of type t can carry an equality
+// index: scalars and REFs, but not objects or collections.
+func indexableType(t Type) bool {
+	switch t.Kind() {
+	case KindVarchar, KindChar, KindCLOB, KindNumber, KindInteger, KindDate, KindRef:
+		return true
+	default:
+		return false
+	}
+}
+
+// CreateIndex builds a persistent equality index named name over column
+// col, populated from the existing rows. One index per column; index
+// names are unique within the database.
+func (t *Table) CreateIndex(name, col string) (*Index, error) {
+	if err := checkIdent(name); err != nil {
+		return nil, err
+	}
+	ci := t.ColIndex(col)
+	if ci < 0 {
+		return nil, fmt.Errorf("ordb: table %s has no column %q: %w", t.Name, col, ErrNotFound)
+	}
+	if !indexableType(t.Cols[ci].Type) {
+		return nil, fmt.Errorf("ordb: table %s column %s: %s is not indexable: %w",
+			t.Name, t.Cols[ci].Name, t.Cols[ci].Type.SQL(), ErrTypeMismatch)
+	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Name, name) {
+			return nil, fmt.Errorf("ordb: index %q: %w", name, ErrExists)
+		}
+		if ix.colIdx == ci {
+			return nil, fmt.Errorf("ordb: table %s column %s is already indexed by %s: %w",
+				t.Name, t.Cols[ci].Name, ix.Name, ErrExists)
+		}
+	}
+	for _, other := range t.db.tables {
+		for _, ix := range other.indexes {
+			if strings.EqualFold(ix.Name, name) {
+				return nil, fmt.Errorf("ordb: index %q: %w", name, ErrExists)
+			}
+		}
+	}
+	ix := &Index{Name: name, Col: t.Cols[ci].Name, colIdx: ci}
+	ix.materializeLocked(t)
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// materializeLocked builds the index hash from the table's current rows.
+// Callers hold db.mu (write), or own the table exclusively.
+func (ix *Index) materializeLocked(t *Table) {
+	ix.rows = make(map[indexKey][]*Row, len(t.rows))
+	for _, r := range t.rows {
+		if k, ok := makeIndexKey(r.Vals[ix.colIdx]); ok {
+			ix.rows[k] = append(ix.rows[k], r)
+		}
+	}
+}
+
+// DropIndex removes the named index from whichever table carries it.
+func (db *DB) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, t := range db.tables {
+		for i, ix := range t.indexes {
+			if strings.EqualFold(ix.Name, name) {
+				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				return nil
+			}
+		}
+	}
+	return fmt.Errorf("ordb: index %q: %w", name, ErrNotFound)
+}
+
+// EqIndex returns the equality index over the named column, or nil.
+func (t *Table) EqIndex(col string) *Index {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Col, col) {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexNames lists the table's index names in creation order.
+func (t *Table) IndexNames() []string {
+	t.db.mu.RLock()
+	defer t.db.mu.RUnlock()
+	out := make([]string, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix.Name)
+	}
+	return out
+}
+
+// ProbeEqual returns the rows whose indexed column equals v under SQL
+// `=` semantics (CHAR padding insignificant, NULL matches nothing). The
+// second result is false when the column has no index or v is not a
+// probe-able scalar — callers must then fall back to a scan. Every
+// successful probe counts toward Stats.IndexProbes.
+func (t *Table) ProbeEqual(col string, v Value) ([]*Row, bool) {
+	ix := t.EqIndex(col)
+	if ix == nil {
+		return nil, false
+	}
+	if IsNull(v) {
+		// A definite probe with a definite answer: NULL joins nothing.
+		t.db.stats.IndexProbes.Add(1)
+		return nil, true
+	}
+	k, ok := makeIndexKey(v)
+	if !ok {
+		return nil, false
+	}
+	t.db.mu.RLock()
+	built := ix.rows != nil
+	var rows []*Row
+	if built {
+		rows = ix.rows[k]
+	}
+	t.db.mu.RUnlock()
+	if !built {
+		// First probe of a lazily registered index: materialize it now,
+		// re-checking under the write lock in case another probe won.
+		t.db.mu.Lock()
+		if ix.rows == nil {
+			ix.materializeLocked(t)
+		}
+		rows = ix.rows[k]
+		t.db.mu.Unlock()
+	}
+	t.db.stats.IndexProbes.Add(1)
+	// The caller reads every returned row; count them like a scan so the
+	// rows-read metric stays comparable between probe and scan plans.
+	t.db.stats.RowsScanned.Add(int64(len(rows)))
+	return rows, true
+}
+
+// pkCandidatesLocked probes for rows that might collide with vals on a
+// single-column primary key. The second result is false when the key is
+// composite or unindexed and the caller must scan. Callers hold db.mu.
+func (t *Table) pkCandidatesLocked(vals []Value) ([]*Row, bool) {
+	if len(t.pkCols) != 1 {
+		return nil, false
+	}
+	pi := t.pkCols[0]
+	for _, ix := range t.indexes {
+		if ix.colIdx != pi || ix.rows == nil {
+			continue
+		}
+		k, ok := makeIndexKey(vals[pi])
+		if !ok {
+			return nil, false
+		}
+		t.db.stats.IndexProbes.Add(1)
+		return ix.rows[k], true
+	}
+	return nil, false
+}
+
+// indexInsertLocked adds a row to every secondary index. Callers hold
+// db.mu (write).
+func (t *Table) indexInsertLocked(r *Row) {
+	for _, ix := range t.indexes {
+		if ix.rows == nil {
+			continue
+		}
+		if k, ok := makeIndexKey(r.Vals[ix.colIdx]); ok {
+			ix.rows[k] = append(ix.rows[k], r)
+		}
+	}
+}
+
+// indexRemoveLocked removes a row from every secondary index by
+// identity. Callers hold db.mu (write).
+func (t *Table) indexRemoveLocked(r *Row) {
+	for _, ix := range t.indexes {
+		if ix.rows == nil {
+			continue
+		}
+		k, ok := makeIndexKey(r.Vals[ix.colIdx])
+		if !ok {
+			continue
+		}
+		bucket := ix.rows[k]
+		for i, br := range bucket {
+			if br == r {
+				bucket = append(bucket[:i], bucket[i+1:]...)
+				break
+			}
+		}
+		if len(bucket) == 0 {
+			delete(ix.rows, k)
+		} else {
+			ix.rows[k] = bucket
+		}
+	}
+}
+
+// indexRekeyLocked moves a row between buckets when its values change
+// from oldVals to newVals (the row object keeps its identity). Callers
+// hold db.mu (write); r.Vals must still be oldVals when called.
+func (t *Table) indexRekeyLocked(r *Row, oldVals, newVals []Value) {
+	for _, ix := range t.indexes {
+		if ix.rows == nil {
+			continue
+		}
+		ok, nk := oldVals[ix.colIdx], newVals[ix.colIdx]
+		oldKey, hadOld := makeIndexKey(ok)
+		newKey, hasNew := makeIndexKey(nk)
+		if hadOld && hasNew && oldKey == newKey {
+			continue
+		}
+		if hadOld {
+			bucket := ix.rows[oldKey]
+			for i, br := range bucket {
+				if br == r {
+					bucket = append(bucket[:i], bucket[i+1:]...)
+					break
+				}
+			}
+			if len(bucket) == 0 {
+				delete(ix.rows, oldKey)
+			} else {
+				ix.rows[oldKey] = bucket
+			}
+		}
+		if hasNew {
+			ix.rows[newKey] = append(ix.rows[newKey], r)
+		}
+	}
+}
+
+// autoIndexColumn reports whether a column should receive an automatic
+// equality index at table creation: primary-key columns and columns
+// following the generated-identifier naming convention (an ID prefix or
+// suffix — DocID, NodeID, IDStudent, IDParent, ...).
+func autoIndexColumn(c Column) bool {
+	if !indexableType(c.Type) {
+		return false
+	}
+	if c.PrimaryKey {
+		return true
+	}
+	u := strings.ToUpper(c.Name)
+	return strings.HasPrefix(u, "ID") || strings.HasSuffix(u, "ID")
+}
+
+// createAutoIndexes registers the automatic indexes of a freshly created
+// (still row-less) table. Callers hold no lock; the table is not yet
+// registered so no other goroutine can see it.
+//
+// A single-column primary key gets a materialized index immediately: the
+// per-insert duplicate check probes it, so it earns its maintenance cost
+// from row one. All other auto indexes stay unmaterialized until the
+// first query probes them, keeping insert-heavy loads free of index
+// upkeep they may never need.
+func (t *Table) createAutoIndexes() {
+	for i, c := range t.Cols {
+		if !autoIndexColumn(c) {
+			continue
+		}
+		ix := &Index{
+			Name:   fmt.Sprintf("IX_%s_%s", t.Name, c.Name),
+			Col:    c.Name,
+			colIdx: i,
+		}
+		if len(t.pkCols) == 1 && t.pkCols[0] == i {
+			ix.rows = map[indexKey][]*Row{}
+		}
+		t.indexes = append(t.indexes, ix)
+	}
+}

@@ -64,6 +64,10 @@ type Table struct {
 	oidIndex map[OID]*Row
 	// pkCols are the column positions of the primary key.
 	pkCols []int
+	// indexes are the secondary equality indexes (see index.go).
+	indexes []*Index
+	// colNames caches the column-name slice handed to query scopes.
+	colNames []string
 }
 
 // TableSpec describes a table to create.
@@ -165,11 +169,20 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 			t.pkCols = append(t.pkCols, i)
 		}
 	}
+	t.createAutoIndexes()
+	t.colNames = make([]string, len(t.Cols))
+	for i, c := range t.Cols {
+		t.colNames[i] = c.Name
+	}
 	if err := db.registerTable(t); err != nil {
 		return nil, err
 	}
 	return t, nil
 }
+
+// ColNames returns the column names in declaration order. The slice is
+// shared and must not be mutated.
+func (t *Table) ColNames() []string { return t.colNames }
 
 // IsObjectTable reports whether rows carry OIDs.
 func (t *Table) IsObjectTable() bool { return t.RowType != nil }
@@ -200,7 +213,8 @@ func (r rowView) Col(name string) (Value, bool) {
 }
 
 // Insert validates vals against the table's column types and constraints
-// and stores a deep copy as a new row. For object tables the new row is
+// and stores the conformed values as a new row (values are immutable once
+// handed to the engine, so conformant composites are stored shared). For object tables the new row is
 // assigned a fresh OID, which is returned (zero for relational tables).
 func (t *Table) Insert(vals []Value) (OID, error) {
 	if err := t.db.fault(FaultInsert); err != nil {
@@ -232,6 +246,7 @@ func (t *Table) Insert(vals []Value) (OID, error) {
 		t.oidIndex[row.OID] = row
 	}
 	t.rows = append(t.rows, row)
+	t.indexInsertLocked(row)
 	t.db.logUndo(undoInsert{t: t, row: row, counted: true})
 	t.db.mu.Unlock()
 	t.db.stats.Inserts.Add(1)
@@ -256,17 +271,30 @@ func (t *Table) checkConstraints(vals []Value) error {
 	if len(t.pkCols) > 0 {
 		t.db.mu.RLock()
 		dup := false
-		for _, r := range t.rows {
-			same := true
-			for _, pi := range t.pkCols {
-				if !DeepEqual(r.Vals[pi], vals[pi]) {
-					same = false
+		if cand, ok := t.pkCandidatesLocked(vals); ok {
+			// Single-column key with an index: probe the bucket instead of
+			// scanning the table. Bucket keys are normalized, so candidates
+			// are a superset of exact matches; DeepEqual decides.
+			pi := t.pkCols[0]
+			for _, r := range cand {
+				if DeepEqual(r.Vals[pi], vals[pi]) {
+					dup = true
 					break
 				}
 			}
-			if same {
-				dup = true
-				break
+		} else {
+			for _, r := range t.rows {
+				same := true
+				for _, pi := range t.pkCols {
+					if !DeepEqual(r.Vals[pi], vals[pi]) {
+						same = false
+						break
+					}
+				}
+				if same {
+					dup = true
+					break
+				}
 			}
 		}
 		t.db.mu.RUnlock()
@@ -333,6 +361,7 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 		}
 	}
 	t.rows = append(t.rows, row)
+	t.indexInsertLocked(row)
 	t.db.logUndo(undoInsert{t: t, row: row})
 	return nil
 }
@@ -362,26 +391,41 @@ func (t *Table) RowCount() int {
 }
 
 // Delete removes rows for which pred returns true and reports how many
-// were removed. A nil pred removes all rows. Matching runs before any
-// mutation, so a predicate error leaves the table unchanged.
+// were removed. A nil pred removes all rows. Matching runs in a first
+// phase outside the write lock (so predicates may dereference REFs) and
+// before any mutation: a predicate error leaves rows, indexes and the
+// undo log untouched.
 func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 	if err := t.db.fault(FaultDelete); err != nil {
 		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
+	}
+	t.db.mu.RLock()
+	snapshot := t.rows
+	t.db.mu.RUnlock()
+	var del map[*Row]bool
+	if pred != nil {
+		for _, r := range snapshot {
+			ok, err := pred(r)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				if del == nil {
+					del = make(map[*Row]bool)
+				}
+				del[r] = true
+			}
+		}
+		if len(del) == 0 {
+			return 0, nil
+		}
 	}
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
 	var removed []*Row
 	kept := make([]*Row, 0, len(t.rows))
 	for _, r := range t.rows {
-		del := true
-		if pred != nil {
-			var err error
-			del, err = pred(r)
-			if err != nil {
-				return 0, err
-			}
-		}
-		if del {
+		if pred == nil || del[r] {
 			removed = append(removed, r)
 		} else {
 			kept = append(kept, r)
@@ -395,6 +439,7 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 		if r.OID != 0 {
 			delete(t.oidIndex, r.OID)
 		}
+		t.indexRemoveLocked(r)
 	}
 	t.rows = kept
 	return len(removed), nil
@@ -450,7 +495,8 @@ func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
 		}
 	}
 	t.db.mu.Lock()
-	t.db.logUndo(undoReplace{row: row, prev: row.Vals})
+	t.db.logUndo(undoReplace{t: t, row: row, prev: row.Vals})
+	t.indexRekeyLocked(row, row.Vals, checked)
 	row.Vals = checked
 	t.db.mu.Unlock()
 	return nil
@@ -516,7 +562,8 @@ func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals [
 	}
 	t.db.mu.Lock()
 	for _, c := range changes {
-		t.db.logUndo(undoReplace{row: c.row, prev: c.row.Vals})
+		t.db.logUndo(undoReplace{t: t, row: c.row, prev: c.row.Vals})
+		t.indexRekeyLocked(c.row, c.row.Vals, c.vals)
 		c.row.Vals = c.vals
 	}
 	t.db.mu.Unlock()
@@ -546,7 +593,8 @@ func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
 	defer t.db.mu.Unlock()
 	for _, r := range t.rows {
 		if pred(r) {
-			t.db.logUndo(undoReplace{row: r, prev: r.Vals})
+			t.db.logUndo(undoReplace{t: t, row: r, prev: r.Vals})
+			t.indexRekeyLocked(r, r.Vals, checked)
 			r.Vals = checked
 			return true, nil
 		}

@@ -79,6 +79,7 @@ func (u undoInsert) revert() {
 	if u.row.OID != 0 {
 		delete(u.t.oidIndex, u.row.OID)
 	}
+	u.t.indexRemoveLocked(u.row)
 }
 
 // undoDelete restores the pre-delete row slice and re-indexes OIDs.
@@ -97,16 +98,21 @@ func (u undoDelete) revert() {
 			}
 			u.t.oidIndex[r.OID] = r
 		}
+		u.t.indexInsertLocked(r)
 	}
 }
 
 // undoReplace restores a row's previous values (identity unchanged).
 type undoReplace struct {
+	t    *Table
 	row  *Row
 	prev []Value
 }
 
-func (u undoReplace) revert() { u.row.Vals = u.prev }
+func (u undoReplace) revert() {
+	u.t.indexRekeyLocked(u.row, u.row.Vals, u.prev)
+	u.row.Vals = u.prev
+}
 
 // txSave marks a savepoint: a position in the undo log plus the OID
 // allocator state at that point.

@@ -18,6 +18,15 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 	}
 	switch ty := t.(type) {
 	case VarcharType:
+		// Fast path: an in-range Str is stored as-is (values are immutable
+		// engine-wide, so returning the caller's boxed value is safe and
+		// avoids re-boxing the interface).
+		if s, ok := v.(Str); ok {
+			if len(s) > ty.Len {
+				return nil, fmt.Errorf("length %d exceeds VARCHAR(%d): %w", len(s), ty.Len, ErrValueTooLong)
+			}
+			return v, nil
+		}
 		s, err := toStr(v)
 		if err != nil {
 			return nil, err
@@ -27,6 +36,9 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 		}
 		return Str(s), nil
 	case CharType:
+		if s, ok := v.(Str); ok && len(s) == ty.Len {
+			return v, nil // already exactly padded
+		}
 		s, err := toStr(v)
 		if err != nil {
 			return nil, err
@@ -37,6 +49,9 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 		// CHAR is blank-padded to its declared length.
 		return Str(s + strings.Repeat(" ", ty.Len-len(s))), nil
 	case CLOBType:
+		if _, ok := v.(Str); ok {
+			return v, nil
+		}
 		s, err := toStr(v)
 		if err != nil {
 			return nil, err
@@ -48,7 +63,7 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 			if t.Kind() == KindInteger && n != Num(int64(n)) {
 				return nil, fmt.Errorf("%v is not an integer: %w", n, ErrTypeMismatch)
 			}
-			return n, nil
+			return v, nil
 		case Str:
 			f, err := strconv.ParseFloat(string(n), 64)
 			if err != nil {
@@ -59,8 +74,8 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 			return nil, fmt.Errorf("%T for %s: %w", v, t.SQL(), ErrTypeMismatch)
 		}
 	case DateType:
-		if d, ok := v.(DateVal); ok {
-			return d, nil
+		if _, ok := v.(DateVal); ok {
+			return v, nil
 		}
 		if s, ok := v.(Str); ok {
 			d, err := parseDate(string(s))
@@ -85,13 +100,28 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 			return nil, fmt.Errorf("constructor %s: %d values for %d attributes: %w",
 				ty.Name, len(o.Attrs), len(ty.Attrs), ErrArity)
 		}
-		attrs := make([]Value, len(o.Attrs))
+		// Copy-on-write: allocate a fresh attribute slice only when some
+		// attribute's stored form differs from what the caller passed.
+		// Values are immutable engine-wide, so sharing is safe.
+		var attrs []Value
 		for i, av := range o.Attrs {
 			cv, err := db.conform(av, ty.Attrs[i].Type)
 			if err != nil {
 				return nil, fmt.Errorf("attribute %s: %w", ty.Attrs[i].Name, err)
 			}
-			attrs[i] = cv
+			if attrs == nil && cv != av {
+				attrs = make([]Value, len(o.Attrs))
+				copy(attrs, o.Attrs[:i])
+			}
+			if attrs != nil {
+				attrs[i] = cv
+			}
+		}
+		if attrs == nil && o.TypeName == ty.Name {
+			return v, nil
+		}
+		if attrs == nil {
+			attrs = o.Attrs
 		}
 		return &Object{TypeName: ty.Name, Attrs: attrs}, nil
 	case *VarrayType:
@@ -142,13 +172,26 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 }
 
 func (db *DB) conformElems(c *Coll, typeName string, elem Type) (Value, error) {
-	elems := make([]Value, len(c.Elems))
+	// Copy-on-write, mirroring the object case in conform.
+	var elems []Value
 	for i, ev := range c.Elems {
 		cv, err := db.conform(ev, elem)
 		if err != nil {
 			return nil, fmt.Errorf("element %d: %w", i+1, err)
 		}
-		elems[i] = cv
+		if elems == nil && cv != ev {
+			elems = make([]Value, len(c.Elems))
+			copy(elems, c.Elems[:i])
+		}
+		if elems != nil {
+			elems[i] = cv
+		}
+	}
+	if elems == nil && c.TypeName == typeName {
+		return c, nil
+	}
+	if elems == nil {
+		elems = c.Elems
 	}
 	return &Coll{TypeName: typeName, Elems: elems}, nil
 }

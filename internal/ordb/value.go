@@ -137,6 +137,55 @@ func valueSQL(v Value) string {
 	return v.SQL()
 }
 
+// WriteSQL streams the SQL rendering of v into sb. It produces the same
+// text as v.SQL() without materializing intermediate strings — the hot
+// path of the loader's single-nested-INSERT render.
+func WriteSQL(sb *strings.Builder, v Value) {
+	switch x := v.(type) {
+	case nil, Null:
+		sb.WriteString("NULL")
+	case Str:
+		sb.WriteByte('\'')
+		s := string(x)
+		for {
+			i := strings.IndexByte(s, '\'')
+			if i < 0 {
+				sb.WriteString(s)
+				break
+			}
+			sb.WriteString(s[:i])
+			sb.WriteString("''")
+			s = s[i+1:]
+		}
+		sb.WriteByte('\'')
+	case Num:
+		var buf [32]byte
+		sb.Write(strconv.AppendFloat(buf[:0], float64(x), 'g', -1, 64))
+	case *Object:
+		sb.WriteString(x.TypeName)
+		sb.WriteByte('(')
+		for i, a := range x.Attrs {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			WriteSQL(sb, a)
+		}
+		sb.WriteByte(')')
+	case *Coll:
+		sb.WriteString(x.TypeName)
+		sb.WriteByte('(')
+		for i, e := range x.Elems {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			WriteSQL(sb, e)
+		}
+		sb.WriteByte(')')
+	default:
+		sb.WriteString(v.SQL())
+	}
+}
+
 // DeepEqual compares two values structurally. NULL equals only NULL
 // (this is Go-level comparison for tests and uniqueness checks, not SQL
 // three-valued logic).

@@ -162,6 +162,138 @@ type edgeRow struct {
 	kind, name, value string
 }
 
+// decodeEdgeRow converts one stored row into its struct form.
+func decodeEdgeRow(r *ordb.Row) edgeRow {
+	return edgeRow{
+		node:   asInt(r.Vals[1]),
+		parent: asInt(r.Vals[2]),
+		ord:    asInt(r.Vals[3]),
+		kind:   asStr(r.Vals[4]),
+		name:   asStr(r.Vals[5]),
+		value:  asStr(r.Vals[6]),
+	}
+}
+
+// edgeChildren maps a parent node id to its rows. Node ids are handed
+// out sequentially while a document loads, so one document's parents
+// almost always form a dense integer range: the dense representation
+// indexes a slot slice carved out of a single backing arena (a handful
+// of allocations for the whole document). The map form covers sparse id
+// ranges and the scan fallback.
+type edgeChildren struct {
+	min   int
+	dense [][]edgeRow
+	m     map[int][]edgeRow
+}
+
+// slot maps a parent id to its dense index; 0 (the synthetic root
+// parent) gets slot 0, real node ids follow.
+func (c *edgeChildren) slot(parent int) int {
+	if parent == 0 {
+		return 0
+	}
+	return parent - c.min + 1
+}
+
+func (c *edgeChildren) of(parent int) []edgeRow {
+	if c.dense != nil {
+		s := c.slot(parent)
+		if s < 0 || s >= len(c.dense) {
+			return nil
+		}
+		return c.dense[s]
+	}
+	return c.m[parent]
+}
+
+// sortBuckets orders every bucket by Ord. Rows are stored in document
+// order, so buckets are normally already sorted and the pass is a cheap
+// verification.
+func (c *edgeChildren) sortBuckets() {
+	buckets := c.dense
+	if buckets == nil {
+		buckets = make([][]edgeRow, 0, len(c.m))
+		for _, b := range c.m {
+			buckets = append(buckets, b)
+		}
+	}
+	for _, rows := range buckets {
+		rows := rows
+		if !sort.SliceIsSorted(rows, func(i, j int) bool { return rows[i].ord < rows[j].ord }) {
+			sort.Slice(rows, func(i, j int) bool { return rows[i].ord < rows[j].ord })
+		}
+	}
+}
+
+// docChildren collects the document's edge rows grouped by parent node.
+// It probes the persistent DocID index when one is available and falls
+// back to a full scan otherwise.
+func (e *Edge) docChildren(tab *ordb.Table, docID int) *edgeChildren {
+	rows, ok := tab.ProbeEqual("DocID", ordb.Num(docID))
+	if !ok {
+		m := map[int][]edgeRow{}
+		tab.Scan(func(r *ordb.Row) bool {
+			if n, ok := r.Vals[0].(ordb.Num); !ok || int(n) != docID {
+				return true
+			}
+			row := decodeEdgeRow(r)
+			m[row.parent] = append(m[row.parent], row)
+			return true
+		})
+		return &edgeChildren{m: m}
+	}
+	if len(rows) == 0 {
+		return &edgeChildren{m: map[int][]edgeRow{}}
+	}
+	// Find the parent id range to size the dense form.
+	pmin, pmax := 0, 0
+	for _, r := range rows {
+		p := asInt(r.Vals[2])
+		if p == 0 {
+			continue
+		}
+		if pmin == 0 || p < pmin {
+			pmin = p
+		}
+		if p > pmax {
+			pmax = p
+		}
+	}
+	size := 1
+	if pmin != 0 {
+		size = pmax - pmin + 2
+	}
+	if size > 4*len(rows)+8 {
+		// Sparse ids; fall back to the map form.
+		m := make(map[int][]edgeRow, len(rows)/2)
+		for _, r := range rows {
+			row := decodeEdgeRow(r)
+			m[row.parent] = append(m[row.parent], row)
+		}
+		return &edgeChildren{m: m}
+	}
+	c := &edgeChildren{min: pmin}
+	counts := make([]int32, size)
+	for _, r := range rows {
+		counts[c.slot(asInt(r.Vals[2]))]++
+	}
+	arena := make([]edgeRow, len(rows))
+	c.dense = make([][]edgeRow, size)
+	off := 0
+	for s, n := range counts {
+		if n > 0 {
+			c.dense[s] = arena[off:off : off+int(n)]
+			off += int(n)
+		}
+	}
+	for _, r := range rows {
+		row := decodeEdgeRow(r)
+		s := c.slot(row.parent)
+		c.dense[s] = append(c.dense[s], row)
+	}
+	return c
+}
+
 // Retrieve reconstructs the document from edge rows. Unlike the
 // object-relational mapping, the edge mapping preserves sibling order
 // (the Ord column) but loses the prolog, comments and PIs entirely.
@@ -170,37 +302,22 @@ func (e *Edge) Retrieve(docID int) (*xmldom.Document, error) {
 	if err != nil {
 		return nil, err
 	}
-	byParent := map[int][]edgeRow{}
-	tab.Scan(func(r *ordb.Row) bool {
-		if n, ok := r.Vals[0].(ordb.Num); !ok || int(n) != docID {
-			return true
-		}
-		row := edgeRow{
-			node:   asInt(r.Vals[1]),
-			parent: asInt(r.Vals[2]),
-			ord:    asInt(r.Vals[3]),
-			kind:   asStr(r.Vals[4]),
-			name:   asStr(r.Vals[5]),
-			value:  asStr(r.Vals[6]),
-		}
-		byParent[row.parent] = append(byParent[row.parent], row)
-		return true
-	})
-	roots := byParent[0]
+	byParent := e.docChildren(tab, docID)
+	roots := byParent.of(0)
 	if len(roots) == 0 {
 		return nil, fmt.Errorf("relmap: document %d not found in edge table", docID)
 	}
-	for k := range byParent {
-		rows := byParent[k]
-		sort.Slice(rows, func(i, j int) bool { return rows[i].ord < rows[j].ord })
-	}
+	byParent.sortBuckets()
 	doc := xmldom.NewDocument()
+	b := &xmldom.Builder{}
 	var build func(row edgeRow) xmldom.Node
 	build = func(row edgeRow) xmldom.Node {
 		switch row.kind {
 		case "elem":
-			el := xmldom.NewElement(row.name)
-			for _, c := range byParent[row.node] {
+			el := b.Element(row.name)
+			kids := byParent.of(row.node)
+			b.Reserve(el, len(kids))
+			for _, c := range kids {
 				if c.kind == "attr" {
 					el.SetAttr(c.name, c.value)
 					continue
@@ -209,7 +326,7 @@ func (e *Edge) Retrieve(docID int) (*xmldom.Document, error) {
 			}
 			return el
 		default:
-			return xmldom.NewText(row.value)
+			return b.Text(row.value)
 		}
 	}
 	doc.AppendChild(build(roots[0]))
@@ -218,30 +335,24 @@ func (e *Edge) Retrieve(docID int) (*xmldom.Document, error) {
 
 // PathValues answers a path query ("University/Student/LName") over the
 // edge mapping, returning the text values of matching leaves. Each path
-// step is one self-join over the edge table; the implementation performs
-// the joins with hash lookups, mirroring an indexed relational plan.
+// step is one self-join over the edge table. With a persistent ParentID
+// index the walk probes it once per frontier node — the indexed
+// relational plan — and only falls back to materializing the per-parent
+// map when no index exists.
 func (e *Edge) PathValues(docID int, path []string) ([]string, error) {
 	tab, err := e.en.DB().Table("EdgeTab")
 	if err != nil {
 		return nil, err
 	}
-	children := map[int][]edgeRow{}
-	tab.Scan(func(r *ordb.Row) bool {
-		if n, ok := r.Vals[0].(ordb.Num); !ok || int(n) != docID {
-			return true
-		}
-		row := edgeRow{
-			node: asInt(r.Vals[1]), parent: asInt(r.Vals[2]), ord: asInt(r.Vals[3]),
-			kind: asStr(r.Vals[4]), name: asStr(r.Vals[5]), value: asStr(r.Vals[6]),
-		}
-		children[row.parent] = append(children[row.parent], row)
-		return true
-	})
+	if _, ok := tab.ProbeEqual("ParentID", ordb.Num(0)); ok {
+		return e.pathValuesIndexed(tab, docID, path), nil
+	}
+	children := e.docChildren(tab, docID)
 	frontier := []int{0}
 	for _, step := range path {
 		var next []int
 		for _, p := range frontier {
-			for _, c := range children[p] {
+			for _, c := range children.of(p) {
 				if c.kind == "elem" && c.name == step {
 					next = append(next, c.node)
 				}
@@ -252,7 +363,7 @@ func (e *Edge) PathValues(docID int, path []string) ([]string, error) {
 	var out []string
 	for _, node := range frontier {
 		var sb strings.Builder
-		for _, c := range children[node] {
+		for _, c := range children.of(node) {
 			if c.kind == "text" {
 				sb.WriteString(c.value)
 			}
@@ -260,6 +371,37 @@ func (e *Edge) PathValues(docID int, path []string) ([]string, error) {
 		out = append(out, sb.String())
 	}
 	return out, nil
+}
+
+// pathValuesIndexed walks the path by probing the ParentID index per
+// frontier node; no per-query hash is built. Probed rows are filtered on
+// DocID because the index spans every stored document.
+func (e *Edge) pathValuesIndexed(tab *ordb.Table, docID int, path []string) []string {
+	frontier := []int{0}
+	for _, step := range path {
+		var next []int
+		for _, p := range frontier {
+			rows, _ := tab.ProbeEqual("ParentID", ordb.Num(p))
+			for _, r := range rows {
+				if asInt(r.Vals[0]) == docID && asStr(r.Vals[4]) == "elem" && asStr(r.Vals[5]) == step {
+					next = append(next, asInt(r.Vals[1]))
+				}
+			}
+		}
+		frontier = next
+	}
+	var out []string
+	for _, node := range frontier {
+		var sb strings.Builder
+		rows, _ := tab.ProbeEqual("ParentID", ordb.Num(node))
+		for _, r := range rows {
+			if asInt(r.Vals[0]) == docID && asStr(r.Vals[4]) == "text" {
+				sb.WriteString(asStr(r.Vals[6]))
+			}
+		}
+		out = append(out, sb.String())
+	}
+	return out
 }
 
 func asInt(v ordb.Value) int {

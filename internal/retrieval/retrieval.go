@@ -38,30 +38,37 @@ func (r *Retriever) Document(docID int) (*xmldom.Document, error) {
 		return nil, err
 	}
 	var rowVals []ordb.Value
-	rootTab.Scan(func(row *ordb.Row) bool {
-		if n, ok := row.Vals[0].(ordb.Num); ok && int(n) == docID {
-			rowVals = row.Vals
-			return false
+	if rows, ok := rootTab.ProbeEqual("DocID", ordb.Num(docID)); ok {
+		if len(rows) > 0 {
+			rowVals = rows[0].Vals
 		}
-		return true
-	})
+	} else {
+		rootTab.Scan(func(row *ordb.Row) bool {
+			if n, ok := row.Vals[0].(ordb.Num); ok && int(n) == docID {
+				rowVals = row.Vals
+				return false
+			}
+			return true
+		})
+	}
 	if rowVals == nil {
 		return nil, fmt.Errorf("retrieval: document %d not found in %s", docID, r.sch.RootTable)
 	}
 	doc := xmldom.NewDocument()
 	rm := r.sch.Elems[r.sch.RootElem]
+	b := &xmldom.Builder{}
 	var rootElem *xmldom.Element
 	if rm.StoredByRef {
 		ref, ok := rowVals[1].(ordb.Ref)
 		if !ok {
 			return nil, fmt.Errorf("retrieval: root row of document %d holds no REF", docID)
 		}
-		rootElem, err = r.elementFromRef(ref, map[ordb.Ref]bool{})
+		rootElem, err = r.elementFromRef(b, ref, map[ordb.Ref]bool{})
 		if err != nil {
 			return nil, err
 		}
 	} else {
-		rootElem, err = r.elementFromVals(r.sch.RootElem, rm, rowVals[1:], nil, map[ordb.Ref]bool{})
+		rootElem, err = r.elementFromVals(b, r.sch.RootElem, rm, rowVals[1:], nil, map[ordb.Ref]bool{})
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +91,7 @@ func (r *Retriever) Document(docID int) (*xmldom.Document, error) {
 
 // elementFromRef dereferences and reconstructs a row-stored element.
 // visited guards against cycles among REF rows (possible with IDREFs).
-func (r *Retriever) elementFromRef(ref ordb.Ref, visited map[ordb.Ref]bool) (*xmldom.Element, error) {
+func (r *Retriever) elementFromRef(b *xmldom.Builder, ref ordb.Ref, visited map[ordb.Ref]bool) (*xmldom.Element, error) {
 	if visited[ref] {
 		return nil, fmt.Errorf("retrieval: cyclic REF into %s", ref.Table)
 	}
@@ -98,7 +105,7 @@ func (r *Retriever) elementFromRef(ref ordb.Ref, visited map[ordb.Ref]bool) (*xm
 	if err != nil {
 		return nil, err
 	}
-	el, err := r.elementFromVals(name, m, obj.Attrs, &ref, visited)
+	el, err := r.elementFromVals(b, name, m, obj.Attrs, &ref, visited)
 	if err != nil {
 		return nil, err
 	}
@@ -118,13 +125,14 @@ func (r *Retriever) mappingForTable(table string) (string, *mapping.ElemMapping,
 // elementFromVals rebuilds one element from its field values. selfRef is
 // the row identity when the element is row-stored (needed to find
 // child-table rows pointing back at it).
-func (r *Retriever) elementFromVals(name string, m *mapping.ElemMapping, vals []ordb.Value, selfRef *ordb.Ref, visited map[ordb.Ref]bool) (*xmldom.Element, error) {
-	el := xmldom.NewElement(name)
+func (r *Retriever) elementFromVals(b *xmldom.Builder, name string, m *mapping.ElemMapping, vals []ordb.Value, selfRef *ordb.Ref, visited map[ordb.Ref]bool) (*xmldom.Element, error) {
+	el := b.Element(name)
 	if len(vals) != len(m.Fields) {
 		return nil, fmt.Errorf("retrieval: element %s: %d values for %d fields", name, len(vals), len(m.Fields))
 	}
+	b.Reserve(el, len(m.Fields))
 	for i, f := range m.Fields {
-		if err := r.applyField(el, m, f, vals[i], visited); err != nil {
+		if err := r.applyField(b, el, m, f, vals[i], visited); err != nil {
 			return nil, fmt.Errorf("element %s field %s: %w", name, f.DBName, err)
 		}
 	}
@@ -132,14 +140,14 @@ func (r *Retriever) elementFromVals(name string, m *mapping.ElemMapping, vals []
 	// scanning for rows whose parent REF is this row; insertion order
 	// reproduces document order.
 	if selfRef != nil {
-		if err := r.attachChildTableRows(el, m, *selfRef, visited); err != nil {
+		if err := r.attachChildTableRows(b, el, m, *selfRef, visited); err != nil {
 			return nil, err
 		}
 	}
 	return el, nil
 }
 
-func (r *Retriever) applyField(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
+func (r *Retriever) applyField(b *xmldom.Builder, el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
 	switch f.Kind {
 	case mapping.FieldDocID, mapping.FieldGenID, mapping.FieldParentRef:
 		return nil // generated fields have no XML counterpart
@@ -165,17 +173,17 @@ func (r *Retriever) applyField(el *xmldom.Element, m *mapping.ElemMapping, f map
 	case mapping.FieldPCDATA, mapping.FieldMixedText:
 		if f.XMLName == el.Name {
 			if !ordb.IsNull(v) {
-				el.AppendChild(xmldom.NewText(valueText(v)))
+				el.AppendChild(b.Text(valueText(v)))
 			}
 			return nil
 		}
-		return r.applySimpleChild(el, f, v)
+		return r.applySimpleChild(b, el, f, v)
 	case mapping.FieldSimpleChild:
-		return r.applySimpleChild(el, f, v)
+		return r.applySimpleChild(b, el, f, v)
 	case mapping.FieldComplexChild:
-		return r.applyComplexChild(el, f, v, visited)
+		return r.applyComplexChild(b, el, f, v, visited)
 	case mapping.FieldRefChild:
-		return r.applyRefChild(el, f, v, visited)
+		return r.applyRefChild(b, el, f, v, visited)
 	default:
 		return fmt.Errorf("retrieval: unhandled field kind %d", f.Kind)
 	}
@@ -236,16 +244,17 @@ func (r *Retriever) idValueOf(ref ordb.Ref) (string, error) {
 	return "", fmt.Errorf("retrieval: ID value of %s not found", name)
 }
 
-func (r *Retriever) applySimpleChild(el *xmldom.Element, f mapping.Field, v ordb.Value) error {
+func (r *Retriever) applySimpleChild(b *xmldom.Builder, el *xmldom.Element, f mapping.Field, v ordb.Value) error {
 	if ordb.IsNull(v) {
 		return nil
 	}
+	empty := isEmptyElem(r.sch, f.XMLName)
 	mk := func(val ordb.Value) {
-		child := xmldom.NewElement(f.XMLName)
-		if !isEmptyElem(r.sch, f.XMLName) {
-			if s := valueText(val); s != "" {
-				child.AppendChild(xmldom.NewText(s))
-			}
+		var child *xmldom.Element
+		if empty {
+			child = b.Element(f.XMLName)
+		} else {
+			child = b.TextElement(f.XMLName, valueText(val))
 		}
 		el.AppendChild(child)
 	}
@@ -254,6 +263,7 @@ func (r *Retriever) applySimpleChild(el *xmldom.Element, f mapping.Field, v ordb
 		if !ok {
 			return fmt.Errorf("set-valued simple child holds %T", v)
 		}
+		b.Reserve(el, len(coll.Elems))
 		for _, e := range coll.Elems {
 			mk(e)
 		}
@@ -268,7 +278,7 @@ func isEmptyElem(sch *mapping.Schema, name string) bool {
 	return d != nil && d.Content == dtd.EmptyContent
 }
 
-func (r *Retriever) applyComplexChild(el *xmldom.Element, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
+func (r *Retriever) applyComplexChild(b *xmldom.Builder, el *xmldom.Element, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
 	if ordb.IsNull(v) {
 		return nil
 	}
@@ -278,7 +288,7 @@ func (r *Retriever) applyComplexChild(el *xmldom.Element, f mapping.Field, v ord
 		if !ok {
 			return fmt.Errorf("complex child holds %T", val)
 		}
-		child, err := r.elementFromVals(f.XMLName, cm, obj.Attrs, nil, visited)
+		child, err := r.elementFromVals(b, f.XMLName, cm, obj.Attrs, nil, visited)
 		if err != nil {
 			return err
 		}
@@ -290,6 +300,7 @@ func (r *Retriever) applyComplexChild(el *xmldom.Element, f mapping.Field, v ord
 		if !ok {
 			return fmt.Errorf("set-valued complex child holds %T", v)
 		}
+		b.Reserve(el, len(coll.Elems))
 		for _, e := range coll.Elems {
 			if err := build(e); err != nil {
 				return err
@@ -300,7 +311,7 @@ func (r *Retriever) applyComplexChild(el *xmldom.Element, f mapping.Field, v ord
 	return build(v)
 }
 
-func (r *Retriever) applyRefChild(el *xmldom.Element, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
+func (r *Retriever) applyRefChild(b *xmldom.Builder, el *xmldom.Element, f mapping.Field, v ordb.Value, visited map[ordb.Ref]bool) error {
 	if ordb.IsNull(v) {
 		return nil
 	}
@@ -309,7 +320,7 @@ func (r *Retriever) applyRefChild(el *xmldom.Element, f mapping.Field, v ordb.Va
 		if !ok {
 			return fmt.Errorf("REF child holds %T", val)
 		}
-		child, err := r.elementFromRef(ref, visited)
+		child, err := r.elementFromRef(b, ref, visited)
 		if err != nil {
 			return err
 		}
@@ -321,6 +332,7 @@ func (r *Retriever) applyRefChild(el *xmldom.Element, f mapping.Field, v ordb.Va
 		if !ok {
 			return fmt.Errorf("set-valued REF child holds %T", v)
 		}
+		b.Reserve(el, len(coll.Elems))
 		for _, e := range coll.Elems {
 			if err := build(e); err != nil {
 				return err
@@ -333,7 +345,7 @@ func (r *Retriever) applyRefChild(el *xmldom.Element, f mapping.Field, v ordb.Va
 
 // attachChildTableRows finds StrategyRef children pointing back at this
 // row and reconstructs them in insertion order.
-func (r *Retriever) attachChildTableRows(el *xmldom.Element, m *mapping.ElemMapping, selfRef ordb.Ref, visited map[ordb.Ref]bool) error {
+func (r *Retriever) attachChildTableRows(b *xmldom.Builder, el *xmldom.Element, m *mapping.ElemMapping, selfRef ordb.Ref, visited map[ordb.Ref]bool) error {
 	decl := r.sch.DTD.Element(m.Name)
 	if decl == nil {
 		return nil
@@ -366,7 +378,7 @@ func (r *Retriever) attachChildTableRows(el *xmldom.Element, m *mapping.ElemMapp
 			return true
 		})
 		for _, cr := range childRefs {
-			child, err := r.elementFromRef(cr, visited)
+			child, err := r.elementFromRef(b, cr, visited)
 			if err != nil {
 				return err
 			}

@@ -146,15 +146,25 @@ type DeleteStmt struct {
 
 func (*DeleteStmt) stmtNode() {}
 
-// DropStmt is DROP TYPE|TABLE|VIEW name [FORCE].
+// DropStmt is DROP TYPE|TABLE|VIEW|INDEX name [FORCE].
 type DropStmt struct {
-	// Kind is "TYPE", "TABLE" or "VIEW".
+	// Kind is "TYPE", "TABLE", "VIEW" or "INDEX".
 	Kind  string
 	Name  string
 	Force bool
 }
 
 func (*DropStmt) stmtNode() {}
+
+// CreateIndexStmt is CREATE INDEX name ON table (col): a persistent
+// equality index over one scalar column.
+type CreateIndexStmt struct {
+	Name  string
+	Table string
+	Col   string
+}
+
+func (*CreateIndexStmt) stmtNode() {}
 
 // BeginStmt is BEGIN [WORK|TRANSACTION]: open a data transaction.
 type BeginStmt struct{}

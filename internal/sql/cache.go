@@ -1,0 +1,144 @@
+package sql
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// Statement and plan caching. Parsing is schema-independent, so parsed
+// statements live in one process-wide LRU keyed on SQL text and are
+// shared by every engine (ASTs are immutable once built — the executor
+// never mutates them). Join plans depend on the catalog, so each Engine
+// keeps its own plan table keyed on the AST pointer; any DDL statement
+// evicts all plans, which is what keeps a cached plan from referencing a
+// dropped table or column.
+
+// parseCacheSize bounds the process-wide statement cache.
+const parseCacheSize = 512
+
+type parseEntry struct {
+	src  string
+	stmt Stmt
+}
+
+type parseCache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used; values are *parseEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+var stmtCache = &parseCache{
+	entries: make(map[string]*list.Element),
+	lru:     list.New(),
+}
+
+// get returns the cached parse of src, if any.
+func (c *parseCache) get(src string) (Stmt, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[src]
+	if ok {
+		c.lru.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*parseEntry).stmt, true
+}
+
+// put stores a successful parse, evicting the least recently used entry
+// beyond capacity.
+func (c *parseCache) put(src string, stmt Stmt) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[src]; ok {
+		c.lru.MoveToFront(el)
+		el.Value.(*parseEntry).stmt = stmt
+		return
+	}
+	c.entries[src] = c.lru.PushFront(&parseEntry{src: src, stmt: stmt})
+	for c.lru.Len() > parseCacheSize {
+		back := c.lru.Back()
+		c.lru.Remove(back)
+		delete(c.entries, back.Value.(*parseEntry).src)
+	}
+}
+
+// CachedParse parses src through the process-wide statement cache. Parse
+// errors are not cached. The returned AST is shared: callers must treat
+// it as immutable.
+func CachedParse(src string) (Stmt, error) {
+	if stmt, ok := stmtCache.get(src); ok {
+		return stmt, nil
+	}
+	stmt, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	stmtCache.put(src, stmt)
+	return stmt, nil
+}
+
+// CacheStats reports cache effectiveness: the process-wide parse counters
+// plus this engine's plan counters.
+type CacheStats struct {
+	ParseHits   int64
+	ParseMisses int64
+	PlanHits    int64
+	PlanMisses  int64
+}
+
+// CacheStats returns a snapshot of the cache counters.
+func (en *Engine) CacheStats() CacheStats {
+	return CacheStats{
+		ParseHits:   stmtCache.hits.Load(),
+		ParseMisses: stmtCache.misses.Load(),
+		PlanHits:    en.planHits.Load(),
+		PlanMisses:  en.planMisses.Load(),
+	}
+}
+
+// planFor returns the cached join plan for sel, computing and caching it
+// on first use. Keying on the AST pointer works because CachedParse
+// returns a stable pointer per SQL text and plans are evicted wholesale
+// on DDL.
+func (en *Engine) planFor(sel *SelectStmt) *queryPlan {
+	en.planMu.RLock()
+	p := en.plans[sel]
+	en.planMu.RUnlock()
+	if p != nil {
+		en.planHits.Add(1)
+		return p
+	}
+	en.planMisses.Add(1)
+	p = en.planJoins(sel)
+	en.planMu.Lock()
+	if en.plans == nil || len(en.plans) > 4096 {
+		// A plan whose AST fell out of the parse LRU can never be hit
+		// again; the occasional wholesale reset bounds that garbage.
+		en.plans = make(map[*SelectStmt]*queryPlan)
+	}
+	en.plans[sel] = p
+	en.planMu.Unlock()
+	return p
+}
+
+// invalidatePlans drops every cached plan. Called before any DDL so no
+// plan outlives the catalog state it was computed against.
+func (en *Engine) invalidatePlans() {
+	en.planMu.Lock()
+	en.plans = nil
+	en.planMu.Unlock()
+}
+
+// PlanCacheLen reports the number of cached plans (test hook).
+func (en *Engine) PlanCacheLen() int {
+	en.planMu.RLock()
+	defer en.planMu.RUnlock()
+	return len(en.plans)
+}

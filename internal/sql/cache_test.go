@@ -1,0 +1,212 @@
+package sql
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+// The statement cache is process-wide, so tests measure deltas against a
+// snapshot and use SQL texts unique to the test to guarantee cold starts.
+
+func TestStatementCacheHitMiss(t *testing.T) {
+	en := newEngine(t, ordb.ModeOracle9)
+	before := en.CacheStats()
+	src := "SELECT 'cache-hit-miss-probe' FROM DUAL"
+	s1, err := CachedParse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := CachedParse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Error("second parse of identical text returned a different AST")
+	}
+	after := en.CacheStats()
+	if got := after.ParseMisses - before.ParseMisses; got != 1 {
+		t.Errorf("parse misses = %d, want 1", got)
+	}
+	if got := after.ParseHits - before.ParseHits; got != 1 {
+		t.Errorf("parse hits = %d, want 1", got)
+	}
+}
+
+func TestStatementCacheSkipsParseErrors(t *testing.T) {
+	src := "SELECT FROM FROM nope nope"
+	if _, err := CachedParse(src); err == nil {
+		t.Fatal("expected parse error")
+	}
+	before := stmtCache.misses.Load()
+	if _, err := CachedParse(src); err == nil {
+		t.Fatal("expected parse error on reparse")
+	}
+	if got := stmtCache.misses.Load() - before; got != 1 {
+		t.Errorf("invalid statement cached: reparse miss delta = %d, want 1", got)
+	}
+}
+
+func TestStatementCacheLRUEviction(t *testing.T) {
+	probe := "SELECT 'lru-eviction-probe' FROM DUAL"
+	if _, err := CachedParse(probe); err != nil {
+		t.Fatal(err)
+	}
+	// Push the probe out of the LRU with a full cache of fresh entries.
+	for i := 0; i < parseCacheSize+8; i++ {
+		if _, err := CachedParse(fmt.Sprintf("SELECT 'lru-filler-%d' FROM DUAL", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := stmtCache.misses.Load()
+	if _, err := CachedParse(probe); err != nil {
+		t.Fatal(err)
+	}
+	if got := stmtCache.misses.Load() - before; got != 1 {
+		t.Errorf("probe statement survived %d insertions (miss delta = %d, want 1)",
+			parseCacheSize+8, got)
+	}
+	if n := stmtCache.lru.Len(); n > parseCacheSize {
+		t.Errorf("cache holds %d entries, cap is %d", n, parseCacheSize)
+	}
+}
+
+// cacheEngine builds an engine with one populated table for plan tests.
+func cacheEngine(t *testing.T) *Engine {
+	t.Helper()
+	en := newEngine(t, ordb.ModeOracle9)
+	mustExec(t, en,
+		`CREATE TABLE CacheT(Id INTEGER PRIMARY KEY, Val VARCHAR(40))`,
+		`INSERT INTO CacheT VALUES (1, 'one')`,
+		`INSERT INTO CacheT VALUES (2, 'two')`,
+	)
+	return en
+}
+
+func TestPlanCacheReuse(t *testing.T) {
+	en := cacheEngine(t)
+	q := "SELECT Val FROM CacheT WHERE Id = 1"
+	before := en.CacheStats()
+	for i := 0; i < 3; i++ {
+		rows := mustQuery(t, en, q)
+		if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("one") {
+			t.Fatalf("query %d = %v", i, rows.Data)
+		}
+	}
+	after := en.CacheStats()
+	if got := after.PlanMisses - before.PlanMisses; got != 1 {
+		t.Errorf("plan misses = %d, want 1", got)
+	}
+	if got := after.PlanHits - before.PlanHits; got != 2 {
+		t.Errorf("plan hits = %d, want 2", got)
+	}
+	if n := en.PlanCacheLen(); n != 1 {
+		t.Errorf("plan cache holds %d plans, want 1", n)
+	}
+}
+
+// TestPlanCacheInvalidationOnDDL pins the safety rule: any DDL statement
+// evicts every cached plan, so no plan outlives the catalog it was
+// planned against.
+func TestPlanCacheInvalidationOnDDL(t *testing.T) {
+	ddl := []struct {
+		name string
+		stmt string
+	}{
+		{"create type", `CREATE TYPE CacheTy AS OBJECT(A VARCHAR(10))`},
+		{"create table", `CREATE TABLE CacheT2(Id INTEGER)`},
+		{"create index", `CREATE INDEX IX_CacheT_Val ON CacheT (Val)`},
+		{"drop index", `DROP INDEX IX_CacheT_Val`},
+		{"drop table", `DROP TABLE CacheT2`},
+		{"drop type", `DROP TYPE CacheTy`},
+	}
+	en := cacheEngine(t)
+	for _, d := range ddl {
+		mustQuery(t, en, "SELECT Val FROM CacheT WHERE Id = 2")
+		if n := en.PlanCacheLen(); n == 0 {
+			t.Fatalf("%s: no plan cached before DDL", d.name)
+		}
+		mustExec(t, en, d.stmt)
+		if n := en.PlanCacheLen(); n != 0 {
+			t.Errorf("%s: %d plans survived DDL, want 0", d.name, n)
+		}
+	}
+	// After all that churn the query still answers correctly.
+	rows := mustQuery(t, en, "SELECT Val FROM CacheT WHERE Id = 2")
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Str("two") {
+		t.Errorf("post-DDL query = %v", rows.Data)
+	}
+}
+
+func TestCreateIndexSQL(t *testing.T) {
+	en := cacheEngine(t)
+	mustExec(t, en, `CREATE INDEX IX_CacheT_Val ON CacheT (Val)`)
+	tab, err := en.db.Table("CacheT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.EqIndex("Val") == nil {
+		t.Fatal("CREATE INDEX left no index on Val")
+	}
+	probes := en.db.Stats().IndexProbes
+	rows := mustQuery(t, en, "SELECT c.Id FROM CacheT c WHERE c.Val = 'two'")
+	if len(rows.Data) != 1 || rows.Data[0][0] != ordb.Num(2) {
+		t.Fatalf("indexed query = %v", rows.Data)
+	}
+	if got := en.db.Stats().IndexProbes; got <= probes {
+		t.Errorf("query did not probe the new index (probes %d -> %d)", probes, got)
+	}
+	mustExec(t, en, `DROP INDEX IX_CacheT_Val`)
+	if tab.EqIndex("Val") != nil {
+		t.Error("DROP INDEX left the index behind")
+	}
+	if _, err := en.Exec(`DROP INDEX IX_CacheT_Val`); !errors.Is(err, ordb.ErrNotFound) {
+		t.Errorf("double DROP INDEX: err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestConcurrentQueryCaches hammers the parse and plan caches from many
+// goroutines; run under -race this pins the caches' thread safety.
+func TestConcurrentQueryCaches(t *testing.T) {
+	en := cacheEngine(t)
+	queries := []string{
+		"SELECT Val FROM CacheT WHERE Id = 1",
+		"SELECT Val FROM CacheT WHERE Id = 2",
+		"SELECT Id FROM CacheT WHERE Val = 'one'",
+		"SELECT Id, Val FROM CacheT",
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				q := queries[(g+i)%len(queries)]
+				rows, err := en.Query(q)
+				if err != nil {
+					select {
+					case errCh <- fmt.Errorf("%s: %w", q, err):
+					default:
+					}
+					return
+				}
+				if len(rows.Data) == 0 {
+					select {
+					case errCh <- fmt.Errorf("%s: no rows", q):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+}

@@ -384,11 +384,19 @@ func asString(v ordb.Value) string {
 	return ordb.FormatValue(v)
 }
 
+// trueVal and falseVal are pre-boxed so boolVal never allocates (boxing
+// a Num into the Value interface costs a heap allocation per call on the
+// hot comparison path).
+var (
+	trueVal  ordb.Value = ordb.Num(1)
+	falseVal ordb.Value = ordb.Num(0)
+)
+
 func boolVal(b bool) ordb.Value {
 	if b {
-		return ordb.Num(1)
+		return trueVal
 	}
-	return ordb.Num(0)
+	return falseVal
 }
 
 func truthy(v ordb.Value) bool {

@@ -3,6 +3,8 @@ package sql
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"xmlordb/internal/ordb"
 )
@@ -10,6 +12,13 @@ import (
 // Engine executes SQL against an ordb database.
 type Engine struct {
 	db *ordb.DB
+
+	// planMu guards plans, the per-engine join-plan cache keyed on the
+	// (cache-stable) AST pointer. See cache.go.
+	planMu     sync.RWMutex
+	plans      map[*SelectStmt]*queryPlan
+	planHits   atomic.Int64
+	planMisses atomic.Int64
 }
 
 // NewEngine returns an Engine over db.
@@ -70,7 +79,7 @@ func (r *Rows) String() string {
 // Exec parses and executes one statement. SELECT statements are rejected;
 // use Query.
 func (en *Engine) Exec(src string) (*Result, error) {
-	stmt, err := ParseStatement(src)
+	stmt, err := CachedParse(src)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +91,7 @@ func (en *Engine) Exec(src string) (*Result, error) {
 
 // Query parses and executes a SELECT statement.
 func (en *Engine) Query(src string) (*Rows, error) {
-	stmt, err := ParseStatement(src)
+	stmt, err := CachedParse(src)
 	if err != nil {
 		return nil, err
 	}
@@ -102,7 +111,7 @@ func (en *Engine) ExecScript(script string) (int, error) {
 		return 0, err
 	}
 	for i, s := range stmts {
-		stmt, err := ParseStatement(s)
+		stmt, err := CachedParse(s)
 		if err != nil {
 			return i, fmt.Errorf("statement %d: %w", i+1, err)
 		}
@@ -125,17 +134,33 @@ func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 		if err := en.commitBeforeDDL(); err != nil {
 			return nil, err
 		}
+		en.invalidatePlans()
 		return en.execCreateType(s)
 	case *CreateTableStmt:
 		if err := en.commitBeforeDDL(); err != nil {
 			return nil, err
 		}
+		en.invalidatePlans()
 		return en.execCreateTable(s)
 	case *CreateViewStmt:
 		if err := en.commitBeforeDDL(); err != nil {
 			return nil, err
 		}
+		en.invalidatePlans()
 		if _, err := en.db.CreateView(s.Name, s.Text, s.Select, s.OrReplace); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *CreateIndexStmt:
+		if err := en.commitBeforeDDL(); err != nil {
+			return nil, err
+		}
+		en.invalidatePlans()
+		tbl, err := en.db.Table(s.Table)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := tbl.CreateIndex(s.Name, s.Col); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -173,6 +198,7 @@ func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 		if err := en.commitBeforeDDL(); err != nil {
 			return nil, err
 		}
+		en.invalidatePlans()
 		switch s.Kind {
 		case "TYPE":
 			return &Result{}, en.db.DropType(s.Name, s.Force)
@@ -180,6 +206,8 @@ func (en *Engine) execStmt(stmt Stmt) (*Result, error) {
 			return &Result{}, en.db.DropTable(s.Name)
 		case "VIEW":
 			return &Result{}, en.db.DropView(s.Name)
+		case "INDEX":
+			return &Result{}, en.db.DropIndex(s.Name)
 		}
 		return nil, fmt.Errorf("sql: unknown DROP kind %q", s.Kind)
 	default:
@@ -467,16 +495,26 @@ func (en *Engine) execUpdate(s *UpdateStmt) (*Result, error) {
 
 // tableScope builds the evaluation scope for one row of a base table.
 func (en *Engine) tableScope(t *ordb.Table, alias string, r *ordb.Row) *scope {
-	s := &scope{alias: alias, table: t.Name, oid: r.OID}
+	s := &scope{}
+	fillTableScope(s, t, alias, r)
+	return s
+}
+
+// fillTableScope populates a (possibly recycled) scope for one row of a
+// base table. The column-name slice is the table's shared cache, never a
+// fresh allocation.
+func fillTableScope(s *scope, t *ordb.Table, alias string, r *ordb.Row) {
 	if alias == "" {
-		s.alias = t.Name
+		alias = t.Name
 	}
-	for _, c := range t.Cols {
-		s.cols = append(s.cols, c.Name)
-	}
+	s.alias = alias
+	s.table = t.Name
+	s.oid = r.OID
+	s.cols = t.ColNames()
 	s.vals = r.Vals
+	s.rowView = nil
+	s.whole = nil
 	if t.IsObjectTable() {
 		s.whole = &ordb.Object{TypeName: t.RowType.Name, Attrs: r.Vals}
 	}
-	return s
 }

@@ -126,6 +126,8 @@ func (p *parser) parseStatement() (Stmt, error) {
 			return p.parseCreateTable()
 		case p.acceptKw("VIEW"):
 			return p.parseCreateView(false)
+		case p.acceptKw("INDEX"):
+			return p.parseCreateIndex()
 		case p.acceptKw("OR"):
 			if err := p.expectKw("REPLACE"); err != nil {
 				return nil, err
@@ -135,7 +137,7 @@ func (p *parser) parseStatement() (Stmt, error) {
 			}
 			return p.parseCreateView(true)
 		default:
-			return nil, p.errf("expected TYPE, TABLE or VIEW after CREATE")
+			return nil, p.errf("expected TYPE, TABLE, VIEW or INDEX after CREATE")
 		}
 	case p.acceptKw("INSERT"):
 		return p.parseInsert()
@@ -680,8 +682,10 @@ func (p *parser) parseDrop() (Stmt, error) {
 		kind = "TABLE"
 	case p.acceptKw("VIEW"):
 		kind = "VIEW"
+	case p.acceptKw("INDEX"):
+		kind = "INDEX"
 	default:
-		return nil, p.errf("expected TYPE, TABLE or VIEW after DROP")
+		return nil, p.errf("expected TYPE, TABLE, VIEW or INDEX after DROP")
 	}
 	name, err := p.ident()
 	if err != nil {
@@ -692,6 +696,33 @@ func (p *parser) parseDrop() (Stmt, error) {
 		stmt.Force = true
 	}
 	return stmt, nil
+}
+
+// parseCreateIndex parses CREATE INDEX name ON table (col). The CREATE
+// INDEX keywords were consumed by the caller.
+func (p *parser) parseCreateIndex() (Stmt, error) {
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym("("); err != nil {
+		return nil, err
+	}
+	col, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSym(")"); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Col: col}, nil
 }
 
 // isCallKeyword reports keywords that introduce built-in function calls.

@@ -25,10 +25,11 @@ func (en *Engine) querySelect(sel *SelectStmt, outer *env) (*Rows, error) {
 		return nil, err
 	}
 	out := &Rows{Cols: cols}
-	plan := en.planJoins(sel)
+	plan := en.planFor(sel)
+	st := newExecState(len(sel.From))
 
 	if len(sel.GroupBy) > 0 {
-		return en.groupedSelect(sel, outer, plan, out)
+		return en.groupedSelect(sel, outer, plan, st, out)
 	}
 
 	if aggs := aggregateCalls(sel); aggs != nil {
@@ -36,7 +37,7 @@ func (en *Engine) querySelect(sel *SelectStmt, outer *env) (*Rows, error) {
 		if err != nil {
 			return nil, err
 		}
-		err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+		err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
 			ok, err := en.whereMatches(sel.Where, ev)
 			if err != nil {
 				return err
@@ -67,7 +68,7 @@ func (en *Engine) querySelect(sel *SelectStmt, outer *env) (*Rows, error) {
 		keys []ordb.Value
 	}
 	var keyed []keyedRow
-	err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+	err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
 		ok, err := en.whereMatches(sel.Where, ev)
 		if err != nil {
 			return err
@@ -143,7 +144,7 @@ func orderCompare(a, b ordb.Value) (int, error) {
 // non-aggregate items (which must be group expressions) take the value of
 // the group's first row. ORDER BY keys may be group expressions or
 // aggregates appearing in the select list.
-func (en *Engine) groupedSelect(sel *SelectStmt, outer *env, plan *queryPlan, out *Rows) (*Rows, error) {
+func (en *Engine) groupedSelect(sel *SelectStmt, outer *env, plan *queryPlan, st *execState, out *Rows) (*Rows, error) {
 	groupTexts := make([]string, len(sel.GroupBy))
 	for i, g := range sel.GroupBy {
 		groupTexts[i] = FormatExpr(g)
@@ -183,7 +184,7 @@ func (en *Engine) groupedSelect(sel *SelectStmt, outer *env, plan *queryPlan, ou
 	}
 	groups := map[string]*group{}
 	var order []string
-	err := en.enumRows(sel.From, 0, &env{parent: outer}, plan, func(ev *env) error {
+	err := en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
 		ok, err := en.whereMatches(sel.Where, ev)
 		if err != nil {
 			return err
@@ -405,22 +406,58 @@ func (a *accumulator) result() ordb.Value {
 
 // join planning --------------------------------------------------------
 
-// joinSpec accelerates one FROM item: rows of the item's base table are
-// indexed by keyCol; probing evaluates otherExpr against the already
-// bound scopes.
+// joinSpec accelerates one FROM item: rows whose keyCol equals the value
+// of otherExpr (evaluated against the already bound scopes) are fetched
+// by a persistent-index probe when the column is indexed, or from a hash
+// table built once per execution otherwise. The spec itself is immutable
+// — plans are cached per statement (see cache.go) — while per-execution
+// hash state lives in execState.
 type joinSpec struct {
 	keyCol    string
 	otherExpr Expr
-	index     map[string][]*ordb.Row
-	built     bool
 }
 
 type queryPlan struct {
 	joins []*joinSpec // one slot per FROM item, nil = full scan
 }
 
-// planJoins finds equality conjuncts `a.x = b.y` joining a FROM item to
-// an earlier one and prepares hash-join specs.
+// execState is the per-execution scratch of one querySelect call: the
+// lazily built fallback hash tables (one slot per FROM item) and a scope
+// free-list so row enumeration does not allocate a scope per binding.
+type execState struct {
+	hashes []joinHash
+	free   []*scope
+}
+
+type joinHash struct {
+	index map[string][]*ordb.Row
+	built bool
+}
+
+func newExecState(fromItems int) *execState {
+	return &execState{hashes: make([]joinHash, fromItems)}
+}
+
+// getScope recycles a scope from the free list (or allocates one).
+func (st *execState) getScope() *scope {
+	if n := len(st.free); n > 0 {
+		s := st.free[n-1]
+		st.free = st.free[:n-1]
+		return s
+	}
+	return &scope{}
+}
+
+// putScope returns a scope whose binding is no longer live. Callers must
+// not retain the pointer.
+func (st *execState) putScope(s *scope) {
+	*s = scope{}
+	st.free = append(st.free, s)
+}
+
+// planJoins finds equality conjuncts that let a FROM item avoid a full
+// scan: `a.x = b.y` joining the item to an earlier one, or `a.x = const`
+// filtering it directly.
 func (en *Engine) planJoins(sel *SelectStmt) *queryPlan {
 	plan := &queryPlan{joins: make([]*joinSpec, len(sel.From))}
 	conjuncts := flattenAnd(sel.Where)
@@ -440,7 +477,7 @@ func (en *Engine) planJoins(sel *SelectStmt) *queryPlan {
 		return false
 	}
 	for i, f := range sel.From {
-		if f.Table == "" || i == 0 {
+		if f.Table == "" {
 			continue
 		}
 		tbl, err := en.db.Table(f.Table)
@@ -452,17 +489,21 @@ func (en *Engine) planJoins(sel *SelectStmt) *queryPlan {
 			if !ok || b.Op != "=" {
 				continue
 			}
+			var mine *Path
+			var other Expr
 			lp, lok := b.L.(*Path)
 			rp, rok := b.R.(*Path)
-			if !lok || !rok || len(lp.Parts) != 2 || len(rp.Parts) != 2 {
-				continue
-			}
-			var mine, other *Path
 			switch {
-			case strings.EqualFold(lp.Parts[0], aliases[i]) && boundBefore(i, rp.Parts[0]):
+			case i > 0 && lok && rok && len(lp.Parts) == 2 && len(rp.Parts) == 2 &&
+				strings.EqualFold(lp.Parts[0], aliases[i]) && boundBefore(i, rp.Parts[0]):
 				mine, other = lp, rp
-			case strings.EqualFold(rp.Parts[0], aliases[i]) && boundBefore(i, lp.Parts[0]):
+			case i > 0 && lok && rok && len(lp.Parts) == 2 && len(rp.Parts) == 2 &&
+				strings.EqualFold(rp.Parts[0], aliases[i]) && boundBefore(i, lp.Parts[0]):
 				mine, other = rp, lp
+			case lok && len(lp.Parts) == 2 && strings.EqualFold(lp.Parts[0], aliases[i]) && isConstExpr(b.R):
+				mine, other = lp, b.R
+			case rok && len(rp.Parts) == 2 && strings.EqualFold(rp.Parts[0], aliases[i]) && isConstExpr(b.L):
+				mine, other = rp, b.L
 			default:
 				continue
 			}
@@ -476,6 +517,13 @@ func (en *Engine) planJoins(sel *SelectStmt) *queryPlan {
 	return plan
 }
 
+// isConstExpr reports expressions whose value cannot depend on any row
+// binding — usable as a probe key for any FROM item, including the first.
+func isConstExpr(e Expr) bool {
+	_, ok := e.(*Lit)
+	return ok
+}
+
 // flattenAnd splits a WHERE tree into its top-level AND conjuncts.
 func flattenAnd(e Expr) []Expr {
 	if e == nil {
@@ -486,6 +534,10 @@ func flattenAnd(e Expr) []Expr {
 	}
 	return []Expr{e}
 }
+
+// columnValueCols is the shared column-name slice of scalar TABLE()
+// elements.
+var columnValueCols = []string{"COLUMN_VALUE"}
 
 // joinKey normalizes a value for hash probing.
 func joinKey(v ordb.Value) (string, bool) {
@@ -502,16 +554,21 @@ func joinKey(v ordb.Value) (string, bool) {
 	}
 }
 
-func (js *joinSpec) buildIndex(t *ordb.Table) {
-	if js.built {
+// build constructs the per-execution fallback hash over keyCol. Used
+// only when the column has no persistent index.
+func (jh *joinHash) build(t *ordb.Table, keyCol string) {
+	if jh.built {
 		return
 	}
-	js.built = true
-	js.index = map[string][]*ordb.Row{}
-	idx := t.ColIndex(js.keyCol)
+	jh.built = true
+	jh.index = map[string][]*ordb.Row{}
+	idx := t.ColIndex(keyCol)
+	if idx < 0 {
+		return // column vanished under a stale plan; empty hash is safe
+	}
 	t.Scan(func(r *ordb.Row) bool {
 		if k, ok := joinKey(r.Vals[idx]); ok {
-			js.index[k] = append(js.index[k], r)
+			jh.index[k] = append(jh.index[k], r)
 		}
 		return true
 	})
@@ -530,16 +587,17 @@ func (en *Engine) whereMatches(where Expr, ev *env) (bool, error) {
 
 // enumRows recursively enumerates the cross product of the FROM items,
 // extending the environment scope by scope so that later items can
-// reference earlier aliases. Items with a joinSpec probe the hash index
-// instead of scanning.
-func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, fn func(*env) error) error {
+// reference earlier aliases. Items with a joinSpec probe the column's
+// persistent index when one exists, falling back to a per-execution hash
+// otherwise.
+func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, st *execState, fn func(*env) error) error {
 	if idx == len(from) {
 		return fn(ev)
 	}
 	item := from[idx]
 	push := func(s *scope) error {
 		ev.scopes = append(ev.scopes, s)
-		err := en.enumRows(from, idx+1, ev, plan, fn)
+		err := en.enumRows(from, idx+1, ev, plan, st, fn)
 		ev.scopes = ev.scopes[:len(ev.scopes)-1]
 		return err
 	}
@@ -560,14 +618,21 @@ func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, f
 		if alias == "" {
 			alias = fmt.Sprintf("TABLE_%d", idx+1)
 		}
+		// Collection elements are homogeneous, so the attribute-name
+		// lookup of the first object element serves the whole loop.
+		var attrTypeName string
+		var attrCols []string
 		for _, elem := range coll.Elems {
-			s := &scope{alias: alias, whole: elem}
+			s := st.getScope()
+			s.alias = alias
+			s.whole = elem
 			// Object elements expose their attributes as columns; a REF
 			// element is dereferenced transparently for column access.
 			resolved := elem
 			if r, isRef := elem.(ordb.Ref); isRef {
 				o, err := en.db.Deref(r)
 				if err != nil {
+					st.putScope(s)
 					return err
 				}
 				resolved = o
@@ -575,21 +640,30 @@ func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, f
 				s.oid = r.OID
 			}
 			if o, isObj := resolved.(*ordb.Object); isObj {
-				t, err := en.db.Type(o.TypeName)
-				if err != nil {
-					return err
+				if attrCols == nil || attrTypeName != o.TypeName {
+					t, err := en.db.Type(o.TypeName)
+					if err != nil {
+						st.putScope(s)
+						return err
+					}
+					attrs := t.(*ordb.ObjectType).Attrs
+					attrCols = make([]string, len(attrs))
+					for i, a := range attrs {
+						attrCols[i] = a.Name
+					}
+					attrTypeName = o.TypeName
 				}
-				for _, a := range t.(*ordb.ObjectType).Attrs {
-					s.cols = append(s.cols, a.Name)
-				}
+				s.cols = attrCols
 				s.vals = o.Attrs
 				s.whole = o
 			} else {
 				// Scalar elements expose Oracle's COLUMN_VALUE.
-				s.cols = []string{"COLUMN_VALUE"}
+				s.cols = columnValueCols
 				s.vals = []ordb.Value{resolved}
 			}
-			if err := push(s); err != nil {
+			err := push(s)
+			st.putScope(s)
+			if err != nil {
 				return err
 			}
 		}
@@ -602,17 +676,34 @@ func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, f
 			alias = tbl.Name
 		}
 		if js := plan.join(idx); js != nil {
-			js.buildIndex(tbl)
 			key, err := en.eval(js.otherExpr, ev)
 			if err != nil {
 				return err
 			}
+			if rows, ok := tbl.ProbeEqual(js.keyCol, key); ok {
+				for _, r := range rows {
+					s := st.getScope()
+					fillTableScope(s, tbl, alias, r)
+					err := push(s)
+					st.putScope(s)
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+			jh := &st.hashes[idx]
+			jh.build(tbl, js.keyCol)
 			k, ok := joinKey(key)
 			if !ok {
 				return nil // NULL join key matches nothing
 			}
-			for _, r := range js.index[k] {
-				if err := push(en.tableScope(tbl, alias, r)); err != nil {
+			for _, r := range jh.index[k] {
+				s := st.getScope()
+				fillTableScope(s, tbl, alias, r)
+				err := push(s)
+				st.putScope(s)
+				if err != nil {
 					return err
 				}
 			}
@@ -620,7 +711,11 @@ func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, f
 		}
 		var scanErr error
 		tbl.Scan(func(r *ordb.Row) bool {
-			if err := push(en.tableScope(tbl, alias, r)); err != nil {
+			s := st.getScope()
+			fillTableScope(s, tbl, alias, r)
+			err := push(s)
+			st.putScope(s)
+			if err != nil {
 				scanErr = err
 				return false
 			}

@@ -1,0 +1,87 @@
+package xmldom
+
+// Builder amortizes DOM construction. Reconstruction allocates one
+// Element or Text per stored node, and for large documents those
+// per-node allocations dominate the retrieval profile; a Builder carves
+// nodes out of chunked backing arrays instead, so a tree of thousands of
+// nodes costs a few dozen allocations. Chunks are never reallocated once
+// handed out — a full chunk is retired and a fresh one started — so
+// node pointers stay valid for the life of the tree.
+//
+// A Builder is not safe for concurrent use; the nodes it produces are
+// ordinary nodes and follow the usual rules.
+type Builder struct {
+	elems []Element
+	texts []Text
+	nodes []Node
+}
+
+// builderChunk is the number of nodes per backing array. Large enough to
+// amortize allocation, small enough not to strand much memory when a
+// tree finishes mid-chunk.
+const builderChunk = 64
+
+// Element returns a fresh element, equivalent to NewElement(name).
+func (b *Builder) Element(name string) *Element {
+	if len(b.elems) == cap(b.elems) {
+		b.elems = make([]Element, 0, builderChunk)
+	}
+	b.elems = append(b.elems, Element{Name: name})
+	return &b.elems[len(b.elems)-1]
+}
+
+// Text returns a fresh text node, equivalent to NewText(data).
+func (b *Builder) Text(data string) *Text {
+	if len(b.texts) == cap(b.texts) {
+		b.texts = make([]Text, 0, builderChunk)
+	}
+	b.texts = append(b.texts, Text{Data: data})
+	return &b.texts[len(b.texts)-1]
+}
+
+// TextElement returns an element holding a single text child — the
+// common leaf shape of reconstructed documents. An empty data string
+// yields an empty element.
+func (b *Builder) TextElement(name, data string) *Element {
+	el := b.Element(name)
+	if data != "" {
+		b.Reserve(el, 1)
+		el.AppendChild(b.Text(data))
+	}
+	return el
+}
+
+// Reserve pre-sizes el's child list for n AppendChild calls. A childless
+// element gets its backing from the builder's node arena — the per-leaf
+// child-slice allocation is the single most frequent allocation of a
+// reconstructed tree. Appending past the reservation falls back to the
+// ordinary grow-and-copy path, so a low estimate costs only the copy.
+func (b *Builder) Reserve(el *Element, n int) {
+	if n <= 0 {
+		return
+	}
+	if el.children != nil {
+		el.Grow(n)
+		return
+	}
+	if len(b.nodes)+n > cap(b.nodes) {
+		c := builderChunk * 4
+		if n > c {
+			c = n
+		}
+		b.nodes = make([]Node, 0, c)
+	}
+	el.children = b.nodes[len(b.nodes):len(b.nodes):len(b.nodes)+n]
+	b.nodes = b.nodes[:len(b.nodes)+n]
+}
+
+// Grow pre-sizes the element's child list for at least n more
+// AppendChild calls without reallocation.
+func (e *Element) Grow(n int) {
+	if free := cap(e.children) - len(e.children); free >= n {
+		return
+	}
+	grown := make([]Node, len(e.children), len(e.children)+n)
+	copy(grown, e.children)
+	e.children = grown
+}

@@ -314,6 +314,11 @@ func (s *Store) Exec(sqlText string) (*sql.Result, error) { return s.Engine.Exec
 // DB exposes the underlying engine database (for stats and inspection).
 func (s *Store) DB() *ordb.DB { return s.Engine.DB() }
 
+// CacheStats reports statement- and plan-cache effectiveness for the
+// store's engine (see the README section "Indexes, caching, and the hot
+// path").
+func (s *Store) CacheStats() sql.CacheStats { return s.Engine.CacheStats() }
+
 // ExpandTemplate runs the embedded <?xmlordb-query ...?> instructions of
 // an XML template against the store and returns the expanded document —
 // the template-driven export procedure of Section 6.3.
