@@ -1,0 +1,406 @@
+// Command xmlordbd serves one or more xmlordb document stores over the
+// newline-delimited JSON wire protocol (internal/wire), and doubles as
+// the wire client for scripting and interactive use.
+//
+// Usage:
+//
+//	xmlordbd serve  [flags]                  # run the server
+//	xmlordbd client [flags] <verb> [args...] # one-shot wire client
+//	xmlordbd repl   [flags]                  # interactive wire client
+//
+// Server flags:
+//
+//	-addr :7788             TCP listen address
+//	-stats-addr addr        optional HTTP listener serving GET /stats
+//	-dtd file.dtd           DTD to install as the initial store
+//	-root name              root element for -dtd (default: unique candidate)
+//	-name default           name of the initial store
+//	-snapshot-dir dir       enable snapshot persistence (restore on boot)
+//	-snapshot-interval 30s  period of the background snapshot loop
+//	-idle-timeout 5m        close sessions idle this long
+//	-request-timeout 0      per-request execution limit (0 = none)
+//	-max-request 16777216   request frame size limit in bytes
+//
+// The server drains gracefully on SIGINT/SIGTERM: new connections are
+// refused, in-flight requests complete, dirty stores are snapshotted.
+//
+// Client verbs:
+//
+//	ping | stores | stats | save
+//	open  <name> <dtd-file> [root]      install a store from a DTD
+//	load  <doc.xml>...                  load documents, print DocIDs
+//	sql   <statement>                   run SQL (or read from stdin with -)
+//	xpath <path>                        translate + run an XPath
+//	retrieve <docid>                    print a reconstructed document
+//	delete   <docid>                    delete a document
+//
+// Client flags: -addr, -store (target store name), -timeout.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/client"
+	"xmlordb/internal/server"
+	"xmlordb/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "xmlordbd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (serve|client|repl)")
+	}
+	switch args[0] {
+	case "serve":
+		return runServe(args[1:], out)
+	case "client":
+		return runClient(args[1:], out, false)
+	case "repl":
+		return runClient(args[1:], out, true)
+	default:
+		return fmt.Errorf("unknown subcommand %q (serve|client|repl)", args[0])
+	}
+}
+
+func runServe(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":7788", "TCP listen address")
+		statsAddr    = fs.String("stats-addr", "", "HTTP /stats listen address")
+		dtdFile      = fs.String("dtd", "", "DTD file for the initial store")
+		root         = fs.String("root", "", "root element for -dtd")
+		name         = fs.String("name", "default", "name of the initial store")
+		snapDir      = fs.String("snapshot-dir", "", "snapshot directory (enables persistence)")
+		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "snapshot period")
+		idleTimeout  = fs.Duration("idle-timeout", 5*time.Minute, "session idle timeout")
+		reqTimeout   = fs.Duration("request-timeout", 0, "per-request execution limit (0 = none)")
+		maxRequest   = fs.Int("max-request", wire.DefaultMaxFrame, "request frame size limit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv := server.New(server.Config{
+		MaxRequestBytes:  *maxRequest,
+		RequestTimeout:   *reqTimeout,
+		IdleTimeout:      *idleTimeout,
+		SnapshotDir:      *snapDir,
+		SnapshotInterval: *snapInterval,
+		StatsAddr:        *statsAddr,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
+		},
+	})
+	restored, err := srv.RestoreDir()
+	if err != nil {
+		return err
+	}
+	if restored > 0 {
+		fmt.Fprintf(out, "restored %d store(s) from %s: %v\n", restored, *snapDir, srv.StoreNames())
+	}
+	if *dtdFile != "" {
+		if hosted := srv.StoreNames(); !contains(hosted, *name) {
+			dtdText, err := os.ReadFile(*dtdFile)
+			if err != nil {
+				return err
+			}
+			if err := srv.OpenStore(*name, string(dtdText), *root, xmlordb.Config{}); err != nil {
+				return fmt.Errorf("opening store %s: %w", *name, err)
+			}
+			fmt.Fprintf(out, "installed store %q from %s\n", *name, *dtdFile)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	// Wait until the listener is bound so the address prints truthfully.
+	for srv.Addr() == nil {
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	fmt.Fprintf(out, "listening on %s (stores: %v)\n", srv.Addr(), srv.StoreNames())
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "bye")
+		return nil
+	}
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if strings.EqualFold(x, s) {
+			return true
+		}
+	}
+	return false
+}
+
+func runClient(args []string, out io.Writer, repl bool) error {
+	fs := flag.NewFlagSet("client", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:7788", "server address")
+		store   = fs.String("store", "", "target store name")
+		timeout = fs.Duration("timeout", 30*time.Second, "per-call timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	c, err := client.Dial(*addr, client.WithTimeout(*timeout))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if *store != "" {
+		if err := c.Use(ctx, *store); err != nil {
+			return err
+		}
+	}
+	if repl {
+		return runRepl(ctx, c, out)
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		return fmt.Errorf("missing client verb")
+	}
+	return clientVerb(ctx, c, rest, out)
+}
+
+func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+	verb, rest := strings.ToLower(args[0]), args[1:]
+	switch verb {
+	case "ping":
+		if err := c.Ping(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "pong")
+	case "stores":
+		names, err := c.Stores(ctx)
+		if err != nil {
+			return err
+		}
+		for _, n := range names {
+			fmt.Fprintln(out, n)
+		}
+	case "open":
+		if len(rest) < 2 {
+			return fmt.Errorf("usage: open <name> <dtd-file> [root]")
+		}
+		dtdText, err := os.ReadFile(rest[1])
+		if err != nil {
+			return err
+		}
+		root := ""
+		if len(rest) > 2 {
+			root = rest[2]
+		}
+		if err := c.OpenStore(ctx, rest[0], string(dtdText), root); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "opened %s\n", rest[0])
+	case "load":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: load <doc.xml>...")
+		}
+		for _, f := range rest {
+			xmlText, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			id, err := c.Load(ctx, f, string(xmlText))
+			if err != nil {
+				return fmt.Errorf("%s: %w", f, err)
+			}
+			fmt.Fprintf(out, "%s: DocID %d\n", f, id)
+		}
+	case "sql":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: sql <statement> (or - for stdin)")
+		}
+		text := strings.Join(rest, " ")
+		if text == "-" {
+			data, err := io.ReadAll(os.Stdin)
+			if err != nil {
+				return err
+			}
+			text = string(data)
+		}
+		return runSQL(ctx, c, text, out)
+	case "xpath":
+		if len(rest) != 1 {
+			return fmt.Errorf("usage: xpath <path>")
+		}
+		res, err := c.XPath(ctx, rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "-- %s\n", res.SQL)
+		printResult(out, res)
+	case "retrieve":
+		id, err := docIDArg(rest)
+		if err != nil {
+			return err
+		}
+		xmlText, err := c.Retrieve(ctx, id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, xmlText)
+	case "delete":
+		id, err := docIDArg(rest)
+		if err != nil {
+			return err
+		}
+		if err := c.Delete(ctx, id); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "deleted %d\n", id)
+	case "stats":
+		st, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		printStats(out, st)
+	case "save":
+		if err := c.Save(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "saved")
+	case "begin":
+		return c.Begin(ctx)
+	case "commit":
+		return c.Commit(ctx)
+	case "rollback":
+		return c.Rollback(ctx)
+	default:
+		return fmt.Errorf("unknown client verb %q", verb)
+	}
+	return nil
+}
+
+func docIDArg(rest []string) (int, error) {
+	if len(rest) != 1 {
+		return 0, fmt.Errorf("usage: <verb> <docid>")
+	}
+	id, err := strconv.Atoi(rest[0])
+	if err != nil || id <= 0 {
+		return 0, fmt.Errorf("bad docid %q", rest[0])
+	}
+	return id, nil
+}
+
+func runSQL(ctx context.Context, c *client.Client, text string, out io.Writer) error {
+	upper := strings.ToUpper(strings.TrimSpace(text))
+	if strings.HasPrefix(upper, "SELECT") {
+		res, err := c.Query(ctx, text)
+		if err != nil {
+			return err
+		}
+		printResult(out, res)
+		return nil
+	}
+	n, err := c.Exec(ctx, text)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "ok (%d row(s) affected)\n", n)
+	return nil
+}
+
+func printResult(out io.Writer, res *client.Result) {
+	fmt.Fprintln(out, strings.Join(res.Cols, "\t"))
+	for _, row := range res.Rows {
+		cells := make([]string, len(row))
+		for i, v := range row {
+			if v == nil {
+				cells[i] = "NULL"
+			} else {
+				cells[i] = fmt.Sprint(v)
+			}
+		}
+		fmt.Fprintln(out, strings.Join(cells, "\t"))
+	}
+	fmt.Fprintf(out, "(%d row(s))\n", len(res.Rows))
+}
+
+func printStats(out io.Writer, st *wire.Stats) {
+	fmt.Fprintf(out, "sessions: %d open / %d total; snapshots: %d; timeouts: %d; oversized: %d\n",
+		st.SessionsOpen, st.SessionsTotal, st.Snapshots, st.Timeouts, st.Oversized)
+	for _, s := range st.StoreStats {
+		fmt.Fprintf(out, "store %s: %d doc(s); parse %d/%d hit/miss; plan %d/%d; inserts %d; rows scanned %d; derefs %d; index probes %d\n",
+			s.Name, s.Documents, s.ParseHits, s.ParseMisses, s.PlanHits, s.PlanMisses,
+			s.Inserts, s.RowsScanned, s.Derefs, s.IndexProbes)
+	}
+	for _, v := range st.Verbs {
+		avg := time.Duration(0)
+		if v.Count > 0 {
+			avg = time.Duration(v.TotalNanos / v.Count)
+		}
+		fmt.Fprintf(out, "verb %-8s count %d errors %d avg %s\n", v.Verb, v.Count, v.Errors, avg)
+	}
+}
+
+// runRepl reads commands from stdin: wire verbs with shell-ish args,
+// plus bare SQL lines starting with SELECT/INSERT/... for convenience.
+func runRepl(ctx context.Context, c *client.Client, out io.Writer) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	fmt.Fprintln(out, "xmlordbd repl — verbs: ping stores open load sql xpath retrieve delete begin commit rollback stats save quit")
+	for {
+		fmt.Fprint(out, "> ")
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		verb := strings.ToLower(fields[0])
+		if verb == "quit" || verb == "exit" {
+			return nil
+		}
+		var err error
+		switch verb {
+		case "select", "insert", "delete_rows", "update", "create", "drop", "savepoint":
+			err = runSQL(ctx, c, line, out)
+		case "sql":
+			err = runSQL(ctx, c, strings.TrimSpace(strings.TrimPrefix(line, fields[0])), out)
+		default:
+			err = clientVerb(ctx, c, fields, out)
+		}
+		if err != nil {
+			fmt.Fprintln(out, "error:", err)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/server"
+)
+
+const uniDTD = `
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+`
+
+const uniDoc = `<University><StudyCourse>CS</StudyCourse><Student StudNr="1"><LName>Conrad</LName><FName>M</FName></Student></University>`
+
+func startTestServer(t *testing.T) string {
+	t.Helper()
+	srv := server.New(server.Config{})
+	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddStore("uni", st); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return ln.Addr().String()
+}
+
+func TestCLIClientVerbs(t *testing.T) {
+	addr := startTestServer(t)
+	docFile := filepath.Join(t.TempDir(), "doc.xml")
+	if err := os.WriteFile(docFile, []byte(uniDoc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	runCLI := func(args ...string) (string, error) {
+		var sb strings.Builder
+		err := run(append([]string{"client", "-addr", addr}, args...), &sb)
+		return sb.String(), err
+	}
+
+	if out, err := runCLI("ping"); err != nil || !strings.Contains(out, "pong") {
+		t.Fatalf("ping: %q, %v", out, err)
+	}
+	if out, err := runCLI("stores"); err != nil || !strings.Contains(out, "uni") {
+		t.Fatalf("stores: %q, %v", out, err)
+	}
+	if out, err := runCLI("load", docFile); err != nil || !strings.Contains(out, "DocID 1") {
+		t.Fatalf("load: %q, %v", out, err)
+	}
+	out, err := runCLI("sql", "SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st")
+	if err != nil || !strings.Contains(out, "Conrad") || !strings.Contains(out, "(1 row(s))") {
+		t.Fatalf("sql: %q, %v", out, err)
+	}
+	if out, err := runCLI("xpath", "/University/Student/LName"); err != nil || !strings.Contains(out, "Conrad") {
+		t.Fatalf("xpath: %q, %v", out, err)
+	}
+	if out, err := runCLI("retrieve", "1"); err != nil || !strings.Contains(out, "<LName>Conrad</LName>") {
+		t.Fatalf("retrieve: %q, %v", out, err)
+	}
+	if out, err := runCLI("stats"); err != nil || !strings.Contains(out, "store uni") {
+		t.Fatalf("stats: %q, %v", out, err)
+	}
+	if out, err := runCLI("delete", "1"); err != nil || !strings.Contains(out, "deleted 1") {
+		t.Fatalf("delete: %q, %v", out, err)
+	}
+	if _, err := runCLI("retrieve", "1"); err == nil {
+		t.Fatal("retrieve after delete succeeded")
+	}
+	if _, err := runCLI("bogus"); err == nil {
+		t.Fatal("unknown verb accepted")
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"frobnicate"}, &sb); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"client", "-addr", "127.0.0.1:1"}, &sb); err == nil {
+		t.Fatal("missing client verb accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package xmlordb
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentReaders exercises the documented Store concurrency
+// contract: read-only methods may run from many goroutines at once.
+// The engine state they share — the parse cache, the plan cache, index
+// materialization, and the Stats probe counters — must be internally
+// synchronized, which the race detector checks here. Writers are done
+// up front, then readers fan out against a quiescent store.
+func TestConcurrentReaders(t *testing.T) {
+	store, docID, err := OpenDocument(paperDoc, "paper.xml", Config{})
+	if err != nil {
+		t.Fatalf("OpenDocument: %v", err)
+	}
+	// A second document so queries traverse more than one row.
+	doc2 := strings.Replace(paperDoc, `StudNr="23374"`, `StudNr="99001"`, 1)
+	doc2 = strings.Replace(doc2, "<LName>Conrad</LName>", "<LName>Kudrass</LName>", 1)
+	id2, err := store.LoadXML(doc2, "paper2.xml")
+	if err != nil {
+		t.Fatalf("LoadXML: %v", err)
+	}
+
+	const goroutines = 12
+	const iters = 25
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					rows, err := store.Query(`SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`)
+					if err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+					if len(rows.Data) != 2 {
+						t.Errorf("query rows = %d, want 2", len(rows.Data))
+						return
+					}
+				case 1:
+					id := docID
+					want := "<LName>Conrad</LName>"
+					if i%2 == 1 {
+						id, want = id2, "<LName>Kudrass</LName>"
+					}
+					xml, err := store.RetrieveXML(id)
+					if err != nil {
+						t.Errorf("retrieve %d: %v", id, err)
+						return
+					}
+					if !strings.Contains(xml, want) {
+						t.Errorf("retrieve %d: missing %s", id, want)
+						return
+					}
+				case 2:
+					rows, _, err := store.XPath(`/University/Student/LName`)
+					if err != nil {
+						t.Errorf("xpath: %v", err)
+						return
+					}
+					if len(rows.Data) != 2 {
+						t.Errorf("xpath rows = %d, want 2", len(rows.Data))
+						return
+					}
+				case 3:
+					store.CacheStats()
+					store.DB().Stats()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	cs := store.CacheStats()
+	if cs.PlanHits == 0 {
+		t.Error("plan cache saw no hits under concurrent readers")
+	}
+}

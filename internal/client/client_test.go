@@ -1,0 +1,204 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/server"
+	"xmlordb/internal/wire"
+)
+
+const uniDTD = `
+<!ELEMENT University (StudyCourse,Student*)>
+<!ELEMENT Student (LName,FName)>
+<!ATTLIST Student StudNr CDATA #REQUIRED>
+<!ELEMENT LName (#PCDATA)>
+<!ELEMENT FName (#PCDATA)>
+<!ELEMENT StudyCourse (#PCDATA)>
+`
+
+func uniDoc(lname string, nr int) string {
+	return fmt.Sprintf(`<University><StudyCourse>CS</StudyCourse><Student StudNr="%d"><LName>%s</LName><FName>F</FName></Student></University>`, nr, lname)
+}
+
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	srv := server.New(cfg)
+	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddStore("uni", st); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return srv, ln.Addr().String()
+}
+
+// TestClientReconnect: after the server closes an idle session, the
+// client recovers on a subsequent call by redialing.
+func TestClientReconnect(t *testing.T) {
+	_, addr := startServer(t, server.Config{IdleTimeout: 60 * time.Millisecond})
+	c, err := Dial(addr, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond) // server idles the session out
+
+	// The first call after the silent close may fail (the write can
+	// succeed into a dead socket); the client must recover by itself on
+	// a retry — never stay wedged.
+	var ok bool
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(ctx); err == nil {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		t.Fatal("client did not reconnect after idle disconnect")
+	}
+	if _, err := c.Load(ctx, "r.xml", uniDoc("Reconnected", 1)); err != nil {
+		t.Fatalf("load after reconnect: %v", err)
+	}
+}
+
+// TestClientTxBroken: a connection lost mid-transaction surfaces
+// ErrTxBroken instead of silently redialing into a fresh session.
+func TestClientTxBroken(t *testing.T) {
+	_, addr := startServer(t, server.Config{IdleTimeout: 60 * time.Millisecond})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(250 * time.Millisecond) // server idles out, rolls back
+
+	_, err = c.Load(ctx, "x.xml", uniDoc("GoneTx", 1))
+	if !errors.Is(err, ErrTxBroken) {
+		t.Fatalf("err = %v, want ErrTxBroken", err)
+	}
+	// After the error the client is usable again (fresh session, no tx).
+	if _, err := c.Load(ctx, "y.xml", uniDoc("FreshSession", 2)); err != nil {
+		t.Fatalf("load after tx break: %v", err)
+	}
+}
+
+// TestClientPerCallTimeout: a server that never answers trips the call
+// context deadline, not a hang.
+func TestClientPerCallTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Read and ignore; never respond.
+			go func() {
+				br := bufio.NewReader(conn)
+				for {
+					if _, err := wire.ReadFrame(br, 0); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	c, err := Dial(ln.Addr().String(), WithTimeout(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := c.Ping(ctx); err == nil {
+		t.Fatal("ping of mute server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestClientConcurrentCalls: one client shared by many goroutines
+// serializes frames correctly (run under -race).
+func TestClientConcurrentCalls(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				switch j % 3 {
+				case 0:
+					if err := c.Ping(ctx); err != nil {
+						t.Errorf("ping: %v", err)
+						return
+					}
+				case 1:
+					if _, err := c.Stores(ctx); err != nil {
+						t.Errorf("stores: %v", err)
+						return
+					}
+				case 2:
+					if _, err := c.Query(ctx, `SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`); err != nil {
+						t.Errorf("query: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// TestClientDialFailure: dialing a dead address errors promptly.
+func TestClientDialFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	if _, err := Dial(addr, WithTimeout(500*time.Millisecond)); err == nil {
+		t.Fatal("dial of closed address succeeded")
+	}
+}

@@ -1,0 +1,538 @@
+// Package server turns the embedded xmlordb library into a network
+// service: a TCP server hosting one or more named Stores behind the
+// newline-delimited JSON protocol of internal/wire, with per-connection
+// sessions, per-store reader/writer locking, request size and time
+// limits, periodic snapshot persistence and graceful drain on shutdown.
+//
+// Concurrency model. The engine (ordb.DB) is internally locked per
+// operation, but the library's compound operations — a document load's
+// many inserts, a user transaction's statements — are not isolated from
+// each other, and the engine admits only one open transaction. The
+// server therefore owns write serialization: each hosted store carries a
+// sync.RWMutex; queries and retrievals run under the read lock (and so
+// in parallel), while loads, deletes, non-SELECT SQL, snapshots and
+// whole transactions hold the write lock. A session's BEGIN acquires the
+// store's write lock and keeps it until COMMIT/ROLLBACK — or until the
+// session dies, which rolls the transaction back — so one client's
+// transaction is invisible to and cannot interleave with any other
+// client, preserving the PR 1 atomicity semantics per connection.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/wire"
+)
+
+// Config tunes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// MaxRequestBytes bounds one request frame (default wire.DefaultMaxFrame).
+	MaxRequestBytes int
+	// RequestTimeout bounds one request's execution, including any wait
+	// for the store lock; on expiry the connection is closed (the
+	// operation itself finishes and releases its locks). 0 = no limit.
+	RequestTimeout time.Duration
+	// IdleTimeout closes sessions that send no request for this long
+	// (default 5 minutes; negative = no limit).
+	IdleTimeout time.Duration
+	// SnapshotDir, when set, enables snapshot persistence: each store is
+	// saved to <dir>/<name>.xos — periodically when SnapshotInterval > 0,
+	// on SAVE requests, and during Shutdown.
+	SnapshotDir string
+	// SnapshotInterval is the period of the background snapshot loop.
+	SnapshotInterval time.Duration
+	// StatsAddr, when set, serves GET /stats (the wire.Stats payload as
+	// JSON) on a separate HTTP listener.
+	StatsAddr string
+	// Logf receives server log lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+const defaultIdleTimeout = 5 * time.Minute
+
+func (c Config) maxRequest() int {
+	if c.MaxRequestBytes > 0 {
+		return c.MaxRequestBytes
+	}
+	return wire.DefaultMaxFrame
+}
+
+func (c Config) idleTimeout() time.Duration {
+	switch {
+	case c.IdleTimeout > 0:
+		return c.IdleTimeout
+	case c.IdleTimeout < 0:
+		return 0
+	default:
+		return defaultIdleTimeout
+	}
+}
+
+func (c Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// hostedStore is one named Store plus the server-side lock that
+// serializes its writers. dirty marks un-snapshotted writes.
+type hostedStore struct {
+	name  string
+	mu    sync.RWMutex
+	store *xmlordb.Store
+
+	dirtyMu sync.Mutex
+	dirty   bool
+}
+
+func (hs *hostedStore) markDirty() {
+	hs.dirtyMu.Lock()
+	hs.dirty = true
+	hs.dirtyMu.Unlock()
+}
+
+func (hs *hostedStore) clearDirty() bool {
+	hs.dirtyMu.Lock()
+	d := hs.dirty
+	hs.dirty = false
+	hs.dirtyMu.Unlock()
+	return d
+}
+
+// Server hosts named stores behind the wire protocol.
+type Server struct {
+	cfg Config
+
+	mu         sync.Mutex
+	stores     map[string]*hostedStore
+	storeOrder []string
+	sessions   map[*session]struct{}
+	sessionSeq int64
+	draining   bool
+	ln         net.Listener
+	httpSrv    *http.Server
+
+	metrics  *metrics
+	wg       sync.WaitGroup // live connection handlers
+	snapStop chan struct{}
+	snapDone chan struct{}
+}
+
+// New returns a server with no stores hosted yet.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:      cfg,
+		stores:   map[string]*hostedStore{},
+		sessions: map[*session]struct{}{},
+		metrics:  newMetrics(),
+	}
+}
+
+// storeNameRe keeps store names usable as snapshot file names.
+var storeNameRe = regexp.MustCompile(`^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$`)
+
+// AddStore hosts an already-open store under name.
+func (s *Server) AddStore(name string, st *xmlordb.Store) error {
+	if !storeNameRe.MatchString(name) {
+		return fmt.Errorf("server: invalid store name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.stores[key]; ok {
+		return fmt.Errorf("server: store %q already hosted", name)
+	}
+	s.stores[key] = &hostedStore{name: name, store: st}
+	s.storeOrder = append(s.storeOrder, key)
+	return nil
+}
+
+// OpenStore installs a new store from DTD text and hosts it under name
+// (the OPEN verb).
+func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error {
+	st, err := xmlordb.Open(dtdText, root, cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.AddStore(name, st); err != nil {
+		return err
+	}
+	if hs := s.lookupStore(name); hs != nil {
+		hs.markDirty() // a fresh schema is state worth snapshotting
+	}
+	return nil
+}
+
+// lookupStore returns the hosted store named name (case-insensitive).
+func (s *Server) lookupStore(name string) *hostedStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stores[strings.ToLower(name)]
+}
+
+// defaultStore returns the only hosted store when exactly one exists.
+func (s *Server) defaultStore() *hostedStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.storeOrder) == 1 {
+		return s.stores[s.storeOrder[0]]
+	}
+	return nil
+}
+
+// StoreNames lists hosted store names in hosting order.
+func (s *Server) StoreNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.storeOrder))
+	for _, k := range s.storeOrder {
+		out = append(out, s.stores[k].name)
+	}
+	return out
+}
+
+// RestoreDir loads every *.xos snapshot in cfg.SnapshotDir and hosts the
+// restored stores under their file base names. Missing directory is not
+// an error (first boot). Returns the number of stores restored.
+func (s *Server) RestoreDir() (int, error) {
+	if s.cfg.SnapshotDir == "" {
+		return 0, nil
+	}
+	entries, err := os.ReadDir(s.cfg.SnapshotDir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	n := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xos") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".xos")
+		f, err := os.Open(filepath.Join(s.cfg.SnapshotDir, e.Name()))
+		if err != nil {
+			return n, err
+		}
+		st, err := xmlordb.LoadStore(f)
+		f.Close()
+		if err != nil {
+			return n, fmt.Errorf("server: restoring %s: %w", e.Name(), err)
+		}
+		if err := s.AddStore(name, st); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}
+
+// saveStore snapshots one store under its write lock — the same
+// discipline as writers, so the snapshot can never capture a half-done
+// load or an uncommitted transaction. The file is written to a temp
+// name and renamed, so a crash mid-save never corrupts the previous
+// snapshot.
+func (s *Server) saveStore(hs *hostedStore, locked bool) error {
+	if s.cfg.SnapshotDir == "" {
+		return fmt.Errorf("server: no snapshot directory configured")
+	}
+	if err := os.MkdirAll(s.cfg.SnapshotDir, 0o755); err != nil {
+		return err
+	}
+	if !locked {
+		hs.mu.Lock()
+		defer hs.mu.Unlock()
+	}
+	final := filepath.Join(s.cfg.SnapshotDir, hs.name+".xos")
+	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, hs.name+".*.tmp")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := hs.store.Save(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		return err
+	}
+	s.metrics.snapshots.Add(1)
+	return nil
+}
+
+// SaveAll snapshots every dirty store. Clean stores are skipped.
+func (s *Server) SaveAll() error {
+	s.mu.Lock()
+	hosted := make([]*hostedStore, 0, len(s.storeOrder))
+	for _, k := range s.storeOrder {
+		hosted = append(hosted, s.stores[k])
+	}
+	s.mu.Unlock()
+	var firstErr error
+	for _, hs := range hosted {
+		if !hs.clearDirty() {
+			continue
+		}
+		if err := s.saveStore(hs, false); err != nil {
+			hs.markDirty() // retry on the next cycle
+			s.cfg.logf("snapshot %s: %v", hs.name, err)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Addr returns the bound listener address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until Shutdown closes it. The
+// background snapshot loop and the optional HTTP stats listener run for
+// the duration of Serve.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	if s.cfg.SnapshotDir != "" && s.cfg.SnapshotInterval > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapshotLoop()
+	}
+	if s.cfg.StatsAddr != "" {
+		if err := s.startStatsHTTP(); err != nil {
+			s.cfg.logf("stats http: %v", err)
+		}
+	}
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessionSeq++
+		sess := newSession(s, conn, s.sessionSeq)
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.metrics.sessionsOpen.Add(1)
+		s.metrics.sessionsTotal.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			sess.serve()
+		}()
+	}
+}
+
+// snapshotLoop periodically saves dirty stores.
+func (s *Server) snapshotLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(s.cfg.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := s.SaveAll(); err != nil {
+				s.cfg.logf("snapshot cycle: %v", err)
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// startStatsHTTP serves GET /stats on cfg.StatsAddr.
+func (s *Server) startStatsHTTP() error {
+	ln, err := net.Listen("tcp", s.cfg.StatsAddr)
+	if err != nil {
+		return err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.statsPayload())
+	})
+	srv := &http.Server{Handler: mux}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return nil
+}
+
+// statsPayload assembles the STATS reply. It takes no store locks — all
+// sources are atomic counters or internally locked engine accessors — so
+// a session holding a store's write lock (an open transaction) can still
+// ask for stats.
+func (s *Server) statsPayload() *wire.Stats {
+	s.mu.Lock()
+	hosted := make([]*hostedStore, 0, len(s.storeOrder))
+	for _, k := range s.storeOrder {
+		hosted = append(hosted, s.stores[k])
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	st := &wire.Stats{
+		SessionsOpen:  s.metrics.sessionsOpen.Load(),
+		SessionsTotal: s.metrics.sessionsTotal.Load(),
+		Draining:      draining,
+		Snapshots:     s.metrics.snapshots.Load(),
+		Timeouts:      s.metrics.timeouts.Load(),
+		Oversized:     s.metrics.oversized.Load(),
+		Verbs:         s.metrics.verbStats(),
+	}
+	for _, hs := range hosted {
+		cs := hs.store.CacheStats()
+		dbs := hs.store.DB().Stats()
+		docs := 0
+		if tab, err := hs.store.DB().Table(hs.store.Schema.RootTable); err == nil {
+			docs = tab.RowCount()
+		}
+		st.StoreStats = append(st.StoreStats, wire.StoreStats{
+			Name:        hs.name,
+			Documents:   docs,
+			ParseHits:   cs.ParseHits,
+			ParseMisses: cs.ParseMisses,
+			PlanHits:    cs.PlanHits,
+			PlanMisses:  cs.PlanMisses,
+			Inserts:     dbs.Inserts,
+			RowsScanned: dbs.RowsScanned,
+			Derefs:      dbs.Derefs,
+			IndexProbes: dbs.IndexProbes,
+		})
+	}
+	sort.Slice(st.StoreStats, func(i, j int) bool { return st.StoreStats[i].Name < st.StoreStats[j].Name })
+	return st
+}
+
+// Shutdown drains the server: the listener closes (new connections are
+// refused), idle sessions are closed immediately — rolling back any open
+// transaction — and busy sessions finish their in-flight request and
+// receive its response before closing. Dirty stores are snapshotted
+// after the drain. If ctx expires first, remaining connections are
+// force-closed and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.draining = true
+	ln := s.ln
+	httpSrv := s.httpSrv
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	if s.snapStop != nil {
+		close(s.snapStop)
+		<-s.snapDone
+	}
+	for _, sess := range sessions {
+		sess.beginDrain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var drainErr error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		for _, sess := range sessions {
+			sess.forceClose()
+		}
+		<-done
+		drainErr = ctx.Err()
+	}
+	if httpSrv != nil {
+		httpSrv.Close()
+	}
+	if s.cfg.SnapshotDir != "" {
+		if err := s.SaveAll(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+	}
+	return drainErr
+}
+
+// dropSession unregisters sess after its loop exits: any open
+// transaction is rolled back and the store write lock released, so a
+// dead client can never strand a store.
+func (s *Server) dropSession(sess *session) {
+	sess.releaseTx(true)
+	s.mu.Lock()
+	if _, ok := s.sessions[sess]; ok {
+		delete(s.sessions, sess)
+		s.metrics.sessionsOpen.Add(-1)
+	}
+	s.mu.Unlock()
+	sess.conn.Close()
+}
+
+// SessionCount reports the number of live sessions (test hook).
+func (s *Server) SessionCount() int {
+	return int(s.metrics.sessionsOpen.Load())
+}

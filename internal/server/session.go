@@ -1,0 +1,484 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/sql"
+	"xmlordb/internal/wire"
+)
+
+// session is one client connection's state: the store it is bound to
+// (USE), the store whose write lock it holds while a transaction is
+// open, and the drain/busy handshake with Shutdown.
+type session struct {
+	id   int64
+	srv  *Server
+	conn net.Conn
+	br   *bufio.Reader
+
+	// cur is the store bound with USE (nil = server default).
+	cur *hostedStore
+	// tx is the store whose write lock this session holds between BEGIN
+	// and COMMIT/ROLLBACK. Only the session's own goroutine touches it.
+	tx *hostedStore
+
+	// busy/draining implement graceful shutdown: a session is busy from
+	// the moment a request is fully read until its response is written.
+	// Draining an idle session closes the connection immediately;
+	// draining a busy one lets the in-flight request complete and its
+	// response go out first. Accessed from the session goroutine and
+	// from Shutdown, hence atomics.
+	busy     atomic.Bool
+	draining atomic.Bool
+	closed   atomic.Bool
+}
+
+func newSession(s *Server, conn net.Conn, id int64) *session {
+	return &session{
+		id:   id,
+		srv:  s,
+		conn: conn,
+		br:   bufio.NewReaderSize(conn, 16<<10),
+	}
+}
+
+// beginDrain asks the session to finish up. Idle sessions (including
+// sessions parked inside an open transaction) close immediately, which
+// rolls the transaction back and releases the store lock; busy sessions
+// close themselves right after writing the in-flight response.
+func (ss *session) beginDrain() {
+	ss.draining.Store(true)
+	if !ss.busy.Load() {
+		ss.forceClose()
+	}
+}
+
+// forceClose unblocks any pending read/write by closing the socket.
+func (ss *session) forceClose() {
+	if ss.closed.CompareAndSwap(false, true) {
+		ss.conn.Close()
+	}
+}
+
+// releaseTx rolls back (or commits nothing of) an open session
+// transaction and releases the store write lock.
+func (ss *session) releaseTx(rollback bool) {
+	hs := ss.tx
+	if hs == nil {
+		return
+	}
+	ss.tx = nil
+	if rollback {
+		if tx := hs.store.Engine.DB().CurrentTx(); tx != nil {
+			if err := tx.Rollback(); err != nil {
+				ss.srv.cfg.logf("session %d: rollback on close: %v", ss.id, err)
+			}
+		}
+	}
+	hs.mu.Unlock()
+}
+
+// serve runs the session loop: read a frame, dispatch, write the
+// response, until the client quits, errs out, idles out or the server
+// drains.
+func (ss *session) serve() {
+	defer ss.srv.dropSession(ss)
+	idle := ss.srv.cfg.idleTimeout()
+	for {
+		if idle > 0 {
+			ss.conn.SetReadDeadline(time.Now().Add(idle))
+		}
+		line, err := wire.ReadFrame(ss.br, ss.srv.cfg.maxRequest())
+		if err != nil {
+			switch {
+			case errors.Is(err, wire.ErrFrameTooLarge):
+				ss.srv.metrics.oversized.Add(1)
+				ss.writeResponse(&wire.Response{OK: false, Code: wire.CodeTooLarge,
+					Error: "request frame exceeds server limit"})
+			case errors.Is(err, wire.ErrEmptyFrame):
+				continue // tolerate blank keep-alive lines
+			case errors.Is(err, io.EOF):
+				// clean disconnect
+			default:
+				// mid-frame disconnect, idle timeout, or drain close:
+				// nothing to answer — the deferred dropSession rolls back
+				// any open transaction and releases the store lock.
+			}
+			return
+		}
+
+		ss.busy.Store(true)
+		resp, quit := ss.handle(line)
+		ok := ss.writeResponse(resp)
+		ss.busy.Store(false)
+		if quit || !ok || ss.draining.Load() {
+			return
+		}
+	}
+}
+
+// handle decodes and dispatches one request, enforcing the per-request
+// execution timeout. The bool result reports a QUIT.
+func (ss *session) handle(line []byte) (*wire.Response, bool) {
+	req, err := wire.DecodeRequest(line)
+	if err != nil {
+		ss.srv.metrics.observe("(malformed)", 0, false)
+		return &wire.Response{OK: false, Code: wire.CodeBadRequest, Error: err.Error()}, true
+	}
+	verb := strings.ToUpper(req.Verb)
+
+	var watchdog *time.Timer
+	var timedOut atomic.Bool
+	if d := ss.srv.cfg.RequestTimeout; d > 0 {
+		watchdog = time.AfterFunc(d, func() {
+			timedOut.Store(true)
+			ss.srv.metrics.timeouts.Add(1)
+			ss.forceClose() // the operation finishes and releases its locks
+		})
+	}
+	start := time.Now()
+	resp := ss.dispatch(verb, req)
+	if watchdog != nil {
+		watchdog.Stop()
+	}
+	ss.srv.metrics.observe(verb, time.Since(start), resp.OK)
+	if timedOut.Load() {
+		return resp, true // socket already closed; loop exits on write
+	}
+	return resp, verb == wire.VerbQuit
+}
+
+// writeResponse writes one response frame; false means the connection is
+// no longer usable.
+func (ss *session) writeResponse(resp *wire.Response) bool {
+	ss.conn.SetWriteDeadline(time.Now().Add(30 * time.Second))
+	if err := wire.WriteFrame(ss.conn, resp); err != nil {
+		return false
+	}
+	return true
+}
+
+func fail(code, format string, args ...any) *wire.Response {
+	return &wire.Response{OK: false, Code: code, Error: fmt.Sprintf(format, args...)}
+}
+
+// target resolves the store a request addresses: the explicit
+// req.Store, else the session's USE binding, else the server's sole
+// hosted store.
+func (ss *session) target(req *wire.Request) (*hostedStore, *wire.Response) {
+	if req.Store != "" {
+		hs := ss.srv.lookupStore(req.Store)
+		if hs == nil {
+			return nil, fail(wire.CodeNoStore, "unknown store %q", req.Store)
+		}
+		return hs, nil
+	}
+	if ss.cur != nil {
+		return ss.cur, nil
+	}
+	if hs := ss.srv.defaultStore(); hs != nil {
+		return hs, nil
+	}
+	return nil, fail(wire.CodeNoStore, "no store bound; OPEN or USE one (hosted: %v)", ss.srv.StoreNames())
+}
+
+// withRead runs fn under hs's read lock — unless this session already
+// holds the write lock (open transaction), in which case fn runs
+// directly: the transaction owner must see its own uncommitted writes,
+// and re-acquiring the read lock would deadlock.
+func (ss *session) withRead(hs *hostedStore, fn func() *wire.Response) *wire.Response {
+	if ss.tx == hs {
+		return fn()
+	}
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	return fn()
+}
+
+// withWrite runs fn under hs's write lock (or directly inside this
+// session's own transaction). A successful write marks the store dirty
+// for the snapshot loop.
+func (ss *session) withWrite(hs *hostedStore, fn func() *wire.Response) *wire.Response {
+	var resp *wire.Response
+	if ss.tx == hs {
+		resp = fn()
+	} else {
+		if ss.tx != nil {
+			return fail(wire.CodeTx, "transaction open on store %q; COMMIT or ROLLBACK first", ss.tx.name)
+		}
+		hs.mu.Lock()
+		resp = fn()
+		hs.mu.Unlock()
+	}
+	if resp.OK {
+		hs.markDirty()
+	}
+	return resp
+}
+
+// dispatch executes one decoded request.
+func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
+	switch verb {
+	case wire.VerbPing:
+		return &wire.Response{OK: true}
+	case wire.VerbQuit:
+		return &wire.Response{OK: true}
+	case wire.VerbStores:
+		return &wire.Response{OK: true, Stores: ss.srv.StoreNames()}
+	case wire.VerbStats:
+		return &wire.Response{OK: true, Stats: ss.srv.statsPayload()}
+
+	case wire.VerbOpen:
+		if req.Name == "" || req.DTD == "" {
+			return fail(wire.CodeBadRequest, "OPEN requires name and dtd")
+		}
+		if err := ss.srv.OpenStore(req.Name, req.DTD, req.Root, xmlordb.Config{}); err != nil {
+			return fail(wire.CodeEngine, "%v", err)
+		}
+		ss.cur = ss.srv.lookupStore(req.Name)
+		return &wire.Response{OK: true}
+
+	case wire.VerbUse:
+		if req.Name == "" {
+			return fail(wire.CodeBadRequest, "USE requires name")
+		}
+		hs := ss.srv.lookupStore(req.Name)
+		if hs == nil {
+			return fail(wire.CodeNoStore, "unknown store %q", req.Name)
+		}
+		if ss.tx != nil && ss.tx != hs {
+			return fail(wire.CodeTx, "transaction open on store %q; COMMIT or ROLLBACK first", ss.tx.name)
+		}
+		ss.cur = hs
+		return &wire.Response{OK: true}
+	}
+
+	// Every remaining verb addresses a store.
+	hs, errResp := ss.target(req)
+	if errResp != nil {
+		return errResp
+	}
+
+	switch verb {
+	case wire.VerbLoad:
+		if req.XML == "" {
+			return fail(wire.CodeBadRequest, "LOAD requires xml")
+		}
+		name := req.Name
+		if name == "" {
+			name = fmt.Sprintf("session-%d.xml", ss.id)
+		}
+		return ss.withWrite(hs, func() *wire.Response {
+			id, err := hs.store.LoadXML(req.XML, name)
+			if err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			return &wire.Response{OK: true, DocID: id}
+		})
+
+	case wire.VerbRetrieve:
+		if req.DocID <= 0 {
+			return fail(wire.CodeBadRequest, "RETRIEVE requires docid")
+		}
+		return ss.withRead(hs, func() *wire.Response {
+			xml, err := hs.store.RetrieveXML(req.DocID)
+			if err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			return &wire.Response{OK: true, XML: xml, DocID: req.DocID}
+		})
+
+	case wire.VerbDelete:
+		if req.DocID <= 0 {
+			return fail(wire.CodeBadRequest, "DELETE requires docid")
+		}
+		return ss.withWrite(hs, func() *wire.Response {
+			if err := hs.store.DeleteDocument(req.DocID); err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			return &wire.Response{OK: true, DocID: req.DocID, Affected: 1}
+		})
+
+	case wire.VerbXPath:
+		if req.Path == "" {
+			return fail(wire.CodeBadRequest, "XPATH requires path")
+		}
+		return ss.withRead(hs, func() *wire.Response {
+			rows, stmt, err := hs.store.XPath(req.Path)
+			if err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			cols, data := rowsPayload(rows)
+			return &wire.Response{OK: true, Cols: cols, Rows: data, SQL: stmt}
+		})
+
+	case wire.VerbSQL:
+		return ss.dispatchSQL(hs, req)
+
+	case wire.VerbBegin:
+		return ss.begin(hs)
+	case wire.VerbCommit:
+		return ss.commit(hs)
+	case wire.VerbRollback:
+		return ss.rollback(hs)
+
+	case wire.VerbSave:
+		return ss.withWrite(hs, func() *wire.Response {
+			if err := ss.srv.saveStore(hs, true); err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			hs.clearDirty()
+			return &wire.Response{OK: true}
+		})
+
+	default:
+		return fail(wire.CodeBadRequest, "unknown verb %q", req.Verb)
+	}
+}
+
+// dispatchSQL classifies the statement first: SELECTs run under the read
+// lock, transaction-control statements route through the session's
+// BEGIN/COMMIT handling so the lock discipline cannot be bypassed via
+// the SQL verb, and everything else is a write.
+func (ss *session) dispatchSQL(hs *hostedStore, req *wire.Request) *wire.Response {
+	if strings.TrimSpace(req.SQL) == "" {
+		return fail(wire.CodeBadRequest, "SQL requires sql")
+	}
+	stmt, err := sql.CachedParse(req.SQL)
+	if err != nil {
+		return fail(wire.CodeEngine, "%v", err)
+	}
+	switch st := stmt.(type) {
+	case *sql.SelectStmt:
+		return ss.withRead(hs, func() *wire.Response {
+			rows, err := hs.store.Query(req.SQL)
+			if err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			cols, data := rowsPayload(rows)
+			return &wire.Response{OK: true, Cols: cols, Rows: data}
+		})
+	case *sql.BeginStmt:
+		return ss.begin(hs)
+	case *sql.CommitStmt:
+		return ss.commit(hs)
+	case *sql.RollbackStmt:
+		if st.Savepoint != "" {
+			if ss.tx != hs {
+				return fail(wire.CodeTx, "ROLLBACK TO SAVEPOINT outside a transaction")
+			}
+			if _, err := hs.store.Exec(req.SQL); err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			return &wire.Response{OK: true}
+		}
+		return ss.rollback(hs)
+	case *sql.SavepointStmt:
+		if ss.tx != hs {
+			return fail(wire.CodeTx, "SAVEPOINT outside a transaction")
+		}
+		if _, err := hs.store.Exec(req.SQL); err != nil {
+			return fail(wire.CodeEngine, "%v", err)
+		}
+		return &wire.Response{OK: true}
+	default:
+		return ss.withWrite(hs, func() *wire.Response {
+			res, err := hs.store.Exec(req.SQL)
+			if err != nil {
+				return fail(wire.CodeEngine, "%v", err)
+			}
+			return &wire.Response{OK: true, Affected: res.RowsAffected}
+		})
+	}
+}
+
+// begin opens a session transaction: it takes the store's write lock and
+// holds it until commit/rollback (or session death), which is what makes
+// the engine's single-transaction model safe per client.
+func (ss *session) begin(hs *hostedStore) *wire.Response {
+	if ss.tx == hs {
+		return fail(wire.CodeTx, "transaction already open")
+	}
+	if ss.tx != nil {
+		return fail(wire.CodeTx, "transaction open on store %q", ss.tx.name)
+	}
+	hs.mu.Lock()
+	if _, err := hs.store.Engine.DB().Begin(); err != nil {
+		hs.mu.Unlock()
+		return fail(wire.CodeTx, "%v", err)
+	}
+	ss.tx = hs
+	return &wire.Response{OK: true}
+}
+
+// commit commits the session transaction and releases the write lock. A
+// DDL statement inside the transaction auto-commits it (Oracle
+// semantics), so a missing engine transaction is a no-op success.
+func (ss *session) commit(hs *hostedStore) *wire.Response {
+	if ss.tx == nil {
+		return fail(wire.CodeTx, "no transaction open")
+	}
+	if ss.tx != hs {
+		return fail(wire.CodeTx, "transaction open on store %q", ss.tx.name)
+	}
+	if tx := hs.store.Engine.DB().CurrentTx(); tx != nil {
+		if err := tx.Commit(); err != nil {
+			ss.releaseTx(true)
+			return fail(wire.CodeTx, "%v", err)
+		}
+	}
+	ss.tx = nil
+	hs.mu.Unlock()
+	hs.markDirty()
+	return &wire.Response{OK: true}
+}
+
+// rollback rolls the session transaction back and releases the write lock.
+func (ss *session) rollback(hs *hostedStore) *wire.Response {
+	if ss.tx == nil {
+		return fail(wire.CodeTx, "no transaction open")
+	}
+	if ss.tx != hs {
+		return fail(wire.CodeTx, "transaction open on store %q", ss.tx.name)
+	}
+	ss.releaseTx(true)
+	return &wire.Response{OK: true}
+}
+
+// rowsPayload converts an engine result set to wire values: NULL →
+// JSON null, character data → string, numbers → float64; objects,
+// collections, REFs and dates are rendered in the engine's literal
+// syntax.
+func rowsPayload(rows *sql.Rows) ([]string, [][]any) {
+	data := make([][]any, len(rows.Data))
+	for i, row := range rows.Data {
+		out := make([]any, len(row))
+		for j, v := range row {
+			out[j] = wireValue(v)
+		}
+		data[i] = out
+	}
+	return rows.Cols, data
+}
+
+func wireValue(v ordb.Value) any {
+	switch x := v.(type) {
+	case ordb.Null:
+		return nil
+	case ordb.Str:
+		return string(x)
+	case ordb.Num:
+		return float64(x)
+	default:
+		return ordb.FormatValue(v)
+	}
+}

@@ -47,26 +47,35 @@ type rowSnapshot struct {
 	Vals []ordb.Value
 }
 
-// SaveSnapshot writes the engine's full state.
+// SaveSnapshot writes the engine's full state. Rows are captured
+// atomically via ordb.DB.SnapshotRows, so a snapshot taken while
+// concurrent committed writers run reflects one point in time; an open
+// transaction fails the save with ordb.ErrTxActive rather than leaking
+// uncommitted state into the snapshot. Concurrent DDL must still be
+// excluded by the caller (the server layer saves under its store write
+// lock, the same discipline as writers).
 func (en *Engine) SaveSnapshot(w io.Writer) error {
 	db := en.db
+	tableRows, err := db.SnapshotRows()
+	if err != nil {
+		return err
+	}
 	snap := snapshot{Version: 1, Mode: int(db.Mode())}
 	typeDDL, err := catalogTypeDDL(db)
 	if err != nil {
 		return err
 	}
 	snap.DDL = typeDDL
-	for _, name := range db.TableNames() {
-		t, err := db.Table(name)
+	for _, tr := range tableRows {
+		t, err := db.Table(tr.Name)
 		if err != nil {
 			return err
 		}
 		snap.DDL = append(snap.DDL, TableDDL(t))
 		ts := tableSnapshot{Name: t.Name}
-		t.Scan(func(r *ordb.Row) bool {
+		for _, r := range tr.Rows {
 			ts.Rows = append(ts.Rows, rowSnapshot{OID: int64(r.OID), Vals: r.Vals})
-			return true
-		})
+		}
 		snap.Tables = append(snap.Tables, ts)
 	}
 	for _, name := range db.ViewNames() {

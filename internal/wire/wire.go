@@ -1,0 +1,240 @@
+// Package wire defines the xmlordbd line protocol: newline-delimited JSON
+// frames exchanged over a TCP connection. Each request is a single JSON
+// object on one line; each response is a single JSON object on one line.
+// The framing is deliberately trivial — any language with a JSON codec and
+// a socket can speak it — while the verb set covers the full xmlordb
+// library surface: schema installation from a DTD, document loading, SQL
+// and XPath queries, document retrieval and deletion, session-scoped
+// transactions, snapshots and server statistics.
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Protocol verbs. Verbs are case-insensitive on the wire; the canonical
+// spelling is upper-case.
+const (
+	VerbPing     = "PING"     // liveness check; echoes ok
+	VerbOpen     = "OPEN"     // install a named store from a DTD (Name, DTD, Root)
+	VerbUse      = "USE"      // bind the session to a named store (Name)
+	VerbStores   = "STORES"   // list hosted store names
+	VerbLoad     = "LOAD"     // load an XML document (Name, XML) -> DocID
+	VerbSQL      = "SQL"      // run SQL (SQL); SELECT -> Cols/Rows, else Affected
+	VerbXPath    = "XPATH"    // translate+run an XPath (Path) -> Cols/Rows, SQL
+	VerbRetrieve = "RETRIEVE" // reconstruct a document (DocID) -> XML
+	VerbDelete   = "DELETE"   // delete a document (DocID)
+	VerbBegin    = "BEGIN"    // open a session transaction (takes the store write lock)
+	VerbCommit   = "COMMIT"   // commit the session transaction
+	VerbRollback = "ROLLBACK" // roll back the session transaction
+	VerbStats    = "STATS"    // server / store / cache statistics
+	VerbSave     = "SAVE"     // force a snapshot of the session's store
+	VerbQuit     = "QUIT"     // close the session
+)
+
+// Error codes carried in Response.Code so typed clients can branch
+// without parsing message text.
+const (
+	CodeBadRequest = "bad_request" // malformed frame or missing field
+	CodeNoStore    = "no_store"    // no store bound / unknown store name
+	CodeTx         = "tx"          // transaction state error
+	CodeEngine     = "engine"      // store/engine rejected the operation
+	CodeShutdown   = "shutdown"    // server is draining
+	CodeTooLarge   = "too_large"   // frame exceeded the server limit
+)
+
+// Request is one client frame.
+type Request struct {
+	Verb string `json:"verb"`
+	// Store targets a hosted store by name for this one request,
+	// overriding the session binding set with USE.
+	Store string `json:"store,omitempty"`
+	// Name is the store name for OPEN/USE and the document name for LOAD.
+	Name string `json:"name,omitempty"`
+	// DTD and Root configure OPEN (Root empty = unique root candidate).
+	DTD  string `json:"dtd,omitempty"`
+	Root string `json:"root,omitempty"`
+	// XML is the document text for LOAD.
+	XML string `json:"xml,omitempty"`
+	// SQL is the statement for the SQL verb.
+	SQL string `json:"sql,omitempty"`
+	// Path is the absolute XPath for the XPATH verb.
+	Path string `json:"path,omitempty"`
+	// DocID selects the document for RETRIEVE and DELETE.
+	DocID int `json:"docid,omitempty"`
+}
+
+// Response is one server frame.
+type Response struct {
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+	// DocID reports the identifier assigned by LOAD.
+	DocID int `json:"docid,omitempty"`
+	// Affected reports rows affected by a non-SELECT SQL statement.
+	Affected int `json:"affected,omitempty"`
+	// Cols and Rows carry a SELECT/XPATH result set. Values are JSON
+	// scalars: strings, numbers, null; objects, collections and REFs are
+	// rendered in the engine's literal syntax.
+	Cols []string `json:"cols,omitempty"`
+	Rows [][]any  `json:"rows,omitempty"`
+	// SQL echoes the statement an XPATH translated to.
+	SQL string `json:"sql,omitempty"`
+	// XML carries a RETRIEVE result.
+	XML string `json:"xml,omitempty"`
+	// Stores lists hosted store names (STORES).
+	Stores []string `json:"stores,omitempty"`
+	// Stats carries the STATS payload.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// Err converts a failed response into an error (nil when OK).
+func (r *Response) Err() error {
+	if r.OK {
+		return nil
+	}
+	return &ServerError{Code: r.Code, Message: r.Error}
+}
+
+// ServerError is a protocol-level failure reported by the server.
+type ServerError struct {
+	Code    string
+	Message string
+}
+
+func (e *ServerError) Error() string {
+	if e.Code == "" {
+		return "xmlordbd: " + e.Message
+	}
+	return fmt.Sprintf("xmlordbd: %s (%s)", e.Message, e.Code)
+}
+
+// Stats is the STATS payload: server-wide gauges, per-verb counters and
+// per-store engine statistics.
+type Stats struct {
+	SessionsOpen  int64        `json:"sessions_open"`
+	SessionsTotal int64        `json:"sessions_total"`
+	Draining      bool         `json:"draining,omitempty"`
+	Snapshots     int64        `json:"snapshots,omitempty"`
+	Timeouts      int64        `json:"timeouts,omitempty"`
+	Oversized     int64        `json:"oversized,omitempty"`
+	Verbs         []VerbStat  `json:"verbs,omitempty"`
+	StoreStats    []StoreStats `json:"stores,omitempty"`
+}
+
+// VerbStat counts one verb's requests and total latency.
+type VerbStat struct {
+	Verb       string `json:"verb"`
+	Count      int64  `json:"count"`
+	Errors     int64  `json:"errors,omitempty"`
+	TotalNanos int64  `json:"total_ns"`
+}
+
+// StoreStats reports one hosted store's engine counters.
+type StoreStats struct {
+	Name        string `json:"name"`
+	Documents   int    `json:"documents"`
+	ParseHits   int64  `json:"parse_hits"`
+	ParseMisses int64  `json:"parse_misses"`
+	PlanHits    int64  `json:"plan_hits"`
+	PlanMisses  int64  `json:"plan_misses"`
+	Inserts     int64  `json:"inserts"`
+	RowsScanned int64  `json:"rows_scanned"`
+	Derefs      int64  `json:"derefs"`
+	IndexProbes int64  `json:"index_probes"`
+}
+
+// Framing errors.
+var (
+	// ErrFrameTooLarge reports a frame exceeding the reader's limit.
+	ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+	// ErrEmptyFrame reports a blank line (no payload before the newline).
+	ErrEmptyFrame = errors.New("wire: empty frame")
+)
+
+// DefaultMaxFrame bounds a frame (request or response) when the caller
+// does not choose a limit: 16 MiB, comfortably above the 4000-byte
+// VARCHAR rows the mapping produces while still refusing runaway input.
+const DefaultMaxFrame = 16 << 20
+
+// ReadFrame reads one newline-terminated frame from br, enforcing max
+// bytes (excluding the terminator). A frame larger than max returns
+// ErrFrameTooLarge after draining up to the terminator is abandoned —
+// callers should close the connection, since the stream is no longer
+// aligned. EOF before any byte returns io.EOF; EOF mid-frame returns
+// io.ErrUnexpectedEOF.
+func ReadFrame(br *bufio.Reader, max int) ([]byte, error) {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	var buf []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		if len(buf)+len(chunk) > max+1 { // +1 for the terminator itself
+			return nil, ErrFrameTooLarge
+		}
+		buf = append(buf, chunk...)
+		switch err {
+		case nil:
+			line := bytes.TrimRight(buf, "\r\n")
+			if len(bytes.TrimSpace(line)) == 0 {
+				return nil, ErrEmptyFrame
+			}
+			return line, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			if len(buf) == 0 {
+				return nil, io.EOF
+			}
+			return nil, io.ErrUnexpectedEOF
+		default:
+			return nil, err
+		}
+	}
+}
+
+// WriteFrame JSON-encodes v and writes it as one newline-terminated
+// frame. encoding/json escapes control characters, so the payload can
+// never contain a raw newline.
+func WriteFrame(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeRequest parses a request frame, rejecting unknown fields and
+// trailing garbage so malformed clients fail loudly rather than half-work.
+func DecodeRequest(line []byte) (*Request, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var req Request
+	if err := dec.Decode(&req); err != nil {
+		return nil, fmt.Errorf("wire: bad request frame: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("wire: trailing data after request frame")
+	}
+	if req.Verb == "" {
+		return nil, fmt.Errorf("wire: request missing verb")
+	}
+	return &req, nil
+}
+
+// DecodeResponse parses a response frame.
+func DecodeResponse(line []byte) (*Response, error) {
+	var resp Response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, fmt.Errorf("wire: bad response frame: %w", err)
+	}
+	return &resp, nil
+}

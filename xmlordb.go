@@ -111,6 +111,22 @@ func (c Config) options() mapping.Options {
 
 // Store is one document store: a generated schema installed in an
 // embedded object-relational database.
+//
+// Concurrency contract: any number of goroutines may call the read-only
+// methods (Query, XPath, Retrieve, RetrieveXML, CacheStats, Script,
+// Warnings) concurrently — engine state touched on the read path
+// (statement/plan caches, index materialization, probe counters) is
+// internally synchronized. Methods that mutate the store (Load, LoadXML,
+// DeleteDocument, Exec with non-SELECT statements, OpenShared, Save)
+// are NOT safe to run concurrently with each other or with readers;
+// callers must serialize them externally. The engine admits only one
+// open transaction at a time (a second Begin fails with ErrTxActive),
+// and RunInTx joins any transaction currently open — so a transaction
+// must be confined to a single goroutine and writers excluded for its
+// duration. Save additionally requires that no transaction is open.
+// internal/server hosts Stores behind exactly this discipline: a
+// per-store RWMutex with readers sharing and writers (including any
+// session holding BEGIN..COMMIT) exclusive.
 type Store struct {
 	cfg       Config
 	DTD       *dtd.DTD
