@@ -6,6 +6,7 @@
 //
 //	xmlbench                      # run every experiment
 //	xmlbench -exp E1              # run one experiment
+//	xmlbench -exp W1,W2           # run a comma-separated subset
 //	xmlbench -list                # list experiment IDs
 //	xmlbench -json                # emit results as JSON instead of tables
 //	xmlbench -cpuprofile cpu.out  # write a CPU profile of the run
@@ -19,12 +20,13 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"xmlordb/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "", "experiment ID to run (default: all)")
+	exp := flag.String("exp", "", "experiment ID(s) to run, comma-separated (default: all)")
 	list := flag.Bool("list", false, "list experiment IDs")
 	asJSON := flag.Bool("json", false, "emit results as a JSON array")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
@@ -52,7 +54,7 @@ func main() {
 
 	ids := bench.Experiments
 	if *exp != "" {
-		ids = []string{*exp}
+		ids = strings.Split(*exp, ",")
 	}
 	var results []*bench.Table
 	for _, id := range ids {

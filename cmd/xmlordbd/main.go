@@ -7,6 +7,7 @@
 //	xmlordbd serve  [flags]                  # run the server
 //	xmlordbd client [flags] <verb> [args...] # one-shot wire client
 //	xmlordbd repl   [flags]                  # interactive wire client
+//	xmlordbd wal    info|dump <store-dir>    # inspect a durable store's WAL
 //
 // Server flags:
 //
@@ -17,12 +18,18 @@
 //	-name default           name of the initial store
 //	-snapshot-dir dir       enable snapshot persistence (restore on boot)
 //	-snapshot-interval 30s  period of the background snapshot loop
+//	-durability snapshot    "snapshot" (legacy .xos files) or a WAL sync
+//	                        policy — "always", "interval", "never" — hosting
+//	                        each store in <snapshot-dir>/<name>/ with
+//	                        crash recovery on boot
+//	-wal-sync-interval 50ms background WAL flush period under "interval"
 //	-idle-timeout 5m        close sessions idle this long
 //	-request-timeout 0      per-request execution limit (0 = none)
 //	-max-request 16777216   request frame size limit in bytes
 //
 // The server drains gracefully on SIGINT/SIGTERM: new connections are
-// refused, in-flight requests complete, dirty stores are snapshotted.
+// refused, in-flight requests complete, dirty stores are snapshotted
+// (checkpointed, for durable stores) and WALs are closed.
 //
 // Client verbs:
 //
@@ -74,8 +81,10 @@ func run(args []string, out io.Writer) error {
 		return runClient(args[1:], out, false)
 	case "repl":
 		return runClient(args[1:], out, true)
+	case "wal":
+		return runWAL(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (serve|client|repl)", args[0])
+		return fmt.Errorf("unknown subcommand %q (serve|client|repl|wal)", args[0])
 	}
 }
 
@@ -89,6 +98,8 @@ func runServe(args []string, out io.Writer) error {
 		name         = fs.String("name", "default", "name of the initial store")
 		snapDir      = fs.String("snapshot-dir", "", "snapshot directory (enables persistence)")
 		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "snapshot period")
+		durability   = fs.String("durability", "snapshot", `"snapshot", "always", "interval" or "never"`)
+		walSyncInt   = fs.Duration("wal-sync-interval", 0, `WAL flush period under -durability interval`)
 		idleTimeout  = fs.Duration("idle-timeout", 5*time.Minute, "session idle timeout")
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request execution limit (0 = none)")
 		maxRequest   = fs.Int("max-request", wire.DefaultMaxFrame, "request frame size limit")
@@ -102,6 +113,8 @@ func runServe(args []string, out io.Writer) error {
 		IdleTimeout:      *idleTimeout,
 		SnapshotDir:      *snapDir,
 		SnapshotInterval: *snapInterval,
+		Durability:       *durability,
+		WALSyncInterval:  *walSyncInt,
 		StatsAddr:        *statsAddr,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
@@ -360,6 +373,15 @@ func printStats(out io.Writer, st *wire.Stats) {
 		fmt.Fprintf(out, "store %s: %d doc(s); parse %d/%d hit/miss; plan %d/%d; inserts %d; rows scanned %d; derefs %d; index probes %d\n",
 			s.Name, s.Documents, s.ParseHits, s.ParseMisses, s.PlanHits, s.PlanMisses,
 			s.Inserts, s.RowsScanned, s.Derefs, s.IndexProbes)
+		if s.Durable {
+			batch := float64(0)
+			if s.WALFsyncs > 0 {
+				batch = float64(s.WALCommits) / float64(s.WALFsyncs)
+			}
+			fmt.Fprintf(out, "  wal: %d record(s), %d bytes, %d commit(s) in %d fsync(s) (%.1f/fsync); replayed %d; lsn %d (checkpoint %d)\n",
+				s.WALRecords, s.WALBytes, s.WALCommits, s.WALFsyncs, batch,
+				s.WALReplayed, s.WALLastLSN, s.WALCheckpointLSN)
+		}
 	}
 	for _, v := range st.Verbs {
 		avg := time.Duration(0)
@@ -368,6 +390,40 @@ func printStats(out io.Writer, st *wire.Stats) {
 		}
 		fmt.Fprintf(out, "verb %-8s count %d errors %d avg %s\n", v.Verb, v.Count, v.Errors, avg)
 	}
+}
+
+// runWAL inspects the write-ahead log of a durable store directory
+// (the per-store subdirectory of -snapshot-dir). The store must not be
+// in use by a running server.
+func runWAL(args []string, out io.Writer) error {
+	if len(args) != 2 {
+		return fmt.Errorf("usage: wal info|dump <store-dir>")
+	}
+	mode, dir := strings.ToLower(args[0]), args[1]
+	var dump func(lsn uint64, typ byte, summary string)
+	switch mode {
+	case "info":
+	case "dump":
+		dump = func(lsn uint64, typ byte, summary string) {
+			fmt.Fprintf(out, "%8d  %s\n", lsn, summary)
+		}
+	default:
+		return fmt.Errorf("unknown wal mode %q (info|dump)", mode)
+	}
+	info, err := xmlordb.ScanWAL(dir, dump)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "checkpoint lsn %d; %d record(s)", info.CheckpointLSN, info.Records)
+	if info.Records > 0 {
+		fmt.Fprintf(out, " (lsn %d..%d)", info.FirstLSN, info.LastLSN)
+	}
+	fmt.Fprintf(out, "; %d segment(s)", info.Segments)
+	if info.TruncatedTail {
+		fmt.Fprint(out, "; torn tail truncated")
+	}
+	fmt.Fprintln(out)
+	return nil
 }
 
 // runRepl reads commands from stdin: wire verbs with shell-ish args,

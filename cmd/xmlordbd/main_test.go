@@ -93,6 +93,37 @@ func TestCLIClientVerbs(t *testing.T) {
 	}
 }
 
+func TestCLIWALInspect(t *testing.T) {
+	storeDir := filepath.Join(t.TempDir(), "uni")
+	st, err := xmlordb.OpenDir(storeDir, uniDTD, "University", xmlordb.Config{}, xmlordb.DurableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(uniDoc, "d1.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var info strings.Builder
+	if err := run([]string{"wal", "info", storeDir}, &info); err != nil {
+		t.Fatalf("wal info: %v", err)
+	}
+	if !strings.Contains(info.String(), "1 record(s)") {
+		t.Fatalf("wal info output: %q", info.String())
+	}
+	var dump strings.Builder
+	if err := run([]string{"wal", "dump", storeDir}, &dump); err != nil {
+		t.Fatalf("wal dump: %v", err)
+	}
+	if !strings.Contains(dump.String(), "LOAD doc 1") {
+		t.Fatalf("wal dump output: %q", dump.String())
+	}
+	if err := run([]string{"wal", "frob", storeDir}, &dump); err == nil {
+		t.Fatal("unknown wal mode accepted")
+	}
+}
+
 func TestCLIUsageErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run(nil, &sb); err == nil {

@@ -32,7 +32,10 @@ func sortedRefs(refs map[ordb.Ref]bool) []ordb.Ref {
 // transaction: a failure at any step restores every already-deleted row,
 // so the document is never left half-removed.
 func (s *Store) DeleteDocument(docID int) error {
-	return s.Engine.DB().RunInTx(func() error { return s.deleteDocument(docID) })
+	if err := s.Engine.DB().RunInTx(func() error { return s.deleteDocument(docID) }); err != nil {
+		return err
+	}
+	return s.walLogDelete(docID)
 }
 
 func (s *Store) deleteDocument(docID int) error {

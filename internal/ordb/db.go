@@ -26,6 +26,9 @@ type DB struct {
 	nextOID    OID
 	// tx is the open transaction, if any (see tx.go).
 	tx *Tx
+	// txObs, when set, observes transaction lifecycle events (the WAL
+	// hook; see SetTxObserver in tx.go).
+	txObs TxObserver
 	// stats counts engine operations for the benchmark harness.
 	stats Stats
 	// autoSave numbers the auto-generated savepoints of RunInTx.

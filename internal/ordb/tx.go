@@ -57,6 +57,40 @@ func (db *DB) fault(op string) error {
 	return h(op, n)
 }
 
+// TxObserver receives transaction lifecycle notifications — the hook the
+// durability layer uses to flush buffered redo records exactly when a
+// transaction's effects become permanent. Callbacks fire synchronously
+// after the corresponding operation succeeds, outside db.mu, on the
+// caller's goroutine; a TxCommitted error propagates to the committer
+// (the in-memory commit has already happened — the error reports that
+// durability, not atomicity, failed).
+type TxObserver interface {
+	// TxCommitted fires after a successful Commit (including the implicit
+	// commit before DDL and the internal commit of RunInTx).
+	TxCommitted() error
+	// TxRolledBack fires after a successful full Rollback.
+	TxRolledBack()
+	// TxSavepoint fires after a savepoint is set or moved.
+	TxSavepoint(name string)
+	// TxRolledBackTo fires after a partial rollback to a savepoint.
+	TxRolledBackTo(name string)
+}
+
+// SetTxObserver installs (or, with nil, removes) the transaction
+// observer. Install it before the database sees concurrent use.
+func (db *DB) SetTxObserver(o TxObserver) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.txObs = o
+}
+
+// observer returns the installed observer, if any.
+func (db *DB) observer() TxObserver {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.txObs
+}
+
 // undoRec is one reversible data mutation. revert is called with db.mu
 // held, in reverse order of logging.
 type undoRec interface{ revert() }
@@ -171,18 +205,27 @@ func (db *DB) logUndo(r undoRec) {
 }
 
 // Commit makes the transaction's mutations permanent and discards the
-// undo log.
+// undo log. With a TxObserver installed, Commit then gives the observer
+// its chance to make the commit durable; an observer error is returned
+// to the caller (the in-memory state is committed regardless).
 func (tx *Tx) Commit() error {
 	db := tx.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.done || db.tx != tx {
+		db.mu.Unlock()
 		return fmt.Errorf("ordb: commit: %w", ErrTxDone)
 	}
 	tx.done = true
 	tx.undo = nil
 	tx.saves = nil
 	db.tx = nil
+	obs := db.txObs
+	db.mu.Unlock()
+	if obs != nil {
+		if err := obs.TxCommitted(); err != nil {
+			return fmt.Errorf("ordb: commit: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -193,8 +236,8 @@ func (tx *Tx) Commit() error {
 func (tx *Tx) Rollback() error {
 	db := tx.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.done || db.tx != tx {
+		db.mu.Unlock()
 		return fmt.Errorf("ordb: rollback: %w", ErrTxDone)
 	}
 	undone := tx.revertToLocked(0)
@@ -203,6 +246,11 @@ func (tx *Tx) Rollback() error {
 	tx.done = true
 	tx.saves = nil
 	db.tx = nil
+	obs := db.txObs
+	db.mu.Unlock()
+	if obs != nil {
+		obs.TxRolledBack()
+	}
 	return nil
 }
 
@@ -214,8 +262,8 @@ func (tx *Tx) Savepoint(name string) error {
 	}
 	db := tx.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.done || db.tx != tx {
+		db.mu.Unlock()
 		return fmt.Errorf("ordb: savepoint %s: %w", name, ErrTxDone)
 	}
 	kept := tx.saves[:0]
@@ -225,6 +273,11 @@ func (tx *Tx) Savepoint(name string) error {
 		}
 	}
 	tx.saves = append(kept, txSave{name: name, mark: len(tx.undo), oid: db.nextOID})
+	obs := db.txObs
+	db.mu.Unlock()
+	if obs != nil {
+		obs.TxSavepoint(name)
+	}
 	return nil
 }
 
@@ -233,8 +286,8 @@ func (tx *Tx) Savepoint(name string) error {
 func (tx *Tx) RollbackTo(name string) error {
 	db := tx.db
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if tx.done || db.tx != tx {
+		db.mu.Unlock()
 		return fmt.Errorf("ordb: rollback to %s: %w", name, ErrTxDone)
 	}
 	idx := -1
@@ -245,6 +298,7 @@ func (tx *Tx) RollbackTo(name string) error {
 		}
 	}
 	if idx < 0 {
+		db.mu.Unlock()
 		return fmt.Errorf("ordb: savepoint %q: %w", name, ErrNoSavepoint)
 	}
 	sp := tx.saves[idx]
@@ -253,6 +307,11 @@ func (tx *Tx) RollbackTo(name string) error {
 	db.stats.Inserts.Add(-undone)
 	// Savepoints set after this one are gone; the target itself stays.
 	tx.saves = tx.saves[:idx+1]
+	obs := db.txObs
+	db.mu.Unlock()
+	if obs != nil {
+		obs.TxRolledBackTo(name)
+	}
 	return nil
 }
 

@@ -1,0 +1,177 @@
+package server
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/wal"
+)
+
+// durableCfg returns a server config hosting durable stores under dir.
+func durableCfg(dir string) Config {
+	return Config{SnapshotDir: dir, Durability: "always"}
+}
+
+func TestDurableServerRecoversUncheckpointedCommits(t *testing.T) {
+	dir := t.TempDir()
+	// Write commits straight into a durable store directory and close it
+	// WITHOUT a checkpoint — exactly the on-disk state a crash leaves.
+	st, err := xmlordb.OpenDir(filepath.Join(dir, "uni"), uniDTD, "University",
+		xmlordb.Config{}, xmlordb.DurableOptions{Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(uniDoc("Conrad", 1), "d1.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(uniDoc("Kudrass", 2), "d2.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(durableCfg(dir))
+	n, err := srv.RestoreDir()
+	if err != nil || n != 1 {
+		t.Fatalf("RestoreDir = %d, %v", n, err)
+	}
+	_, addr := serveOn(t, srv)
+	c := mustDial(t, addr)
+	ctx := context.Background()
+	res, err := c.Query(ctx, countStudentsSQL)
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("recovered rows = %v, %v", res, err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil || len(stats.StoreStats) != 1 {
+		t.Fatalf("Stats: %v %v", stats, err)
+	}
+	ss := stats.StoreStats[0]
+	if !ss.Durable || ss.WALReplayed != 2 {
+		t.Fatalf("store stats = %+v, want durable with 2 replayed records", ss)
+	}
+	// New writes keep flowing to the WAL.
+	if _, err := c.Load(ctx, "d3.xml", uniDoc("Jaeger", 3)); err != nil {
+		t.Fatal(err)
+	}
+	stats, _ = c.Stats(ctx)
+	if got := stats.StoreStats[0].WALRecords; got < 1 {
+		t.Fatalf("WALRecords = %d after a load, want >= 1", got)
+	}
+}
+
+func TestDurableServerOpenStoreAndSaveCheckpoints(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(durableCfg(dir))
+	_, addr := serveOn(t, srv)
+	c := mustDial(t, addr)
+	ctx := context.Background()
+	if err := c.OpenStore(ctx, "uni", uniDTD, "University"); err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	if _, err := c.Load(ctx, "d1.xml", uniDoc("Conrad", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// SAVE becomes a checkpoint for durable stores.
+	if err := c.Save(ctx); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss := stats.StoreStats[0]
+	if !ss.Durable || ss.WALCheckpointLSN == 0 {
+		t.Fatalf("after SAVE: %+v, want a non-zero checkpoint LSN", ss)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "uni", "CHECKPOINT")); err != nil {
+		t.Fatalf("durable directory missing CHECKPOINT: %v", err)
+	}
+}
+
+func TestDurableServerMigratesLegacySnapshot(t *testing.T) {
+	dir := t.TempDir()
+	// A legacy whole-file snapshot from a pre-WAL deployment.
+	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadXML(uniDoc("Conrad", 1), "old.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "uni.xos"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	srv := New(durableCfg(dir))
+	if n, err := srv.RestoreDir(); err != nil || n != 1 {
+		t.Fatalf("RestoreDir = %d, %v", n, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "uni", "CHECKPOINT")); err != nil {
+		t.Fatalf("migration did not create a durable directory: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "uni.xos.bak")); err != nil {
+		t.Fatalf("legacy snapshot not renamed aside: %v", err)
+	}
+	_, addr := serveOn(t, srv)
+	c := mustDial(t, addr)
+	ctx := context.Background()
+	if _, err := c.Load(ctx, "new.xml", uniDoc("Kudrass", 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query(ctx, countStudentsSQL)
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("after migration rows = %v, %v", res, err)
+	}
+}
+
+func TestDurableServerRestartRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(durableCfg(dir))
+	ctx := context.Background()
+	if err := srv.OpenStore("uni", uniDTD, "University", xmlordb.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := serveOn(t, srv)
+	c := mustDial(t, addr)
+	// One autocommit load and one explicit transaction.
+	if _, err := c.Load(ctx, "d1.xml", uniDoc("Conrad", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "d2.xml", uniDoc("Kudrass", 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	srv.Shutdown(cctx)
+	cancel()
+
+	srv2 := New(durableCfg(dir))
+	if n, err := srv2.RestoreDir(); err != nil || n != 1 {
+		t.Fatalf("RestoreDir after restart = %d, %v", n, err)
+	}
+	_, addr2 := serveOn(t, srv2)
+	c2 := mustDial(t, addr2)
+	res, err := c2.Query(ctx, countStudentsSQL)
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("rows after restart = %v, %v", res, err)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"xmlordb"
+	"xmlordb/internal/wal"
 	"xmlordb/internal/wire"
 )
 
@@ -54,6 +55,16 @@ type Config struct {
 	SnapshotDir string
 	// SnapshotInterval is the period of the background snapshot loop.
 	SnapshotInterval time.Duration
+	// Durability switches named stores to write-ahead logging. Empty or
+	// "snapshot" keeps the legacy whole-file .xos persistence; "always",
+	// "interval" or "never" hosts each store in a durable directory
+	// <SnapshotDir>/<name>/ whose WAL uses that sync policy — commits
+	// survive a crash between snapshots, recovery replays the log tail on
+	// startup, and the periodic snapshot loop becomes a checkpoint.
+	Durability string
+	// WALSyncInterval is the background WAL flush period when Durability
+	// is "interval" (default 50ms).
+	WALSyncInterval time.Duration
 	// StatsAddr, when set, serves GET /stats (the wire.Stats payload as
 	// JSON) on a separate HTTP listener.
 	StatsAddr string
@@ -85,6 +96,20 @@ func (c Config) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
 	}
+}
+
+// durable reports whether stores use write-ahead logging.
+func (c Config) durable() bool {
+	return c.Durability != "" && !strings.EqualFold(c.Durability, "snapshot")
+}
+
+// durableOptions translates the config into store WAL options.
+func (c Config) durableOptions() (xmlordb.DurableOptions, error) {
+	pol, err := wal.ParsePolicy(c.Durability)
+	if err != nil {
+		return xmlordb.DurableOptions{}, fmt.Errorf("server: %w", err)
+	}
+	return xmlordb.DurableOptions{Sync: pol, SyncInterval: c.WALSyncInterval}, nil
 }
 
 // hostedStore is one named Store plus the server-side lock that
@@ -161,13 +186,31 @@ func (s *Server) AddStore(name string, st *xmlordb.Store) error {
 }
 
 // OpenStore installs a new store from DTD text and hosts it under name
-// (the OPEN verb).
+// (the OPEN verb). Under a durable config the store lives in
+// <SnapshotDir>/<name>/ with a write-ahead log; otherwise in memory.
 func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error {
-	st, err := xmlordb.Open(dtdText, root, cfg)
+	if !storeNameRe.MatchString(name) {
+		return fmt.Errorf("server: invalid store name %q", name)
+	}
+	var st *xmlordb.Store
+	var err error
+	if s.cfg.durable() {
+		if s.cfg.SnapshotDir == "" {
+			return fmt.Errorf("server: durability %q needs a snapshot directory", s.cfg.Durability)
+		}
+		opts, oerr := s.cfg.durableOptions()
+		if oerr != nil {
+			return oerr
+		}
+		st, err = xmlordb.OpenDir(filepath.Join(s.cfg.SnapshotDir, name), dtdText, root, cfg, opts)
+	} else {
+		st, err = xmlordb.Open(dtdText, root, cfg)
+	}
 	if err != nil {
 		return err
 	}
 	if err := s.AddStore(name, st); err != nil {
+		st.Close()
 		return err
 	}
 	if hs := s.lookupStore(name); hs != nil {
@@ -204,9 +247,13 @@ func (s *Server) StoreNames() []string {
 	return out
 }
 
-// RestoreDir loads every *.xos snapshot in cfg.SnapshotDir and hosts the
-// restored stores under their file base names. Missing directory is not
-// an error (first boot). Returns the number of stores restored.
+// RestoreDir hosts every store persisted under cfg.SnapshotDir: durable
+// store directories (recognized by their CHECKPOINT file) are recovered
+// by snapshot restore plus WAL replay, and legacy *.xos snapshot files
+// are loaded as before — or, under a durable config, migrated in place
+// to a durable directory (the old file is kept as <name>.xos.bak).
+// Missing directory is not an error (first boot). Returns the number of
+// stores restored.
 func (s *Server) RestoreDir() (int, error) {
 	if s.cfg.SnapshotDir == "" {
 		return 0, nil
@@ -218,34 +265,74 @@ func (s *Server) RestoreDir() (int, error) {
 		}
 		return 0, err
 	}
+	var opts xmlordb.DurableOptions
+	if s.cfg.durable() {
+		if opts, err = s.cfg.durableOptions(); err != nil {
+			return 0, err
+		}
+	}
 	n := 0
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".xos") {
-			continue
+		switch {
+		case e.IsDir():
+			dir := filepath.Join(s.cfg.SnapshotDir, e.Name())
+			if _, err := os.Stat(filepath.Join(dir, "CHECKPOINT")); err != nil {
+				continue // not a durable store directory
+			}
+			st, err := xmlordb.LoadStoreDir(dir, opts)
+			if err != nil {
+				return n, fmt.Errorf("server: recovering %s: %w", e.Name(), err)
+			}
+			if rs, ok := st.WALStats(); ok && rs.Replayed > 0 {
+				s.cfg.logf("store %s: replayed %d wal records (checkpoint lsn %d)",
+					e.Name(), rs.Replayed, rs.CheckpointLSN)
+			}
+			if err := s.AddStore(e.Name(), st); err != nil {
+				st.Close()
+				return n, err
+			}
+			n++
+		case strings.HasSuffix(e.Name(), ".xos"):
+			name := strings.TrimSuffix(e.Name(), ".xos")
+			if s.lookupStore(name) != nil {
+				continue // already hosted from a durable directory
+			}
+			path := filepath.Join(s.cfg.SnapshotDir, e.Name())
+			f, err := os.Open(path)
+			if err != nil {
+				return n, err
+			}
+			st, err := xmlordb.LoadStore(f)
+			f.Close()
+			if err != nil {
+				return n, fmt.Errorf("server: restoring %s: %w", e.Name(), err)
+			}
+			if s.cfg.durable() {
+				if err := st.AttachDir(filepath.Join(s.cfg.SnapshotDir, name), opts); err != nil {
+					return n, fmt.Errorf("server: migrating %s to a durable directory: %w", e.Name(), err)
+				}
+				if err := os.Rename(path, path+".bak"); err != nil {
+					s.cfg.logf("store %s: migrated but could not rename legacy snapshot: %v", name, err)
+				} else {
+					s.cfg.logf("store %s: migrated legacy snapshot to durable directory", name)
+				}
+			}
+			if err := s.AddStore(name, st); err != nil {
+				st.Close()
+				return n, err
+			}
+			n++
 		}
-		name := strings.TrimSuffix(e.Name(), ".xos")
-		f, err := os.Open(filepath.Join(s.cfg.SnapshotDir, e.Name()))
-		if err != nil {
-			return n, err
-		}
-		st, err := xmlordb.LoadStore(f)
-		f.Close()
-		if err != nil {
-			return n, fmt.Errorf("server: restoring %s: %w", e.Name(), err)
-		}
-		if err := s.AddStore(name, st); err != nil {
-			return n, err
-		}
-		n++
 	}
 	return n, nil
 }
 
 // saveStore snapshots one store under its write lock — the same
 // discipline as writers, so the snapshot can never capture a half-done
-// load or an uncommitted transaction. The file is written to a temp
-// name and renamed, so a crash mid-save never corrupts the previous
-// snapshot.
+// load or an uncommitted transaction. Durable stores checkpoint (fresh
+// snapshot, CHECKPOINT pointer update, WAL truncation); legacy stores
+// write <name>.xos to a temp name and rename, so a crash mid-save never
+// corrupts the previous snapshot.
 func (s *Server) saveStore(hs *hostedStore, locked bool) error {
 	if s.cfg.SnapshotDir == "" {
 		return fmt.Errorf("server: no snapshot directory configured")
@@ -256,6 +343,13 @@ func (s *Server) saveStore(hs *hostedStore, locked bool) error {
 	if !locked {
 		hs.mu.Lock()
 		defer hs.mu.Unlock()
+	}
+	if hs.store.Dir() != "" {
+		if err := hs.store.Checkpoint(); err != nil {
+			return err
+		}
+		s.metrics.snapshots.Add(1)
+		return nil
 	}
 	final := filepath.Join(s.cfg.SnapshotDir, hs.name+".xos")
 	tmp, err := os.CreateTemp(s.cfg.SnapshotDir, hs.name+".*.tmp")
@@ -443,7 +537,7 @@ func (s *Server) statsPayload() *wire.Stats {
 		if tab, err := hs.store.DB().Table(hs.store.Schema.RootTable); err == nil {
 			docs = tab.RowCount()
 		}
-		st.StoreStats = append(st.StoreStats, wire.StoreStats{
+		ss := wire.StoreStats{
 			Name:        hs.name,
 			Documents:   docs,
 			ParseHits:   cs.ParseHits,
@@ -454,7 +548,18 @@ func (s *Server) statsPayload() *wire.Stats {
 			RowsScanned: dbs.RowsScanned,
 			Derefs:      dbs.Derefs,
 			IndexProbes: dbs.IndexProbes,
-		})
+		}
+		if ws, ok := hs.store.WALStats(); ok {
+			ss.Durable = true
+			ss.WALRecords = ws.Appends
+			ss.WALBytes = ws.Bytes
+			ss.WALFsyncs = ws.Fsyncs
+			ss.WALCommits = ws.SyncWaits
+			ss.WALReplayed = ws.Replayed
+			ss.WALLastLSN = ws.LastLSN
+			ss.WALCheckpointLSN = ws.CheckpointLSN
+		}
+		st.StoreStats = append(st.StoreStats, ss)
 	}
 	sort.Slice(st.StoreStats, func(i, j int) bool { return st.StoreStats[i].Name < st.StoreStats[j].Name })
 	return st
@@ -514,6 +619,20 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if err := s.SaveAll(); err != nil && drainErr == nil {
 			drainErr = err
 		}
+	}
+	// Close durable stores' logs (flushing any unsynced tail to disk).
+	s.mu.Lock()
+	hosted := make([]*hostedStore, 0, len(s.storeOrder))
+	for _, k := range s.storeOrder {
+		hosted = append(hosted, s.stores[k])
+	}
+	s.mu.Unlock()
+	for _, hs := range hosted {
+		hs.mu.Lock()
+		if err := hs.store.Close(); err != nil && drainErr == nil {
+			drainErr = err
+		}
+		hs.mu.Unlock()
 	}
 	return drainErr
 }

@@ -1,0 +1,651 @@
+// Package wal implements a segmented, append-only write-ahead log: the
+// durability layer between snapshots. Every committed store mutation is
+// framed as one CRC32C-protected record with a monotonic log sequence
+// number (LSN) and appended to the active segment file; recovery restores
+// the latest snapshot and replays the log tail.
+//
+// Durability is configurable per log:
+//
+//   - SyncAlways:  every commit waits for an fsync. Concurrent committers
+//     are batched into one fsync (group commit): while one fsync is in
+//     flight, later committers queue, and the next fsync covers all of
+//     them at once.
+//   - SyncInterval: a background flusher fsyncs on a fixed period; a
+//     crash loses at most that window of acknowledged commits.
+//   - SyncNever:  records are written to the file (so they survive a
+//     process crash via the OS page cache) but never explicitly fsynced;
+//     an OS crash may lose everything since the last snapshot.
+//
+// Torn tails vs corruption. A crash can leave a partially written final
+// record: the frame's declared length extends past the end of the file.
+// Open truncates such a tail and continues — the record belongs to a
+// commit that was never acknowledged. A record whose bytes are fully
+// present but whose CRC does not match, or a broken frame with intact
+// data after it, is mid-log corruption: the log refuses to open rather
+// than silently dropping acknowledged commits.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SyncPolicy selects when appended records are fsynced.
+type SyncPolicy string
+
+const (
+	// SyncAlways fsyncs before Append returns (group-committed).
+	SyncAlways SyncPolicy = "always"
+	// SyncInterval fsyncs on a background timer.
+	SyncInterval SyncPolicy = "interval"
+	// SyncNever writes without explicit fsync.
+	SyncNever SyncPolicy = "never"
+)
+
+// ParsePolicy validates a policy string ("always", "interval", "never").
+func ParsePolicy(s string) (SyncPolicy, error) {
+	switch SyncPolicy(strings.ToLower(s)) {
+	case SyncAlways:
+		return SyncAlways, nil
+	case SyncInterval:
+		return SyncInterval, nil
+	case SyncNever:
+		return SyncNever, nil
+	}
+	return "", fmt.Errorf("wal: unknown sync policy %q (always|interval|never)", s)
+}
+
+// Options tunes a Log. The zero value means SyncAlways, 50ms interval,
+// 4MiB segments.
+type Options struct {
+	Sync         SyncPolicy
+	SyncInterval time.Duration
+	SegmentBytes int64
+}
+
+func (o Options) sync() SyncPolicy {
+	if o.Sync == "" {
+		return SyncAlways
+	}
+	return o.Sync
+}
+
+func (o Options) interval() time.Duration {
+	if o.SyncInterval <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.SyncInterval
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes <= 0 {
+		return 4 << 20
+	}
+	return o.SegmentBytes
+}
+
+// Record is one logical redo record.
+type Record struct {
+	LSN     uint64
+	Type    byte
+	Payload []byte
+}
+
+// Frame layout (little endian):
+//
+//	u32  payload length
+//	u32  CRC32C over [lsn | type | payload]
+//	u64  lsn
+//	u8   record type
+//	...  payload
+const frameHeaderSize = 4 + 4 + 8 + 1
+
+// MaxPayload bounds one record; larger declared lengths are corruption.
+const MaxPayload = 256 << 20
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Errors.
+var (
+	// ErrCorrupt reports mid-log corruption: a CRC mismatch, an insane
+	// frame length, an LSN discontinuity, or a broken frame that is not
+	// the final record of the final segment.
+	ErrCorrupt = errors.New("wal: corrupt log")
+	// errTorn reports an incomplete final frame (recoverable: truncate).
+	errTorn = errors.New("wal: torn tail record")
+	// ErrClosed reports use after Close.
+	ErrClosed = errors.New("wal: log closed")
+)
+
+// AppendFrame encodes one record frame onto dst and returns the extended
+// slice.
+func AppendFrame(dst []byte, lsn uint64, typ byte, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
+	hdr[16] = typ
+	crc := crc32.Update(0, castagnoli, hdr[8:17])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame decodes the first frame of b. It returns the record, the
+// number of bytes consumed, and an error: io.EOF when b is empty, a
+// torn-tail error when b holds only a prefix of a frame, ErrCorrupt when
+// the bytes are present but wrong. The payload aliases b.
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) == 0 {
+		return Record{}, 0, io.EOF
+	}
+	if len(b) < frameHeaderSize {
+		return Record{}, 0, errTorn
+	}
+	plen := binary.LittleEndian.Uint32(b[0:4])
+	if plen > MaxPayload {
+		return Record{}, 0, fmt.Errorf("%w: frame declares %d payload bytes", ErrCorrupt, plen)
+	}
+	total := frameHeaderSize + int(plen)
+	if len(b) < total {
+		return Record{}, 0, errTorn
+	}
+	want := binary.LittleEndian.Uint32(b[4:8])
+	crc := crc32.Update(0, castagnoli, b[8:17])
+	crc = crc32.Update(crc, castagnoli, b[frameHeaderSize:total])
+	if crc != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return Record{
+		LSN:     binary.LittleEndian.Uint64(b[8:16]),
+		Type:    b[16],
+		Payload: b[frameHeaderSize:total],
+	}, total, nil
+}
+
+// segment is one on-disk log file, named by the LSN of its first record.
+type segment struct {
+	path     string
+	firstLSN uint64
+}
+
+func segmentName(firstLSN uint64) string {
+	return fmt.Sprintf("%020d.wal", firstLSN)
+}
+
+func parseSegmentName(name string) (uint64, bool) {
+	if !strings.HasSuffix(name, ".wal") || len(name) != 24 {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Stats is a point-in-time snapshot of a log's counters. Appends, Bytes,
+// Fsyncs and the group-commit counters cover this process's lifetime;
+// the LSN fields describe the log itself.
+type Stats struct {
+	// Appends counts records appended.
+	Appends int64
+	// Bytes counts frame bytes appended.
+	Bytes int64
+	// Fsyncs counts fsync calls issued.
+	Fsyncs int64
+	// SyncWaits counts commits that waited for a SyncAlways fsync; the
+	// group-commit batch size is SyncWaits/Fsyncs when both are nonzero.
+	SyncWaits int64
+	// TruncatedTail reports that Open discarded a torn final record.
+	TruncatedTail bool
+	// Segments is the current number of segment files.
+	Segments int
+	// LastLSN is the highest assigned LSN (0 = empty log).
+	LastLSN uint64
+	// SyncedLSN is the highest LSN known to be fsynced.
+	SyncedLSN uint64
+}
+
+// Log is an append-only write-ahead log over a directory of segments.
+// Append is safe for concurrent use.
+type Log struct {
+	dir  string
+	opts Options
+
+	appends   atomic.Int64
+	bytes     atomic.Int64
+	fsyncs    atomic.Int64
+	syncWaits atomic.Int64
+	truncated bool
+
+	// mu guards the file, segment list and LSN allocation.
+	mu       sync.Mutex
+	segments []segment
+	file     *os.File
+	size     int64
+	nextLSN  uint64
+	closed   bool
+	scratch  []byte
+
+	// syncMu guards the group-commit state.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedLSN uint64
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (or creates) the log in dir for appending. A torn final
+// record — a partially written tail frame — is truncated away; any other
+// inconsistency fails with ErrCorrupt.
+func Open(dir string, opts Options) (*Log, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: 1}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.segments = segs
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+	} else {
+		last := segs[len(segs)-1]
+		lastLSN, size, torn, err := scanSegmentTail(last)
+		if err != nil {
+			return nil, err
+		}
+		if torn {
+			if err := os.Truncate(last.path, size); err != nil {
+				return nil, err
+			}
+			l.truncated = true
+		}
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.file = f
+		l.size = size
+		if lastLSN == 0 {
+			l.nextLSN = last.firstLSN
+		} else {
+			l.nextLSN = lastLSN + 1
+		}
+	}
+	l.syncedLSN = l.nextLSN - 1 // everything on disk at open counts as synced
+	if opts.sync() == SyncInterval {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop()
+	}
+	return l, nil
+}
+
+// listSegments returns the directory's segment files in LSN order.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segment
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, segment{path: filepath.Join(dir, e.Name()), firstLSN: first})
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// scanSegmentTail walks a segment to its end, returning the last valid
+// LSN (0 if the segment holds no complete record), the byte offset of
+// the end of the last valid frame, and whether a torn tail follows it.
+func scanSegmentTail(seg segment) (lastLSN uint64, end int64, torn bool, err error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	off := 0
+	for {
+		rec, n, derr := DecodeFrame(data[off:])
+		if derr == io.EOF {
+			return lastLSN, int64(off), false, nil
+		}
+		if errors.Is(derr, errTorn) {
+			return lastLSN, int64(off), true, nil
+		}
+		if derr != nil {
+			return 0, 0, false, fmt.Errorf("%s @%d: %w", seg.path, off, derr)
+		}
+		lastLSN = rec.LSN
+		off += n
+	}
+}
+
+// openSegmentLocked creates and activates a fresh segment starting at
+// firstLSN. Callers hold l.mu (or have exclusive access during Open).
+func (l *Log) openSegmentLocked(firstLSN uint64) error {
+	path := filepath.Join(l.dir, segmentName(firstLSN))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.segments = append(l.segments, segment{path: path, firstLSN: firstLSN})
+	l.file = f
+	l.size = 0
+	syncDir(l.dir)
+	return nil
+}
+
+// Entry is one record of an AppendBatch commit unit.
+type Entry struct {
+	Type    byte
+	Payload []byte
+}
+
+// Append frames one record, writes it to the active segment and applies
+// the sync policy: under SyncAlways it returns only once the record is
+// fsynced (sharing the fsync with concurrent committers). It returns the
+// record's LSN.
+func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
+	return l.AppendBatch([]Entry{{Type: typ, Payload: payload}})
+}
+
+// AppendBatch appends entries as ONE commit unit: the frames are written
+// contiguously and the sync policy is applied once for the whole unit —
+// a multi-record transaction costs a single (group-committed) fsync
+// under SyncAlways, not one per record. It returns the LSN of the last
+// record appended.
+func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
+	if len(entries) == 0 {
+		return l.LastLSN(), nil
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	var last uint64
+	var written int64
+	for _, e := range entries {
+		// Rotate before the write so a record never straddles segments.
+		if l.size > 0 && l.size+int64(frameHeaderSize+len(e.Payload)) > l.opts.segmentBytes() {
+			if err := l.rotateLocked(); err != nil {
+				l.mu.Unlock()
+				return 0, err
+			}
+		}
+		lsn := l.nextLSN
+		l.scratch = AppendFrame(l.scratch[:0], lsn, e.Type, e.Payload)
+		n, err := l.file.Write(l.scratch)
+		// On a partial write the size stays at the bytes actually in the
+		// file — a torn tail in the making that a later scan must see.
+		l.size += int64(n)
+		if err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+		l.nextLSN++
+		written += int64(n)
+		last = lsn
+	}
+	l.mu.Unlock()
+	l.appends.Add(int64(len(entries)))
+	l.bytes.Add(written)
+	if l.opts.sync() == SyncAlways {
+		l.syncWaits.Add(1)
+		if err := l.syncTo(last); err != nil {
+			return 0, err
+		}
+	}
+	return last, nil
+}
+
+// rotateLocked fsyncs and closes the active segment and opens the next
+// one. Callers hold l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.file.Sync(); err != nil {
+		return err
+	}
+	l.fsyncs.Add(1)
+	if err := l.file.Close(); err != nil {
+		return err
+	}
+	return l.openSegmentLocked(l.nextLSN)
+}
+
+// syncTo blocks until every record up to and including lsn is fsynced.
+// Concurrent callers elect one leader whose single fsync covers the whole
+// group (group commit).
+func (l *Log) syncTo(lsn uint64) error {
+	l.syncMu.Lock()
+	for {
+		if l.syncedLSN >= lsn {
+			l.syncMu.Unlock()
+			return nil
+		}
+		if !l.syncing {
+			break
+		}
+		l.syncCond.Wait()
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	l.mu.Lock()
+	var err error
+	var covered uint64
+	if l.closed {
+		err = ErrClosed
+	} else {
+		covered = l.nextLSN - 1 // the fsync covers everything written so far
+		err = l.file.Sync()
+	}
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	l.syncing = false
+	if err == nil {
+		l.fsyncs.Add(1)
+		if covered > l.syncedLSN {
+			l.syncedLSN = covered
+		}
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return err
+	}
+	// The leader's fsync may predate our own record (it raced ahead of
+	// our write becoming visible); loop until covered.
+	return l.syncTo(lsn)
+}
+
+// Sync forces an fsync of everything appended so far.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	last := l.nextLSN - 1
+	l.mu.Unlock()
+	if last == 0 {
+		return nil
+	}
+	return l.syncTo(last)
+}
+
+// flushLoop is the SyncInterval background flusher.
+func (l *Log) flushLoop() {
+	defer close(l.flushDone)
+	t := time.NewTicker(l.opts.interval())
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.syncMu.Lock()
+			synced := l.syncedLSN
+			l.syncMu.Unlock()
+			l.mu.Lock()
+			last := l.nextLSN - 1
+			l.mu.Unlock()
+			if last > synced {
+				l.Sync()
+			}
+		case <-l.flushStop:
+			return
+		}
+	}
+}
+
+// LastLSN reports the highest assigned LSN (0 = empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN - 1
+}
+
+// Replay streams every record with LSN >= fromLSN, in order, to fn. A
+// non-nil error from fn aborts the replay. Replay verifies LSNs are
+// contiguous and fails with ErrCorrupt on a broken frame anywhere except
+// the (already truncated) tail.
+func (l *Log) Replay(fromLSN uint64, fn func(Record) error) (int, error) {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+	applied := 0
+	var expect uint64
+	for i, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return applied, err
+		}
+		off := 0
+		for {
+			rec, n, derr := DecodeFrame(data[off:])
+			if derr == io.EOF {
+				break
+			}
+			if errors.Is(derr, errTorn) {
+				if i == len(segs)-1 {
+					break // truncated tail; Open already handled the file
+				}
+				return applied, fmt.Errorf("%w: incomplete record mid-log in %s", ErrCorrupt, seg.path)
+			}
+			if derr != nil {
+				return applied, fmt.Errorf("%s @%d: %w", seg.path, off, derr)
+			}
+			off += n
+			if expect != 0 && rec.LSN != expect {
+				return applied, fmt.Errorf("%w: LSN %d follows %d in %s", ErrCorrupt, rec.LSN, expect-1, seg.path)
+			}
+			expect = rec.LSN + 1
+			if rec.LSN < fromLSN {
+				continue
+			}
+			// Copy the payload out of the file buffer before handing it on.
+			rec.Payload = append([]byte(nil), rec.Payload...)
+			if err := fn(rec); err != nil {
+				return applied, err
+			}
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+// TruncateBefore deletes whole segments every record of which has
+// LSN < lsn — the checkpoint truncation. The active segment is never
+// deleted.
+func (l *Log) TruncateBefore(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	kept := l.segments[:0]
+	for i, seg := range l.segments {
+		// A segment is obsolete when a successor exists and that successor
+		// starts at or below lsn (so every record here is < lsn).
+		if i+1 < len(l.segments) && l.segments[i+1].firstLSN <= lsn {
+			if err := os.Remove(seg.path); err != nil {
+				return err
+			}
+			continue
+		}
+		kept = append(kept, seg)
+	}
+	l.segments = append([]segment(nil), kept...)
+	syncDir(l.dir)
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	segs := len(l.segments)
+	last := l.nextLSN - 1
+	l.mu.Unlock()
+	l.syncMu.Lock()
+	synced := l.syncedLSN
+	l.syncMu.Unlock()
+	return Stats{
+		Appends:       l.appends.Load(),
+		Bytes:         l.bytes.Load(),
+		Fsyncs:        l.fsyncs.Load(),
+		SyncWaits:     l.syncWaits.Load(),
+		TruncatedTail: l.truncated,
+		Segments:      segs,
+		LastLSN:       last,
+		SyncedLSN:     synced,
+	}
+}
+
+// Close stops the background flusher, fsyncs the tail and closes the
+// active segment.
+func (l *Log) Close() error {
+	if l.flushStop != nil {
+		close(l.flushStop)
+		<-l.flushDone
+		l.flushStop = nil
+	}
+	syncErr := l.Sync()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	err := l.file.Close()
+	if syncErr != nil {
+		return syncErr
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so entry creation/removal is durable; errors
+// are ignored (not all platforms support it).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

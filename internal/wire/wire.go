@@ -123,7 +123,7 @@ type Stats struct {
 	Snapshots     int64        `json:"snapshots,omitempty"`
 	Timeouts      int64        `json:"timeouts,omitempty"`
 	Oversized     int64        `json:"oversized,omitempty"`
-	Verbs         []VerbStat  `json:"verbs,omitempty"`
+	Verbs         []VerbStat   `json:"verbs,omitempty"`
 	StoreStats    []StoreStats `json:"stores,omitempty"`
 }
 
@@ -147,6 +147,16 @@ type StoreStats struct {
 	RowsScanned int64  `json:"rows_scanned"`
 	Derefs      int64  `json:"derefs"`
 	IndexProbes int64  `json:"index_probes"`
+	// Durable and the WAL* fields describe the write-ahead log of a
+	// durable store; all stay zero for in-memory snapshot stores.
+	Durable          bool   `json:"durable,omitempty"`
+	WALRecords       int64  `json:"wal_records,omitempty"`
+	WALBytes         int64  `json:"wal_bytes,omitempty"`
+	WALFsyncs        int64  `json:"wal_fsyncs,omitempty"`
+	WALCommits       int64  `json:"wal_commits,omitempty"`
+	WALReplayed      int    `json:"wal_replayed,omitempty"`
+	WALLastLSN       uint64 `json:"wal_last_lsn,omitempty"`
+	WALCheckpointLSN uint64 `json:"wal_checkpoint_lsn,omitempty"`
 }
 
 // Framing errors.

@@ -136,6 +136,9 @@ type Store struct {
 	Loader    *loader.Loader
 	Retriever *retrieval.Retriever
 	Meta      *meta.Store
+	// wal, when non-nil, makes the store durable: committed changes are
+	// redo-logged to a directory (see durable.go / OpenDir).
+	wal *walState
 }
 
 // Open analyzes dtdText (the declarations of a DTD, without a DOCTYPE
@@ -213,6 +216,9 @@ func OpenDocument(xmlText, docName string, cfg Config) (*Store, int, error) {
 // schema identifier ("SchemaIDs are necessary to deal with identical
 // element names from different DTDs").
 func OpenShared(base *Store, dtdText, root string, cfg Config) (*Store, error) {
+	if base.wal != nil {
+		return nil, fmt.Errorf("xmlordb: OpenShared on a durable store is not supported (schema installation bypasses the WAL)")
+	}
 	d, err := dtd.Parse(root, dtdText)
 	if err != nil {
 		return nil, err
@@ -268,12 +274,11 @@ func (s *Store) Script() string { return s.Schema.Script() }
 func (s *Store) Warnings() []string { return s.Schema.Warnings }
 
 // Load validates the document against the store's DTD and loads it,
-// returning its DocID.
+// returning its DocID. On a durable store the document is serialized
+// back to XML for the redo record — prefer LoadXML when the original
+// text is at hand, so the log keeps it byte-for-byte.
 func (s *Store) Load(doc *xmldom.Document, docName string) (int, error) {
-	if err := dtd.Validate(s.DTD, doc); err != nil {
-		return 0, err
-	}
-	return s.Loader.Load(doc, docName)
+	return s.load(doc, docName, "")
 }
 
 // LoadXML parses, validates and loads an XML document given as text.
@@ -282,7 +287,21 @@ func (s *Store) LoadXML(xmlText, docName string) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return s.Load(res.Doc, docName)
+	return s.load(res.Doc, docName, xmlText)
+}
+
+func (s *Store) load(doc *xmldom.Document, docName, xmlText string) (int, error) {
+	if err := dtd.Validate(s.DTD, doc); err != nil {
+		return 0, err
+	}
+	id, err := s.Loader.Load(doc, docName)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.walLogLoad(doc, docName, xmlText, id); err != nil {
+		return id, err
+	}
+	return id, nil
 }
 
 // InsertSQL renders the single nested INSERT statement for a document
@@ -324,8 +343,20 @@ func (s *Store) XPath(path string) (*sql.Rows, string, error) {
 	return rows, stmt, nil
 }
 
-// Exec runs a non-query statement against the store.
-func (s *Store) Exec(sqlText string) (*sql.Result, error) { return s.Engine.Exec(sqlText) }
+// Exec runs a non-query statement against the store. On a durable store
+// a successful DML statement is logged for redo (buffered until COMMIT
+// inside an explicit transaction); DDL, which auto-commits, is logged
+// immediately.
+func (s *Store) Exec(sqlText string) (*sql.Result, error) {
+	res, err := s.Engine.Exec(sqlText)
+	if err != nil {
+		return res, err
+	}
+	if werr := s.walLogSQL(sqlText); werr != nil {
+		return res, werr
+	}
+	return res, nil
+}
 
 // DB exposes the underlying engine database (for stats and inspection).
 func (s *Store) DB() *ordb.DB { return s.Engine.DB() }
