@@ -138,6 +138,75 @@ func TestDurableServerMigratesLegacySnapshot(t *testing.T) {
 	}
 }
 
+// TestDurableServerReopenOfHostedStoreRefused guards the OPEN-twice
+// hazard: re-opening the name of a live durable store must be refused
+// up front, never reaching the store's directory — a second wal.Open on
+// the live WAL could see an in-flight append as a torn tail and
+// truncate acknowledged commits out from under the writer.
+func TestDurableServerReopenOfHostedStoreRefused(t *testing.T) {
+	dir := t.TempDir()
+	srv := New(durableCfg(dir))
+	ctx := context.Background()
+	if err := srv.OpenStore("uni", uniDTD, "University", xmlordb.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	_, addr := serveOn(t, srv)
+	c := mustDial(t, addr)
+	// Bind explicitly: the raced opens below host a second store, which
+	// removes the single-store default binding.
+	if err := c.Use(ctx, "uni"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(ctx, "d1.xml", uniDoc("Conrad", 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The idempotent ensure-exists pattern: OPEN again, with traffic on
+	// the store. It must fail cleanly, case-insensitively.
+	for _, name := range []string{"uni", "UNI"} {
+		if err := srv.OpenStore(name, uniDTD, "University", xmlordb.Config{}); err == nil {
+			t.Fatalf("OpenStore(%q) on a hosted store succeeded", name)
+		}
+	}
+	// Concurrent OPENs of one new name: exactly one may win; the losers
+	// must not have opened the winner's directory.
+	const racers = 8
+	errs := make(chan error, racers)
+	for i := 0; i < racers; i++ {
+		go func() {
+			errs <- srv.OpenStore("raced", uniDTD, "University", xmlordb.Config{})
+		}()
+	}
+	wins := 0
+	for i := 0; i < racers; i++ {
+		if <-errs == nil {
+			wins++
+		}
+	}
+	if wins != 1 {
+		t.Fatalf("%d concurrent OpenStores of one name succeeded, want exactly 1", wins)
+	}
+	// The original store is intact: its commits survive a restart.
+	if _, err := c.Load(ctx, "d2.xml", uniDoc("Kudrass", 2)); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	srv.Shutdown(cctx)
+	cancel()
+	srv2 := New(durableCfg(dir))
+	if n, err := srv2.RestoreDir(); err != nil || n != 2 {
+		t.Fatalf("RestoreDir = %d, %v; want uni and raced", n, err)
+	}
+	_, addr2 := serveOn(t, srv2)
+	c2 := mustDial(t, addr2)
+	if err := c2.Use(ctx, "uni"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c2.Query(ctx, countStudentsSQL)
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("rows after restart = %v, %v", res, err)
+	}
+}
+
 func TestDurableServerRestartRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	srv := New(durableCfg(dir))

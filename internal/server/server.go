@@ -143,6 +143,7 @@ type Server struct {
 
 	mu         sync.Mutex
 	stores     map[string]*hostedStore
+	opening    map[string]struct{} // names reserved by in-flight OpenStores
 	storeOrder []string
 	sessions   map[*session]struct{}
 	sessionSeq int64
@@ -161,6 +162,7 @@ func New(cfg Config) *Server {
 	return &Server{
 		cfg:      cfg,
 		stores:   map[string]*hostedStore{},
+		opening:  map[string]struct{}{},
 		sessions: map[*session]struct{}{},
 		metrics:  newMetrics(),
 	}
@@ -180,26 +182,73 @@ func (s *Server) AddStore(name string, st *xmlordb.Store) error {
 	if _, ok := s.stores[key]; ok {
 		return fmt.Errorf("server: store %q already hosted", name)
 	}
+	if _, ok := s.opening[key]; ok {
+		return fmt.Errorf("server: store %q is being opened", name)
+	}
 	s.stores[key] = &hostedStore{name: name, store: st}
 	s.storeOrder = append(s.storeOrder, key)
 	return nil
 }
 
-// OpenStore installs a new store from DTD text and hosts it under name
-// (the OPEN verb). Under a durable config the store lives in
-// <SnapshotDir>/<name>/ with a write-ahead log; otherwise in memory.
-func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error {
+// reserveStore claims name for an in-flight OpenStore, failing if it is
+// already hosted or being opened. The reservation must happen before
+// any durable state is touched: opening the directory of an already-
+// hosted store would reopen its live WAL and truncate in-flight appends
+// out from under the writer.
+func (s *Server) reserveStore(name string) error {
 	if !storeNameRe.MatchString(name) {
 		return fmt.Errorf("server: invalid store name %q", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.stores[key]; ok {
+		return fmt.Errorf("server: store %q already hosted", name)
+	}
+	if _, ok := s.opening[key]; ok {
+		return fmt.Errorf("server: store %q is being opened", name)
+	}
+	s.opening[key] = struct{}{}
+	return nil
+}
+
+// releaseStore drops a reservation whose open failed.
+func (s *Server) releaseStore(name string) {
+	s.mu.Lock()
+	delete(s.opening, strings.ToLower(name))
+	s.mu.Unlock()
+}
+
+// installStore converts a reservation into a hosted store.
+func (s *Server) installStore(name string, st *xmlordb.Store) *hostedStore {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	delete(s.opening, key)
+	hs := &hostedStore{name: name, store: st}
+	s.stores[key] = hs
+	s.storeOrder = append(s.storeOrder, key)
+	return hs
+}
+
+// OpenStore installs a new store from DTD text and hosts it under name
+// (the OPEN verb). Under a durable config the store lives in
+// <SnapshotDir>/<name>/ with a write-ahead log; the name is reserved
+// up front so the directory of a hosted store is never reopened.
+func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error {
+	if err := s.reserveStore(name); err != nil {
+		return err
 	}
 	var st *xmlordb.Store
 	var err error
 	if s.cfg.durable() {
 		if s.cfg.SnapshotDir == "" {
+			s.releaseStore(name)
 			return fmt.Errorf("server: durability %q needs a snapshot directory", s.cfg.Durability)
 		}
 		opts, oerr := s.cfg.durableOptions()
 		if oerr != nil {
+			s.releaseStore(name)
 			return oerr
 		}
 		st, err = xmlordb.OpenDir(filepath.Join(s.cfg.SnapshotDir, name), dtdText, root, cfg, opts)
@@ -207,15 +256,10 @@ func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error
 		st, err = xmlordb.Open(dtdText, root, cfg)
 	}
 	if err != nil {
+		s.releaseStore(name)
 		return err
 	}
-	if err := s.AddStore(name, st); err != nil {
-		st.Close()
-		return err
-	}
-	if hs := s.lookupStore(name); hs != nil {
-		hs.markDirty() // a fresh schema is state worth snapshotting
-	}
+	s.installStore(name, st).markDirty() // a fresh schema is state worth snapshotting
 	return nil
 }
 

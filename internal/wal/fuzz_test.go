@@ -15,8 +15,8 @@ func FuzzWALDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x00})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
-	valid := AppendFrame(nil, 1, 3, []byte("seed-payload"))
-	valid = AppendFrame(valid, 2, 1, nil)
+	valid := AppendFrame(nil, 1, 3, false, []byte("seed-payload"))
+	valid = AppendFrame(valid, 2, 1, true, nil)
 	f.Add(valid)
 	f.Add(valid[:len(valid)-3]) // torn tail
 	mut := append([]byte(nil), valid...)
@@ -37,7 +37,7 @@ func FuzzWALDecode(f *testing.F) {
 				t.Fatalf("decoder consumed %d bytes of %d available", n, len(data)-off)
 			}
 			// A frame that decodes must re-encode to the identical bytes.
-			re := AppendFrame(nil, rec.LSN, rec.Type, rec.Payload)
+			re := AppendFrame(nil, rec.LSN, rec.Type, rec.Commit, rec.Payload)
 			if !bytes.Equal(re, data[off:off+n]) {
 				t.Fatalf("re-encode mismatch at offset %d", off)
 			}

@@ -16,9 +16,16 @@
 //     process crash via the OS page cache) but never explicitly fsynced;
 //     an OS crash may lose everything since the last snapshot.
 //
+// Commit units. AppendBatch writes a multi-record transaction as one
+// commit unit: the frames are contiguous, never straddle a segment, and
+// the final frame carries a commit flag. Recovery only surfaces whole
+// units, so a crash can never replay half a transaction as if it had
+// committed.
+//
 // Torn tails vs corruption. A crash can leave a partially written final
-// record: the frame's declared length extends past the end of the file.
-// Open truncates such a tail and continues — the record belongs to a
+// record — the frame's declared length extends past the end of the file
+// — or a complete run of frames whose commit flag never made it to
+// disk. Open truncates either tail and continues: the bytes belong to a
 // commit that was never acknowledged. A record whose bytes are fully
 // present but whose CRC does not match, or a broken frame with intact
 // data after it, is mid-log corruption: the log refuses to open rather
@@ -95,21 +102,29 @@ func (o Options) segmentBytes() int64 {
 	return o.SegmentBytes
 }
 
-// Record is one logical redo record.
+// Record is one logical redo record. Commit marks the final record of
+// its commit unit; recovery discards a trailing unit whose commit
+// record never reached disk.
 type Record struct {
 	LSN     uint64
 	Type    byte
+	Commit  bool
 	Payload []byte
 }
 
 // Frame layout (little endian):
 //
 //	u32  payload length
-//	u32  CRC32C over [lsn | type | payload]
+//	u32  CRC32C over [lsn | type | flags | payload]
 //	u64  lsn
 //	u8   record type
+//	u8   flags (bit 0: commit — ends its commit unit)
 //	...  payload
-const frameHeaderSize = 4 + 4 + 8 + 1
+const frameHeaderSize = 4 + 4 + 8 + 1 + 1
+
+// flagCommit marks the last record of a commit unit. Other flag bits
+// are reserved and rejected as corruption.
+const flagCommit = 0x01
 
 // MaxPayload bounds one record; larger declared lengths are corruption.
 const MaxPayload = 256 << 20
@@ -126,16 +141,24 @@ var (
 	errTorn = errors.New("wal: torn tail record")
 	// ErrClosed reports use after Close.
 	ErrClosed = errors.New("wal: log closed")
+	// ErrPoisoned reports that a failed append left bytes in the active
+	// segment that could not be rolled back. The log refuses further
+	// appends so the damage stays at the tail, where the next Open
+	// repairs it like any torn tail instead of refusing the whole log.
+	ErrPoisoned = errors.New("wal: log disabled after failed write (reopen to repair)")
 )
 
 // AppendFrame encodes one record frame onto dst and returns the extended
-// slice.
-func AppendFrame(dst []byte, lsn uint64, typ byte, payload []byte) []byte {
+// slice. commit marks the record as the last of its commit unit.
+func AppendFrame(dst []byte, lsn uint64, typ byte, commit bool, payload []byte) []byte {
 	var hdr [frameHeaderSize]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint64(hdr[8:16], lsn)
 	hdr[16] = typ
-	crc := crc32.Update(0, castagnoli, hdr[8:17])
+	if commit {
+		hdr[17] = flagCommit
+	}
+	crc := crc32.Update(0, castagnoli, hdr[8:18])
 	crc = crc32.Update(crc, castagnoli, payload)
 	binary.LittleEndian.PutUint32(hdr[4:8], crc)
 	dst = append(dst, hdr[:]...)
@@ -162,14 +185,18 @@ func DecodeFrame(b []byte) (Record, int, error) {
 		return Record{}, 0, errTorn
 	}
 	want := binary.LittleEndian.Uint32(b[4:8])
-	crc := crc32.Update(0, castagnoli, b[8:17])
+	crc := crc32.Update(0, castagnoli, b[8:18])
 	crc = crc32.Update(crc, castagnoli, b[frameHeaderSize:total])
 	if crc != want {
 		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
 	}
+	if b[17]&^flagCommit != 0 {
+		return Record{}, 0, fmt.Errorf("%w: unknown frame flags %#x", ErrCorrupt, b[17])
+	}
 	return Record{
 		LSN:     binary.LittleEndian.Uint64(b[8:16]),
 		Type:    b[16],
+		Commit:  b[17]&flagCommit != 0,
 		Payload: b[frameHeaderSize:total],
 	}, total, nil
 }
@@ -208,7 +235,8 @@ type Stats struct {
 	// SyncWaits counts commits that waited for a SyncAlways fsync; the
 	// group-commit batch size is SyncWaits/Fsyncs when both are nonzero.
 	SyncWaits int64
-	// TruncatedTail reports that Open discarded a torn final record.
+	// TruncatedTail reports that Open discarded a torn final record or
+	// an unacknowledged trailing commit unit.
 	TruncatedTail bool
 	// Segments is the current number of segment files.
 	Segments int
@@ -237,7 +265,12 @@ type Log struct {
 	size     int64
 	nextLSN  uint64
 	closed   bool
+	poisoned bool
 	scratch  []byte
+
+	// writeHook, when non-nil, replaces segment writes (fault injection
+	// in tests). Called with mu held.
+	writeHook func(f *os.File, b []byte) (int, error)
 
 	// syncMu guards the group-commit state.
 	syncMu    sync.Mutex
@@ -248,9 +281,10 @@ type Log struct {
 	flushDone chan struct{}
 }
 
-// Open opens (or creates) the log in dir for appending. A torn final
-// record — a partially written tail frame — is truncated away; any other
-// inconsistency fails with ErrCorrupt.
+// Open opens (or creates) the log in dir for appending. A torn tail —
+// a partially written final frame, or trailing complete frames whose
+// commit unit never got its commit record — is truncated away; any
+// other inconsistency fails with ErrCorrupt.
 func Open(dir string, opts Options) (*Log, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -282,6 +316,15 @@ func Open(dir string, opts Options) (*Log, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The previous process may have written this tail without ever
+		// fsyncing it (SyncInterval/SyncNever). Sync once before counting
+		// it as durable, or the flusher would skip it forever and an OS
+		// crash could lose records recovery already replayed.
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.fsyncs.Add(1)
 		l.file = f
 		l.size = size
 		if lastLSN == 0 {
@@ -290,7 +333,7 @@ func Open(dir string, opts Options) (*Log, error) {
 			l.nextLSN = lastLSN + 1
 		}
 	}
-	l.syncedLSN = l.nextLSN - 1 // everything on disk at open counts as synced
+	l.syncedLSN = l.nextLSN - 1 // everything on disk is now fsynced
 	if opts.sync() == SyncInterval {
 		l.flushStop = make(chan struct{})
 		l.flushDone = make(chan struct{})
@@ -318,9 +361,12 @@ func listSegments(dir string) ([]segment, error) {
 	return segs, nil
 }
 
-// scanSegmentTail walks a segment to its end, returning the last valid
-// LSN (0 if the segment holds no complete record), the byte offset of
-// the end of the last valid frame, and whether a torn tail follows it.
+// scanSegmentTail walks a segment to its end, returning the LSN of the
+// last committed record (0 if the segment holds none), the byte offset
+// just past its frame, and whether trailing bytes follow that point — a
+// partially written frame, or complete frames whose commit record never
+// reached disk. Either tail belongs to a commit that was never
+// acknowledged and must be truncated.
 func scanSegmentTail(seg segment) (lastLSN uint64, end int64, torn bool, err error) {
 	data, err := os.ReadFile(seg.path)
 	if err != nil {
@@ -329,17 +375,17 @@ func scanSegmentTail(seg segment) (lastLSN uint64, end int64, torn bool, err err
 	off := 0
 	for {
 		rec, n, derr := DecodeFrame(data[off:])
-		if derr == io.EOF {
-			return lastLSN, int64(off), false, nil
-		}
-		if errors.Is(derr, errTorn) {
-			return lastLSN, int64(off), true, nil
+		if derr == io.EOF || errors.Is(derr, errTorn) {
+			return lastLSN, end, end < int64(len(data)), nil
 		}
 		if derr != nil {
 			return 0, 0, false, fmt.Errorf("%s @%d: %w", seg.path, off, derr)
 		}
-		lastLSN = rec.LSN
 		off += n
+		if rec.Commit {
+			lastLSN = rec.LSN
+			end = int64(off)
+		}
 	}
 }
 
@@ -347,7 +393,10 @@ func scanSegmentTail(seg segment) (lastLSN uint64, end int64, torn bool, err err
 // firstLSN. Callers hold l.mu (or have exclusive access during Open).
 func (l *Log) openSegmentLocked(firstLSN uint64) error {
 	path := filepath.Join(l.dir, segmentName(firstLSN))
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	// O_APPEND so writes land at the true EOF even after a failed write
+	// is truncated away — a plain fd would keep its offset past the tear
+	// and leave a hole of zero bytes.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
@@ -373,46 +422,63 @@ func (l *Log) Append(typ byte, payload []byte) (uint64, error) {
 }
 
 // AppendBatch appends entries as ONE commit unit: the frames are written
-// contiguously and the sync policy is applied once for the whole unit —
-// a multi-record transaction costs a single (group-committed) fsync
-// under SyncAlways, not one per record. It returns the LSN of the last
-// record appended.
+// contiguously in a single segment, the final frame carries the commit
+// flag (so recovery surfaces all of the unit or none of it), and the
+// sync policy is applied once for the whole unit — a multi-record
+// transaction costs a single (group-committed) fsync under SyncAlways,
+// not one per record. It returns the LSN of the last record appended.
 func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 	if len(entries) == 0 {
 		return l.LastLSN(), nil
+	}
+	var batchBytes int64
+	for _, e := range entries {
+		batchBytes += int64(frameHeaderSize + len(e.Payload))
 	}
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
 		return 0, ErrClosed
 	}
-	var last uint64
-	var written int64
-	for _, e := range entries {
-		// Rotate before the write so a record never straddles segments.
-		if l.size > 0 && l.size+int64(frameHeaderSize+len(e.Payload)) > l.opts.segmentBytes() {
-			if err := l.rotateLocked(); err != nil {
-				l.mu.Unlock()
-				return 0, err
-			}
-		}
-		lsn := l.nextLSN
-		l.scratch = AppendFrame(l.scratch[:0], lsn, e.Type, e.Payload)
-		n, err := l.file.Write(l.scratch)
-		// On a partial write the size stays at the bytes actually in the
-		// file — a torn tail in the making that a later scan must see.
-		l.size += int64(n)
-		if err != nil {
+	if l.poisoned {
+		l.mu.Unlock()
+		return 0, ErrPoisoned
+	}
+	// Rotate before the batch so a commit unit never straddles segments;
+	// a unit larger than a whole segment gets an oversized segment of
+	// its own instead of being split.
+	if l.size > 0 && l.size+batchBytes > l.opts.segmentBytes() {
+		if err := l.rotateLocked(); err != nil {
 			l.mu.Unlock()
 			return 0, err
 		}
-		l.nextLSN++
-		written += int64(n)
-		last = lsn
 	}
+	first := l.nextLSN
+	l.scratch = l.scratch[:0]
+	for i, e := range entries {
+		l.scratch = AppendFrame(l.scratch, first+uint64(i), e.Type, i == len(entries)-1, e.Payload)
+	}
+	n, err := l.writeLocked(l.scratch)
+	if err != nil {
+		// Roll the file back to the last durable boundary so the partial
+		// bytes cannot become mid-log garbage under later appends. If even
+		// that fails, poison the log: the tear stays at the tail, where
+		// the next Open truncates it instead of refusing the whole store.
+		if n > 0 {
+			if terr := l.file.Truncate(l.size); terr != nil {
+				l.size += int64(n)
+				l.poisoned = true
+			}
+		}
+		l.mu.Unlock()
+		return 0, err
+	}
+	l.size += int64(n)
+	l.nextLSN = first + uint64(len(entries))
+	last := l.nextLSN - 1
 	l.mu.Unlock()
 	l.appends.Add(int64(len(entries)))
-	l.bytes.Add(written)
+	l.bytes.Add(int64(n))
 	if l.opts.sync() == SyncAlways {
 		l.syncWaits.Add(1)
 		if err := l.syncTo(last); err != nil {
@@ -420,6 +486,14 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 		}
 	}
 	return last, nil
+}
+
+// writeLocked writes b to the active segment. Callers hold l.mu.
+func (l *Log) writeLocked(b []byte) (int, error) {
+	if l.writeHook != nil {
+		return l.writeHook(l.file, b)
+	}
+	return l.file.Write(b)
 }
 
 // rotateLocked fsyncs and closes the active segment and opens the next
@@ -524,15 +598,18 @@ func (l *Log) LastLSN() uint64 {
 }
 
 // Replay streams every record with LSN >= fromLSN, in order, to fn. A
-// non-nil error from fn aborts the replay. Replay verifies LSNs are
-// contiguous and fails with ErrCorrupt on a broken frame anywhere except
-// the (already truncated) tail.
+// non-nil error from fn aborts the replay. Records are surfaced one
+// whole commit unit at a time: a trailing unit whose commit record is
+// missing was never acknowledged and is skipped. Replay verifies LSNs
+// are contiguous and fails with ErrCorrupt on a broken frame or an
+// unterminated unit anywhere except the (already truncated) tail.
 func (l *Log) Replay(fromLSN uint64, fn func(Record) error) (int, error) {
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segments...)
 	l.mu.Unlock()
 	applied := 0
 	var expect uint64
+	var unit []Record // records awaiting their unit's commit frame
 	for i, seg := range segs {
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
@@ -558,15 +635,28 @@ func (l *Log) Replay(fromLSN uint64, fn func(Record) error) (int, error) {
 				return applied, fmt.Errorf("%w: LSN %d follows %d in %s", ErrCorrupt, rec.LSN, expect-1, seg.path)
 			}
 			expect = rec.LSN + 1
-			if rec.LSN < fromLSN {
-				continue
-			}
 			// Copy the payload out of the file buffer before handing it on.
 			rec.Payload = append([]byte(nil), rec.Payload...)
-			if err := fn(rec); err != nil {
-				return applied, err
+			unit = append(unit, rec)
+			if !rec.Commit {
+				continue
 			}
-			applied++
+			for _, r := range unit {
+				if r.LSN < fromLSN {
+					continue
+				}
+				if err := fn(r); err != nil {
+					return applied, err
+				}
+				applied++
+			}
+			unit = unit[:0]
+		}
+		// A commit unit never straddles segments, so leftovers at the end
+		// of a non-final segment are corruption; at the end of the log
+		// they are an unacknowledged tail Open normally truncates.
+		if len(unit) > 0 && i != len(segs)-1 {
+			return applied, fmt.Errorf("%w: commit unit without commit record in %s", ErrCorrupt, seg.path)
 		}
 	}
 	return applied, nil

@@ -164,6 +164,213 @@ func TestTornTailTruncatedOnOpen(t *testing.T) {
 	l2.Close()
 }
 
+// frameOffsets decodes a segment file and returns the starting offset
+// of every complete frame.
+func frameOffsets(t *testing.T, path string) []int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offs []int
+	off := 0
+	for off < len(data) {
+		_, n, err := DecodeFrame(data[off:])
+		if err != nil {
+			break
+		}
+		offs = append(offs, off)
+		off += n
+	}
+	return offs
+}
+
+func TestUncommittedBatchTailDiscardedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{})
+	for i := 0; i < 2; i++ {
+		if _, err := l.Append(1, []byte(fmt.Sprintf("solo-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.AppendBatch([]Entry{
+		{Type: 1, Payload: []byte("tx-a")},
+		{Type: 2, Payload: []byte("tx-b")},
+		{Type: 3, Payload: []byte("tx-c")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	segs, _ := listSegments(dir)
+	// Drop only the batch's final, commit-flagged frame: the two complete
+	// frames left behind are a commit unit whose terminator never made it
+	// to disk — the page-cache-persisted-a-prefix crash.
+	offs := frameOffsets(t, segs[0].path)
+	if len(offs) != 5 {
+		t.Fatalf("expected 5 frames, found %d", len(offs))
+	}
+	if err := os.Truncate(segs[0].path, int64(offs[4])); err != nil {
+		t.Fatal(err)
+	}
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if !l2.Stats().TruncatedTail {
+		t.Fatal("expected the unterminated commit unit to be reported as a truncated tail")
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 2 {
+		t.Fatalf("replayed %d records, want 2 (no partial transaction)", len(got))
+	}
+	for _, r := range got {
+		if !bytes.HasPrefix(r.Payload, []byte("solo-")) {
+			t.Fatalf("replay surfaced a record of the torn batch: %q", r.Payload)
+		}
+	}
+	// New appends continue from the committed boundary.
+	lsn, err := l2.Append(1, []byte("after"))
+	if err != nil || lsn != 3 {
+		t.Fatalf("Append after discard = %d, %v; want LSN 3", lsn, err)
+	}
+}
+
+func TestBatchNeverStraddlesSegments(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{SegmentBytes: 100})
+	const batches = 4
+	for i := 0; i < batches; i++ {
+		if _, err := l.AppendBatch([]Entry{
+			{Type: 1, Payload: bytes.Repeat([]byte("x"), 20)},
+			{Type: 1, Payload: bytes.Repeat([]byte("y"), 20)},
+			{Type: 1, Payload: bytes.Repeat([]byte("z"), 20)},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.Stats().Segments; got != batches {
+		t.Fatalf("segments = %d, want %d (one oversized segment per batch)", got, batches)
+	}
+	l.Close()
+	// Every segment must end exactly on a committed boundary.
+	segs, _ := listSegments(dir)
+	for _, seg := range segs {
+		if _, _, torn, err := scanSegmentTail(seg); err != nil || torn {
+			t.Fatalf("segment %s: torn=%v err=%v, want a clean committed tail", seg.path, torn, err)
+		}
+	}
+	l2 := openT(t, dir, Options{SegmentBytes: 100})
+	defer l2.Close()
+	if got := collect(t, l2, 1); len(got) != 3*batches {
+		t.Fatalf("replayed %d records, want %d", len(got), 3*batches)
+	}
+}
+
+func TestFailedWriteRolledBack(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	if _, err := l.Append(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a partial write: half the frame reaches the file, then the
+	// disk "fails". The log must truncate the torn bytes away and stay
+	// usable.
+	l.mu.Lock()
+	l.writeHook = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		return n, fmt.Errorf("injected write failure")
+	}
+	l.mu.Unlock()
+	if _, err := l.Append(1, []byte("torn")); err == nil {
+		t.Fatal("Append with failing write succeeded")
+	}
+	l.mu.Lock()
+	l.writeHook = nil
+	l.mu.Unlock()
+	lsn, err := l.Append(1, []byte("second"))
+	if err != nil {
+		t.Fatalf("Append after rolled-back failure: %v", err)
+	}
+	if lsn != 2 {
+		t.Fatalf("LSN after rollback = %d, want 2", lsn)
+	}
+	got := collect(t, l, 1)
+	if len(got) != 2 || string(got[1].Payload) != "second" {
+		t.Fatalf("replay after rollback = %d records, want [first second]", len(got))
+	}
+	l.Close()
+	// The reopened log is clean: no torn tail, history intact.
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if l2.Stats().TruncatedTail {
+		t.Fatal("rolled-back write left a torn tail for Open to repair")
+	}
+	if got := collect(t, l2, 1); len(got) != 2 {
+		t.Fatalf("replayed %d records after reopen, want 2", len(got))
+	}
+}
+
+func TestUnrollableWritePoisonsLogAndReopenRepairs(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncAlways})
+	if _, err := l.Append(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	// Inject a tear that cannot be rolled back: half a frame lands and
+	// the file dies under us, so the post-failure Truncate fails too.
+	l.mu.Lock()
+	l.writeHook = func(f *os.File, b []byte) (int, error) {
+		n, _ := f.Write(b[:len(b)/2])
+		f.Close()
+		return n, fmt.Errorf("injected disk loss")
+	}
+	l.mu.Unlock()
+	if _, err := l.Append(1, []byte("torn")); err == nil {
+		t.Fatal("Append with failing write succeeded")
+	}
+	l.mu.Lock()
+	l.writeHook = nil
+	l.mu.Unlock()
+	// The log is poisoned: further appends must refuse rather than bury
+	// the torn bytes mid-log.
+	if _, err := l.Append(1, []byte("after")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Append on poisoned log: %v, want ErrPoisoned", err)
+	}
+	l.Close() // file already gone; error is expected and irrelevant
+	// Reopening repairs the tear like any torn tail — the transient
+	// failure must not brick recovery.
+	l2 := openT(t, dir, Options{})
+	defer l2.Close()
+	if !l2.Stats().TruncatedTail {
+		t.Fatal("expected Open to truncate the torn tail")
+	}
+	got := collect(t, l2, 1)
+	if len(got) != 1 || string(got[0].Payload) != "first" {
+		t.Fatalf("replay after repair = %+v, want just the first record", got)
+	}
+	if lsn, err := l2.Append(1, []byte("second")); err != nil || lsn != 2 {
+		t.Fatalf("Append after repair = %d, %v; want LSN 2", lsn, err)
+	}
+}
+
+func TestOpenFsyncsInheritedTail(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNever})
+	if _, err := l.Append(1, []byte("maybe-only-in-page-cache")); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	// Reopen: the previous process may never have fsynced the tail it
+	// left behind, so Open must issue one before counting it as synced.
+	l2 := openT(t, dir, Options{Sync: SyncInterval, SyncInterval: time.Hour})
+	defer l2.Close()
+	st := l2.Stats()
+	if st.Fsyncs < 1 {
+		t.Fatalf("Open issued %d fsyncs over an inherited tail, want >= 1", st.Fsyncs)
+	}
+	if st.SyncedLSN != st.LastLSN {
+		t.Fatalf("synced LSN %d != last LSN %d after Open's sync", st.SyncedLSN, st.LastLSN)
+	}
+}
+
 func TestMidLogCorruptionRefused(t *testing.T) {
 	dir := t.TempDir()
 	l := openT(t, dir, Options{})
