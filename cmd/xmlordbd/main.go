@@ -23,9 +23,17 @@
 //	                        each store in <snapshot-dir>/<name>/ with
 //	                        crash recovery on boot
 //	-wal-sync-interval 50ms background WAL flush period under "interval"
+//	-wal-segment-bytes 0    WAL segment size cap before rotation (0 = 4MiB)
 //	-idle-timeout 5m        close sessions idle this long
 //	-request-timeout 0      per-request execution limit (0 = none)
 //	-max-request 16777216   request frame size limit in bytes
+//	-replica-of addr        start as a read replica of the primary at addr
+//	                        (requires -durability and -snapshot-dir); writes
+//	                        are rejected until PROMOTE
+//	-repl-max-lag 0         drop replicas more than this many WAL records
+//	                        behind (they re-sync via snapshot transfer)
+//	-repl-heartbeat 1s      replication stream idle heartbeat
+//	-repl-retry 500ms       replica reconnect backoff
 //
 // The server drains gracefully on SIGINT/SIGTERM: new connections are
 // refused, in-flight requests complete, dirty stores are snapshotted
@@ -33,7 +41,7 @@
 //
 // Client verbs:
 //
-//	ping | stores | stats | save
+//	ping | stores | stats | save | promote
 //	open  <name> <dtd-file> [root]      install a store from a DTD
 //	load  <doc.xml>...                  load documents, print DocIDs
 //	sql   <statement>                   run SQL (or read from stdin with -)
@@ -100,22 +108,32 @@ func runServe(args []string, out io.Writer) error {
 		snapInterval = fs.Duration("snapshot-interval", 30*time.Second, "snapshot period")
 		durability   = fs.String("durability", "snapshot", `"snapshot", "always", "interval" or "never"`)
 		walSyncInt   = fs.Duration("wal-sync-interval", 0, `WAL flush period under -durability interval`)
+		walSegBytes  = fs.Int64("wal-segment-bytes", 0, "WAL segment size cap before rotation (0 = default 4MiB)")
 		idleTimeout  = fs.Duration("idle-timeout", 5*time.Minute, "session idle timeout")
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request execution limit (0 = none)")
 		maxRequest   = fs.Int("max-request", wire.DefaultMaxFrame, "request frame size limit")
+		replicaOf    = fs.String("replica-of", "", "primary address: start as a read replica")
+		replMaxLag   = fs.Uint64("repl-max-lag", 0, "drop replicas more than this many WAL records behind (0 = never)")
+		replHB       = fs.Duration("repl-heartbeat", 0, "replication stream heartbeat interval")
+		replRetry    = fs.Duration("repl-retry", 0, "replica reconnect backoff")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	srv := server.New(server.Config{
-		MaxRequestBytes:  *maxRequest,
-		RequestTimeout:   *reqTimeout,
-		IdleTimeout:      *idleTimeout,
-		SnapshotDir:      *snapDir,
-		SnapshotInterval: *snapInterval,
-		Durability:       *durability,
-		WALSyncInterval:  *walSyncInt,
-		StatsAddr:        *statsAddr,
+		MaxRequestBytes:   *maxRequest,
+		RequestTimeout:    *reqTimeout,
+		IdleTimeout:       *idleTimeout,
+		SnapshotDir:       *snapDir,
+		SnapshotInterval:  *snapInterval,
+		Durability:        *durability,
+		WALSyncInterval:   *walSyncInt,
+		WALSegmentBytes:   *walSegBytes,
+		StatsAddr:         *statsAddr,
+		ReplicaOf:         *replicaOf,
+		ReplMaxLagRecords: *replMaxLag,
+		ReplHeartbeat:     *replHB,
+		ReplRetry:         *replRetry,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
 		},
@@ -127,7 +145,7 @@ func runServe(args []string, out io.Writer) error {
 	if restored > 0 {
 		fmt.Fprintf(out, "restored %d store(s) from %s: %v\n", restored, *snapDir, srv.StoreNames())
 	}
-	if *dtdFile != "" {
+	if *dtdFile != "" && *replicaOf == "" {
 		if hosted := srv.StoreNames(); !contains(hosted, *name) {
 			dtdText, err := os.ReadFile(*dtdFile)
 			if err != nil {
@@ -138,6 +156,9 @@ func runServe(args []string, out io.Writer) error {
 			}
 			fmt.Fprintf(out, "installed store %q from %s\n", *name, *dtdFile)
 		}
+	}
+	if err := srv.StartReplication(); err != nil {
+		return err
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -152,7 +173,7 @@ func runServe(args []string, out io.Writer) error {
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
-	fmt.Fprintf(out, "listening on %s (stores: %v)\n", srv.Addr(), srv.StoreNames())
+	fmt.Fprintf(out, "listening on %s as %s (stores: %v)\n", srv.Addr(), srv.Role(), srv.StoreNames())
 
 	select {
 	case err := <-errc:
@@ -200,6 +221,16 @@ func runClient(args []string, out io.Writer, repl bool) error {
 		}
 	}
 	if repl {
+		// `xmlordbd repl status` prints the replication status and exits
+		// instead of entering the interactive loop.
+		if rest := fs.Args(); len(rest) == 1 && strings.EqualFold(rest[0], "status") {
+			st, err := c.Stats(ctx)
+			if err != nil {
+				return err
+			}
+			printReplStats(out, st.Repl)
+			return nil
+		}
 		return runRepl(ctx, c, out)
 	}
 	rest := fs.Args()
@@ -309,6 +340,12 @@ func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Wri
 			return err
 		}
 		fmt.Fprintln(out, "saved")
+	case "promote":
+		role, lsn, err := c.Promote(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "promoted: role %s, lsn %d\n", role, lsn)
 	case "begin":
 		return c.Begin(ctx)
 	case "commit":
@@ -390,6 +427,44 @@ func printStats(out io.Writer, st *wire.Stats) {
 		}
 		fmt.Fprintf(out, "verb %-8s count %d errors %d avg %s\n", v.Verb, v.Count, v.Errors, avg)
 	}
+	if st.Repl != nil {
+		printReplStats(out, st.Repl)
+	}
+}
+
+// printReplStats renders the replication section of STATS: the server's
+// role, and per-store applier lag (replica) or connected-replica
+// registry (primary).
+func printReplStats(out io.Writer, rs *wire.ReplStats) {
+	if rs == nil {
+		fmt.Fprintln(out, "replication: off (standalone primary)")
+		return
+	}
+	if rs.Role == "replica" {
+		fmt.Fprintf(out, "replication: replica of %s\n", rs.Primary)
+		for _, s := range rs.Stores {
+			state := "disconnected"
+			if s.Connected {
+				state = "connected"
+			}
+			fmt.Fprintf(out, "  store %s: %s; applied lsn %d / primary %d (%d behind); %d unit(s), %d bytes applied; %d snapshot(s); last frame %dms ago\n",
+				s.Store, state, s.AppliedLSN, s.PrimaryLSN, s.LagRecords,
+				s.UnitsApplied, s.BytesApplied, s.Snapshots, s.LastHeartbeatMS)
+		}
+		return
+	}
+	fmt.Fprintln(out, "replication: primary")
+	for _, s := range rs.Stores {
+		fmt.Fprintf(out, "  store %s: %d replica(s)\n", s.Store, len(s.Replicas))
+		for _, r := range s.Replicas {
+			snap := ""
+			if r.SnapshotSent {
+				snap = "; seeded by snapshot"
+			}
+			fmt.Fprintf(out, "    %s: acked lsn %d (%d behind); %d unit(s), %d bytes sent%s; last ack %dms ago\n",
+				r.Addr, r.AckedLSN, r.LagRecords, r.SentUnits, r.SentBytes, snap, r.LastAckMS)
+		}
+	}
 }
 
 // runWAL inspects the write-ahead log of a durable store directory
@@ -400,12 +475,18 @@ func runWAL(args []string, out io.Writer) error {
 		return fmt.Errorf("usage: wal info|dump <store-dir>")
 	}
 	mode, dir := strings.ToLower(args[0]), args[1]
-	var dump func(lsn uint64, typ byte, summary string)
+	var dump func(lsn uint64, typ byte, commit bool, summary string)
 	switch mode {
 	case "info":
 	case "dump":
-		dump = func(lsn uint64, typ byte, summary string) {
-			fmt.Fprintf(out, "%8d  %s\n", lsn, summary)
+		dump = func(lsn uint64, typ byte, commit bool, summary string) {
+			// flags column: the frame's flag byte (bit 0 = commit, the
+			// record that ends its commit unit).
+			flags := byte(0)
+			if commit {
+				flags = 0x01
+			}
+			fmt.Fprintf(out, "%8d  %02x  %s\n", lsn, flags, summary)
 		}
 	default:
 		return fmt.Errorf("unknown wal mode %q (info|dump)", mode)
@@ -414,7 +495,7 @@ func runWAL(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "checkpoint lsn %d; %d record(s)", info.CheckpointLSN, info.Records)
+	fmt.Fprintf(out, "checkpoint lsn %d; %d record(s) in %d commit unit(s)", info.CheckpointLSN, info.Records, info.Units)
 	if info.Records > 0 {
 		fmt.Fprintf(out, " (lsn %d..%d)", info.FirstLSN, info.LastLSN)
 	}

@@ -111,6 +111,13 @@ type walState struct {
 	marks    []walMark
 	ckptLSN  uint64
 	replayed int
+
+	// applying marks a replicated commit unit being re-executed: the
+	// records are already in the local log (ApplyReplicatedUnit appends
+	// them first), so the walLog* hooks must not log them again. Only
+	// the store's single serialized writer flips it, so a plain bool
+	// under the writer-exclusion contract suffices.
+	applying bool
 }
 
 var _ ordb.TxObserver = (*walState)(nil)
@@ -120,6 +127,9 @@ var _ ordb.TxObserver = (*walState)(nil)
 // its own commit unit otherwise. Store writers are serialized by
 // contract, so the open-transaction check cannot race a commit.
 func (w *walState) record(kind byte, payload any) error {
+	if w.applying {
+		return nil // replicated record: already appended to the local log
+	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(payload); err != nil {
 		return fmt.Errorf("xmlordb: encoding wal record: %w", err)
@@ -255,7 +265,12 @@ func LoadStoreDir(dir string, opts DurableOptions) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	log, err := wal.Open(filepath.Join(dir, walDirName), opts.walOptions())
+	// A fresh (empty) WAL continues numbering where the checkpoint left
+	// off — the case after BootstrapDirFromSnapshot seeds a replica. A
+	// WAL with segments keeps its own numbering.
+	wopts := opts.walOptions()
+	wopts.StartLSN = ckpt + 1
+	log, err := wal.Open(filepath.Join(dir, walDirName), wopts)
 	if err != nil {
 		return nil, err
 	}
@@ -473,6 +488,8 @@ func DescribeWALRecord(rec wal.Record) string {
 type WALInfo struct {
 	CheckpointLSN uint64
 	Records       int
+	// Units counts commit units (frames carrying the commit flag).
+	Units         int
 	FirstLSN      uint64
 	LastLSN       uint64
 	Segments      int
@@ -480,10 +497,11 @@ type WALInfo struct {
 }
 
 // ScanWAL reads the WAL of a durable store directory without opening
-// the store, invoking fn (when non-nil) with each record's LSN, type
-// and rendered summary. Like recovery, it truncates a torn final
-// record and refuses a corrupt log. The store must not be open.
-func ScanWAL(dir string, fn func(lsn uint64, typ byte, summary string)) (WALInfo, error) {
+// the store, invoking fn (when non-nil) with each record's LSN, type,
+// commit flag (true = the record ends its commit unit) and rendered
+// summary. Like recovery, it truncates a torn final record and refuses
+// a corrupt log. The store must not be open.
+func ScanWAL(dir string, fn func(lsn uint64, typ byte, commit bool, summary string)) (WALInfo, error) {
 	info := WALInfo{}
 	ckpt, err := readCheckpoint(dir)
 	if err != nil {
@@ -501,8 +519,11 @@ func ScanWAL(dir string, fn func(lsn uint64, typ byte, summary string)) (WALInfo
 		}
 		info.LastLSN = rec.LSN
 		info.Records++
+		if rec.Commit {
+			info.Units++
+		}
 		if fn != nil {
-			fn(rec.LSN, rec.Type, DescribeWALRecord(rec))
+			fn(rec.LSN, rec.Type, rec.Commit, DescribeWALRecord(rec))
 		}
 		return nil
 	})

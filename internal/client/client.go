@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"xmlordb/internal/repl"
 	"xmlordb/internal/wire"
 )
 
@@ -174,10 +175,15 @@ func (c *Client) dropConnLocked() {
 }
 
 // call performs the exchange and converts protocol failures to errors.
+// A CodeReadOnly rejection becomes a *repl.ReadOnlyError so callers
+// (and the RW client) can redirect the write to the named primary.
 func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	resp, err := c.do(ctx, req)
 	if err != nil {
 		return nil, err
+	}
+	if !resp.OK && resp.Code == wire.CodeReadOnly {
+		return nil, &repl.ReadOnlyError{Primary: resp.Primary}
 	}
 	if err := resp.Err(); err != nil {
 		return nil, err
@@ -319,4 +325,14 @@ func (c *Client) Stats(ctx context.Context) (*wire.Stats, error) {
 func (c *Client) Save(ctx context.Context) error {
 	_, err := c.call(ctx, &wire.Request{Verb: wire.VerbSave})
 	return err
+}
+
+// Promote detaches a replica server into a standalone writable primary
+// and returns its new role and the WAL position it continues from.
+func (c *Client) Promote(ctx context.Context) (role string, lsn uint64, err error) {
+	resp, err := c.call(ctx, &wire.Request{Verb: wire.VerbPromote})
+	if err != nil {
+		return "", 0, err
+	}
+	return resp.Role, resp.LSN, nil
 }

@@ -1,0 +1,184 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xmlordb/internal/repl"
+	"xmlordb/internal/wire"
+)
+
+// RW is a read/write-split client for a replicated deployment: writes
+// go to the primary, reads round-robin across the replicas (falling
+// back to the primary when none are configured or a replica is down).
+// A write rejected with a read-only error — the configured "primary"
+// was actually a replica, or roles moved after a promotion — is
+// redirected once to the primary the rejection names.
+type RW struct {
+	opts []Option
+
+	mu       sync.Mutex
+	primary  *Client
+	replicas []*Client
+	rr       int
+}
+
+// DialRW connects to the primary and every replica. Replica dial
+// failures are not fatal — a replica that is down at dial time is
+// simply skipped until Close.
+func DialRW(primaryAddr string, replicaAddrs []string, opts ...Option) (*RW, error) {
+	p, err := Dial(primaryAddr, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing primary %s: %w", primaryAddr, err)
+	}
+	rw := &RW{opts: opts, primary: p}
+	for _, addr := range replicaAddrs {
+		r, err := Dial(addr, opts...)
+		if err != nil {
+			continue
+		}
+		rw.replicas = append(rw.replicas, r)
+	}
+	return rw, nil
+}
+
+// Close closes every connection.
+func (rw *RW) Close() error {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	err := rw.primary.Close()
+	for _, r := range rw.replicas {
+		if cerr := r.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Primary exposes the write connection (transactions, admin verbs).
+func (rw *RW) Primary() *Client {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	return rw.primary
+}
+
+// readOrder returns the clients to try for a read: each replica once,
+// starting at the round-robin cursor, then the primary as fallback.
+func (rw *RW) readOrder() []*Client {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	order := make([]*Client, 0, len(rw.replicas)+1)
+	for i := range rw.replicas {
+		order = append(order, rw.replicas[(rw.rr+i)%len(rw.replicas)])
+	}
+	if len(rw.replicas) > 0 {
+		rw.rr = (rw.rr + 1) % len(rw.replicas)
+	}
+	return append(order, rw.primary)
+}
+
+// read runs fn against each candidate until one answers. Server-side
+// errors (a real query error) stop the scan — only transport failures
+// fail over to the next replica.
+func (rw *RW) read(fn func(c *Client) error) error {
+	var last error
+	for _, c := range rw.readOrder() {
+		err := fn(c)
+		if err == nil || isServerErr(err) {
+			return err
+		}
+		last = err
+	}
+	return last
+}
+
+func isServerErr(err error) bool {
+	var se *wire.ServerError
+	return errors.As(err, &se)
+}
+
+// write runs fn against the primary; a read-only rejection naming a
+// different primary redials there and retries once, so callers survive
+// a promotion without re-configuring.
+func (rw *RW) write(fn func(c *Client) error) error {
+	rw.mu.Lock()
+	p := rw.primary
+	rw.mu.Unlock()
+	err := fn(p)
+	var ro *repl.ReadOnlyError
+	if !errors.As(err, &ro) || ro.Primary == "" {
+		return err
+	}
+	np, derr := Dial(ro.Primary, rw.opts...)
+	if derr != nil {
+		return errors.Join(err, derr)
+	}
+	rw.mu.Lock()
+	old := rw.primary
+	rw.primary = np
+	rw.mu.Unlock()
+	old.Close()
+	return fn(np)
+}
+
+// Query runs a SELECT on a replica (primary fallback).
+func (rw *RW) Query(ctx context.Context, sqlText string) (*Result, error) {
+	var res *Result
+	err := rw.read(func(c *Client) error {
+		r, err := c.Query(ctx, sqlText)
+		res = r
+		return err
+	})
+	return res, err
+}
+
+// XPath runs an XPath query on a replica (primary fallback).
+func (rw *RW) XPath(ctx context.Context, path string) (*Result, error) {
+	var res *Result
+	err := rw.read(func(c *Client) error {
+		r, err := c.XPath(ctx, path)
+		res = r
+		return err
+	})
+	return res, err
+}
+
+// Retrieve reconstructs a document from a replica (primary fallback).
+func (rw *RW) Retrieve(ctx context.Context, docID int) (string, error) {
+	var xml string
+	err := rw.read(func(c *Client) error {
+		x, err := c.Retrieve(ctx, docID)
+		xml = x
+		return err
+	})
+	return xml, err
+}
+
+// Load writes a document through the primary.
+func (rw *RW) Load(ctx context.Context, docName, xmlText string) (int, error) {
+	var id int
+	err := rw.write(func(c *Client) error {
+		n, err := c.Load(ctx, docName, xmlText)
+		id = n
+		return err
+	})
+	return id, err
+}
+
+// Exec runs a non-SELECT statement through the primary.
+func (rw *RW) Exec(ctx context.Context, sqlText string) (int, error) {
+	var n int
+	err := rw.write(func(c *Client) error {
+		a, err := c.Exec(ctx, sqlText)
+		n = a
+		return err
+	})
+	return n, err
+}
+
+// Delete removes a document through the primary.
+func (rw *RW) Delete(ctx context.Context, docID int) error {
+	return rw.write(func(c *Client) error { return c.Delete(ctx, docID) })
+}

@@ -1,0 +1,244 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"xmlordb/internal/wal"
+	"xmlordb/internal/wire"
+)
+
+// ErrLagCutoff reports a replica dropped because its backlog exceeded
+// the feeder's max-lag budget; the replica was told to resync from a
+// snapshot so retention could move on without it.
+var ErrLagCutoff = errors.New("repl: replica exceeded max lag, resync requested")
+
+// DefaultHeartbeat is the feeder's idle heartbeat interval.
+const DefaultHeartbeat = time.Second
+
+// FeederConfig wires ServeFeed to one store on the primary.
+type FeederConfig struct {
+	// Log is the store's write-ahead log.
+	Log *wal.Log
+	// Snapshot returns the store's current checkpoint snapshot and the
+	// WAL position it covers. The callback is responsible for whatever
+	// locking the store requires.
+	Snapshot func() (lsn uint64, data []byte, err error)
+	// MaxLagRecords drops a replica whose acked position trails the
+	// primary's last LSN by more than this many records: the feeder
+	// releases its retention pin, sends a resync frame and closes, and
+	// the replica comes back through a snapshot transfer. 0 = no cutoff
+	// (a dead replica pins retention forever — only for tests).
+	MaxLagRecords uint64
+	// Heartbeat is the idle heartbeat interval (DefaultHeartbeat if 0).
+	Heartbeat time.Duration
+	// Status, when non-nil, is updated live for the STATS registry.
+	Status *FeedStatus
+	// Logf receives feeder diagnostics (nil = discard).
+	Logf func(string, ...any)
+}
+
+// FeedStatus is one connected replica's live state as the primary sees
+// it. Safe for concurrent use; the server keeps one per replication
+// session in its registry.
+type FeedStatus struct {
+	// Addr is the replica's remote address (set by the server).
+	Addr string
+
+	acked        atomic.Uint64
+	sentUnits    atomic.Int64
+	sentBytes    atomic.Int64
+	snapshotSent atomic.Bool
+	lastAckNanos atomic.Int64 // UnixNano of last ack, 0 = never
+}
+
+// Stat renders the registry entry for STATS.
+func (fs *FeedStatus) Stat(primaryLSN uint64) wire.ReplicaStat {
+	acked := fs.acked.Load()
+	lag := int64(0)
+	if primaryLSN > acked {
+		lag = int64(primaryLSN - acked)
+	}
+	lastMS := int64(-1)
+	if ns := fs.lastAckNanos.Load(); ns != 0 {
+		lastMS = time.Since(time.Unix(0, ns)).Milliseconds()
+	}
+	return wire.ReplicaStat{
+		Addr:         fs.Addr,
+		AckedLSN:     acked,
+		LagRecords:   lag,
+		SentUnits:    fs.sentUnits.Load(),
+		SentBytes:    fs.sentBytes.Load(),
+		SnapshotSent: fs.snapshotSent.Load(),
+		LastAckMS:    lastMS,
+	}
+}
+
+// AckedLSN reports the replica's last acked position.
+func (fs *FeedStatus) AckedLSN() uint64 { return fs.acked.Load() }
+
+// ServeFeed runs the primary side of one replication stream after the
+// REPLICATE handshake: w/br are the connection (the OK response is
+// already sent), lastApplied is the replica's handshake position. The
+// feeder pins WAL retention at the replica's position, serves a
+// checkpoint snapshot transfer when the replica is empty, diverged, or
+// behind the retention horizon, then streams commit units and
+// heartbeats until the stream fails, stop closes, or the replica
+// exceeds the lag budget. The returned error describes why the stream
+// ended (nil = stop requested).
+func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied uint64, stop <-chan struct{}, cfg FeederConfig) error {
+	lg := logf(cfg.Logf)
+	fs := cfg.Status
+	if fs == nil {
+		fs = &FeedStatus{}
+	}
+	heartbeat := cfg.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = DefaultHeartbeat
+	}
+
+	// Pin retention at the replica's position before looking at the
+	// log's horizon: once the pin is in place TruncateBefore cannot pass
+	// it, so the horizon check below cannot be raced stale.
+	from := lastApplied + 1
+	pin := cfg.Log.Pin(from)
+	defer pin.Release()
+	fs.acked.Store(lastApplied)
+
+	last := cfg.Log.LastLSN()
+	needSnap := lastApplied == 0 || // empty replica: needs schema + state
+		lastApplied > last || // replica ahead of this log: diverged
+		from < cfg.Log.FirstLSN() // behind retention: backlog is gone
+	if needSnap {
+		snapLSN, data, err := cfg.Snapshot()
+		if err != nil {
+			sendErr(w, fmt.Sprintf("snapshot transfer: %v", err))
+			return fmt.Errorf("repl: reading snapshot for transfer: %w", err)
+		}
+		fs.snapshotSent.Store(true)
+		lg("repl feed %s: snapshot transfer @%d (%d bytes, replica was at %d)",
+			fs.Addr, snapLSN, len(data), lastApplied)
+		for off := 0; ; off += wire.ReplSnapChunk {
+			end := off + wire.ReplSnapChunk
+			if end > len(data) {
+				end = len(data)
+			}
+			f := wire.ReplFrame{Type: wire.ReplSnap, LSN: snapLSN, Data: data[off:end], Last: end == len(data)}
+			if err := wire.WriteFrame(w, &f); err != nil {
+				return fmt.Errorf("repl: sending snapshot chunk: %w", err)
+			}
+			fs.sentBytes.Add(int64(end - off))
+			if f.Last {
+				break
+			}
+		}
+		from = snapLSN + 1
+		pin.Move(from)
+		fs.acked.Store(snapLSN)
+	}
+
+	// Ack reader: the replica reports its durably-applied position after
+	// every unit (and after the snapshot reset). Each ack advances the
+	// retention pin — segments at or above acked+1 stay on disk until
+	// this replica has them.
+	ackErr := make(chan error, 1)
+	go func() {
+		for {
+			line, err := wire.ReadFrame(br, wire.ReplMaxFrame)
+			if err != nil {
+				ackErr <- err
+				return
+			}
+			ack, err := wire.DecodeReplAck(line)
+			if err != nil {
+				ackErr <- err
+				return
+			}
+			fs.acked.Store(ack.LSN)
+			fs.lastAckNanos.Store(time.Now().UnixNano())
+			pin.Move(ack.LSN + 1)
+		}
+	}()
+
+	// Tell the replica where the primary stands before the first unit.
+	if err := wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplHeartbeat, PrimaryLSN: cfg.Log.LastLSN()}); err != nil {
+		return fmt.Errorf("repl: sending heartbeat: %w", err)
+	}
+
+	notify := cfg.Log.Subscribe()
+	defer cfg.Log.Unsubscribe(notify)
+	ticker := time.NewTicker(heartbeat)
+	defer ticker.Stop()
+
+	for {
+		units, next, err := cfg.Log.ReadUnits(from, 0)
+		if errors.Is(err, wal.ErrTruncated) {
+			// Should be unreachable while our pin holds, but a resync
+			// beats serving a gap if retention logic ever regresses.
+			sendErr(w, "backlog truncated")
+			return fmt.Errorf("repl: backlog truncated under feeder: %w", err)
+		}
+		if err != nil {
+			sendErr(w, err.Error())
+			return fmt.Errorf("repl: reading commit units: %w", err)
+		}
+		primaryLSN := cfg.Log.LastLSN()
+		for _, unit := range units {
+			f := wire.ReplFrame{
+				Type:       wire.ReplUnit,
+				LSN:        unit[len(unit)-1].LSN,
+				PrimaryLSN: primaryLSN,
+				Recs:       make([]wire.ReplRecord, len(unit)),
+			}
+			bytes := 0
+			for i, rec := range unit {
+				f.Recs[i] = wire.ReplRecord{LSN: rec.LSN, Type: rec.Type, Commit: rec.Commit, Payload: rec.Payload}
+				bytes += len(rec.Payload)
+			}
+			if err := wire.WriteFrame(w, &f); err != nil {
+				return fmt.Errorf("repl: sending unit @%d: %w", f.LSN, err)
+			}
+			fs.sentUnits.Add(1)
+			fs.sentBytes.Add(int64(bytes))
+		}
+		from = next
+
+		if cfg.MaxLagRecords > 0 {
+			if acked := fs.acked.Load(); primaryLSN > acked && primaryLSN-acked > cfg.MaxLagRecords {
+				lg("repl feed %s: lag %d records exceeds budget %d, dropping to resync",
+					fs.Addr, primaryLSN-acked, cfg.MaxLagRecords)
+				pin.Release() // let retention advance past the straggler
+				_ = wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplResync})
+				return ErrLagCutoff
+			}
+		}
+		if len(units) > 0 {
+			continue // drain the backlog before parking
+		}
+
+		select {
+		case <-notify:
+		case <-ticker.C:
+			if err := wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplHeartbeat, PrimaryLSN: cfg.Log.LastLSN()}); err != nil {
+				return fmt.Errorf("repl: sending heartbeat: %w", err)
+			}
+		case err := <-ackErr:
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("repl: replica disconnected")
+			}
+			return fmt.Errorf("repl: ack stream: %w", err)
+		case <-stop:
+			return nil
+		}
+	}
+}
+
+// sendErr best-effort ships a fatal error frame before the feeder
+// closes the stream.
+func sendErr(w io.Writer, msg string) {
+	_ = wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplError, Error: msg})
+}

@@ -1,0 +1,61 @@
+// Package repl implements WAL-shipping replication for xmlordbd: a
+// primary streams committed commit units to read replicas over the wire
+// protocol's REPLICATE stream, replicas apply them through the same
+// replay path crash recovery uses, and a replica that falls behind the
+// primary's retention horizon is re-seeded with a checkpoint snapshot
+// transfer.
+//
+// The package is deliberately storage-agnostic: the primary side
+// (ServeFeed) needs only a *wal.Log and a snapshot callback, the
+// replica side (Run) needs only an Applier. The server wires both to
+// its hosted stores; nothing here imports the engine, so the dependency
+// graph stays wal ← repl ← server.
+//
+// Position accounting is in primary LSNs throughout. A replica mirrors
+// the primary's log exactly — same record boundaries, same LSNs — so
+// "last applied LSN" is meaningful on both ends and the handshake is a
+// single number: the replica says where it stopped, the primary serves
+// everything after.
+package repl
+
+import (
+	"fmt"
+
+	"xmlordb/internal/wal"
+)
+
+// Applier is the replica-side storage hook: the server implements it on
+// top of a hosted durable store.
+type Applier interface {
+	// ApplyUnit durably appends one commit unit to the replica's local
+	// WAL and applies it to memory. The unit's LSNs must continue the
+	// local log exactly; a divergence error tells Run to re-seed.
+	ApplyUnit(recs []wal.Record) error
+	// ResetFromSnapshot discards the replica's state and re-seeds it
+	// from a primary checkpoint snapshot covering positions up to lsn.
+	ResetFromSnapshot(lsn uint64, snapshot []byte) error
+	// AppliedLSN reports the highest LSN durably applied locally.
+	AppliedLSN() uint64
+}
+
+// ReadOnlyError reports a write rejected by a replica. It names the
+// writable primary so clients (and humans) know where to go.
+type ReadOnlyError struct {
+	// Primary is the writable primary's address, when known.
+	Primary string
+}
+
+func (e *ReadOnlyError) Error() string {
+	if e.Primary == "" {
+		return "repl: server is a read replica; writes are rejected"
+	}
+	return fmt.Sprintf("repl: server is a read replica; writes go to the primary at %s", e.Primary)
+}
+
+// logf is the no-op logger used when a config leaves Logf nil.
+func logf(f func(string, ...any)) func(string, ...any) {
+	if f == nil {
+		return func(string, ...any) {}
+	}
+	return f
+}

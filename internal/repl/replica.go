@@ -1,0 +1,252 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"xmlordb/internal/wal"
+	"xmlordb/internal/wire"
+)
+
+// DefaultRetry is the reconnect backoff between failed attempts to
+// reach the primary.
+const DefaultRetry = 500 * time.Millisecond
+
+// ReplicaConfig wires Run to one store's upstream.
+type ReplicaConfig struct {
+	// Addr is the primary's address.
+	Addr string
+	// Store is the hosted store name sent in the REPLICATE handshake.
+	Store string
+	// Applier applies the stream to the local store.
+	Applier Applier
+	// Status, when non-nil, is updated live for STATS and promotion.
+	Status *Status
+	// Dial overrides the transport (nil = net.Dial "tcp").
+	Dial func(addr string) (net.Conn, error)
+	// Retry is the reconnect backoff (DefaultRetry if 0).
+	Retry time.Duration
+	// Logf receives applier diagnostics (nil = discard).
+	Logf func(string, ...any)
+}
+
+// Status is one store's replica-side health: connection state, the
+// primary's position versus ours, apply counters, and stream liveness.
+// Safe for concurrent use.
+type Status struct {
+	mu           sync.Mutex
+	connected    bool
+	primaryLSN   uint64
+	unitsApplied int64
+	bytesApplied int64
+	snapshots    int64
+	lastFrame    time.Time
+}
+
+func (st *Status) setConnected(v bool) {
+	st.mu.Lock()
+	st.connected = v
+	st.mu.Unlock()
+}
+
+func (st *Status) observeFrame(primaryLSN uint64) {
+	st.mu.Lock()
+	if primaryLSN > st.primaryLSN {
+		st.primaryLSN = primaryLSN
+	}
+	st.lastFrame = time.Now()
+	st.mu.Unlock()
+}
+
+func (st *Status) observeUnit(bytes int) {
+	st.mu.Lock()
+	st.unitsApplied++
+	st.bytesApplied += int64(bytes)
+	st.mu.Unlock()
+}
+
+func (st *Status) observeSnapshot() {
+	st.mu.Lock()
+	st.snapshots++
+	st.mu.Unlock()
+}
+
+// Report renders the store's replica-side STATS entry. applied is the
+// store's current applied LSN (from the Applier, which owns it).
+func (st *Status) Report(store string, applied uint64) wire.ReplStoreStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	lag := int64(0)
+	if st.primaryLSN > applied {
+		lag = int64(st.primaryLSN - applied)
+	}
+	lastMS := int64(-1)
+	if !st.lastFrame.IsZero() {
+		lastMS = time.Since(st.lastFrame).Milliseconds()
+	}
+	return wire.ReplStoreStats{
+		Store:           store,
+		Connected:       st.connected,
+		PrimaryLSN:      st.primaryLSN,
+		AppliedLSN:      applied,
+		LagRecords:      lag,
+		UnitsApplied:    st.unitsApplied,
+		BytesApplied:    st.bytesApplied,
+		Snapshots:       st.snapshots,
+		LastHeartbeatMS: lastMS,
+	}
+}
+
+// Run is the replica-side loop for one store: dial the primary, send
+// the REPLICATE handshake with our applied position, then apply the
+// stream — snapshot transfers reset the store, commit units append and
+// apply, every durable step is acked. Connection failures back off and
+// reconnect; a resync frame, apply error, or divergence reconnects
+// with LSN 0 to force a snapshot transfer. Run returns when stop
+// closes.
+func Run(stop <-chan struct{}, cfg ReplicaConfig) {
+	lg := logf(cfg.Logf)
+	st := cfg.Status
+	if st == nil {
+		st = &Status{}
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	retry := cfg.Retry
+	if retry <= 0 {
+		retry = DefaultRetry
+	}
+
+	forceSnap := false
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		resync, err := streamOnce(stop, cfg, st, dial, forceSnap, lg)
+		st.setConnected(false)
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if err != nil {
+			lg("repl %s<-%s: %v (retrying in %v)", cfg.Store, cfg.Addr, err, retry)
+		}
+		forceSnap = resync
+		select {
+		case <-stop:
+			return
+		case <-time.After(retry):
+		}
+	}
+}
+
+// streamOnce runs one connection lifetime. resync=true means the next
+// attempt must request a snapshot transfer (handshake LSN 0).
+func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
+	dial func(string) (net.Conn, error), forceSnap bool, lg func(string, ...any)) (resync bool, err error) {
+
+	conn, err := dial(cfg.Addr)
+	if err != nil {
+		return false, fmt.Errorf("dial: %w", err)
+	}
+	defer conn.Close()
+	// Unblock the stream reads when stop closes mid-connection.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-stop:
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	lsn := cfg.Applier.AppliedLSN()
+	if forceSnap {
+		lsn = 0
+	}
+	if err := wire.WriteFrame(conn, &wire.Request{Verb: wire.VerbReplicate, Name: cfg.Store, LSN: lsn}); err != nil {
+		return false, fmt.Errorf("handshake: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := wire.ReadFrame(br, wire.DefaultMaxFrame)
+	if err != nil {
+		return false, fmt.Errorf("handshake: %w", err)
+	}
+	resp, err := wire.DecodeResponse(line)
+	if err != nil {
+		return false, fmt.Errorf("handshake: %w", err)
+	}
+	if !resp.OK {
+		return false, fmt.Errorf("handshake refused: %w", resp.Err())
+	}
+	st.setConnected(true)
+	lg("repl %s<-%s: streaming from lsn %d", cfg.Store, cfg.Addr, lsn+1)
+
+	var snap []byte // accumulating snapshot transfer, nil when idle
+	var snapLSN uint64
+	for {
+		line, err := wire.ReadFrame(br, wire.ReplMaxFrame)
+		if err != nil {
+			return false, fmt.Errorf("stream: %w", err)
+		}
+		f, err := wire.DecodeReplFrame(line)
+		if err != nil {
+			return false, fmt.Errorf("stream: %w", err)
+		}
+		switch f.Type {
+		case wire.ReplSnap:
+			if snap == nil {
+				snap = []byte{}
+				snapLSN = f.LSN
+			} else if f.LSN != snapLSN {
+				return true, fmt.Errorf("snapshot transfer changed position %d -> %d", snapLSN, f.LSN)
+			}
+			snap = append(snap, f.Data...)
+			st.observeFrame(f.LSN)
+			if !f.Last {
+				continue
+			}
+			if err := cfg.Applier.ResetFromSnapshot(snapLSN, snap); err != nil {
+				return true, fmt.Errorf("applying snapshot @%d: %w", snapLSN, err)
+			}
+			st.observeSnapshot()
+			lg("repl %s<-%s: re-seeded from snapshot @%d (%d bytes)", cfg.Store, cfg.Addr, snapLSN, len(snap))
+			snap = nil
+			if err := wire.WriteFrame(conn, &wire.ReplAck{LSN: snapLSN}); err != nil {
+				return false, fmt.Errorf("ack: %w", err)
+			}
+		case wire.ReplUnit:
+			recs := make([]wal.Record, len(f.Recs))
+			bytes := 0
+			for i, r := range f.Recs {
+				recs[i] = wal.Record{LSN: r.LSN, Type: r.Type, Commit: r.Commit, Payload: r.Payload}
+				bytes += len(r.Payload)
+			}
+			if err := cfg.Applier.ApplyUnit(recs); err != nil {
+				// Divergence or a broken apply: the local state cannot be
+				// trusted to continue the stream — re-seed from a snapshot.
+				return true, fmt.Errorf("applying unit @%d: %w", f.LSN, err)
+			}
+			st.observeFrame(f.PrimaryLSN)
+			st.observeUnit(bytes)
+			if err := wire.WriteFrame(conn, &wire.ReplAck{LSN: f.LSN}); err != nil {
+				return false, fmt.Errorf("ack: %w", err)
+			}
+		case wire.ReplHeartbeat:
+			st.observeFrame(f.PrimaryLSN)
+		case wire.ReplResync:
+			return true, fmt.Errorf("primary requested resync (fell behind retention)")
+		case wire.ReplError:
+			return false, fmt.Errorf("primary error: %s", f.Error)
+		}
+	}
+}

@@ -1,0 +1,430 @@
+// Server-side replication: role state, the primary's feed registry and
+// REPLICATE handling, the replica's per-store appliers and upstream
+// runners, retention pinning via the feeders, and PROMOTE.
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/repl"
+	"xmlordb/internal/wal"
+	"xmlordb/internal/wire"
+)
+
+// Role names for wire responses and stats.
+const (
+	RolePrimary = "primary"
+	RoleReplica = "replica"
+)
+
+// Role reports the server's current replication role.
+func (s *Server) Role() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.replica {
+		return RoleReplica
+	}
+	return RolePrimary
+}
+
+// isReadOnly reports whether writes must be rejected (replica role).
+func (s *Server) isReadOnly() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replica
+}
+
+// readOnlyResp is the typed rejection every write verb gets on a
+// replica: CodeReadOnly plus the primary's address, so clients can
+// redirect instead of guessing.
+func (s *Server) readOnlyResp() *wire.Response {
+	err := &repl.ReadOnlyError{Primary: s.cfg.ReplicaOf}
+	return &wire.Response{OK: false, Code: wire.CodeReadOnly, Error: err.Error(),
+		Role: RoleReplica, Primary: s.cfg.ReplicaOf}
+}
+
+// feedEntry is one connected replica in the primary's registry.
+type feedEntry struct {
+	store  string
+	status *repl.FeedStatus
+}
+
+func (s *Server) registerFeed(store string, fs *repl.FeedStatus) *feedEntry {
+	e := &feedEntry{store: store, status: fs}
+	s.mu.Lock()
+	if s.feeds == nil {
+		s.feeds = map[*feedEntry]struct{}{}
+	}
+	s.feeds[e] = struct{}{}
+	s.mu.Unlock()
+	return e
+}
+
+func (s *Server) unregisterFeed(e *feedEntry) {
+	s.mu.Lock()
+	delete(s.feeds, e)
+	s.mu.Unlock()
+}
+
+// replicate handles the REPLICATE verb: validate, register the replica,
+// and hand the connection over to the feeder. The OK response goes out
+// through the normal session write path; the returned takeover closure
+// then owns the socket until the stream ends.
+func (ss *session) replicate(req *wire.Request) *wire.Response {
+	s := ss.srv
+	if s.isReadOnly() {
+		return fail(wire.CodeRepl, "cannot replicate from a replica; the primary is %s", s.cfg.ReplicaOf)
+	}
+	if req.Name == "" {
+		return fail(wire.CodeBadRequest, "REPLICATE requires name")
+	}
+	hs := s.lookupStore(req.Name)
+	if hs == nil {
+		return fail(wire.CodeNoStore, "unknown store %q", req.Name)
+	}
+	log := hs.store.WAL()
+	if log == nil {
+		return fail(wire.CodeRepl, "store %q is not durable; replication needs -durability", hs.name)
+	}
+	fs := &repl.FeedStatus{Addr: ss.conn.RemoteAddr().String()}
+	lastApplied := req.LSN
+	ss.takeover = func() {
+		entry := s.registerFeed(hs.name, fs)
+		defer s.unregisterFeed(entry)
+		cfg := repl.FeederConfig{
+			Log: log,
+			Snapshot: func() (uint64, []byte, error) {
+				hs.mu.RLock()
+				defer hs.mu.RUnlock()
+				return hs.store.ReadCheckpointSnapshot()
+			},
+			MaxLagRecords: s.cfg.ReplMaxLagRecords,
+			Heartbeat:     s.cfg.ReplHeartbeat,
+			Status:        fs,
+			Logf:          s.cfg.Logf,
+		}
+		if err := repl.ServeFeed(ss.conn, ss.br, lastApplied, s.feedStop, cfg); err != nil {
+			s.cfg.logf("repl feed %s -> %s: %v", hs.name, fs.Addr, err)
+		}
+	}
+	return &wire.Response{OK: true, Role: RolePrimary, LSN: log.LastLSN()}
+}
+
+// storeApplier implements repl.Applier on a hosted store: units apply
+// under the store's write lock through the recovery replay path, and a
+// snapshot transfer swaps the whole store for a freshly bootstrapped
+// directory.
+type storeApplier struct {
+	s      *Server
+	name   string
+	dir    string
+	opts   xmlordb.DurableOptions
+	status *repl.Status
+}
+
+func (a *storeApplier) AppliedLSN() uint64 {
+	hs := a.s.lookupStore(a.name)
+	if hs == nil {
+		return 0
+	}
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	log := hs.store.WAL()
+	if log == nil {
+		return 0
+	}
+	return log.LastLSN()
+}
+
+func (a *storeApplier) ApplyUnit(recs []wal.Record) error {
+	hs := a.s.lookupStore(a.name)
+	if hs == nil {
+		return fmt.Errorf("store %q not hosted yet; snapshot required", a.name)
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if err := hs.store.ApplyReplicatedUnit(recs); err != nil {
+		return err
+	}
+	hs.markDirty() // the periodic loop checkpoints replicas too
+	return nil
+}
+
+func (a *storeApplier) ResetFromSnapshot(lsn uint64, snapshot []byte) error {
+	if err := xmlordb.VerifySnapshot(snapshot); err != nil {
+		return fmt.Errorf("snapshot transfer rejected: %w", err)
+	}
+	if hs := a.s.lookupStore(a.name); hs != nil {
+		hs.mu.Lock()
+		defer hs.mu.Unlock()
+		// Close first: the bootstrap wipes the directory the old store's
+		// log still has open.
+		hs.store.Close()
+		st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, snapshot, a.opts)
+		if err != nil {
+			return fmt.Errorf("re-seeding %q: %w", a.name, err)
+		}
+		hs.store = st
+		return nil
+	}
+	st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, snapshot, a.opts)
+	if err != nil {
+		return fmt.Errorf("seeding %q: %w", a.name, err)
+	}
+	if err := a.s.AddStore(a.name, st); err != nil {
+		st.Close()
+		return err
+	}
+	return nil
+}
+
+// StartReplication puts the server in replica role and begins pulling
+// every one of the primary's stores. The store list is fetched from the
+// primary (with retries — the primary may still be booting); each store
+// then gets its own applier goroutine that streams, applies and
+// reconnects until shutdown or promotion. Call after RestoreDir so
+// locally recovered stores resume from their applied position instead
+// of a full snapshot transfer.
+func (s *Server) StartReplication() error {
+	if s.cfg.ReplicaOf == "" {
+		return nil
+	}
+	if !s.cfg.durable() || s.cfg.SnapshotDir == "" {
+		return fmt.Errorf("server: replica mode needs -durability and a data directory")
+	}
+	opts, err := s.cfg.durableOptions()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replica = true
+	s.mu.Unlock()
+
+	s.replWg.Add(1)
+	go func() {
+		defer s.replWg.Done()
+		names, err := s.fetchPrimaryStores()
+		if err != nil {
+			s.cfg.logf("repl: giving up on primary store list: %v", err)
+			return
+		}
+		for _, name := range names {
+			if !storeNameRe.MatchString(name) {
+				s.cfg.logf("repl: skipping primary store with unusable name %q", name)
+				continue
+			}
+			a := &storeApplier{
+				s:      s,
+				name:   name,
+				dir:    s.snapshotPath(name),
+				opts:   opts,
+				status: &repl.Status{},
+			}
+			s.mu.Lock()
+			if s.appliers == nil {
+				s.appliers = map[string]*storeApplier{}
+			}
+			s.appliers[strings.ToLower(name)] = a
+			s.mu.Unlock()
+			s.replWg.Add(1)
+			go func() {
+				defer s.replWg.Done()
+				repl.Run(s.replStop, repl.ReplicaConfig{
+					Addr:    s.cfg.ReplicaOf,
+					Store:   a.name,
+					Applier: a,
+					Status:  a.status,
+					Retry:   s.cfg.ReplRetry,
+					Logf:    s.cfg.Logf,
+				})
+			}()
+		}
+	}()
+	return nil
+}
+
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name)
+}
+
+// fetchPrimaryStores asks the primary for its hosted store names,
+// retrying until it answers or replication stops.
+func (s *Server) fetchPrimaryStores() ([]string, error) {
+	retry := s.cfg.ReplRetry
+	if retry <= 0 {
+		retry = repl.DefaultRetry
+	}
+	for {
+		names, err := queryStores(s.cfg.ReplicaOf)
+		if err == nil {
+			return names, nil
+		}
+		s.cfg.logf("repl: primary %s store list: %v (retrying)", s.cfg.ReplicaOf, err)
+		select {
+		case <-s.replStop:
+			return nil, fmt.Errorf("replication stopped")
+		case <-time.After(retry):
+		}
+	}
+}
+
+// queryStores performs a one-shot STORES request.
+func queryStores(addr string) ([]string, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.WriteFrame(conn, &wire.Request{Verb: wire.VerbStores}); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReader(conn)
+	line, err := wire.ReadFrame(br, wire.DefaultMaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(line)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.Err(); err != nil {
+		return nil, err
+	}
+	return resp.Stores, nil
+}
+
+// stopReplication halts the upstream appliers of a replica. Idempotent;
+// used by both Shutdown and Promote. Feeders are left running: a
+// promoted primary must keep serving its own replicas (Shutdown stops
+// them separately via stopFeeds).
+func (s *Server) stopReplication() {
+	s.mu.Lock()
+	stopped := s.replStopped
+	s.replStopped = true
+	s.mu.Unlock()
+	if stopped {
+		return
+	}
+	close(s.replStop)
+	s.replWg.Wait()
+}
+
+// stopFeeds halts primary-side replication feeders. Idempotent;
+// Shutdown only.
+func (s *Server) stopFeeds() {
+	s.mu.Lock()
+	stopped := s.feedsStopped
+	s.feedsStopped = true
+	s.mu.Unlock()
+	if stopped {
+		return
+	}
+	close(s.feedStop)
+}
+
+// Promote detaches a replica into a standalone writable primary: the
+// upstream appliers stop, every store's WAL tail is made durable and
+// checkpointed, and the role flips. Returns the highest applied LSN
+// across stores — the position the new primary continues from. Safe to
+// call on an already-primary server (no-op with its current LSN).
+func (s *Server) Promote() (uint64, error) {
+	s.mu.Lock()
+	wasReplica := s.replica
+	s.mu.Unlock()
+	if wasReplica {
+		s.stopReplication()
+	}
+
+	s.mu.Lock()
+	hosted := make([]*hostedStore, 0, len(s.storeOrder))
+	for _, k := range s.storeOrder {
+		hosted = append(hosted, s.stores[k])
+	}
+	s.mu.Unlock()
+
+	var maxLSN uint64
+	for _, hs := range hosted {
+		hs.mu.Lock()
+		log := hs.store.WAL()
+		if log == nil {
+			hs.mu.Unlock()
+			continue
+		}
+		// Checkpoint makes every applied commit durable in one stroke:
+		// snapshot + pointer + truncation, same as a clean shutdown.
+		err := hs.store.Checkpoint()
+		lsn := log.LastLSN()
+		hs.mu.Unlock()
+		if err != nil {
+			return 0, fmt.Errorf("server: promoting %s: %w", hs.name, err)
+		}
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+	}
+
+	s.mu.Lock()
+	promoted := s.replica
+	s.replica = false
+	s.mu.Unlock()
+	if promoted {
+		s.cfg.logf("promoted to primary at lsn %d (was replicating %s)", maxLSN, s.cfg.ReplicaOf)
+	}
+	return maxLSN, nil
+}
+
+// replStats assembles the Repl section of STATS.
+func (s *Server) replStats() *wire.ReplStats {
+	s.mu.Lock()
+	replica := s.replica
+	feeds := make([]*feedEntry, 0, len(s.feeds))
+	for e := range s.feeds {
+		feeds = append(feeds, e)
+	}
+	appliers := make([]*storeApplier, 0, len(s.appliers))
+	for _, a := range s.appliers {
+		appliers = append(appliers, a)
+	}
+	s.mu.Unlock()
+
+	if replica {
+		rs := &wire.ReplStats{Role: RoleReplica, Primary: s.cfg.ReplicaOf}
+		for _, a := range appliers {
+			rs.Stores = append(rs.Stores, a.status.Report(a.name, a.AppliedLSN()))
+		}
+		sort.Slice(rs.Stores, func(i, j int) bool { return rs.Stores[i].Store < rs.Stores[j].Store })
+		return rs
+	}
+	if len(feeds) == 0 {
+		return &wire.ReplStats{Role: RolePrimary}
+	}
+	byStore := map[string]*wire.ReplStoreStats{}
+	rs := &wire.ReplStats{Role: RolePrimary}
+	for _, e := range feeds {
+		ss := byStore[e.store]
+		if ss == nil {
+			ss = &wire.ReplStoreStats{Store: e.store}
+			byStore[e.store] = ss
+		}
+		var primaryLSN uint64
+		if hs := s.lookupStore(e.store); hs != nil {
+			if log := hs.store.WAL(); log != nil {
+				primaryLSN = log.LastLSN()
+			}
+		}
+		ss.Replicas = append(ss.Replicas, e.status.Stat(primaryLSN))
+	}
+	for _, ss := range byStore {
+		rs.Stores = append(rs.Stores, *ss)
+	}
+	sort.Slice(rs.Stores, func(i, j int) bool { return rs.Stores[i].Store < rs.Stores[j].Store })
+	return rs
+}

@@ -1,0 +1,400 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/client"
+	"xmlordb/internal/repl"
+)
+
+// startPrimary boots a durable primary hosting one "uni" store.
+func startPrimary(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.SnapshotDir == "" {
+		cfg.SnapshotDir = t.TempDir()
+	}
+	if cfg.Durability == "" {
+		cfg.Durability = "never" // tests don't need fsync, just the WAL
+	}
+	srv := New(cfg)
+	if err := srv.OpenStore("uni", uniDTD, "University", xmlordb.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	return serveOn(t, srv)
+}
+
+// startReplica boots a replica of primaryAddr and waits for it to be
+// streaming.
+func startReplica(t *testing.T, primaryAddr string, cfg Config) (*Server, string) {
+	t.Helper()
+	if cfg.SnapshotDir == "" {
+		cfg.SnapshotDir = t.TempDir()
+	}
+	if cfg.Durability == "" {
+		cfg.Durability = "never"
+	}
+	cfg.ReplicaOf = primaryAddr
+	if cfg.ReplRetry == 0 {
+		cfg.ReplRetry = 20 * time.Millisecond
+	}
+	if cfg.ReplHeartbeat == 0 {
+		cfg.ReplHeartbeat = 50 * time.Millisecond
+	}
+	srv := New(cfg)
+	if n, err := srv.RestoreDir(); err != nil {
+		t.Fatal(err)
+	} else if n > 0 {
+		t.Logf("replica restored %d store(s)", n)
+	}
+	if err := srv.StartReplication(); err != nil {
+		t.Fatal(err)
+	}
+	return serveOn(t, srv)
+}
+
+func studentCount(t *testing.T, c *client.Client) int {
+	t.Helper()
+	res, err := c.Query(context.Background(), countStudentsSQL)
+	if err != nil {
+		t.Fatalf("counting students: %v", err)
+	}
+	return len(res.Rows)
+}
+
+// replicaCaughtUp waits until the replica's applied position matches
+// the primary's last LSN for store "uni".
+func replicaCaughtUp(t *testing.T, primary *Server, rc *client.Client) {
+	t.Helper()
+	waitFor(t, 10*time.Second, func() bool {
+		phs := primary.lookupStore("uni")
+		if phs == nil {
+			return false
+		}
+		want := phs.store.WAL().LastLSN()
+		// The store must actually be hosted (snapshot applied), not just
+		// have an applier entry at LSN >= 0.
+		names, err := rc.Stores(context.Background())
+		if err != nil || !containsName(names, "uni") {
+			return false
+		}
+		st, err := rc.Stats(context.Background())
+		if err != nil || st.Repl == nil {
+			return false
+		}
+		for _, s := range st.Repl.Stores {
+			if s.Store == "uni" && s.AppliedLSN >= want {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+func containsName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestReplicationEndToEnd(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+
+	// Writes before any replica exists (served later via snapshot+tail).
+	for i := 0; i < 3; i++ {
+		if _, err := pc.Load(ctx, fmt.Sprintf("pre%d.xml", i), uniDoc(fmt.Sprintf("Pre%d", i), i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, r1addr := startReplica(t, paddr, Config{})
+	_, r2addr := startReplica(t, paddr, Config{})
+	r1 := mustDial(t, r1addr)
+	r2 := mustDial(t, r2addr)
+
+	replicaCaughtUp(t, primary, r1)
+	replicaCaughtUp(t, primary, r2)
+
+	// Writes after attach stream live.
+	id, err := pc.Load(ctx, "live.xml", uniDoc("Live", 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replicaCaughtUp(t, primary, r1)
+	replicaCaughtUp(t, primary, r2)
+
+	// Both replicas serve identical reads: SQL, RETRIEVE, XPATH.
+	want := studentCount(t, pc)
+	if got := studentCount(t, r1); got != want {
+		t.Errorf("replica 1 has %d students, primary %d", got, want)
+	}
+	if got := studentCount(t, r2); got != want {
+		t.Errorf("replica 2 has %d students, primary %d", got, want)
+	}
+	px, err := pc.Retrieve(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := r1.Retrieve(ctx, id)
+	if err != nil {
+		t.Fatalf("replica retrieve: %v", err)
+	}
+	if px != rx {
+		t.Errorf("replica document differs from primary")
+	}
+	if _, err := r2.XPath(ctx, "/University/Student/LName"); err != nil {
+		t.Errorf("replica xpath: %v", err)
+	}
+
+	// STATS on the primary shows both replicas acked and current.
+	st, err := pc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || st.Repl.Role != RolePrimary {
+		t.Fatalf("primary stats missing repl section: %+v", st.Repl)
+	}
+	found := 0
+	for _, s := range st.Repl.Stores {
+		if s.Store == "uni" {
+			found = len(s.Replicas)
+		}
+	}
+	if found != 2 {
+		t.Errorf("primary registry has %d replicas, want 2", found)
+	}
+}
+
+func TestReplicaRejectsWritesNamingPrimary(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	_, raddr := startReplica(t, paddr, Config{})
+	rc := mustDial(t, raddr)
+	ctx := context.Background()
+
+	_, err := rc.Load(ctx, "x.xml", uniDoc("X", 1))
+	var ro *repl.ReadOnlyError
+	if !errors.As(err, &ro) {
+		t.Fatalf("replica LOAD error = %v, want ReadOnlyError", err)
+	}
+	if ro.Primary != paddr {
+		t.Errorf("ReadOnlyError names %q, want %q", ro.Primary, paddr)
+	}
+	if err := rc.Begin(ctx); !errors.As(err, &ro) {
+		t.Errorf("replica BEGIN error = %v, want ReadOnlyError", err)
+	}
+	if _, err := rc.Exec(ctx, "DELETE FROM TabUniversity"); !errors.As(err, &ro) {
+		t.Errorf("replica DML error = %v, want ReadOnlyError", err)
+	}
+	// Reads still work (once the store has synced over).
+	if err := rc.Ping(ctx); err != nil {
+		t.Errorf("replica ping: %v", err)
+	}
+	replicaCaughtUp(t, primary, rc)
+	if _, err := rc.Query(ctx, countStudentsSQL); err != nil {
+		t.Errorf("replica select: %v", err)
+	}
+}
+
+func TestPromoteDetachesReplica(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+	if _, err := pc.Load(ctx, "a.xml", uniDoc("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	replica, raddr := startReplica(t, paddr, Config{})
+	rc := mustDial(t, raddr)
+	replicaCaughtUp(t, primary, rc)
+
+	role, lsn, err := rc.Promote(ctx)
+	if err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if role != RolePrimary || lsn == 0 {
+		t.Fatalf("promote returned role %q lsn %d", role, lsn)
+	}
+	if replica.Role() != RolePrimary {
+		t.Fatalf("server role after promote: %s", replica.Role())
+	}
+	// The promoted server accepts writes and serves them.
+	before := studentCount(t, rc)
+	if _, err := rc.Load(ctx, "b.xml", uniDoc("B", 2)); err != nil {
+		t.Fatalf("write after promote: %v", err)
+	}
+	if got := studentCount(t, rc); got != before+1 {
+		t.Errorf("promoted server has %d students, want %d", got, before+1)
+	}
+	// And it no longer follows the old primary.
+	if _, err := pc.Load(ctx, "c.xml", uniDoc("C", 3)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if got := studentCount(t, rc); got != before+1 {
+		t.Errorf("promoted server kept following the old primary (%d students)", got)
+	}
+}
+
+// A promoted server keeps serving replication feeds: promotion stops
+// only the upstream appliers, not the feeder stop channel. (Regression:
+// stopReplication used to close both, so every feed a promoted primary
+// accepted exited immediately and its replicas cycled reconnects.)
+func TestPromotedPrimaryServesReplicas(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+	if _, err := pc.Load(ctx, "a.xml", uniDoc("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	mid, maddr := startReplica(t, paddr, Config{})
+	mc := mustDial(t, maddr)
+	replicaCaughtUp(t, primary, mc)
+	if _, _, err := mc.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// Attach a fresh replica to the promoted server and write through it.
+	_, raddr := startReplica(t, maddr, Config{})
+	rc := mustDial(t, raddr)
+	replicaCaughtUp(t, mid, rc)
+	if _, err := mc.Load(ctx, "b.xml", uniDoc("B", 2)); err != nil {
+		t.Fatalf("write on promoted primary: %v", err)
+	}
+	replicaCaughtUp(t, mid, rc)
+	if got, want := studentCount(t, rc), studentCount(t, mc); got != want {
+		t.Errorf("replica of promoted primary has %d students, want %d", got, want)
+	}
+
+	// The stream must STAY up: a feed that exits after each burst shows
+	// as disconnected between retries. Every sample must be connected.
+	for i := 0; i < 10; i++ {
+		st, err := rc.Stats(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Repl == nil || len(st.Repl.Stores) == 0 || !st.Repl.Stores[0].Connected {
+			t.Fatalf("sample %d: replica of promoted primary is disconnected: %+v", i, st.Repl)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	st, err := mc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, s := range st.Repl.Stores {
+		if s.Store == "uni" {
+			found = len(s.Replicas)
+		}
+	}
+	if found != 1 {
+		t.Errorf("promoted primary's feed registry has %d replicas, want 1", found)
+	}
+}
+
+// A replica that falls behind a primary whose WAL has been checkpointed
+// and truncated past its position re-seeds via snapshot transfer and
+// converges.
+func TestStaleReplicaResyncsViaSnapshot(t *testing.T) {
+	// Tiny segments so the mid-test checkpoint actually truncates the
+	// WAL (truncation only reclaims whole sealed segments).
+	primary, paddr := startPrimary(t, Config{WALSegmentBytes: 128})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+
+	if _, err := pc.Load(ctx, "a.xml", uniDoc("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Boot a replica, let it catch up, then stop it while the primary
+	// keeps writing and checkpoints (truncating the backlog the stopped
+	// replica would need).
+	rdir := t.TempDir()
+	replica, raddr := startReplica(t, paddr, Config{SnapshotDir: rdir})
+	rc := mustDial(t, raddr)
+	replicaCaughtUp(t, primary, rc)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := replica.Shutdown(shutCtx); err != nil {
+		t.Fatalf("stopping replica: %v", err)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := pc.Load(ctx, fmt.Sprintf("more%d.xml", i), uniDoc(fmt.Sprintf("More%d", i), 10+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pc.Save(ctx); err != nil { // checkpoint: truncates the WAL
+		t.Fatal(err)
+	}
+	phs := primary.lookupStore("uni")
+	if first := phs.store.WAL().FirstLSN(); first <= 1 {
+		t.Fatalf("checkpoint did not truncate (FirstLSN %d); resync path not exercised", first)
+	}
+
+	// Restart the replica from its stale directory: its position now
+	// predates the primary's retention, forcing a snapshot transfer.
+	replica2, raddr2 := startReplica(t, paddr, Config{SnapshotDir: rdir})
+	rc2 := mustDial(t, raddr2)
+	replicaCaughtUp(t, primary, rc2)
+
+	if got, want := studentCount(t, rc2), studentCount(t, pc); got != want {
+		t.Errorf("resynced replica has %d students, primary %d", got, want)
+	}
+	st, err := rc2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || len(st.Repl.Stores) == 0 || st.Repl.Stores[0].Snapshots == 0 {
+		t.Errorf("stale replica did not report a snapshot transfer: %+v", st.Repl)
+	}
+	_ = replica2
+}
+
+// The RW client splits reads and writes and survives promotion by
+// following the read-only redirect.
+func TestRWClientSplit(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	_, raddr := startReplica(t, paddr, Config{})
+	rc := mustDial(t, raddr)
+	ctx := context.Background()
+
+	rw, err := client.DialRW(paddr, []string{raddr}, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+
+	if _, err := rw.Load(ctx, "a.xml", uniDoc("A", 1)); err != nil {
+		t.Fatalf("rw load: %v", err)
+	}
+	replicaCaughtUp(t, primary, rc)
+	res, err := rw.Query(ctx, countStudentsSQL)
+	if err != nil {
+		t.Fatalf("rw query: %v", err)
+	}
+	if len(res.Rows) != 1 {
+		t.Errorf("rw query saw %d rows, want 1", len(res.Rows))
+	}
+
+	// Point a fresh RW client's "primary" at the replica: its first
+	// write gets a read-only redirect to the real primary and succeeds.
+	rw2, err := client.DialRW(raddr, nil, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw2.Close()
+	if _, err := rw2.Load(ctx, "b.xml", uniDoc("B", 2)); err != nil {
+		t.Fatalf("rw redirect write: %v", err)
+	}
+}

@@ -65,9 +65,30 @@ type Config struct {
 	// WALSyncInterval is the background WAL flush period when Durability
 	// is "interval" (default 50ms).
 	WALSyncInterval time.Duration
+	// WALSegmentBytes caps a WAL segment before rotation (default
+	// 4 MiB). Checkpoints can only truncate whole sealed segments, so a
+	// smaller cap tightens how much log a checkpoint reclaims — at the
+	// cost of more files.
+	WALSegmentBytes int64
 	// StatsAddr, when set, serves GET /stats (the wire.Stats payload as
 	// JSON) on a separate HTTP listener.
 	StatsAddr string
+	// ReplicaOf, when set, starts the server as a read replica of the
+	// primary at this address: every primary store is streamed and
+	// applied locally, writes are rejected with CodeReadOnly, and
+	// PROMOTE detaches the server into a standalone primary. Requires a
+	// durable config (Durability + SnapshotDir).
+	ReplicaOf string
+	// ReplMaxLagRecords drops a connected replica whose acked position
+	// trails the primary by more than this many WAL records; the replica
+	// re-syncs via snapshot transfer. 0 = never drop (the slowest
+	// replica pins WAL retention indefinitely).
+	ReplMaxLagRecords uint64
+	// ReplHeartbeat is the replication stream's idle heartbeat interval
+	// (default repl.DefaultHeartbeat).
+	ReplHeartbeat time.Duration
+	// ReplRetry is the replica's reconnect backoff (default repl.DefaultRetry).
+	ReplRetry time.Duration
 	// Logf receives server log lines (default: discarded).
 	Logf func(format string, args ...any)
 }
@@ -109,7 +130,7 @@ func (c Config) durableOptions() (xmlordb.DurableOptions, error) {
 	if err != nil {
 		return xmlordb.DurableOptions{}, fmt.Errorf("server: %w", err)
 	}
-	return xmlordb.DurableOptions{Sync: pol, SyncInterval: c.WALSyncInterval}, nil
+	return xmlordb.DurableOptions{Sync: pol, SyncInterval: c.WALSyncInterval, SegmentBytes: c.WALSegmentBytes}, nil
 }
 
 // hostedStore is one named Store plus the server-side lock that
@@ -155,6 +176,18 @@ type Server struct {
 	wg       sync.WaitGroup // live connection handlers
 	snapStop chan struct{}
 	snapDone chan struct{}
+
+	// Replication state (internal/server/repl.go). replica flips to
+	// false on PROMOTE; feeds is the primary-side registry of connected
+	// replicas; appliers is the replica-side per-store state.
+	replica      bool
+	replStopped  bool
+	feedsStopped bool
+	feeds        map[*feedEntry]struct{}
+	appliers     map[string]*storeApplier
+	feedStop     chan struct{}
+	replStop     chan struct{}
+	replWg       sync.WaitGroup
 }
 
 // New returns a server with no stores hosted yet.
@@ -165,6 +198,8 @@ func New(cfg Config) *Server {
 		opening:  map[string]struct{}{},
 		sessions: map[*session]struct{}{},
 		metrics:  newMetrics(),
+		feedStop: make(chan struct{}),
+		replStop: make(chan struct{}),
 	}
 }
 
@@ -606,6 +641,9 @@ func (s *Server) statsPayload() *wire.Stats {
 		st.StoreStats = append(st.StoreStats, ss)
 	}
 	sort.Slice(st.StoreStats, func(i, j int) bool { return st.StoreStats[i].Name < st.StoreStats[j].Name })
+	if rs := s.replStats(); rs.Role == RoleReplica || len(rs.Stores) > 0 {
+		st.Repl = rs
+	}
 	return st
 }
 
@@ -637,6 +675,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.snapStop)
 		<-s.snapDone
 	}
+	// Stop replication before draining sessions: feeders exit their
+	// streams (their sessions then drain like any other) and a replica's
+	// appliers stop pulling before the stores close.
+	s.stopFeeds()
+	s.stopReplication()
 	for _, sess := range sessions {
 		sess.beginDrain()
 	}

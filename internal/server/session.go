@@ -30,6 +30,11 @@ type session struct {
 	// tx is the store whose write lock this session holds between BEGIN
 	// and COMMIT/ROLLBACK. Only the session's own goroutine touches it.
 	tx *hostedStore
+	// takeover, when set by a dispatch (REPLICATE), runs after the
+	// response is written and owns the connection until it returns; the
+	// session loop never reads another request frame. Drain unblocks it
+	// by closing the socket, same as an idle session.
+	takeover func()
 
 	// busy/draining implement graceful shutdown: a session is busy from
 	// the moment a request is fully read until its response is written.
@@ -120,6 +125,14 @@ func (ss *session) serve() {
 		resp, quit := ss.handle(line)
 		ok := ss.writeResponse(resp)
 		ss.busy.Store(false)
+		if f := ss.takeover; f != nil {
+			ss.takeover = nil
+			if ok && !ss.draining.Load() {
+				ss.conn.SetReadDeadline(time.Time{}) // streams outlive the idle timeout
+				f()
+			}
+			return
+		}
 		if quit || !ok || ss.draining.Load() {
 			return
 		}
@@ -237,7 +250,20 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 	case wire.VerbStats:
 		return &wire.Response{OK: true, Stats: ss.srv.statsPayload()}
 
+	case wire.VerbReplicate:
+		return ss.replicate(req)
+
+	case wire.VerbPromote:
+		lsn, err := ss.srv.Promote()
+		if err != nil {
+			return fail(wire.CodeRepl, "%v", err)
+		}
+		return &wire.Response{OK: true, Role: ss.srv.Role(), LSN: lsn}
+
 	case wire.VerbOpen:
+		if ss.srv.isReadOnly() {
+			return ss.srv.readOnlyResp()
+		}
 		if req.Name == "" || req.DTD == "" {
 			return fail(wire.CodeBadRequest, "OPEN requires name and dtd")
 		}
@@ -260,6 +286,25 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 		}
 		ss.cur = hs
 		return &wire.Response{OK: true}
+	}
+
+	// A replica rejects every write with a typed error naming the
+	// primary — before store resolution, so the rejection is the same
+	// whether or not the store has synced yet. Reads (RETRIEVE, XPATH,
+	// SELECT, STATS) serve normally.
+	switch verb {
+	case wire.VerbLoad, wire.VerbDelete, wire.VerbBegin, wire.VerbCommit, wire.VerbRollback:
+		if ss.srv.isReadOnly() {
+			return ss.srv.readOnlyResp()
+		}
+	case wire.VerbSQL:
+		if ss.srv.isReadOnly() && req.SQL != "" {
+			if stmt, err := sql.CachedParse(req.SQL); err == nil {
+				if _, sel := stmt.(*sql.SelectStmt); !sel {
+					return ss.srv.readOnlyResp()
+				}
+			}
+		}
 	}
 
 	// Every remaining verb addresses a store.

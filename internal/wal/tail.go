@@ -1,0 +1,239 @@
+package wal
+
+// Tailing, subscription and retention pinning: the log-shipping surface
+// used by replication (internal/repl). A feeder reads committed commit
+// units with ReadUnits, parks on a Subscribe channel until the next
+// append, and holds a Pin so checkpoint truncation cannot delete
+// segments the slowest replica still needs.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ErrTruncated reports that the requested LSN is older than the oldest
+// segment still on disk: the reader fell behind retention and must
+// restart from a snapshot.
+var ErrTruncated = errors.New("wal: requested lsn already truncated")
+
+// FirstLSN reports the first LSN of the oldest segment still on disk —
+// the lower bound of what ReadUnits can serve. For an empty log it
+// equals LastLSN()+1 (nothing readable yet).
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return l.nextLSN
+	}
+	return l.segments[0].firstLSN
+}
+
+// Subscribe registers an append-notification channel: each committed
+// AppendBatch performs a non-blocking send on it, so a tailer parked on
+// the channel wakes when new records are available. The channel has
+// capacity 1 — coalesced wakeups, never missed ones. Callers must
+// Unsubscribe when done.
+func (l *Log) Subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	if l.subs == nil {
+		l.subs = map[chan struct{}]struct{}{}
+	}
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes a Subscribe channel.
+func (l *Log) Unsubscribe(ch chan struct{}) {
+	l.mu.Lock()
+	delete(l.subs, ch)
+	l.mu.Unlock()
+}
+
+// notifyLocked wakes every subscriber. Callers hold l.mu.
+func (l *Log) notifyLocked() {
+	for ch := range l.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // a pending wakeup already covers this append
+		}
+	}
+}
+
+// Pin holds a retention floor: TruncateBefore will never delete a
+// segment containing records at or above the lowest pinned LSN, so a
+// replica that is still catching up cannot have its backlog deleted out
+// from under it. Move the pin forward as the reader advances; Release it
+// when the reader disconnects.
+type Pin struct {
+	l   *Log
+	lsn uint64
+}
+
+// Pin registers a retention floor at lsn (the lowest LSN the holder
+// still needs).
+func (l *Log) Pin(lsn uint64) *Pin {
+	p := &Pin{l: l, lsn: lsn}
+	l.mu.Lock()
+	if l.pins == nil {
+		l.pins = map[*Pin]struct{}{}
+	}
+	l.pins[p] = struct{}{}
+	l.mu.Unlock()
+	return p
+}
+
+// Move advances (or rewinds) the pin to lsn.
+func (p *Pin) Move(lsn uint64) {
+	p.l.mu.Lock()
+	p.lsn = lsn
+	p.l.mu.Unlock()
+}
+
+// Release drops the pin; retention no longer considers it.
+func (p *Pin) Release() {
+	p.l.mu.Lock()
+	delete(p.l.pins, p)
+	p.l.mu.Unlock()
+}
+
+// minPinLocked returns the lowest pinned LSN, or 0 when no pins exist.
+// Callers hold l.mu.
+func (l *Log) minPinLocked() uint64 {
+	min := uint64(0)
+	for p := range l.pins {
+		if min == 0 || p.lsn < min {
+			min = p.lsn
+		}
+	}
+	return min
+}
+
+// Unit is one commit unit: the records appended by a single AppendBatch,
+// ending with the record whose Commit flag is set.
+type Unit []Record
+
+// ReadUnits reads whole commit units starting at fromLSN, which must be
+// a unit boundary (one past the last LSN of a previous unit — LastLSN
+// values and ack positions always are). It returns at least one unit
+// when any is available, stops growing the batch once maxBytes of
+// payload have been collected (0 = one segment's worth), and reports the
+// next boundary to resume from. An empty result with next == fromLSN
+// means the caller is caught up. Reading below FirstLSN fails with
+// ErrTruncated — hold a Pin to prevent that. ReadUnits is safe against
+// concurrent appends: it only surfaces records that were fully appended
+// before the call.
+func (l *Log) ReadUnits(fromLSN uint64, maxBytes int) (units []Unit, next uint64, err error) {
+	if maxBytes <= 0 {
+		maxBytes = int(l.opts.segmentBytes())
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fromLSN, ErrClosed
+	}
+	last := l.nextLSN - 1
+	segs := append([]segment(nil), l.segments...)
+	l.mu.Unlock()
+
+	if fromLSN == 0 {
+		fromLSN = 1
+	}
+	if fromLSN > last {
+		return nil, fromLSN, nil // caught up
+	}
+	if len(segs) == 0 || fromLSN < segs[0].firstLSN {
+		return nil, fromLSN, fmt.Errorf("%w: lsn %d (oldest on disk %d)", ErrTruncated, fromLSN, l.FirstLSN())
+	}
+	// Locate the segment holding fromLSN: the last one starting at or
+	// below it.
+	idx := 0
+	for i, seg := range segs {
+		if seg.firstLSN <= fromLSN {
+			idx = i
+		}
+	}
+	next = fromLSN
+	total := 0
+	var unit Unit
+	for ; idx < len(segs) && total < maxBytes; idx++ {
+		data, rerr := os.ReadFile(segs[idx].path)
+		if rerr != nil {
+			// The segment vanished between the listing and the read: racing
+			// truncation deleted it. The caller's position predates
+			// retention — same contract as starting below FirstLSN.
+			if os.IsNotExist(rerr) && len(units) == 0 {
+				return nil, fromLSN, fmt.Errorf("%w: lsn %d (segment removed)", ErrTruncated, fromLSN)
+			}
+			if os.IsNotExist(rerr) {
+				return units, next, nil
+			}
+			return units, next, rerr
+		}
+		off := 0
+		for total < maxBytes {
+			rec, n, derr := DecodeFrame(data[off:])
+			if derr == io.EOF || errors.Is(derr, errTorn) {
+				// End of this segment's readable bytes: either its true end
+				// or the partial tail of an append racing this read, whose
+				// records are all beyond our `last` snapshot anyway.
+				break
+			}
+			if derr != nil {
+				return units, next, fmt.Errorf("%s @%d: %w", segs[idx].path, off, derr)
+			}
+			off += n
+			if rec.LSN > last {
+				return units, next, nil
+			}
+			if rec.LSN < fromLSN {
+				continue
+			}
+			if len(unit) == 0 && rec.LSN != next {
+				return units, next, fmt.Errorf("%w: unit starting at %d, expected %d", ErrCorrupt, rec.LSN, next)
+			}
+			rec.Payload = append([]byte(nil), rec.Payload...)
+			unit = append(unit, rec)
+			total += len(rec.Payload) + frameHeaderSize
+			if rec.Commit {
+				units = append(units, unit)
+				next = rec.LSN + 1
+				unit = nil
+			}
+		}
+		if len(unit) > 0 {
+			// A unit never straddles segments; an unterminated run here is
+			// an in-flight append beyond `last` — drop it and stop.
+			return units, next, nil
+		}
+	}
+	return units, next, nil
+}
+
+// WaitFor blocks until the log's last LSN reaches at least lsn, the stop
+// channel fires, or the log closes. It returns the current last LSN and
+// whether the wait was satisfied (false = stopped/closed).
+func (l *Log) WaitFor(lsn uint64, stop <-chan struct{}) (uint64, bool) {
+	ch := l.Subscribe()
+	defer l.Unsubscribe(ch)
+	for {
+		last := l.LastLSN()
+		if last >= lsn {
+			return last, true
+		}
+		l.mu.Lock()
+		closed := l.closed
+		l.mu.Unlock()
+		if closed {
+			return last, false
+		}
+		select {
+		case <-ch:
+		case <-stop:
+			return last, false
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// appendUnits writes n commit units of recsPer records each and returns
+// the log's last LSN.
+func appendUnits(t *testing.T, l *Log, n, recsPer int) uint64 {
+	t.Helper()
+	var last uint64
+	for i := 0; i < n; i++ {
+		entries := make([]Entry, recsPer)
+		for j := range entries {
+			entries[j] = Entry{Type: 1, Payload: []byte(fmt.Sprintf("u%d-r%d", i, j))}
+		}
+		lsn, err := l.AppendBatch(entries)
+		if err != nil {
+			t.Fatalf("append unit %d: %v", i, err)
+		}
+		last = lsn
+	}
+	return last
+}
+
+func TestReadUnitsRoundTrip(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	last := appendUnits(t, l, 10, 3) // spans several tiny segments
+
+	var got []Unit
+	from := uint64(1)
+	for {
+		units, next, err := l.ReadUnits(from, 0)
+		if err != nil {
+			t.Fatalf("ReadUnits(%d): %v", from, err)
+		}
+		if len(units) == 0 {
+			if next != from {
+				t.Fatalf("caught up but next=%d, from=%d", next, from)
+			}
+			break
+		}
+		got = append(got, units...)
+		from = next
+	}
+	if len(got) != 10 {
+		t.Fatalf("read %d units, want 10", len(got))
+	}
+	expect := uint64(1)
+	for i, u := range got {
+		if len(u) != 3 {
+			t.Fatalf("unit %d has %d records, want 3", i, len(u))
+		}
+		for _, r := range u {
+			if r.LSN != expect {
+				t.Fatalf("unit %d: lsn %d, want %d", i, r.LSN, expect)
+			}
+			expect++
+		}
+		if !u[len(u)-1].Commit {
+			t.Fatalf("unit %d missing commit flag", i)
+		}
+	}
+	if expect-1 != last {
+		t.Fatalf("read through lsn %d, log last %d", expect-1, last)
+	}
+}
+
+func TestReadUnitsMidLogStart(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendUnits(t, l, 5, 2) // lsn 1..10, boundaries every 2
+
+	units, next, err := l.ReadUnits(7, 0) // start of unit 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 2 || next != 11 {
+		t.Fatalf("got %d units, next %d; want 2 units, next 11", len(units), next)
+	}
+	if units[0][0].LSN != 7 {
+		t.Fatalf("first record lsn %d, want 7", units[0][0].LSN)
+	}
+}
+
+func TestSubscribeNotifiesAppend(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	ch := l.Subscribe()
+	defer l.Unsubscribe(ch)
+	if _, err := l.Append(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("no append notification")
+	}
+}
+
+func TestWaitForStopsOnClose(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := l.WaitFor(99, nil)
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	l.Close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("WaitFor satisfied without records")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("WaitFor did not observe Close")
+	}
+}
+
+func TestStartLSNBootstrap(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncNever, StartLSN: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn, err := l.Append(1, []byte("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 42 {
+		t.Fatalf("first lsn %d, want 42", lsn)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen without StartLSN: the segments carry the numbering.
+	l2, err := Open(dir, Options{Sync: SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.LastLSN(); got != 42 {
+		t.Fatalf("reopened last lsn %d, want 42", got)
+	}
+}
+
+func TestPinClampsTruncateBefore(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	appendUnits(t, l, 20, 1)
+
+	pin := l.Pin(3)
+	if err := l.TruncateBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	if first := l.FirstLSN(); first > 3 {
+		t.Fatalf("pinned lsn 3 truncated away: first available %d", first)
+	}
+	// Reading from the pinned position must still work.
+	if _, _, err := l.ReadUnits(3, 0); err != nil {
+		t.Fatalf("reading pinned backlog: %v", err)
+	}
+	// Releasing the pin lets the next truncation proceed.
+	pin.Release()
+	if err := l.TruncateBefore(15); err != nil {
+		t.Fatal(err)
+	}
+	if first := l.FirstLSN(); first <= 3 {
+		t.Fatalf("released pin still retains segments: first available %d", first)
+	}
+	if _, _, err := l.ReadUnits(3, 0); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("reading truncated backlog: err=%v, want ErrTruncated", err)
+	}
+}
+
+// TestTruncateRacingTailer is the PR 5 regression test: TruncateBefore
+// running concurrently with an active tailer must never surface
+// ErrCorrupt or a gapped LSN sequence. With a Pin the tailer's backlog
+// is guaranteed; without one the only admissible failure is a clean
+// ErrTruncated (fall back to snapshot), never corruption or a gap.
+func TestTruncateRacingTailer(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const units = 300
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: keeps appending units.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < units; i++ {
+			if _, err := l.AppendBatch([]Entry{
+				{Type: 1, Payload: []byte(fmt.Sprintf("a%d", i))},
+				{Type: 1, Payload: []byte(fmt.Sprintf("b%d", i))},
+			}); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Truncator: hammers TruncateBefore at the current last LSN.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = l.TruncateBefore(l.LastLSN())
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Pinned tailer: reads everything, verifying a contiguous sequence.
+	pin := l.Pin(1)
+	defer pin.Release()
+	expect := uint64(1)
+	from := uint64(1)
+	deadline := time.Now().Add(30 * time.Second)
+	for expect <= uint64(units*2) {
+		if time.Now().After(deadline) {
+			t.Fatalf("tailer stalled at lsn %d", expect)
+		}
+		got, next, err := l.ReadUnits(from, 4096)
+		if err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				t.Fatalf("tailer hit ErrCorrupt at lsn %d: %v", expect, err)
+			}
+			t.Fatalf("tailer failed at lsn %d: %v", expect, err)
+		}
+		for _, u := range got {
+			for _, r := range u {
+				if r.LSN != expect {
+					t.Fatalf("gapped sequence: got lsn %d, want %d", r.LSN, expect)
+				}
+				expect++
+			}
+		}
+		pin.Move(next)
+		from = next
+		if len(got) == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUnpinnedTailerNeverSeesCorruption: without a pin, a tailer racing
+// truncation may fall behind, but the failure must be ErrTruncated — a
+// resync signal — not ErrCorrupt and not a silently gapped sequence.
+func TestUnpinnedTailerNeverSeesCorruption(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 400; i++ {
+			if _, err := l.Append(1, []byte(fmt.Sprintf("r%d", i))); err != nil {
+				t.Errorf("append: %v", err)
+				return
+			}
+			if i%10 == 0 {
+				_ = l.TruncateBefore(l.LastLSN())
+			}
+		}
+	}()
+
+	expect := uint64(0) // next LSN we must see (0 = any first)
+	from := uint64(1)
+	resyncs := 0
+	for l.LastLSN() < 400 || from <= 400 {
+		got, next, err := l.ReadUnits(from, 0)
+		if err != nil {
+			if errors.Is(err, ErrTruncated) {
+				// Clean resync: restart from the oldest available position.
+				resyncs++
+				from = l.FirstLSN()
+				expect = 0
+				continue
+			}
+			t.Fatalf("tailer error at %d: %v", from, err)
+		}
+		for _, u := range got {
+			for _, r := range u {
+				if expect != 0 && r.LSN != expect {
+					t.Fatalf("gap within a read: lsn %d after %d", r.LSN, expect-1)
+				}
+				expect = r.LSN + 1
+			}
+		}
+		from = next
+		if len(got) == 0 && l.LastLSN() >= 400 {
+			break
+		}
+	}
+	wg.Wait()
+	t.Logf("tailer resynced %d time(s)", resyncs)
+}

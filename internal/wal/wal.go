@@ -79,6 +79,11 @@ type Options struct {
 	Sync         SyncPolicy
 	SyncInterval time.Duration
 	SegmentBytes int64
+	// StartLSN, when > 1, makes a freshly created (empty) log allocate
+	// its first LSN there instead of at 1 — used when bootstrapping a
+	// replica from a snapshot taken at StartLSN-1. Ignored when the
+	// directory already holds segments.
+	StartLSN uint64
 }
 
 func (o Options) sync() SyncPolicy {
@@ -268,6 +273,11 @@ type Log struct {
 	poisoned bool
 	scratch  []byte
 
+	// subs are append-notification channels (Subscribe); pins are
+	// retention floors (Pin). Both guarded by mu.
+	subs map[chan struct{}]struct{}
+	pins map[*Pin]struct{}
+
 	// writeHook, when non-nil, replaces segment writes (fault injection
 	// in tests). Called with mu held.
 	writeHook func(f *os.File, b []byte) (int, error)
@@ -297,7 +307,10 @@ func Open(dir string, opts Options) (*Log, error) {
 	}
 	l.segments = segs
 	if len(segs) == 0 {
-		if err := l.openSegmentLocked(1); err != nil {
+		if opts.StartLSN > 1 {
+			l.nextLSN = opts.StartLSN
+		}
+		if err := l.openSegmentLocked(l.nextLSN); err != nil {
 			return nil, err
 		}
 	} else {
@@ -476,6 +489,7 @@ func (l *Log) AppendBatch(entries []Entry) (uint64, error) {
 	l.size += int64(n)
 	l.nextLSN = first + uint64(len(entries))
 	last := l.nextLSN - 1
+	l.notifyLocked()
 	l.mu.Unlock()
 	l.appends.Add(int64(len(entries)))
 	l.bytes.Add(int64(n))
@@ -664,12 +678,16 @@ func (l *Log) Replay(fromLSN uint64, fn func(Record) error) (int, error) {
 
 // TruncateBefore deletes whole segments every record of which has
 // LSN < lsn — the checkpoint truncation. The active segment is never
-// deleted.
+// deleted, and the effective cutoff is clamped to the lowest retention
+// Pin, so a replica still reading its backlog keeps its segments.
 func (l *Log) TruncateBefore(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return ErrClosed
+	}
+	if pin := l.minPinLocked(); pin != 0 && pin < lsn {
+		lsn = pin
 	}
 	kept := l.segments[:0]
 	for i, seg := range l.segments {
@@ -724,6 +742,7 @@ func (l *Log) Close() error {
 		return ErrClosed
 	}
 	l.closed = true
+	l.notifyLocked() // wake parked tailers so WaitFor observes the close
 	err := l.file.Close()
 	if syncErr != nil {
 		return syncErr

@@ -1,0 +1,155 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Replication streaming. After a REPLICATE handshake the connection
+// carries newline-delimited JSON frames in both directions: the primary
+// sends ReplFrame frames (snapshot chunks, commit units, heartbeats,
+// control), the replica sends ReplAck frames reporting its applied
+// position. Record payloads and snapshot chunks are []byte, which
+// encoding/json carries as base64 — the framing stays one JSON object
+// per line, same as the request/response protocol.
+
+// ReplFrame types.
+const (
+	// ReplSnap is one chunk of a checkpoint snapshot transfer. LSN is
+	// the WAL position the snapshot covers (same for every chunk); Data
+	// is the chunk; Last marks the final chunk.
+	ReplSnap = "snap"
+	// ReplUnit is one committed WAL commit unit. Recs are its records in
+	// LSN order (the last carries Commit); PrimaryLSN is the primary's
+	// current last LSN for lag accounting.
+	ReplUnit = "unit"
+	// ReplHeartbeat is a periodic liveness/lag frame: PrimaryLSN only.
+	ReplHeartbeat = "hb"
+	// ReplResync tells the replica its backlog was truncated (it fell
+	// past the retention cutoff): drop the stream, reconnect, and expect
+	// a snapshot transfer.
+	ReplResync = "resync"
+	// ReplError carries a fatal stream error before the primary closes.
+	ReplError = "err"
+)
+
+// ReplMaxFrame bounds one replication stream frame. Snapshot chunks are
+// bounded by the sender (ReplSnapChunk), but a single commit unit can
+// carry a whole document plus base64 overhead, so the limit is above
+// the request-path DefaultMaxFrame.
+const ReplMaxFrame = 64 << 20
+
+// ReplSnapChunk is the snapshot transfer chunk size before base64.
+const ReplSnapChunk = 1 << 20
+
+// ReplRecord is one WAL record on the wire.
+type ReplRecord struct {
+	LSN     uint64 `json:"lsn"`
+	Type    byte   `json:"type"`
+	Commit  bool   `json:"commit,omitempty"`
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// ReplFrame is one primary→replica stream frame.
+type ReplFrame struct {
+	Type string `json:"type"`
+	// LSN is the snapshot position for snap frames and the last LSN of
+	// the unit for unit frames.
+	LSN uint64 `json:"lsn,omitempty"`
+	// PrimaryLSN is the primary's last LSN at send time (unit, hb).
+	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
+	// Data is one snapshot chunk (snap).
+	Data []byte `json:"data,omitempty"`
+	// Last marks the final snapshot chunk (snap).
+	Last bool `json:"last,omitempty"`
+	// Recs are the commit unit's records (unit).
+	Recs []ReplRecord `json:"recs,omitempty"`
+	// Error carries the failure text (err).
+	Error string `json:"error,omitempty"`
+}
+
+// ReplAck is one replica→primary stream frame: the highest LSN the
+// replica has durably applied.
+type ReplAck struct {
+	LSN uint64 `json:"lsn"`
+}
+
+// DecodeReplFrame parses a primary→replica stream frame, rejecting
+// unknown fields and trailing garbage.
+func DecodeReplFrame(line []byte) (*ReplFrame, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var f ReplFrame
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("wire: bad repl frame: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("wire: trailing data after repl frame")
+	}
+	switch f.Type {
+	case ReplSnap, ReplUnit, ReplHeartbeat, ReplResync, ReplError:
+	case "":
+		return nil, fmt.Errorf("wire: repl frame missing type")
+	default:
+		return nil, fmt.Errorf("wire: unknown repl frame type %q", f.Type)
+	}
+	return &f, nil
+}
+
+// DecodeReplAck parses a replica→primary ack frame.
+func DecodeReplAck(line []byte) (*ReplAck, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var a ReplAck
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("wire: bad repl ack: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("wire: trailing data after repl ack")
+	}
+	return &a, nil
+}
+
+// ReplStats is the replication section of the STATS payload.
+type ReplStats struct {
+	// Role is "primary" or "replica".
+	Role string `json:"role"`
+	// Primary is the upstream address (replica role only).
+	Primary string `json:"primary,omitempty"`
+	// Stores reports per-store replication state: feeder registry
+	// entries on a primary, applier status on a replica.
+	Stores []ReplStoreStats `json:"stores,omitempty"`
+}
+
+// ReplStoreStats is one store's replication state.
+type ReplStoreStats struct {
+	Store string `json:"store"`
+	// Replica-side applier state.
+	Connected    bool   `json:"connected,omitempty"`
+	PrimaryLSN   uint64 `json:"primary_lsn,omitempty"`
+	AppliedLSN   uint64 `json:"applied_lsn,omitempty"`
+	LagRecords   int64  `json:"lag_records,omitempty"`
+	UnitsApplied int64  `json:"units_applied,omitempty"`
+	BytesApplied int64  `json:"bytes_applied,omitempty"`
+	Snapshots    int64  `json:"snapshots,omitempty"`
+	// LastHeartbeatMS is milliseconds since the last frame from the
+	// primary (-1 = never).
+	LastHeartbeatMS int64 `json:"last_heartbeat_ms,omitempty"`
+	// Primary-side feeder registry.
+	Replicas []ReplicaStat `json:"replicas,omitempty"`
+}
+
+// ReplicaStat is one connected replica as seen by the primary.
+type ReplicaStat struct {
+	Addr       string `json:"addr"`
+	AckedLSN   uint64 `json:"acked_lsn"`
+	LagRecords int64  `json:"lag_records"`
+	SentUnits  int64  `json:"sent_units,omitempty"`
+	SentBytes  int64  `json:"sent_bytes,omitempty"`
+	// SnapshotSent reports that this session began with a snapshot
+	// transfer (the replica was behind retention or empty).
+	SnapshotSent bool `json:"snapshot_sent,omitempty"`
+	// LastAckMS is milliseconds since the replica's last ack (-1 = never).
+	LastAckMS int64 `json:"last_ack_ms,omitempty"`
+}

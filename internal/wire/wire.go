@@ -35,6 +35,18 @@ const (
 	VerbStats    = "STATS"    // server / store / cache statistics
 	VerbSave     = "SAVE"     // force a snapshot of the session's store
 	VerbQuit     = "QUIT"     // close the session
+
+	// VerbReplicate switches the connection into a replication stream:
+	// the request carries the replica's store name and last-applied LSN,
+	// and after an OK response the server sends ReplFrame frames
+	// (snapshot chunks, commit units, heartbeats) while the replica
+	// sends ReplAck frames. The connection never returns to
+	// request/response mode.
+	VerbReplicate = "REPLICATE"
+	// VerbPromote detaches a replica server into a standalone writable
+	// primary: replication streams stop, WAL tails are fsynced, every
+	// store checkpoints, and the role flips to primary.
+	VerbPromote = "PROMOTE"
 )
 
 // Error codes carried in Response.Code so typed clients can branch
@@ -46,6 +58,8 @@ const (
 	CodeEngine     = "engine"      // store/engine rejected the operation
 	CodeShutdown   = "shutdown"    // server is draining
 	CodeTooLarge   = "too_large"   // frame exceeded the server limit
+	CodeReadOnly   = "read_only"   // write rejected by a replica; Primary names the writable node
+	CodeRepl       = "repl"        // replication protocol error
 )
 
 // Request is one client frame.
@@ -67,6 +81,9 @@ type Request struct {
 	Path string `json:"path,omitempty"`
 	// DocID selects the document for RETRIEVE and DELETE.
 	DocID int `json:"docid,omitempty"`
+	// LSN is the replica's last-applied LSN for REPLICATE (0 = empty
+	// replica, always bootstrapped by snapshot transfer).
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // Response is one server frame.
@@ -91,6 +108,14 @@ type Response struct {
 	Stores []string `json:"stores,omitempty"`
 	// Stats carries the STATS payload.
 	Stats *Stats `json:"stats,omitempty"`
+	// Role reports the server's replication role ("primary"/"replica")
+	// on PROMOTE responses and read-only rejections.
+	Role string `json:"role,omitempty"`
+	// Primary names the writable primary's address on read-only
+	// rejections, so clients can redirect the write.
+	Primary string `json:"primary,omitempty"`
+	// LSN reports a log position: the promoted tail LSN on PROMOTE.
+	LSN uint64 `json:"lsn,omitempty"`
 }
 
 // Err converts a failed response into an error (nil when OK).
@@ -125,6 +150,9 @@ type Stats struct {
 	Oversized     int64        `json:"oversized,omitempty"`
 	Verbs         []VerbStat   `json:"verbs,omitempty"`
 	StoreStats    []StoreStats `json:"stores,omitempty"`
+	// Repl reports replication state: role, upstream, per-store feeder
+	// or applier positions. Nil when replication is not in play.
+	Repl *ReplStats `json:"repl,omitempty"`
 }
 
 // VerbStat counts one verb's requests and total latency.

@@ -1,0 +1,141 @@
+// Replication support on a durable Store: applying shipped commit units
+// on a replica, exporting the checkpoint snapshot a primary serves to a
+// lagging replica, and bootstrapping a replica directory from such a
+// snapshot. The protocol and connection handling live in internal/repl
+// and internal/server; this file is the storage contract they share.
+//
+// A replica mirrors the primary's WAL position exactly: commit units
+// arrive with the primary's LSNs, are appended to the replica's own log
+// as one commit unit (same boundaries, same LSNs — the log's monotonic
+// allocation is deterministic), and only then re-executed through the
+// same replay path recovery uses. A crash between append and apply is
+// therefore safe: recovery replays the appended unit. Because the local
+// log is written before the state mutates, a promoted replica's
+// directory is indistinguishable from a primary's — promotion is an
+// fsync, a checkpoint and a role flip, not a data migration.
+package xmlordb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"xmlordb/internal/wal"
+)
+
+// ErrReplicaDiverged reports a commit unit whose LSNs do not continue
+// the replica's local log — the replica applied history the primary
+// does not have (or vice versa) and must be re-seeded from a snapshot.
+var ErrReplicaDiverged = errors.New("xmlordb: replica log diverged from primary stream")
+
+// WAL exposes the durable store's write-ahead log for replication
+// (tailing, subscription, retention pinning). Nil for in-memory stores.
+func (s *Store) WAL() *wal.Log {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.log
+}
+
+// ApplyReplicatedUnit applies one shipped commit unit: the records are
+// validated against the local log position, appended to the local WAL
+// as a single commit unit, and then re-executed through the recovery
+// replay path (without re-logging). Callers must hold the store's
+// writer exclusion. On ErrReplicaDiverged the store's state is
+// untouched; on an apply error the log is ahead of memory and the
+// caller must re-seed the store.
+func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
+	if s.wal == nil {
+		return fmt.Errorf("xmlordb: ApplyReplicatedUnit on an in-memory store")
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	if s.Engine.DB().CurrentTx() != nil {
+		return fmt.Errorf("xmlordb: ApplyReplicatedUnit with a transaction open")
+	}
+	local := s.wal.log.LastLSN()
+	if recs[0].LSN != local+1 {
+		return fmt.Errorf("%w: unit starts at lsn %d, local log ends at %d",
+			ErrReplicaDiverged, recs[0].LSN, local)
+	}
+	entries := make([]wal.Entry, len(recs))
+	for i, r := range recs {
+		if r.LSN != recs[0].LSN+uint64(i) {
+			return fmt.Errorf("%w: non-contiguous unit (lsn %d at index %d)", ErrReplicaDiverged, r.LSN, i)
+		}
+		entries[i] = wal.Entry{Type: r.Type, Payload: r.Payload}
+	}
+	if !recs[len(recs)-1].Commit {
+		return fmt.Errorf("%w: unit's final record lacks the commit flag", ErrReplicaDiverged)
+	}
+	last, err := s.wal.log.AppendBatch(entries)
+	if err != nil {
+		return fmt.Errorf("xmlordb: appending replicated unit: %w", err)
+	}
+	if last != recs[len(recs)-1].LSN {
+		return fmt.Errorf("%w: local log assigned lsn %d, primary sent %d",
+			ErrReplicaDiverged, last, recs[len(recs)-1].LSN)
+	}
+	s.wal.applying = true
+	defer func() { s.wal.applying = false }()
+	for _, r := range recs {
+		if err := s.applyWALRecord(r); err != nil {
+			return fmt.Errorf("xmlordb: applying replicated unit: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadCheckpointSnapshot returns the store's current checkpoint
+// snapshot bytes and the WAL position they cover — what a primary
+// serves to a replica that fell behind retention. Callers must hold at
+// least the store's reader exclusion, which keeps a concurrent
+// Checkpoint (a writer) from pruning the file mid-read.
+func (s *Store) ReadCheckpointSnapshot() (lsn uint64, data []byte, err error) {
+	if s.wal == nil {
+		return 0, nil, fmt.Errorf("xmlordb: no checkpoint snapshot on an in-memory store")
+	}
+	s.wal.mu.Lock()
+	lsn = s.wal.ckptLSN
+	s.wal.mu.Unlock()
+	data, err = os.ReadFile(filepath.Join(s.wal.dir, snapshotFileName(lsn)))
+	if err != nil {
+		return 0, nil, fmt.Errorf("xmlordb: reading checkpoint snapshot: %w", err)
+	}
+	return lsn, data, nil
+}
+
+// BootstrapDirFromSnapshot (re-)seeds a replica's durable directory from
+// a primary's checkpoint snapshot taken at lsn: any previous contents
+// are discarded, the snapshot becomes the directory's checkpoint, and a
+// fresh WAL is opened whose next LSN is lsn+1 — the position the
+// primary will stream from. Returns the recovered store.
+func BootstrapDirFromSnapshot(dir string, lsn uint64, snapshot []byte, opts DurableOptions) (*Store, error) {
+	if err := os.RemoveAll(dir); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(filepath.Join(dir, snapshotFileName(lsn)), func(w io.Writer) error {
+		_, err := w.Write(snapshot)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	if err := writeCheckpoint(dir, lsn); err != nil {
+		return nil, err
+	}
+	return LoadStoreDir(dir, opts)
+}
+
+// VerifySnapshot checks that snapshot bytes parse as a store snapshot
+// before they replace a replica's state.
+func VerifySnapshot(snapshot []byte) error {
+	_, err := LoadStore(bytes.NewReader(snapshot))
+	return err
+}

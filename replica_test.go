@@ -1,0 +1,180 @@
+package xmlordb
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"xmlordb/internal/wal"
+)
+
+// shipUnits reads every commit unit of src's WAL from fromLSN on —
+// exactly what the primary-side feeder does.
+func shipUnits(t *testing.T, src *Store, fromLSN uint64) []wal.Unit {
+	t.Helper()
+	var units []wal.Unit
+	from := fromLSN
+	for {
+		got, next, err := src.WAL().ReadUnits(from, 0)
+		if err != nil {
+			t.Fatalf("ReadUnits(%d): %v", from, err)
+		}
+		if len(got) == 0 {
+			return units
+		}
+		units = append(units, got...)
+		from = next
+	}
+}
+
+func TestApplyReplicatedUnitMirrorsPrimary(t *testing.T) {
+	primary := openDurT(t, t.TempDir(), DurableOptions{Sync: wal.SyncNever})
+	replicaDir := t.TempDir()
+
+	// Seed the replica from the primary's checkpoint (taken at attach).
+	lsn, snap, err := primary.ReadCheckpointSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := BootstrapDirFromSnapshot(filepath.Join(replicaDir, "uni"), lsn, snap, DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	// Primary traffic: loads, a delete, DML, and a multi-record tx.
+	ids := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		id, err := primary.LoadXML(fmt.Sprintf(
+			`<University><StudyCourse>C%d</StudyCourse><Student StudNr="%d"><LName>L%d</LName><FName>F</FName></Student></University>`, i, i+1, i), fmt.Sprintf("d%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := primary.DeleteDocument(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := primary.Engine.DB().Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primary.LoadXML(`<University><StudyCourse>TX</StudyCourse><Student StudNr="99"><LName>Tx</LName><FName>F</FName></Student></University>`, "tx.xml"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship everything past the snapshot and apply on the replica.
+	for _, unit := range shipUnits(t, primary, lsn+1) {
+		if err := replica.ApplyReplicatedUnit(unit); err != nil {
+			t.Fatalf("apply unit @%d: %v", unit[0].LSN, err)
+		}
+	}
+
+	if p, r := primary.WAL().LastLSN(), replica.WAL().LastLSN(); p != r {
+		t.Fatalf("lsn mismatch: primary %d, replica %d", p, r)
+	}
+	if p, r := countDocs(t, primary, "TabUniversity"), countDocs(t, replica, "TabUniversity"); p != r {
+		t.Fatalf("row count mismatch: primary %d, replica %d", p, r)
+	}
+	// Reconstructed documents must match byte for byte.
+	for _, id := range []int{ids[0], ids[2], ids[3]} {
+		px, err := primary.RetrieveXML(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rx, err := replica.RetrieveXML(id)
+		if err != nil {
+			t.Fatalf("replica retrieve %d: %v", id, err)
+		}
+		if px != rx {
+			t.Fatalf("doc %d differs:\nprimary: %s\nreplica: %s", id, px, rx)
+		}
+	}
+}
+
+func TestApplyReplicatedUnitDetectsDivergence(t *testing.T) {
+	primary := openDurT(t, t.TempDir(), DurableOptions{Sync: wal.SyncNever})
+	lsn, snap, err := primary.ReadCheckpointSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := BootstrapDirFromSnapshot(filepath.Join(t.TempDir(), "uni"), lsn, snap, DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	if _, err := primary.LoadXML(uniDoc, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	units := shipUnits(t, primary, lsn+1)
+	if len(units) != 1 {
+		t.Fatalf("expected 1 unit, got %d", len(units))
+	}
+	// A unit starting past the replica's position is divergence, applied
+	// out of order or after missed history.
+	future := make(wal.Unit, len(units[0]))
+	copy(future, units[0])
+	for i := range future {
+		future[i].LSN += 7
+	}
+	if err := replica.ApplyReplicatedUnit(future); !errors.Is(err, ErrReplicaDiverged) {
+		t.Fatalf("future unit: err=%v, want ErrReplicaDiverged", err)
+	}
+	// The real unit still applies — divergence checks must not mutate.
+	if err := replica.ApplyReplicatedUnit(units[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Replaying the same unit again is also divergence (stale resend).
+	if err := replica.ApplyReplicatedUnit(units[0]); !errors.Is(err, ErrReplicaDiverged) {
+		t.Fatalf("duplicate unit: err=%v, want ErrReplicaDiverged", err)
+	}
+}
+
+// A replica crash between WAL append and state apply must converge on
+// reopen: the appended unit replays from the local log.
+func TestReplicaRecoversAppendedUnit(t *testing.T) {
+	primary := openDurT(t, t.TempDir(), DurableOptions{Sync: wal.SyncNever})
+	lsn, snap, err := primary.ReadCheckpointSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "uni")
+	replica, err := BootstrapDirFromSnapshot(dir, lsn, snap, DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := primary.LoadXML(uniDoc, "d1"); err != nil {
+		t.Fatal(err)
+	}
+	units := shipUnits(t, primary, lsn+1)
+	// Simulate the crash window: append the unit to the replica's log
+	// WITHOUT applying it, then drop the store.
+	entries := make([]wal.Entry, len(units[0]))
+	for i, r := range units[0] {
+		entries[i] = wal.Entry{Type: r.Type, Payload: r.Payload}
+	}
+	if _, err := replica.WAL().AppendBatch(entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := replica.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	recovered, err := LoadStoreDir(dir, DurableOptions{Sync: wal.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recovered.Close()
+	if got := countDocs(t, recovered, "TabUniversity"); got != 1 {
+		t.Fatalf("recovered replica has %d docs, want 1", got)
+	}
+	if p, r := primary.WAL().LastLSN(), recovered.WAL().LastLSN(); p != r {
+		t.Fatalf("lsn mismatch after recovery: primary %d, replica %d", p, r)
+	}
+}
