@@ -34,6 +34,8 @@
 //	                        behind (they re-sync via snapshot transfer)
 //	-repl-heartbeat 1s      replication stream idle heartbeat
 //	-repl-retry 500ms       replica reconnect backoff
+//	-repl-store-refresh 5s  how often a replica re-polls the primary's
+//	                        store list for stores OPENed after it connected
 //
 // The server drains gracefully on SIGINT/SIGTERM: new connections are
 // refused, in-flight requests complete, dirty stores are snapshotted
@@ -116,6 +118,7 @@ func runServe(args []string, out io.Writer) error {
 		replMaxLag   = fs.Uint64("repl-max-lag", 0, "drop replicas more than this many WAL records behind (0 = never)")
 		replHB       = fs.Duration("repl-heartbeat", 0, "replication stream heartbeat interval")
 		replRetry    = fs.Duration("repl-retry", 0, "replica reconnect backoff")
+		replRefresh  = fs.Duration("repl-store-refresh", 0, "how often a replica re-polls the primary's store list")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -134,6 +137,7 @@ func runServe(args []string, out io.Writer) error {
 		ReplMaxLagRecords: *replMaxLag,
 		ReplHeartbeat:     *replHB,
 		ReplRetry:         *replRetry,
+		ReplStoreRefresh:  *replRefresh,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
 		},

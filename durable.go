@@ -69,6 +69,7 @@ type walSQLPayload struct {
 
 const (
 	checkpointFile  = "CHECKPOINT"
+	epochFile       = "EPOCH"
 	walDirName      = "wal"
 	snapshotPattern = "snapshot-%020d.xos"
 )
@@ -111,6 +112,12 @@ type walState struct {
 	marks    []walMark
 	ckptLSN  uint64
 	replayed int
+	// epoch is the replication timeline this directory's history belongs
+	// to: seeded at 1 (or adopted from the primary on bootstrap), bumped
+	// by promotion, persisted in the EPOCH file. A replica whose epoch
+	// differs from its primary's is snapshot re-seeded rather than
+	// trusted to continue by LSN arithmetic alone.
+	epoch uint64
 
 	// applying marks a replicated commit unit being re-executed: the
 	// records are already in the local log (ApplyReplicatedUnit appends
@@ -279,7 +286,18 @@ func LoadStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		log.Close()
 		return nil, fmt.Errorf("xmlordb: replaying wal for %s: %w", dir, err)
 	}
-	s.attachWAL(log, dir, ckpt, replayed)
+	epoch, ok, err := readEpoch(dir)
+	if err != nil {
+		log.Close()
+		return nil, err
+	}
+	if !ok {
+		// Pre-epoch directory: adopt timeline 1 and persist it so future
+		// opens and handshakes agree.
+		epoch = 1
+		_ = writeEpoch(dir, epoch)
+	}
+	s.attachWAL(log, dir, ckpt, replayed, epoch)
 	return s, nil
 }
 
@@ -300,7 +318,11 @@ func (s *Store) AttachDir(dir string, opts DurableOptions) error {
 	if err != nil {
 		return err
 	}
-	s.attachWAL(log, dir, log.LastLSN(), 0)
+	if err := writeEpoch(dir, 1); err != nil {
+		log.Close()
+		return err
+	}
+	s.attachWAL(log, dir, log.LastLSN(), 0, 1)
 	if err := s.Checkpoint(); err != nil {
 		s.Close()
 		return err
@@ -308,10 +330,40 @@ func (s *Store) AttachDir(dir string, opts DurableOptions) error {
 	return nil
 }
 
-func (s *Store) attachWAL(log *wal.Log, dir string, ckpt uint64, replayed int) {
-	w := &walState{log: log, dir: dir, db: s.Engine.DB(), ckptLSN: ckpt, replayed: replayed}
+func (s *Store) attachWAL(log *wal.Log, dir string, ckpt uint64, replayed int, epoch uint64) {
+	w := &walState{log: log, dir: dir, db: s.Engine.DB(), ckptLSN: ckpt, replayed: replayed, epoch: epoch}
 	s.wal = w
 	s.Engine.DB().SetTxObserver(w)
+}
+
+// Epoch reports the store's replication timeline (0 for in-memory
+// stores, which have no replication identity).
+func (s *Store) Epoch() uint64 {
+	if s.wal == nil {
+		return 0
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return s.wal.epoch
+}
+
+// BumpEpoch starts a new replication timeline: promotion calls it so
+// any replica of the old timeline (including a restarted ex-primary)
+// is forced through a snapshot re-seed instead of grafting the new
+// history onto a possibly-divergent tail. The in-memory epoch advances
+// even when persisting the EPOCH file fails — in-process handshake
+// checks must see the new timeline — and the persist error is returned
+// so callers can surface it.
+func (s *Store) BumpEpoch() (uint64, error) {
+	if s.wal == nil {
+		return 0, fmt.Errorf("xmlordb: BumpEpoch on an in-memory store")
+	}
+	s.wal.mu.Lock()
+	s.wal.epoch++
+	epoch := s.wal.epoch
+	dir := s.wal.dir
+	s.wal.mu.Unlock()
+	return epoch, writeEpoch(dir, epoch)
 }
 
 // Checkpoint writes a fresh snapshot covering everything up to the WAL's
@@ -553,6 +605,30 @@ func readCheckpoint(dir string) (uint64, error) {
 func writeCheckpoint(dir string, lsn uint64) error {
 	return writeFileAtomic(filepath.Join(dir, checkpointFile), func(w io.Writer) error {
 		_, err := fmt.Fprintf(w, "v1 %d\n", lsn)
+		return err
+	})
+}
+
+// readEpoch parses the EPOCH timeline file; ok is false when the
+// directory predates epochs (no file).
+func readEpoch(dir string) (epoch uint64, ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(dir, epochFile))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, false, nil
+		}
+		return 0, false, err
+	}
+	if n, err := fmt.Sscanf(string(data), "v1 %d", &epoch); err != nil || n != 1 {
+		return 0, false, fmt.Errorf("xmlordb: %s: malformed EPOCH file %q", dir, string(data))
+	}
+	return epoch, true, nil
+}
+
+// writeEpoch atomically replaces the EPOCH timeline file.
+func writeEpoch(dir string, epoch uint64) error {
+	return writeFileAtomic(filepath.Join(dir, epochFile), func(w io.Writer) error {
+		_, err := fmt.Fprintf(w, "v1 %d\n", epoch)
 		return err
 	})
 }

@@ -28,6 +28,15 @@ type FeederConfig struct {
 	// WAL position it covers. The callback is responsible for whatever
 	// locking the store requires.
 	Snapshot func() (lsn uint64, data []byte, err error)
+	// Epoch is the primary's current timeline for this store. A replica
+	// whose handshake epoch differs is snapshot re-seeded regardless of
+	// LSN positions: its history may have diverged (stale ex-primary).
+	Epoch uint64
+	// UnitChunkBytes bounds the raw record payload per unit frame; a
+	// larger unit is split across frames and reassembled by the
+	// replica. 0 = wire.ReplUnitChunk. Tests use tiny values to
+	// exercise the chunk path.
+	UnitChunkBytes int
 	// MaxLagRecords drops a replica whose acked position trails the
 	// primary's last LSN by more than this many records: the feeder
 	// releases its retention pin, sends a resync frame and closes, and
@@ -83,14 +92,14 @@ func (fs *FeedStatus) AckedLSN() uint64 { return fs.acked.Load() }
 
 // ServeFeed runs the primary side of one replication stream after the
 // REPLICATE handshake: w/br are the connection (the OK response is
-// already sent), lastApplied is the replica's handshake position. The
-// feeder pins WAL retention at the replica's position, serves a
-// checkpoint snapshot transfer when the replica is empty, diverged, or
-// behind the retention horizon, then streams commit units and
-// heartbeats until the stream fails, stop closes, or the replica
-// exceeds the lag budget. The returned error describes why the stream
-// ended (nil = stop requested).
-func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied uint64, stop <-chan struct{}, cfg FeederConfig) error {
+// already sent), lastApplied and lastEpoch are the replica's handshake
+// position and timeline. The feeder pins WAL retention at the replica's
+// position, serves a checkpoint snapshot transfer when the replica is
+// empty, diverged (by LSN or by epoch), or behind the retention
+// horizon, then streams commit units and heartbeats until the stream
+// fails, stop closes, or the replica exceeds the lag budget. The
+// returned error describes why the stream ended (nil = stop requested).
+func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, stop <-chan struct{}, cfg FeederConfig) error {
 	lg := logf(cfg.Logf)
 	fs := cfg.Status
 	if fs == nil {
@@ -112,6 +121,7 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied uint64, stop <-chan st
 	last := cfg.Log.LastLSN()
 	needSnap := lastApplied == 0 || // empty replica: needs schema + state
 		lastApplied > last || // replica ahead of this log: diverged
+		lastEpoch != cfg.Epoch || // different timeline: history may have diverged
 		from < cfg.Log.FirstLSN() // behind retention: backlog is gone
 	if needSnap {
 		snapLSN, data, err := cfg.Snapshot()
@@ -187,20 +197,14 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied uint64, stop <-chan st
 			return fmt.Errorf("repl: reading commit units: %w", err)
 		}
 		primaryLSN := cfg.Log.LastLSN()
+		chunk := cfg.UnitChunkBytes
+		if chunk <= 0 {
+			chunk = wire.ReplUnitChunk
+		}
 		for _, unit := range units {
-			f := wire.ReplFrame{
-				Type:       wire.ReplUnit,
-				LSN:        unit[len(unit)-1].LSN,
-				PrimaryLSN: primaryLSN,
-				Recs:       make([]wire.ReplRecord, len(unit)),
-			}
-			bytes := 0
-			for i, rec := range unit {
-				f.Recs[i] = wire.ReplRecord{LSN: rec.LSN, Type: rec.Type, Commit: rec.Commit, Payload: rec.Payload}
-				bytes += len(rec.Payload)
-			}
-			if err := wire.WriteFrame(w, &f); err != nil {
-				return fmt.Errorf("repl: sending unit @%d: %w", f.LSN, err)
+			bytes, err := writeUnit(w, unit, primaryLSN, chunk)
+			if err != nil {
+				return err
 			}
 			fs.sentUnits.Add(1)
 			fs.sentBytes.Add(int64(bytes))
@@ -235,6 +239,50 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied uint64, stop <-chan st
 			return nil
 		}
 	}
+}
+
+// writeUnit ships one commit unit as one or more unit frames, keeping
+// each frame's raw record payload within chunk bytes so no frame can
+// exceed the stream's size limit no matter how large the unit is. A
+// record is split mid-payload when necessary: each non-final piece has
+// Partial set (payload continues in the next frame's first record) and
+// only the final frame of the unit carries Last. It returns the unit's
+// total payload bytes.
+func writeUnit(w io.Writer, unit wal.Unit, primaryLSN uint64, chunk int) (int, error) {
+	lastLSN := unit[len(unit)-1].LSN
+	total := 0
+	var recs []wire.ReplRecord
+	budget := chunk
+	flush := func(last bool) error {
+		f := wire.ReplFrame{Type: wire.ReplUnit, LSN: lastLSN, PrimaryLSN: primaryLSN, Recs: recs, Last: last}
+		if err := wire.WriteFrame(w, &f); err != nil {
+			return fmt.Errorf("repl: sending unit @%d: %w", lastLSN, err)
+		}
+		recs = nil
+		budget = chunk
+		return nil
+	}
+	for _, rec := range unit {
+		total += len(rec.Payload)
+		payload := rec.Payload
+		for {
+			if budget <= 0 {
+				if err := flush(false); err != nil {
+					return total, err
+				}
+			}
+			if len(payload) <= budget {
+				// Flags ride on the record's final piece only.
+				recs = append(recs, wire.ReplRecord{LSN: rec.LSN, Type: rec.Type, Commit: rec.Commit, Payload: payload})
+				budget -= len(payload)
+				break
+			}
+			recs = append(recs, wire.ReplRecord{LSN: rec.LSN, Type: rec.Type, Partial: true, Payload: payload[:budget]})
+			payload = payload[budget:]
+			budget = 0
+		}
+	}
+	return total, flush(true)
 }
 
 // sendErr best-effort ships a fatal error frame before the feeder

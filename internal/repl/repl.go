@@ -32,10 +32,23 @@ type Applier interface {
 	// local log exactly; a divergence error tells Run to re-seed.
 	ApplyUnit(recs []wal.Record) error
 	// ResetFromSnapshot discards the replica's state and re-seeds it
-	// from a primary checkpoint snapshot covering positions up to lsn.
-	ResetFromSnapshot(lsn uint64, snapshot []byte) error
-	// AppliedLSN reports the highest LSN durably applied locally.
+	// from a primary checkpoint snapshot covering positions up to lsn,
+	// adopting the primary's epoch as the local timeline.
+	ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error
+	// AppliedLSN reports the highest LSN appended to the local log —
+	// the handshake position, since the stream must continue the local
+	// log exactly (the next unit starts at AppliedLSN()+1).
 	AppliedLSN() uint64
+	// DurableLSN reports the highest LSN known to survive a crash —
+	// the ack position, since an acked LSN licenses the primary to
+	// truncate its backlog up to it. Trails AppliedLSN under deferred
+	// sync policies.
+	DurableLSN() uint64
+	// Epoch reports the timeline the local state belongs to. Sent in
+	// the handshake; the primary forces a snapshot re-seed when it
+	// differs from its own, catching divergent histories (e.g. a
+	// crashed ex-primary) that plain LSN arithmetic cannot.
+	Epoch() uint64
 }
 
 // ReadOnlyError reports a write rejected by a replica. It names the

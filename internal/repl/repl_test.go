@@ -18,9 +18,15 @@ import (
 type memApplier struct {
 	mu    sync.Mutex
 	lsn   uint64
+	epoch uint64
 	units []wal.Unit
 	snap  []byte
 	fail  error // next ApplyUnit returns this once
+	// trackDurable decouples DurableLSN from the applied position (it
+	// then reports the manually-set durable field); false mimics a
+	// sync-on-apply store where durable == applied.
+	trackDurable bool
+	durable      uint64
 }
 
 func (m *memApplier) ApplyUnit(recs []wal.Record) error {
@@ -39,12 +45,14 @@ func (m *memApplier) ApplyUnit(recs []wal.Record) error {
 	return nil
 }
 
-func (m *memApplier) ResetFromSnapshot(lsn uint64, snapshot []byte) error {
+func (m *memApplier) ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.snap = append([]byte(nil), snapshot...)
 	m.units = nil
 	m.lsn = lsn
+	m.epoch = epoch
+	m.durable = lsn
 	return nil
 }
 
@@ -52,6 +60,27 @@ func (m *memApplier) AppliedLSN() uint64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.lsn
+}
+
+func (m *memApplier) DurableLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.trackDurable {
+		return m.durable
+	}
+	return m.lsn
+}
+
+func (m *memApplier) setDurable(lsn uint64) {
+	m.mu.Lock()
+	m.durable = lsn
+	m.mu.Unlock()
+}
+
+func (m *memApplier) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
 }
 
 func (m *memApplier) waitLSN(t *testing.T, want uint64) {
@@ -97,14 +126,14 @@ func feedServer(t *testing.T, cfg FeederConfig) (addr string, stop func()) {
 				if err != nil || req.Verb != wire.VerbReplicate {
 					return
 				}
-				if err := wire.WriteFrame(conn, &wire.Response{OK: true, Role: "primary"}); err != nil {
+				if err := wire.WriteFrame(conn, &wire.Response{OK: true, Role: "primary", Epoch: cfg.Epoch}); err != nil {
 					return
 				}
 				go func() { // kill the stream when the test stops
 					<-stopCh
 					conn.Close()
 				}()
-				_ = ServeFeed(conn, br, req.LSN, stopCh, cfg)
+				_ = ServeFeed(conn, br, req.LSN, req.Epoch, stopCh, cfg)
 			}()
 		}
 	}()
@@ -334,8 +363,8 @@ func TestApplyErrorForcesResync(t *testing.T) {
 				mu.Lock()
 				handshakes = append(handshakes, req.LSN)
 				mu.Unlock()
-				_ = wire.WriteFrame(conn, &wire.Response{OK: true})
-				_ = ServeFeed(conn, br, req.LSN, stopCh, cfg)
+				_ = wire.WriteFrame(conn, &wire.Response{OK: true, Epoch: cfg.Epoch})
+				_ = ServeFeed(conn, br, req.LSN, req.Epoch, stopCh, cfg)
 			}()
 		}
 	}()
@@ -368,6 +397,170 @@ func TestApplyErrorForcesResync(t *testing.T) {
 		t.Fatalf("reconnect after apply failure handshook at %d, want 0 (forced snapshot)", second)
 	}
 	app.waitLSN(t, log.LastLSN()) // and it converges
+}
+
+// A commit unit whose payload exceeds the feeder's per-read budget (one
+// segment's worth: 64 bytes here) must still stream — the old ReadUnits
+// broke mid-unit, returned "caught up" and livelocked replication on
+// that unit forever.
+func TestOversizedUnitStreams(t *testing.T) {
+	log := openLog(t) // SegmentBytes 64 = the ReadUnits default budget
+	appendUnit(t, log, 2) // 1..2
+	appendUnit(t, log, 6) // 3..8: ~23 bytes/record = 138 bytes, over budget
+
+	addr, stopFeed := feedServer(t, FeederConfig{Log: log})
+	defer stopFeed()
+
+	app := &memApplier{lsn: 2}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: addr, Store: "uni", Applier: app, Retry: 10 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	app.waitLSN(t, 8)
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if len(app.units) != 1 || len(app.units[0]) != 6 || app.units[0][0].LSN != 3 {
+		t.Fatalf("oversized unit arrived wrong: %d units, first %+v", len(app.units), app.units)
+	}
+}
+
+// A replica whose epoch differs from the primary's is snapshot
+// re-seeded even when its LSN position looks continuable — that is the
+// stale-ex-primary case where LSN arithmetic alone would silently graft
+// histories.
+func TestEpochMismatchForcesSnapshot(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 2) // 1..2
+	appendUnit(t, log, 2) // 3..4
+
+	snapCalls := 0
+	var mu sync.Mutex
+	cfg := FeederConfig{
+		Log:   log,
+		Epoch: 2,
+		Snapshot: func() (uint64, []byte, error) {
+			mu.Lock()
+			snapCalls++
+			mu.Unlock()
+			return log.LastLSN(), []byte("snap"), nil
+		},
+	}
+	addr, stopFeed := feedServer(t, cfg)
+	defer stopFeed()
+
+	// In-range position (lsn 2 < last 4) but old timeline (epoch 1).
+	app := &memApplier{lsn: 2, epoch: 1}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: addr, Store: "uni", Applier: app, Retry: 10 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	app.waitLSN(t, 4)
+	mu.Lock()
+	calls := snapCalls
+	mu.Unlock()
+	if calls == 0 {
+		t.Fatal("epoch mismatch did not force a snapshot re-seed")
+	}
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if string(app.snap) != "snap" || app.epoch != 2 {
+		t.Fatalf("replica not re-seeded onto the new timeline: snap=%q epoch=%d", app.snap, app.epoch)
+	}
+}
+
+// A unit bigger than the feeder's frame budget is split across frames
+// (including mid-payload) and reassembled byte-identically by the
+// replica.
+func TestChunkedUnitReassembly(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 1) // 1
+
+	payloads := make([][]byte, 3)
+	entries := make([]wal.Entry, 3)
+	for i := range entries {
+		p := make([]byte, 40+i)
+		for j := range p {
+			p[j] = byte(i*64 + j)
+		}
+		payloads[i] = p
+		entries[i] = wal.Entry{Type: 1, Payload: p}
+	}
+	if _, err := log.AppendBatch(entries); err != nil { // 2..4
+		t.Fatal(err)
+	}
+
+	// 16-byte frames force every record to split mid-payload.
+	addr, stopFeed := feedServer(t, FeederConfig{Log: log, UnitChunkBytes: 16})
+	defer stopFeed()
+
+	app := &memApplier{lsn: 1}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: addr, Store: "uni", Applier: app, Retry: 10 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	app.waitLSN(t, 4)
+	app.mu.Lock()
+	defer app.mu.Unlock()
+	if len(app.units) != 1 || len(app.units[0]) != 3 {
+		t.Fatalf("chunked unit arrived wrong: %+v", app.units)
+	}
+	for i, rec := range app.units[0] {
+		if rec.LSN != uint64(2+i) || string(rec.Payload) != string(payloads[i]) {
+			t.Fatalf("record %d reassembled wrong: lsn=%d payload %d bytes, want %d",
+				i, rec.LSN, len(rec.Payload), len(payloads[i]))
+		}
+		if wantCommit := i == 2; rec.Commit != wantCommit {
+			t.Fatalf("record %d commit=%v, want %v", i, rec.Commit, wantCommit)
+		}
+	}
+}
+
+// Acks carry the durable position, not the applied one: the primary
+// must never truncate past what a replica crash could lose. Heartbeats
+// catch the ack up once the replica's sync advances.
+func TestDurableAckGating(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 2) // 1..2
+
+	fs := &FeedStatus{}
+	addr, stopFeed := feedServer(t, FeederConfig{Log: log, Status: fs, Heartbeat: 10 * time.Millisecond})
+	defer stopFeed()
+
+	app := &memApplier{lsn: 2, trackDurable: true, durable: 2}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: addr, Store: "uni", Applier: app, Retry: 10 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	appendUnit(t, log, 2) // 3..4
+	app.waitLSN(t, 4)
+	// Applied is 4 but durable is still 2: the ack must not advance.
+	time.Sleep(50 * time.Millisecond) // a few heartbeats' worth
+	if acked := fs.AckedLSN(); acked > 2 {
+		t.Fatalf("ack ran ahead of the durable position: acked %d, durable 2", acked)
+	}
+	// The replica syncs; the next heartbeat-driven ack catches up.
+	app.setDurable(4)
+	waitCond(t, "ack catches up to durable", func() bool { return fs.AckedLSN() == 4 })
 }
 
 // dialHandshake connects to a throwaway feeder for log and completes

@@ -170,10 +170,11 @@ func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
 	}()
 
 	lsn := cfg.Applier.AppliedLSN()
+	epoch := cfg.Applier.Epoch()
 	if forceSnap {
-		lsn = 0
+		lsn, epoch = 0, 0
 	}
-	if err := wire.WriteFrame(conn, &wire.Request{Verb: wire.VerbReplicate, Name: cfg.Store, LSN: lsn}); err != nil {
+	if err := wire.WriteFrame(conn, &wire.Request{Verb: wire.VerbReplicate, Name: cfg.Store, LSN: lsn, Epoch: epoch}); err != nil {
 		return false, fmt.Errorf("handshake: %w", err)
 	}
 	br := bufio.NewReader(conn)
@@ -188,11 +189,23 @@ func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
 	if !resp.OK {
 		return false, fmt.Errorf("handshake refused: %w", resp.Err())
 	}
+	primaryEpoch := resp.Epoch
 	st.setConnected(true)
-	lg("repl %s<-%s: streaming from lsn %d", cfg.Store, cfg.Addr, lsn+1)
+	lg("repl %s<-%s: streaming from lsn %d (epoch %d)", cfg.Store, cfg.Addr, lsn+1, primaryEpoch)
 
 	var snap []byte // accumulating snapshot transfer, nil when idle
 	var snapLSN uint64
+	var urecs []wal.Record // accumulating chunked commit unit
+	var upartial bool      // last accumulated record awaits a payload continuation
+	var ubytes int
+	lastAcked := lsn
+	sendAck := func(ack uint64) error {
+		if err := wire.WriteFrame(conn, &wire.ReplAck{LSN: ack}); err != nil {
+			return fmt.Errorf("ack: %w", err)
+		}
+		lastAcked = ack
+		return nil
+	}
 	for {
 		line, err := wire.ReadFrame(br, wire.ReplMaxFrame)
 		if err != nil {
@@ -215,22 +228,44 @@ func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
 			if !f.Last {
 				continue
 			}
-			if err := cfg.Applier.ResetFromSnapshot(snapLSN, snap); err != nil {
+			if err := cfg.Applier.ResetFromSnapshot(snapLSN, primaryEpoch, snap); err != nil {
 				return true, fmt.Errorf("applying snapshot @%d: %w", snapLSN, err)
 			}
 			st.observeSnapshot()
 			lg("repl %s<-%s: re-seeded from snapshot @%d (%d bytes)", cfg.Store, cfg.Addr, snapLSN, len(snap))
 			snap = nil
-			if err := wire.WriteFrame(conn, &wire.ReplAck{LSN: snapLSN}); err != nil {
-				return false, fmt.Errorf("ack: %w", err)
+			urecs, upartial, ubytes = nil, false, 0
+			if err := sendAck(cfg.Applier.DurableLSN()); err != nil {
+				return false, err
 			}
 		case wire.ReplUnit:
-			recs := make([]wal.Record, len(f.Recs))
-			bytes := 0
-			for i, r := range f.Recs {
-				recs[i] = wal.Record{LSN: r.LSN, Type: r.Type, Commit: r.Commit, Payload: r.Payload}
-				bytes += len(r.Payload)
+			// A unit larger than the feeder's frame budget arrives as
+			// several frames; accumulate until Last. A record split
+			// mid-payload (Partial) continues as the next frame's first
+			// record.
+			for _, r := range f.Recs {
+				if upartial {
+					cont := &urecs[len(urecs)-1]
+					if r.LSN != cont.LSN || r.Type != cont.Type {
+						return true, fmt.Errorf("unit @%d: continuation record %d does not match split record %d", f.LSN, r.LSN, cont.LSN)
+					}
+					cont.Payload = append(cont.Payload, r.Payload...)
+					cont.Commit = r.Commit
+				} else {
+					urecs = append(urecs, wal.Record{LSN: r.LSN, Type: r.Type, Commit: r.Commit, Payload: r.Payload})
+				}
+				upartial = r.Partial
+				ubytes += len(r.Payload)
 			}
+			if !f.Last {
+				continue
+			}
+			if upartial || len(urecs) == 0 {
+				return true, fmt.Errorf("unit @%d: stream ended the unit mid-record", f.LSN)
+			}
+			recs := urecs
+			bytes := ubytes
+			urecs, upartial, ubytes = nil, false, 0
 			if err := cfg.Applier.ApplyUnit(recs); err != nil {
 				// Divergence or a broken apply: the local state cannot be
 				// trusted to continue the stream — re-seed from a snapshot.
@@ -238,11 +273,22 @@ func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
 			}
 			st.observeFrame(f.PrimaryLSN)
 			st.observeUnit(bytes)
-			if err := wire.WriteFrame(conn, &wire.ReplAck{LSN: f.LSN}); err != nil {
-				return false, fmt.Errorf("ack: %w", err)
+			// Ack the durable position, not the applied one: an acked LSN
+			// licenses the primary to truncate backlog, so it must never
+			// name state a crash could lose. Under deferred sync policies
+			// it trails the applied position; heartbeats below catch it up.
+			if ack := cfg.Applier.DurableLSN(); ack > lastAcked {
+				if err := sendAck(ack); err != nil {
+					return false, err
+				}
 			}
 		case wire.ReplHeartbeat:
 			st.observeFrame(f.PrimaryLSN)
+			if ack := cfg.Applier.DurableLSN(); ack > lastAcked {
+				if err := sendAck(ack); err != nil {
+					return false, err
+				}
+			}
 		case wire.ReplResync:
 			return true, fmt.Errorf("primary requested resync (fell behind retention)")
 		case wire.ReplError:

@@ -5,6 +5,7 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"path/filepath"
@@ -95,6 +96,8 @@ func (ss *session) replicate(req *wire.Request) *wire.Response {
 	}
 	fs := &repl.FeedStatus{Addr: ss.conn.RemoteAddr().String()}
 	lastApplied := req.LSN
+	lastEpoch := req.Epoch
+	epoch := hs.store.Epoch()
 	ss.takeover = func() {
 		entry := s.registerFeed(hs.name, fs)
 		defer s.unregisterFeed(entry)
@@ -105,16 +108,17 @@ func (ss *session) replicate(req *wire.Request) *wire.Response {
 				defer hs.mu.RUnlock()
 				return hs.store.ReadCheckpointSnapshot()
 			},
+			Epoch:         epoch,
 			MaxLagRecords: s.cfg.ReplMaxLagRecords,
 			Heartbeat:     s.cfg.ReplHeartbeat,
 			Status:        fs,
 			Logf:          s.cfg.Logf,
 		}
-		if err := repl.ServeFeed(ss.conn, ss.br, lastApplied, s.feedStop, cfg); err != nil {
+		if err := repl.ServeFeed(ss.conn, ss.br, lastApplied, lastEpoch, s.feedStop, cfg); err != nil {
 			s.cfg.logf("repl feed %s -> %s: %v", hs.name, fs.Addr, err)
 		}
 	}
-	return &wire.Response{OK: true, Role: RolePrimary, LSN: log.LastLSN()}
+	return &wire.Response{OK: true, Role: RolePrimary, LSN: log.LastLSN(), Epoch: epoch}
 }
 
 // storeApplier implements repl.Applier on a hosted store: units apply
@@ -143,6 +147,39 @@ func (a *storeApplier) AppliedLSN() uint64 {
 	return log.LastLSN()
 }
 
+// DurableLSN is the ack position: the highest LSN the local WAL has
+// fsynced, which is what the primary may safely truncate up to. Under
+// SyncNever nothing is ever fsynced by policy, so the appended position
+// is acked instead — that policy explicitly trades crash durability
+// away, and an ack contract stricter than the store's own would stall
+// retention forever.
+func (a *storeApplier) DurableLSN() uint64 {
+	hs := a.s.lookupStore(a.name)
+	if hs == nil {
+		return 0
+	}
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	log := hs.store.WAL()
+	if log == nil {
+		return 0
+	}
+	if a.opts.Sync == wal.SyncNever {
+		return log.LastLSN()
+	}
+	return log.SyncedLSN()
+}
+
+func (a *storeApplier) Epoch() uint64 {
+	hs := a.s.lookupStore(a.name)
+	if hs == nil {
+		return 0
+	}
+	hs.mu.RLock()
+	defer hs.mu.RUnlock()
+	return hs.store.Epoch()
+}
+
 func (a *storeApplier) ApplyUnit(recs []wal.Record) error {
 	hs := a.s.lookupStore(a.name)
 	if hs == nil {
@@ -157,7 +194,7 @@ func (a *storeApplier) ApplyUnit(recs []wal.Record) error {
 	return nil
 }
 
-func (a *storeApplier) ResetFromSnapshot(lsn uint64, snapshot []byte) error {
+func (a *storeApplier) ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error {
 	if err := xmlordb.VerifySnapshot(snapshot); err != nil {
 		return fmt.Errorf("snapshot transfer rejected: %w", err)
 	}
@@ -167,14 +204,14 @@ func (a *storeApplier) ResetFromSnapshot(lsn uint64, snapshot []byte) error {
 		// Close first: the bootstrap wipes the directory the old store's
 		// log still has open.
 		hs.store.Close()
-		st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, snapshot, a.opts)
+		st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, snapshot, a.opts)
 		if err != nil {
 			return fmt.Errorf("re-seeding %q: %w", a.name, err)
 		}
 		hs.store = st
 		return nil
 	}
-	st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, snapshot, a.opts)
+	st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, snapshot, a.opts)
 	if err != nil {
 		return fmt.Errorf("seeding %q: %w", a.name, err)
 	}
@@ -185,13 +222,19 @@ func (a *storeApplier) ResetFromSnapshot(lsn uint64, snapshot []byte) error {
 	return nil
 }
 
+// DefaultReplStoreRefresh is how often a replica re-queries the
+// primary's store list for stores OPENed after the replica connected.
+const DefaultReplStoreRefresh = 5 * time.Second
+
 // StartReplication puts the server in replica role and begins pulling
 // every one of the primary's stores. The store list is fetched from the
-// primary (with retries — the primary may still be booting); each store
-// then gets its own applier goroutine that streams, applies and
-// reconnects until shutdown or promotion. Call after RestoreDir so
-// locally recovered stores resume from their applied position instead
-// of a full snapshot transfer.
+// primary (with retries — the primary may still be booting) and then
+// re-queried periodically, so a store OPENed on the primary after the
+// replica connected is picked up and replicated too; each store gets
+// its own applier goroutine that streams, applies and reconnects until
+// shutdown or promotion. Call after RestoreDir so locally recovered
+// stores resume from their applied position instead of a full snapshot
+// transfer.
 func (s *Server) StartReplication() error {
 	if s.cfg.ReplicaOf == "" {
 		return nil
@@ -207,72 +250,83 @@ func (s *Server) StartReplication() error {
 	s.replica = true
 	s.mu.Unlock()
 
+	refresh := s.cfg.ReplStoreRefresh
+	if refresh <= 0 {
+		refresh = DefaultReplStoreRefresh
+	}
+	retry := s.cfg.ReplRetry
+	if retry <= 0 {
+		retry = repl.DefaultRetry
+	}
 	s.replWg.Add(1)
 	go func() {
 		defer s.replWg.Done()
-		names, err := s.fetchPrimaryStores()
-		if err != nil {
-			s.cfg.logf("repl: giving up on primary store list: %v", err)
-			return
-		}
-		for _, name := range names {
-			if !storeNameRe.MatchString(name) {
-				s.cfg.logf("repl: skipping primary store with unusable name %q", name)
-				continue
+		warned := map[string]bool{} // unusable names, logged once each
+		for {
+			names, err := queryStores(s.cfg.ReplicaOf)
+			delay := refresh
+			if err != nil {
+				s.cfg.logf("repl: primary %s store list: %v (retrying)", s.cfg.ReplicaOf, err)
+				delay = retry
 			}
-			a := &storeApplier{
-				s:      s,
-				name:   name,
-				dir:    s.snapshotPath(name),
-				opts:   opts,
-				status: &repl.Status{},
+			for _, name := range names {
+				if !storeNameRe.MatchString(name) {
+					if !warned[name] {
+						warned[name] = true
+						s.cfg.logf("repl: skipping primary store with unusable name %q", name)
+					}
+					continue
+				}
+				s.ensureApplier(name, opts)
 			}
-			s.mu.Lock()
-			if s.appliers == nil {
-				s.appliers = map[string]*storeApplier{}
+			select {
+			case <-s.replStop:
+				return
+			case <-time.After(delay):
 			}
-			s.appliers[strings.ToLower(name)] = a
-			s.mu.Unlock()
-			s.replWg.Add(1)
-			go func() {
-				defer s.replWg.Done()
-				repl.Run(s.replStop, repl.ReplicaConfig{
-					Addr:    s.cfg.ReplicaOf,
-					Store:   a.name,
-					Applier: a,
-					Status:  a.status,
-					Retry:   s.cfg.ReplRetry,
-					Logf:    s.cfg.Logf,
-				})
-			}()
 		}
 	}()
 	return nil
 }
 
-func (s *Server) snapshotPath(name string) string {
-	return filepath.Join(s.cfg.SnapshotDir, name)
+// ensureApplier starts the replication runner for one primary store.
+// Idempotent: rediscovering an already-replicated name is a no-op.
+func (s *Server) ensureApplier(name string, opts xmlordb.DurableOptions) {
+	key := strings.ToLower(name)
+	s.mu.Lock()
+	if s.appliers == nil {
+		s.appliers = map[string]*storeApplier{}
+	}
+	if _, ok := s.appliers[key]; ok {
+		s.mu.Unlock()
+		return
+	}
+	a := &storeApplier{
+		s:      s,
+		name:   name,
+		dir:    s.snapshotPath(name),
+		opts:   opts,
+		status: &repl.Status{},
+	}
+	s.appliers[key] = a
+	s.mu.Unlock()
+	s.cfg.logf("repl: replicating store %q from %s", name, s.cfg.ReplicaOf)
+	s.replWg.Add(1)
+	go func() {
+		defer s.replWg.Done()
+		repl.Run(s.replStop, repl.ReplicaConfig{
+			Addr:    s.cfg.ReplicaOf,
+			Store:   a.name,
+			Applier: a,
+			Status:  a.status,
+			Retry:   s.cfg.ReplRetry,
+			Logf:    s.cfg.Logf,
+		})
+	}()
 }
 
-// fetchPrimaryStores asks the primary for its hosted store names,
-// retrying until it answers or replication stops.
-func (s *Server) fetchPrimaryStores() ([]string, error) {
-	retry := s.cfg.ReplRetry
-	if retry <= 0 {
-		retry = repl.DefaultRetry
-	}
-	for {
-		names, err := queryStores(s.cfg.ReplicaOf)
-		if err == nil {
-			return names, nil
-		}
-		s.cfg.logf("repl: primary %s store list: %v (retrying)", s.cfg.ReplicaOf, err)
-		select {
-		case <-s.replStop:
-			return nil, fmt.Errorf("replication stopped")
-		case <-time.After(retry):
-		}
-	}
+func (s *Server) snapshotPath(name string) string {
+	return filepath.Join(s.cfg.SnapshotDir, name)
 }
 
 // queryStores performs a one-shot STORES request.
@@ -331,10 +385,17 @@ func (s *Server) stopFeeds() {
 }
 
 // Promote detaches a replica into a standalone writable primary: the
-// upstream appliers stop, every store's WAL tail is made durable and
-// checkpointed, and the role flips. Returns the highest applied LSN
-// across stores — the position the new primary continues from. Safe to
-// call on an already-primary server (no-op with its current LSN).
+// upstream appliers stop, every store starts a new epoch (so stale
+// peers of the old timeline — including a restarted ex-primary — are
+// forced through a snapshot re-seed), every store's WAL tail is made
+// durable and checkpointed, and the role flips. Returns the highest
+// applied LSN across stores — the position the new primary continues
+// from. A store whose checkpoint fails does not abort the promotion:
+// its WAL tail is synced, the periodic snapshot loop retries the
+// checkpoint, and the failure is folded into the returned error while
+// the role still flips (a partial promotion beats a node stranded
+// read-only with no stream). Safe to call on an already-primary server
+// (no-op with its current LSN).
 func (s *Server) Promote() (uint64, error) {
 	s.mu.Lock()
 	wasReplica := s.replica
@@ -351,6 +412,7 @@ func (s *Server) Promote() (uint64, error) {
 	s.mu.Unlock()
 
 	var maxLSN uint64
+	var errs []error
 	for _, hs := range hosted {
 		hs.mu.Lock()
 		log := hs.store.WAL()
@@ -358,14 +420,29 @@ func (s *Server) Promote() (uint64, error) {
 			hs.mu.Unlock()
 			continue
 		}
+		if wasReplica {
+			if _, err := hs.store.BumpEpoch(); err != nil {
+				// The in-memory epoch advanced regardless; only the EPOCH
+				// file write failed.
+				errs = append(errs, fmt.Errorf("server: promoting %s: persisting epoch: %w", hs.name, err))
+			}
+		}
 		// Checkpoint makes every applied commit durable in one stroke:
 		// snapshot + pointer + truncation, same as a clean shutdown.
 		err := hs.store.Checkpoint()
 		lsn := log.LastLSN()
-		hs.mu.Unlock()
 		if err != nil {
-			return 0, fmt.Errorf("server: promoting %s: %w", hs.name, err)
+			// Fall back to syncing the WAL tail so applied commits are
+			// durable even without the snapshot, mark the store dirty so
+			// the snapshot loop retries the checkpoint, and keep promoting
+			// the remaining stores.
+			if serr := log.Sync(); serr != nil {
+				err = errors.Join(err, serr)
+			}
+			hs.markDirty()
+			errs = append(errs, fmt.Errorf("server: promoting %s: %w", hs.name, err))
 		}
+		hs.mu.Unlock()
 		if lsn > maxLSN {
 			maxLSN = lsn
 		}
@@ -378,7 +455,7 @@ func (s *Server) Promote() (uint64, error) {
 	if promoted {
 		s.cfg.logf("promoted to primary at lsn %d (was replicating %s)", maxLSN, s.cfg.ReplicaOf)
 	}
-	return maxLSN, nil
+	return maxLSN, errors.Join(errs...)
 }
 
 // replStats assembles the Repl section of STATS.

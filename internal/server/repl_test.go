@@ -361,6 +361,99 @@ func TestStaleReplicaResyncsViaSnapshot(t *testing.T) {
 	_ = replica2
 }
 
+// A store OPENed on the primary after a replica connected is picked up
+// by the replica's periodic store-list refresh and replicated too.
+// (Regression: the list used to be fetched exactly once at startup, so
+// later stores silently never reached replicas.)
+func TestReplicaPicksUpNewStores(t *testing.T) {
+	primary, paddr := startPrimary(t, Config{})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+
+	_, raddr := startReplica(t, paddr, Config{ReplStoreRefresh: 25 * time.Millisecond})
+	rc := mustDial(t, raddr)
+	replicaCaughtUp(t, primary, rc)
+
+	// A second store born after the replica attached. OpenStore binds
+	// pc's session to it, so the load lands in uni2.
+	if err := pc.OpenStore(ctx, "uni2", uniDTD, "University"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Load(ctx, "late.xml", uniDoc("Late", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	waitFor(t, 10*time.Second, func() bool {
+		names, err := rc.Stores(ctx)
+		return err == nil && containsName(names, "uni2")
+	})
+	waitFor(t, 10*time.Second, func() bool {
+		if err := rc.Use(ctx, "uni2"); err != nil {
+			return false
+		}
+		res, err := rc.Query(ctx, countStudentsSQL)
+		return err == nil && len(res.Rows) == 1
+	})
+}
+
+// A crashed primary restarted as a replica of its promoted successor
+// must be snapshot re-seeded: its unshipped tail belongs to the old
+// timeline even when the successor's LSN has advanced past it, which is
+// exactly the case plain LSN arithmetic would mistake for a continuable
+// stream and silently graft. The handshake epoch catches it.
+func TestStalePrimaryReseedsViaEpoch(t *testing.T) {
+	adir := t.TempDir()
+	primary, paddr := startPrimary(t, Config{SnapshotDir: adir})
+	pc := mustDial(t, paddr)
+	ctx := context.Background()
+	if _, err := pc.Load(ctx, "a.xml", uniDoc("A", 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	succ, saddr := startReplica(t, paddr, Config{})
+	sc := mustDial(t, saddr)
+	replicaCaughtUp(t, primary, sc)
+	if _, _, err := sc.Promote(ctx); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+
+	// The old primary commits a unit its successor never saw — the
+	// divergent tail — then goes away.
+	if _, err := pc.Load(ctx, "orphan.xml", uniDoc("Orphan", 50)); err != nil {
+		t.Fatal(err)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := primary.Shutdown(shutCtx); err != nil {
+		t.Fatalf("stopping old primary: %v", err)
+	}
+
+	// The successor advances PAST the old primary's last LSN.
+	for i := 0; i < 3; i++ {
+		if _, err := sc.Load(ctx, fmt.Sprintf("new%d.xml", i), uniDoc(fmt.Sprintf("New%d", i), 60+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Restart the old primary's directory as a replica of the successor.
+	_, raddr := startReplica(t, saddr, Config{SnapshotDir: adir})
+	rc := mustDial(t, raddr)
+	replicaCaughtUp(t, succ, rc)
+
+	if got, want := studentCount(t, rc), studentCount(t, sc); got != want {
+		t.Errorf("stale ex-primary has %d students after re-seed, successor has %d", got, want)
+	}
+	// Convergence must have come from a snapshot re-seed onto the new
+	// timeline, not from grafting units onto the divergent tail.
+	st, err := rc.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Repl == nil || len(st.Repl.Stores) == 0 || st.Repl.Stores[0].Snapshots == 0 {
+		t.Errorf("stale ex-primary was not snapshot re-seeded: %+v", st.Repl)
+	}
+}
+
 // The RW client splits reads and writes and survives promotion by
 // following the read-only redirect.
 func TestRWClientSplit(t *testing.T) {

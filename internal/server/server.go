@@ -89,6 +89,10 @@ type Config struct {
 	ReplHeartbeat time.Duration
 	// ReplRetry is the replica's reconnect backoff (default repl.DefaultRetry).
 	ReplRetry time.Duration
+	// ReplStoreRefresh is how often a replica re-queries the primary's
+	// store list so stores OPENed after the replica connected get
+	// replicated too (default DefaultReplStoreRefresh).
+	ReplStoreRefresh time.Duration
 	// Logf receives server log lines (default: discarded).
 	Logf func(format string, args ...any)
 }

@@ -256,6 +256,13 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 	case wire.VerbPromote:
 		lsn, err := ss.srv.Promote()
 		if err != nil {
+			if ss.srv.Role() == RolePrimary {
+				// Partial promotion: the role flipped but some store's
+				// checkpoint (or epoch persist) failed and will be retried
+				// by the snapshot loop. OK with the error text attached —
+				// the node is writable, the operator should still look.
+				return &wire.Response{OK: true, Role: RolePrimary, LSN: lsn, Error: err.Error()}
+			}
 			return fail(wire.CodeRepl, "%v", err)
 		}
 		return &wire.Response{OK: true, Role: ss.srv.Role(), LSN: lsn}

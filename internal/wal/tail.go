@@ -121,11 +121,15 @@ type Unit []Record
 // values and ack positions always are). It returns at least one unit
 // when any is available, stops growing the batch once maxBytes of
 // payload have been collected (0 = one segment's worth), and reports the
-// next boundary to resume from. An empty result with next == fromLSN
-// means the caller is caught up. Reading below FirstLSN fails with
-// ErrTruncated — hold a Pin to prevent that. ReadUnits is safe against
-// concurrent appends: it only surfaces records that were fully appended
-// before the call.
+// next boundary to resume from. The budget applies only at unit
+// boundaries: a unit, once started, is always decoded to its commit
+// record, so a single unit larger than maxBytes (AppendBatch rotates
+// before a batch, not during it, so units larger than a segment exist)
+// is returned whole rather than stranding the reader. An empty result
+// with next == fromLSN means the caller is caught up. Reading below
+// FirstLSN fails with ErrTruncated — hold a Pin to prevent that.
+// ReadUnits is safe against concurrent appends: it only surfaces
+// records that were fully appended before the call.
 func (l *Log) ReadUnits(fromLSN uint64, maxBytes int) (units []Unit, next uint64, err error) {
 	if maxBytes <= 0 {
 		maxBytes = int(l.opts.segmentBytes())
@@ -174,7 +178,12 @@ func (l *Log) ReadUnits(fromLSN uint64, maxBytes int) (units []Unit, next uint64
 			return units, next, rerr
 		}
 		off := 0
-		for total < maxBytes {
+		// Keep decoding while the budget allows a new unit to start, and
+		// always finish the unit in progress: breaking mid-unit would
+		// discard the partial unit and return next == fromLSN, and a
+		// caller treating that as "caught up" would never progress past
+		// an oversized unit.
+		for len(unit) > 0 || total < maxBytes {
 			rec, n, derr := DecodeFrame(data[off:])
 			if derr == io.EOF || errors.Is(derr, errTorn) {
 				// End of this segment's readable bytes: either its true end

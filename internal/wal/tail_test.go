@@ -27,6 +27,41 @@ func appendUnits(t *testing.T, l *Log, n, recsPer int) uint64 {
 	return last
 }
 
+// A commit unit whose payload exceeds the read budget must come back
+// whole: the budget applies at unit boundaries only. The old code broke
+// mid-unit, discarded the partial unit and returned next == fromLSN —
+// indistinguishable from "caught up", so a tailer re-read the same
+// position forever.
+func TestReadUnitsOversizedUnit(t *testing.T) {
+	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// One unit of 6 records at ~23 bytes each (payload + frame header):
+	// the default budget (one segment = 64 bytes) admits only the first
+	// three before the pre-record check trips.
+	last := appendUnits(t, l, 1, 6)
+
+	units, next, err := l.ReadUnits(1, 0)
+	if err != nil {
+		t.Fatalf("ReadUnits: %v", err)
+	}
+	if len(units) != 1 || len(units[0]) != 6 {
+		t.Fatalf("oversized unit not returned whole: %d units, first has %d records",
+			len(units), len(units[0]))
+	}
+	if next != last+1 {
+		t.Fatalf("next=%d, want %d (no progress past the oversized unit)", next, last+1)
+	}
+	// And the explicit-budget path: a 1-byte budget still yields the
+	// whole unit, one per call.
+	units, next, err = l.ReadUnits(1, 1)
+	if err != nil || len(units) != 1 || len(units[0]) != 6 || next != last+1 {
+		t.Fatalf("1-byte budget: units=%d next=%d err=%v", len(units), next, err)
+	}
+}
+
 func TestReadUnitsRoundTrip(t *testing.T) {
 	l, err := Open(t.TempDir(), Options{Sync: SyncNever, SegmentBytes: 256})
 	if err != nil {

@@ -611,6 +611,16 @@ func (l *Log) LastLSN() uint64 {
 	return l.nextLSN - 1
 }
 
+// SyncedLSN reports the highest LSN known to be fsynced. Under
+// SyncAlways it trails LastLSN only inside an Append call; under
+// SyncInterval it lags by at most one flush period; under SyncNever it
+// advances only on rotation and Close.
+func (l *Log) SyncedLSN() uint64 {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	return l.syncedLSN
+}
+
 // Replay streams every record with LSN >= fromLSN, in order, to fn. A
 // non-nil error from fn aborts the replay. Records are surfaced one
 // whole commit unit at a time: a trailing unit whose commit record is

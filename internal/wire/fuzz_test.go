@@ -17,11 +17,14 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`{"verb":"LOAD","name":"d.xml","xml":"<a>x</a>"}`),
 		[]byte(`{"verb":"SQL","sql":"SELECT u.attrName FROM TabUniversity u"}`),
 		[]byte(`{"verb":"REPLICATE","name":"uni","lsn":42}`),
+		[]byte(`{"verb":"REPLICATE","name":"uni","lsn":42,"epoch":3}`),
 		[]byte(`{"verb":"PROMOTE"}`),
 		[]byte(`{"ok":true,"rows":[["x",2]],"cols":["A","B"]}`),
 		[]byte(`{"ok":false,"code":"read_only","error":"replica","primary":"10.0.0.1:7788","role":"replica"}`),
 		[]byte(`{"type":"hb","primary_lsn":7}`),
-		[]byte(`{"type":"unit","lsn":9,"primary_lsn":9,"recs":[{"lsn":8,"type":1,"payload":"aGk="},{"lsn":9,"type":3,"commit":true,"payload":"eA=="}]}`),
+		[]byte(`{"type":"unit","lsn":9,"primary_lsn":9,"recs":[{"lsn":8,"type":1,"payload":"aGk="},{"lsn":9,"type":3,"commit":true,"payload":"eA=="}],"last":true}`),
+		[]byte(`{"type":"unit","lsn":9,"primary_lsn":9,"recs":[{"lsn":8,"type":1,"partial":true,"payload":"aGk="}]}`),
+		[]byte(`{"ok":true,"role":"primary","lsn":7,"epoch":2}`),
 		[]byte(`{"type":"snap","lsn":5,"data":"c25hcA==","last":true}`),
 		[]byte(`{"type":"resync"}`),
 		[]byte(`{"type":"err","error":"boom"}`),

@@ -20,9 +20,13 @@ const (
 	// the WAL position the snapshot covers (same for every chunk); Data
 	// is the chunk; Last marks the final chunk.
 	ReplSnap = "snap"
-	// ReplUnit is one committed WAL commit unit. Recs are its records in
-	// LSN order (the last carries Commit); PrimaryLSN is the primary's
-	// current last LSN for lag accounting.
+	// ReplUnit carries a committed WAL commit unit. Recs are its records
+	// in LSN order; PrimaryLSN is the primary's current last LSN for lag
+	// accounting. A unit too large for one frame is split across
+	// consecutive unit frames: only the final frame has Last set, and a
+	// record split mid-payload has Partial set with its continuation as
+	// the next frame's first record. The replica reassembles and applies
+	// the unit only when Last arrives.
 	ReplUnit = "unit"
 	// ReplHeartbeat is a periodic liveness/lag frame: PrimaryLSN only.
 	ReplHeartbeat = "hb"
@@ -43,11 +47,22 @@ const ReplMaxFrame = 64 << 20
 // ReplSnapChunk is the snapshot transfer chunk size before base64.
 const ReplSnapChunk = 1 << 20
 
+// ReplUnitChunk is the raw payload budget per unit frame before base64:
+// a unit whose records exceed it is split across frames. 8 MiB of raw
+// payload stays far below ReplMaxFrame even after the ~4/3 base64
+// expansion, so a WAL record of any size (MaxPayload = 256 MiB) ships
+// without ever producing an oversized frame.
+const ReplUnitChunk = 8 << 20
+
 // ReplRecord is one WAL record on the wire.
 type ReplRecord struct {
-	LSN     uint64 `json:"lsn"`
-	Type    byte   `json:"type"`
-	Commit  bool   `json:"commit,omitempty"`
+	LSN    uint64 `json:"lsn"`
+	Type   byte   `json:"type"`
+	Commit bool   `json:"commit,omitempty"`
+	// Partial marks a record whose payload continues in the next
+	// frame's first record (same LSN/Type; flags carried by the final
+	// piece).
+	Partial bool   `json:"partial,omitempty"`
 	Payload []byte `json:"payload,omitempty"`
 }
 
@@ -61,7 +76,8 @@ type ReplFrame struct {
 	PrimaryLSN uint64 `json:"primary_lsn,omitempty"`
 	// Data is one snapshot chunk (snap).
 	Data []byte `json:"data,omitempty"`
-	// Last marks the final snapshot chunk (snap).
+	// Last marks the final snapshot chunk (snap) or the final frame of a
+	// chunked commit unit (unit).
 	Last bool `json:"last,omitempty"`
 	// Recs are the commit unit's records (unit).
 	Recs []ReplRecord `json:"recs,omitempty"`

@@ -84,6 +84,13 @@ type Request struct {
 	// LSN is the replica's last-applied LSN for REPLICATE (0 = empty
 	// replica, always bootstrapped by snapshot transfer).
 	LSN uint64 `json:"lsn,omitempty"`
+	// Epoch is the timeline the replica's state belongs to (REPLICATE).
+	// Each promotion bumps the primary's epoch; a mismatch means the
+	// replica's history may have diverged from the primary's (e.g. a
+	// crashed primary re-seeding from its successor), so the primary
+	// forces a snapshot transfer regardless of LSN positions. 0 = no
+	// local state, always snapshot-seeded.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Response is one server frame.
@@ -116,6 +123,9 @@ type Response struct {
 	Primary string `json:"primary,omitempty"`
 	// LSN reports a log position: the promoted tail LSN on PROMOTE.
 	LSN uint64 `json:"lsn,omitempty"`
+	// Epoch reports the primary's current timeline on a REPLICATE OK:
+	// the replica adopts it when it snapshot-seeds.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // Err converts a failed response into an error (nil when OK).

@@ -110,11 +110,12 @@ func (s *Store) ReadCheckpointSnapshot() (lsn uint64, data []byte, err error) {
 }
 
 // BootstrapDirFromSnapshot (re-)seeds a replica's durable directory from
-// a primary's checkpoint snapshot taken at lsn: any previous contents
-// are discarded, the snapshot becomes the directory's checkpoint, and a
-// fresh WAL is opened whose next LSN is lsn+1 — the position the
-// primary will stream from. Returns the recovered store.
-func BootstrapDirFromSnapshot(dir string, lsn uint64, snapshot []byte, opts DurableOptions) (*Store, error) {
+// a primary's checkpoint snapshot taken at lsn on timeline epoch: any
+// previous contents are discarded, the snapshot becomes the directory's
+// checkpoint, the epoch becomes the directory's timeline, and a fresh
+// WAL is opened whose next LSN is lsn+1 — the position the primary will
+// stream from. Returns the recovered store.
+func BootstrapDirFromSnapshot(dir string, lsn, epoch uint64, snapshot []byte, opts DurableOptions) (*Store, error) {
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, err
 	}
@@ -128,6 +129,12 @@ func BootstrapDirFromSnapshot(dir string, lsn uint64, snapshot []byte, opts Dura
 		return nil, err
 	}
 	if err := writeCheckpoint(dir, lsn); err != nil {
+		return nil, err
+	}
+	if epoch == 0 {
+		epoch = 1
+	}
+	if err := writeEpoch(dir, epoch); err != nil {
 		return nil, err
 	}
 	return LoadStoreDir(dir, opts)
