@@ -1,0 +1,261 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"xmlordb/internal/client"
+)
+
+// The self-driving-cluster torture test: a real primary and three real
+// replica subprocesses with lease-based election enabled, SIGKILL the
+// primary under sustained write traffic, and verify the failover
+// contract with ZERO operator commands:
+//
+//   - the replicas elect a new primary on their own;
+//   - the RW client resumes writes against it by rediscovery alone;
+//   - every write acknowledged to the client survives (semi-sync acks
+//     make the acked set exactly the replicated set);
+//   - reads-after-writes are never stale, through the failover window
+//     included;
+//   - the kill -9'd ex-primary, revived from its data directory with
+//     the same command line, demotes itself to a replica of the new
+//     primary and converges.
+
+const failoverStudentsSQL = `SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`
+
+// electArgs are the failover flags shared by every cluster member.
+func electArgs(dataDir string) []string {
+	return []string{
+		"-addr", "127.0.0.1:0",
+		"-snapshot-dir", dataDir,
+		"-snapshot-interval", "1h",
+		"-durability", "always",
+		"-wal-segment-bytes", "256",
+		"-repl-heartbeat", "100ms",
+		"-repl-retry", "50ms",
+		"-election-timeout", "750ms",
+		"-lease-interval", "100ms",
+		"-repl-sync-acks", "1",
+		"-repl-sync-timeout", "10s",
+	}
+}
+
+func startElectPrimaryProc(t *testing.T, bin, dataDir, dtdFile string) *serverProc {
+	t.Helper()
+	args := append([]string{"serve", "-dtd", dtdFile, "-name", "uni", "-root", "University"},
+		electArgs(dataDir)...)
+	return launchProc(t, bin, args...)
+}
+
+func startElectReplicaProc(t *testing.T, bin, dataDir, primaryAddr string) *serverProc {
+	t.Helper()
+	args := append([]string{"serve", "-replica-of", primaryAddr}, electArgs(dataDir)...)
+	return launchProc(t, bin, args...)
+}
+
+// roleAt probes addr's POSITION, returning role and known primary
+// ("" on any error).
+func roleAt(t *testing.T, addr string) (role, primary string) {
+	t.Helper()
+	c, err := client.Dial(addr, client.WithTimeout(3*time.Second))
+	if err != nil {
+		return "", ""
+	}
+	defer c.Close()
+	resp, err := c.Position(context.Background())
+	if err != nil {
+		return "", ""
+	}
+	return resp.Role, resp.Primary
+}
+
+// studentNamesAt reads the set of student LNames hosted at addr (nil
+// while unreachable or syncing).
+func studentNamesAt(t *testing.T, addr string) map[string]bool {
+	t.Helper()
+	c, err := client.Dial(addr, client.WithTimeout(5*time.Second))
+	if err != nil {
+		return nil
+	}
+	defer c.Close()
+	res, err := c.Query(context.Background(), failoverStudentsSQL)
+	if err != nil {
+		return nil
+	}
+	names := map[string]bool{}
+	for _, row := range res.Rows {
+		names[fmt.Sprint(row[0])] = true
+	}
+	return names
+}
+
+func TestAutoFailoverKillMinusNine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture test")
+	}
+	bin := buildServerBinary(t)
+	dtdFile := writeDTDFile(t)
+
+	pdir := t.TempDir()
+	primary := startElectPrimaryProc(t, bin, pdir, dtdFile)
+	replicas := []*serverProc{
+		startElectReplicaProc(t, bin, t.TempDir(), primary.addr),
+		startElectReplicaProc(t, bin, t.TempDir(), primary.addr),
+		startElectReplicaProc(t, bin, t.TempDir(), primary.addr),
+	}
+	replicaAddrs := []string{replicas[0].addr, replicas[1].addr, replicas[2].addr}
+
+	rw, err := client.DialRW(primary.addr, replicaAddrs, client.WithTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rw.Close()
+	ctx := context.Background()
+
+	// acked tracks every LName whose LOAD the cluster acknowledged —
+	// with -repl-sync-acks 1 each of these is on at least one replica
+	// before the client hears OK, which is what makes "zero acked loss
+	// across a primary kill" an enforceable contract rather than luck.
+	acked := map[string]bool{}
+	write := func(i int) error {
+		name := fmt.Sprintf("Doc%d", i)
+		if _, err := rw.Load(ctx, fmt.Sprintf("doc%d.xml", i), crashDoc(i)); err != nil {
+			return err
+		}
+		acked[name] = true
+		// Read-your-writes: the write's LSN rides the next read as
+		// WAIT_LSN, so the row is visible immediately no matter which
+		// node serves the read.
+		res, err := rw.Query(ctx, failoverStudentsSQL)
+		if err != nil {
+			return fmt.Errorf("read after write %d: %w", i, err)
+		}
+		seen := false
+		for _, row := range res.Rows {
+			seen = seen || fmt.Sprint(row[0]) == name
+		}
+		if !seen {
+			t.Fatalf("read after write %d is stale: %s not visible", i, name)
+		}
+		return nil
+	}
+
+	// Phase A: baseline traffic with the whole cluster healthy.
+	next := 1
+	for ; next <= 5; next++ {
+		if err := write(next); err != nil {
+			t.Fatalf("phase A write %d: %v", next, err)
+		}
+	}
+
+	// Phase B: kill -9 the primary mid-traffic. The RW client's write
+	// loop keeps running; it must resume via the elected successor with
+	// no operator involvement (the test never calls promote).
+	primary.kill(t)
+	t.Logf("primary %s killed at write %d", primary.addr, next)
+	resumed := 0
+	deadline := time.Now().Add(60 * time.Second)
+	for resumed < 10 {
+		if time.Now().After(deadline) {
+			t.Fatalf("RW client resumed only %d/10 writes after the kill", resumed)
+		}
+		if err := write(next); err != nil {
+			t.Logf("write %d during failover window: %v", next, err)
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		next++
+		resumed++
+	}
+
+	// Exactly one replica promoted itself; the others follow it.
+	var newPrimary string
+	waitDeadline := time.Now().Add(30 * time.Second)
+	for newPrimary == "" {
+		if time.Now().After(waitDeadline) {
+			t.Fatal("no replica claims primary after the kill")
+		}
+		claims := []string{}
+		for _, addr := range replicaAddrs {
+			if role, _ := roleAt(t, addr); role == "primary" {
+				claims = append(claims, addr)
+			}
+		}
+		if len(claims) == 1 {
+			newPrimary = claims[0]
+		} else if len(claims) > 1 {
+			t.Fatalf("split brain: %v all claim primary", claims)
+		}
+	}
+	t.Logf("elected %s with zero operator commands", newPrimary)
+	for _, addr := range replicaAddrs {
+		if addr == newPrimary {
+			continue
+		}
+		waitFollower := time.Now().Add(30 * time.Second)
+		for {
+			role, prim := roleAt(t, addr)
+			if role == "replica" && prim == newPrimary {
+				break
+			}
+			if time.Now().After(waitFollower) {
+				t.Fatalf("loser %s did not converge on the winner: role=%q primary=%q", addr, role, prim)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Zero acked-commit loss: every acknowledged write is on the new
+	// primary.
+	names := studentNamesAt(t, newPrimary)
+	for name := range acked {
+		if !names[name] {
+			t.Errorf("acked write %s lost across the failover", name)
+		}
+	}
+	t.Logf("all %d acked writes survive on the new primary", len(acked))
+
+	// Revive the ex-primary from its untouched data directory with the
+	// SAME primary command line — it must discover the newer timeline
+	// through its persisted peer list and demote itself, unprompted.
+	revived := startElectPrimaryProc(t, bin, pdir, dtdFile)
+	rejoin := time.Now().Add(30 * time.Second)
+	for {
+		role, prim := roleAt(t, revived.addr)
+		if role == "replica" && prim == newPrimary {
+			break
+		}
+		if time.Now().After(rejoin) {
+			t.Fatalf("revived ex-primary did not rejoin as replica: role=%q primary=%q", role, prim)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Logf("ex-primary rejoined as replica of %s", newPrimary)
+
+	// And it converges to the new timeline, acked writes included.
+	converge := time.Now().Add(30 * time.Second)
+	for {
+		rnames := studentNamesAt(t, revived.addr)
+		missing := 0
+		for name := range acked {
+			if !rnames[name] {
+				missing++
+			}
+		}
+		if len(rnames) > 0 && missing == 0 {
+			break
+		}
+		if time.Now().After(converge) {
+			t.Fatalf("revived replica still missing %d acked writes", missing)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The cluster is fully writable and read-your-writes still holds.
+	if err := write(next); err != nil {
+		t.Fatalf("write after full recovery: %v", err)
+	}
+}

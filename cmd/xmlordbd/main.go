@@ -29,11 +29,25 @@
 //	-max-request 16777216   request frame size limit in bytes
 //	-replica-of addr        start as a read replica of the primary at addr
 //	                        (requires -durability and -snapshot-dir); writes
-//	                        are rejected until PROMOTE
+//	                        are rejected until PROMOTE or election
+//	-chain-of addr          start as a chained replica pulling from another
+//	                        replica instead of the primary (never elected)
+//	-advertise addr         address peers dial to reach this server
+//	                        (default: the bound listener address)
+//	-election-timeout 0     enable automatic failover: a replica whose
+//	                        upstream is silent this long holds an election;
+//	                        a stale ex-primary demotes itself on rejoin
+//	-lease-interval 0       heartbeat / failover poll cadence
+//	                        (default election-timeout/4)
+//	-repl-sync-acks 0       semi-sync: hold each write until this many
+//	                        replicas durably ack it
+//	-repl-sync-timeout 5s   semi-sync ack wait limit
+//	-read-wait 2s           max wait for a wait_lsn read to catch up
+//	                        before the replica answers "lagging"
 //	-repl-max-lag 0         drop replicas more than this many WAL records
 //	                        behind (they re-sync via snapshot transfer)
 //	-repl-heartbeat 1s      replication stream idle heartbeat
-//	-repl-retry 500ms       replica reconnect backoff
+//	-repl-retry 500ms       replica reconnect backoff (exponential, 10s cap)
 //	-repl-store-refresh 5s  how often a replica re-polls the primary's
 //	                        store list for stores OPENed after it connected
 //
@@ -43,7 +57,7 @@
 //
 // Client verbs:
 //
-//	ping | stores | stats | save | promote
+//	ping | stores | stats | save | promote | position
 //	open  <name> <dtd-file> [root]      install a store from a DTD
 //	load  <doc.xml>...                  load documents, print DocIDs
 //	sql   <statement>                   run SQL (or read from stdin with -)
@@ -115,9 +129,16 @@ func runServe(args []string, out io.Writer) error {
 		reqTimeout   = fs.Duration("request-timeout", 0, "per-request execution limit (0 = none)")
 		maxRequest   = fs.Int("max-request", wire.DefaultMaxFrame, "request frame size limit")
 		replicaOf    = fs.String("replica-of", "", "primary address: start as a read replica")
+		chainOf      = fs.String("chain-of", "", "replica address: start as a chained replica pulling from another replica")
+		advertise    = fs.String("advertise", "", "address peers dial to reach this server (default: the bound listener address)")
+		electionTO   = fs.Duration("election-timeout", 0, "enable automatic failover: hold an election when the primary's lease is silent this long (0 = manual PROMOTE only)")
+		leaseInt     = fs.Duration("lease-interval", 0, "lease heartbeat / failover poll cadence (default election-timeout/4)")
+		syncAcks     = fs.Int("repl-sync-acks", 0, "hold each write until this many replicas durably ack it (0 = async)")
+		syncTimeout  = fs.Duration("repl-sync-timeout", 0, "semi-sync ack wait limit (default 5s)")
+		readWait     = fs.Duration("read-wait", 0, "max wait for a read carrying wait_lsn to catch up (default 2s)")
 		replMaxLag   = fs.Uint64("repl-max-lag", 0, "drop replicas more than this many WAL records behind (0 = never)")
 		replHB       = fs.Duration("repl-heartbeat", 0, "replication stream heartbeat interval")
-		replRetry    = fs.Duration("repl-retry", 0, "replica reconnect backoff")
+		replRetry    = fs.Duration("repl-retry", 0, "replica reconnect backoff (doubles up to a 10s cap)")
 		replRefresh  = fs.Duration("repl-store-refresh", 0, "how often a replica re-polls the primary's store list")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -134,6 +155,13 @@ func runServe(args []string, out io.Writer) error {
 		WALSegmentBytes:   *walSegBytes,
 		StatsAddr:         *statsAddr,
 		ReplicaOf:         *replicaOf,
+		ChainOf:           *chainOf,
+		Advertise:         *advertise,
+		ElectionTimeout:   *electionTO,
+		LeaseInterval:     *leaseInt,
+		ReplSyncAcks:      *syncAcks,
+		ReplSyncTimeout:   *syncTimeout,
+		ReadWait:          *readWait,
 		ReplMaxLagRecords: *replMaxLag,
 		ReplHeartbeat:     *replHB,
 		ReplRetry:         *replRetry,
@@ -149,7 +177,7 @@ func runServe(args []string, out io.Writer) error {
 	if restored > 0 {
 		fmt.Fprintf(out, "restored %d store(s) from %s: %v\n", restored, *snapDir, srv.StoreNames())
 	}
-	if *dtdFile != "" && *replicaOf == "" {
+	if *dtdFile != "" && *replicaOf == "" && *chainOf == "" {
 		if hosted := srv.StoreNames(); !contains(hosted, *name) {
 			dtdText, err := os.ReadFile(*dtdFile)
 			if err != nil {
@@ -350,6 +378,13 @@ func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Wri
 			return err
 		}
 		fmt.Fprintf(out, "promoted: role %s, lsn %d\n", role, lsn)
+	case "position":
+		resp, err := c.Position(ctx)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "role %s, epoch %d, durable lsn %d, primary %s, members %v\n",
+			resp.Role, resp.Epoch, resp.LSN, resp.Primary, resp.Peers)
 	case "begin":
 		return c.Begin(ctx)
 	case "commit":

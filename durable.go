@@ -115,9 +115,14 @@ type walState struct {
 	// epoch is the replication timeline this directory's history belongs
 	// to: seeded at 1 (or adopted from the primary on bootstrap), bumped
 	// by promotion, persisted in the EPOCH file. A replica whose epoch
-	// differs from its primary's is snapshot re-seeded rather than
-	// trusted to continue by LSN arithmetic alone.
+	// differs from its primary's is snapshot re-seeded unless the
+	// primary's epoch history proves the replica stopped before the
+	// fork (see EpochHistory).
 	epoch uint64
+	// epochs records where each timeline began (sorted by epoch). It is
+	// persisted alongside the current epoch so a promoted server can
+	// fast-forward old-epoch replicas that never applied past the fork.
+	epochs []EpochStart
 
 	// applying marks a replicated commit unit being re-executed: the
 	// records are already in the local log (ApplyReplicatedUnit appends
@@ -286,7 +291,7 @@ func LoadStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		log.Close()
 		return nil, fmt.Errorf("xmlordb: replaying wal for %s: %w", dir, err)
 	}
-	epoch, ok, err := readEpoch(dir)
+	epoch, epochs, ok, err := readEpoch(dir)
 	if err != nil {
 		log.Close()
 		return nil, err
@@ -295,9 +300,10 @@ func LoadStoreDir(dir string, opts DurableOptions) (*Store, error) {
 		// Pre-epoch directory: adopt timeline 1 and persist it so future
 		// opens and handshakes agree.
 		epoch = 1
-		_ = writeEpoch(dir, epoch)
+		epochs = []EpochStart{{Epoch: 1, StartLSN: 1}}
+		_ = writeEpoch(dir, epoch, epochs)
 	}
-	s.attachWAL(log, dir, ckpt, replayed, epoch)
+	s.attachWAL(log, dir, ckpt, replayed, epoch, epochs)
 	return s, nil
 }
 
@@ -318,11 +324,12 @@ func (s *Store) AttachDir(dir string, opts DurableOptions) error {
 	if err != nil {
 		return err
 	}
-	if err := writeEpoch(dir, 1); err != nil {
+	epochs := []EpochStart{{Epoch: 1, StartLSN: log.LastLSN() + 1}}
+	if err := writeEpoch(dir, 1, epochs); err != nil {
 		log.Close()
 		return err
 	}
-	s.attachWAL(log, dir, log.LastLSN(), 0, 1)
+	s.attachWAL(log, dir, log.LastLSN(), 0, 1, epochs)
 	if err := s.Checkpoint(); err != nil {
 		s.Close()
 		return err
@@ -330,10 +337,18 @@ func (s *Store) AttachDir(dir string, opts DurableOptions) error {
 	return nil
 }
 
-func (s *Store) attachWAL(log *wal.Log, dir string, ckpt uint64, replayed int, epoch uint64) {
-	w := &walState{log: log, dir: dir, db: s.Engine.DB(), ckptLSN: ckpt, replayed: replayed, epoch: epoch}
+func (s *Store) attachWAL(log *wal.Log, dir string, ckpt uint64, replayed int, epoch uint64, epochs []EpochStart) {
+	w := &walState{log: log, dir: dir, db: s.Engine.DB(), ckptLSN: ckpt, replayed: replayed, epoch: epoch, epochs: epochs}
 	s.wal = w
 	s.Engine.DB().SetTxObserver(w)
+}
+
+// EpochStart records where one replication timeline began: StartLSN is
+// the first LSN written on Epoch. It mirrors the wire-level type in
+// internal/wire without importing it.
+type EpochStart struct {
+	Epoch    uint64
+	StartLSN uint64
 }
 
 // Epoch reports the store's replication timeline (0 for in-memory
@@ -347,23 +362,63 @@ func (s *Store) Epoch() uint64 {
 	return s.wal.epoch
 }
 
+// EpochHistory returns where each known timeline began, sorted by
+// epoch (nil for in-memory stores). The history accumulates from local
+// promotions and from the histories adopted during seeding, so it may
+// be partial — a missing entry only costs a snapshot re-seed, never
+// correctness.
+func (s *Store) EpochHistory() []EpochStart {
+	if s.wal == nil {
+		return nil
+	}
+	s.wal.mu.Lock()
+	defer s.wal.mu.Unlock()
+	return append([]EpochStart(nil), s.wal.epochs...)
+}
+
 // BumpEpoch starts a new replication timeline: promotion calls it so
 // any replica of the old timeline (including a restarted ex-primary)
-// is forced through a snapshot re-seed instead of grafting the new
-// history onto a possibly-divergent tail. The in-memory epoch advances
-// even when persisting the EPOCH file fails — in-process handshake
-// checks must see the new timeline — and the persist error is returned
-// so callers can surface it.
+// is fenced instead of grafting the new history onto a possibly-
+// divergent tail. The fork point (the log's last LSN) is recorded in
+// the epoch history, so replicas of the old timeline that never
+// applied past the fork can stream forward rather than re-seed. The
+// in-memory epoch advances even when persisting the EPOCH file fails —
+// in-process handshake checks must see the new timeline — and the
+// persist error is returned so callers can surface it.
 func (s *Store) BumpEpoch() (uint64, error) {
 	if s.wal == nil {
 		return 0, fmt.Errorf("xmlordb: BumpEpoch on an in-memory store")
 	}
+	fork := s.wal.log.LastLSN()
 	s.wal.mu.Lock()
 	s.wal.epoch++
 	epoch := s.wal.epoch
+	s.wal.epochs = append(s.wal.epochs, EpochStart{Epoch: epoch, StartLSN: fork + 1})
+	epochs := append([]EpochStart(nil), s.wal.epochs...)
 	dir := s.wal.dir
 	s.wal.mu.Unlock()
-	return epoch, writeEpoch(dir, epoch)
+	return epoch, writeEpoch(dir, epoch, epochs)
+}
+
+// AdoptEpoch moves the store onto timeline epoch with the given
+// history without re-seeding: the feeder proved (via its epoch
+// history) that this store never applied anything past the fork, so
+// its state is a prefix of the new timeline. Callers must hold the
+// store's writer exclusion. Like BumpEpoch, the in-memory state
+// adopts the new timeline even if persisting fails.
+func (s *Store) AdoptEpoch(epoch uint64, history []EpochStart) error {
+	if s.wal == nil {
+		return fmt.Errorf("xmlordb: AdoptEpoch on an in-memory store")
+	}
+	s.wal.mu.Lock()
+	s.wal.epoch = epoch
+	if len(history) > 0 {
+		s.wal.epochs = append([]EpochStart(nil), history...)
+	}
+	epochs := append([]EpochStart(nil), s.wal.epochs...)
+	dir := s.wal.dir
+	s.wal.mu.Unlock()
+	return writeEpoch(dir, epoch, epochs)
 }
 
 // Checkpoint writes a fresh snapshot covering everything up to the WAL's
@@ -610,26 +665,50 @@ func writeCheckpoint(dir string, lsn uint64) error {
 }
 
 // readEpoch parses the EPOCH timeline file; ok is false when the
-// directory predates epochs (no file).
-func readEpoch(dir string) (epoch uint64, ok bool, err error) {
+// directory predates epochs (no file). Two formats exist: the PR 5
+// "v1 <epoch>" single line, and the v2 form that adds one
+// "<epoch> <startLSN>" history line per known timeline. A v1 file
+// yields a history entry with StartLSN 0 — an unknown fork point, so
+// every cross-epoch handshake falls back to a snapshot re-seed, which
+// is exactly the v1 behaviour.
+func readEpoch(dir string) (epoch uint64, history []EpochStart, ok bool, err error) {
 	data, err := os.ReadFile(filepath.Join(dir, epochFile))
 	if err != nil {
 		if os.IsNotExist(err) {
-			return 0, false, nil
+			return 0, nil, false, nil
 		}
-		return 0, false, err
+		return 0, nil, false, err
 	}
-	if n, err := fmt.Sscanf(string(data), "v1 %d", &epoch); err != nil || n != 1 {
-		return 0, false, fmt.Errorf("xmlordb: %s: malformed EPOCH file %q", dir, string(data))
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if n, err := fmt.Sscanf(lines[0], "v1 %d", &epoch); err == nil && n == 1 {
+		return epoch, []EpochStart{{Epoch: epoch, StartLSN: 0}}, true, nil
 	}
-	return epoch, true, nil
+	if n, err := fmt.Sscanf(lines[0], "v2 %d", &epoch); err != nil || n != 1 {
+		return 0, nil, false, fmt.Errorf("xmlordb: %s: malformed EPOCH file %q", dir, string(data))
+	}
+	for _, line := range lines[1:] {
+		var e EpochStart
+		if n, err := fmt.Sscanf(line, "%d %d", &e.Epoch, &e.StartLSN); err != nil || n != 2 {
+			return 0, nil, false, fmt.Errorf("xmlordb: %s: malformed EPOCH history line %q", dir, line)
+		}
+		history = append(history, e)
+	}
+	return epoch, history, true, nil
 }
 
-// writeEpoch atomically replaces the EPOCH timeline file.
-func writeEpoch(dir string, epoch uint64) error {
+// writeEpoch atomically replaces the EPOCH timeline file (v2 format:
+// current epoch plus one history line per known timeline).
+func writeEpoch(dir string, epoch uint64, history []EpochStart) error {
 	return writeFileAtomic(filepath.Join(dir, epochFile), func(w io.Writer) error {
-		_, err := fmt.Fprintf(w, "v1 %d\n", epoch)
-		return err
+		if _, err := fmt.Fprintf(w, "v2 %d\n", epoch); err != nil {
+			return err
+		}
+		for _, e := range history {
+			if _, err := fmt.Fprintf(w, "%d %d\n", e.Epoch, e.StartLSN); err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 }
 

@@ -1,0 +1,220 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/client"
+	"xmlordb/internal/server"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+)
+
+// electCluster boots a primary and two election-eligible replicas with
+// automatic failover configured at the given election timeout.
+type electCluster struct {
+	primary  *server.Server
+	replicas []*server.Server
+	paddr    string
+	raddrs   []string
+	dirs     []string
+}
+
+func (c *electCluster) shutdown() {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for _, r := range c.replicas {
+		r.Shutdown(ctx)
+	}
+	if c.primary != nil {
+		c.primary.Shutdown(ctx)
+	}
+	for _, d := range c.dirs {
+		os.RemoveAll(d)
+	}
+}
+
+func startElectCluster(electionTimeout time.Duration) (*electCluster, error) {
+	c := &electCluster{}
+	serve := func(srv *server.Server) (string, error) {
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			select {
+			case err := <-errc:
+				return "", err
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return srv.Addr().String(), nil
+	}
+	dir := func() (string, error) {
+		d, err := os.MkdirTemp("", "xmlordb-r2-")
+		if err == nil {
+			c.dirs = append(c.dirs, d)
+		}
+		return d, err
+	}
+	base := func(d string) server.Config {
+		return server.Config{
+			SnapshotDir: d, SnapshotInterval: time.Hour, Durability: "never",
+			ReplRetry: 10 * time.Millisecond, ReplHeartbeat: electionTimeout / 8,
+			ElectionTimeout: electionTimeout, LeaseInterval: electionTimeout / 8,
+		}
+	}
+
+	pdir, err := dir()
+	if err != nil {
+		return nil, err
+	}
+	c.primary = server.New(base(pdir))
+	if err := c.primary.OpenStore("uni", workload.UniversityDTD, "University", xmlordb.Config{}); err != nil {
+		c.shutdown()
+		return nil, err
+	}
+	if c.paddr, err = serve(c.primary); err != nil {
+		c.shutdown()
+		return nil, err
+	}
+	for i := 0; i < 2; i++ {
+		rdir, err := dir()
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		cfg := base(rdir)
+		cfg.ReplicaOf = c.paddr
+		r := server.New(cfg)
+		if err := r.StartReplication(); err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		raddr, err := serve(r)
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		c.replicas = append(c.replicas, r)
+		c.raddrs = append(c.raddrs, raddr)
+	}
+	return c, nil
+}
+
+// R2 measures automatic failover: after the primary dies under a live
+// write loop, how long until a replica elects itself primary, and how
+// long the writer is actually blocked — both as a function of the
+// election timeout (the lease expiry that triggers the election).
+func R2() (*Table, error) {
+	t := &Table{
+		ID:     "R2",
+		Title:  "Automatic failover: time to new primary and write unavailability vs election timeout",
+		Header: []string{"election timeout", "time to new primary", "write unavailability", "failed attempts"},
+	}
+	doc := xmldom.Serialize(workload.University(workload.UniversityParams{
+		Students: 5, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: 1,
+	}))
+	for _, timeout := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second} {
+		c, err := startElectCluster(timeout)
+		if err != nil {
+			return nil, err
+		}
+		rw, err := client.DialRW(c.paddr, c.raddrs, client.WithTimeout(10*time.Second))
+		if err != nil {
+			c.shutdown()
+			return nil, err
+		}
+		ctx := context.Background()
+
+		// Warm up: a few replicated writes so the election has a real
+		// position to compare, and both replicas are attached.
+		for i := 0; i < 3; i++ {
+			if _, err := rw.Load(ctx, fmt.Sprintf("warm%d.xml", i), doc); err != nil {
+				rw.Close()
+				c.shutdown()
+				return nil, err
+			}
+		}
+		attached := func(addr string) bool {
+			cl, err := client.Dial(addr, client.WithTimeout(2*time.Second))
+			if err != nil {
+				return false
+			}
+			defer cl.Close()
+			resp, err := cl.Position(ctx)
+			return err == nil && resp.LSN > 0
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for _, raddr := range c.raddrs {
+			for !attached(raddr) {
+				if time.Now().After(deadline) {
+					rw.Close()
+					c.shutdown()
+					return nil, fmt.Errorf("bench: replica %s never attached", raddr)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}
+
+		// Kill the primary and race two clocks: a poller watching for a
+		// replica to claim the primary role, and a write loop measuring
+		// the client-visible outage.
+		killed := time.Now()
+		{
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			c.primary.Shutdown(ctx)
+			cancel()
+			c.primary = nil
+		}
+		promoted := make(chan time.Duration, 1)
+		go func() {
+			for {
+				for _, raddr := range c.raddrs {
+					cl, err := client.Dial(raddr, client.WithTimeout(2*time.Second))
+					if err != nil {
+						continue
+					}
+					resp, err := cl.Position(context.Background())
+					cl.Close()
+					if err == nil && resp.Role == server.RolePrimary {
+						promoted <- time.Since(killed)
+						return
+					}
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}()
+		failed := 0
+		var outage time.Duration
+		for {
+			if _, err := rw.Load(ctx, fmt.Sprintf("post%d.xml", failed), doc); err == nil {
+				outage = time.Since(killed)
+				break
+			}
+			failed++
+			if time.Since(killed) > 60*time.Second {
+				rw.Close()
+				c.shutdown()
+				return nil, fmt.Errorf("bench: writes never resumed after primary death (timeout %v)", timeout)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		electTime := <-promoted
+
+		t.Rows = append(t.Rows, []string{
+			timeout.String(),
+			electTime.Round(time.Millisecond).String(),
+			outage.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", failed),
+		})
+		rw.Close()
+		c.shutdown()
+	}
+	t.Notes = append(t.Notes,
+		"the cluster is one primary and two replicas; nothing external promotes — the replicas detect the lease expiry, probe each other's POSITION and the deterministic winner promotes itself",
+		"time to new primary tracks the election timeout plus one probe round: the lease must expire before anyone may stand",
+		"write unavailability adds the RW client's rediscovery on top; shorter timeouts cut the outage but widen the false-failover risk under load spikes")
+	return t, nil
+}

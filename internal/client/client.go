@@ -191,10 +191,21 @@ func (c *Client) call(ctx context.Context, req *wire.Request) (*wire.Response, e
 	return resp, nil
 }
 
+// Addr is the address this client dials.
+func (c *Client) Addr() string {
+	return c.addr
+}
+
 // Ping checks liveness.
 func (c *Client) Ping(ctx context.Context) error {
 	_, err := c.call(ctx, &wire.Request{Verb: wire.VerbPing})
 	return err
+}
+
+// Position asks the server for its replication coordinates: role, epoch,
+// total durable LSN, the primary it knows of, and the member list.
+func (c *Client) Position(ctx context.Context) (*wire.Response, error) {
+	return c.call(ctx, &wire.Request{Verb: wire.VerbPosition})
 }
 
 // OpenStore installs a new store from DTD text on the server and binds

@@ -5,43 +5,78 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"xmlordb/internal/repl"
 	"xmlordb/internal/wire"
 )
 
-// RW is a read/write-split client for a replicated deployment: writes
-// go to the primary, reads round-robin across the replicas (falling
-// back to the primary when none are configured or a replica is down).
-// A write rejected with a read-only error — the configured "primary"
-// was actually a replica, or roles moved after a promotion — is
-// redirected once to the primary the rejection names.
+// DefaultProbeInterval is how long an evicted replica stays out of the
+// read rotation before a call re-probes it.
+const DefaultProbeInterval = time.Second
+
+// RW is a read/write-split client for a replicated deployment with
+// read-your-writes consistency: writes go to the primary and record the
+// LSN the server stamps on the response; reads carry that LSN as
+// WaitLSN and round-robin across the replicas, so a replica serves the
+// read only once it holds everything this client ever wrote. A replica
+// that is too far behind (CodeLagging) loses the read to the next
+// candidate; a replica that is unreachable is evicted from the rotation
+// and re-probed periodically; the primary is the final fallback and is
+// always fresh.
+//
+// The client survives failover without reconfiguration: a write
+// rejected with a read-only error redirects to the primary the
+// rejection names, and a write that fails in transport hunts for the
+// new primary by probing every known member's POSITION until one claims
+// the role (bounded by the call's context). A retried write is
+// at-least-once — the lost response may have been applied.
 type RW struct {
 	opts []Option
 
 	mu       sync.Mutex
 	primary  *Client
-	replicas []*Client
+	replicas []*replicaConn
 	rr       int
+	lastLSN  uint64
+	probe    time.Duration
 }
 
-// DialRW connects to the primary and every replica. Replica dial
-// failures are not fatal — a replica that is down at dial time is
-// simply skipped until Close.
+// replicaConn is one replica in the rotation. c is nil until the first
+// successful dial; down parks the replica until nextProbe.
+type replicaConn struct {
+	addr      string
+	c         *Client
+	down      bool
+	nextProbe time.Time
+}
+
+// DialRW connects to the primary and registers every replica. Replica
+// dial failures are not fatal — an unreachable replica enters the
+// rotation evicted and is re-probed like any other down replica.
 func DialRW(primaryAddr string, replicaAddrs []string, opts ...Option) (*RW, error) {
 	p, err := Dial(primaryAddr, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("client: dialing primary %s: %w", primaryAddr, err)
 	}
-	rw := &RW{opts: opts, primary: p}
+	rw := &RW{opts: opts, primary: p, probe: DefaultProbeInterval}
 	for _, addr := range replicaAddrs {
-		r, err := Dial(addr, opts...)
-		if err != nil {
-			continue
+		rc := &replicaConn{addr: addr}
+		if c, err := Dial(addr, opts...); err == nil {
+			rc.c = c
+		} else {
+			rc.down = true
 		}
-		rw.replicas = append(rw.replicas, r)
+		rw.replicas = append(rw.replicas, rc)
 	}
 	return rw, nil
+}
+
+// SetProbeInterval adjusts the down-replica re-probe cadence.
+func (rw *RW) SetProbeInterval(d time.Duration) {
+	rw.mu.Lock()
+	rw.probe = d
+	rw.mu.Unlock()
 }
 
 // Close closes every connection.
@@ -49,9 +84,11 @@ func (rw *RW) Close() error {
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
 	err := rw.primary.Close()
-	for _, r := range rw.replicas {
-		if cerr := r.Close(); err == nil {
-			err = cerr
+	for _, rc := range rw.replicas {
+		if rc.c != nil {
+			if cerr := rc.c.Close(); err == nil {
+				err = cerr
+			}
 		}
 	}
 	return err
@@ -64,34 +101,57 @@ func (rw *RW) Primary() *Client {
 	return rw.primary
 }
 
-// readOrder returns the clients to try for a read: each replica once,
-// starting at the round-robin cursor, then the primary as fallback.
-func (rw *RW) readOrder() []*Client {
+// LastLSN is the highest write position the primary has acked to this
+// client — the freshness bar its reads demand.
+func (rw *RW) LastLSN() uint64 {
 	rw.mu.Lock()
 	defer rw.mu.Unlock()
-	order := make([]*Client, 0, len(rw.replicas)+1)
-	for i := range rw.replicas {
-		order = append(order, rw.replicas[(rw.rr+i)%len(rw.replicas)])
-	}
-	if len(rw.replicas) > 0 {
-		rw.rr = (rw.rr + 1) % len(rw.replicas)
-	}
-	return append(order, rw.primary)
+	return rw.lastLSN
 }
 
-// read runs fn against each candidate until one answers. Server-side
-// errors (a real query error) stop the scan — only transport failures
-// fail over to the next replica.
-func (rw *RW) read(fn func(c *Client) error) error {
-	var last error
-	for _, c := range rw.readOrder() {
-		err := fn(c)
-		if err == nil || isServerErr(err) {
-			return err
-		}
-		last = err
+func (rw *RW) noteWrite(lsn uint64) {
+	rw.mu.Lock()
+	if lsn > rw.lastLSN {
+		rw.lastLSN = lsn
 	}
-	return last
+	rw.mu.Unlock()
+}
+
+// readCandidates returns the replicas to try: healthy ones first in
+// round-robin order, then any evicted replica whose probe is due (the
+// read itself is the probe).
+func (rw *RW) readCandidates() []*replicaConn {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	now := time.Now()
+	var healthy, probes []*replicaConn
+	n := len(rw.replicas)
+	for i := 0; i < n; i++ {
+		rc := rw.replicas[(rw.rr+i)%n]
+		switch {
+		case !rc.down:
+			healthy = append(healthy, rc)
+		case now.After(rc.nextProbe):
+			probes = append(probes, rc)
+		}
+	}
+	if n > 0 {
+		rw.rr = (rw.rr + 1) % n
+	}
+	return append(healthy, probes...)
+}
+
+func (rw *RW) markDown(rc *replicaConn) {
+	rw.mu.Lock()
+	rc.down = true
+	rc.nextProbe = time.Now().Add(rw.probe)
+	rw.mu.Unlock()
+}
+
+func (rw *RW) markUp(rc *replicaConn) {
+	rw.mu.Lock()
+	rc.down = false
+	rw.mu.Unlock()
 }
 
 func isServerErr(err error) bool {
@@ -99,86 +159,248 @@ func isServerErr(err error) bool {
 	return errors.As(err, &se)
 }
 
-// write runs fn against the primary; a read-only rejection naming a
-// different primary redials there and retries once, so callers survive
-// a promotion without re-configuring.
-func (rw *RW) write(fn func(c *Client) error) error {
-	rw.mu.Lock()
-	p := rw.primary
-	rw.mu.Unlock()
-	err := fn(p)
-	var ro *repl.ReadOnlyError
-	if !errors.As(err, &ro) || ro.Primary == "" {
-		return err
+// isLagging reports a rejection meaning "alive but cannot serve this
+// read yet": CodeLagging (behind this client's last write) or
+// CodeNoStore (the store has not finished its initial snapshot seed —
+// a replica that just joined). Both pass the read to the next
+// candidate rather than failing it or evicting the node.
+func isLagging(err error) bool {
+	var se *wire.ServerError
+	return errors.As(err, &se) && (se.Code == wire.CodeLagging || se.Code == wire.CodeNoStore)
+}
+
+// readReq routes one read: each candidate replica gets the request with
+// WaitLSN set to the client's last write; lagging replicas pass the
+// read along, unreachable ones are evicted, any other server error is
+// the query's real answer. The primary is the final fallback (its reads
+// need no wait — it is where the writes landed).
+func (rw *RW) readReq(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	req.WaitLSN = rw.LastLSN()
+	var last error
+	for _, rc := range rw.readCandidates() {
+		c := rc.c
+		if c == nil {
+			nc, err := Dial(rc.addr, rw.opts...)
+			if err != nil {
+				rw.markDown(rc)
+				last = err
+				continue
+			}
+			rw.mu.Lock()
+			rc.c = nc
+			rw.mu.Unlock()
+			c = nc
+		}
+		resp, err := c.call(ctx, req)
+		if err == nil {
+			rw.markUp(rc)
+			return resp, nil
+		}
+		if isLagging(err) {
+			rw.markUp(rc) // alive, just behind
+			last = err
+			continue
+		}
+		if isServerErr(err) {
+			rw.markUp(rc)
+			return nil, err
+		}
+		rw.markDown(rc)
+		last = err
 	}
-	np, derr := Dial(ro.Primary, rw.opts...)
-	if derr != nil {
-		return errors.Join(err, derr)
+	resp, err := rw.Primary().call(ctx, req)
+	if err != nil && !isServerErr(err) {
+		// The primary is unreachable too — one rediscovery attempt so
+		// reads keep flowing through a failover.
+		np, derr := rw.rediscoverPrimary(ctx)
+		if derr != nil {
+			if last != nil {
+				return nil, errors.Join(err, last)
+			}
+			return nil, err
+		}
+		return np.call(ctx, req)
+	}
+	return resp, err
+}
+
+// maxWriteAttempts bounds one writeReq's redirect/rediscover loop so a
+// context without a deadline cannot spin forever.
+const maxWriteAttempts = 10
+
+// writeReq routes one write to the primary, following role changes:
+// a read-only rejection redirects to the primary it names, a transport
+// failure triggers rediscovery across every known member. The acked
+// response's LSN becomes the client's read freshness bar.
+func (rw *RW) writeReq(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	p := rw.Primary()
+	var lastErr error
+	for attempt := 0; attempt < maxWriteAttempts; attempt++ {
+		if ctx.Err() != nil {
+			break
+		}
+		resp, err := p.call(ctx, req)
+		if err == nil {
+			rw.noteWrite(resp.LSN)
+			return resp, nil
+		}
+		lastErr = err
+		var ro *repl.ReadOnlyError
+		switch {
+		case errors.As(err, &ro) && ro.Primary != "":
+			np, derr := rw.setPrimaryAddr(ro.Primary)
+			if derr != nil {
+				// The named primary is not reachable (yet) — fall through
+				// to rediscovery next attempt.
+				np, derr = rw.rediscoverPrimary(ctx)
+				if derr != nil {
+					return nil, errors.Join(err, derr)
+				}
+			}
+			p = np
+		case isServerErr(err):
+			return nil, err // a real engine error; a new primary won't fix it
+		default:
+			np, derr := rw.rediscoverPrimary(ctx)
+			if derr != nil {
+				return nil, errors.Join(err, derr)
+			}
+			p = np
+		}
+	}
+	return nil, lastErr
+}
+
+// setPrimaryAddr redials the write connection at addr (no-op when it is
+// already the primary's address).
+func (rw *RW) setPrimaryAddr(addr string) (*Client, error) {
+	rw.mu.Lock()
+	cur := rw.primary
+	rw.mu.Unlock()
+	if cur.Addr() == addr {
+		return cur, nil // Client redials itself on the next call
+	}
+	np, err := Dial(addr, rw.opts...)
+	if err != nil {
+		return nil, err
 	}
 	rw.mu.Lock()
 	old := rw.primary
 	rw.primary = np
 	rw.mu.Unlock()
 	old.Close()
-	return fn(np)
+	return np, nil
 }
 
-// Query runs a SELECT on a replica (primary fallback).
+// knownAddrs is every address worth probing for the primary role.
+func (rw *RW) knownAddrs() []string {
+	rw.mu.Lock()
+	defer rw.mu.Unlock()
+	out := []string{rw.primary.Addr()}
+	for _, rc := range rw.replicas {
+		out = append(out, rc.addr)
+	}
+	return out
+}
+
+// rediscoverPrimary probes every known member's POSITION until one
+// claims the primary role, following primary hints from replicas, and
+// re-points the write connection at it. Retries until ctx expires —
+// during an election there is legitimately no primary for a while.
+func (rw *RW) rediscoverPrimary(ctx context.Context) (*Client, error) {
+	for {
+		hints := map[string]bool{}
+		for _, addr := range rw.knownAddrs() {
+			role, primary, err := probePosition(ctx, addr, rw.opts)
+			if err != nil {
+				continue
+			}
+			if role == "primary" {
+				return rw.setPrimaryAddr(addr)
+			}
+			if primary != "" {
+				hints[primary] = true
+			}
+		}
+		// Replicas agree on a primary we have never dialed (a promoted
+		// node outside the original config): trust the hint if it
+		// answers as primary.
+		for addr := range hints {
+			if role, _, err := probePosition(ctx, addr, rw.opts); err == nil && role == "primary" {
+				return rw.setPrimaryAddr(addr)
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("client: no primary found among %v: %w", rw.knownAddrs(), ctx.Err())
+		case <-time.After(200 * time.Millisecond):
+		}
+	}
+}
+
+// probePosition asks one address for its role via a throwaway
+// connection.
+func probePosition(ctx context.Context, addr string, opts []Option) (role, primary string, err error) {
+	c, err := Dial(addr, opts...)
+	if err != nil {
+		return "", "", err
+	}
+	defer c.Close()
+	resp, err := c.Position(ctx)
+	if err != nil {
+		return "", "", err
+	}
+	return resp.Role, resp.Primary, nil
+}
+
+// Query runs a SELECT on a caught-up replica (primary fallback).
 func (rw *RW) Query(ctx context.Context, sqlText string) (*Result, error) {
-	var res *Result
-	err := rw.read(func(c *Client) error {
-		r, err := c.Query(ctx, sqlText)
-		res = r
-		return err
-	})
-	return res, err
+	resp, err := rw.readReq(ctx, &wire.Request{Verb: wire.VerbSQL, SQL: sqlText})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: resp.Cols, Rows: resp.Rows}, nil
 }
 
-// XPath runs an XPath query on a replica (primary fallback).
+// XPath runs an XPath query on a caught-up replica (primary fallback).
 func (rw *RW) XPath(ctx context.Context, path string) (*Result, error) {
-	var res *Result
-	err := rw.read(func(c *Client) error {
-		r, err := c.XPath(ctx, path)
-		res = r
-		return err
-	})
-	return res, err
+	resp, err := rw.readReq(ctx, &wire.Request{Verb: wire.VerbXPath, Path: path})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Cols: resp.Cols, Rows: resp.Rows, SQL: resp.SQL}, nil
 }
 
-// Retrieve reconstructs a document from a replica (primary fallback).
+// Retrieve reconstructs a document from a caught-up replica (primary
+// fallback).
 func (rw *RW) Retrieve(ctx context.Context, docID int) (string, error) {
-	var xml string
-	err := rw.read(func(c *Client) error {
-		x, err := c.Retrieve(ctx, docID)
-		xml = x
-		return err
-	})
-	return xml, err
+	resp, err := rw.readReq(ctx, &wire.Request{Verb: wire.VerbRetrieve, DocID: docID})
+	if err != nil {
+		return "", err
+	}
+	return resp.XML, nil
 }
 
 // Load writes a document through the primary.
 func (rw *RW) Load(ctx context.Context, docName, xmlText string) (int, error) {
-	var id int
-	err := rw.write(func(c *Client) error {
-		n, err := c.Load(ctx, docName, xmlText)
-		id = n
-		return err
-	})
-	return id, err
+	resp, err := rw.writeReq(ctx, &wire.Request{Verb: wire.VerbLoad, Name: docName, XML: xmlText})
+	if err != nil {
+		return 0, err
+	}
+	return resp.DocID, nil
 }
 
 // Exec runs a non-SELECT statement through the primary.
 func (rw *RW) Exec(ctx context.Context, sqlText string) (int, error) {
-	var n int
-	err := rw.write(func(c *Client) error {
-		a, err := c.Exec(ctx, sqlText)
-		n = a
-		return err
-	})
-	return n, err
+	resp, err := rw.writeReq(ctx, &wire.Request{Verb: wire.VerbSQL, SQL: sqlText})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Affected, nil
 }
 
 // Delete removes a document through the primary.
 func (rw *RW) Delete(ctx context.Context, docID int) error {
-	return rw.write(func(c *Client) error { return c.Delete(ctx, docID) })
+	_, err := rw.writeReq(ctx, &wire.Request{Verb: wire.VerbDelete, DocID: docID})
+	return err
 }

@@ -1,0 +1,308 @@
+package repl
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmlordb/internal/wal"
+)
+
+// chaosProxy sits between a replica and its feeder and misbehaves on
+// demand: it cuts the feed after a byte budget (tearing connections
+// mid-handshake and mid-frame) and delays every chunk. The budget grows
+// geometrically per connection so each retry makes net progress — the
+// flaky-network shape that must converge, not livelock.
+type chaosProxy struct {
+	ln    net.Listener
+	targ  string
+	wg    sync.WaitGroup
+	mu    sync.Mutex
+	base  int64 // first connection's feed budget; <=0 = healthy
+	conns uint
+	cuts  int
+	delay time.Duration
+}
+
+func startChaosProxy(t *testing.T, target string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, targ: target}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			p.wg.Add(1)
+			go p.handle(c)
+		}
+	}()
+	t.Cleanup(func() { ln.Close(); p.wg.Wait() })
+	return p
+}
+
+func (p *chaosProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) setBudget(base int64) {
+	p.mu.Lock()
+	p.base, p.conns = base, 0
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) heal() { p.setBudget(0) }
+
+func (p *chaosProxy) setDelay(d time.Duration) {
+	p.mu.Lock()
+	p.delay = d
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) getDelay() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.delay
+}
+
+func (p *chaosProxy) cutCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+// nextBudget hands the next connection its feed allowance: base<<conns,
+// so the first connections die mid-handshake and later ones get far
+// enough to stream before the cut.
+func (p *chaosProxy) nextBudget() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.base <= 0 {
+		return 0
+	}
+	b := p.base << p.conns
+	if p.conns < 20 {
+		p.conns++
+	}
+	return b
+}
+
+func (p *chaosProxy) handle(client net.Conn) {
+	defer p.wg.Done()
+	defer client.Close()
+	up, err := net.Dial("tcp", p.targ)
+	if err != nil {
+		return
+	}
+	defer up.Close()
+	budget := p.nextBudget()
+	done := make(chan struct{}, 2)
+	go func() { p.pipe(up, client, nil); done <- struct{}{} }() // acks: unlimited
+	go func() { // feed: budgeted
+		var b *int64
+		if budget > 0 {
+			b = &budget
+		}
+		p.pipe(client, up, b)
+		done <- struct{}{}
+	}()
+	<-done // either side dying tears both down via the deferred closes
+}
+
+func (p *chaosProxy) pipe(dst, src net.Conn, budget *int64) {
+	buf := make([]byte, 256)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := p.getDelay(); d > 0 {
+				time.Sleep(d)
+			}
+			if budget != nil {
+				if *budget -= int64(n); *budget < 0 {
+					// Deliver the prefix that fit — a frame torn mid-bytes —
+					// then drop the connection at the worst possible moment.
+					if keep := n + int(*budget); keep > 0 {
+						dst.Write(buf[:keep])
+					}
+					p.mu.Lock()
+					p.cuts++
+					p.mu.Unlock()
+					dst.Close()
+					src.Close()
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				src.Close()
+				return
+			}
+		}
+		if err != nil {
+			dst.Close()
+			return
+		}
+	}
+}
+
+// strictApplier flags any unit handed to the store out of order or
+// twice — the divergence/duplicate-apply classes the chaos tests must
+// prove impossible — before delegating to memApplier (which turns the
+// violation into an error, as the real store would).
+type strictApplier struct {
+	memApplier
+	dups int32
+}
+
+func (s *strictApplier) ApplyUnit(recs []wal.Record) error {
+	if recs[0].LSN <= s.AppliedLSN() {
+		atomic.AddInt32(&s.dups, 1)
+	}
+	return s.memApplier.ApplyUnit(recs)
+}
+
+// A replica behind a partition-prone link — connections torn down
+// mid-handshake, then mid-frame, over and over while the primary keeps
+// committing — converges to the primary's position once the network
+// heals, with every unit applied exactly once.
+func TestChaosCutsConverge(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 2) // 1..2
+
+	cfg := FeederConfig{
+		Log:       log,
+		Heartbeat: 10 * time.Millisecond,
+		Snapshot:  func() (uint64, []byte, error) { return log.LastLSN(), []byte("snap"), nil },
+	}
+	addr, stopFeed := feedServer(t, cfg)
+	defer stopFeed()
+
+	p := startChaosProxy(t, addr)
+	// 40 bytes: the first connection dies inside the handshake response,
+	// the next few die mid-frame in the stream.
+	p.setBudget(40)
+
+	app := &strictApplier{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: p.addr(), Store: "uni", Applier: app,
+			Retry: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	// Sustained write traffic while connections are being cut.
+	for i := 0; i < 20; i++ {
+		appendUnit(t, log, 2)
+		time.Sleep(3 * time.Millisecond)
+	}
+	waitCond(t, "chaos to engage", func() bool { return p.cutCount() >= 3 })
+	p.heal()
+	final := log.LastLSN()
+	app.waitLSN(t, final)
+
+	if d := atomic.LoadInt32(&app.dups); d != 0 {
+		t.Fatalf("%d units reached the store out of order or twice", d)
+	}
+	if got := app.AppliedLSN(); got != final {
+		t.Fatalf("replica converged to %d, want %d", got, final)
+	}
+}
+
+// A link that delays every chunk (both directions) slows replication
+// down but never corrupts it: the replica still converges with every
+// unit applied exactly once and no snapshot re-seed.
+func TestChaosDelaysConverge(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 2) // 1..2
+
+	snapCalls := int32(0)
+	cfg := FeederConfig{
+		Log:       log,
+		Heartbeat: 10 * time.Millisecond,
+		Snapshot: func() (uint64, []byte, error) {
+			atomic.AddInt32(&snapCalls, 1)
+			return log.LastLSN(), []byte("snap"), nil
+		},
+	}
+	addr, stopFeed := feedServer(t, cfg)
+	defer stopFeed()
+
+	p := startChaosProxy(t, addr)
+	p.setDelay(2 * time.Millisecond)
+
+	app := &strictApplier{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: p.addr(), Store: "uni", Applier: app,
+			Retry: 2 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	for i := 0; i < 10; i++ {
+		appendUnit(t, log, 2)
+		time.Sleep(2 * time.Millisecond)
+	}
+	app.waitLSN(t, log.LastLSN())
+
+	if d := atomic.LoadInt32(&app.dups); d != 0 {
+		t.Fatalf("%d units reached the store out of order or twice", d)
+	}
+	// Handshake LSN 0 on first connect fetches a snapshot; a delayed but
+	// unbroken link must never need another.
+	if calls := atomic.LoadInt32(&snapCalls); calls > 1 {
+		t.Fatalf("delays alone forced %d snapshot re-seeds", calls)
+	}
+}
+
+// A connection dropped between the replica's handshake request and the
+// feeder's response (budget 0 bytes of feed) retries cleanly: no frame
+// ever arrives, the backoff ladder climbs, and the stream establishes
+// once the network heals.
+func TestChaosMidHandshakeDrop(t *testing.T) {
+	log := openLog(t)
+	appendUnit(t, log, 3) // 1..3
+
+	addr, stopFeed := feedServer(t, FeederConfig{
+		Log:       log,
+		Heartbeat: 10 * time.Millisecond,
+		Snapshot:  func() (uint64, []byte, error) { return log.LastLSN(), []byte("snap"), nil },
+	})
+	defer stopFeed()
+
+	p := startChaosProxy(t, addr)
+	p.setBudget(1) // dies on the first handshake-response byte
+
+	app := &strictApplier{}
+	st := &Status{}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		Run(stop, ReplicaConfig{Addr: p.addr(), Store: "uni", Applier: app, Status: st,
+			Retry: 2 * time.Millisecond, RetryCap: 20 * time.Millisecond})
+	}()
+	defer func() { close(stop); wg.Wait() }()
+
+	waitCond(t, "mid-handshake cuts", func() bool { return p.cutCount() >= 2 })
+	if app.AppliedLSN() != 0 {
+		t.Fatalf("units applied through a dead handshake: lsn %d", app.AppliedLSN())
+	}
+	p.heal()
+	app.waitLSN(t, 3)
+	if !st.Connected() {
+		t.Error("stream did not report connected after the network healed")
+	}
+	if d := atomic.LoadInt32(&app.dups); d != 0 {
+		t.Fatalf("%d duplicate applies", d)
+	}
+}

@@ -1,0 +1,141 @@
+package repl
+
+// Lease-based election: the pure decision rules of automatic failover.
+//
+// The primary renews a lease by sending frames (units or heartbeats)
+// over every replication stream; a replica whose stream has gone quiet
+// past the election timeout considers the lease expired and holds an
+// election round: it probes every cluster member's POSITION and feeds
+// the answers through DecideElection. The rule is deterministic — the
+// most-advanced durable position wins, epoch first (a newer timeline
+// always beats an older one, fencing a stale ex-primary), lowest
+// address as the final tiebreak — so every replica that can see the
+// same peers computes the same winner without a coordination round.
+// A candidate acts only when it can reach a majority of the member
+// list, so a minority partition can never elect.
+//
+// The mechanics (probing, promoting, retargeting) live in the server;
+// this file is only the decision logic, kept pure so it can be tested
+// exhaustively.
+
+// PeerPosition is one node's replication coordinates, as reported by a
+// POSITION probe (or computed locally for self).
+type PeerPosition struct {
+	// Addr is the node's advertised address — the election tiebreak.
+	Addr string
+	// Role is "primary" or "replica".
+	Role string
+	// Epoch is the node's highest store timeline.
+	Epoch uint64
+	// Durable is the node's total durable LSN across stores — the
+	// election fitness: electing the most-advanced durable position
+	// minimizes (and with semi-sync acks, eliminates) acked-commit loss.
+	Durable uint64
+	// Primary is the writable primary this peer knows of, when any.
+	Primary string
+}
+
+// Better reports whether a beats b in election order: higher epoch,
+// then higher durable LSN, then lower address.
+func Better(a, b PeerPosition) bool {
+	if a.Epoch != b.Epoch {
+		return a.Epoch > b.Epoch
+	}
+	if a.Durable != b.Durable {
+		return a.Durable > b.Durable
+	}
+	return a.Addr < b.Addr
+}
+
+// ElectionAction is what a replica should do after an election round.
+type ElectionAction int
+
+const (
+	// ElectWait: no quorum of members was reachable — keep retrying,
+	// never promote from a minority partition.
+	ElectWait ElectionAction = iota
+	// ElectPromote: this replica is the deterministic winner.
+	ElectPromote
+	// ElectFollow: another node wins (or already claims primary);
+	// retarget replication to Target.
+	ElectFollow
+)
+
+// ElectionOutcome is DecideElection's verdict.
+type ElectionOutcome struct {
+	Action ElectionAction
+	// Target is the address to follow (ElectFollow).
+	Target string
+	// Reachable and Quorum report the round's membership arithmetic
+	// for diagnostics.
+	Reachable, Quorum int
+}
+
+// DecideElection runs one election round. self is this replica's own
+// position, members is the full cluster member list (self and the
+// possibly-dead primary included), peers are the positions of the
+// members that answered a probe (self excluded). The rule:
+//
+//  1. If any reachable peer already claims primary, follow the best
+//     such claim — someone won a previous round; joining it beats
+//     competing with it.
+//  2. Without a reachable majority of members (counting self), wait:
+//     a minority partition must never elect.
+//  3. Otherwise the best (epoch, durable LSN, lowest addr) position
+//     among self and the reachable peers wins: promote if it is self,
+//     follow it if not.
+//
+// Determinism note: every candidate that reaches the same peer set
+// computes the same winner. Under an asymmetric partition two
+// candidates can disagree, but both must hold a majority, so their
+// views overlap; the loser's demotion guard resolves any transient
+// double-primary via epoch/address order (see ShouldDemote).
+func DecideElection(self PeerPosition, members []string, peers []PeerPosition) ElectionOutcome {
+	out := ElectionOutcome{Reachable: 1 + len(peers), Quorum: len(members)/2 + 1}
+	var claimed *PeerPosition
+	for i := range peers {
+		p := &peers[i]
+		if p.Role == "primary" && (claimed == nil || Better(*p, *claimed)) {
+			claimed = p
+		}
+	}
+	if claimed != nil {
+		out.Action = ElectFollow
+		out.Target = claimed.Addr
+		return out
+	}
+	if out.Reachable < out.Quorum {
+		out.Action = ElectWait
+		return out
+	}
+	winner := self
+	for _, p := range peers {
+		if Better(p, winner) {
+			winner = p
+		}
+	}
+	if winner.Addr == self.Addr {
+		out.Action = ElectPromote
+	} else {
+		out.Action = ElectFollow
+		out.Target = winner.Addr
+	}
+	return out
+}
+
+// ShouldDemote reports whether a primary seeing another node also
+// claiming primary must demote itself to that node's replica: yes when
+// the other claim carries a higher epoch (it promoted after us — we
+// are the fenced stale ex-primary), or, on an epoch tie (two winners
+// of the same election round under an asymmetric partition), when the
+// other address sorts lower. Exactly one side of any double-primary
+// pair demotes.
+func ShouldDemote(self, other PeerPosition) bool {
+	if other.Role != "primary" {
+		return false
+	}
+	if other.Epoch != self.Epoch {
+		return other.Epoch > self.Epoch
+	}
+	return other.Addr < self.Addr
+}

@@ -1,0 +1,230 @@
+package repl
+
+import (
+	"testing"
+
+	"xmlordb/internal/wire"
+)
+
+func pos(addr string, epoch, durable uint64) PeerPosition {
+	return PeerPosition{Addr: addr, Role: "replica", Epoch: epoch, Durable: durable}
+}
+
+func primary(addr string, epoch, durable uint64) PeerPosition {
+	return PeerPosition{Addr: addr, Role: "primary", Epoch: epoch, Durable: durable}
+}
+
+func TestBetterOrdering(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b PeerPosition
+		want bool
+	}{
+		{"higher epoch wins over higher lsn", pos("z", 3, 1), pos("a", 2, 100), true},
+		{"lower epoch loses", pos("a", 1, 100), pos("z", 2, 1), false},
+		{"same epoch higher durable wins", pos("z", 2, 10), pos("a", 2, 9), true},
+		{"same epoch lower durable loses", pos("a", 2, 9), pos("z", 2, 10), false},
+		{"full tie lower addr wins", pos("a", 2, 10), pos("b", 2, 10), true},
+		{"full tie higher addr loses", pos("b", 2, 10), pos("a", 2, 10), false},
+	}
+	for _, tc := range cases {
+		if got := Better(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: Better(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestDecideElection(t *testing.T) {
+	members3 := []string{"a:1", "b:1", "c:1"}
+	cases := []struct {
+		name       string
+		self       PeerPosition
+		members    []string
+		peers      []PeerPosition
+		wantAction ElectionAction
+		wantTarget string
+	}{
+		{
+			// Rule 1: an existing primary claim is always followed, even
+			// when self's position looks better — joining a winner beats
+			// competing with it.
+			name:       "follow existing primary claim",
+			self:       pos("b:1", 1, 100),
+			members:    members3,
+			peers:      []PeerPosition{primary("c:1", 2, 5)},
+			wantAction: ElectFollow,
+			wantTarget: "c:1",
+		},
+		{
+			// Two claims (asymmetric partition aftermath): follow the
+			// better one.
+			name:       "follow best of two primary claims",
+			self:       pos("b:1", 1, 0),
+			members:    members3,
+			peers:      []PeerPosition{primary("c:1", 2, 5), primary("a:1", 3, 1)},
+			wantAction: ElectFollow,
+			wantTarget: "a:1",
+		},
+		{
+			// Rule 2: a lone replica in a 3-member cluster reaches only
+			// itself — a minority partition never elects.
+			name:       "no quorum waits",
+			self:       pos("b:1", 1, 100),
+			members:    members3,
+			peers:      nil,
+			wantAction: ElectWait,
+		},
+		{
+			// Rule 3: with quorum and the best position, self promotes.
+			name:       "best durable position promotes",
+			self:       pos("b:1", 1, 10),
+			members:    members3,
+			peers:      []PeerPosition{pos("c:1", 1, 9)},
+			wantAction: ElectPromote,
+		},
+		{
+			// A more-advanced peer wins; self follows it.
+			name:       "more advanced peer wins",
+			self:       pos("b:1", 1, 9),
+			members:    members3,
+			peers:      []PeerPosition{pos("c:1", 1, 10)},
+			wantAction: ElectFollow,
+			wantTarget: "c:1",
+		},
+		{
+			// A newer timeline beats a bigger LSN on an older one.
+			name:       "epoch beats durable",
+			self:       pos("b:1", 2, 1),
+			members:    members3,
+			peers:      []PeerPosition{pos("c:1", 1, 1000)},
+			wantAction: ElectPromote,
+		},
+		{
+			// Full tie: lowest address is the deterministic winner. Both
+			// replicas compute the same outcome from the same inputs.
+			name:       "address tiebreak follows lower",
+			self:       pos("c:1", 1, 10),
+			members:    members3,
+			peers:      []PeerPosition{pos("b:1", 1, 10)},
+			wantAction: ElectFollow,
+			wantTarget: "b:1",
+		},
+		{
+			name:       "address tiebreak promotes lower",
+			self:       pos("b:1", 1, 10),
+			members:    members3,
+			peers:      []PeerPosition{pos("c:1", 1, 10)},
+			wantAction: ElectPromote,
+		},
+		{
+			// 2 of 5 reachable is under quorum (3) even though self has
+			// the best position.
+			name:       "five member cluster needs three",
+			self:       pos("a:1", 9, 9),
+			members:    []string{"a:1", "b:1", "c:1", "d:1", "e:1"},
+			peers:      []PeerPosition{pos("b:1", 1, 1)},
+			wantAction: ElectWait,
+		},
+		{
+			// Two-node cluster: the survivor alone is 1 of 2, quorum 2 —
+			// it must wait, not split-brain against a maybe-alive peer.
+			name:       "two node survivor waits",
+			self:       pos("a:1", 1, 10),
+			members:    []string{"a:1", "b:1"},
+			peers:      nil,
+			wantAction: ElectWait,
+		},
+	}
+	for _, tc := range cases {
+		out := DecideElection(tc.self, tc.members, tc.peers)
+		if out.Action != tc.wantAction {
+			t.Errorf("%s: action %v, want %v (outcome %+v)", tc.name, out.Action, tc.wantAction, out)
+			continue
+		}
+		if tc.wantAction == ElectFollow && out.Target != tc.wantTarget {
+			t.Errorf("%s: target %q, want %q", tc.name, out.Target, tc.wantTarget)
+		}
+	}
+}
+
+// Every member of a symmetric cluster computes the same winner — the
+// property that lets the cluster elect without a coordination round.
+func TestDecideElectionDeterministic(t *testing.T) {
+	all := []PeerPosition{pos("a:1", 2, 7), pos("b:1", 2, 7), pos("c:1", 2, 5)}
+	members := []string{"a:1", "b:1", "c:1"}
+	winners := map[string]bool{}
+	for i, self := range all {
+		peers := make([]PeerPosition, 0, len(all)-1)
+		for j, p := range all {
+			if j != i {
+				peers = append(peers, p)
+			}
+		}
+		out := DecideElection(self, members, peers)
+		switch out.Action {
+		case ElectPromote:
+			winners[self.Addr] = true
+		case ElectFollow:
+			winners[out.Target] = true
+		default:
+			t.Fatalf("node %s: unexpected wait: %+v", self.Addr, out)
+		}
+	}
+	if len(winners) != 1 || !winners["a:1"] {
+		t.Fatalf("cluster did not converge on one winner: %v", winners)
+	}
+}
+
+func TestShouldDemote(t *testing.T) {
+	cases := []struct {
+		name        string
+		self, other PeerPosition
+		want        bool
+	}{
+		{"higher epoch claim demotes us", primary("b:1", 1, 100), primary("c:1", 2, 1), true},
+		{"lower epoch claim is the stale one", primary("b:1", 2, 1), primary("c:1", 1, 100), false},
+		{"equal epoch lower addr wins", primary("b:1", 2, 5), primary("a:1", 2, 5), true},
+		{"equal epoch higher addr loses", primary("a:1", 2, 5), primary("b:1", 2, 5), false},
+		{"replica peer never demotes us", primary("b:1", 1, 1), pos("a:1", 9, 9), false},
+	}
+	for _, tc := range cases {
+		if got := ShouldDemote(tc.self, tc.other); got != tc.want {
+			t.Errorf("%s: ShouldDemote(%+v, %+v) = %v, want %v", tc.name, tc.self, tc.other, got, tc.want)
+		}
+	}
+	// Exactly one side of any double-primary pair demotes.
+	a, b := primary("a:1", 2, 5), primary("b:1", 2, 5)
+	if ShouldDemote(a, b) == ShouldDemote(b, a) {
+		t.Fatal("double-primary pair must demote exactly one side")
+	}
+}
+
+func TestCanFastForward(t *testing.T) {
+	hist := []wire.EpochStart{
+		{Epoch: 1, StartLSN: 0}, // v1-era record: fork point unknown
+		{Epoch: 2, StartLSN: 10},
+		{Epoch: 3, StartLSN: 25},
+	}
+	cases := []struct {
+		name    string
+		epoch   uint64
+		applied uint64
+		history []wire.EpochStart
+		want    bool
+	}{
+		{"stopped before the fork", 1, 9, hist, true},
+		{"stopped exactly at the fork", 1, 10, hist, false},
+		{"ran past the fork", 1, 12, hist, false},
+		{"epoch 2 replica before epoch 3 fork", 2, 20, hist, true},
+		{"epoch 2 replica past epoch 3 fork", 2, 30, hist, false},
+		{"already current epoch", 3, 5, hist, false},
+		{"future epoch", 4, 5, hist, false},
+		{"no history", 1, 5, nil, false},
+		{"unknown fork point (v1 record)", 0, 0, hist[:1], false},
+	}
+	for _, tc := range cases {
+		if got := CanFastForward(tc.epoch, tc.applied, tc.history); got != tc.want {
+			t.Errorf("%s: CanFastForward(%d, %d) = %v, want %v", tc.name, tc.epoch, tc.applied, got, tc.want)
+		}
+	}
+}

@@ -29,9 +29,38 @@ type FeederConfig struct {
 	// locking the store requires.
 	Snapshot func() (lsn uint64, data []byte, err error)
 	// Epoch is the primary's current timeline for this store. A replica
-	// whose handshake epoch differs is snapshot re-seeded regardless of
-	// LSN positions: its history may have diverged (stale ex-primary).
+	// whose handshake epoch differs is snapshot re-seeded — unless the
+	// Epochs history proves its position predates the fork, in which
+	// case the stream fast-forwards it onto the new timeline.
 	Epoch uint64
+	// Epochs is the store's epoch history (where each timeline began).
+	// Empty = no history known: every cross-epoch handshake re-seeds.
+	Epochs []wire.EpochStart
+	// EpochNow, when non-nil, returns the store's epoch and history at
+	// call time rather than the handshake-time Epoch/Epochs above.
+	// Heartbeats carry it so a feed that crosses a promotion (this node
+	// elected itself mid-stream) moves its downstream replicas onto the
+	// new timeline without a reconnect.
+	EpochNow func() (uint64, []wire.EpochStart)
+	// Primary, when non-nil, returns the writable primary's advertised
+	// address for heartbeat lease metadata. On a chained feeder this is
+	// the ultimate primary, not the feeder itself.
+	Primary func() string
+	// Peers, when non-nil, returns the cluster member list for
+	// heartbeat lease metadata.
+	Peers func() []string
+	// LeaseFresh, when non-nil, reports whether this feeder's node is
+	// rooted at a live primary: true on the primary itself, and on a
+	// relaying replica only while its own lease is rooted-fresh. Frames
+	// are marked lease-bearing only when it returns true, so election
+	// leases can never be kept alive by a cycle of headless replicas
+	// feeding each other. nil = always lease-bearing (plain replication
+	// without automatic failover).
+	LeaseFresh func() bool
+	// OnAck, when non-nil, observes every replica ack (the replica's
+	// durable LSN). The server uses it to release semi-synchronous
+	// commit waits.
+	OnAck func(lsn uint64)
 	// UnitChunkBytes bounds the raw record payload per unit frame; a
 	// larger unit is split across frames and reassembled by the
 	// replica. 0 = wire.ReplUnitChunk. Tests use tiny values to
@@ -109,6 +138,7 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 	if heartbeat <= 0 {
 		heartbeat = DefaultHeartbeat
 	}
+	leaseFresh := func() bool { return cfg.LeaseFresh == nil || cfg.LeaseFresh() }
 
 	// Pin retention at the replica's position before looking at the
 	// log's horizon: once the pin is in place TruncateBefore cannot pass
@@ -118,11 +148,29 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 	defer pin.Release()
 	fs.acked.Store(lastApplied)
 
+	if lastEpoch > cfg.Epoch {
+		// The replica lives on a newer timeline than this feeder: WE are
+		// the stale side. Serving our history would roll the replica
+		// backwards; refuse and let it retarget (or let our own demotion
+		// guard catch up).
+		sendErr(w, fmt.Sprintf("replica epoch %d is newer than feeder epoch %d", lastEpoch, cfg.Epoch))
+		return fmt.Errorf("repl: replica on newer epoch %d (feeder at %d)", lastEpoch, cfg.Epoch)
+	}
 	last := cfg.Log.LastLSN()
 	needSnap := lastApplied == 0 || // empty replica: needs schema + state
 		lastApplied > last || // replica ahead of this log: diverged
-		lastEpoch != cfg.Epoch || // different timeline: history may have diverged
 		from < cfg.Log.FirstLSN() // behind retention: backlog is gone
+	if !needSnap && lastEpoch != cfg.Epoch {
+		// Cross-epoch handshake: stream only if the epoch history proves
+		// the replica stopped before the fork off its timeline — then its
+		// prefix is ours too and the tail fast-forwards it. Otherwise its
+		// history may have diverged (stale ex-primary): re-seed.
+		needSnap = !CanFastForward(lastEpoch, lastApplied, cfg.Epochs)
+		if !needSnap {
+			lg("repl feed %s: fast-forwarding replica from epoch %d @%d onto epoch %d",
+				fs.Addr, lastEpoch, lastApplied, cfg.Epoch)
+		}
+	}
 	if needSnap {
 		snapLSN, data, err := cfg.Snapshot()
 		if err != nil {
@@ -137,7 +185,8 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 			if end > len(data) {
 				end = len(data)
 			}
-			f := wire.ReplFrame{Type: wire.ReplSnap, LSN: snapLSN, Data: data[off:end], Last: end == len(data)}
+			f := wire.ReplFrame{Type: wire.ReplSnap, LSN: snapLSN, Data: data[off:end],
+				Last: end == len(data), Lease: leaseFresh()}
 			if err := wire.WriteFrame(w, &f); err != nil {
 				return fmt.Errorf("repl: sending snapshot chunk: %w", err)
 			}
@@ -171,11 +220,32 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 			fs.acked.Store(ack.LSN)
 			fs.lastAckNanos.Store(time.Now().UnixNano())
 			pin.Move(ack.LSN + 1)
+			if cfg.OnAck != nil {
+				cfg.OnAck(ack.LSN)
+			}
 		}
 	}()
 
+	heartbeatFrame := func() *wire.ReplFrame {
+		f := &wire.ReplFrame{Type: wire.ReplHeartbeat, PrimaryLSN: cfg.Log.LastLSN(), Lease: leaseFresh()}
+		if cfg.Primary != nil {
+			f.Primary = cfg.Primary()
+		}
+		if cfg.Peers != nil {
+			f.Peers = cfg.Peers()
+		}
+		if cfg.EpochNow != nil {
+			f.Epoch, f.Epochs = cfg.EpochNow()
+		} else {
+			f.Epoch, f.Epochs = cfg.Epoch, cfg.Epochs
+		}
+		return f
+	}
+
 	// Tell the replica where the primary stands before the first unit.
-	if err := wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplHeartbeat, PrimaryLSN: cfg.Log.LastLSN()}); err != nil {
+	// This first heartbeat also signals a fast-forwarded replica that no
+	// snapshot is coming, so it can adopt the new epoch.
+	if err := wire.WriteFrame(w, heartbeatFrame()); err != nil {
 		return fmt.Errorf("repl: sending heartbeat: %w", err)
 	}
 
@@ -202,7 +272,7 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 			chunk = wire.ReplUnitChunk
 		}
 		for _, unit := range units {
-			bytes, err := writeUnit(w, unit, primaryLSN, chunk)
+			bytes, err := writeUnit(w, unit, primaryLSN, chunk, leaseFresh())
 			if err != nil {
 				return err
 			}
@@ -227,7 +297,7 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 		select {
 		case <-notify:
 		case <-ticker.C:
-			if err := wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplHeartbeat, PrimaryLSN: cfg.Log.LastLSN()}); err != nil {
+			if err := wire.WriteFrame(w, heartbeatFrame()); err != nil {
 				return fmt.Errorf("repl: sending heartbeat: %w", err)
 			}
 		case err := <-ackErr:
@@ -248,13 +318,13 @@ func ServeFeed(w io.Writer, br *bufio.Reader, lastApplied, lastEpoch uint64, sto
 // Partial set (payload continues in the next frame's first record) and
 // only the final frame of the unit carries Last. It returns the unit's
 // total payload bytes.
-func writeUnit(w io.Writer, unit wal.Unit, primaryLSN uint64, chunk int) (int, error) {
+func writeUnit(w io.Writer, unit wal.Unit, primaryLSN uint64, chunk int, lease bool) (int, error) {
 	lastLSN := unit[len(unit)-1].LSN
 	total := 0
 	var recs []wire.ReplRecord
 	budget := chunk
 	flush := func(last bool) error {
-		f := wire.ReplFrame{Type: wire.ReplUnit, LSN: lastLSN, PrimaryLSN: primaryLSN, Recs: recs, Last: last}
+		f := wire.ReplFrame{Type: wire.ReplUnit, LSN: lastLSN, PrimaryLSN: primaryLSN, Recs: recs, Last: last, Lease: lease}
 		if err := wire.WriteFrame(w, &f); err != nil {
 			return fmt.Errorf("repl: sending unit @%d: %w", lastLSN, err)
 		}
@@ -289,4 +359,25 @@ func writeUnit(w io.Writer, unit wal.Unit, primaryLSN uint64, chunk int) (int, e
 // closes the stream.
 func sendErr(w io.Writer, msg string) {
 	_ = wire.WriteFrame(w, &wire.ReplFrame{Type: wire.ReplError, Error: msg})
+}
+
+// CanFastForward reports whether a replica on an older timeline may be
+// streamed forward instead of snapshot re-seeded: true iff the epoch
+// history contains the first timeline newer than the replica's and the
+// replica's applied position stops before that fork (StartLSN-1). A
+// replica that applied anything at or past the fork may hold records
+// the new timeline rewrote — only a re-seed is safe. An unknown fork
+// (StartLSN 0, from pre-history EPOCH files) always re-seeds.
+func CanFastForward(replicaEpoch, replicaApplied uint64, history []wire.EpochStart) bool {
+	var fork *wire.EpochStart
+	for i := range history {
+		e := &history[i]
+		if e.Epoch > replicaEpoch && (fork == nil || e.Epoch < fork.Epoch) {
+			fork = e
+		}
+	}
+	if fork == nil || fork.StartLSN == 0 {
+		return false
+	}
+	return replicaApplied < fork.StartLSN
 }

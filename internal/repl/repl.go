@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"xmlordb/internal/wal"
+	"xmlordb/internal/wire"
 )
 
 // Applier is the replica-side storage hook: the server implements it on
@@ -33,8 +34,15 @@ type Applier interface {
 	ApplyUnit(recs []wal.Record) error
 	// ResetFromSnapshot discards the replica's state and re-seeds it
 	// from a primary checkpoint snapshot covering positions up to lsn,
-	// adopting the primary's epoch as the local timeline.
-	ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error
+	// adopting the primary's epoch (and its epoch history, when known)
+	// as the local timeline.
+	ResetFromSnapshot(lsn, epoch uint64, history []wire.EpochStart, snapshot []byte) error
+	// AdoptEpoch moves the local state onto the feeder's timeline
+	// without re-seeding: the feeder's epoch history proved our applied
+	// prefix predates the fork, so the state is valid on the new epoch
+	// as-is. Called before the first streamed unit of a fast-forwarded
+	// connection.
+	AdoptEpoch(epoch uint64, history []wire.EpochStart) error
 	// AppliedLSN reports the highest LSN appended to the local log —
 	// the handshake position, since the stream must continue the local
 	// log exactly (the next unit starts at AppliedLSN()+1).
@@ -46,8 +54,9 @@ type Applier interface {
 	DurableLSN() uint64
 	// Epoch reports the timeline the local state belongs to. Sent in
 	// the handshake; the primary forces a snapshot re-seed when it
-	// differs from its own, catching divergent histories (e.g. a
-	// crashed ex-primary) that plain LSN arithmetic cannot.
+	// differs from its own — unless its epoch history proves our
+	// position predates the fork — catching divergent histories (e.g.
+	// a crashed ex-primary) that plain LSN arithmetic cannot.
 	Epoch() uint64
 }
 

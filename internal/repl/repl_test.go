@@ -27,6 +27,8 @@ type memApplier struct {
 	// sync-on-apply store where durable == applied.
 	trackDurable bool
 	durable      uint64
+	history      []wire.EpochStart
+	adopted      int // AdoptEpoch calls (epoch fast-forwards)
 }
 
 func (m *memApplier) ApplyUnit(recs []wal.Record) error {
@@ -45,14 +47,24 @@ func (m *memApplier) ApplyUnit(recs []wal.Record) error {
 	return nil
 }
 
-func (m *memApplier) ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error {
+func (m *memApplier) ResetFromSnapshot(lsn, epoch uint64, history []wire.EpochStart, snapshot []byte) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.snap = append([]byte(nil), snapshot...)
 	m.units = nil
 	m.lsn = lsn
 	m.epoch = epoch
+	m.history = append([]wire.EpochStart(nil), history...)
 	m.durable = lsn
+	return nil
+}
+
+func (m *memApplier) AdoptEpoch(epoch uint64, history []wire.EpochStart) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.epoch = epoch
+	m.history = append([]wire.EpochStart(nil), history...)
+	m.adopted++
 	return nil
 }
 

@@ -42,13 +42,40 @@ func (s *Server) isReadOnly() bool {
 	return s.replica
 }
 
+// currentUpstream is the address this replica is pulling from. It starts
+// as ReplicaOf/ChainOf and changes when failover retargets the node.
+func (s *Server) currentUpstream() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.upstream
+}
+
+// currentPrimaryAddr is the writable primary as this node knows it: its
+// own advertised address when primary, otherwise the primary learned
+// from lease heartbeats (falling back to the upstream address).
+func (s *Server) currentPrimaryAddr() string {
+	s.mu.Lock()
+	replica := s.replica
+	known := s.knownPrimary
+	up := s.upstream
+	s.mu.Unlock()
+	if !replica {
+		return s.advertiseAddr()
+	}
+	if known != "" {
+		return known
+	}
+	return up
+}
+
 // readOnlyResp is the typed rejection every write verb gets on a
 // replica: CodeReadOnly plus the primary's address, so clients can
 // redirect instead of guessing.
 func (s *Server) readOnlyResp() *wire.Response {
-	err := &repl.ReadOnlyError{Primary: s.cfg.ReplicaOf}
+	primary := s.currentPrimaryAddr()
+	err := &repl.ReadOnlyError{Primary: primary}
 	return &wire.Response{OK: false, Code: wire.CodeReadOnly, Error: err.Error(),
-		Role: RoleReplica, Primary: s.cfg.ReplicaOf}
+		Role: RoleReplica, Primary: primary}
 }
 
 // feedEntry is one connected replica in the primary's registry.
@@ -77,12 +104,11 @@ func (s *Server) unregisterFeed(e *feedEntry) {
 // replicate handles the REPLICATE verb: validate, register the replica,
 // and hand the connection over to the feeder. The OK response goes out
 // through the normal session write path; the returned takeover closure
-// then owns the socket until the stream ends.
+// then owns the socket until the stream ends. Replicas serve feeds too —
+// that is what makes chained replica-of-replica topologies work — and
+// relay the ultimate primary and peer list downstream in heartbeats.
 func (ss *session) replicate(req *wire.Request) *wire.Response {
 	s := ss.srv
-	if s.isReadOnly() {
-		return fail(wire.CodeRepl, "cannot replicate from a replica; the primary is %s", s.cfg.ReplicaOf)
-	}
 	if req.Name == "" {
 		return fail(wire.CodeBadRequest, "REPLICATE requires name")
 	}
@@ -90,14 +116,31 @@ func (ss *session) replicate(req *wire.Request) *wire.Response {
 	if hs == nil {
 		return fail(wire.CodeNoStore, "unknown store %q", req.Name)
 	}
-	log := hs.store.WAL()
+	// Lock-free handshake reads via the published ref: a mid-chain
+	// replica can serve REPLICATE while its own store is being re-seeded.
+	// A stale view is fine — the swap closes the old store, this feed
+	// dies with it, and the downstream replica reconnects fresh.
+	store := hs.current()
+	log := store.WAL()
 	if log == nil {
 		return fail(wire.CodeRepl, "store %q is not durable; replication needs -durability", hs.name)
+	}
+	// An election-eligible replica announces its advertised address in
+	// the handshake; the serving node adds it to the member list it ships
+	// in heartbeats, so every replica learns who may vote. Replicas track
+	// handshake members too: during an interregnum an election loser
+	// retargets onto the presumptive winner before it has promoted, and
+	// that handshake is how the winner learns enough members to see a
+	// quorum. Chained replicas stay out of the list — they follow their
+	// configured upstream and never stand.
+	if req.Addr != "" && !req.Chained {
+		s.addMember(req.Addr)
 	}
 	fs := &repl.FeedStatus{Addr: ss.conn.RemoteAddr().String()}
 	lastApplied := req.LSN
 	lastEpoch := req.Epoch
-	epoch := hs.store.Epoch()
+	epoch := store.Epoch()
+	history := toWireEpochs(store.EpochHistory())
 	ss.takeover = func() {
 		entry := s.registerFeed(hs.name, fs)
 		defer s.unregisterFeed(entry)
@@ -108,9 +151,18 @@ func (ss *session) replicate(req *wire.Request) *wire.Response {
 				defer hs.mu.RUnlock()
 				return hs.store.ReadCheckpointSnapshot()
 			},
-			Epoch:         epoch,
+			Epoch:  epoch,
+			Epochs: history,
+			EpochNow: func() (uint64, []wire.EpochStart) {
+				st := hs.current()
+				return st.Epoch(), toWireEpochs(st.EpochHistory())
+			},
 			MaxLagRecords: s.cfg.ReplMaxLagRecords,
-			Heartbeat:     s.cfg.ReplHeartbeat,
+			Heartbeat:     s.cfg.replHeartbeat(),
+			Primary:       s.currentPrimaryAddr,
+			Peers:         s.memberList,
+			LeaseFresh:    s.leaseRooted,
+			OnAck:         func(uint64) { s.broadcastAck() },
 			Status:        fs,
 			Logf:          s.cfg.Logf,
 		}
@@ -118,7 +170,24 @@ func (ss *session) replicate(req *wire.Request) *wire.Response {
 			s.cfg.logf("repl feed %s -> %s: %v", hs.name, fs.Addr, err)
 		}
 	}
-	return &wire.Response{OK: true, Role: RolePrimary, LSN: log.LastLSN(), Epoch: epoch}
+	return &wire.Response{OK: true, Role: s.Role(), LSN: log.LastLSN(), Epoch: epoch, Epochs: history}
+}
+
+// toWireEpochs converts a store's epoch timeline to its wire form.
+func toWireEpochs(hist []xmlordb.EpochStart) []wire.EpochStart {
+	out := make([]wire.EpochStart, len(hist))
+	for i, e := range hist {
+		out[i] = wire.EpochStart{Epoch: e.Epoch, StartLSN: e.StartLSN}
+	}
+	return out
+}
+
+func fromWireEpochs(hist []wire.EpochStart) []xmlordb.EpochStart {
+	out := make([]xmlordb.EpochStart, len(hist))
+	for i, e := range hist {
+		out[i] = xmlordb.EpochStart{Epoch: e.Epoch, StartLSN: e.StartLSN}
+	}
+	return out
 }
 
 // storeApplier implements repl.Applier on a hosted store: units apply
@@ -194,24 +263,28 @@ func (a *storeApplier) ApplyUnit(recs []wal.Record) error {
 	return nil
 }
 
-func (a *storeApplier) ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) error {
+func (a *storeApplier) ResetFromSnapshot(lsn, epoch uint64, history []wire.EpochStart, snapshot []byte) error {
 	if err := xmlordb.VerifySnapshot(snapshot); err != nil {
 		return fmt.Errorf("snapshot transfer rejected: %w", err)
 	}
+	hist := fromWireEpochs(history)
 	if hs := a.s.lookupStore(a.name); hs != nil {
 		hs.mu.Lock()
 		defer hs.mu.Unlock()
 		// Close first: the bootstrap wipes the directory the old store's
-		// log still has open.
+		// log still has open. A downstream chained replica feeding off the
+		// old store's WAL loses its stream here and reconnects against the
+		// fresh one — self-healing, at the cost of one resync.
 		hs.store.Close()
-		st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, snapshot, a.opts)
+		st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, hist, snapshot, a.opts)
 		if err != nil {
 			return fmt.Errorf("re-seeding %q: %w", a.name, err)
 		}
 		hs.store = st
+		hs.ref.Store(st)
 		return nil
 	}
-	st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, snapshot, a.opts)
+	st, err := xmlordb.BootstrapDirFromSnapshot(a.dir, lsn, epoch, hist, snapshot, a.opts)
 	if err != nil {
 		return fmt.Errorf("seeding %q: %w", a.name, err)
 	}
@@ -222,34 +295,68 @@ func (a *storeApplier) ResetFromSnapshot(lsn, epoch uint64, snapshot []byte) err
 	return nil
 }
 
+// AdoptEpoch fast-forwards the store onto the upstream's newer timeline
+// without a snapshot transfer (the replica verifiably holds no record
+// the new timeline forked away).
+func (a *storeApplier) AdoptEpoch(epoch uint64, history []wire.EpochStart) error {
+	hs := a.s.lookupStore(a.name)
+	if hs == nil {
+		return fmt.Errorf("store %q not hosted yet; snapshot required", a.name)
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.store.AdoptEpoch(epoch, fromWireEpochs(history))
+}
+
 // DefaultReplStoreRefresh is how often a replica re-queries the
 // primary's store list for stores OPENed after the replica connected.
 const DefaultReplStoreRefresh = 5 * time.Second
 
 // StartReplication puts the server in replica role and begins pulling
-// every one of the primary's stores. The store list is fetched from the
-// primary (with retries — the primary may still be booting) and then
-// re-queried periodically, so a store OPENed on the primary after the
-// replica connected is picked up and replicated too; each store gets
-// its own applier goroutine that streams, applies and reconnects until
-// shutdown or promotion. Call after RestoreDir so locally recovered
-// stores resume from their applied position instead of a full snapshot
-// transfer.
+// every one of the upstream's stores (the primary for -replica-of, a
+// fellow replica for -chain-of). The store list is fetched from the
+// upstream (with retries — it may still be booting) and then re-queried
+// periodically, so a store OPENed after the replica connected is picked
+// up and replicated too; each store gets its own applier goroutine that
+// streams, applies and reconnects until shutdown or promotion. Call
+// after RestoreDir so locally recovered stores resume from their applied
+// position instead of a full snapshot transfer.
 func (s *Server) StartReplication() error {
-	if s.cfg.ReplicaOf == "" {
+	up := s.cfg.upstreamAddr()
+	if up == "" {
 		return nil
+	}
+	if s.cfg.ReplicaOf != "" && s.cfg.ChainOf != "" {
+		return fmt.Errorf("server: -replica-of and -chain-of are mutually exclusive")
 	}
 	if !s.cfg.durable() || s.cfg.SnapshotDir == "" {
 		return fmt.Errorf("server: replica mode needs -durability and a data directory")
 	}
-	opts, err := s.cfg.durableOptions()
-	if err != nil {
+	if _, err := s.cfg.durableOptions(); err != nil {
 		return err
 	}
 	s.mu.Lock()
 	s.replica = true
+	s.chained = s.cfg.ChainOf != ""
+	s.upstream = up
 	s.mu.Unlock()
+	s.loadPeers()
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.startReplicationLocked()
+	return nil
+}
 
+// startReplicationLocked starts a fresh replication generation against
+// the current upstream: new stop channel, empty applier set, and the
+// store-list poll goroutine. roleMu must be held; any prior generation
+// must already be stopped.
+func (s *Server) startReplicationLocked() {
+	opts, err := s.cfg.durableOptions()
+	if err != nil {
+		s.cfg.logf("repl: %v", err)
+		return
+	}
 	refresh := s.cfg.ReplStoreRefresh
 	if refresh <= 0 {
 		refresh = DefaultReplStoreRefresh
@@ -258,44 +365,68 @@ func (s *Server) StartReplication() error {
 	if retry <= 0 {
 		retry = repl.DefaultRetry
 	}
+	s.mu.Lock()
+	s.replStop = make(chan struct{})
+	s.replStopped = false
+	s.appliers = map[string]*storeApplier{}
+	s.leaseAt = time.Now()
+	up := s.upstream
+	stop := s.replStop
+	s.mu.Unlock()
+
 	s.replWg.Add(1)
 	go func() {
 		defer s.replWg.Done()
+		// Under automatic failover the handshake must carry our advertised
+		// address (anonymous replicas are invisible to elections), so wait
+		// for the listener to bind before the first connection.
+		if s.cfg.ElectionTimeout > 0 && s.cfg.ChainOf == "" {
+			for s.advertiseAddr() == "" {
+				select {
+				case <-stop:
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+		}
 		warned := map[string]bool{} // unusable names, logged once each
 		for {
-			names, err := queryStores(s.cfg.ReplicaOf)
+			names, err := queryStores(up)
 			delay := refresh
 			if err != nil {
-				s.cfg.logf("repl: primary %s store list: %v (retrying)", s.cfg.ReplicaOf, err)
+				s.cfg.logf("repl: upstream %s store list: %v (retrying)", up, err)
 				delay = retry
 			}
 			for _, name := range names {
 				if !storeNameRe.MatchString(name) {
 					if !warned[name] {
 						warned[name] = true
-						s.cfg.logf("repl: skipping primary store with unusable name %q", name)
+						s.cfg.logf("repl: skipping upstream store with unusable name %q", name)
 					}
 					continue
 				}
-				s.ensureApplier(name, opts)
+				s.ensureApplier(name, up, stop, opts)
 			}
 			select {
-			case <-s.replStop:
+			case <-stop:
 				return
 			case <-time.After(delay):
 			}
 		}
 	}()
-	return nil
 }
 
-// ensureApplier starts the replication runner for one primary store.
-// Idempotent: rediscovering an already-replicated name is a no-op.
-func (s *Server) ensureApplier(name string, opts xmlordb.DurableOptions) {
+// ensureApplier starts the replication runner for one upstream store.
+// Idempotent within a generation: rediscovering an already-replicated
+// name is a no-op. up and stop are the generation's upstream address and
+// stop channel — captured, not re-read, so a retarget can never splice
+// an old runner onto a new upstream.
+func (s *Server) ensureApplier(name, up string, stop chan struct{}, opts xmlordb.DurableOptions) {
 	key := strings.ToLower(name)
 	s.mu.Lock()
-	if s.appliers == nil {
-		s.appliers = map[string]*storeApplier{}
+	if s.replStop != stop || s.replStopped {
+		s.mu.Unlock() // stale generation
+		return
 	}
 	if _, ok := s.appliers[key]; ok {
 		s.mu.Unlock()
@@ -309,18 +440,22 @@ func (s *Server) ensureApplier(name string, opts xmlordb.DurableOptions) {
 		status: &repl.Status{},
 	}
 	s.appliers[key] = a
+	chained := s.chained
 	s.mu.Unlock()
-	s.cfg.logf("repl: replicating store %q from %s", name, s.cfg.ReplicaOf)
+	s.cfg.logf("repl: replicating store %q from %s", name, up)
 	s.replWg.Add(1)
 	go func() {
 		defer s.replWg.Done()
-		repl.Run(s.replStop, repl.ReplicaConfig{
-			Addr:    s.cfg.ReplicaOf,
-			Store:   a.name,
-			Applier: a,
-			Status:  a.status,
-			Retry:   s.cfg.ReplRetry,
-			Logf:    s.cfg.Logf,
+		repl.Run(stop, repl.ReplicaConfig{
+			Addr:        up,
+			Store:       a.name,
+			Applier:     a,
+			Status:      a.status,
+			Retry:       s.cfg.ReplRetry,
+			Advertise:   s.advertiseAddr,
+			Chained:     chained,
+			OnLeaseMeta: s.onLeaseMeta,
+			Logf:        s.cfg.Logf,
 		})
 	}()
 }
@@ -360,14 +495,24 @@ func queryStores(addr string) ([]string, error) {
 // promoted primary must keep serving its own replicas (Shutdown stops
 // them separately via stopFeeds).
 func (s *Server) stopReplication() {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
+	s.stopReplicationLocked()
+}
+
+// stopReplicationLocked tears down the current replication generation.
+// roleMu must be held. The wait never deadlocks: applier goroutines take
+// store locks and s.mu, never roleMu.
+func (s *Server) stopReplicationLocked() {
 	s.mu.Lock()
 	stopped := s.replStopped
 	s.replStopped = true
+	stop := s.replStop
 	s.mu.Unlock()
 	if stopped {
 		return
 	}
-	close(s.replStop)
+	close(stop)
 	s.replWg.Wait()
 }
 
@@ -397,11 +542,14 @@ func (s *Server) stopFeeds() {
 // read-only with no stream). Safe to call on an already-primary server
 // (no-op with its current LSN).
 func (s *Server) Promote() (uint64, error) {
+	s.roleMu.Lock()
+	defer s.roleMu.Unlock()
 	s.mu.Lock()
 	wasReplica := s.replica
+	oldUpstream := s.upstream
 	s.mu.Unlock()
 	if wasReplica {
-		s.stopReplication()
+		s.stopReplicationLocked()
 	}
 
 	s.mu.Lock()
@@ -448,12 +596,19 @@ func (s *Server) Promote() (uint64, error) {
 		}
 	}
 
+	self := s.advertiseAddr()
 	s.mu.Lock()
 	promoted := s.replica
 	s.replica = false
+	s.knownPrimary = self
+	if self != "" {
+		s.members[self] = struct{}{}
+	}
+	s.leaseAt = time.Now()
 	s.mu.Unlock()
 	if promoted {
-		s.cfg.logf("promoted to primary at lsn %d (was replicating %s)", maxLSN, s.cfg.ReplicaOf)
+		s.savePeers()
+		s.cfg.logf("promoted to primary at lsn %d (was replicating %s)", maxLSN, oldUpstream)
 	}
 	return maxLSN, errors.Join(errs...)
 }
@@ -473,7 +628,7 @@ func (s *Server) replStats() *wire.ReplStats {
 	s.mu.Unlock()
 
 	if replica {
-		rs := &wire.ReplStats{Role: RoleReplica, Primary: s.cfg.ReplicaOf}
+		rs := &wire.ReplStats{Role: RoleReplica, Primary: s.currentUpstream()}
 		for _, a := range appliers {
 			rs.Stores = append(rs.Stores, a.status.Report(a.name, a.AppliedLSN()))
 		}
@@ -493,7 +648,7 @@ func (s *Server) replStats() *wire.ReplStats {
 		}
 		var primaryLSN uint64
 		if hs := s.lookupStore(e.store); hs != nil {
-			if log := hs.store.WAL(); log != nil {
+			if log := hs.current().WAL(); log != nil {
 				primaryLSN = log.LastLSN()
 			}
 		}

@@ -28,6 +28,7 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"sync/atomic"
 	"sort"
 	"strings"
 	"sync"
@@ -79,6 +80,43 @@ type Config struct {
 	// PROMOTE detaches the server into a standalone primary. Requires a
 	// durable config (Durability + SnapshotDir).
 	ReplicaOf string
+	// ChainOf, when set, starts the server as a chained replica pulling
+	// from another replica at this address instead of the primary. A
+	// chained replica serves reads and feeds further replicas but never
+	// stands for election and never retargets: it follows its configured
+	// upstream wherever that upstream's chain leads. Mutually exclusive
+	// with ReplicaOf.
+	ChainOf string
+	// Advertise is the address peers dial to reach this server for
+	// POSITION probes, election queries and read-your-writes routing.
+	// Empty = derived from the bound listener address. Replicas without
+	// an advertised address are invisible to elections.
+	Advertise string
+	// ElectionTimeout enables automatic failover when > 0: a replica
+	// whose upstream stream has been silent this long considers the
+	// primary's lease expired and holds a deterministic election; a
+	// primary probes its peers and demotes itself when it finds a
+	// successor on a newer epoch. 0 = manual PROMOTE only (PR 5
+	// behaviour).
+	ElectionTimeout time.Duration
+	// LeaseInterval is the failover loop's poll cadence and the
+	// replication stream's heartbeat interval under automatic failover
+	// (default ElectionTimeout/4). The primary renews its lease by
+	// sending any frame; heartbeats bound the renewal gap when idle.
+	LeaseInterval time.Duration
+	// ReplSyncAcks, when > 0, makes writes semi-synchronous: a write
+	// response is held until this many connected replicas have durably
+	// acked the write's LSN (or ReplSyncTimeout expires, failing the
+	// response even though the write is locally durable — at-least-once,
+	// never silent loss). With at least one ack required, an acked
+	// commit survives the loss of the primary whenever the acking
+	// replica (or a peer ahead of it) wins the election.
+	ReplSyncAcks int
+	// ReplSyncTimeout bounds a semi-synchronous commit wait (default 5s).
+	ReplSyncTimeout time.Duration
+	// ReadWait bounds how long a read carrying WaitLSN blocks for the
+	// store to catch up before failing with CodeLagging (default 2s).
+	ReadWait time.Duration
 	// ReplMaxLagRecords drops a connected replica whose acked position
 	// trails the primary by more than this many WAL records; the replica
 	// re-syncs via snapshot transfer. 0 = never drop (the slowest
@@ -137,6 +175,51 @@ func (c Config) durableOptions() (xmlordb.DurableOptions, error) {
 	return xmlordb.DurableOptions{Sync: pol, SyncInterval: c.WALSyncInterval, SegmentBytes: c.WALSegmentBytes}, nil
 }
 
+// upstreamAddr is the configured replication upstream: the primary
+// (ReplicaOf) or, for a chained replica, another replica (ChainOf).
+func (c Config) upstreamAddr() string {
+	if c.ReplicaOf != "" {
+		return c.ReplicaOf
+	}
+	return c.ChainOf
+}
+
+// leaseInterval is the failover poll / heartbeat cadence.
+func (c Config) leaseInterval() time.Duration {
+	if c.LeaseInterval > 0 {
+		return c.LeaseInterval
+	}
+	if c.ElectionTimeout > 0 {
+		return c.ElectionTimeout / 4
+	}
+	return time.Second
+}
+
+// replHeartbeat is the feeder's idle heartbeat interval. Under automatic
+// failover it is clamped to the lease cadence: heartbeats are the lease
+// renewals, so they must outpace the election timeout.
+func (c Config) replHeartbeat() time.Duration {
+	hb := c.ReplHeartbeat
+	if c.ElectionTimeout > 0 && (hb <= 0 || hb > c.leaseInterval()) {
+		hb = c.leaseInterval()
+	}
+	return hb
+}
+
+func (c Config) readWait() time.Duration {
+	if c.ReadWait > 0 {
+		return c.ReadWait
+	}
+	return 2 * time.Second
+}
+
+func (c Config) syncTimeout() time.Duration {
+	if c.ReplSyncTimeout > 0 {
+		return c.ReplSyncTimeout
+	}
+	return 5 * time.Second
+}
+
 // hostedStore is one named Store plus the server-side lock that
 // serializes its writers. dirty marks un-snapshotted writes.
 type hostedStore struct {
@@ -144,9 +227,22 @@ type hostedStore struct {
 	mu    sync.RWMutex
 	store *xmlordb.Store
 
+	// ref mirrors store for lock-free readers — STATS, the REPLICATE
+	// handshake, WAIT_LSN gating — that must not take mu (a session
+	// holding the write lock in an open transaction still asks for
+	// stats). Every swap of store updates ref in the same critical
+	// section; readers get the old or the new store, never a torn read.
+	ref atomic.Pointer[xmlordb.Store]
+
 	dirtyMu sync.Mutex
 	dirty   bool
 }
+
+// current is the lock-free view of the hosted store for readers that
+// cannot take mu. The snapshot-transfer swap (ResetFromSnapshot) may
+// retire the returned store at any time; engine accessors are internally
+// locked, so stale reads are safe, just stale.
+func (hs *hostedStore) current() *xmlordb.Store { return hs.ref.Load() }
 
 func (hs *hostedStore) markDirty() {
 	hs.dirtyMu.Lock()
@@ -183,8 +279,13 @@ type Server struct {
 
 	// Replication state (internal/server/repl.go). replica flips to
 	// false on PROMOTE; feeds is the primary-side registry of connected
-	// replicas; appliers is the replica-side per-store state.
+	// replicas; appliers is the replica-side per-store state. The
+	// replication runtime (replStop/replWg/appliers) is generational:
+	// stopReplicationLocked tears one generation down, and
+	// startReplicationLocked starts a fresh one against the current
+	// upstream — that restartability is what retarget and demote build on.
 	replica      bool
+	chained      bool
 	replStopped  bool
 	feedsStopped bool
 	feeds        map[*feedEntry]struct{}
@@ -192,6 +293,28 @@ type Server struct {
 	feedStop     chan struct{}
 	replStop     chan struct{}
 	replWg       sync.WaitGroup
+
+	// Failover view (internal/server/failover.go): the mutable upstream
+	// address, the last primary learned from lease heartbeats, and the
+	// cluster member list. leaseAt is the baseline lease renewal — set
+	// when a replication generation starts so a fresh replica doesn't
+	// instantly see an "expired" lease.
+	upstream     string
+	knownPrimary string
+	members      map[string]struct{}
+	leaseAt      time.Time
+	retargeting  bool
+
+	// roleMu serializes role transitions — start/stop of the replication
+	// runtime, Promote, demote, retarget. Never held on request paths.
+	roleMu   sync.Mutex
+	failStop chan struct{}
+	failDone chan struct{}
+
+	// ackCh is closed and remade on every replica ack: the semi-sync
+	// broadcast waiters sleep on (see waitReplicated).
+	ackMu sync.Mutex
+	ackCh chan struct{}
 }
 
 // New returns a server with no stores hosted yet.
@@ -204,6 +327,8 @@ func New(cfg Config) *Server {
 		metrics:  newMetrics(),
 		feedStop: make(chan struct{}),
 		replStop: make(chan struct{}),
+		members:  map[string]struct{}{},
+		ackCh:    make(chan struct{}),
 	}
 }
 
@@ -224,7 +349,9 @@ func (s *Server) AddStore(name string, st *xmlordb.Store) error {
 	if _, ok := s.opening[key]; ok {
 		return fmt.Errorf("server: store %q is being opened", name)
 	}
-	s.stores[key] = &hostedStore{name: name, store: st}
+	hs := &hostedStore{name: name, store: st}
+	hs.ref.Store(st)
+	s.stores[key] = hs
 	s.storeOrder = append(s.storeOrder, key)
 	return nil
 }
@@ -265,6 +392,7 @@ func (s *Server) installStore(name string, st *xmlordb.Store) *hostedStore {
 	key := strings.ToLower(name)
 	delete(s.opening, key)
 	hs := &hostedStore{name: name, store: st}
+	hs.ref.Store(st)
 	s.stores[key] = hs
 	s.storeOrder = append(s.storeOrder, key)
 	return hs
@@ -520,6 +648,12 @@ func (s *Server) Serve(ln net.Listener) error {
 			s.cfg.logf("stats http: %v", err)
 		}
 	}
+	// The failover loop needs the bound address (elections identify
+	// nodes by advertised address), so it starts here rather than in
+	// StartReplication. Chained replicas never elect.
+	if s.cfg.ElectionTimeout > 0 && s.cfg.ChainOf == "" {
+		s.startFailover()
+	}
 
 	for {
 		conn, err := ln.Accept()
@@ -614,10 +748,13 @@ func (s *Server) statsPayload() *wire.Stats {
 		Verbs:         s.metrics.verbStats(),
 	}
 	for _, hs := range hosted {
-		cs := hs.store.CacheStats()
-		dbs := hs.store.DB().Stats()
+		// The lock-free ref, not hs.store: a replication snapshot
+		// transfer may be swapping the store right now.
+		store := hs.current()
+		cs := store.CacheStats()
+		dbs := store.DB().Stats()
 		docs := 0
-		if tab, err := hs.store.DB().Table(hs.store.Schema.RootTable); err == nil {
+		if tab, err := store.DB().Table(store.Schema.RootTable); err == nil {
 			docs = tab.RowCount()
 		}
 		ss := wire.StoreStats{
@@ -632,7 +769,7 @@ func (s *Server) statsPayload() *wire.Stats {
 			Derefs:      dbs.Derefs,
 			IndexProbes: dbs.IndexProbes,
 		}
-		if ws, ok := hs.store.WALStats(); ok {
+		if ws, ok := store.WALStats(); ok {
 			ss.Durable = true
 			ss.WALRecords = ws.Appends
 			ss.WALBytes = ws.Bytes
@@ -679,9 +816,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.snapStop)
 		<-s.snapDone
 	}
-	// Stop replication before draining sessions: feeders exit their
-	// streams (their sessions then drain like any other) and a replica's
-	// appliers stop pulling before the stores close.
+	// Stop replication before draining sessions: the failover loop first
+	// (so it cannot promote or retarget mid-shutdown), then feeders exit
+	// their streams (their sessions then drain like any other) and a
+	// replica's appliers stop pulling before the stores close.
+	s.stopFailover()
 	s.stopFeeds()
 	s.stopReplication()
 	for _, sess := range sessions {

@@ -128,7 +128,11 @@ func (ss *session) serve() {
 		if f := ss.takeover; f != nil {
 			ss.takeover = nil
 			if ok && !ss.draining.Load() {
-				ss.conn.SetReadDeadline(time.Time{}) // streams outlive the idle timeout
+				// Streams outlive both the idle timeout and writeResponse's
+				// 30s write deadline — a leftover write deadline would kill
+				// every replication feed mid-heartbeat half a minute in.
+				ss.conn.SetReadDeadline(time.Time{})
+				ss.conn.SetWriteDeadline(time.Time{})
 				f()
 			}
 			return
@@ -219,23 +223,88 @@ func (ss *session) withRead(hs *hostedStore, fn func() *wire.Response) *wire.Res
 
 // withWrite runs fn under hs's write lock (or directly inside this
 // session's own transaction). A successful write marks the store dirty
-// for the snapshot loop.
+// for the snapshot loop, is stamped with the store's WAL position (the
+// token a read-your-writes client echoes back as WaitLSN), and — when
+// semi-sync is on and the WAL actually advanced — waits for replica
+// acks. Inside an open transaction the WAL does not move until COMMIT,
+// so the stamp is the conservative pre-transaction position and the
+// COMMIT response carries the real one.
 func (ss *session) withWrite(hs *hostedStore, fn func() *wire.Response) *wire.Response {
 	var resp *wire.Response
-	if ss.tx == hs {
+	var before, after uint64
+	run := func() {
+		if log := hs.store.WAL(); log != nil {
+			before = log.LastLSN()
+		}
 		resp = fn()
+		if resp.OK {
+			if log := hs.store.WAL(); log != nil {
+				after = log.LastLSN()
+				resp.LSN = after
+			}
+		}
+	}
+	if ss.tx == hs {
+		run()
 	} else {
 		if ss.tx != nil {
 			return fail(wire.CodeTx, "transaction open on store %q; COMMIT or ROLLBACK first", ss.tx.name)
 		}
 		hs.mu.Lock()
-		resp = fn()
+		run()
 		hs.mu.Unlock()
 	}
 	if resp.OK {
 		hs.markDirty()
+		if after > before {
+			return ss.awaitSync(hs, resp)
+		}
 	}
 	return resp
+}
+
+// awaitSync holds a successful write response until ReplSyncAcks
+// replicas have durably acked its LSN. Called after the store lock is
+// released so replication (and other sessions) proceed while we wait.
+// A timeout fails the response even though the write is locally durable
+// and will replicate — at-least-once, never silent loss.
+func (ss *session) awaitSync(hs *hostedStore, resp *wire.Response) *wire.Response {
+	s := ss.srv
+	need := s.cfg.ReplSyncAcks
+	if need <= 0 || resp.LSN == 0 || s.isReadOnly() {
+		return resp
+	}
+	if err := s.waitReplicated(hs.name, resp.LSN, need); err != nil {
+		return &wire.Response{OK: false, Code: wire.CodeRepl, Error: err.Error(), LSN: resp.LSN}
+	}
+	return resp
+}
+
+// waitApplied gates a replica read that carries WaitLSN: block (bounded
+// by ReadWait) until the store's WAL reaches the client's last write,
+// else CodeLagging so a read-your-writes client falls back to another
+// replica or the primary. On a primary reads are trivially current — it
+// is the fallback target itself.
+func (ss *session) waitApplied(hs *hostedStore, want uint64) *wire.Response {
+	if want == 0 || !ss.srv.isReadOnly() {
+		return nil
+	}
+	log := hs.current().WAL()
+	if log == nil {
+		return fail(wire.CodeLagging, "store %q has no wal; cannot honor wait_lsn", hs.name)
+	}
+	if log.LastLSN() >= want {
+		return nil
+	}
+	budget := ss.srv.cfg.readWait()
+	stop := make(chan struct{})
+	t := time.AfterFunc(budget, func() { close(stop) })
+	defer t.Stop()
+	if last, ok := log.WaitFor(want, stop); !ok {
+		return fail(wire.CodeLagging, "store %q applied through lsn %d; still awaiting %d after %v",
+			hs.name, last, want, budget)
+	}
+	return nil
 }
 
 // dispatch executes one decoded request.
@@ -249,6 +318,9 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 		return &wire.Response{OK: true, Stores: ss.srv.StoreNames()}
 	case wire.VerbStats:
 		return &wire.Response{OK: true, Stats: ss.srv.statsPayload()}
+	case wire.VerbPosition:
+		ss.srv.observeProber(req.Addr)
+		return ss.srv.positionResp()
 
 	case wire.VerbReplicate:
 		return ss.replicate(req)
@@ -341,6 +413,9 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 		if req.DocID <= 0 {
 			return fail(wire.CodeBadRequest, "RETRIEVE requires docid")
 		}
+		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
+			return lag
+		}
 		return ss.withRead(hs, func() *wire.Response {
 			xml, err := hs.store.RetrieveXML(req.DocID)
 			if err != nil {
@@ -363,6 +438,9 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 	case wire.VerbXPath:
 		if req.Path == "" {
 			return fail(wire.CodeBadRequest, "XPATH requires path")
+		}
+		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
+			return lag
 		}
 		return ss.withRead(hs, func() *wire.Response {
 			rows, stmt, err := hs.store.XPath(req.Path)
@@ -411,6 +489,9 @@ func (ss *session) dispatchSQL(hs *hostedStore, req *wire.Request) *wire.Respons
 	}
 	switch st := stmt.(type) {
 	case *sql.SelectStmt:
+		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
+			return lag
+		}
 		return ss.withRead(hs, func() *wire.Response {
 			rows, err := hs.store.Query(req.SQL)
 			if err != nil {
@@ -489,9 +570,13 @@ func (ss *session) commit(hs *hostedStore) *wire.Response {
 		}
 	}
 	ss.tx = nil
+	var lsn uint64
+	if log := hs.store.WAL(); log != nil {
+		lsn = log.LastLSN()
+	}
 	hs.mu.Unlock()
 	hs.markDirty()
-	return &wire.Response{OK: true}
+	return ss.awaitSync(hs, &wire.Response{OK: true, LSN: lsn})
 }
 
 // rollback rolls the session transaction back and releases the write lock.

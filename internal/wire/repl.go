@@ -28,7 +28,10 @@ const (
 	// the next frame's first record. The replica reassembles and applies
 	// the unit only when Last arrives.
 	ReplUnit = "unit"
-	// ReplHeartbeat is a periodic liveness/lag frame: PrimaryLSN only.
+	// ReplHeartbeat is a periodic liveness/lag frame: PrimaryLSN, plus
+	// the lease metadata (Primary, Peers) that keeps replicas' cluster
+	// views current. Receiving any frame renews the replica's lease on
+	// its upstream; heartbeats bound how stale the lease can be.
 	ReplHeartbeat = "hb"
 	// ReplResync tells the replica its backlog was truncated (it fell
 	// past the retention cutoff): drop the stream, reconnect, and expect
@@ -83,6 +86,31 @@ type ReplFrame struct {
 	Recs []ReplRecord `json:"recs,omitempty"`
 	// Error carries the failure text (err).
 	Error string `json:"error,omitempty"`
+	// Primary is the writable primary's advertised address as the feeder
+	// knows it (hb). On a chained feeder this names the ultimate
+	// primary, not the feeder itself, so read-only redirects and
+	// retargeting work through any depth of chain.
+	Primary string `json:"primary,omitempty"`
+	// Peers is the cluster member list (hb): advertised addresses of the
+	// primary and its election-eligible replicas. Replicas persist it so
+	// an election can be held even after a full-cluster restart.
+	Peers []string `json:"peers,omitempty"`
+	// Lease marks a frame whose sender's replication chain roots at a
+	// live primary (the sender IS the primary, or the sender's own lease
+	// is rooted-fresh). Only lease-bearing frames renew the receiver's
+	// election lease: freshness can originate solely at a real primary,
+	// so a cycle of headless replicas feeding each other cannot keep its
+	// own leases alive and elections re-fire until someone promotes.
+	Lease bool `json:"lease,omitempty"`
+	// Epoch is the feeder's current timeline at send time (hb), with
+	// Epochs its history. A feeder that promotes mid-stream (a chained
+	// replica's upstream winning an election) keeps streaming the same
+	// continuous WAL, so the receiver's state stays a valid prefix of
+	// the new timeline — these fields let it adopt the bumped epoch
+	// without a reconnect, which would otherwise force a needless
+	// snapshot re-seed at the next handshake.
+	Epoch  uint64       `json:"epoch,omitempty"`
+	Epochs []EpochStart `json:"epochs,omitempty"`
 }
 
 // ReplAck is one replica→primary stream frame: the highest LSN the

@@ -47,6 +47,12 @@ const (
 	// primary: replication streams stop, WAL tails are fsynced, every
 	// store checkpoints, and the role flips to primary.
 	VerbPromote = "PROMOTE"
+	// VerbPosition reports the server's replication coordinates without
+	// touching any store: role, highest store epoch, total durable LSN,
+	// the writable primary it knows of, and the cluster member list. It
+	// is the probe used by elections, the demotion guard and the RW
+	// client's primary rediscovery, so it must stay cheap and lock-light.
+	VerbPosition = "POSITION"
 )
 
 // Error codes carried in Response.Code so typed clients can branch
@@ -60,6 +66,11 @@ const (
 	CodeTooLarge   = "too_large"   // frame exceeded the server limit
 	CodeReadOnly   = "read_only"   // write rejected by a replica; Primary names the writable node
 	CodeRepl       = "repl"        // replication protocol error
+	// CodeLagging rejects a read whose WaitLSN the store did not reach
+	// within the server's read-wait budget: the replica is too far
+	// behind for read-your-writes, and the client should try another
+	// replica or fall back to the primary.
+	CodeLagging = "lagging"
 )
 
 // Request is one client frame.
@@ -88,9 +99,23 @@ type Request struct {
 	// Each promotion bumps the primary's epoch; a mismatch means the
 	// replica's history may have diverged from the primary's (e.g. a
 	// crashed primary re-seeding from its successor), so the primary
-	// forces a snapshot transfer regardless of LSN positions. 0 = no
-	// local state, always snapshot-seeded.
+	// forces a snapshot transfer unless the feeder's epoch history
+	// proves the replica stopped before the fork. 0 = no local state,
+	// always snapshot-seeded.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Addr is the replica's advertised client address (REPLICATE): the
+	// address peers should dial for POSITION probes and election
+	// queries. Empty = the replica is anonymous and election-invisible.
+	Addr string `json:"addr,omitempty"`
+	// Chained marks a REPLICATE handshake from a chained (replica-of-
+	// replica) follower: it is excluded from the election member list,
+	// since it follows whatever its upstream follows.
+	Chained bool `json:"chained,omitempty"`
+	// WaitLSN gates a read verb (RETRIEVE/XPATH/SQL SELECT) behind the
+	// store's WAL reaching at least this position: the read-your-writes
+	// barrier. The server waits up to its read-wait budget, then fails
+	// with CodeLagging. 0 = read immediately.
+	WaitLSN uint64 `json:"wait_lsn,omitempty"`
 }
 
 // Response is one server frame.
@@ -116,16 +141,37 @@ type Response struct {
 	// Stats carries the STATS payload.
 	Stats *Stats `json:"stats,omitempty"`
 	// Role reports the server's replication role ("primary"/"replica")
-	// on PROMOTE responses and read-only rejections.
+	// on PROMOTE/POSITION responses and read-only rejections.
 	Role string `json:"role,omitempty"`
 	// Primary names the writable primary's address on read-only
-	// rejections, so clients can redirect the write.
+	// rejections and POSITION responses, so clients can redirect writes.
 	Primary string `json:"primary,omitempty"`
-	// LSN reports a log position: the promoted tail LSN on PROMOTE.
+	// LSN reports a log position: the promoted tail LSN on PROMOTE, the
+	// total durable LSN on POSITION, and the store's last WAL position
+	// after a successful write verb — the token a client passes back as
+	// WaitLSN for read-your-writes.
 	LSN uint64 `json:"lsn,omitempty"`
-	// Epoch reports the primary's current timeline on a REPLICATE OK:
-	// the replica adopts it when it snapshot-seeds.
+	// Epoch reports the primary's current timeline on a REPLICATE OK
+	// (the replica adopts it when it seeds or fast-forwards) and the
+	// highest store epoch on POSITION.
 	Epoch uint64 `json:"epoch,omitempty"`
+	// Epochs is the primary's epoch history on a REPLICATE OK: where
+	// each timeline began, so a mid-chain or promoted server can later
+	// prove which old-epoch replicas may stream instead of re-seeding.
+	Epochs []EpochStart `json:"epochs,omitempty"`
+	// Peers is the cluster member list on POSITION responses: advertised
+	// addresses of the primary and its election-eligible replicas.
+	Peers []string `json:"peers,omitempty"`
+}
+
+// EpochStart records where one replication timeline began: StartLSN is
+// the first LSN written on Epoch (promotion forks at StartLSN-1). The
+// history lets a feeder prove that a replica still on an older epoch
+// never applied anything past the fork and can stream forward instead
+// of re-seeding from a snapshot.
+type EpochStart struct {
+	Epoch    uint64 `json:"epoch"`
+	StartLSN uint64 `json:"start_lsn"`
 }
 
 // Err converts a failed response into an error (nil when OK).

@@ -112,10 +112,11 @@ func (s *Store) ReadCheckpointSnapshot() (lsn uint64, data []byte, err error) {
 // BootstrapDirFromSnapshot (re-)seeds a replica's durable directory from
 // a primary's checkpoint snapshot taken at lsn on timeline epoch: any
 // previous contents are discarded, the snapshot becomes the directory's
-// checkpoint, the epoch becomes the directory's timeline, and a fresh
-// WAL is opened whose next LSN is lsn+1 — the position the primary will
-// stream from. Returns the recovered store.
-func BootstrapDirFromSnapshot(dir string, lsn, epoch uint64, snapshot []byte, opts DurableOptions) (*Store, error) {
+// checkpoint, the epoch (and the primary's epoch history, when known)
+// becomes the directory's timeline, and a fresh WAL is opened whose
+// next LSN is lsn+1 — the position the primary will stream from.
+// Returns the recovered store.
+func BootstrapDirFromSnapshot(dir string, lsn, epoch uint64, history []EpochStart, snapshot []byte, opts DurableOptions) (*Store, error) {
 	if err := os.RemoveAll(dir); err != nil {
 		return nil, err
 	}
@@ -134,7 +135,10 @@ func BootstrapDirFromSnapshot(dir string, lsn, epoch uint64, snapshot []byte, op
 	if epoch == 0 {
 		epoch = 1
 	}
-	if err := writeEpoch(dir, epoch); err != nil {
+	if len(history) == 0 {
+		history = []EpochStart{{Epoch: epoch, StartLSN: 0}}
+	}
+	if err := writeEpoch(dir, epoch, history); err != nil {
 		return nil, err
 	}
 	return LoadStoreDir(dir, opts)

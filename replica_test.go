@@ -37,7 +37,7 @@ func TestApplyReplicatedUnitMirrorsPrimary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replica, err := BootstrapDirFromSnapshot(filepath.Join(replicaDir, "uni"), lsn, 1, snap, DurableOptions{Sync: wal.SyncNever})
+	replica, err := BootstrapDirFromSnapshot(filepath.Join(replicaDir, "uni"), lsn, 1, nil, snap, DurableOptions{Sync: wal.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestApplyReplicatedUnitDetectsDivergence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	replica, err := BootstrapDirFromSnapshot(filepath.Join(t.TempDir(), "uni"), lsn, 1, snap, DurableOptions{Sync: wal.SyncNever})
+	replica, err := BootstrapDirFromSnapshot(filepath.Join(t.TempDir(), "uni"), lsn, 1, nil, snap, DurableOptions{Sync: wal.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +144,7 @@ func TestReplicaRecoversAppendedUnit(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "uni")
-	replica, err := BootstrapDirFromSnapshot(dir, lsn, 1, snap, DurableOptions{Sync: wal.SyncNever})
+	replica, err := BootstrapDirFromSnapshot(dir, lsn, 1, nil, snap, DurableOptions{Sync: wal.SyncNever})
 	if err != nil {
 		t.Fatal(err)
 	}
