@@ -153,8 +153,13 @@ func (w *walState) record(kind byte, payload any) error {
 		w.mu.Unlock()
 		return nil
 	}
-	_, err := w.log.AppendBatch([]wal.Entry{e})
-	return err
+	if _, err := w.log.AppendBatch([]wal.Entry{e}); err != nil {
+		return err
+	}
+	// The engine published this autocommitted change before its record
+	// existed; re-stamp the version so its LSN covers the record.
+	w.db.Republish()
+	return nil
 }
 
 // TxCommitted appends the transaction's buffered records as one commit
@@ -219,23 +224,25 @@ type WALStats struct {
 // WALStats reports the durability counters; ok is false for a purely
 // in-memory store.
 func (s *Store) WALStats() (st WALStats, ok bool) {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return WALStats{}, false
 	}
-	st.Stats = s.wal.log.Stats()
-	s.wal.mu.Lock()
-	st.Replayed = s.wal.replayed
-	st.CheckpointLSN = s.wal.ckptLSN
-	s.wal.mu.Unlock()
+	st.Stats = w.log.Stats()
+	w.mu.Lock()
+	st.Replayed = w.replayed
+	st.CheckpointLSN = w.ckptLSN
+	w.mu.Unlock()
 	return st, true
 }
 
 // Dir returns the durable store directory, or "" for in-memory stores.
 func (s *Store) Dir() string {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return ""
 	}
-	return s.wal.dir
+	return w.dir
 }
 
 // OpenDir opens a durable store rooted at dir: when the directory holds
@@ -311,8 +318,8 @@ func LoadStoreDir(dir string, opts DurableOptions) (*Store, error) {
 // WAL and takes the initial checkpoint. The store must not be mid-
 // transaction and must not already be durable.
 func (s *Store) AttachDir(dir string, opts DurableOptions) error {
-	if s.wal != nil {
-		return fmt.Errorf("xmlordb: store is already durable (%s)", s.wal.dir)
+	if w := s.wal.Load(); w != nil {
+		return fmt.Errorf("xmlordb: store is already durable (%s)", w.dir)
 	}
 	if s.Engine.DB().CurrentTx() != nil {
 		return fmt.Errorf("xmlordb: AttachDir with a transaction open")
@@ -339,8 +346,14 @@ func (s *Store) AttachDir(dir string, opts DurableOptions) error {
 
 func (s *Store) attachWAL(log *wal.Log, dir string, ckpt uint64, replayed int, epoch uint64, epochs []EpochStart) {
 	w := &walState{log: log, dir: dir, db: s.Engine.DB(), ckptLSN: ckpt, replayed: replayed, epoch: epoch, epochs: epochs}
-	s.wal = w
-	s.Engine.DB().SetTxObserver(w)
+	s.wal.Store(w)
+	db := s.Engine.DB()
+	db.SetTxObserver(w)
+	// Version LSNs come from the log from here on; the version published
+	// before attach (or during replay) predates that wiring, so re-stamp
+	// it to the log's current position.
+	db.SetLSNSource(log.LastLSN)
+	db.Republish()
 }
 
 // EpochStart records where one replication timeline began: StartLSN is
@@ -354,12 +367,13 @@ type EpochStart struct {
 // Epoch reports the store's replication timeline (0 for in-memory
 // stores, which have no replication identity).
 func (s *Store) Epoch() uint64 {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return 0
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
-	return s.wal.epoch
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.epoch
 }
 
 // EpochHistory returns where each known timeline began, sorted by
@@ -368,12 +382,13 @@ func (s *Store) Epoch() uint64 {
 // be partial — a missing entry only costs a snapshot re-seed, never
 // correctness.
 func (s *Store) EpochHistory() []EpochStart {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return nil
 	}
-	s.wal.mu.Lock()
-	defer s.wal.mu.Unlock()
-	return append([]EpochStart(nil), s.wal.epochs...)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]EpochStart(nil), w.epochs...)
 }
 
 // BumpEpoch starts a new replication timeline: promotion calls it so
@@ -386,17 +401,18 @@ func (s *Store) EpochHistory() []EpochStart {
 // in-process handshake checks must see the new timeline — and the
 // persist error is returned so callers can surface it.
 func (s *Store) BumpEpoch() (uint64, error) {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return 0, fmt.Errorf("xmlordb: BumpEpoch on an in-memory store")
 	}
-	fork := s.wal.log.LastLSN()
-	s.wal.mu.Lock()
-	s.wal.epoch++
-	epoch := s.wal.epoch
-	s.wal.epochs = append(s.wal.epochs, EpochStart{Epoch: epoch, StartLSN: fork + 1})
-	epochs := append([]EpochStart(nil), s.wal.epochs...)
-	dir := s.wal.dir
-	s.wal.mu.Unlock()
+	fork := w.log.LastLSN()
+	w.mu.Lock()
+	w.epoch++
+	epoch := w.epoch
+	w.epochs = append(w.epochs, EpochStart{Epoch: epoch, StartLSN: fork + 1})
+	epochs := append([]EpochStart(nil), w.epochs...)
+	dir := w.dir
+	w.mu.Unlock()
 	return epoch, writeEpoch(dir, epoch, epochs)
 }
 
@@ -407,17 +423,18 @@ func (s *Store) BumpEpoch() (uint64, error) {
 // store's writer exclusion. Like BumpEpoch, the in-memory state
 // adopts the new timeline even if persisting fails.
 func (s *Store) AdoptEpoch(epoch uint64, history []EpochStart) error {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return fmt.Errorf("xmlordb: AdoptEpoch on an in-memory store")
 	}
-	s.wal.mu.Lock()
-	s.wal.epoch = epoch
+	w.mu.Lock()
+	w.epoch = epoch
 	if len(history) > 0 {
-		s.wal.epochs = append([]EpochStart(nil), history...)
+		w.epochs = append([]EpochStart(nil), history...)
 	}
-	epochs := append([]EpochStart(nil), s.wal.epochs...)
-	dir := s.wal.dir
-	s.wal.mu.Unlock()
+	epochs := append([]EpochStart(nil), w.epochs...)
+	dir := w.dir
+	w.mu.Unlock()
 	return writeEpoch(dir, epoch, epochs)
 }
 
@@ -427,30 +444,38 @@ func (s *Store) AdoptEpoch(epoch uint64, history []EpochStart) error {
 // needs. Requires a durable store with no open transaction; callers
 // must hold the store's writer exclusion.
 func (s *Store) Checkpoint() error {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return fmt.Errorf("xmlordb: Checkpoint on an in-memory store (use AttachDir first)")
 	}
 	if s.Engine.DB().CurrentTx() != nil {
 		return fmt.Errorf("xmlordb: Checkpoint with a transaction open")
 	}
-	lsn := s.wal.log.LastLSN()
-	path := filepath.Join(s.wal.dir, snapshotFileName(lsn))
-	if err := writeFileAtomic(path, s.Save); err != nil {
+	// Serialize the published MVCC version rather than the live store:
+	// the snapshot is consistent at the version's LSN by construction
+	// and its writing takes no engine lock. Under the caller's writer
+	// exclusion the version covers the log's full history (Republish
+	// runs after every autocommit append and Commit publishes after the
+	// observer), so this equals the log's last LSN.
+	rv := s.ReadView()
+	lsn := rv.VersionLSN()
+	path := filepath.Join(w.dir, snapshotFileName(lsn))
+	if err := writeFileAtomic(path, rv.Save); err != nil {
 		return fmt.Errorf("xmlordb: writing checkpoint snapshot: %w", err)
 	}
-	if err := writeCheckpoint(s.wal.dir, lsn); err != nil {
+	if err := writeCheckpoint(w.dir, lsn); err != nil {
 		return err
 	}
-	s.wal.mu.Lock()
-	s.wal.ckptLSN = lsn
-	s.wal.mu.Unlock()
+	w.mu.Lock()
+	w.ckptLSN = lsn
+	w.mu.Unlock()
 	// Best-effort pruning: failures leave garbage, not incorrectness.
-	_ = s.wal.log.TruncateBefore(lsn + 1)
-	if ents, err := os.ReadDir(s.wal.dir); err == nil {
+	_ = w.log.TruncateBefore(lsn + 1)
+	if ents, err := os.ReadDir(w.dir); err == nil {
 		for _, e := range ents {
 			var n uint64
 			if c, err := fmt.Sscanf(e.Name(), snapshotPattern, &n); err == nil && c == 1 && n != lsn {
-				_ = os.Remove(filepath.Join(s.wal.dir, e.Name()))
+				_ = os.Remove(filepath.Join(w.dir, e.Name()))
 			}
 		}
 	}
@@ -462,13 +487,13 @@ func (s *Store) Checkpoint() error {
 // no-op. It does NOT checkpoint — pair with Checkpoint for a clean
 // shutdown that makes the next open replay-free.
 func (s *Store) Close() error {
-	if s.wal == nil {
+	w := s.wal.Swap(nil)
+	if w == nil {
 		return nil
 	}
 	s.Engine.DB().SetTxObserver(nil)
-	err := s.wal.log.Close()
-	s.wal = nil
-	return err
+	s.Engine.DB().SetLSNSource(nil)
+	return w.log.Close()
 }
 
 // applyWALRecord re-executes one redo record during recovery. It runs
@@ -514,33 +539,36 @@ func (s *Store) applyWALRecord(rec wal.Record) error {
 // Each is a no-op on in-memory stores.
 
 func (s *Store) walLogLoad(doc *xmldom.Document, docName, xmlText string, docID int) error {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return nil
 	}
 	if xmlText == "" {
 		xmlText = xmldom.Serialize(doc)
 	}
-	if err := s.wal.record(RecLoad, walLoadPayload{DocID: docID, DocName: docName, XML: xmlText}); err != nil {
+	if err := w.record(RecLoad, walLoadPayload{DocID: docID, DocName: docName, XML: xmlText}); err != nil {
 		return fmt.Errorf("xmlordb: document %d loaded but not logged: %w", docID, err)
 	}
 	return nil
 }
 
 func (s *Store) walLogDelete(docID int) error {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return nil
 	}
-	if err := s.wal.record(RecDelete, walDeletePayload{DocID: docID}); err != nil {
+	if err := w.record(RecDelete, walDeletePayload{DocID: docID}); err != nil {
 		return fmt.Errorf("xmlordb: document %d deleted but not logged: %w", docID, err)
 	}
 	return nil
 }
 
 func (s *Store) walLogSQL(sqlText string) error {
-	if s.wal == nil || !walWorthySQL(sqlText) {
+	w := s.wal.Load()
+	if w == nil || !walWorthySQL(sqlText) {
 		return nil
 	}
-	if err := s.wal.record(RecSQL, walSQLPayload{SQL: sqlText}); err != nil {
+	if err := w.record(RecSQL, walSQLPayload{SQL: sqlText}); err != nil {
 		return fmt.Errorf("xmlordb: statement executed but not logged: %w", err)
 	}
 	return nil

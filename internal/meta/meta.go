@@ -112,6 +112,13 @@ func Install(en *sql.Engine) (*Store, error) {
 	return &Store{en: en, Now: time.Now}, nil
 }
 
+// Reader returns a Store bound to en — used to rebind metadata lookups
+// to a read-only engine over a published MVCC version. The clock is
+// shared with the parent (reads never consult it).
+func (s *Store) Reader(en *sql.Engine) *Store {
+	return &Store{en: en, Now: s.Now}
+}
+
 // Register records a document and its mapping provenance, returning the
 // assigned DocID. The entity definitions are taken from the schema's DTD.
 func (s *Store) Register(doc *xmldom.Document, sch *mapping.Schema, docName, url string) (int, error) {

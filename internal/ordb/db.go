@@ -9,11 +9,19 @@ import (
 )
 
 // DB is one object-relational database instance: a catalog of user-defined
-// types, tables, object tables and views, plus the stored rows. A DB is
-// safe for concurrent use; all catalog and data operations take the
-// instance lock.
+// types, tables, object tables and views, plus the stored rows. A live DB
+// is safe for concurrent use; catalog and data operations take the
+// instance lock. Reader returns a frozen MVCC snapshot whose reads take
+// no locks at all (see version.go).
 type DB struct {
 	mode Mode
+	// frozen marks a published read-only version: reads skip db.mu,
+	// writes fail with ErrFrozen. Immutable after construction.
+	frozen bool
+	// versionLSN is the WAL position a frozen version covers.
+	versionLSN uint64
+	// published is the most recent frozen version (live DB only).
+	published atomic.Pointer[DB]
 
 	mu     sync.RWMutex
 	types  map[string]Type // key: upper-cased name
@@ -24,13 +32,26 @@ type DB struct {
 	tableOrder []string
 	viewOrder  []string
 	nextOID    OID
+	// epoch counts full publishes; a Row created in the current epoch is
+	// still private to the live side and may be mutated in place.
+	epoch uint64
+	// verDirty records a mutation since the last publish.
+	verDirty bool
+	// pubSuspended holds back publication while a multi-operation apply
+	// (a replicated commit unit) is in flight, so readers never see a
+	// half-applied unit stamped as current.
+	pubSuspended bool
+	// lsnSource supplies the LSN a published version is stamped with.
+	lsnSource func() uint64
 	// tx is the open transaction, if any (see tx.go).
 	tx *Tx
 	// txObs, when set, observes transaction lifecycle events (the WAL
 	// hook; see SetTxObserver in tx.go).
 	txObs TxObserver
-	// stats counts engine operations for the benchmark harness.
-	stats Stats
+	// stats counts engine operations for the benchmark harness; the
+	// pointer is shared with every frozen version so lock-free reads
+	// feed the same counters.
+	stats *Stats
 	// autoSave numbers the auto-generated savepoints of RunInTx.
 	autoSave atomic.Int64
 	// faultMu guards the fault-injection hook and its counters.
@@ -64,12 +85,17 @@ type StatsSnapshot struct {
 
 // New returns an empty database emulating the given Oracle mode.
 func New(mode Mode) *DB {
-	return &DB{
+	db := &DB{
 		mode:   mode,
 		types:  map[string]Type{},
 		tables: map[string]*Table{},
 		views:  map[string]*View{},
+		stats:  &Stats{},
 	}
+	// Publish an initial (empty) version so Reader never comes up empty.
+	db.verDirty = true
+	db.publishLocked(0)
+	return db
 }
 
 // Mode reports the emulated DBMS version.
@@ -110,6 +136,9 @@ func checkIdent(name string) error {
 // Declaring an already-complete type is an error; re-declaring an
 // incomplete one is a no-op.
 func (db *DB) DeclareType(name string) (*ObjectType, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -124,6 +153,8 @@ func (db *DB) DeclareType(name string) (*ObjectType, error) {
 	ot := &ObjectType{Name: name, Incomplete: true}
 	db.types[key(name)] = ot
 	db.typeOrder = append(db.typeOrder, key(name))
+	db.verDirty = true
+	db.maybePublishLocked()
 	return ot, nil
 }
 
@@ -131,6 +162,9 @@ func (db *DB) DeclareType(name string) (*ObjectType, error) {
 // declaration with the same name exists, it is completed in place so that
 // previously created REF columns resolve to the finished type.
 func (db *DB) CreateObjectType(name string, attrs []AttrDef) (*ObjectType, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -149,19 +183,29 @@ func (db *DB) CreateObjectType(name string, attrs []AttrDef) (*ObjectType, error
 		if !isObj || !ot.Incomplete {
 			return nil, fmt.Errorf("ordb: type %q: %w", name, ErrExists)
 		}
+		// Completed in place: published versions holding this *ObjectType
+		// observe the completion too. Safe in practice because schema DDL
+		// runs at store-open time, before concurrent readers exist.
 		ot.Attrs = attrs
 		ot.Incomplete = false
+		db.verDirty = true
+		db.maybePublishLocked()
 		return ot, nil
 	}
 	ot := &ObjectType{Name: name, Attrs: attrs}
 	db.types[key(name)] = ot
 	db.typeOrder = append(db.typeOrder, key(name))
+	db.verDirty = true
+	db.maybePublishLocked()
 	return ot, nil
 }
 
 // CreateVarrayType registers CREATE TYPE name AS VARRAY(max) OF elem.
 // Under ModeOracle8 the element type must not be a collection or LOB.
 func (db *DB) CreateVarrayType(name string, max int, elem Type) (*VarrayType, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -179,11 +223,16 @@ func (db *DB) CreateVarrayType(name string, max int, elem Type) (*VarrayType, er
 	vt := &VarrayType{Name: name, Max: max, Elem: elem}
 	db.types[key(name)] = vt
 	db.typeOrder = append(db.typeOrder, key(name))
+	db.verDirty = true
+	db.maybePublishLocked()
 	return vt, nil
 }
 
 // CreateNestedTableType registers CREATE TYPE name AS TABLE OF elem.
 func (db *DB) CreateNestedTableType(name string, elem Type) (*NestedTableType, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -198,6 +247,8 @@ func (db *DB) CreateNestedTableType(name string, elem Type) (*NestedTableType, e
 	nt := &NestedTableType{Name: name, Elem: elem}
 	db.types[key(name)] = nt
 	db.typeOrder = append(db.typeOrder, key(name))
+	db.verDirty = true
+	db.maybePublishLocked()
 	return nt, nil
 }
 
@@ -254,8 +305,8 @@ func (db *DB) checkAttrType(t Type) error {
 
 // Type looks up a user-defined type by name (case-insensitive).
 func (db *DB) Type(name string) (Type, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	t, ok := db.types[key(name)]
 	if !ok {
 		return nil, fmt.Errorf("ordb: type %q: %w", name, ErrNotFound)
@@ -278,8 +329,8 @@ func (db *DB) ObjectTypeByName(name string) (*ObjectType, error) {
 
 // TypeNames lists all user-defined type names in creation order.
 func (db *DB) TypeNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	out := make([]string, 0, len(db.typeOrder))
 	for _, k := range db.typeOrder {
 		out = append(out, displayTypeName(db.types[k]))
@@ -298,6 +349,9 @@ func displayTypeName(t Type) string {
 // when other types or tables depend on the type; with force, dependents
 // are dropped transitively (DROP ... FORCE, Section 6.2).
 func (db *DB) DropType(name string, force bool) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	k := key(name)
@@ -309,6 +363,8 @@ func (db *DB) DropType(name string, force bool) error {
 		return fmt.Errorf("ordb: type %q has dependents %v: %w", name, deps, ErrDependentTypes)
 	}
 	db.dropTypeCascadeLocked(k)
+	db.verDirty = true
+	db.maybePublishLocked()
 	return nil
 }
 
@@ -400,8 +456,8 @@ func removeString(ss []string, s string) []string {
 
 // Table looks up a table by name.
 func (db *DB) Table(name string) (*Table, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	t, ok := db.tables[key(name)]
 	if !ok {
 		return nil, fmt.Errorf("ordb: table %q: %w", name, ErrNotFound)
@@ -411,8 +467,8 @@ func (db *DB) Table(name string) (*Table, error) {
 
 // TableNames lists all table names in creation order.
 func (db *DB) TableNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	out := make([]string, 0, len(db.tableOrder))
 	for _, k := range db.tableOrder {
 		out = append(out, db.tables[k].Name)
@@ -422,6 +478,9 @@ func (db *DB) TableNames() []string {
 
 // DropTable removes a table and its rows.
 func (db *DB) DropTable(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	k := key(name)
@@ -430,11 +489,16 @@ func (db *DB) DropTable(name string) error {
 	}
 	delete(db.tables, k)
 	db.tableOrder = removeString(db.tableOrder, k)
+	db.verDirty = true
+	db.maybePublishLocked()
 	return nil
 }
 
 // registerTable adds a constructed table to the catalog.
 func (db *DB) registerTable(t *Table) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	k := key(t.Name)
@@ -446,14 +510,16 @@ func (db *DB) registerTable(t *Table) error {
 	}
 	db.tables[k] = t
 	db.tableOrder = append(db.tableOrder, k)
+	t.markDirtyLocked()
+	db.maybePublishLocked()
 	return nil
 }
 
 // SchemaObjectCount returns the number of catalog objects by category —
 // the decomposition-degree metric of experiment E3.
 func (db *DB) SchemaObjectCount() (types, tables, views, storageTables int) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	for _, t := range db.tables {
 		storageTables += len(t.NestedStorage)
 	}

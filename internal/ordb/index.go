@@ -46,18 +46,24 @@ func makeIndexKey(v Value) (indexKey, bool) {
 
 // Index is a persistent equality index over one scalar column.
 //
-// An index may be registered but not yet materialized (rows == nil).
+// An index may be registered but not yet materialized (built == false).
 // Unmaterialized indexes cost nothing on the write path — insert-heavy
 // loads skip them entirely — and the first probe builds the hash under
 // the write lock, after which it is maintained incrementally. That is
 // still strictly better than the per-query hash builds it replaces: the
 // build happens once per index lifetime, not once per query.
+//
+// The key→bucket table is a persistent trie (pmap.go) so published MVCC
+// versions capture it by struct copy. Buckets obey the shared-array
+// discipline of version.go: appends are safe (they write at or beyond
+// every published bucket length), removal always copies the bucket.
 type Index struct {
 	Name string
 	Col  string
 
 	colIdx int
-	rows   map[indexKey][]*Row
+	built  bool
+	rows   pmap[indexKey, []*Row]
 }
 
 // indexableType reports whether a column of type t can carry an equality
@@ -75,6 +81,9 @@ func indexableType(t Type) bool {
 // col, populated from the existing rows. One index per column; index
 // names are unique within the database.
 func (t *Table) CreateIndex(name, col string) (*Index, error) {
+	if err := t.db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -107,28 +116,40 @@ func (t *Table) CreateIndex(name, col string) (*Index, error) {
 	ix := &Index{Name: name, Col: t.Cols[ci].Name, colIdx: ci}
 	ix.materializeLocked(t)
 	t.indexes = append(t.indexes, ix)
+	t.markDirtyLocked()
+	t.db.maybePublishLocked()
 	return ix, nil
 }
 
-// materializeLocked builds the index hash from the table's current rows.
+// materializeLocked builds the index trie from the table's current rows.
 // Callers hold db.mu (write), or own the table exclusively.
 func (ix *Index) materializeLocked(t *Table) {
-	ix.rows = make(map[indexKey][]*Row, len(t.rows))
+	ix.rows = newPmap[indexKey, []*Row](hashIndexKey)
 	for _, r := range t.rows {
 		if k, ok := makeIndexKey(r.Vals[ix.colIdx]); ok {
-			ix.rows[k] = append(ix.rows[k], r)
+			bucket, _ := ix.rows.get(k)
+			ix.rows = ix.rows.set(k, append(bucket, r))
 		}
 	}
+	ix.built = true
 }
 
 // DropIndex removes the named index from whichever table carries it.
 func (db *DB) DropIndex(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for _, t := range db.tables {
 		for i, ix := range t.indexes {
 			if strings.EqualFold(ix.Name, name) {
-				t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+				kept := make([]*Index, 0, len(t.indexes)-1)
+				kept = append(kept, t.indexes[:i]...)
+				kept = append(kept, t.indexes[i+1:]...)
+				t.indexes = kept
+				t.markDirtyLocked()
+				db.maybePublishLocked()
 				return nil
 			}
 		}
@@ -138,8 +159,8 @@ func (db *DB) DropIndex(name string) error {
 
 // EqIndex returns the equality index over the named column, or nil.
 func (t *Table) EqIndex(col string) *Index {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
+	t.db.rlock()
+	defer t.db.runlock()
 	for _, ix := range t.indexes {
 		if strings.EqualFold(ix.Col, col) {
 			return ix
@@ -150,8 +171,8 @@ func (t *Table) EqIndex(col string) *Index {
 
 // IndexNames lists the table's index names in creation order.
 func (t *Table) IndexNames() []string {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
+	t.db.rlock()
+	defer t.db.runlock()
 	out := make([]string, 0, len(t.indexes))
 	for _, ix := range t.indexes {
 		out = append(out, ix.Name)
@@ -178,28 +199,65 @@ func (t *Table) ProbeEqual(col string, v Value) ([]*Row, bool) {
 	if !ok {
 		return nil, false
 	}
-	t.db.mu.RLock()
-	built := ix.rows != nil
 	var rows []*Row
-	if built {
-		rows = ix.rows[k]
-	}
-	t.db.mu.RUnlock()
-	if !built {
-		// First probe of a lazily registered index: materialize it now,
-		// re-checking under the write lock in case another probe won.
-		t.db.mu.Lock()
-		if ix.rows == nil {
-			ix.materializeLocked(t)
+	if t.db.frozen {
+		// Lock-free probe against the version's captured trie. An index
+		// this version never saw materialized can't be built here — the
+		// version is immutable — so fall back to a scan, but poke the
+		// live table so the index exists in future versions.
+		if !ix.built {
+			if t.live != nil {
+				t.live.ensureIndexBuilt(ix.Col)
+			}
+			return nil, false
 		}
-		rows = ix.rows[k]
-		t.db.mu.Unlock()
+		rows, _ = ix.rows.get(k)
+	} else {
+		t.db.mu.RLock()
+		built := ix.built
+		if built {
+			rows, _ = ix.rows.get(k)
+		}
+		t.db.mu.RUnlock()
+		if !built {
+			// First probe of a lazily registered index: materialize it now,
+			// re-checking under the write lock in case another probe won.
+			t.db.mu.Lock()
+			if !ix.built {
+				ix.materializeLocked(t)
+				t.markDirtyLocked()
+				t.db.maybePublishLocked()
+			}
+			rows, _ = ix.rows.get(k)
+			t.db.mu.Unlock()
+		}
 	}
 	t.db.stats.IndexProbes.Add(1)
 	// The caller reads every returned row; count them like a scan so the
 	// rows-read metric stays comparable between probe and scan plans.
 	t.db.stats.RowsScanned.Add(int64(len(rows)))
 	return rows, true
+}
+
+// ensureIndexBuilt materializes the named column's index on the live
+// table (and publishes the result), so frozen versions taken from now on
+// carry it. No-op when the index is already built or unknown.
+func (t *Table) ensureIndexBuilt(col string) {
+	if t.db.frozen {
+		return
+	}
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	for _, ix := range t.indexes {
+		if strings.EqualFold(ix.Col, col) {
+			if !ix.built {
+				ix.materializeLocked(t)
+				t.markDirtyLocked()
+				t.db.maybePublishLocked()
+			}
+			return
+		}
+	}
 }
 
 // pkCandidatesLocked probes for rows that might collide with vals on a
@@ -211,7 +269,7 @@ func (t *Table) pkCandidatesLocked(vals []Value) ([]*Row, bool) {
 	}
 	pi := t.pkCols[0]
 	for _, ix := range t.indexes {
-		if ix.colIdx != pi || ix.rows == nil {
+		if ix.colIdx != pi || !ix.built {
 			continue
 		}
 		k, ok := makeIndexKey(vals[pi])
@@ -219,7 +277,8 @@ func (t *Table) pkCandidatesLocked(vals []Value) ([]*Row, bool) {
 			return nil, false
 		}
 		t.db.stats.IndexProbes.Add(1)
-		return ix.rows[k], true
+		bucket, _ := ix.rows.get(k)
+		return bucket, true
 	}
 	return nil, false
 }
@@ -228,37 +287,48 @@ func (t *Table) pkCandidatesLocked(vals []Value) ([]*Row, bool) {
 // db.mu (write).
 func (t *Table) indexInsertLocked(r *Row) {
 	for _, ix := range t.indexes {
-		if ix.rows == nil {
+		if !ix.built {
 			continue
 		}
 		if k, ok := makeIndexKey(r.Vals[ix.colIdx]); ok {
-			ix.rows[k] = append(ix.rows[k], r)
+			bucket, _ := ix.rows.get(k)
+			// Appending is safe against published versions: the write
+			// lands at an offset no published bucket header reaches.
+			ix.rows = ix.rows.set(k, append(bucket, r))
 		}
 	}
+}
+
+// bucketRemove returns bucket without r, always copying to a fresh
+// backing array: an in-place shift would overwrite a slot a published
+// version's bucket header still reads.
+func bucketRemove(bucket []*Row, r *Row) []*Row {
+	out := make([]*Row, 0, len(bucket))
+	for _, br := range bucket {
+		if br != r {
+			out = append(out, br)
+		}
+	}
+	return out
 }
 
 // indexRemoveLocked removes a row from every secondary index by
 // identity. Callers hold db.mu (write).
 func (t *Table) indexRemoveLocked(r *Row) {
 	for _, ix := range t.indexes {
-		if ix.rows == nil {
+		if !ix.built {
 			continue
 		}
 		k, ok := makeIndexKey(r.Vals[ix.colIdx])
 		if !ok {
 			continue
 		}
-		bucket := ix.rows[k]
-		for i, br := range bucket {
-			if br == r {
-				bucket = append(bucket[:i], bucket[i+1:]...)
-				break
-			}
-		}
+		bucket, _ := ix.rows.get(k)
+		bucket = bucketRemove(bucket, r)
 		if len(bucket) == 0 {
-			delete(ix.rows, k)
+			ix.rows = ix.rows.del(k)
 		} else {
-			ix.rows[k] = bucket
+			ix.rows = ix.rows.set(k, bucket)
 		}
 	}
 }
@@ -268,7 +338,7 @@ func (t *Table) indexRemoveLocked(r *Row) {
 // hold db.mu (write); r.Vals must still be oldVals when called.
 func (t *Table) indexRekeyLocked(r *Row, oldVals, newVals []Value) {
 	for _, ix := range t.indexes {
-		if ix.rows == nil {
+		if !ix.built {
 			continue
 		}
 		ok, nk := oldVals[ix.colIdx], newVals[ix.colIdx]
@@ -278,21 +348,17 @@ func (t *Table) indexRekeyLocked(r *Row, oldVals, newVals []Value) {
 			continue
 		}
 		if hadOld {
-			bucket := ix.rows[oldKey]
-			for i, br := range bucket {
-				if br == r {
-					bucket = append(bucket[:i], bucket[i+1:]...)
-					break
-				}
-			}
+			bucket, _ := ix.rows.get(oldKey)
+			bucket = bucketRemove(bucket, r)
 			if len(bucket) == 0 {
-				delete(ix.rows, oldKey)
+				ix.rows = ix.rows.del(oldKey)
 			} else {
-				ix.rows[oldKey] = bucket
+				ix.rows = ix.rows.set(oldKey, bucket)
 			}
 		}
 		if hasNew {
-			ix.rows[newKey] = append(ix.rows[newKey], r)
+			bucket, _ := ix.rows.get(newKey)
+			ix.rows = ix.rows.set(newKey, append(bucket, r))
 		}
 	}
 }
@@ -332,7 +398,8 @@ func (t *Table) createAutoIndexes() {
 			colIdx: i,
 		}
 		if len(t.pkCols) == 1 && t.pkCols[0] == i {
-			ix.rows = map[indexKey][]*Row{}
+			ix.rows = newPmap[indexKey, []*Row](hashIndexKey)
+			ix.built = true
 		}
 		t.indexes = append(t.indexes, ix)
 	}

@@ -1,0 +1,139 @@
+package ordb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// badHash collapses everything into two full-hash values, forcing deep
+// splits and long collision chains.
+func badHash(o OID) uint64 { return uint64(o) & 1 }
+
+func TestPmapSetGetDelete(t *testing.T) {
+	m := newPmap[OID, int](hashOID)
+	const n = 2000
+	for i := 1; i <= n; i++ {
+		m = m.set(OID(i), i*10)
+	}
+	if m.len() != n {
+		t.Fatalf("len = %d, want %d", m.len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		v, ok := m.get(OID(i))
+		if !ok || v != i*10 {
+			t.Fatalf("get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if _, ok := m.get(OID(n + 1)); ok {
+		t.Fatal("get of absent key succeeded")
+	}
+	// Overwrite does not grow the map.
+	m = m.set(OID(7), 99)
+	if m.len() != n {
+		t.Fatalf("len after overwrite = %d, want %d", m.len(), n)
+	}
+	if v, _ := m.get(OID(7)); v != 99 {
+		t.Fatalf("overwritten value = %d, want 99", v)
+	}
+	// Delete half; the rest survive.
+	for i := 1; i <= n; i += 2 {
+		m = m.del(OID(i))
+	}
+	if m.len() != n/2 {
+		t.Fatalf("len after deletes = %d, want %d", m.len(), n/2)
+	}
+	for i := 1; i <= n; i++ {
+		_, ok := m.get(OID(i))
+		if want := i%2 == 0; ok != want {
+			t.Fatalf("get(%d) present = %v, want %v", i, ok, want)
+		}
+	}
+	// Deleting an absent key is a no-op returning the same map.
+	before := m.len()
+	m2 := m.del(OID(n + 5))
+	if m2.len() != before {
+		t.Fatalf("del of absent key changed len: %d -> %d", before, m2.len())
+	}
+}
+
+func TestPmapSnapshotIsolation(t *testing.T) {
+	m := newPmap[OID, int](hashOID)
+	for i := 1; i <= 100; i++ {
+		m = m.set(OID(i), i)
+	}
+	snap := m // O(1) capture
+	for i := 1; i <= 100; i++ {
+		if i%3 == 0 {
+			m = m.del(OID(i))
+		} else {
+			m = m.set(OID(i), -i)
+		}
+	}
+	m = m.set(OID(500), 500)
+	// The snapshot still sees the original bindings.
+	if snap.len() != 100 {
+		t.Fatalf("snapshot len = %d, want 100", snap.len())
+	}
+	for i := 1; i <= 100; i++ {
+		v, ok := snap.get(OID(i))
+		if !ok || v != i {
+			t.Fatalf("snapshot get(%d) = %d, %v; want %d, true", i, v, ok, i)
+		}
+	}
+	if _, ok := snap.get(OID(500)); ok {
+		t.Fatal("snapshot sees a key added after capture")
+	}
+}
+
+func TestPmapCollisions(t *testing.T) {
+	m := newPmap[OID, string](badHash)
+	const n = 50
+	for i := 1; i <= n; i++ {
+		m = m.set(OID(i), fmt.Sprint(i))
+	}
+	if m.len() != n {
+		t.Fatalf("len = %d, want %d", m.len(), n)
+	}
+	for i := 1; i <= n; i++ {
+		v, ok := m.get(OID(i))
+		if !ok || v != fmt.Sprint(i) {
+			t.Fatalf("get(%d) = %q, %v", i, v, ok)
+		}
+	}
+	snap := m
+	for i := 1; i <= n; i++ {
+		m = m.del(OID(i))
+	}
+	if m.len() != 0 {
+		t.Fatalf("len after deleting all = %d", m.len())
+	}
+	if snap.len() != n {
+		t.Fatalf("snapshot len = %d, want %d", snap.len(), n)
+	}
+	seen := 0
+	snap.each(func(OID, string) bool { seen++; return true })
+	if seen != n {
+		t.Fatalf("each visited %d entries, want %d", seen, n)
+	}
+}
+
+func TestPmapIndexKeyHash(t *testing.T) {
+	m := newPmap[indexKey, int](hashIndexKey)
+	keys := []indexKey{
+		{kind: 's', str: "alpha"},
+		{kind: 's', str: "beta"},
+		{kind: 'n', num: 42},
+		{kind: 'n', num: 42.5},
+		{kind: 'd', num: 1.7e18},
+		{kind: 'r', num: 7, str: "TabStudent"},
+	}
+	for i, k := range keys {
+		m = m.set(k, i)
+	}
+	for i, k := range keys {
+		v, ok := m.get(k)
+		if !ok || v != i {
+			t.Fatalf("get(%+v) = %d, %v; want %d", k, v, ok, i)
+		}
+	}
+}

@@ -22,10 +22,11 @@ type TableRows struct {
 // a single acquisition of the instance lock, so the copy reflects one
 // point in time even while concurrent writers are active. It fails with
 // ErrTxActive while a transaction is open: a snapshot must not capture
-// uncommitted state.
+// uncommitted state. On a frozen version it runs lock-free — the version
+// is already a committed point in time.
 func (db *DB) SnapshotRows() ([]TableRows, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	if db.tx != nil {
 		return nil, fmt.Errorf("ordb: snapshot with open transaction: %w", ErrTxActive)
 	}

@@ -41,6 +41,11 @@ type RowView interface {
 type Row struct {
 	OID  OID
 	Vals []Value
+	// epoch is the publish epoch the row was created in. While it equals
+	// the DB's current epoch the row has never been captured by a
+	// published version and may be mutated in place; afterwards updates
+	// swap in a fresh Row (see version.go).
+	epoch uint64
 }
 
 // Table is a base table: either a relational table with explicit columns
@@ -60,8 +65,18 @@ type Table struct {
 
 	db   *DB
 	rows []*Row
-	// oidIndex gives O(1) REF dereference for object tables.
-	oidIndex map[OID]*Row
+	// rowsShared marks the rows backing array as captured by a published
+	// version: element overwrites must privatize it first (appends and
+	// truncations are always safe — see version.go).
+	rowsShared bool
+	// verDirty records a mutation since the table's last frozen capture.
+	verDirty bool
+	// live, set only on frozen copies, points back at the live table (so
+	// a frozen index probe can trigger lazy materialization there).
+	live *Table
+	// oidIndex gives O(1) REF dereference for object tables. A persistent
+	// trie so published versions capture it by struct copy.
+	oidIndex pmap[OID, *Row]
 	// pkCols are the column positions of the primary key.
 	pkCols []int
 	// indexes are the secondary equality indexes (see index.go).
@@ -91,11 +106,15 @@ func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
 	if err := checkIdent(spec.Name); err != nil {
 		return nil, err
 	}
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Name:          spec.Name,
 		Checks:        spec.Checks,
 		NestedStorage: map[string]string{},
 		db:            db,
+		oidIndex:      newPmap[OID, *Row](hashOID),
 	}
 	for k, v := range spec.NestedStorage {
 		if err := checkIdent(v); err != nil {
@@ -217,6 +236,9 @@ func (r rowView) Col(name string) (Value, bool) {
 // handed to the engine, so conformant composites are stored shared). For object tables the new row is
 // assigned a fresh OID, which is returned (zero for relational tables).
 func (t *Table) Insert(vals []Value) (OID, error) {
+	if err := t.db.writable(); err != nil {
+		return 0, err
+	}
 	if err := t.db.fault(FaultInsert); err != nil {
 		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
 	}
@@ -237,17 +259,17 @@ func (t *Table) Insert(vals []Value) (OID, error) {
 	}
 	row := &Row{Vals: checked}
 	t.db.mu.Lock()
+	row.epoch = t.db.epoch
 	if t.IsObjectTable() {
 		t.db.nextOID++
 		row.OID = t.db.nextOID
-		if t.oidIndex == nil {
-			t.oidIndex = map[OID]*Row{}
-		}
-		t.oidIndex[row.OID] = row
+		t.oidIndex = t.oidIndex.set(row.OID, row)
 	}
 	t.rows = append(t.rows, row)
 	t.indexInsertLocked(row)
 	t.db.logUndo(undoInsert{t: t, row: row, counted: true})
+	t.markDirtyLocked()
+	t.db.maybePublishLocked()
 	t.db.mu.Unlock()
 	t.db.stats.Inserts.Add(1)
 	return row.OID, nil
@@ -334,6 +356,9 @@ func (db *DB) checkScope(v Value, scope string) error {
 // and deep-copied; the OID allocator is advanced past the restored OID so
 // later inserts never collide.
 func (t *Table) RestoreRow(oid OID, vals []Value) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if len(vals) != len(t.Cols) {
 		return fmt.Errorf("ordb: table %s: restoring %d values for %d columns: %w",
 			t.Name, len(vals), len(t.Cols), ErrArity)
@@ -345,17 +370,15 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 	row := &Row{OID: oid, Vals: copied}
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
+	row.epoch = t.db.epoch
 	if t.IsObjectTable() {
 		if oid == 0 {
 			return fmt.Errorf("ordb: table %s: object-table row restored without OID", t.Name)
 		}
-		if t.oidIndex == nil {
-			t.oidIndex = map[OID]*Row{}
-		}
-		if _, dup := t.oidIndex[oid]; dup {
+		if _, dup := t.oidIndex.get(oid); dup {
 			return fmt.Errorf("ordb: table %s: duplicate OID %d in snapshot", t.Name, oid)
 		}
-		t.oidIndex[oid] = row
+		t.oidIndex = t.oidIndex.set(oid, row)
 		if oid > t.db.nextOID {
 			t.db.nextOID = oid
 		}
@@ -363,6 +386,8 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 	t.rows = append(t.rows, row)
 	t.indexInsertLocked(row)
 	t.db.logUndo(undoInsert{t: t, row: row})
+	t.markDirtyLocked()
+	t.db.maybePublishLocked()
 	return nil
 }
 
@@ -370,9 +395,9 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 // the stored row; callers must not mutate it. Returning false stops the
 // scan early.
 func (t *Table) Scan(fn func(*Row) bool) {
-	t.db.mu.RLock()
+	t.db.rlock()
 	rows := t.rows
-	t.db.mu.RUnlock()
+	t.db.runlock()
 	scanned := int64(0)
 	defer func() { t.db.stats.RowsScanned.Add(scanned) }()
 	for _, r := range rows {
@@ -385,8 +410,8 @@ func (t *Table) Scan(fn func(*Row) bool) {
 
 // RowCount reports the number of stored rows.
 func (t *Table) RowCount() int {
-	t.db.mu.RLock()
-	defer t.db.mu.RUnlock()
+	t.db.rlock()
+	defer t.db.runlock()
 	return len(t.rows)
 }
 
@@ -396,6 +421,9 @@ func (t *Table) RowCount() int {
 // before any mutation: a predicate error leaves rows, indexes and the
 // undo log untouched.
 func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
+	if err := t.db.writable(); err != nil {
+		return 0, err
+	}
 	if err := t.db.fault(FaultDelete); err != nil {
 		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
 	}
@@ -434,21 +462,66 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 	if len(removed) == 0 {
 		return 0, nil
 	}
-	t.db.logUndo(undoDelete{t: t, prev: t.rows, removed: removed})
+	t.db.logUndo(undoDelete{t: t, prev: t.rows, prevShared: t.rowsShared, removed: removed})
 	for _, r := range removed {
 		if r.OID != 0 {
-			delete(t.oidIndex, r.OID)
+			t.oidIndex = t.oidIndex.del(r.OID)
 		}
 		t.indexRemoveLocked(r)
 	}
+	// kept is a fresh backing array no published version can reach.
 	t.rows = kept
+	t.rowsShared = false
+	t.markDirtyLocked()
+	t.db.maybePublishLocked()
 	return len(removed), nil
 }
 
-// ReplaceByOID re-validates vals and replaces the row with the given OID
-// in place, keeping its identity (all REFs to it stay valid). Used by the
+// replaceRowLocked installs new values for a row, preserving its OID
+// identity (REFs stay valid — the OID index is updated to the new Row
+// object when one is needed). A row still private to the live side is
+// fixed up in place, the fast path the loader's IDREF resolution relies
+// on; a row captured by a published version is replaced by a fresh Row
+// at position idx so concurrent lock-free readers keep seeing the old
+// values. idx < 0 means the position is unknown and is looked up here.
+// Callers hold db.mu (write) and have validated checked.
+func (t *Table) replaceRowLocked(row *Row, idx int, checked []Value) bool {
+	if row.epoch == t.db.epoch {
+		t.db.logUndo(undoReplace{t: t, row: row, prev: row.Vals})
+		t.indexRekeyLocked(row, row.Vals, checked)
+		row.Vals = checked
+		return true
+	}
+	if idx < 0 {
+		for i, r := range t.rows {
+			if r == row {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return false // row no longer stored
+		}
+	}
+	nr := &Row{OID: row.OID, Vals: checked, epoch: t.db.epoch}
+	t.privatizeRowsLocked()
+	t.rows[idx] = nr
+	if nr.OID != 0 {
+		t.oidIndex = t.oidIndex.set(nr.OID, nr)
+	}
+	t.indexRemoveLocked(row)
+	t.indexInsertLocked(nr)
+	t.db.logUndo(undoSwap{t: t, idx: idx, old: row, repl: nr})
+	return true
+}
+
+// ReplaceByOID re-validates vals and replaces the row with the given OID,
+// keeping its identity (all REFs to it stay valid). Used by the
 // loader to resolve forward IDREF references after all rows exist.
 func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
+	if err := t.db.writable(); err != nil {
+		return err
+	}
 	if err := t.db.fault(FaultReplace); err != nil {
 		return fmt.Errorf("ordb: table %s: %w", t.Name, err)
 	}
@@ -468,7 +541,7 @@ func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
 		checked[i] = cv
 	}
 	t.db.mu.Lock()
-	row := t.oidIndex[oid]
+	row, _ := t.oidIndex.get(oid)
 	t.db.mu.Unlock()
 	if row == nil {
 		return fmt.Errorf("ordb: %s oid %d: %w", t.Name, oid, ErrDanglingRef)
@@ -495,10 +568,15 @@ func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
 		}
 	}
 	t.db.mu.Lock()
-	t.db.logUndo(undoReplace{t: t, row: row, prev: row.Vals})
-	t.indexRekeyLocked(row, row.Vals, checked)
-	row.Vals = checked
+	ok := t.replaceRowLocked(row, -1, checked)
+	if ok {
+		t.markDirtyLocked()
+		t.db.maybePublishLocked()
+	}
 	t.db.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("ordb: %s oid %d: %w", t.Name, oid, ErrDanglingRef)
+	}
 	return nil
 }
 
@@ -507,6 +585,9 @@ func (t *Table) ReplaceByOID(oid OID, vals []Value) error {
 // the number of rows updated. Matching and new values are computed first,
 // then applied, so a failed conform leaves the table unchanged.
 func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals []Value) ([]Value, error)) (int, error) {
+	if err := t.db.writable(); err != nil {
+		return 0, err
+	}
 	t.db.mu.RLock()
 	rows := append([]*Row(nil), t.rows...)
 	t.db.mu.RUnlock()
@@ -561,19 +642,48 @@ func (t *Table) UpdateWhere(pred func(*Row) (bool, error), transform func(vals [
 		changes = append(changes, change{row: r, vals: checked})
 	}
 	t.db.mu.Lock()
+	// Positions are needed to swap published rows; resolve them in one
+	// pass when any change targets one.
+	var pos map[*Row]int
 	for _, c := range changes {
-		t.db.logUndo(undoReplace{t: t, row: c.row, prev: c.row.Vals})
-		t.indexRekeyLocked(c.row, c.row.Vals, c.vals)
-		c.row.Vals = c.vals
+		if c.row.epoch == t.db.epoch {
+			continue
+		}
+		pos = make(map[*Row]int, len(t.rows))
+		for i, r := range t.rows {
+			pos[r] = i
+		}
+		break
+	}
+	applied := 0
+	for _, c := range changes {
+		idx := -1
+		if pos != nil {
+			if i, ok := pos[c.row]; ok {
+				idx = i
+			} else if c.row.epoch != t.db.epoch {
+				continue // row vanished between phases
+			}
+		}
+		if t.replaceRowLocked(c.row, idx, c.vals) {
+			applied++
+		}
+	}
+	if applied > 0 {
+		t.markDirtyLocked()
+		t.db.maybePublishLocked()
 	}
 	t.db.mu.Unlock()
-	return len(changes), nil
+	return applied, nil
 }
 
 // ReplaceWhere re-validates vals and replaces the first row matching pred,
 // reporting whether a row was found. Relational counterpart to
 // ReplaceByOID.
 func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
+	if err := t.db.writable(); err != nil {
+		return false, err
+	}
 	if err := t.db.fault(FaultReplace); err != nil {
 		return false, fmt.Errorf("ordb: table %s: %w", t.Name, err)
 	}
@@ -591,11 +701,11 @@ func (t *Table) ReplaceWhere(pred func(*Row) bool, vals []Value) (bool, error) {
 	}
 	t.db.mu.Lock()
 	defer t.db.mu.Unlock()
-	for _, r := range t.rows {
+	for i, r := range t.rows {
 		if pred(r) {
-			t.db.logUndo(undoReplace{t: t, row: r, prev: r.Vals})
-			t.indexRekeyLocked(r, r.Vals, checked)
-			r.Vals = checked
+			t.replaceRowLocked(r, i, checked)
+			t.markDirtyLocked()
+			t.db.maybePublishLocked()
 			return true, nil
 		}
 	}
@@ -616,9 +726,9 @@ func (db *DB) FetchByOID(table string, oid OID) (*Object, error) {
 		return nil, fmt.Errorf("ordb: %s oid %d: %w", table, oid, err)
 	}
 	db.stats.Derefs.Add(1)
-	db.mu.RLock()
-	found := t.oidIndex[oid]
-	db.mu.RUnlock()
+	db.rlock()
+	found, _ := t.oidIndex.get(oid)
+	db.runlock()
 	if found == nil {
 		return nil, fmt.Errorf("ordb: %s oid %d: %w", table, oid, ErrDanglingRef)
 	}

@@ -104,39 +104,50 @@ type undoInsert struct {
 }
 
 func (u undoInsert) revert() {
-	for i := len(u.t.rows) - 1; i >= 0; i-- {
-		if u.t.rows[i] == u.row {
-			u.t.rows = append(u.t.rows[:i], u.t.rows[i+1:]...)
+	t := u.t
+	for i := len(t.rows) - 1; i >= 0; i-- {
+		if t.rows[i] == u.row {
+			if i == len(t.rows)-1 {
+				// The common case — inserts are undone in reverse order —
+				// and a pure truncation, safe even on a shared array.
+				t.rows = t.rows[:i]
+			} else {
+				t.privatizeRowsLocked()
+				t.rows = append(t.rows[:i], t.rows[i+1:]...)
+			}
 			break
 		}
 	}
 	if u.row.OID != 0 {
-		delete(u.t.oidIndex, u.row.OID)
+		t.oidIndex = t.oidIndex.del(u.row.OID)
 	}
-	u.t.indexRemoveLocked(u.row)
+	t.indexRemoveLocked(u.row)
 }
 
 // undoDelete restores the pre-delete row slice and re-indexes OIDs.
+// prevShared preserves whether that slice's backing array was reachable
+// from a published version when the delete logged it.
 type undoDelete struct {
-	t       *Table
-	prev    []*Row
-	removed []*Row
+	t          *Table
+	prev       []*Row
+	prevShared bool
+	removed    []*Row
 }
 
 func (u undoDelete) revert() {
 	u.t.rows = u.prev
+	u.t.rowsShared = u.prevShared
 	for _, r := range u.removed {
 		if r.OID != 0 {
-			if u.t.oidIndex == nil {
-				u.t.oidIndex = map[OID]*Row{}
-			}
-			u.t.oidIndex[r.OID] = r
+			u.t.oidIndex = u.t.oidIndex.set(r.OID, r)
 		}
 		u.t.indexInsertLocked(r)
 	}
 }
 
-// undoReplace restores a row's previous values (identity unchanged).
+// undoReplace restores a row's previous values in place. Logged only for
+// rows still private to the live side (see Table.replaceRowLocked), so
+// the in-place write cannot race a published reader.
 type undoReplace struct {
 	t    *Table
 	row  *Row
@@ -146,6 +157,26 @@ type undoReplace struct {
 func (u undoReplace) revert() {
 	u.t.indexRekeyLocked(u.row, u.row.Vals, u.prev)
 	u.row.Vals = u.prev
+}
+
+// undoSwap reinstates the original Row object after a copy-on-write
+// replacement of a published row. idx stays valid at revert time: the
+// undo log unwinds in reverse, so any later reshaping of the rows slice
+// has already been reverted, and no publish can happen mid-transaction.
+type undoSwap struct {
+	t    *Table
+	idx  int
+	old  *Row
+	repl *Row
+}
+
+func (u undoSwap) revert() {
+	u.t.rows[u.idx] = u.old
+	if u.old.OID != 0 {
+		u.t.oidIndex = u.t.oidIndex.set(u.old.OID, u.old)
+	}
+	u.t.indexRemoveLocked(u.repl)
+	u.t.indexInsertLocked(u.old)
 }
 
 // txSave marks a savepoint: a position in the undo log plus the OID
@@ -179,6 +210,9 @@ type Tx struct {
 // Begin opens a transaction. A second Begin before Commit/Rollback fails
 // with ErrTxActive (use savepoints for nesting).
 func (db *DB) Begin() (*Tx, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.tx != nil {
@@ -189,10 +223,11 @@ func (db *DB) Begin() (*Tx, error) {
 	return tx, nil
 }
 
-// CurrentTx returns the open transaction, or nil.
+// CurrentTx returns the open transaction, or nil (always nil on a
+// frozen version).
 func (db *DB) CurrentTx() *Tx {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	return db.tx
 }
 
@@ -221,10 +256,21 @@ func (tx *Tx) Commit() error {
 	db.tx = nil
 	obs := db.txObs
 	db.mu.Unlock()
+	var obsErr error
 	if obs != nil {
-		if err := obs.TxCommitted(); err != nil {
-			return fmt.Errorf("ordb: commit: %w", err)
-		}
+		obsErr = obs.TxCommitted()
+	}
+	// Publish the committed state AFTER the observer ran, so the LSN
+	// source (the WAL's LastLSN) already covers this commit's unit and
+	// the version is stamped exactly. Published even when durability
+	// failed: the in-memory commit has happened regardless.
+	db.mu.Lock()
+	if db.tx == nil && !db.pubSuspended {
+		db.publishLocked(db.lsnLocked())
+	}
+	db.mu.Unlock()
+	if obsErr != nil {
+		return fmt.Errorf("ordb: commit: %w", obsErr)
 	}
 	return nil
 }
@@ -247,6 +293,10 @@ func (tx *Tx) Rollback() error {
 	tx.saves = nil
 	db.tx = nil
 	obs := db.txObs
+	// DDL executed during the transaction is auto-commit and survives
+	// the rollback; publish so readers observe it (a no-op when the
+	// version content is unchanged apart from the rebuild).
+	db.maybePublishLocked()
 	db.mu.Unlock()
 	if obs != nil {
 		obs.TxRolledBack()

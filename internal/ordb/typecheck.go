@@ -159,9 +159,9 @@ func (db *DB) conform(v Value, t Type) (Value, error) {
 		if !tbl.IsObjectTable() || !strings.EqualFold(tbl.RowType.Name, ty.Target.Name) {
 			return nil, fmt.Errorf("REF into %s is not of type %s: %w", r.Table, ty.Target.Name, ErrTypeMismatch)
 		}
-		db.mu.RLock()
-		_, exists := tbl.oidIndex[r.OID]
-		db.mu.RUnlock()
+		db.rlock()
+		_, exists := tbl.oidIndex.get(r.OID)
+		db.runlock()
 		if !exists {
 			return nil, fmt.Errorf("oid %d in %s: %w", r.OID, r.Table, ErrDanglingRef)
 		}

@@ -20,6 +20,9 @@ type View struct {
 // CreateView registers a view. With orReplace, an existing view of the
 // same name is replaced.
 func (db *DB) CreateView(name, definition string, compiled any, orReplace bool) (*View, error) {
+	if err := db.writable(); err != nil {
+		return nil, err
+	}
 	if err := checkIdent(name); err != nil {
 		return nil, err
 	}
@@ -37,13 +40,15 @@ func (db *DB) CreateView(name, definition string, compiled any, orReplace bool) 
 		db.viewOrder = append(db.viewOrder, k)
 	}
 	db.views[k] = v
+	db.verDirty = true
+	db.maybePublishLocked()
 	return v, nil
 }
 
 // View looks up a view by name.
 func (db *DB) View(name string) (*View, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	v, ok := db.views[key(name)]
 	if !ok {
 		return nil, fmt.Errorf("ordb: view %q: %w", name, ErrNotFound)
@@ -53,8 +58,8 @@ func (db *DB) View(name string) (*View, error) {
 
 // ViewNames lists view names in creation order.
 func (db *DB) ViewNames() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	db.rlock()
+	defer db.runlock()
 	out := make([]string, 0, len(db.viewOrder))
 	for _, k := range db.viewOrder {
 		out = append(out, db.views[k].Name)
@@ -64,6 +69,9 @@ func (db *DB) ViewNames() []string {
 
 // DropView removes a view.
 func (db *DB) DropView(name string) error {
+	if err := db.writable(); err != nil {
+		return err
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	k := key(name)
@@ -72,5 +80,7 @@ func (db *DB) DropView(name string) error {
 	}
 	delete(db.views, k)
 	db.viewOrder = removeString(db.viewOrder, k)
+	db.verDirty = true
+	db.maybePublishLocked()
 	return nil
 }

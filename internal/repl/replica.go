@@ -347,10 +347,14 @@ func streamOnce(stop <-chan struct{}, cfg ReplicaConfig, st *Status,
 			if !f.Last {
 				continue
 			}
+			// Count the transfer before applying it: the reset moves the
+			// store's applied position in one atomic swap, and a stats
+			// reader that already sees the post-snapshot position must
+			// also see the transfer counted.
+			st.observeSnapshot()
 			if err := cfg.Applier.ResetFromSnapshot(snapLSN, primaryEpoch, primaryEpochs, snap); err != nil {
 				return true, streamed, fmt.Errorf("applying snapshot @%d: %w", snapLSN, err)
 			}
-			st.observeSnapshot()
 			lg("repl %s<-%s: re-seeded from snapshot @%d (%d bytes)", cfg.Store, cfg.Addr, snapLSN, len(snap))
 			snap = nil
 			urecs, upartial, ubytes = nil, false, 0

@@ -1,21 +1,26 @@
 // Package server turns the embedded xmlordb library into a network
 // service: a TCP server hosting one or more named Stores behind the
 // newline-delimited JSON protocol of internal/wire, with per-connection
-// sessions, per-store reader/writer locking, request size and time
-// limits, periodic snapshot persistence and graceful drain on shutdown.
+// sessions, single-writer serialization with lock-free MVCC reads,
+// request size and time limits, periodic snapshot persistence and
+// graceful drain on shutdown.
 //
-// Concurrency model. The engine (ordb.DB) is internally locked per
-// operation, but the library's compound operations — a document load's
-// many inserts, a user transaction's statements — are not isolated from
-// each other, and the engine admits only one open transaction. The
-// server therefore owns write serialization: each hosted store carries a
-// sync.RWMutex; queries and retrievals run under the read lock (and so
-// in parallel), while loads, deletes, non-SELECT SQL, snapshots and
-// whole transactions hold the write lock. A session's BEGIN acquires the
-// store's write lock and keeps it until COMMIT/ROLLBACK — or until the
-// session dies, which rolls the transaction back — so one client's
-// transaction is invisible to and cannot interleave with any other
-// client, preserving the PR 1 atomicity semantics per connection.
+// Concurrency model. Writes are serialized, reads are lock-free. The
+// library's compound write operations — a document load's many inserts,
+// a user transaction's statements — are not isolated from each other,
+// and the engine admits only one open transaction, so each hosted store
+// carries a mutex that loads, deletes, non-SELECT SQL, snapshots and
+// whole transactions hold. A session's BEGIN acquires it and keeps it
+// until COMMIT/ROLLBACK — or until the session dies, which rolls the
+// transaction back — so one client's transaction is invisible to and
+// cannot interleave with any other client, preserving the PR 1
+// atomicity semantics per connection. Reads (RETRIEVE, XPATH, SELECT,
+// STATS) never touch that mutex: each runs against a Store.ReadView —
+// an immutable MVCC version the engine publishes at every commit — so
+// queries proceed in parallel with writers, never queue behind an open
+// transaction, and never observe a half-loaded or half-deleted
+// document. A replica likewise serves reads from the last published
+// version while ApplyReplicatedUnit commits shipped units underneath.
 package server
 
 import (
@@ -726,10 +731,11 @@ func (s *Server) startStatsHTTP() error {
 	return nil
 }
 
-// statsPayload assembles the STATS reply. It takes no store locks — all
-// sources are atomic counters or internally locked engine accessors — so
-// a session holding a store's write lock (an open transaction) can still
-// ask for stats.
+// statsPayload assembles the STATS reply. It takes no store locks and
+// no engine locks — the sources are atomic counters plus the published
+// MVCC version — so a session holding a store's write lock (an open
+// transaction, a long document load) can never delay stats, and stats
+// can never delay a writer.
 func (s *Server) statsPayload() *wire.Stats {
 	s.mu.Lock()
 	hosted := make([]*hostedStore, 0, len(s.storeOrder))
@@ -754,7 +760,9 @@ func (s *Server) statsPayload() *wire.Stats {
 		cs := store.CacheStats()
 		dbs := store.DB().Stats()
 		docs := 0
-		if tab, err := store.DB().Table(store.Schema.RootTable); err == nil {
+		// Count documents on the published version: lock-free, and
+		// never counts rows of a half-applied load.
+		if tab, err := store.DB().Reader().Table(store.Schema.RootTable); err == nil {
 			docs = tab.RowCount()
 		}
 		ss := wire.StoreStats{

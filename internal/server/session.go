@@ -208,17 +208,20 @@ func (ss *session) target(req *wire.Request) (*hostedStore, *wire.Response) {
 	return nil, fail(wire.CodeNoStore, "no store bound; OPEN or USE one (hosted: %v)", ss.srv.StoreNames())
 }
 
-// withRead runs fn under hs's read lock — unless this session already
-// holds the write lock (open transaction), in which case fn runs
-// directly: the transaction owner must see its own uncommitted writes,
-// and re-acquiring the read lock would deadlock.
-func (ss *session) withRead(hs *hostedStore, fn func() *wire.Response) *wire.Response {
+// withRead runs fn against a read view of hs: a Store facade over the
+// most recently published MVCC version, which fn queries without taking
+// the store lock or any engine lock — reads run in parallel with each
+// other AND with writers, and never queue behind another session's open
+// transaction. The view is immutable, so fn can never observe a
+// half-loaded or half-deleted document. The transaction owner is the
+// one exception: it runs against the live store directly, because it
+// must see its own uncommitted writes, which no published version
+// contains.
+func (ss *session) withRead(hs *hostedStore, fn func(st *xmlordb.Store) *wire.Response) *wire.Response {
 	if ss.tx == hs {
-		return fn()
+		return fn(hs.store)
 	}
-	hs.mu.RLock()
-	defer hs.mu.RUnlock()
-	return fn()
+	return fn(hs.current().ReadView())
 }
 
 // withWrite runs fn under hs's write lock (or directly inside this
@@ -281,28 +284,45 @@ func (ss *session) awaitSync(hs *hostedStore, resp *wire.Response) *wire.Respons
 }
 
 // waitApplied gates a replica read that carries WaitLSN: block (bounded
-// by ReadWait) until the store's WAL reaches the client's last write,
-// else CodeLagging so a read-your-writes client falls back to another
-// replica or the primary. On a primary reads are trivially current — it
-// is the fallback target itself.
+// by ReadWait) until the store has PUBLISHED a version covering the
+// client's last write, else CodeLagging so a read-your-writes client
+// falls back to another replica or the primary. Reads run lock-free
+// against published MVCC versions, so reaching the local log is not
+// enough — the gate is the published version's LSN, which the applier
+// advances only after a shipped unit has been applied in full. On a
+// primary reads are trivially current — it is the fallback target
+// itself.
 func (ss *session) waitApplied(hs *hostedStore, want uint64) *wire.Response {
 	if want == 0 || !ss.srv.isReadOnly() {
 		return nil
 	}
-	log := hs.current().WAL()
+	st := hs.current()
+	if st.VersionLSN() >= want {
+		return nil
+	}
+	log := st.WAL()
 	if log == nil {
 		return fail(wire.CodeLagging, "store %q has no wal; cannot honor wait_lsn", hs.name)
 	}
-	if log.LastLSN() >= want {
-		return nil
-	}
 	budget := ss.srv.cfg.readWait()
+	deadline := time.Now().Add(budget)
 	stop := make(chan struct{})
 	t := time.AfterFunc(budget, func() { close(stop) })
 	defer t.Stop()
+	// First wait for the records to reach the local log (the log has a
+	// real subscription primitive)...
 	if last, ok := log.WaitFor(want, stop); !ok {
 		return fail(wire.CodeLagging, "store %q applied through lsn %d; still awaiting %d after %v",
 			hs.name, last, want, budget)
+	}
+	// ...then for the applier to finish re-executing the unit and
+	// publish. That window is the apply itself, so a short poll suffices.
+	for hs.current().VersionLSN() < want {
+		if time.Now().After(deadline) {
+			return fail(wire.CodeLagging, "store %q logged lsn %d but has published through %d; still awaiting %d after %v",
+				hs.name, log.LastLSN(), hs.current().VersionLSN(), want, budget)
+		}
+		time.Sleep(100 * time.Microsecond)
 	}
 	return nil
 }
@@ -416,8 +436,8 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
 			return lag
 		}
-		return ss.withRead(hs, func() *wire.Response {
-			xml, err := hs.store.RetrieveXML(req.DocID)
+		return ss.withRead(hs, func(st *xmlordb.Store) *wire.Response {
+			xml, err := st.RetrieveXML(req.DocID)
 			if err != nil {
 				return fail(wire.CodeEngine, "%v", err)
 			}
@@ -442,8 +462,8 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
 			return lag
 		}
-		return ss.withRead(hs, func() *wire.Response {
-			rows, stmt, err := hs.store.XPath(req.Path)
+		return ss.withRead(hs, func(st *xmlordb.Store) *wire.Response {
+			rows, stmt, err := st.XPath(req.Path)
 			if err != nil {
 				return fail(wire.CodeEngine, "%v", err)
 			}
@@ -492,8 +512,8 @@ func (ss *session) dispatchSQL(hs *hostedStore, req *wire.Request) *wire.Respons
 		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
 			return lag
 		}
-		return ss.withRead(hs, func() *wire.Response {
-			rows, err := hs.store.Query(req.SQL)
+		return ss.withRead(hs, func(st *xmlordb.Store) *wire.Response {
+			rows, err := st.Query(req.SQL)
 			if err != nil {
 				return fail(wire.CodeEngine, "%v", err)
 			}

@@ -98,9 +98,31 @@ func (en *Engine) CacheStats() CacheStats {
 	return CacheStats{
 		ParseHits:   stmtCache.hits.Load(),
 		ParseMisses: stmtCache.misses.Load(),
-		PlanHits:    en.planHits.Load(),
-		PlanMisses:  en.planMisses.Load(),
+		PlanHits:    en.plans.hits.Load(),
+		PlanMisses:  en.plans.misses.Load(),
 	}
+}
+
+// planCache is the join-plan cache, keyed on the (cache-stable) AST
+// pointer. The hot path — one lookup per executed SELECT — is a single
+// atomic pointer load with no lock: the table behind the pointer is
+// immutable, and writers (plan misses, DDL invalidation) install a
+// replacement table under mu. Plan misses are rare after warm-up, so
+// the copy-on-insert write cost buys an uncontended read path for the
+// MVCC reader engines that all share this cache.
+type planCache struct {
+	table atomic.Pointer[map[*SelectStmt]*queryPlan]
+	// mu serializes writers only; readers never take it.
+	mu     sync.Mutex
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+func newPlanCache() *planCache {
+	c := &planCache{}
+	empty := map[*SelectStmt]*queryPlan{}
+	c.table.Store(&empty)
+	return c
 }
 
 // planFor returns the cached join plan for sel, computing and caching it
@@ -108,37 +130,41 @@ func (en *Engine) CacheStats() CacheStats {
 // returns a stable pointer per SQL text and plans are evicted wholesale
 // on DDL.
 func (en *Engine) planFor(sel *SelectStmt) *queryPlan {
-	en.planMu.RLock()
-	p := en.plans[sel]
-	en.planMu.RUnlock()
-	if p != nil {
-		en.planHits.Add(1)
+	c := en.plans
+	if p := (*c.table.Load())[sel]; p != nil {
+		c.hits.Add(1)
 		return p
 	}
-	en.planMisses.Add(1)
-	p = en.planJoins(sel)
-	en.planMu.Lock()
-	if en.plans == nil || len(en.plans) > 4096 {
+	c.misses.Add(1)
+	p := en.planJoins(sel)
+	c.mu.Lock()
+	old := *c.table.Load()
+	if len(old) > 4096 {
 		// A plan whose AST fell out of the parse LRU can never be hit
 		// again; the occasional wholesale reset bounds that garbage.
-		en.plans = make(map[*SelectStmt]*queryPlan)
+		old = nil
 	}
-	en.plans[sel] = p
-	en.planMu.Unlock()
+	next := make(map[*SelectStmt]*queryPlan, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[sel] = p
+	c.table.Store(&next)
+	c.mu.Unlock()
 	return p
 }
 
 // invalidatePlans drops every cached plan. Called before any DDL so no
 // plan outlives the catalog state it was computed against.
 func (en *Engine) invalidatePlans() {
-	en.planMu.Lock()
-	en.plans = nil
-	en.planMu.Unlock()
+	c := en.plans
+	c.mu.Lock()
+	empty := map[*SelectStmt]*queryPlan{}
+	c.table.Store(&empty)
+	c.mu.Unlock()
 }
 
 // PlanCacheLen reports the number of cached plans (test hook).
 func (en *Engine) PlanCacheLen() int {
-	en.planMu.RLock()
-	defer en.planMu.RUnlock()
-	return len(en.plans)
+	return len(*en.plans.table.Load())
 }

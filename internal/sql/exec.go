@@ -3,8 +3,6 @@ package sql
 import (
 	"fmt"
 	"strings"
-	"sync"
-	"sync/atomic"
 
 	"xmlordb/internal/ordb"
 )
@@ -13,16 +11,23 @@ import (
 type Engine struct {
 	db *ordb.DB
 
-	// planMu guards plans, the per-engine join-plan cache keyed on the
-	// (cache-stable) AST pointer. See cache.go.
-	planMu     sync.RWMutex
-	plans      map[*SelectStmt]*queryPlan
-	planHits   atomic.Int64
-	planMisses atomic.Int64
+	// plans is the join-plan cache, shared between an engine and every
+	// reader engine derived from it. See cache.go.
+	plans *planCache
 }
 
 // NewEngine returns an Engine over db.
-func NewEngine(db *ordb.DB) *Engine { return &Engine{db: db} }
+func NewEngine(db *ordb.DB) *Engine { return &Engine{db: db, plans: newPlanCache()} }
+
+// Reader returns an engine bound to the database's most recently
+// published frozen version (see ordb version.go): its queries run
+// lock-free against that consistent snapshot, its mutations fail with
+// ErrFrozen. The plan cache is shared with the live engine — plans hold
+// only column names and expressions, never table pointers, so they are
+// valid against any version.
+func (en *Engine) Reader() *Engine {
+	return &Engine{db: en.db.Reader(), plans: en.plans}
+}
 
 // DB exposes the underlying database.
 func (en *Engine) DB() *ordb.DB { return en.db }

@@ -34,10 +34,11 @@ var ErrReplicaDiverged = errors.New("xmlordb: replica log diverged from primary 
 // WAL exposes the durable store's write-ahead log for replication
 // (tailing, subscription, retention pinning). Nil for in-memory stores.
 func (s *Store) WAL() *wal.Log {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return nil
 	}
-	return s.wal.log
+	return w.log
 }
 
 // ApplyReplicatedUnit applies one shipped commit unit: the records are
@@ -48,7 +49,8 @@ func (s *Store) WAL() *wal.Log {
 // untouched; on an apply error the log is ahead of memory and the
 // caller must re-seed the store.
 func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return fmt.Errorf("xmlordb: ApplyReplicatedUnit on an in-memory store")
 	}
 	if len(recs) == 0 {
@@ -57,7 +59,7 @@ func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
 	if s.Engine.DB().CurrentTx() != nil {
 		return fmt.Errorf("xmlordb: ApplyReplicatedUnit with a transaction open")
 	}
-	local := s.wal.log.LastLSN()
+	local := w.log.LastLSN()
 	if recs[0].LSN != local+1 {
 		return fmt.Errorf("%w: unit starts at lsn %d, local log ends at %d",
 			ErrReplicaDiverged, recs[0].LSN, local)
@@ -72,7 +74,7 @@ func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
 	if !recs[len(recs)-1].Commit {
 		return fmt.Errorf("%w: unit's final record lacks the commit flag", ErrReplicaDiverged)
 	}
-	last, err := s.wal.log.AppendBatch(entries)
+	last, err := w.log.AppendBatch(entries)
 	if err != nil {
 		return fmt.Errorf("xmlordb: appending replicated unit: %w", err)
 	}
@@ -80,8 +82,17 @@ func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
 		return fmt.Errorf("%w: local log assigned lsn %d, primary sent %d",
 			ErrReplicaDiverged, last, recs[len(recs)-1].LSN)
 	}
-	s.wal.applying = true
-	defer func() { s.wal.applying = false }()
+	w.applying = true
+	defer func() { w.applying = false }()
+	// Publication is held back for the whole unit: MVCC readers keep
+	// serving the pre-unit version while the records apply, and the unit
+	// becomes visible atomically when ResumePublish stamps a version at
+	// the unit's end LSN. Without this, the first record's publish would
+	// already carry the end LSN (the unit is in the log) and a read-your-
+	// writes client could observe a half-applied unit as "caught up".
+	db := s.Engine.DB()
+	db.SuspendPublish()
+	defer db.ResumePublish()
 	for _, r := range recs {
 		if err := s.applyWALRecord(r); err != nil {
 			return fmt.Errorf("xmlordb: applying replicated unit: %w", err)
@@ -96,13 +107,14 @@ func (s *Store) ApplyReplicatedUnit(recs []wal.Record) error {
 // least the store's reader exclusion, which keeps a concurrent
 // Checkpoint (a writer) from pruning the file mid-read.
 func (s *Store) ReadCheckpointSnapshot() (lsn uint64, data []byte, err error) {
-	if s.wal == nil {
+	w := s.wal.Load()
+	if w == nil {
 		return 0, nil, fmt.Errorf("xmlordb: no checkpoint snapshot on an in-memory store")
 	}
-	s.wal.mu.Lock()
-	lsn = s.wal.ckptLSN
-	s.wal.mu.Unlock()
-	data, err = os.ReadFile(filepath.Join(s.wal.dir, snapshotFileName(lsn)))
+	w.mu.Lock()
+	lsn = w.ckptLSN
+	w.mu.Unlock()
+	data, err = os.ReadFile(filepath.Join(w.dir, snapshotFileName(lsn)))
 	if err != nil {
 		return 0, nil, fmt.Errorf("xmlordb: reading checkpoint snapshot: %w", err)
 	}

@@ -24,6 +24,7 @@ package xmlordb
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"xmlordb/internal/dtd"
 	"xmlordb/internal/loader"
@@ -112,21 +113,31 @@ func (c Config) options() mapping.Options {
 // Store is one document store: a generated schema installed in an
 // embedded object-relational database.
 //
-// Concurrency contract: any number of goroutines may call the read-only
-// methods (Query, XPath, Retrieve, RetrieveXML, CacheStats, Script,
-// Warnings) concurrently — engine state touched on the read path
-// (statement/plan caches, index materialization, probe counters) is
-// internally synchronized. Methods that mutate the store (Load, LoadXML,
-// DeleteDocument, Exec with non-SELECT statements, OpenShared, Save)
-// are NOT safe to run concurrently with each other or with readers;
-// callers must serialize them externally. The engine admits only one
-// open transaction at a time (a second Begin fails with ErrTxActive),
-// and RunInTx joins any transaction currently open — so a transaction
-// must be confined to a single goroutine and writers excluded for its
+// Concurrency contract (MVCC): every commit publishes an immutable
+// snapshot version of the engine state; ReadView returns a read-only
+// Store facade over the latest published version whose queries,
+// retrievals and XPath evaluations acquire no store- or engine-level
+// lock at all — any number of goroutines may hold and use read views
+// while a writer loads, deletes, or holds an open transaction
+// underneath. A view is a consistent point in time: it never observes a
+// partially loaded or partially deleted document, because versions are
+// only published at commit boundaries.
+//
+// Methods called on the Store itself run against the live engine:
+// read-only methods (Query, XPath, Retrieve, RetrieveXML, CacheStats,
+// Script, Warnings) may also run concurrently with each other — shared
+// engine state is internally synchronized — but they take the instance
+// read lock and therefore queue behind an active writer; prefer
+// ReadView for lock-free reads. Methods that mutate the store (Load,
+// LoadXML, DeleteDocument, Exec with non-SELECT statements, OpenShared,
+// Save) are NOT safe to run concurrently with each other; callers must
+// serialize writers externally. The engine admits only one open
+// transaction at a time (a second Begin fails with ErrTxActive), and
+// RunInTx joins any transaction currently open — so a transaction must
+// be confined to a single goroutine and writers excluded for its
 // duration. Save additionally requires that no transaction is open.
-// internal/server hosts Stores behind exactly this discipline: a
-// per-store RWMutex with readers sharing and writers (including any
-// session holding BEGIN..COMMIT) exclusive.
+// internal/server hosts Stores behind exactly this discipline:
+// single-writer serialization with lock-free MVCC reads.
 type Store struct {
 	cfg       Config
 	DTD       *dtd.DTD
@@ -137,8 +148,10 @@ type Store struct {
 	Retriever *retrieval.Retriever
 	Meta      *meta.Store
 	// wal, when non-nil, makes the store durable: committed changes are
-	// redo-logged to a directory (see durable.go / OpenDir).
-	wal *walState
+	// redo-logged to a directory (see durable.go / OpenDir). It is an
+	// atomic pointer because lock-free readers (STATS, ReadView) can
+	// race with Close, which detaches it; load it once per operation.
+	wal atomic.Pointer[walState]
 }
 
 // Open analyzes dtdText (the declarations of a DTD, without a DOCTYPE
@@ -216,7 +229,7 @@ func OpenDocument(xmlText, docName string, cfg Config) (*Store, int, error) {
 // schema identifier ("SchemaIDs are necessary to deal with identical
 // element names from different DTDs").
 func OpenShared(base *Store, dtdText, root string, cfg Config) (*Store, error) {
-	if base.wal != nil {
+	if base.wal.Load() != nil {
 		return nil, fmt.Errorf("xmlordb: OpenShared on a durable store is not supported (schema installation bypasses the WAL)")
 	}
 	d, err := dtd.Parse(root, dtdText)
@@ -360,6 +373,44 @@ func (s *Store) Exec(sqlText string) (*sql.Result, error) {
 
 // DB exposes the underlying engine database (for stats and inspection).
 func (s *Store) DB() *ordb.DB { return s.Engine.DB() }
+
+// ReadView returns a read-only Store facade over the most recently
+// published MVCC version of the engine state. Query, XPath, Retrieve,
+// RetrieveXML, Save, SnapshotRows-based serialization and the metadata
+// lookups all work on the view and acquire no store- or engine-level
+// lock — the version is immutable, so any number of goroutines can read
+// it while writers commit new versions underneath. The view is pinned:
+// call ReadView again to observe later commits. Mutating methods on a
+// view fail with ordb.ErrFrozen; Load/Delete are unavailable (no
+// loader). On a store whose engine has no published version yet (never
+// the case for stores built by Open and friends), the live store is
+// returned.
+func (s *Store) ReadView() *Store {
+	rdb := s.Engine.DB().Reader()
+	if rdb == s.Engine.DB() {
+		return s
+	}
+	ren := s.Engine.Reader()
+	rv := &Store{
+		cfg:       s.cfg,
+		DTD:       s.DTD,
+		Tree:      s.Tree,
+		Schema:    s.Schema,
+		Engine:    ren,
+		Retriever: retrieval.New(s.Schema, ren),
+	}
+	rv.wal.Store(s.wal.Load())
+	if s.Meta != nil {
+		rv.Meta = s.Meta.Reader(ren)
+		rv.Retriever.Meta = rv.Meta
+	}
+	return rv
+}
+
+// VersionLSN reports the WAL position covered by the published MVCC
+// version (on a ReadView: the version it is pinned to). Zero for
+// in-memory stores without an attached log.
+func (s *Store) VersionLSN() uint64 { return s.Engine.DB().VersionLSN() }
 
 // CacheStats reports statement- and plan-cache effectiveness for the
 // store's engine (see the README section "Indexes, caching, and the hot
