@@ -5,6 +5,7 @@
 // Usage:
 //
 //	xmlordbd serve  [flags]                  # run the server
+//	xmlordbd router [flags] <shard-addr>...  # scatter-gather router over shard servers
 //	xmlordbd client [flags] <verb> [args...] # one-shot wire client
 //	xmlordbd repl   [flags]                  # interactive wire client
 //	xmlordbd wal    info|dump <store-dir>    # inspect a durable store's WAL
@@ -50,6 +51,21 @@
 //	-repl-retry 500ms       replica reconnect backoff (exponential, 10s cap)
 //	-repl-store-refresh 5s  how often a replica re-polls the primary's
 //	                        store list for stores OPENed after it connected
+//	-shards 0               embedded sharding: boot N in-process shard
+//	                        servers on loopback ports, each with its own
+//	                        WAL directory (<snapshot-dir>/shard-<i>), and
+//	                        serve -addr with a scatter-gather router over
+//	                        them. Incompatible with the replication flags.
+//	-shard-index / -shard-count
+//	                        shard identity for a standalone shard server
+//	                        behind an `xmlordbd router`: this process is
+//	                        shard <index> (0-based) of <count>
+//
+// Router flags (xmlordbd router -addr :7799 host1:7788 host2:7788 ...):
+//
+//	-addr :7799             TCP listen address
+//	-idle-timeout 5m        close client sessions idle this long
+//	-max-request 16777216   request frame size limit in bytes
 //
 // The server drains gracefully on SIGINT/SIGTERM: new connections are
 // refused, in-flight requests complete, dirty stores are snapshotted
@@ -57,7 +73,7 @@
 //
 // Client verbs:
 //
-//	ping | stores | stats | save | promote | position
+//	ping | stores | stats | save | promote | position | shardmap
 //	open  <name> <dtd-file> [root]      install a store from a DTD
 //	load  <doc.xml>...                  load documents, print DocIDs
 //	sql   <statement>                   run SQL (or read from stdin with -)
@@ -76,6 +92,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -84,6 +101,7 @@ import (
 	"xmlordb"
 	"xmlordb/internal/client"
 	"xmlordb/internal/server"
+	"xmlordb/internal/shard"
 	"xmlordb/internal/wire"
 )
 
@@ -101,6 +119,8 @@ func run(args []string, out io.Writer) error {
 	switch args[0] {
 	case "serve":
 		return runServe(args[1:], out)
+	case "router":
+		return runRouter(args[1:], out)
 	case "client":
 		return runClient(args[1:], out, false)
 	case "repl":
@@ -108,7 +128,7 @@ func run(args []string, out io.Writer) error {
 	case "wal":
 		return runWAL(args[1:], out)
 	default:
-		return fmt.Errorf("unknown subcommand %q (serve|client|repl|wal)", args[0])
+		return fmt.Errorf("unknown subcommand %q (serve|router|client|repl|wal)", args[0])
 	}
 }
 
@@ -140,11 +160,14 @@ func runServe(args []string, out io.Writer) error {
 		replHB       = fs.Duration("repl-heartbeat", 0, "replication stream heartbeat interval")
 		replRetry    = fs.Duration("repl-retry", 0, "replica reconnect backoff (doubles up to a 10s cap)")
 		replRefresh  = fs.Duration("repl-store-refresh", 0, "how often a replica re-polls the primary's store list")
+		shards       = fs.Int("shards", 0, "embedded sharding: boot N in-process shard servers and route -addr over them")
+		shardIndex   = fs.Int("shard-index", 0, "this server's 0-based slot in a sharded topology (with -shard-count)")
+		shardCount   = fs.Int("shard-count", 0, "shard topology size this server belongs to (0 = unsharded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		MaxRequestBytes:   *maxRequest,
 		RequestTimeout:    *reqTimeout,
 		IdleTimeout:       *idleTimeout,
@@ -166,10 +189,25 @@ func runServe(args []string, out io.Writer) error {
 		ReplHeartbeat:     *replHB,
 		ReplRetry:         *replRetry,
 		ReplStoreRefresh:  *replRefresh,
+		ShardIndex:        *shardIndex,
+		ShardCount:        *shardCount,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
 		},
-	})
+	}
+	if *shards > 1 {
+		if *replicaOf != "" || *chainOf != "" || *electionTO > 0 || *syncAcks > 0 {
+			return fmt.Errorf("-shards is incompatible with the replication flags; replicate each shard server individually instead")
+		}
+		if *shardCount != 0 {
+			return fmt.Errorf("-shards (embedded) and -shard-count (standalone shard identity) are mutually exclusive")
+		}
+		return runEmbeddedShards(*shards, *addr, cfg, *dtdFile, *root, *name, out)
+	}
+	if *shardCount > 1 && (*shardIndex < 0 || *shardIndex >= *shardCount) {
+		return fmt.Errorf("-shard-index %d out of range for -shard-count %d", *shardIndex, *shardCount)
+	}
+	srv := server.New(cfg)
 	restored, err := srv.RestoreDir()
 	if err != nil {
 		return err
@@ -216,6 +254,146 @@ func runServe(args []string, out io.Writer) error {
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
+		}
+		fmt.Fprintln(out, "bye")
+		return nil
+	}
+}
+
+// runEmbeddedShards boots n in-process shard servers on loopback
+// ephemeral ports — each a full server with its own stores, WAL
+// directory (<snapshot-dir>/shard-<i>) and commit path — and serves
+// addr with a scatter-gather router over them. One process, n
+// independent write pipelines.
+func runEmbeddedShards(n int, addr string, cfg server.Config, dtdFile, root, name string, out io.Writer) error {
+	cfg.StatsAddr = "" // one HTTP port cannot serve n shards; use STATS via the router
+	var dtdText string
+	if dtdFile != "" {
+		data, err := os.ReadFile(dtdFile)
+		if err != nil {
+			return err
+		}
+		dtdText = string(data)
+	}
+
+	servers := make([]*server.Server, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		scfg.ShardIndex = i
+		scfg.ShardCount = n
+		if cfg.SnapshotDir != "" {
+			scfg.SnapshotDir = filepath.Join(cfg.SnapshotDir, fmt.Sprintf("shard-%d", i))
+			if err := os.MkdirAll(scfg.SnapshotDir, 0o755); err != nil {
+				return err
+			}
+		}
+		srv := server.New(scfg)
+		restored, err := srv.RestoreDir()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		if restored > 0 {
+			fmt.Fprintf(out, "shard %d: restored %d store(s): %v\n", i, restored, srv.StoreNames())
+		}
+		if dtdText != "" && !contains(srv.StoreNames(), name) {
+			if err := srv.OpenStore(name, dtdText, root, xmlordb.Config{}); err != nil {
+				return fmt.Errorf("shard %d: opening store %s: %w", i, name, err)
+			}
+		}
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			select {
+			case err := <-errc:
+				return fmt.Errorf("shard %d: %w", i, err)
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+		servers[i] = srv
+		addrs[i] = srv.Addr().String()
+	}
+
+	r, err := shard.NewRouter(shard.Config{
+		Addrs:           addrs,
+		MaxRequestBytes: cfg.MaxRequestBytes,
+		IdleTimeout:     cfg.IdleTimeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return serveRouter(r, addr, out, func(ctx context.Context) {
+		for i, srv := range servers {
+			if err := srv.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "xmlordbd: shard %d shutdown: %v\n", i, err)
+			}
+		}
+	})
+}
+
+// runRouter serves a standalone scatter-gather router over remote shard
+// servers given as positional arguments, index-aligned: the first
+// address is shard 0, and every router fronting the same shards must
+// list them in the same order.
+func runRouter(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("router", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":7799", "TCP listen address")
+		idleTimeout = fs.Duration("idle-timeout", 5*time.Minute, "client session idle timeout")
+		maxRequest  = fs.Int("max-request", wire.DefaultMaxFrame, "request frame size limit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shardAddrs := fs.Args()
+	if len(shardAddrs) == 0 {
+		return fmt.Errorf("usage: router [flags] <shard-addr>... (shard order is the topology)")
+	}
+	r, err := shard.NewRouter(shard.Config{
+		Addrs:           shardAddrs,
+		MaxRequestBytes: *maxRequest,
+		IdleTimeout:     *idleTimeout,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	return serveRouter(r, *addr, out, nil)
+}
+
+// serveRouter runs a router until SIGINT/SIGTERM, then drains it and
+// runs the optional shard teardown (embedded mode).
+func serveRouter(r *shard.Router, addr string, out io.Writer, teardown func(ctx context.Context)) error {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- r.ListenAndServe(addr) }()
+	for r.Addr() == nil {
+		select {
+		case err := <-errc:
+			return err
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	fmt.Fprintf(out, "router listening on %s (%d shard(s): %v)\n", r.Addr(), r.Shards(), r.Map().Addrs)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(out, "draining...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := r.Shutdown(shutdownCtx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if teardown != nil {
+			teardown(shutdownCtx)
 		}
 		fmt.Fprintln(out, "bye")
 		return nil
@@ -385,6 +563,19 @@ func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Wri
 		}
 		fmt.Fprintf(out, "role %s, epoch %d, durable lsn %d, primary %s, members %v\n",
 			resp.Role, resp.Epoch, resp.LSN, resp.Primary, resp.Peers)
+	case "shardmap":
+		m, err := c.ShardMap(ctx)
+		if err != nil {
+			return err
+		}
+		if m == nil || m.Count == 0 {
+			fmt.Fprintln(out, "unsharded")
+			return nil
+		}
+		fmt.Fprintf(out, "%d shard(s), hash %s\n", m.Count, m.Hash)
+		for i, a := range m.Addrs {
+			fmt.Fprintf(out, "  shard %d: %s\n", i, a)
+		}
 	case "begin":
 		return c.Begin(ctx)
 	case "commit":

@@ -1,0 +1,405 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xmlordb/internal/client"
+	"xmlordb/internal/shard"
+	"xmlordb/internal/wire"
+)
+
+// The shard tests run real xmlordbd subprocesses: N standalone shard
+// servers (each with its own WAL directory) fronted by a `router`
+// subprocess, exactly as a deployment would wire them.
+
+// startShardProc launches one standalone shard server with its slot in
+// the topology and waits for the listen banner.
+func startShardProc(t *testing.T, bin, dataDir, dtdFile, addr string, index, count int) *serverProc {
+	t.Helper()
+	cmd := exec.Command(bin, "serve",
+		"-addr", addr,
+		"-dtd", dtdFile, "-name", "uni", "-root", "University",
+		"-snapshot-dir", dataDir,
+		"-snapshot-interval", "1h",
+		"-durability", "always",
+		"-shard-index", fmt.Sprint(index), "-shard-count", fmt.Sprint(count),
+	)
+	return startProcWithBanner(t, cmd, "listening on ")
+}
+
+// startRouterProc launches the scatter-gather router over the given
+// shard addresses (argument order is the topology).
+func startRouterProc(t *testing.T, bin string, shardAddrs []string) *serverProc {
+	t.Helper()
+	args := append([]string{"router", "-addr", "127.0.0.1:0"}, shardAddrs...)
+	cmd := exec.Command(bin, args...)
+	return startProcWithBanner(t, cmd, "router listening on ")
+}
+
+func startProcWithBanner(t *testing.T, cmd *exec.Cmd, banner string) *serverProc {
+	t.Helper()
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), banner); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	select {
+	case addr := <-addrCh:
+		return &serverProc{cmd: cmd, addr: addr}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("process did not report its listen address")
+		return nil
+	}
+}
+
+// shardNameFor finds a document name owned by the wanted shard.
+func shardNameFor(want, shards int, tag string) string {
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("%s-%d.xml", tag, i)
+		if shard.OwnerOfName(name, shards) == want {
+			return name
+		}
+	}
+}
+
+func wantCode(t *testing.T, err error, code string) {
+	t.Helper()
+	var se *wire.ServerError
+	if !errors.As(err, &se) || se.Code != code {
+		t.Fatalf("error = %v, want ServerError with code %s", err, code)
+	}
+}
+
+// TestShardRouterIntegration drives mixed-verb traffic through a real
+// router + 2 shard subprocesses: every document loaded through the
+// router must be retrievable through the router, scatter queries must
+// see the whole corpus, and the router's merged STATS must sum the
+// per-shard document counts.
+func TestShardRouterIntegration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess integration test")
+	}
+	bin := buildServerBinary(t)
+	dtdFile := writeDTDFile(t)
+	const shards = 2
+
+	var shardProcs []*serverProc
+	var addrs []string
+	for i := 0; i < shards; i++ {
+		p := startShardProc(t, bin, t.TempDir(), dtdFile, "127.0.0.1:0", i, shards)
+		shardProcs = append(shardProcs, p)
+		addrs = append(addrs, p.addr)
+	}
+	router := startRouterProc(t, bin, addrs)
+
+	ctx := context.Background()
+	const docs = 30
+	const workers = 4
+	ids := make([]int, docs)
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.DialSharded(router.addr, client.WithTimeout(10*time.Second))
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := w; i < docs; i += workers {
+				id, err := c.Load(ctx, fmt.Sprintf("int-%d.xml", i), crashDoc(i))
+				if err != nil {
+					errs <- fmt.Errorf("load %d: %w", i, err)
+					return
+				}
+				ids[i] = id
+				// Read-your-write through the router, plus a scatter
+				// query mixed into the write stream.
+				if _, err := c.Retrieve(ctx, id); err != nil {
+					errs <- fmt.Errorf("retrieve %d: %w", id, err)
+					return
+				}
+				if i%5 == 0 {
+					if _, err := c.Query(ctx, "SELECT COUNT(*) FROM TabUniversity"); err != nil {
+						errs <- fmt.Errorf("scatter query: %w", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	c, err := client.Dial(router.addr, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Every document is retrievable through the router, with its own
+	// content (DocID translation never crosses documents).
+	for i, id := range ids {
+		xml, err := c.Retrieve(ctx, id)
+		if err != nil {
+			t.Fatalf("doc %d (DocID %d) not retrievable through router: %v", i, id, err)
+		}
+		if !strings.Contains(xml, fmt.Sprintf("<LName>Doc%d</LName>", i)) {
+			t.Fatalf("doc %d came back as a different document:\n%s", i, xml)
+		}
+	}
+
+	// The scatter COUNT sees the whole corpus.
+	res, err := c.Query(ctx, "SELECT COUNT(*) FROM TabUniversity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := res.Rows[0][0].(float64); !ok || int(n) != docs {
+		t.Fatalf("scatter COUNT(*) = %v, want %d", res.Rows[0][0], docs)
+	}
+
+	// Merged STATS: topology identity plus per-shard documents summing
+	// to the totals reported by the shards themselves.
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ShardCount != shards || st.ShardIndex != -1 || len(st.Shards) != shards {
+		t.Fatalf("merged stats topology = count %d index %d shards %d", st.ShardCount, st.ShardIndex, len(st.Shards))
+	}
+	sum := 0
+	for _, ss := range st.Shards {
+		if !ss.OK {
+			t.Fatalf("shard %d unhealthy in merged stats: %s", ss.Index, ss.Error)
+		}
+		sum += ss.Documents
+	}
+	if sum != docs {
+		t.Fatalf("per-shard documents sum to %d, want %d", sum, docs)
+	}
+	direct := 0
+	for i, p := range shardProcs {
+		sc, err := client.Dial(p.addr, client.WithTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sst, err := sc.Stats(ctx)
+		sc.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sst.ShardCount != shards || sst.ShardIndex != i {
+			t.Fatalf("shard %d identifies as index %d of %d", i, sst.ShardIndex, sst.ShardCount)
+		}
+		for _, store := range sst.StoreStats {
+			direct += store.Documents
+		}
+	}
+	if direct != docs {
+		t.Fatalf("direct per-shard stats sum to %d, want %d", direct, docs)
+	}
+}
+
+// TestShardChaosKillShard SIGKILLs one shard under router traffic and
+// checks the failure semantics: scatter reads fail with a typed
+// per-shard attribution, single-document verbs owned by the dead shard
+// fail with shard_unavailable while the live shard keeps serving, and
+// restarting the shard on its WAL directory heals the cluster with no
+// acked-commit loss.
+func TestShardChaosKillShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture test")
+	}
+	bin := buildServerBinary(t)
+	dtdFile := writeDTDFile(t)
+	const shards = 2
+
+	dirs := []string{t.TempDir(), t.TempDir()}
+	var procs []*serverProc
+	var addrs []string
+	for i := 0; i < shards; i++ {
+		p := startShardProc(t, bin, dirs[i], dtdFile, "127.0.0.1:0", i, shards)
+		procs = append(procs, p)
+		addrs = append(addrs, p.addr)
+	}
+	router := startRouterProc(t, bin, addrs)
+
+	c, err := client.Dial(router.addr, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	// Seed documents on both shards, remembering who owns what.
+	owned := map[int][]int{} // shard index -> DocIDs
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("chaos-%d.xml", i)
+		id, err := c.Load(ctx, name, crashDoc(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		owner := shard.OwnerOfName(name, shards)
+		if got := shard.OwnerOfDocID(id, shards); got != owner {
+			t.Fatalf("doc %q: name hash says shard %d, DocID %d decodes to shard %d", name, owner, id, got)
+		}
+		owned[owner] = append(owned[owner], id)
+	}
+	if len(owned[0]) == 0 || len(owned[1]) == 0 {
+		t.Fatalf("corpus never spread: %d/%d docs per shard", len(owned[0]), len(owned[1]))
+	}
+
+	// Kill shard 1 with traffic flowing through the router.
+	stop := make(chan struct{})
+	var trafficWG sync.WaitGroup
+	trafficWG.Add(1)
+	go func() {
+		defer trafficWG.Done()
+		tc, err := client.Dial(router.addr, client.WithTimeout(10*time.Second))
+		if err != nil {
+			return
+		}
+		defer tc.Close()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Errors are expected once the kill lands; the router must
+			// just never hang or misroute.
+			tc.Query(ctx, "SELECT COUNT(*) FROM TabUniversity")
+			tc.Retrieve(ctx, owned[0][i%len(owned[0])])
+		}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	procs[1].kill(t)
+	close(stop)
+	trafficWG.Wait()
+
+	// Scatter reads: typed failure with the dead shard attributed.
+	_, err = c.Query(ctx, "SELECT COUNT(*) FROM TabUniversity")
+	wantCode(t, err, wire.CodeShardUnavailable)
+
+	// The attribution names the dead shard. The typed detail rides on
+	// the wire response, so inspect a raw frame.
+	resp := rawCall(t, router.addr, &wire.Request{Verb: wire.VerbSQL, Store: "uni",
+		SQL: "SELECT COUNT(*) FROM TabUniversity"})
+	if resp.OK || resp.Code != wire.CodeShardUnavailable {
+		t.Fatalf("raw scatter response = ok %v code %q", resp.OK, resp.Code)
+	}
+	found := false
+	for _, se := range resp.ShardErrors {
+		if se.Shard == 1 && se.Code == wire.CodeShardUnavailable && se.Addr == addrs[1] {
+			found = true
+		}
+		if se.Shard == 0 {
+			t.Fatalf("healthy shard 0 blamed in attribution: %+v", se)
+		}
+	}
+	if !found {
+		t.Fatalf("dead shard 1 not attributed: %+v", resp.ShardErrors)
+	}
+
+	// Single-document verbs: dead shard's documents fail typed, live
+	// shard's keep serving; same split for writes.
+	_, err = c.Retrieve(ctx, owned[1][0])
+	wantCode(t, err, wire.CodeShardUnavailable)
+	if _, err := c.Retrieve(ctx, owned[0][0]); err != nil {
+		t.Fatalf("live shard stopped serving reads: %v", err)
+	}
+	_, err = c.Load(ctx, shardNameFor(1, shards, "dead-write"), crashDoc(100))
+	wantCode(t, err, wire.CodeShardUnavailable)
+	liveName := shardNameFor(0, shards, "live-write")
+	liveID, err := c.Load(ctx, liveName, crashDoc(101))
+	if err != nil {
+		t.Fatalf("write to live shard failed during outage: %v", err)
+	}
+
+	// Restart the dead shard on its WAL directory at the same address:
+	// the router reconnects lazily and the cluster heals.
+	restarted := startShardProc(t, bin, dirs[1], dtdFile, addrs[1], 1, shards)
+	_ = restarted
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err = c.Query(ctx, "SELECT COUNT(*) FROM TabUniversity"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cluster never healed after shard restart: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// No acked-commit loss on the recovered shard (durability always).
+	for _, id := range owned[1] {
+		if _, err := c.Retrieve(ctx, id); err != nil {
+			t.Fatalf("doc %d lost after shard crash+restart: %v", id, err)
+		}
+	}
+	if _, err := c.Retrieve(ctx, liveID); err != nil {
+		t.Fatalf("outage-era write lost: %v", err)
+	}
+	// And the healed shard accepts writes again.
+	if _, err := c.Load(ctx, shardNameFor(1, shards, "healed-write"), crashDoc(102)); err != nil {
+		t.Fatalf("healed shard rejects writes: %v", err)
+	}
+}
+
+// rawCall opens a throwaway wire connection and performs one request,
+// returning the full response frame (typed detail included).
+func rawCall(t *testing.T, addr string, req *wire.Request) *wire.Response {
+	t.Helper()
+	conn, err := (&net.Dialer{Timeout: 5 * time.Second}).Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := wire.WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	line, err := wire.ReadFrame(bufio.NewReader(conn), wire.DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeResponse(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}

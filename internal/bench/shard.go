@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/client"
+	"xmlordb/internal/server"
+	"xmlordb/internal/shard"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+)
+
+// s1Doc is a deliberately small document: the point of S1 is the
+// per-commit WAL cost, so the CPU spent parsing and shredding each
+// document is kept small relative to its fsync.
+func s1Doc(i int) string {
+	return xmldom.Serialize(workload.University(workload.UniversityParams{
+		Students: 1, CoursesPerStudent: 1, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: int64(i),
+	}))
+}
+
+// s1Cluster boots n durable shard servers (sync "always": every commit
+// fsyncs its own WAL) and a scatter-gather router over them.
+func s1Cluster(n int) (routerAddr string, shutdown func(), err error) {
+	var dirs []string
+	var servers []*server.Server
+	cleanup := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		for _, srv := range servers {
+			srv.Shutdown(ctx)
+		}
+		for _, d := range dirs {
+			os.RemoveAll(d)
+		}
+	}
+
+	serve := func(srv *server.Server) (string, error) {
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+		for srv.Addr() == nil {
+			select {
+			case err := <-errc:
+				return "", err
+			case <-time.After(2 * time.Millisecond):
+			}
+		}
+		return srv.Addr().String(), nil
+	}
+
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		dir, err := os.MkdirTemp("", "xmlordb-s1-")
+		if err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		dirs = append(dirs, dir)
+		srv := server.New(server.Config{
+			SnapshotDir: dir, SnapshotInterval: time.Hour, Durability: "always",
+			ShardIndex: i, ShardCount: n,
+		})
+		if err := srv.OpenStore("uni", workload.UniversityDTD, "University",
+			xmlordb.Config{DisableMetadata: true}); err != nil {
+			cleanup()
+			return "", nil, err
+		}
+		servers = append(servers, srv)
+		if addrs[i], err = serve(srv); err != nil {
+			cleanup()
+			return "", nil, err
+		}
+	}
+
+	r, err := shard.NewRouter(shard.Config{Addrs: addrs})
+	if err != nil {
+		cleanup()
+		return "", nil, err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- r.ListenAndServe("127.0.0.1:0") }()
+	for r.Addr() == nil {
+		select {
+		case err := <-errc:
+			cleanup()
+			return "", nil, err
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	return r.Addr().String(), func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		r.Shutdown(ctx)
+		cancel()
+		cleanup()
+	}, nil
+}
+
+// S1 measures what sharding actually buys: each shard runs an
+// independent WAL and commit path, so writes that serialize on one
+// store's write lock (and its per-commit fsync) spread across N
+// parallel pipelines. Bulk load and a mixed read/write stream run
+// through the same topology-aware client at shard counts 1/2/4/8;
+// near-linear bulk-load scaling is the headline claim.
+func S1() (*Table, error) {
+	t := &Table{
+		ID:    "S1",
+		Title: "Sharded write scaling: bulk load and mixed ops vs shard count",
+		Header: []string{"shards", "bulk docs", "bulk docs/s", "bulk speedup",
+			"mixed ops", "mixed ops/s", "mixed speedup"},
+	}
+	const (
+		workers  = 8
+		bulkDocs = 400
+		mixedOps = 400
+	)
+	var baseBulk, baseMixed float64
+	for _, n := range []int{1, 2, 4, 8} {
+		routerAddr, shutdown, err := s1Cluster(n)
+		if err != nil {
+			return nil, err
+		}
+
+		// Bulk load: `workers` concurrent topology-aware clients, each
+		// routing LOADs straight to the owning shard.
+		clients := make([]*client.Sharded, workers)
+		for i := range clients {
+			c, err := client.DialSharded(routerAddr, client.WithTimeout(30*time.Second))
+			if err != nil {
+				shutdown()
+				return nil, err
+			}
+			clients[i] = c
+		}
+		var next atomic.Int64
+		var firstErr atomic.Value
+		var docIDs sync.Map // doc index -> global docid
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c *client.Sharded) {
+				defer wg.Done()
+				ctx := context.Background()
+				for {
+					i := next.Add(1) - 1
+					if i >= bulkDocs {
+						return
+					}
+					id, err := c.Load(ctx, fmt.Sprintf("s1-%d.xml", i), s1Doc(int(i)))
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+					docIDs.Store(int(i), id)
+				}
+			}(clients[w])
+		}
+		wg.Wait()
+		bulkElapsed := time.Since(start)
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			shutdown()
+			return nil, fmt.Errorf("S1 bulk load (%d shards): %w", n, err)
+		}
+
+		// Mixed stream: alternate writes (new LOADs) with single-document
+		// reads of the loaded corpus.
+		var loaded []int
+		docIDs.Range(func(_, v any) bool { loaded = append(loaded, v.(int)); return true })
+		next.Store(0)
+		start = time.Now()
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(c *client.Sharded, seed int) {
+				defer wg.Done()
+				ctx := context.Background()
+				for {
+					i := next.Add(1) - 1
+					if i >= mixedOps {
+						return
+					}
+					var err error
+					if i%2 == 0 {
+						_, err = c.Load(ctx, fmt.Sprintf("s1m-%d.xml", i), s1Doc(int(i)))
+					} else {
+						_, err = c.Retrieve(ctx, loaded[(seed+int(i))%len(loaded)])
+					}
+					if err != nil {
+						firstErr.CompareAndSwap(nil, err)
+						return
+					}
+				}
+			}(clients[w], w)
+		}
+		wg.Wait()
+		mixedElapsed := time.Since(start)
+		for _, c := range clients {
+			c.Close()
+		}
+		shutdown()
+		if err, ok := firstErr.Load().(error); ok && err != nil {
+			return nil, fmt.Errorf("S1 mixed (%d shards): %w", n, err)
+		}
+
+		bulkRate := float64(bulkDocs) / bulkElapsed.Seconds()
+		mixedRate := float64(mixedOps) / mixedElapsed.Seconds()
+		if n == 1 {
+			baseBulk, baseMixed = bulkRate, mixedRate
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			fmt.Sprintf("%d", bulkDocs), fmt.Sprintf("%.0f", bulkRate),
+			fmt.Sprintf("%.2fx", bulkRate/baseBulk),
+			fmt.Sprintf("%d", mixedOps), fmt.Sprintf("%.0f", mixedRate),
+			fmt.Sprintf("%.2fx", mixedRate/baseMixed),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"every shard commits through its own WAL with sync=always: bulk-load scaling is fsync pipelines running in parallel",
+		"mixed = 50% LOAD / 50% RETRIEVE through the topology-aware client (single-document verbs route direct to the owning shard)",
+		fmt.Sprintf("%d concurrent clients; identical corpus at every shard count", workers),
+		fmt.Sprintf("host has %d CPU(s): parse/shred and the kernel side of fsync serialize on the core(s), "+
+			"which caps the wall-clock speedup; per-shard pipelines need one core each to scale near-linearly", runtime.NumCPU()))
+	return t, nil
+}

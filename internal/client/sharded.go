@@ -1,0 +1,244 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"xmlordb/internal/shard"
+	"xmlordb/internal/wire"
+)
+
+// ShardMap asks the server for its shard topology. A router answers
+// with the full topology (count, hash, per-shard addresses); a shard
+// server answers with its own identity; an unsharded server answers
+// with a zero-count map.
+func (c *Client) ShardMap(ctx context.Context) (*wire.ShardMap, error) {
+	resp, err := c.call(ctx, &wire.Request{Verb: wire.VerbShardMap})
+	if err != nil {
+		return nil, err
+	}
+	return resp.ShardMap, nil
+}
+
+// txOpen reports whether this client's session has an open transaction.
+func (c *Client) txOpen() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inTx
+}
+
+// Sharded is a topology-aware client for a sharded deployment: it
+// speaks to the router for scatter verbs and transactions, but routes
+// single-document verbs (LOAD by name hash, RETRIEVE/DELETE by DocID
+// arithmetic) straight to the owning shard, skipping the router hop.
+//
+// Every direct request carries the cached map's topology assertion
+// (Request.Shards/Shard); a shard whose identity disagrees answers
+// wire.CodeShardMismatch, and the client refreshes its map from the
+// router and re-routes once rather than misrouting. A shard that
+// cannot be reached directly falls back to the router, which owns the
+// authoritative failure semantics. With an empty or zero-count map —
+// an unsharded server, or a router that advertises no addresses —
+// every verb goes through the dialed address, so Sharded degrades to a
+// plain Client.
+type Sharded struct {
+	// Client is the router connection; scatter verbs, transactions and
+	// every verb not overridden below flow through it unchanged.
+	*Client
+	opts []Option
+
+	mu     sync.Mutex
+	m      *wire.ShardMap
+	store  string          // USE binding, stamped onto direct requests
+	shards map[int]*Client // lazily dialed direct connections
+}
+
+// DialSharded connects to a router (or any xmlordbd server) and caches
+// its shard map. A server that cannot answer SHARDMAP still yields a
+// working client — routing just stays indirect.
+func DialSharded(addr string, opts ...Option) (*Sharded, error) {
+	c, err := Dial(addr, opts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sharded{Client: c, opts: opts, shards: map[int]*Client{}}
+	ctx, cancel := c.callContext(context.Background())
+	defer cancel()
+	if m, err := c.ShardMap(ctx); err == nil {
+		s.m = m
+	}
+	return s, nil
+}
+
+// Map returns the cached shard map (nil when the server never answered
+// SHARDMAP).
+func (s *Sharded) Map() *wire.ShardMap {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m
+}
+
+// Refresh re-fetches the shard map from the router and drops direct
+// connections that no longer match the topology.
+func (s *Sharded) Refresh(ctx context.Context) error {
+	m, err := s.Client.ShardMap(ctx)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = m
+	for i, c := range s.shards {
+		if m == nil || i >= len(m.Addrs) || m.Addrs[i] != c.Addr() {
+			c.Close()
+			delete(s.shards, i)
+		}
+	}
+	return nil
+}
+
+// Close closes the router connection and every direct shard connection.
+func (s *Sharded) Close() error {
+	s.mu.Lock()
+	for i, c := range s.shards {
+		c.Close()
+		delete(s.shards, i)
+	}
+	s.mu.Unlock()
+	return s.Client.Close()
+}
+
+// Use binds the router session to the named store and records the
+// binding so direct shard requests target the same store.
+func (s *Sharded) Use(ctx context.Context, name string) error {
+	if err := s.Client.Use(ctx, name); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.store = name
+	s.mu.Unlock()
+	return nil
+}
+
+// routable returns the cached topology when direct routing is possible:
+// a multi-address map, no open transaction (a transaction lives on the
+// router's session), and the owner within range.
+func (s *Sharded) routable() *wire.ShardMap {
+	if s.Client.txOpen() {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil || s.m.Count < 1 || len(s.m.Addrs) != s.m.Count {
+		return nil
+	}
+	return s.m
+}
+
+func (s *Sharded) shardClient(m *wire.ShardMap, owner int) (*Client, error) {
+	if owner < 0 || owner >= len(m.Addrs) {
+		return nil, errors.New("client: shard owner out of range")
+	}
+	s.mu.Lock()
+	if c, ok := s.shards[owner]; ok && c.Addr() == m.Addrs[owner] {
+		s.mu.Unlock()
+		return c, nil
+	}
+	s.mu.Unlock()
+	c, err := Dial(m.Addrs[owner], s.opts...)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if old, ok := s.shards[owner]; ok {
+		old.Close()
+	}
+	s.shards[owner] = c
+	s.mu.Unlock()
+	return c, nil
+}
+
+// direct routes one single-document request straight to its owner.
+// owner computes the target from a (possibly refreshed) map. Fallbacks,
+// in order: unreachable shard → router; CodeShardMismatch → refresh the
+// map and retry once (direct if still sharded, router otherwise).
+func (s *Sharded) direct(ctx context.Context, owner func(m *wire.ShardMap) int, req *wire.Request) (*wire.Response, error) {
+	m := s.routable()
+	if m == nil {
+		return s.Client.call(ctx, req)
+	}
+	resp, err := s.tryDirect(ctx, m, owner(m), req)
+	var se *wire.ServerError
+	if err != nil && errors.As(err, &se) && se.Code == wire.CodeShardMismatch {
+		// Stale map: refresh and re-route once. A second mismatch is
+		// returned as-is — something is wrong beyond staleness.
+		if rerr := s.Refresh(ctx); rerr != nil {
+			return nil, err
+		}
+		if m = s.routable(); m == nil {
+			return s.Client.call(ctx, req)
+		}
+		fresh := *req
+		fresh.Shards, fresh.Shard = 0, 0
+		return s.tryDirect(ctx, m, owner(m), &fresh)
+	}
+	return resp, err
+}
+
+func (s *Sharded) tryDirect(ctx context.Context, m *wire.ShardMap, owner int, req *wire.Request) (*wire.Response, error) {
+	c, err := s.shardClient(m, owner)
+	if err != nil {
+		return s.Client.call(ctx, req) // shard unreachable: let the router decide
+	}
+	fr := *req
+	fr.Shards = m.Count
+	fr.Shard = owner + 1
+	if fr.Store == "" {
+		s.mu.Lock()
+		fr.Store = s.store
+		s.mu.Unlock()
+	}
+	resp, err := c.call(ctx, &fr)
+	var se *wire.ServerError
+	if err != nil && !errors.As(err, &se) {
+		// Transport failure mid-call: the router may still reach the
+		// shard (or fail with proper attribution).
+		return s.Client.call(ctx, req)
+	}
+	return resp, err
+}
+
+// Load routes the document to its owning shard by name hash.
+func (s *Sharded) Load(ctx context.Context, docName, xmlText string) (int, error) {
+	if docName == "" {
+		// No name, no hash: the router names anonymous documents.
+		return s.Client.Load(ctx, docName, xmlText)
+	}
+	resp, err := s.direct(ctx, func(m *wire.ShardMap) int {
+		return shard.OwnerOfName(docName, m.Count)
+	}, &wire.Request{Verb: wire.VerbLoad, Name: docName, XML: xmlText})
+	if err != nil {
+		return 0, err
+	}
+	return resp.DocID, nil
+}
+
+// Retrieve routes to the shard owning the global DocID.
+func (s *Sharded) Retrieve(ctx context.Context, docID int) (string, error) {
+	resp, err := s.direct(ctx, func(m *wire.ShardMap) int {
+		return shard.OwnerOfDocID(docID, m.Count)
+	}, &wire.Request{Verb: wire.VerbRetrieve, DocID: docID})
+	if err != nil {
+		return "", err
+	}
+	return resp.XML, nil
+}
+
+// Delete routes to the shard owning the global DocID.
+func (s *Sharded) Delete(ctx context.Context, docID int) error {
+	_, err := s.direct(ctx, func(m *wire.ShardMap) int {
+		return shard.OwnerOfDocID(docID, m.Count)
+	}, &wire.Request{Verb: wire.VerbDelete, DocID: docID})
+	return err
+}

@@ -1,0 +1,301 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/server"
+	"xmlordb/internal/shard"
+	"xmlordb/internal/wire"
+)
+
+// stubWireServer runs a minimal wire-protocol server whose behaviour is
+// the handler: full control over topology answers without booting
+// engines.
+func stubWireServer(t *testing.T, handle func(req *wire.Request) *wire.Response) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				for {
+					line, err := wire.ReadFrame(br, wire.DefaultMaxFrame)
+					if err != nil {
+						if errors.Is(err, wire.ErrEmptyFrame) {
+							continue
+						}
+						return
+					}
+					req, err := wire.DecodeRequest(line)
+					if err != nil {
+						return
+					}
+					if req.Verb == wire.VerbQuit {
+						wire.WriteFrame(conn, &wire.Response{OK: true})
+						return
+					}
+					if err := wire.WriteFrame(conn, handle(req)); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func dialSharded(t *testing.T, addr string) *Sharded {
+	t.Helper()
+	s, err := DialSharded(addr, WithTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func (s *Sharded) directConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.shards)
+}
+
+// An unsharded server answers SHARDMAP with a zero-count map: the
+// sharded client degrades to a plain client and opens no direct
+// connections.
+func TestShardedEmptyMapDegradesToRouter(t *testing.T) {
+	_, addr := startServer(t, server.Config{})
+	s := dialSharded(t, addr)
+	ctx := context.Background()
+
+	if m := s.Map(); m == nil || m.Count != 0 {
+		t.Fatalf("Map() = %+v, want zero-count", s.Map())
+	}
+	id, err := s.Load(ctx, "a.xml", uniDoc("Plain", 1))
+	if err != nil || id != 1 {
+		t.Fatalf("Load = %d, %v", id, err)
+	}
+	xml, err := s.Retrieve(ctx, id)
+	if err != nil || xml == "" {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if err := s.Delete(ctx, id); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if n := s.directConns(); n != 0 {
+		t.Fatalf("opened %d direct connections against an unsharded server", n)
+	}
+}
+
+// A single-shard topology with an advertised address routes
+// single-document verbs directly to that shard, skipping the router.
+func TestShardedSingleShardRoutesDirect(t *testing.T) {
+	srv := server.New(server.Config{ShardIndex: 0, ShardCount: 1})
+	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.AddStore("uni", st); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	shardAddr := ln.Addr().String()
+
+	r, err := shard.NewRouter(shard.Config{Addrs: []string{shardAddr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve(rln)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		r.Shutdown(ctx)
+	})
+
+	s := dialSharded(t, rln.Addr().String())
+	ctx := context.Background()
+	if m := s.Map(); m == nil || m.Count != 1 || len(m.Addrs) != 1 {
+		t.Fatalf("Map() = %+v", s.Map())
+	}
+	id, err := s.Load(ctx, "solo.xml", uniDoc("Solo", 1))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, err := s.Retrieve(ctx, id); err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if n := s.directConns(); n != 1 {
+		t.Fatalf("direct connections = %d, want 1 (single shard routes direct)", n)
+	}
+	s.mu.Lock()
+	direct := s.shards[0].Addr()
+	s.mu.Unlock()
+	if direct != shardAddr {
+		t.Fatalf("direct connection dials %s, want the shard %s", direct, shardAddr)
+	}
+}
+
+// A stale cached map must refresh and re-route after a shard answers
+// CodeShardMismatch — never misroute, never fail the call.
+func TestShardedMismatchRefreshesAndReroutes(t *testing.T) {
+	var staleHits, goodHits atomic.Int64
+
+	// The stale shard refuses everything: its topology moved on.
+	staleShard := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		staleHits.Add(1)
+		return &wire.Response{OK: false, Code: wire.CodeShardMismatch,
+			Error: "this server is shard 0 of 3; refresh the shard map"}
+	})
+	// The good shard accepts the re-routed LOAD.
+	goodShard := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		goodHits.Add(1)
+		if req.Verb == wire.VerbLoad {
+			return &wire.Response{OK: true, DocID: 9}
+		}
+		return &wire.Response{OK: true}
+	})
+
+	// The router hands out the stale 2-shard map once, then the fresh
+	// single-shard map pointing at the good shard.
+	var mapCalls atomic.Int64
+	router := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		if req.Verb == wire.VerbShardMap {
+			if mapCalls.Add(1) == 1 {
+				return &wire.Response{OK: true, ShardMap: &wire.ShardMap{
+					Count: 2, Hash: shard.HashName, Addrs: []string{staleShard, staleShard}}}
+			}
+			return &wire.Response{OK: true, ShardMap: &wire.ShardMap{
+				Count: 1, Hash: shard.HashName, Addrs: []string{goodShard}}}
+		}
+		t.Errorf("router received %s: the re-route should have gone direct", req.Verb)
+		return &wire.Response{OK: false, Code: wire.CodeBadRequest, Error: "unexpected"}
+	})
+
+	s := dialSharded(t, router)
+	ctx := context.Background()
+	if m := s.Map(); m == nil || m.Count != 2 {
+		t.Fatalf("initial map = %+v", s.Map())
+	}
+	id, err := s.Load(ctx, "doc.xml", "<University/>")
+	if err != nil {
+		t.Fatalf("Load after mismatch: %v", err)
+	}
+	if id != 9 {
+		t.Fatalf("Load DocID = %d, want 9 from the re-routed shard", id)
+	}
+	if staleHits.Load() != 1 {
+		t.Fatalf("stale shard hit %d times, want exactly 1", staleHits.Load())
+	}
+	if goodHits.Load() != 1 {
+		t.Fatalf("good shard hit %d times, want exactly 1", goodHits.Load())
+	}
+	if m := s.Map(); m == nil || m.Count != 1 {
+		t.Fatalf("map after refresh = %+v", s.Map())
+	}
+}
+
+// An unreachable shard falls back to the router rather than failing.
+func TestShardedUnreachableShardFallsBack(t *testing.T) {
+	// A dead address: listener closed immediately.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	var routed atomic.Int64
+	router := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		switch req.Verb {
+		case wire.VerbShardMap:
+			return &wire.Response{OK: true, ShardMap: &wire.ShardMap{
+				Count: 1, Hash: shard.HashName, Addrs: []string{deadAddr}}}
+		case wire.VerbLoad:
+			routed.Add(1)
+			return &wire.Response{OK: true, DocID: 4}
+		}
+		return &wire.Response{OK: true}
+	})
+
+	s := dialSharded(t, router)
+	id, err := s.Load(context.Background(), "doc.xml", "<University/>")
+	if err != nil || id != 4 {
+		t.Fatalf("Load via fallback = %d, %v", id, err)
+	}
+	if routed.Load() != 1 {
+		t.Fatalf("router handled %d loads, want 1 (fallback)", routed.Load())
+	}
+}
+
+// During a transaction every verb flows through the router session —
+// direct routing would bypass the shard the transaction is bound to.
+func TestShardedTransactionStaysOnRouter(t *testing.T) {
+	var directable atomic.Bool
+	var routerLoads atomic.Int64
+	shardStub := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		if !directable.Load() {
+			t.Errorf("shard received %s during a transaction", req.Verb)
+		}
+		return &wire.Response{OK: true, DocID: 1}
+	})
+	router := stubWireServer(t, func(req *wire.Request) *wire.Response {
+		switch req.Verb {
+		case wire.VerbShardMap:
+			return &wire.Response{OK: true, ShardMap: &wire.ShardMap{
+				Count: 1, Hash: shard.HashName, Addrs: []string{shardStub}}}
+		case wire.VerbLoad:
+			routerLoads.Add(1)
+			return &wire.Response{OK: true, DocID: 2}
+		}
+		return &wire.Response{OK: true}
+	})
+
+	s := dialSharded(t, router)
+	ctx := context.Background()
+	if err := s.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if id, err := s.Load(ctx, "tx.xml", "<University/>"); err != nil || id != 2 {
+		t.Fatalf("in-tx Load = %d, %v (want the router's answer)", id, err)
+	}
+	if err := s.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if routerLoads.Load() != 1 {
+		t.Fatalf("router loads = %d, want 1", routerLoads.Load())
+	}
+	// Outside the transaction direct routing resumes.
+	directable.Store(true)
+	if id, err := s.Load(ctx, "free.xml", "<University/>"); err != nil || id != 1 {
+		t.Fatalf("post-tx Load = %d, %v (want the shard's answer)", id, err)
+	}
+}

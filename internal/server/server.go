@@ -136,6 +136,17 @@ type Config struct {
 	// store list so stores OPENed after the replica connected get
 	// replicated too (default DefaultReplStoreRefresh).
 	ReplStoreRefresh time.Duration
+	// ShardCount / ShardIndex give the server a shard identity: this is
+	// shard ShardIndex (0-based) of a ShardCount-wide topology behind a
+	// shard router. A shard server speaks global DocIDs on the wire —
+	// the session layer translates them to and from the engine's local
+	// DocIDs with the internal/shard codec — and rejects requests whose
+	// topology assertion (Request.Shards/Shard) or DocID ownership
+	// disagrees with its slot, with wire.CodeShardMismatch. ShardCount
+	// <= 1 means unsharded: the codec is the identity and assertions of
+	// larger topologies are rejected.
+	ShardCount int
+	ShardIndex int
 	// Logf receives server log lines (default: discarded).
 	Logf func(format string, args ...any)
 }
@@ -752,6 +763,10 @@ func (s *Server) statsPayload() *wire.Stats {
 		Timeouts:      s.metrics.timeouts.Load(),
 		Oversized:     s.metrics.oversized.Load(),
 		Verbs:         s.metrics.verbStats(),
+	}
+	if s.cfg.ShardCount > 1 {
+		st.ShardCount = s.cfg.ShardCount
+		st.ShardIndex = s.cfg.ShardIndex
 	}
 	for _, hs := range hosted {
 		// The lock-free ref, not hs.store: a replication snapshot

@@ -163,7 +163,7 @@ func (ss *session) handle(line []byte) (*wire.Response, bool) {
 		})
 	}
 	start := time.Now()
-	resp := ss.dispatch(verb, req)
+	resp := ss.dispatchRouted(verb, req)
 	if watchdog != nil {
 		watchdog.Stop()
 	}

@@ -1,0 +1,75 @@
+package server
+
+import (
+	"xmlordb/internal/shard"
+	"xmlordb/internal/wire"
+)
+
+// dispatchRouted is the shard-aware rim around dispatch: it validates
+// the request's topology assertions against the server's shard
+// identity and translates DocIDs between the global space spoken on
+// the wire and the engine's shard-local space. With ShardCount <= 1
+// both are identities and every request falls straight through, so an
+// unsharded server's behaviour is unchanged byte for byte.
+func (ss *session) dispatchRouted(verb string, req *wire.Request) *wire.Response {
+	n := ss.srv.cfg.ShardCount
+	idx := ss.srv.cfg.ShardIndex
+	count := n
+	if count < 1 {
+		count = 1
+	}
+	// A client or router asserting a different topology is routing off
+	// a stale map: tell it to refresh rather than serve a misroute.
+	if req.Shards != 0 && req.Shards != count {
+		return fail(wire.CodeShardMismatch,
+			"this server is shard %d of %d; request asserts a %d-shard topology — refresh the shard map",
+			idx, count, req.Shards)
+	}
+	if req.Shard != 0 && req.Shard != idx+1 {
+		return fail(wire.CodeShardMismatch,
+			"this server is shard %d of %d; request is routed to shard %d — refresh the shard map",
+			idx, count, req.Shard-1)
+	}
+
+	if verb == wire.VerbShardMap {
+		// A shard server knows its slot but not its siblings' addresses;
+		// an unsharded server answers a zero-count map. Either way the
+		// client learns whether direct routing is possible here.
+		sm := &wire.ShardMap{}
+		if n > 1 {
+			sm.Count = n
+			sm.Hash = shard.HashName
+		}
+		return &wire.Response{OK: true, ShardMap: sm}
+	}
+
+	if n <= 1 {
+		return ss.dispatch(verb, req)
+	}
+
+	switch verb {
+	case wire.VerbRetrieve, wire.VerbDelete:
+		if req.DocID > 0 {
+			if owner := shard.OwnerOfDocID(req.DocID, n); owner != idx {
+				return fail(wire.CodeShardMismatch,
+					"document %d belongs to shard %d, not shard %d — refresh the shard map",
+					req.DocID, owner, idx)
+			}
+			global := req.DocID
+			local, _ := shard.SplitDocID(global, n)
+			req.DocID = local
+			resp := ss.dispatch(verb, req)
+			if resp.DocID != 0 {
+				resp.DocID = global
+			}
+			return resp
+		}
+	case wire.VerbLoad:
+		resp := ss.dispatch(verb, req)
+		if resp.OK && resp.DocID > 0 {
+			resp.DocID = shard.GlobalDocID(resp.DocID, idx, n)
+		}
+		return resp
+	}
+	return ss.dispatch(verb, req)
+}

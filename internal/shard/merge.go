@@ -1,0 +1,518 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"xmlordb/internal/sql"
+	"xmlordb/internal/wire"
+)
+
+// This file recombines fanned-out result sets. The values it handles
+// are wire values — JSON scalars as decoded from response frames
+// (string, float64, bool, nil) — not engine values; merging happens
+// strictly at the protocol layer.
+//
+// Merge semantics, in order of specificity:
+//
+//   - single shard: the leg passes through untouched, so a one-shard
+//     deployment is byte-identical to an unsharded server;
+//   - aggregates without GROUP BY: one row whose columns combine per
+//     function — COUNT and SUM sum, MIN/MAX compare, AVG is not
+//     distributable (each shard's mean loses its weight) and fails
+//     with a typed engine error;
+//   - GROUP BY: groups re-group by the tuple of non-aggregate output
+//     columns, aggregate columns combine as above, and the merged
+//     groups sort by key so the output is deterministic;
+//   - ORDER BY: rows concatenate and re-sort when every key maps to an
+//     output column (by alias, rendered expression text or trailing
+//     path part); an unmappable key degrades to stable shard-order
+//     concatenation rather than guessing;
+//   - everything else: stable shard-order concatenation.
+
+// mergeSelect recombines the OK legs of a scattered SELECT.
+func mergeSelect(stmt *sql.SelectStmt, results []scatterResult) *wire.Response {
+	if len(results) == 1 {
+		return results[0].resp
+	}
+	legs := make([]*wire.Response, len(results))
+	for i, res := range results {
+		legs[i] = res.resp
+	}
+	cols := firstCols(legs)
+
+	if len(stmt.GroupBy) == 0 && countAggregates(stmt) > 0 {
+		row, err := combineAggregateRow(stmt, legs)
+		if err != nil {
+			return fail(wire.CodeEngine, "%v", err)
+		}
+		return &wire.Response{OK: true, Cols: cols, Rows: [][]any{row}}
+	}
+
+	if len(stmt.GroupBy) > 0 {
+		rows, err := mergeGroups(stmt, legs)
+		if err != nil {
+			return fail(wire.CodeEngine, "%v", err)
+		}
+		if len(stmt.OrderBy) > 0 {
+			sortRows(stmt, cols, rows)
+		}
+		return &wire.Response{OK: true, Cols: cols, Rows: rows}
+	}
+
+	rows := concatRows(legs)
+	if len(stmt.OrderBy) > 0 {
+		sortRows(stmt, cols, rows)
+	}
+	return &wire.Response{OK: true, Cols: cols, Rows: rows}
+}
+
+// mergeXPath recombines a scattered XPATH: the translated SQL echoed
+// by the shards tells us how to merge (XPath ordering predicates
+// become ORDER BY). The SQL echo survives in the merged response.
+func mergeXPath(results []scatterResult) *wire.Response {
+	if len(results) == 1 {
+		return results[0].resp
+	}
+	legs := make([]*wire.Response, len(results))
+	for i, res := range results {
+		legs[i] = res.resp
+	}
+	echo := ""
+	for _, leg := range legs {
+		if leg.SQL != "" {
+			echo = leg.SQL
+			break
+		}
+	}
+	var out *wire.Response
+	if stmt, err := sql.CachedParse(echo); err == nil {
+		if sel, ok := stmt.(*sql.SelectStmt); ok {
+			out = mergeSelect(sel, results)
+		}
+	}
+	if out == nil {
+		out = &wire.Response{OK: true, Cols: firstCols(legs), Rows: concatRows(legs)}
+	}
+	if out.OK {
+		out.SQL = echo
+	}
+	return out
+}
+
+func firstCols(legs []*wire.Response) []string {
+	for _, leg := range legs {
+		if len(leg.Cols) > 0 {
+			return leg.Cols
+		}
+	}
+	return nil
+}
+
+func concatRows(legs []*wire.Response) [][]any {
+	var rows [][]any
+	for _, leg := range legs {
+		rows = append(rows, leg.Rows...)
+	}
+	return rows
+}
+
+// aggFuncs maps output column index → upper-cased aggregate function
+// name for aggregate select items, "" for plain columns.
+func aggFuncs(stmt *sql.SelectStmt) []string {
+	out := make([]string, 0, len(stmt.Items))
+	for _, item := range stmt.Items {
+		fn := ""
+		if c, ok := item.Expr.(*sql.Call); ok {
+			switch strings.ToUpper(c.Name) {
+			case "COUNT", "SUM", "MIN", "MAX", "AVG":
+				fn = strings.ToUpper(c.Name)
+			}
+		}
+		out = append(out, fn)
+	}
+	return out
+}
+
+func countAggregates(stmt *sql.SelectStmt) int {
+	n := 0
+	for _, fn := range aggFuncs(stmt) {
+		if fn != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// combineAggregateRow folds the single aggregate row of every leg into
+// one. A leg with no rows (empty shard) contributes nothing.
+func combineAggregateRow(stmt *sql.SelectStmt, legs []*wire.Response) ([]any, error) {
+	fns := aggFuncs(stmt)
+	var acc []any
+	for _, leg := range legs {
+		for _, row := range leg.Rows {
+			if acc == nil {
+				acc = make([]any, len(row))
+				copy(acc, row)
+				if err := checkDistributable(fns, len(row)); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if len(row) != len(acc) {
+				return nil, fmt.Errorf("shard: aggregate legs disagree on column count")
+			}
+			for i := range row {
+				fn := ""
+				if i < len(fns) {
+					fn = fns[i]
+				}
+				v, err := combineValue(fn, acc[i], row[i])
+				if err != nil {
+					return nil, err
+				}
+				acc[i] = v
+			}
+		}
+	}
+	if acc == nil {
+		acc = zeroAggregateRow(fns, len(stmt.Items))
+	}
+	return acc, nil
+}
+
+func checkDistributable(fns []string, width int) error {
+	for i := 0; i < width && i < len(fns); i++ {
+		if fns[i] == "AVG" {
+			return fmt.Errorf("shard: AVG is not distributable across shards; compute SUM and COUNT and divide client-side")
+		}
+	}
+	return nil
+}
+
+// zeroAggregateRow is the merged result when every shard returned zero
+// rows: COUNT is 0, everything else null.
+func zeroAggregateRow(fns []string, width int) []any {
+	row := make([]any, width)
+	for i := range row {
+		if i < len(fns) && fns[i] == "COUNT" {
+			row[i] = float64(0)
+		}
+	}
+	return row
+}
+
+// combineValue folds one shard's column value into the accumulator
+// under the given aggregate function ("" = plain column: first
+// non-null wins, matching "any value of the group").
+func combineValue(fn string, acc, v any) (any, error) {
+	switch fn {
+	case "COUNT", "SUM":
+		if v == nil {
+			return acc, nil
+		}
+		if acc == nil {
+			return v, nil
+		}
+		a, okA := toFloat(acc)
+		b, okB := toFloat(v)
+		if !okA || !okB {
+			return nil, fmt.Errorf("shard: %s merge expects numeric values, got %T and %T", fn, acc, v)
+		}
+		return a + b, nil
+	case "MIN":
+		return pickExtreme(acc, v, -1), nil
+	case "MAX":
+		return pickExtreme(acc, v, 1), nil
+	case "AVG":
+		return nil, fmt.Errorf("shard: AVG is not distributable across shards; compute SUM and COUNT and divide client-side")
+	default:
+		if acc == nil {
+			return v, nil
+		}
+		return acc, nil
+	}
+}
+
+func pickExtreme(acc, v any, dir int) any {
+	if v == nil {
+		return acc
+	}
+	if acc == nil {
+		return v
+	}
+	if compareValues(v, acc)*dir > 0 {
+		return v
+	}
+	return acc
+}
+
+// mergeGroups re-groups fanned-out GROUP BY rows by the tuple of
+// non-aggregate output columns and combines the aggregate columns.
+func mergeGroups(stmt *sql.SelectStmt, legs []*wire.Response) ([][]any, error) {
+	fns := aggFuncs(stmt)
+	type group struct {
+		key string
+		row []any
+	}
+	groups := map[string]*group{}
+	var order []string // first-seen order, replaced by key sort below
+	for _, leg := range legs {
+		for _, row := range leg.Rows {
+			key := groupKey(fns, row)
+			g, ok := groups[key]
+			if !ok {
+				cp := make([]any, len(row))
+				copy(cp, row)
+				if err := checkDistributable(fns, len(row)); err != nil {
+					return nil, err
+				}
+				groups[key] = &group{key: key, row: cp}
+				order = append(order, key)
+				continue
+			}
+			if len(row) != len(g.row) {
+				return nil, fmt.Errorf("shard: GROUP BY legs disagree on column count")
+			}
+			for i := range row {
+				fn := ""
+				if i < len(fns) {
+					fn = fns[i]
+				}
+				if fn == "" {
+					continue // group column: identical by construction
+				}
+				v, err := combineValue(fn, g.row[i], row[i])
+				if err != nil {
+					return nil, err
+				}
+				g.row[i] = v
+			}
+		}
+	}
+	// Sort merged groups by key so the output does not depend on which
+	// shard answered first. An explicit ORDER BY re-sorts afterwards.
+	sort.Strings(order)
+	rows := make([][]any, 0, len(order))
+	for _, key := range order {
+		rows = append(rows, groups[key].row)
+	}
+	return rows, nil
+}
+
+// groupKey renders the non-aggregate columns of a row into a collation
+// key. The textual rendering is only used for equality and a
+// deterministic default order, never shown to clients.
+func groupKey(fns []string, row []any) string {
+	var b strings.Builder
+	for i, v := range row {
+		if i < len(fns) && fns[i] != "" {
+			continue
+		}
+		fmt.Fprintf(&b, "%T\x00%v\x00", v, v)
+	}
+	return b.String()
+}
+
+// sortRows re-applies the statement's ORDER BY to concatenated rows.
+// Every key must map to an output column; a key that does not leaves
+// the rows in stable shard order (the engine already ordered each leg,
+// and guessing a wrong global order is worse than interleaving).
+func sortRows(stmt *sql.SelectStmt, cols []string, rows [][]any) {
+	type sortKey struct {
+		col  int
+		desc bool
+	}
+	var keys []sortKey
+	for _, item := range stmt.OrderBy {
+		col := orderColumn(stmt, cols, item.Expr)
+		if col < 0 {
+			return
+		}
+		keys = append(keys, sortKey{col: col, desc: item.Desc})
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			if k.col >= len(rows[i]) || k.col >= len(rows[j]) {
+				continue
+			}
+			c := compareValues(rows[i][k.col], rows[j][k.col])
+			if c == 0 {
+				continue
+			}
+			if k.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// orderColumn maps an ORDER BY expression to an output column index:
+// by rendered expression text against the select items, by alias, or
+// by trailing path part against the column names. -1 = unmappable.
+func orderColumn(stmt *sql.SelectStmt, cols []string, e sql.Expr) int {
+	want := sql.FormatExpr(e)
+	for i, item := range stmt.Items {
+		if item.Star {
+			continue
+		}
+		if strings.EqualFold(sql.FormatExpr(item.Expr), want) {
+			return i
+		}
+		if item.Alias != "" && strings.EqualFold(item.Alias, want) {
+			return i
+		}
+	}
+	if p, ok := e.(*sql.Path); ok && len(p.Parts) > 0 {
+		name := p.Parts[len(p.Parts)-1]
+		for i, col := range cols {
+			if strings.EqualFold(col, name) {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// compareValues orders two wire values: nulls last, numbers
+// numerically, strings lexicographically, bools false < true, mixed
+// types by textual rendering.
+func compareValues(a, b any) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return 1
+	case b == nil:
+		return -1
+	}
+	fa, okA := toFloat(a)
+	fb, okB := toFloat(b)
+	if okA && okB {
+		switch {
+		case fa < fb:
+			return -1
+		case fa > fb:
+			return 1
+		}
+		return 0
+	}
+	sa, okA := a.(string)
+	sb, okB := b.(string)
+	if okA && okB {
+		return strings.Compare(sa, sb)
+	}
+	ba, okA := a.(bool)
+	bb, okB := b.(bool)
+	if okA && okB {
+		switch {
+		case !ba && bb:
+			return -1
+		case ba && !bb:
+			return 1
+		}
+		return 0
+	}
+	return strings.Compare(fmt.Sprint(a), fmt.Sprint(b))
+}
+
+func toFloat(v any) (float64, bool) {
+	switch x := v.(type) {
+	case float64:
+		return x, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// mergeStats folds scattered STATS legs into one payload: gauges and
+// per-verb counters sum, per-store engine counters sum by store name
+// (WAL positions take the max), and Stats.Shards reports per-shard
+// health including the shards that failed to answer.
+func mergeStats(results []scatterResult, addrs []string) *wire.Stats {
+	merged := &wire.Stats{ShardCount: len(results), ShardIndex: -1}
+	verbIdx := map[string]int{}
+	storeIdx := map[string]int{}
+	for i, res := range results {
+		ss := wire.ShardStat{Index: i}
+		if i < len(addrs) {
+			ss.Addr = addrs[i]
+		}
+		switch {
+		case res.err != nil:
+			ss.Error = res.err.Error()
+		case !res.resp.OK:
+			ss.Error = res.resp.Error
+		case res.resp.Stats == nil:
+			ss.Error = "no stats payload"
+		default:
+			st := res.resp.Stats
+			ss.OK = true
+			ss.Sessions = st.SessionsOpen
+			merged.SessionsOpen += st.SessionsOpen
+			merged.SessionsTotal += st.SessionsTotal
+			merged.Snapshots += st.Snapshots
+			merged.Timeouts += st.Timeouts
+			merged.Oversized += st.Oversized
+			if st.Draining {
+				merged.Draining = true
+			}
+			for _, vs := range st.Verbs {
+				j, ok := verbIdx[vs.Verb]
+				if !ok {
+					j = len(merged.Verbs)
+					verbIdx[vs.Verb] = j
+					merged.Verbs = append(merged.Verbs, wire.VerbStat{Verb: vs.Verb})
+				}
+				merged.Verbs[j].Count += vs.Count
+				merged.Verbs[j].Errors += vs.Errors
+				merged.Verbs[j].TotalNanos += vs.TotalNanos
+			}
+			for _, sst := range st.StoreStats {
+				ss.Documents += sst.Documents
+				j, ok := storeIdx[sst.Name]
+				if !ok {
+					j = len(merged.StoreStats)
+					storeIdx[sst.Name] = j
+					merged.StoreStats = append(merged.StoreStats, wire.StoreStats{Name: sst.Name})
+				}
+				m := &merged.StoreStats[j]
+				m.Documents += sst.Documents
+				m.ParseHits += sst.ParseHits
+				m.ParseMisses += sst.ParseMisses
+				m.PlanHits += sst.PlanHits
+				m.PlanMisses += sst.PlanMisses
+				m.Inserts += sst.Inserts
+				m.RowsScanned += sst.RowsScanned
+				m.Derefs += sst.Derefs
+				m.IndexProbes += sst.IndexProbes
+				if sst.Durable {
+					m.Durable = true
+				}
+				m.WALRecords += sst.WALRecords
+				m.WALBytes += sst.WALBytes
+				m.WALFsyncs += sst.WALFsyncs
+				m.WALCommits += sst.WALCommits
+				m.WALReplayed += sst.WALReplayed
+				if sst.WALLastLSN > m.WALLastLSN {
+					m.WALLastLSN = sst.WALLastLSN
+				}
+				if sst.WALCheckpointLSN > m.WALCheckpointLSN {
+					m.WALCheckpointLSN = sst.WALCheckpointLSN
+				}
+			}
+		}
+		merged.Shards = append(merged.Shards, ss)
+	}
+	return merged
+}

@@ -1,0 +1,253 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"xmlordb/internal/sql"
+	"xmlordb/internal/wire"
+)
+
+func TestOwnerOfNameRangeAndDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		for i := 0; i < 200; i++ {
+			name := fmt.Sprintf("doc-%d.xml", i)
+			got := OwnerOfName(name, n)
+			if got < 0 || got >= n {
+				t.Fatalf("OwnerOfName(%q, %d) = %d out of range", name, n, got)
+			}
+			if again := OwnerOfName(name, n); again != got {
+				t.Fatalf("OwnerOfName(%q, %d) not deterministic: %d then %d", name, n, got, again)
+			}
+		}
+	}
+}
+
+func TestOwnerOfNameSpreads(t *testing.T) {
+	const n, docs = 4, 400
+	counts := make([]int, n)
+	for i := 0; i < docs; i++ {
+		counts[OwnerOfName(fmt.Sprintf("doc-%d.xml", i), n)]++
+	}
+	for s, c := range counts {
+		// A uniform hash puts ~100 docs per shard; anything under a
+		// quarter of that signals a broken hash, not bad luck.
+		if c < docs/n/4 {
+			t.Fatalf("shard %d got %d of %d documents: %v", s, c, docs, counts)
+		}
+	}
+}
+
+func TestJumpConsistency(t *testing.T) {
+	// Growing the bucket count must only move keys into the new
+	// buckets, never shuffle keys between existing buckets.
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("key-%d", i)
+		before := OwnerOfName(name, 4)
+		after := OwnerOfName(name, 5)
+		if after != before && after != 4 {
+			t.Fatalf("key %q moved %d -> %d when growing 4 -> 5 buckets", name, before, after)
+		}
+	}
+}
+
+func TestDocIDCodecRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 8} {
+		seen := map[int]bool{}
+		for shard := 0; shard < n; shard++ {
+			for local := 1; local <= 50; local++ {
+				g := GlobalDocID(local, shard, n)
+				if g <= 0 {
+					t.Fatalf("GlobalDocID(%d,%d,%d) = %d not positive", local, shard, n, g)
+				}
+				if seen[g] {
+					t.Fatalf("GlobalDocID(%d,%d,%d) = %d collides", local, shard, n, g)
+				}
+				seen[g] = true
+				l2, s2 := SplitDocID(g, n)
+				if l2 != local || s2 != shard {
+					t.Fatalf("SplitDocID(%d,%d) = (%d,%d), want (%d,%d)", g, n, l2, s2, local, shard)
+				}
+				if OwnerOfDocID(g, n) != shard {
+					t.Fatalf("OwnerOfDocID(%d,%d) = %d, want %d", g, n, OwnerOfDocID(g, n), shard)
+				}
+			}
+		}
+	}
+}
+
+func TestDocIDCodecIdentityUnsharded(t *testing.T) {
+	for local := 1; local <= 10; local++ {
+		if g := GlobalDocID(local, 0, 1); g != local {
+			t.Fatalf("GlobalDocID(%d,0,1) = %d, want identity", local, g)
+		}
+		l, s := SplitDocID(local, 1)
+		if l != local || s != 0 {
+			t.Fatalf("SplitDocID(%d,1) = (%d,%d), want identity", local, l, s)
+		}
+	}
+}
+
+func selectStmt(t *testing.T, text string) *sql.SelectStmt {
+	t.Helper()
+	stmt, err := sql.CachedParse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	sel, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		t.Fatalf("%q is not a SELECT", text)
+	}
+	return sel
+}
+
+func okLeg(cols []string, rows [][]any) scatterResult {
+	return scatterResult{resp: &wire.Response{OK: true, Cols: cols, Rows: rows}}
+}
+
+func TestMergeSelectConcatKeepsShardOrder(t *testing.T) {
+	stmt := selectStmt(t, `SELECT name FROM t`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"name"}, [][]any{{"a"}, {"b"}}),
+		okLeg([]string{"name"}, [][]any{{"c"}}),
+	})
+	if !resp.OK || len(resp.Rows) != 3 || resp.Rows[0][0] != "a" || resp.Rows[2][0] != "c" {
+		t.Fatalf("merged = %+v", resp)
+	}
+}
+
+func TestMergeSelectOrderByResorts(t *testing.T) {
+	stmt := selectStmt(t, `SELECT name, n FROM t ORDER BY n DESC`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"name", "n"}, [][]any{{"b", float64(2)}}),
+		okLeg([]string{"name", "n"}, [][]any{{"c", float64(3)}, {"a", float64(1)}}),
+	})
+	if !resp.OK {
+		t.Fatalf("merge failed: %+v", resp)
+	}
+	var got []string
+	for _, r := range resp.Rows {
+		got = append(got, r[0].(string))
+	}
+	if fmt.Sprint(got) != "[c b a]" {
+		t.Fatalf("ORDER BY n DESC merged to %v", got)
+	}
+}
+
+func TestMergeSelectOrderByNullsLast(t *testing.T) {
+	stmt := selectStmt(t, `SELECT n FROM t ORDER BY n`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"n"}, [][]any{{nil}, {float64(2)}}),
+		okLeg([]string{"n"}, [][]any{{float64(1)}}),
+	})
+	if resp.Rows[0][0] != float64(1) || resp.Rows[1][0] != float64(2) || resp.Rows[2][0] != nil {
+		t.Fatalf("nulls-last merge = %v", resp.Rows)
+	}
+}
+
+func TestMergeSelectAggregates(t *testing.T) {
+	stmt := selectStmt(t, `SELECT COUNT(*), SUM(n), MIN(n), MAX(n) FROM t`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"COUNT(*)", "SUM", "MIN", "MAX"}, [][]any{{float64(2), float64(10), float64(3), float64(7)}}),
+		okLeg([]string{"COUNT(*)", "SUM", "MIN", "MAX"}, [][]any{{float64(1), float64(5), float64(5), float64(5)}}),
+	})
+	if !resp.OK || len(resp.Rows) != 1 {
+		t.Fatalf("aggregate merge = %+v", resp)
+	}
+	row := resp.Rows[0]
+	want := []any{float64(3), float64(15), float64(3), float64(7)}
+	for i := range want {
+		if row[i] != want[i] {
+			t.Fatalf("aggregate col %d = %v, want %v (row %v)", i, row[i], want[i], row)
+		}
+	}
+}
+
+func TestMergeSelectAggregatesEmptyShards(t *testing.T) {
+	stmt := selectStmt(t, `SELECT COUNT(*), SUM(n) FROM t`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"COUNT(*)", "SUM"}, nil),
+		okLeg([]string{"COUNT(*)", "SUM"}, nil),
+	})
+	if !resp.OK || len(resp.Rows) != 1 {
+		t.Fatalf("empty aggregate merge = %+v", resp)
+	}
+	if resp.Rows[0][0] != float64(0) || resp.Rows[0][1] != nil {
+		t.Fatalf("empty aggregate row = %v, want [0 <nil>]", resp.Rows[0])
+	}
+}
+
+func TestMergeSelectAvgRejected(t *testing.T) {
+	stmt := selectStmt(t, `SELECT AVG(n) FROM t`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"AVG"}, [][]any{{float64(2)}}),
+		okLeg([]string{"AVG"}, [][]any{{float64(4)}}),
+	})
+	if resp.OK || resp.Code != wire.CodeEngine {
+		t.Fatalf("AVG merge should fail with engine code, got %+v", resp)
+	}
+}
+
+func TestMergeSelectGroupBy(t *testing.T) {
+	stmt := selectStmt(t, `SELECT dept, COUNT(*), SUM(n) FROM t GROUP BY dept`)
+	resp := mergeSelect(stmt, []scatterResult{
+		okLeg([]string{"dept", "COUNT(*)", "SUM"}, [][]any{{"a", float64(1), float64(10)}, {"b", float64(2), float64(5)}}),
+		okLeg([]string{"dept", "COUNT(*)", "SUM"}, [][]any{{"b", float64(1), float64(7)}}),
+	})
+	if !resp.OK || len(resp.Rows) != 2 {
+		t.Fatalf("GROUP BY merge = %+v", resp)
+	}
+	// Merged groups sort by key: "a" before "b".
+	if resp.Rows[0][0] != "a" || resp.Rows[1][0] != "b" {
+		t.Fatalf("group order = %v", resp.Rows)
+	}
+	if resp.Rows[1][1] != float64(3) || resp.Rows[1][2] != float64(12) {
+		t.Fatalf("group b merged to %v, want [b 3 12]", resp.Rows[1])
+	}
+}
+
+func TestMergeSelectSingleLegPassThrough(t *testing.T) {
+	stmt := selectStmt(t, `SELECT AVG(n) FROM t`) // AVG is fine on one shard
+	leg := okLeg([]string{"AVG"}, [][]any{{float64(2.5)}})
+	resp := mergeSelect(stmt, []scatterResult{leg})
+	if resp != leg.resp {
+		t.Fatalf("single leg should pass through untouched")
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	legs := []scatterResult{
+		{resp: &wire.Response{OK: true, Stats: &wire.Stats{
+			SessionsOpen: 1, SessionsTotal: 3,
+			Verbs:      []wire.VerbStat{{Verb: "LOAD", Count: 5}},
+			StoreStats: []wire.StoreStats{{Name: "uni", Documents: 4, Inserts: 40, WALLastLSN: 9}},
+		}}},
+		{err: fmt.Errorf("connection refused")},
+		{resp: &wire.Response{OK: true, Stats: &wire.Stats{
+			SessionsOpen: 2, SessionsTotal: 2,
+			Verbs:      []wire.VerbStat{{Verb: "LOAD", Count: 7}},
+			StoreStats: []wire.StoreStats{{Name: "uni", Documents: 6, Inserts: 60, WALLastLSN: 12}},
+		}}},
+	}
+	st := mergeStats(legs, []string{"h1", "h2", "h3"})
+	if st.ShardCount != 3 || st.ShardIndex != -1 {
+		t.Fatalf("merged identity = %d/%d", st.ShardCount, st.ShardIndex)
+	}
+	if st.SessionsOpen != 3 || st.SessionsTotal != 5 {
+		t.Fatalf("merged sessions = %d/%d", st.SessionsOpen, st.SessionsTotal)
+	}
+	if len(st.Verbs) != 1 || st.Verbs[0].Count != 12 {
+		t.Fatalf("merged verbs = %+v", st.Verbs)
+	}
+	if len(st.StoreStats) != 1 || st.StoreStats[0].Documents != 10 ||
+		st.StoreStats[0].Inserts != 100 || st.StoreStats[0].WALLastLSN != 12 {
+		t.Fatalf("merged stores = %+v", st.StoreStats)
+	}
+	if len(st.Shards) != 3 || st.Shards[0].OK != true || st.Shards[1].OK != false ||
+		st.Shards[1].Error == "" || st.Shards[2].Documents != 6 {
+		t.Fatalf("per-shard health = %+v", st.Shards)
+	}
+	if st.Shards[1].Addr != "h2" {
+		t.Fatalf("failed shard addr = %q", st.Shards[1].Addr)
+	}
+}

@@ -29,6 +29,18 @@ func FuzzWireDecode(f *testing.F) {
 		[]byte(`{"type":"resync"}`),
 		[]byte(`{"type":"err","error":"boom"}`),
 		[]byte(`{"lsn":12345}`),
+		// PR 8 shard topology: SHARDMAP exchange, topology assertions,
+		// per-shard error attribution, merged STATS.
+		[]byte(`{"verb":"SHARDMAP"}`),
+		[]byte(`{"verb":"RETRIEVE","docid":7,"shards":4,"shard":3}`),
+		[]byte(`{"ok":true,"shard_map":{"count":4,"hash":"jump+fnv1a-64","addrs":["h0:1","h1:1","h2:1","h3:1"]}}`),
+		[]byte(`{"ok":true,"shard_map":{"count":0}}`),
+		[]byte(`{"ok":false,"code":"shard_mismatch","error":"this server is shard 2 of 4"}`),
+		[]byte(`{"ok":false,"code":"shard_unavailable","error":"shard 1 unreachable","shard_errors":[{"shard":1,"addr":"h1:1","code":"shard_unavailable","error":"dial refused"}]}`),
+		[]byte(`{"ok":false,"code":"cross_shard","error":"transaction bound to shard 0"}`),
+		[]byte(`{"ok":true,"stats":{"sessions_open":1,"sessions_total":2,"shard_count":2,"shard_index":-1,"shards":[{"index":0,"addr":"h0:1","ok":true,"documents":3,"sessions":1},{"index":1,"addr":"h1:1","ok":false,"error":"dial refused"}]}}`),
+		[]byte(`{"shard_errors":[{"shard":0}]}`),
+		[]byte(`{"shard_map":{"count":-1,"addrs":[""]}}`),
 		[]byte(`{`),
 		[]byte(`null`),
 		[]byte(`{"type":"unit","recs":[{}]}`),
