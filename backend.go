@@ -1,0 +1,189 @@
+package xmlordb
+
+import (
+	"fmt"
+	"os"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/storage"
+)
+
+// Storage backend selection. The default backend keeps every row
+// resident in the MVCC engine (fast, memory-bound). The "btree" backend
+// attaches an on-disk B-tree (internal/storage) to every schema table:
+// after each document load the freshly inserted rows are flushed to the
+// tree and evicted from memory, so the resident set stays small and a
+// corpus larger than RAM remains queryable — scans and index probes are
+// served from the page cache.
+//
+// The B-tree is a spill store, not a durability mechanism: rows move
+// there outside transaction control, so it is mutually exclusive with
+// the WAL (OpenDir) and with replication, both of which assume the
+// engine's resident state is the whole truth. DESIGN.md §11 records the
+// exact contract.
+
+const (
+	// BackendMem keeps all rows resident (the default).
+	BackendMem = "mem"
+	// BackendBTree spills loaded documents to an on-disk B-tree.
+	BackendBTree = "btree"
+)
+
+// backendState is a store's attached B-tree: one shared tree, one
+// BTreeTable facade per schema table.
+type backendState struct {
+	bt   *storage.BTree
+	path string
+	// ephemeral marks a path we created ourselves (no BackendPath
+	// configured); Close removes the file.
+	ephemeral bool
+	tabs      map[string]*storage.BTreeTable
+}
+
+// attachBackend opens the configured B-tree and attaches a BTreeTable
+// to every schema table except TabMetadata (the Section 5 meta-database
+// is tiny, hot, and read on every retrieval — it stays resident).
+func (s *Store) attachBackend() error {
+	if s.cfg.Backend == "" || s.cfg.Backend == BackendMem {
+		return nil
+	}
+	if s.cfg.Backend != BackendBTree {
+		return fmt.Errorf("xmlordb: unknown backend %q (want %q or %q)", s.cfg.Backend, BackendMem, BackendBTree)
+	}
+	path := s.cfg.BackendPath
+	ephemeral := false
+	if path == "" {
+		f, err := os.CreateTemp("", "xmlordb-*.xbt")
+		if err != nil {
+			return err
+		}
+		path = f.Name()
+		f.Close()
+		os.Remove(path) // OpenBTree recreates it; Remove keeps creation logic in one place
+		ephemeral = true
+	}
+	bt, err := storage.OpenBTree(path, s.cfg.BackendCacheSlots)
+	if err != nil {
+		return err
+	}
+	bs := &backendState{bt: bt, path: path, ephemeral: ephemeral, tabs: map[string]*storage.BTreeTable{}}
+	if err := bs.attachTables(s.Engine.DB()); err != nil {
+		bt.Close()
+		if ephemeral {
+			os.Remove(path)
+		}
+		return err
+	}
+	s.backend = bs
+	return nil
+}
+
+// attachTables creates (or reopens) a BTreeTable for every eligible
+// catalog table and connects it as the table's external row store.
+// Equality indexes mirror the table's current ordb indexes; probes on
+// columns indexed later fall back to scans (Table.ProbeEqual only
+// answers when both sides can).
+func (bs *backendState) attachTables(db *ordb.DB) error {
+	for _, name := range db.TableNames() {
+		if name == "TabMetadata" {
+			continue
+		}
+		if _, done := bs.tabs[name]; done {
+			continue
+		}
+		tbl, err := db.Table(name)
+		if err != nil {
+			return err
+		}
+		var idxCols []string
+		for _, c := range tbl.Cols {
+			if tbl.EqIndex(c.Name) != nil {
+				idxCols = append(idxCols, c.Name)
+			}
+		}
+		bt, err := storage.NewBTreeTable(bs.bt, name, tbl.ColNames(), tbl.IsObjectTable(), idxCols)
+		if err != nil {
+			return fmt.Errorf("xmlordb: backend table %s: %w", name, err)
+		}
+		tbl.AttachExternal(bt)
+		bs.tabs[name] = bt
+	}
+	return nil
+}
+
+// Backend reports the active storage backend name.
+func (s *Store) Backend() string {
+	if s.backend != nil {
+		return BackendBTree
+	}
+	return BackendMem
+}
+
+// BackendStats returns the B-tree's page and cache counters; ok is
+// false on a mem-backed store.
+func (s *Store) BackendStats() (storage.BTreeStats, bool) {
+	if s.backend == nil {
+		return storage.BTreeStats{}, false
+	}
+	return s.backend.bt.Stats(), true
+}
+
+// FlushToBackend moves every resident row of every backend-attached
+// table into the B-tree and evicts it from memory, returning the number
+// of rows spilled. It is called automatically after each document load
+// on a btree store; exported so benchmarks and bulk loaders can invoke
+// it at their own cadence. A no-op (0, nil) on mem-backed stores and
+// while a transaction is open — eviction bypasses undo, so it must only
+// run at a commit boundary.
+func (s *Store) FlushToBackend() (int, error) {
+	bs := s.backend
+	if bs == nil {
+		return 0, nil
+	}
+	db := s.Engine.DB()
+	if db.CurrentTx() != nil {
+		return 0, nil
+	}
+	// New tables may have appeared (OpenShared, user DDL).
+	if err := bs.attachTables(db); err != nil {
+		return 0, err
+	}
+	total := 0
+	for name, ext := range bs.tabs {
+		tbl, err := db.Table(name)
+		if err != nil {
+			continue // dropped since attach
+		}
+		resident := tbl.ResidentRows()
+		if len(resident) == 0 {
+			continue
+		}
+		evict := make(map[*ordb.Row]bool, len(resident))
+		for _, r := range resident {
+			if err := ext.InsertRow(r); err != nil {
+				return total, fmt.Errorf("xmlordb: flushing %s: %w", name, err)
+			}
+			evict[r] = true
+		}
+		// Rows are only dropped from memory after the tree has them all.
+		if err := ext.Sync(); err != nil {
+			return total, fmt.Errorf("xmlordb: syncing %s: %w", name, err)
+		}
+		total += tbl.EvictResident(evict)
+	}
+	return total, nil
+}
+
+// closeBackend releases the B-tree; called from Store.Close.
+func (s *Store) closeBackend() error {
+	bs := s.backend
+	if bs == nil {
+		return nil
+	}
+	s.backend = nil
+	err := bs.bt.Close()
+	if bs.ephemeral {
+		os.Remove(bs.path)
+	}
+	return err
+}

@@ -1,0 +1,177 @@
+package xmlordb
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/workload"
+)
+
+func openBTreeStore(t *testing.T) *Store {
+	t.Helper()
+	store, err := Open(workload.UniversityDTD, "University", Config{
+		Backend:     BackendBTree,
+		BackendPath: filepath.Join(t.TempDir(), "store.xbt"),
+	})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return store
+}
+
+func TestBTreeBackendSpillsAndAnswersQueries(t *testing.T) {
+	store := openBTreeStore(t)
+	if store.Backend() != BackendBTree {
+		t.Fatalf("Backend() = %q", store.Backend())
+	}
+	params := workload.DefaultUniversity()
+	var docIDs []int
+	for seed := int64(1); seed <= 3; seed++ {
+		params.Seed = seed
+		doc := workload.UniversityWithJaeger(params, 2)
+		id, err := store.Load(doc, "u.xml")
+		if err != nil {
+			t.Fatalf("Load: %v", err)
+		}
+		docIDs = append(docIDs, id)
+	}
+	// Loads auto-flush: schema tables must hold no resident rows.
+	for _, name := range store.DB().TableNames() {
+		if name == "TabMetadata" {
+			continue
+		}
+		tbl, err := store.DB().Table(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(tbl.ResidentRows()); n != 0 {
+			t.Errorf("%s: %d resident rows after load", name, n)
+		}
+	}
+	st, ok := store.BackendStats()
+	if !ok || st.Puts == 0 || st.Pages == 0 {
+		t.Fatalf("BackendStats = %+v, %v", st, ok)
+	}
+	// Index probe and full scan both read from the tree.
+	rows, err := store.Query(`
+		SELECT st.attrLName
+		FROM TabUniversity u, TABLE(u.attrStudent) st,
+		     TABLE(st.attrCourse) c, TABLE(c.attrProfessor) p
+		WHERE p.attrPName = 'Jaeger'`)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if len(rows.Data) == 0 {
+		t.Error("Jaeger query returned no rows from the btree backend")
+	}
+	count, err := store.Query(`SELECT COUNT(*) FROM TabUniversity u, TABLE(u.attrStudent) st`)
+	if err != nil {
+		t.Fatalf("count: %v", err)
+	}
+	wantStudents := ordb.Num(3 * params.Students)
+	if count.Data[0][0] != wantStudents {
+		t.Errorf("COUNT(*) = %v, want %v", count.Data[0][0], wantStudents)
+	}
+	// Retrieval reassembles documents from spilled rows.
+	xml, err := store.RetrieveXML(docIDs[1])
+	if err != nil {
+		t.Fatalf("RetrieveXML: %v", err)
+	}
+	if !strings.Contains(xml, "<PName>Jaeger</PName>") {
+		t.Errorf("retrieved XML missing planted professor:\n%.300s", xml)
+	}
+}
+
+func TestBTreeBackendEphemeralPath(t *testing.T) {
+	store, err := Open(workload.UniversityDTD, "University", Config{Backend: BackendBTree})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := store.Load(workload.University(workload.DefaultUniversity()), "u.xml"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if _, ok := store.BackendStats(); !ok {
+		t.Fatal("BackendStats not available on ephemeral btree store")
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func TestBTreeBackendRejectsSaveAndWAL(t *testing.T) {
+	store := openBTreeStore(t)
+	if err := store.Save(&bytes.Buffer{}); err == nil {
+		t.Error("Save succeeded on a btree store")
+	}
+	if err := store.AttachDir(t.TempDir(), DurableOptions{}); err == nil {
+		t.Error("AttachDir succeeded on a btree store")
+	}
+	if _, err := OpenDir(t.TempDir(), workload.UniversityDTD, "University",
+		Config{Backend: BackendBTree}, DurableOptions{}); err == nil {
+		t.Error("OpenDir accepted the btree backend")
+	}
+}
+
+func TestBTreeBackendUnknownName(t *testing.T) {
+	if _, err := Open(workload.UniversityDTD, "University", Config{Backend: "floppy"}); err == nil {
+		t.Error("unknown backend accepted")
+	}
+}
+
+func TestBTreeBackendSharedStore(t *testing.T) {
+	store := openBTreeStore(t)
+	if _, err := store.Load(workload.University(workload.DefaultUniversity()), "u.xml"); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	shared, err := OpenShared(store, workload.UniversityDTD, "University", Config{Backend: BackendBTree, SchemaID: "S2_"})
+	if err != nil {
+		t.Fatalf("OpenShared: %v", err)
+	}
+	if shared.Backend() != BackendBTree {
+		t.Errorf("shared Backend() = %q", shared.Backend())
+	}
+	if _, err := shared.Load(workload.University(workload.DefaultUniversity()), "u2.xml"); err != nil {
+		t.Fatalf("shared Load: %v", err)
+	}
+	rows, err := shared.Query(`SELECT COUNT(*) FROM TabS2_University u, TABLE(u.attrStudent) st`)
+	if err != nil {
+		t.Fatalf("shared query: %v", err)
+	}
+	if rows.Data[0][0] != ordb.Num(workload.DefaultUniversity().Students) {
+		t.Errorf("shared COUNT(*) = %v", rows.Data[0][0])
+	}
+}
+
+func TestBTreeBackendDelete(t *testing.T) {
+	store := openBTreeStore(t)
+	id1, err := store.Load(workload.University(workload.DefaultUniversity()), "a.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := workload.DefaultUniversity()
+	p.Seed = 7
+	id2, err := store.Load(workload.University(p), "b.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.DeleteDocument(id1); err != nil {
+		t.Fatalf("DeleteDocument: %v", err)
+	}
+	if _, err := store.RetrieveXML(id1); err == nil {
+		t.Error("deleted document still retrievable")
+	}
+	if _, err := store.RetrieveXML(id2); err != nil {
+		t.Errorf("surviving document lost: %v", err)
+	}
+	rows, err := store.Query(`SELECT COUNT(*) FROM TabUniversity u, TABLE(u.attrStudent) st`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Data[0][0] != ordb.Num(p.Students) {
+		t.Errorf("COUNT(*) after delete = %v, want %v", rows.Data[0][0], p.Students)
+	}
+}

@@ -255,7 +255,7 @@ func queryCmd(file, xsdPath string, cfg xmlordb.Config, q string) error {
 		if stmt == "" {
 			return
 		}
-		if strings.HasPrefix(strings.ToUpper(stmt), "SELECT") {
+		if up := strings.ToUpper(stmt); strings.HasPrefix(up, "SELECT") || strings.HasPrefix(up, "EXPLAIN") {
 			rows, err := store.Query(stmt)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)

@@ -1,0 +1,60 @@
+// Package exec is a Volcano-style iterator executor: a query is compiled
+// into a tree of plan nodes, each exposing Open/Next/Close, and rows are
+// pulled through the tree one at a time instead of being materialized
+// eagerly at every step (the go-mysql-server RowIter architecture).
+//
+// The executor is deliberately agnostic of SQL semantics. Expression
+// evaluation, scope binding and catalog lookups stay in the front end
+// (internal/sql), which supplies them as closures: a leg binds its
+// current row into the shared evaluation environment by side effect, and
+// the Filter/Project/GroupBy callbacks read that environment. Because a
+// Volcano pipeline is strictly single-threaded — every Next() is fully
+// processed before the next one is issued — in-place environment
+// mutation is safe and keeps the per-row path allocation-free.
+package exec
+
+import "xmlordb/internal/ordb"
+
+// Row is one result row.
+type Row = []ordb.Value
+
+// tick is the placeholder row that pre-projection nodes yield: the
+// binding itself lives in the front end's evaluation environment, so all
+// the pipeline needs is a non-nil "one more binding" token.
+var tick = Row{}
+
+// Iter pulls rows from an open plan node. Next returns (nil, nil) when
+// the source is exhausted. Close releases resources and must be called
+// exactly once; it is safe to call after an error.
+type Iter interface {
+	Next() (Row, error)
+	Close() error
+}
+
+// Plan is the explainable tree: every plan node and every join leg
+// carries a display label and its children.
+type Plan interface {
+	Label() string
+	Children() []Plan
+}
+
+// Node is an executable plan node.
+type Node interface {
+	Plan
+	Open() (Iter, error)
+}
+
+// Leg is one FROM-item source of a lateral nested-loop join. Opening a
+// leg may evaluate expressions against the bindings of the legs to its
+// left (lateral visibility); each successful Next binds the leg's
+// current row into the shared environment by side effect.
+type Leg interface {
+	Plan
+	Open() (LegIter, error)
+}
+
+// LegIter steps a join leg. Next reports whether a row was bound.
+type LegIter interface {
+	Next() (bool, error)
+	Close() error
+}

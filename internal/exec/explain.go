@@ -1,0 +1,29 @@
+package exec
+
+// ExplainLines renders the plan tree as indented text, one node per
+// line, with box-drawing connectors:
+//
+//	Sort (d.name ASC)
+//	└─ Project (d.name, c.title)
+//	   └─ Filter (d.year = 1990)
+//	      └─ NestedLoopJoin
+//	         ├─ TableScan TabDoc AS d
+//	         └─ IndexProbe TabChapter AS c (DocID = d.DocID)
+func ExplainLines(p Plan) []string {
+	var out []string
+	explainInto(p, "", "", &out)
+	return out
+}
+
+func explainInto(p Plan, selfPrefix, childPrefix string, out *[]string) {
+	*out = append(*out, selfPrefix+p.Label())
+	kids := p.Children()
+	for i, k := range kids {
+		last := i == len(kids)-1
+		connector, indent := "├─ ", "│  "
+		if last {
+			connector, indent = "└─ ", "   "
+		}
+		explainInto(k, childPrefix+connector, childPrefix+indent, out)
+	}
+}

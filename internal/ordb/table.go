@@ -83,6 +83,9 @@ type Table struct {
 	indexes []*Index
 	// colNames caches the column-name slice handed to query scopes.
 	colNames []string
+	// ext, when non-nil, holds rows spilled to a storage backend; the
+	// table presents the union of ext and resident rows (external.go).
+	ext ExternalRows
 }
 
 // TableSpec describes a table to create.
@@ -395,24 +398,26 @@ func (t *Table) RestoreRow(oid OID, vals []Value) error {
 // the stored row; callers must not mutate it. Returning false stops the
 // scan early.
 func (t *Table) Scan(fn func(*Row) bool) {
-	t.db.rlock()
-	rows := t.rows
-	t.db.runlock()
-	scanned := int64(0)
-	defer func() { t.db.stats.RowsScanned.Add(scanned) }()
-	for _, r := range rows {
-		scanned++
-		if !fn(r) {
+	c := t.Cursor()
+	defer c.Close()
+	for {
+		r, ok := c.Next()
+		if !ok || !fn(r) {
 			return
 		}
 	}
 }
 
-// RowCount reports the number of stored rows.
+// RowCount reports the number of stored rows, external and resident.
 func (t *Table) RowCount() int {
 	t.db.rlock()
-	defer t.db.runlock()
-	return len(t.rows)
+	n := len(t.rows)
+	ext := t.ext
+	t.db.runlock()
+	if ext != nil {
+		n += ext.Count()
+	}
+	return n
 }
 
 // Delete removes rows for which pred returns true and reports how many
@@ -427,6 +432,13 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 	if err := t.db.fault(FaultDelete); err != nil {
 		return 0, fmt.Errorf("ordb: table %s: %w", t.Name, err)
 	}
+	// External rows first. Backend deletions bypass the undo log (the
+	// backend has no versioning); the store layer only exposes external
+	// storage on configurations where that is acceptable.
+	extN, err := t.externalDelete(pred)
+	if err != nil {
+		return extN, err
+	}
 	t.db.mu.RLock()
 	snapshot := t.rows
 	t.db.mu.RUnlock()
@@ -435,7 +447,7 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 		for _, r := range snapshot {
 			ok, err := pred(r)
 			if err != nil {
-				return 0, err
+				return extN, err
 			}
 			if ok {
 				if del == nil {
@@ -445,7 +457,7 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 			}
 		}
 		if len(del) == 0 {
-			return 0, nil
+			return extN, nil
 		}
 	}
 	t.db.mu.Lock()
@@ -460,7 +472,7 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 		}
 	}
 	if len(removed) == 0 {
-		return 0, nil
+		return extN, nil
 	}
 	t.db.logUndo(undoDelete{t: t, prev: t.rows, prevShared: t.rowsShared, removed: removed})
 	for _, r := range removed {
@@ -474,7 +486,7 @@ func (t *Table) Delete(pred func(*Row) (bool, error)) (int, error) {
 	t.rowsShared = false
 	t.markDirtyLocked()
 	t.db.maybePublishLocked()
-	return len(removed), nil
+	return extN + len(removed), nil
 }
 
 // replaceRowLocked installs new values for a row, preserving its OID
@@ -728,7 +740,11 @@ func (db *DB) FetchByOID(table string, oid OID) (*Object, error) {
 	db.stats.Derefs.Add(1)
 	db.rlock()
 	found, _ := t.oidIndex.get(oid)
+	ext := t.ext
 	db.runlock()
+	if found == nil && ext != nil {
+		found, _ = ext.Lookup(oid)
+	}
 	if found == nil {
 		return nil, fmt.Errorf("ordb: %s oid %d: %w", table, oid, ErrDanglingRef)
 	}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlordb"
+)
+
+// TestServerBTreeBackend exercises the full wire surface against a
+// btree-backed server: OPEN inherits the server's configured backend,
+// loaded documents spill to the tree, and queries, XPath, retrieval and
+// STATS all answer from spilled rows.
+func TestServerBTreeBackend(t *testing.T) {
+	_, addr := startServer(t, Config{Backend: xmlordb.BackendBTree})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	var ids []int
+	for i, name := range []string{"Conrad", "Meier", "Jaeger"} {
+		id, err := c.Load(ctx, "doc.xml", uniDoc(name, 23374+i))
+		if err != nil {
+			t.Fatalf("Load %s: %v", name, err)
+		}
+		ids = append(ids, id)
+	}
+	res, err := c.Query(ctx, countStudentsSQL)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("Query rows = %v", res.Rows)
+	}
+	xp, err := c.XPath(ctx, `/University/Student/LName`)
+	if err != nil {
+		t.Fatalf("XPath: %v", err)
+	}
+	if len(xp.Rows) != 3 {
+		t.Fatalf("XPath rows = %v", xp.Rows)
+	}
+	xmlText, err := c.Retrieve(ctx, ids[1])
+	if err != nil {
+		t.Fatalf("Retrieve: %v", err)
+	}
+	if !strings.Contains(xmlText, "<LName>Meier</LName>") {
+		t.Errorf("retrieved XML missing student:\n%s", xmlText)
+	}
+	// EXPLAIN routes through the read path on the wire too.
+	plan, err := c.Query(ctx, "EXPLAIN "+countStudentsSQL)
+	if err != nil {
+		t.Fatalf("EXPLAIN: %v", err)
+	}
+	joined := ""
+	for _, r := range plan.Rows {
+		joined += fmt.Sprint(r[0]) + "\n"
+	}
+	if !strings.Contains(joined, "TableScan TabUniversity") {
+		t.Errorf("EXPLAIN output missing scan node:\n%s", joined)
+	}
+
+	// OPEN inherits the server backend; STATS reports it with tree counters.
+	if err := c.OpenStore(ctx, "memo", `<!ELEMENT Memo (#PCDATA)>`, "Memo"); err != nil {
+		t.Fatalf("OpenStore: %v", err)
+	}
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	byName := map[string]bool{}
+	for _, ss := range st.StoreStats {
+		byName[ss.Name] = true
+		if ss.Backend != xmlordb.BackendBTree {
+			t.Errorf("store %s backend = %q", ss.Name, ss.Backend)
+		}
+		if ss.Name == "uni" && (ss.BTreePages == 0 || ss.BTreePuts == 0) {
+			t.Errorf("store uni reports no btree activity: %+v", ss)
+		}
+	}
+	if !byName["uni"] || !byName["memo"] {
+		t.Errorf("STATS stores = %v", byName)
+	}
+
+	if err := c.Use(ctx, "uni"); err != nil {
+		t.Fatalf("Use: %v", err)
+	}
+	if err := c.Delete(ctx, ids[0]); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	res, err = c.Query(ctx, countStudentsSQL)
+	if err != nil {
+		t.Fatalf("Query after delete: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("rows after delete = %v", res.Rows)
+	}
+}
+
+// TestServerBTreeBackendRejectsPersistence: a persistent server config
+// must refuse btree OPENs instead of hosting a store whose snapshots
+// would silently miss spilled rows.
+func TestServerBTreeBackendRejectsPersistence(t *testing.T) {
+	srv := New(Config{Backend: xmlordb.BackendBTree, SnapshotDir: t.TempDir()})
+	err := srv.OpenStore("uni", uniDTD, "University", xmlordb.Config{})
+	if err == nil || !strings.Contains(err.Error(), "btree") {
+		t.Fatalf("OpenStore = %v, want btree/persistence conflict", err)
+	}
+}

@@ -136,6 +136,13 @@ type Config struct {
 	// store list so stores OPENed after the replica connected get
 	// replicated too (default DefaultReplStoreRefresh).
 	ReplStoreRefresh time.Duration
+	// Backend selects the storage backend for stores OPENed on this
+	// server: "" or "mem" keeps rows resident in the MVCC engine,
+	// "btree" spills loaded documents to an on-disk B-tree so the
+	// resident set stays small (see xmlordb.Config.Backend). The btree
+	// backend is incompatible with snapshot persistence and WAL
+	// durability — OPEN is rejected when both are configured.
+	Backend string
 	// ShardCount / ShardIndex give the server a shard identity: this is
 	// shard ShardIndex (0-based) of a ShardCount-wide topology behind a
 	// shard router. A shard server speaks global DocIDs on the wire —
@@ -421,6 +428,13 @@ func (s *Server) installStore(name string, st *xmlordb.Store) *hostedStore {
 func (s *Server) OpenStore(name, dtdText, root string, cfg xmlordb.Config) error {
 	if err := s.reserveStore(name); err != nil {
 		return err
+	}
+	if cfg.Backend == "" {
+		cfg.Backend = s.cfg.Backend
+	}
+	if cfg.Backend == xmlordb.BackendBTree && (s.cfg.durable() || s.cfg.SnapshotDir != "") {
+		s.releaseStore(name)
+		return fmt.Errorf("server: the btree backend cannot be combined with persistence (snapshot dir or durability)")
 	}
 	var st *xmlordb.Store
 	var err error
@@ -801,6 +815,16 @@ func (s *Server) statsPayload() *wire.Stats {
 			ss.WALReplayed = ws.Replayed
 			ss.WALLastLSN = ws.LastLSN
 			ss.WALCheckpointLSN = ws.CheckpointLSN
+		}
+		ss.Backend = store.Backend()
+		if bs, ok := store.BackendStats(); ok {
+			ss.BTreePages = int(bs.Pages)
+			ss.BTreePuts = bs.Puts
+			ss.BTreeGets = bs.Gets
+			ss.BTreeCacheHits = bs.PageCacheHits
+			ss.BTreeCacheMisses = bs.PageCacheMiss
+			ss.BTreeCacheEvicted = bs.PageEvictions
+			ss.BTreeCacheSlots = bs.PageCacheSlots
 		}
 		st.StoreStats = append(st.StoreStats, ss)
 	}

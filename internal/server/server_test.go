@@ -49,13 +49,27 @@ func uniDoc(lname string, studNr int) string {
 
 const countStudentsSQL = `SELECT st.attrLName FROM TabUniversity u, TABLE(u.attrStudent) st`
 
+// testBackend is the CI backend override: XMLORDB_TEST_BACKEND=btree
+// reruns the server integration suite with every store spilling to the
+// on-disk B-tree. Persistent configs keep the mem backend — the btree
+// is mutually exclusive with snapshots and WAL durability.
+func testBackend(cfg Config) string {
+	if cfg.SnapshotDir != "" || cfg.durable() {
+		return ""
+	}
+	return os.Getenv("XMLORDB_TEST_BACKEND")
+}
+
 // startServer boots a server hosting one "uni" store on a loopback
 // listener and returns it with its address. Shutdown runs in cleanup
 // (tolerating tests that already shut down).
 func startServer(t *testing.T, cfg Config) (*Server, string) {
 	t.Helper()
+	if cfg.Backend == "" {
+		cfg.Backend = testBackend(cfg)
+	}
 	srv := New(cfg)
-	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{})
+	st, err := xmlordb.Open(uniDTD, "University", xmlordb.Config{Backend: cfg.Backend})
 	if err != nil {
 		t.Fatal(err)
 	}

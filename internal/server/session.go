@@ -508,7 +508,7 @@ func (ss *session) dispatchSQL(hs *hostedStore, req *wire.Request) *wire.Respons
 		return fail(wire.CodeEngine, "%v", err)
 	}
 	switch st := stmt.(type) {
-	case *sql.SelectStmt:
+	case *sql.SelectStmt, *sql.ExplainStmt:
 		if lag := ss.waitApplied(hs, req.WaitLSN); lag != nil {
 			return lag
 		}

@@ -1,0 +1,124 @@
+package shard
+
+import (
+	"strings"
+
+	"xmlordb/internal/sql"
+	"xmlordb/internal/wire"
+)
+
+// AVG is distributable once each leg reports weighted partials: the
+// router rewrites every AVG(x) select item into SUM(x), COUNT(x) before
+// the scatter, sums the partials per shard at the gather, and divides.
+// The client sees the original column set — the rewrite is invisible on
+// the wire.
+
+// avgRewrite carries a scattered AVG query: the leg SQL the shards run
+// and the mapping from leg columns back to the original output columns.
+type avgRewrite struct {
+	legSQL string
+	legFns []string // aggregate function per leg column
+	legN   int      // leg row width
+	// out maps original item i to its leg column(s): cnt == -1 copies
+	// leg column col verbatim; otherwise the output is sum/count of leg
+	// columns col and cnt (NULL when the count is 0).
+	out []avgCol
+}
+
+type avgCol struct{ col, cnt int }
+
+// rewriteAvg expands the statement's AVG items into SUM/COUNT partials.
+// nil when the statement has no AVG (no rewrite needed) or cannot be
+// mapped (SELECT *, AVG(*)). The leg drops ORDER BY: alias targets may
+// vanish with the rewrite, and the gather re-sorts the merged rows.
+func rewriteAvg(stmt *sql.SelectStmt) *avgRewrite {
+	hasAvg := false
+	for _, item := range stmt.Items {
+		if item.Star {
+			return nil
+		}
+		if c, ok := item.Expr.(*sql.Call); ok && strings.EqualFold(c.Name, "AVG") {
+			if c.Star {
+				return nil
+			}
+			hasAvg = true
+		}
+	}
+	if !hasAvg {
+		return nil
+	}
+	leg := &sql.SelectStmt{From: stmt.From, Where: stmt.Where, GroupBy: stmt.GroupBy}
+	rw := &avgRewrite{out: make([]avgCol, len(stmt.Items))}
+	for i, item := range stmt.Items {
+		if c, ok := item.Expr.(*sql.Call); ok && strings.EqualFold(c.Name, "AVG") {
+			rw.out[i] = avgCol{col: len(leg.Items), cnt: len(leg.Items) + 1}
+			leg.Items = append(leg.Items,
+				sql.SelectItem{Expr: &sql.Call{Name: "SUM", Args: c.Args}},
+				sql.SelectItem{Expr: &sql.Call{Name: "COUNT", Args: c.Args}})
+			continue
+		}
+		rw.out[i] = avgCol{col: len(leg.Items), cnt: -1}
+		leg.Items = append(leg.Items, item)
+	}
+	rw.legSQL = sql.FormatSelect(leg)
+	rw.legFns = aggFuncs(leg)
+	rw.legN = len(leg.Items)
+	return rw
+}
+
+// merge recombines the partial legs and projects them back onto the
+// original statement's columns.
+func (rw *avgRewrite) merge(stmt *sql.SelectStmt, results []scatterResult) *wire.Response {
+	legs := make([]*wire.Response, len(results))
+	for i, res := range results {
+		legs[i] = res.resp
+	}
+	cols := make([]string, len(stmt.Items))
+	for i, item := range stmt.Items {
+		cols[i] = sql.ColumnName(item)
+	}
+	if len(stmt.GroupBy) == 0 {
+		row, err := combineAggregateRow(rw.legFns, rw.legN, legs)
+		if err != nil {
+			return fail(wire.CodeEngine, "%v", err)
+		}
+		return &wire.Response{OK: true, Cols: cols, Rows: [][]any{rw.project(row)}}
+	}
+	merged, err := mergeGroups(rw.legFns, legs)
+	if err != nil {
+		return fail(wire.CodeEngine, "%v", err)
+	}
+	rows := make([][]any, len(merged))
+	for i, row := range merged {
+		rows[i] = rw.project(row)
+	}
+	if len(stmt.OrderBy) > 0 {
+		sortRows(stmt, cols, rows)
+	}
+	return &wire.Response{OK: true, Cols: cols, Rows: rows}
+}
+
+// project maps one merged leg row onto the original columns, dividing
+// each SUM/COUNT pair. A zero or non-numeric count yields NULL — the
+// same answer AVG gives over an empty input.
+func (rw *avgRewrite) project(row []any) []any {
+	out := make([]any, len(rw.out))
+	for i, m := range rw.out {
+		if m.cnt < 0 {
+			if m.col < len(row) {
+				out[i] = row[m.col]
+			}
+			continue
+		}
+		if m.col >= len(row) || m.cnt >= len(row) {
+			continue
+		}
+		sum, okS := toFloat(row[m.col])
+		cnt, okC := toFloat(row[m.cnt])
+		if !okS || !okC || cnt == 0 {
+			continue // NULL
+		}
+		out[i] = sum / cnt
+	}
+	return out
+}

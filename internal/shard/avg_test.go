@@ -1,0 +1,105 @@
+package shard
+
+import (
+	"testing"
+
+	"xmlordb/internal/sql"
+)
+
+func TestRewriteAvgExpandsPartials(t *testing.T) {
+	stmt := selectStmt(t, `SELECT dept, AVG(n) AS AvgN, COUNT(*) FROM t GROUP BY dept ORDER BY AvgN DESC`)
+	rw := rewriteAvg(stmt)
+	if rw == nil {
+		t.Fatal("rewriteAvg = nil for a statement with AVG")
+	}
+	want := `SELECT dept, SUM(n), COUNT(n), COUNT(*) FROM t GROUP BY dept`
+	if rw.legSQL != want {
+		t.Errorf("legSQL = %q, want %q", rw.legSQL, want)
+	}
+	if rw.legN != 4 {
+		t.Errorf("legN = %d", rw.legN)
+	}
+	wantMap := []avgCol{{0, -1}, {1, 2}, {3, -1}}
+	for i, m := range rw.out {
+		if m != wantMap[i] {
+			t.Errorf("out[%d] = %+v, want %+v", i, m, wantMap[i])
+		}
+	}
+	// The leg must re-parse: the shards run it through the normal engine.
+	if _, err := sql.CachedParse(rw.legSQL); err != nil {
+		t.Errorf("leg SQL does not re-parse: %v", err)
+	}
+}
+
+func TestRewriteAvgNoAvgNoRewrite(t *testing.T) {
+	if rw := rewriteAvg(selectStmt(t, `SELECT COUNT(*), SUM(n) FROM t`)); rw != nil {
+		t.Errorf("rewriteAvg rewrote an AVG-free statement: %+v", rw)
+	}
+	if rw := rewriteAvg(selectStmt(t, `SELECT * FROM t`)); rw != nil {
+		t.Errorf("rewriteAvg accepted SELECT *: %+v", rw)
+	}
+}
+
+func TestAvgMergeWeighted(t *testing.T) {
+	stmt := selectStmt(t, `SELECT AVG(n) FROM t`)
+	rw := rewriteAvg(stmt)
+	// Shard 1 holds three rows summing 12, shard 2 one row of 8: the
+	// true mean is 20/4 = 5 — averaging the shard means (4 and 8) would
+	// give 6.
+	resp := rw.merge(stmt, []scatterResult{
+		okLeg([]string{"SUM", "COUNT"}, [][]any{{float64(12), float64(3)}}),
+		okLeg([]string{"SUM", "COUNT"}, [][]any{{float64(8), float64(1)}}),
+	})
+	if !resp.OK || len(resp.Rows) != 1 {
+		t.Fatalf("merge = %+v", resp)
+	}
+	if resp.Rows[0][0] != float64(5) {
+		t.Errorf("AVG = %v, want 5", resp.Rows[0][0])
+	}
+	if len(resp.Cols) != 1 || resp.Cols[0] != "AVG" {
+		t.Errorf("Cols = %v", resp.Cols)
+	}
+}
+
+func TestAvgMergeEmptyShardsIsNull(t *testing.T) {
+	stmt := selectStmt(t, `SELECT AVG(n), COUNT(*) FROM t`)
+	rw := rewriteAvg(stmt)
+	resp := rw.merge(stmt, []scatterResult{
+		okLeg([]string{"SUM", "COUNT", "COUNT(*)"}, nil),
+		okLeg([]string{"SUM", "COUNT", "COUNT(*)"}, nil),
+	})
+	if !resp.OK || len(resp.Rows) != 1 {
+		t.Fatalf("merge = %+v", resp)
+	}
+	if resp.Rows[0][0] != nil || resp.Rows[0][1] != float64(0) {
+		t.Errorf("row = %v, want [<nil> 0]", resp.Rows[0])
+	}
+}
+
+func TestAvgMergeGroupedResorts(t *testing.T) {
+	stmt := selectStmt(t, `SELECT dept, AVG(n) AS AvgN FROM t GROUP BY dept ORDER BY AvgN DESC`)
+	rw := rewriteAvg(stmt)
+	resp := rw.merge(stmt, []scatterResult{
+		okLeg([]string{"dept", "SUM", "COUNT"}, [][]any{
+			{"a", float64(2), float64(2)},  // a: partial mean 1
+			{"b", float64(10), float64(1)}, // b: partial mean 10
+		}),
+		okLeg([]string{"dept", "SUM", "COUNT"}, [][]any{
+			{"a", float64(10), float64(1)}, // a now totals 12/3 = 4
+			{"b", float64(2), float64(3)},  // b now totals 12/4 = 3
+		}),
+	})
+	if !resp.OK || len(resp.Rows) != 2 {
+		t.Fatalf("merge = %+v", resp)
+	}
+	// ORDER BY AvgN DESC over the true means: a (4) before b (3).
+	if resp.Rows[0][0] != "a" || resp.Rows[0][1] != float64(4) {
+		t.Errorf("row 0 = %v, want [a 4]", resp.Rows[0])
+	}
+	if resp.Rows[1][0] != "b" || resp.Rows[1][1] != float64(3) {
+		t.Errorf("row 1 = %v, want [b 3]", resp.Rows[1])
+	}
+	if resp.Cols[1] != "AvgN" {
+		t.Errorf("Cols = %v", resp.Cols)
+	}
+}

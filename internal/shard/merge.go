@@ -19,9 +19,11 @@ import (
 //   - single shard: the leg passes through untouched, so a one-shard
 //     deployment is byte-identical to an unsharded server;
 //   - aggregates without GROUP BY: one row whose columns combine per
-//     function — COUNT and SUM sum, MIN/MAX compare, AVG is not
-//     distributable (each shard's mean loses its weight) and fails
-//     with a typed engine error;
+//     function — COUNT and SUM sum, MIN/MAX compare, and AVG is made
+//     distributable by rewriting each leg's AVG(x) into SUM(x),
+//     COUNT(x) partials before the scatter and dividing the summed
+//     partials at the gather (a shard's own mean would lose its
+//     weight);
 //   - GROUP BY: groups re-group by the tuple of non-aggregate output
 //     columns, aggregate columns combine as above, and the merged
 //     groups sort by key so the output is deterministic;
@@ -43,7 +45,7 @@ func mergeSelect(stmt *sql.SelectStmt, results []scatterResult) *wire.Response {
 	cols := firstCols(legs)
 
 	if len(stmt.GroupBy) == 0 && countAggregates(stmt) > 0 {
-		row, err := combineAggregateRow(stmt, legs)
+		row, err := combineAggregateRow(aggFuncs(stmt), len(stmt.Items), legs)
 		if err != nil {
 			return fail(wire.CodeEngine, "%v", err)
 		}
@@ -51,7 +53,7 @@ func mergeSelect(stmt *sql.SelectStmt, results []scatterResult) *wire.Response {
 	}
 
 	if len(stmt.GroupBy) > 0 {
-		rows, err := mergeGroups(stmt, legs)
+		rows, err := mergeGroups(aggFuncs(stmt), legs)
 		if err != nil {
 			return fail(wire.CodeEngine, "%v", err)
 		}
@@ -147,8 +149,7 @@ func countAggregates(stmt *sql.SelectStmt) int {
 
 // combineAggregateRow folds the single aggregate row of every leg into
 // one. A leg with no rows (empty shard) contributes nothing.
-func combineAggregateRow(stmt *sql.SelectStmt, legs []*wire.Response) ([]any, error) {
-	fns := aggFuncs(stmt)
+func combineAggregateRow(fns []string, width int, legs []*wire.Response) ([]any, error) {
 	var acc []any
 	for _, leg := range legs {
 		for _, row := range leg.Rows {
@@ -177,15 +178,18 @@ func combineAggregateRow(stmt *sql.SelectStmt, legs []*wire.Response) ([]any, er
 		}
 	}
 	if acc == nil {
-		acc = zeroAggregateRow(fns, len(stmt.Items))
+		acc = zeroAggregateRow(fns, width)
 	}
 	return acc, nil
 }
 
+// checkDistributable guards the merge paths that did not go through the
+// AVG rewrite (XPath echoes, pre-rewrite statements): a bare AVG leg
+// cannot be recombined, since each shard's mean has lost its weight.
 func checkDistributable(fns []string, width int) error {
 	for i := 0; i < width && i < len(fns); i++ {
 		if fns[i] == "AVG" {
-			return fmt.Errorf("shard: AVG is not distributable across shards; compute SUM and COUNT and divide client-side")
+			return fmt.Errorf("shard: AVG leg was not rewritten to SUM/COUNT partials; cannot merge shard means")
 		}
 	}
 	return nil
@@ -226,7 +230,7 @@ func combineValue(fn string, acc, v any) (any, error) {
 	case "MAX":
 		return pickExtreme(acc, v, 1), nil
 	case "AVG":
-		return nil, fmt.Errorf("shard: AVG is not distributable across shards; compute SUM and COUNT and divide client-side")
+		return nil, fmt.Errorf("shard: AVG leg was not rewritten to SUM/COUNT partials; cannot merge shard means")
 	default:
 		if acc == nil {
 			return v, nil
@@ -250,8 +254,7 @@ func pickExtreme(acc, v any, dir int) any {
 
 // mergeGroups re-groups fanned-out GROUP BY rows by the tuple of
 // non-aggregate output columns and combines the aggregate columns.
-func mergeGroups(stmt *sql.SelectStmt, legs []*wire.Response) ([][]any, error) {
-	fns := aggFuncs(stmt)
+func mergeGroups(fns []string, legs []*wire.Response) ([][]any, error) {
 	type group struct {
 		key string
 		row []any

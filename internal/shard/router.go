@@ -595,6 +595,15 @@ func (ss *rsession) dispatchSQL(req *wire.Request) *wire.Response {
 	n := len(ss.backends)
 	switch st := stmt.(type) {
 	case *sql.SelectStmt:
+		if rw := rewriteAvg(st); rw != nil && n > 1 {
+			legReq := *req
+			legReq.SQL = rw.legSQL
+			results := ss.scatter(&legReq)
+			if resp := ss.gatherErr(results); resp != nil {
+				return resp
+			}
+			return rw.merge(st, results)
+		}
 		results := ss.scatter(req)
 		if resp := ss.gatherErr(results); resp != nil {
 			return resp

@@ -509,3 +509,57 @@ func TestRouterScatterOrderIsStable(t *testing.T) {
 		t.Fatalf("ordered scatter lost rows: %d of %d", len(got), len(names))
 	}
 }
+
+// TestRouterAvgDistributable: AVG over a scattered table merges to the
+// true weighted mean — each leg runs SUM/COUNT partials, the router
+// divides the summed partials. Raw INSERTs route by statement hash, so
+// rows land on different shards.
+func TestRouterAvgDistributable(t *testing.T) {
+	_, routerAddr, _ := bootCluster(t, 3)
+	rc := mustDial(t, routerAddr)
+	ctx := context.Background()
+
+	if _, err := rc.Exec(ctx, `CREATE TABLE TabNums (Dept VARCHAR(10), N INTEGER)`); err != nil {
+		t.Fatalf("CREATE TABLE: %v", err)
+	}
+	rows := []struct {
+		dept string
+		n    int
+	}{{"a", 2}, {"a", 4}, {"a", 9}, {"b", 1}, {"b", 3}, {"b", 20}, {"a", 5}}
+	sum := map[string]float64{}
+	cnt := map[string]float64{}
+	total, count := 0.0, 0.0
+	for _, r := range rows {
+		if _, err := rc.Exec(ctx, fmt.Sprintf(`INSERT INTO TabNums VALUES ('%s', %d)`, r.dept, r.n)); err != nil {
+			t.Fatalf("INSERT: %v", err)
+		}
+		sum[r.dept] += float64(r.n)
+		cnt[r.dept]++
+		total += float64(r.n)
+		count++
+	}
+
+	res, err := rc.Query(ctx, `SELECT AVG(N), COUNT(*) FROM TabNums`)
+	if err != nil {
+		t.Fatalf("AVG query: %v", err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != total/count || res.Rows[0][1] != count {
+		t.Fatalf("AVG = %v, want [%v %v]", res.Rows, total/count, count)
+	}
+
+	res, err = rc.Query(ctx, `SELECT Dept, AVG(N) AS AvgN FROM TabNums GROUP BY Dept ORDER BY Dept`)
+	if err != nil {
+		t.Fatalf("grouped AVG query: %v", err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("grouped AVG rows = %v", res.Rows)
+	}
+	for i, dept := range []string{"a", "b"} {
+		if res.Rows[i][0] != dept || res.Rows[i][1] != sum[dept]/cnt[dept] {
+			t.Errorf("group %s = %v, want [%s %v]", dept, res.Rows[i], dept, sum[dept]/cnt[dept])
+		}
+	}
+	if len(res.Cols) != 2 || res.Cols[1] != "AvgN" {
+		t.Errorf("Cols = %v", res.Cols)
+	}
+}

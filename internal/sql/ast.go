@@ -191,6 +191,14 @@ type SavepointStmt struct {
 
 func (*SavepointStmt) stmtNode() {}
 
+// ExplainStmt is EXPLAIN [PLAN FOR] select: it compiles the SELECT into
+// an executor plan and returns the rendered tree without running it.
+type ExplainStmt struct {
+	Sel *SelectStmt
+}
+
+func (*ExplainStmt) stmtNode() {}
+
 // Expr is any expression node.
 type Expr interface{ exprNode() }
 

@@ -88,23 +88,28 @@ func (en *Engine) Exec(src string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, isSel := stmt.(*SelectStmt); isSel {
+	switch stmt.(type) {
+	case *SelectStmt:
 		return nil, fmt.Errorf("sql: use Query for SELECT statements")
+	case *ExplainStmt:
+		return nil, fmt.Errorf("sql: use Query for EXPLAIN statements")
 	}
 	return en.execStmt(stmt)
 }
 
-// Query parses and executes a SELECT statement.
+// Query parses and executes a SELECT (or EXPLAIN) statement.
 func (en *Engine) Query(src string) (*Rows, error) {
 	stmt, err := CachedParse(src)
 	if err != nil {
 		return nil, err
 	}
-	sel, ok := stmt.(*SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("sql: Query requires a SELECT statement")
+	switch s := stmt.(type) {
+	case *SelectStmt:
+		return en.querySelect(s, nil)
+	case *ExplainStmt:
+		return en.explainSelect(s.Sel)
 	}
-	return en.querySelect(sel, nil)
+	return nil, fmt.Errorf("sql: Query requires a SELECT statement")
 }
 
 // ExecScript splits a script on top-level semicolons and executes every
@@ -120,8 +125,14 @@ func (en *Engine) ExecScript(script string) (int, error) {
 		if err != nil {
 			return i, fmt.Errorf("statement %d: %w", i+1, err)
 		}
-		if sel, isSel := stmt.(*SelectStmt); isSel {
-			if _, err := en.querySelect(sel, nil); err != nil {
+		switch q := stmt.(type) {
+		case *SelectStmt:
+			if _, err := en.querySelect(q, nil); err != nil {
+				return i, fmt.Errorf("statement %d: %w", i+1, err)
+			}
+			continue
+		case *ExplainStmt:
+			if _, err := en.explainSelect(q.Sel); err != nil {
 				return i, fmt.Errorf("statement %d: %w", i+1, err)
 			}
 			continue

@@ -1,0 +1,89 @@
+package sql
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestQueryGoldens runs every script in testdata/queries against a fresh
+// engine and compares the rendered output of each SELECT (and EXPLAIN)
+// statement, byte for byte, with the .golden file next to it.
+//
+// The goldens were generated from the eager slice-of-rows evaluator that
+// predates the Volcano executor, so they double as the executor
+// equivalence harness: the iterator pipeline must reproduce the old
+// engine's output exactly — column names, row order, formatting and all.
+// Regenerate with `go test ./internal/sql -run Goldens -update`.
+func TestQueryGoldens(t *testing.T) {
+	scripts, err := filepath.Glob(filepath.Join("testdata", "queries", "*.sql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scripts) == 0 {
+		t.Fatal("no golden scripts found")
+	}
+	for _, script := range scripts {
+		name := strings.TrimSuffix(filepath.Base(script), ".sql")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(script)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := runGoldenScript(t, string(src))
+			goldenPath := strings.TrimSuffix(script, ".sql") + ".golden"
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("output diverges from golden %s\n--- got ---\n%s--- want ---\n%s",
+					goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// runGoldenScript executes a script statement by statement; every
+// statement that yields rows contributes a block to the output.
+func runGoldenScript(t *testing.T, src string) string {
+	t.Helper()
+	en := newEngine(t, ordb.ModeOracle9)
+	stmts, err := SplitScript(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, s := range stmts {
+		stmt, err := CachedParse(s)
+		if err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		switch stmt.(type) {
+		case *SelectStmt, *ExplainStmt:
+			rows, err := en.Query(s)
+			if err != nil {
+				t.Fatalf("query %q: %v", s, err)
+			}
+			fmt.Fprintf(&sb, "-- %s\n%s\n", strings.Join(strings.Fields(s), " "), rows.String())
+		default:
+			if _, err := en.execStmt(stmt); err != nil {
+				t.Fatalf("exec %q: %v", s, err)
+			}
+		}
+	}
+	return sb.String()
+}

@@ -65,7 +65,7 @@ var keywords = map[string]bool{
 	"MIN": true, "MAX": true, "SUM": true, "AVG": true,
 	"BEGIN": true, "COMMIT": true, "ROLLBACK": true, "SAVEPOINT": true,
 	"TO": true, "WORK": true, "TRANSACTION": true,
-	"INDEX": true, "ON": true,
+	"INDEX": true, "ON": true, "EXPLAIN": true, "PLAN": true,
 }
 
 // IsReservedWord reports whether name collides with an SQL keyword of the

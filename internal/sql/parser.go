@@ -143,6 +143,21 @@ func (p *parser) parseStatement() (Stmt, error) {
 		return p.parseInsert()
 	case p.acceptKw("SELECT"):
 		return p.parseSelectBody()
+	case p.acceptKw("EXPLAIN"):
+		// Both EXPLAIN SELECT ... and Oracle's EXPLAIN PLAN FOR SELECT ...
+		if p.acceptKw("PLAN") {
+			if err := p.expectKw("FOR"); err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expectKw("SELECT"); err != nil {
+			return nil, err
+		}
+		sel, err := p.parseSelectBody()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Sel: sel}, nil
 	case p.acceptKw("DELETE"):
 		return p.parseDelete()
 	case p.acceptKw("UPDATE"):

@@ -88,5 +88,36 @@ func FormatSelect(s *SelectStmt) string {
 	if s.Where != nil {
 		sb.WriteString(" WHERE " + FormatExpr(s.Where))
 	}
+	if len(s.GroupBy) > 0 {
+		sb.WriteString(" GROUP BY ")
+		for i, e := range s.GroupBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(e))
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		sb.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(FormatExpr(o.Expr))
+			if o.Desc {
+				sb.WriteString(" DESC")
+			}
+		}
+	}
 	return sb.String()
+}
+
+// ColumnName reports the output column name a select item produces:
+// its alias when present, otherwise the same default the executor uses
+// (trailing path part, upper-cased function name, ...).
+func ColumnName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	return defaultColumnName(item.Expr)
 }

@@ -2,125 +2,44 @@ package sql
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 
 	"xmlordb/internal/ordb"
 )
 
 // querySelect executes a SELECT with an optional outer environment (for
-// correlated subqueries). FROM items are evaluated left to right with
-// lateral visibility: a TABLE(expr) item may reference the aliases bound
-// by items to its left, as Oracle's collection unnesting permits.
+// correlated subqueries). The statement is compiled into a Volcano-style
+// iterator pipeline (see volcano.go and internal/exec) and drained into
+// a materialized Rows result. FROM items are evaluated left to right
+// with lateral visibility: a TABLE(expr) item may reference the aliases
+// bound by items to its left, as Oracle's collection unnesting permits.
 //
 // Equality predicates between base-table columns are executed as hash
 // joins: the inner table is indexed once per query and probed with the
 // outer key, so equi-joins cost O(n+m) rather than O(n*m).
 func (en *Engine) querySelect(sel *SelectStmt, outer *env) (*Rows, error) {
-	if len(sel.From) == 0 {
-		return nil, fmt.Errorf("sql: SELECT requires a FROM clause")
-	}
-	cols, err := en.resultColumns(sel)
+	node, cols, err := en.buildSelect(sel, outer)
 	if err != nil {
 		return nil, err
 	}
 	out := &Rows{Cols: cols}
-	plan := en.planFor(sel)
-	st := newExecState(len(sel.From))
-
-	if len(sel.GroupBy) > 0 {
-		return en.groupedSelect(sel, outer, plan, st, out)
-	}
-
-	if aggs := aggregateCalls(sel); aggs != nil {
-		accs, err := newAccumulators(sel)
-		if err != nil {
-			return nil, err
-		}
-		err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
-			ok, err := en.whereMatches(sel.Where, ev)
-			if err != nil {
-				return err
-			}
-			if !ok {
-				return nil
-			}
-			for _, a := range accs {
-				if err := a.add(en, ev); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		row := make([]ordb.Value, len(accs))
-		for i, a := range accs {
-			row[i] = a.result()
-		}
-		out.Data = append(out.Data, row)
-		return out, nil
-	}
-
-	type keyedRow struct {
-		row  []ordb.Value
-		keys []ordb.Value
-	}
-	var keyed []keyedRow
-	err = en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
-		ok, err := en.whereMatches(sel.Where, ev)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		row, err := en.projectRow(sel, ev)
-		if err != nil {
-			return err
-		}
-		if len(sel.OrderBy) == 0 {
-			out.Data = append(out.Data, row)
-			return nil
-		}
-		keys := make([]ordb.Value, len(sel.OrderBy))
-		for i, o := range sel.OrderBy {
-			k, err := en.eval(o.Expr, ev)
-			if err != nil {
-				return err
-			}
-			keys[i] = k
-		}
-		keyed = append(keyed, keyedRow{row: row, keys: keys})
-		return nil
-	})
+	it, err := node.Open()
 	if err != nil {
 		return nil, err
 	}
-	if len(sel.OrderBy) > 0 {
-		var sortErr error
-		sort.SliceStable(keyed, func(i, j int) bool {
-			for k, o := range sel.OrderBy {
-				c, err := orderCompare(keyed[i].keys[k], keyed[j].keys[k])
-				if err != nil && sortErr == nil {
-					sortErr = err
-				}
-				if o.Desc {
-					c = -c
-				}
-				if c != 0 {
-					return c < 0
-				}
-			}
-			return false
-		})
-		if sortErr != nil {
-			return nil, sortErr
+	for {
+		r, err := it.Next()
+		if err != nil {
+			it.Close()
+			return nil, err
 		}
-		for _, kr := range keyed {
-			out.Data = append(out.Data, kr.row)
+		if r == nil {
+			break
 		}
+		out.Data = append(out.Data, r)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -137,168 +56,6 @@ func orderCompare(a, b ordb.Value) (int, error) {
 		return -1, nil
 	}
 	return ordb.Compare(a, b)
-}
-
-// groupedSelect evaluates GROUP BY queries: rows are bucketed by the
-// group keys; aggregate select items accumulate per group and
-// non-aggregate items (which must be group expressions) take the value of
-// the group's first row. ORDER BY keys may be group expressions or
-// aggregates appearing in the select list.
-func (en *Engine) groupedSelect(sel *SelectStmt, outer *env, plan *queryPlan, st *execState, out *Rows) (*Rows, error) {
-	groupTexts := make([]string, len(sel.GroupBy))
-	for i, g := range sel.GroupBy {
-		groupTexts[i] = FormatExpr(g)
-	}
-	isGroupExpr := func(e Expr) bool {
-		text := FormatExpr(e)
-		for _, g := range groupTexts {
-			if g == text {
-				return true
-			}
-		}
-		return false
-	}
-	// Classify select items.
-	type itemPlan struct {
-		agg      bool
-		groupIdx int // representative value index for non-aggregates
-	}
-	plans := make([]itemPlan, len(sel.Items))
-	for i, item := range sel.Items {
-		if item.Star {
-			return nil, fmt.Errorf("sql: SELECT * cannot be combined with GROUP BY")
-		}
-		if c, ok := item.Expr.(*Call); ok && aggregateNames[strings.ToUpper(c.Name)] {
-			plans[i] = itemPlan{agg: true}
-			continue
-		}
-		if !isGroupExpr(item.Expr) {
-			return nil, fmt.Errorf("sql: %s is neither an aggregate nor a GROUP BY expression",
-				FormatExpr(item.Expr))
-		}
-		plans[i] = itemPlan{agg: false}
-	}
-	type group struct {
-		accs []*accumulator
-		rep  []ordb.Value // representative values per select item
-	}
-	groups := map[string]*group{}
-	var order []string
-	err := en.enumRows(sel.From, 0, &env{parent: outer}, plan, st, func(ev *env) error {
-		ok, err := en.whereMatches(sel.Where, ev)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return nil
-		}
-		var keyParts []string
-		for _, g := range sel.GroupBy {
-			v, err := en.eval(g, ev)
-			if err != nil {
-				return err
-			}
-			k, _ := joinKey(v)
-			keyParts = append(keyParts, k)
-		}
-		key := strings.Join(keyParts, "\x00")
-		grp, ok2 := groups[key]
-		if !ok2 {
-			grp = &group{rep: make([]ordb.Value, len(sel.Items))}
-			for i, item := range sel.Items {
-				if plans[i].agg {
-					grp.accs = append(grp.accs, &accumulator{call: item.Expr.(*Call)})
-					continue
-				}
-				grp.accs = append(grp.accs, nil)
-				v, err := en.eval(item.Expr, ev)
-				if err != nil {
-					return err
-				}
-				grp.rep[i] = v
-			}
-			groups[key] = grp
-			order = append(order, key)
-		}
-		for i := range sel.Items {
-			if plans[i].agg {
-				if err := grp.accs[i].add(en, ev); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for _, key := range order {
-		grp := groups[key]
-		row := make([]ordb.Value, len(sel.Items))
-		for i := range sel.Items {
-			if plans[i].agg {
-				row[i] = grp.accs[i].result()
-			} else {
-				row[i] = grp.rep[i]
-			}
-		}
-		out.Data = append(out.Data, row)
-	}
-	if len(sel.OrderBy) > 0 {
-		if err := sortGroupedRows(sel, out); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// sortGroupedRows orders GROUP BY output: each ORDER BY key must match a
-// select item (by alias or expression text) and sorts on that column.
-func sortGroupedRows(sel *SelectStmt, out *Rows) error {
-	keyCols := make([]int, len(sel.OrderBy))
-	for i, o := range sel.OrderBy {
-		text := FormatExpr(o.Expr)
-		idx := -1
-		for j, item := range sel.Items {
-			if item.Star {
-				continue
-			}
-			if FormatExpr(item.Expr) == text {
-				idx = j
-				break
-			}
-			// A single-name key also matches an item's alias or its
-			// default result column name (e.g. ORDER BY name against
-			// SELECT d.name).
-			if p, ok := o.Expr.(*Path); ok && len(p.Parts) == 1 &&
-				(strings.EqualFold(item.Alias, p.Parts[0]) ||
-					(item.Alias == "" && strings.EqualFold(defaultColumnName(item.Expr), p.Parts[0]))) {
-				idx = j
-				break
-			}
-		}
-		if idx < 0 {
-			return fmt.Errorf("sql: ORDER BY %s does not match a select item of the GROUP BY query", text)
-		}
-		keyCols[i] = idx
-	}
-	var sortErr error
-	sort.SliceStable(out.Data, func(a, b int) bool {
-		for i, o := range sel.OrderBy {
-			c, err := orderCompare(out.Data[a][keyCols[i]], out.Data[b][keyCols[i]])
-			if err != nil && sortErr == nil {
-				sortErr = err
-			}
-			if o.Desc {
-				c = -c
-			}
-			if c != 0 {
-				return c < 0
-			}
-		}
-		return false
-	})
-	return sortErr
 }
 
 // aggregate machinery -------------------------------------------------
@@ -583,172 +340,6 @@ func (en *Engine) whereMatches(where Expr, ev *env) (bool, error) {
 		return false, err
 	}
 	return !ordb.IsNull(v) && truthy(v), nil
-}
-
-// enumRows recursively enumerates the cross product of the FROM items,
-// extending the environment scope by scope so that later items can
-// reference earlier aliases. Items with a joinSpec probe the column's
-// persistent index when one exists, falling back to a per-execution hash
-// otherwise.
-func (en *Engine) enumRows(from []FromItem, idx int, ev *env, plan *queryPlan, st *execState, fn func(*env) error) error {
-	if idx == len(from) {
-		return fn(ev)
-	}
-	item := from[idx]
-	push := func(s *scope) error {
-		ev.scopes = append(ev.scopes, s)
-		err := en.enumRows(from, idx+1, ev, plan, st, fn)
-		ev.scopes = ev.scopes[:len(ev.scopes)-1]
-		return err
-	}
-	if item.Unnest != nil {
-		// TABLE(collection expression), evaluated laterally.
-		v, err := en.eval(item.Unnest, ev)
-		if err != nil {
-			return err
-		}
-		if ordb.IsNull(v) {
-			return nil // empty source
-		}
-		coll, ok := v.(*ordb.Coll)
-		if !ok {
-			return fmt.Errorf("sql: TABLE() requires a collection, got %T", v)
-		}
-		alias := item.Alias
-		if alias == "" {
-			alias = fmt.Sprintf("TABLE_%d", idx+1)
-		}
-		// Collection elements are homogeneous, so the attribute-name
-		// lookup of the first object element serves the whole loop.
-		var attrTypeName string
-		var attrCols []string
-		for _, elem := range coll.Elems {
-			s := st.getScope()
-			s.alias = alias
-			s.whole = elem
-			// Object elements expose their attributes as columns; a REF
-			// element is dereferenced transparently for column access.
-			resolved := elem
-			if r, isRef := elem.(ordb.Ref); isRef {
-				o, err := en.db.Deref(r)
-				if err != nil {
-					st.putScope(s)
-					return err
-				}
-				resolved = o
-				s.table = r.Table
-				s.oid = r.OID
-			}
-			if o, isObj := resolved.(*ordb.Object); isObj {
-				if attrCols == nil || attrTypeName != o.TypeName {
-					t, err := en.db.Type(o.TypeName)
-					if err != nil {
-						st.putScope(s)
-						return err
-					}
-					attrs := t.(*ordb.ObjectType).Attrs
-					attrCols = make([]string, len(attrs))
-					for i, a := range attrs {
-						attrCols[i] = a.Name
-					}
-					attrTypeName = o.TypeName
-				}
-				s.cols = attrCols
-				s.vals = o.Attrs
-				s.whole = o
-			} else {
-				// Scalar elements expose Oracle's COLUMN_VALUE.
-				s.cols = columnValueCols
-				s.vals = []ordb.Value{resolved}
-			}
-			err := push(s)
-			st.putScope(s)
-			if err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// Base table or view.
-	if tbl, err := en.db.Table(item.Table); err == nil {
-		alias := item.Alias
-		if alias == "" {
-			alias = tbl.Name
-		}
-		if js := plan.join(idx); js != nil {
-			key, err := en.eval(js.otherExpr, ev)
-			if err != nil {
-				return err
-			}
-			if rows, ok := tbl.ProbeEqual(js.keyCol, key); ok {
-				for _, r := range rows {
-					s := st.getScope()
-					fillTableScope(s, tbl, alias, r)
-					err := push(s)
-					st.putScope(s)
-					if err != nil {
-						return err
-					}
-				}
-				return nil
-			}
-			jh := &st.hashes[idx]
-			jh.build(tbl, js.keyCol)
-			k, ok := joinKey(key)
-			if !ok {
-				return nil // NULL join key matches nothing
-			}
-			for _, r := range jh.index[k] {
-				s := st.getScope()
-				fillTableScope(s, tbl, alias, r)
-				err := push(s)
-				st.putScope(s)
-				if err != nil {
-					return err
-				}
-			}
-			return nil
-		}
-		var scanErr error
-		tbl.Scan(func(r *ordb.Row) bool {
-			s := st.getScope()
-			fillTableScope(s, tbl, alias, r)
-			err := push(s)
-			st.putScope(s)
-			if err != nil {
-				scanErr = err
-				return false
-			}
-			return true
-		})
-		return scanErr
-	}
-	view, err := en.db.View(item.Table)
-	if err != nil {
-		return fmt.Errorf("sql: no table or view %q", item.Table)
-	}
-	vsel, ok := view.Compiled.(*SelectStmt)
-	if !ok {
-		return fmt.Errorf("sql: view %s has no compiled definition", view.Name)
-	}
-	rows, err := en.querySelect(vsel, nil)
-	if err != nil {
-		return fmt.Errorf("sql: view %s: %w", view.Name, err)
-	}
-	alias := item.Alias
-	if alias == "" {
-		alias = view.Name
-	}
-	for _, r := range rows.Data {
-		s := &scope{alias: alias, cols: rows.Cols, vals: r}
-		if len(r) == 1 {
-			s.whole = r[0]
-		}
-		if err := push(s); err != nil {
-			return err
-		}
-	}
-	return nil
 }
 
 func (p *queryPlan) join(idx int) *joinSpec {

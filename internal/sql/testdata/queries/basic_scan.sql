@@ -1,0 +1,13 @@
+CREATE TABLE TabDoc (
+  DocID INTEGER PRIMARY KEY,
+  Name VARCHAR(100),
+  Year NUMBER);
+INSERT INTO TabDoc VALUES (1, 'XML Handbook', 1999);
+INSERT INTO TabDoc VALUES (2, 'Data on the Web', 2000);
+INSERT INTO TabDoc VALUES (3, 'SGML Primer', 1995);
+INSERT INTO TabDoc VALUES (4, 'Untitled', NULL);
+SELECT * FROM TabDoc d;
+SELECT d.Name FROM TabDoc d WHERE d.DocID = 2;
+SELECT d.Name, d.Year FROM TabDoc d WHERE d.Year > 1996 ORDER BY d.Year DESC;
+SELECT d.Name FROM TabDoc d ORDER BY d.Year;
+SELECT d.DocID FROM TabDoc d WHERE d.Year > 1990 AND d.Name LIKE '%Web%'

@@ -1,0 +1,23 @@
+CREATE TYPE Type_TabSubject AS TABLE OF VARCHAR(200);
+CREATE TYPE Type_Author AS OBJECT(
+  AName VARCHAR(80),
+  Affil VARCHAR(80));
+CREATE TYPE Type_TabAuthor AS TABLE OF Type_Author;
+CREATE TABLE TabProfessor (
+  Name VARCHAR(80),
+  Subject Type_TabSubject)
+  NESTED TABLE Subject STORE AS TabSubject_List;
+CREATE TABLE TabDoc (
+  Title VARCHAR(100),
+  Authors Type_TabAuthor)
+  NESTED TABLE Authors STORE AS TabAuthor_List;
+INSERT INTO TabProfessor VALUES ('Kudrass',
+  Type_TabSubject('Database Systems', 'Operat. Systems'));
+INSERT INTO TabProfessor VALUES ('Jaeger', Type_TabSubject('CAD'));
+INSERT INTO TabDoc VALUES ('XML Handbook',
+  Type_TabAuthor(Type_Author('Smith', 'MIT'), Type_Author('Jones', 'CMU')));
+SELECT p.Name, s.COLUMN_VALUE FROM TabProfessor p, TABLE(p.Subject) s;
+SELECT s.COLUMN_VALUE FROM TabProfessor p, TABLE(p.Subject) s
+  WHERE p.Name = 'Kudrass' ORDER BY s.COLUMN_VALUE;
+SELECT d.Title, a.AName, a.Affil FROM TabDoc d, TABLE(d.Authors) a;
+SELECT COUNT(*) FROM TabProfessor p, TABLE(p.Subject) s

@@ -1,0 +1,17 @@
+CREATE TABLE TabElement (
+  IDElement INTEGER PRIMARY KEY,
+  Name VARCHAR(60),
+  Depth NUMBER,
+  Size NUMBER);
+INSERT INTO TabElement VALUES (1, 'chapter', 1, 120);
+INSERT INTO TabElement VALUES (2, 'chapter', 1, 80);
+INSERT INTO TabElement VALUES (3, 'section', 2, 40);
+INSERT INTO TabElement VALUES (4, 'section', 2, 60);
+INSERT INTO TabElement VALUES (5, 'section', 2, 20);
+INSERT INTO TabElement VALUES (6, 'title', 3, 5);
+SELECT COUNT(*), MIN(e.Size), MAX(e.Size), SUM(e.Size), AVG(e.Size) FROM TabElement e;
+SELECT COUNT(*) FROM TabElement e WHERE e.Depth > 7;
+SELECT e.Name, COUNT(*) AS Cnt, SUM(e.Size) AS Total FROM TabElement e
+  GROUP BY e.Name ORDER BY Cnt DESC;
+SELECT e.Name, AVG(e.Size) AS AvgSize FROM TabElement e
+  WHERE e.Depth < 3 GROUP BY e.Name ORDER BY e.Name

@@ -1,0 +1,29 @@
+CREATE TABLE TabProfessor (
+  IDProfessor INTEGER PRIMARY KEY,
+  PName VARCHAR(80),
+  Dept VARCHAR(40));
+CREATE TABLE TabSubject (
+  IDSubject INTEGER PRIMARY KEY,
+  IDProfessor INTEGER,
+  Subject VARCHAR(120));
+CREATE TABLE TabRoom (
+  IDRoom INTEGER PRIMARY KEY,
+  IDProfessor INTEGER,
+  Room VARCHAR(20));
+INSERT INTO TabProfessor VALUES (1, 'Kudrass', 'CS');
+INSERT INTO TabProfessor VALUES (2, 'Jaeger', 'CS');
+INSERT INTO TabProfessor VALUES (3, 'Meyer', 'Math');
+INSERT INTO TabSubject VALUES (1, 1, 'Database Systems');
+INSERT INTO TabSubject VALUES (2, 1, 'Operat. Systems');
+INSERT INTO TabSubject VALUES (3, 2, 'CAD');
+INSERT INTO TabRoom VALUES (1, 1, 'A-101');
+INSERT INTO TabRoom VALUES (2, 2, 'B-202');
+SELECT p.PName, s.Subject FROM TabProfessor p, TabSubject s
+  WHERE p.IDProfessor = s.IDProfessor ORDER BY s.Subject;
+SELECT p.PName, s.Subject, r.Room FROM TabProfessor p, TabSubject s, TabRoom r
+  WHERE p.IDProfessor = s.IDProfessor AND r.IDProfessor = p.IDProfessor
+  ORDER BY s.Subject DESC;
+SELECT p.PName FROM TabProfessor p, TabSubject s
+  WHERE p.IDProfessor = s.IDProfessor AND s.Subject = 'CAD';
+SELECT p.PName, s.Subject FROM TabProfessor p, TabSubject s
+  WHERE p.Dept = 'Math' AND p.IDProfessor = s.IDProfessor

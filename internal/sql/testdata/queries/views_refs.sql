@@ -1,0 +1,33 @@
+CREATE TYPE TypeVA_Subject AS VARRAY(10) OF VARCHAR(200);
+CREATE TYPE Type_Professor AS OBJECT(
+  attrPName VARCHAR(80),
+  Subjects TypeVA_Subject,
+  attrDept VARCHAR(40));
+CREATE TABLE tabProfessor (
+  IDProfessor INTEGER PRIMARY KEY,
+  attrPName VARCHAR(80),
+  attrDept VARCHAR(40));
+CREATE TABLE tabSubject (
+  IDSubject INTEGER PRIMARY KEY,
+  IDProfessor INTEGER,
+  attrSubject VARCHAR(200));
+INSERT INTO tabProfessor VALUES (1, 'Kudrass', 'CS');
+INSERT INTO tabProfessor VALUES (2, 'Jaeger', 'CS');
+INSERT INTO tabSubject VALUES (1, 1, 'Database Systems');
+INSERT INTO tabSubject VALUES (2, 1, 'Operat. Systems');
+INSERT INTO tabSubject VALUES (3, 2, 'CAD');
+CREATE VIEW OView_Professor AS
+  SELECT Type_Professor(p.attrPName,
+    CAST(MULTISET(SELECT s.attrSubject FROM tabSubject s
+      WHERE p.IDProfessor = s.IDProfessor) AS TypeVA_Subject),
+    p.attrDept) AS Professor
+  FROM tabProfessor p;
+SELECT v.Professor.attrPName FROM OView_Professor v ORDER BY v.Professor.attrPName;
+SELECT v.Professor.attrPName, s.COLUMN_VALUE
+  FROM OView_Professor v, TABLE(v.Professor.Subjects) s;
+CREATE TYPE Type_Simple AS OBJECT(
+  SName VARCHAR(80));
+CREATE TABLE TabSimple OF Type_Simple (SName PRIMARY KEY);
+INSERT INTO TabSimple VALUES ('alpha');
+INSERT INTO TabSimple VALUES ('beta');
+SELECT s.SName FROM TabSimple s ORDER BY s.SName DESC

@@ -1,0 +1,340 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"xmlordb/internal/ordb"
+)
+
+// BTreeTable is one table's slice of a shared BTree: rows, an OID map
+// and secondary equality indexes, all under the table's id prefix. It
+// implements ordb.ExternalRows so an in-memory Table can spill its rows
+// here and keep serving the union.
+type BTreeTable struct {
+	bt     *BTree
+	id     uint32
+	name   string
+	cols   []string
+	object bool
+	// idxCols maps lower-cased indexed column names to their positions.
+	idxCols map[string]int
+
+	mu      sync.Mutex
+	nextSeq uint64
+	count   int
+}
+
+// NewBTreeTable opens (or creates) the named table in bt. indexCols
+// lists the columns to maintain equality indexes for; probes on other
+// columns report "cannot answer" and the caller scans.
+func NewBTreeTable(bt *BTree, name string, cols []string, object bool, indexCols []string) (*BTreeTable, error) {
+	t := &BTreeTable{bt: bt, name: name, cols: cols, object: object, idxCols: map[string]int{}}
+	for _, c := range indexCols {
+		for i, col := range cols {
+			if equalFold(c, col) {
+				t.idxCols[lower(col)] = i
+			}
+		}
+	}
+	idv, ok, err := bt.Get(tableKey(name))
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		if len(idv) != 4 {
+			return nil, fmt.Errorf("storage: table %s: corrupt id record", name)
+		}
+		t.id = binary.BigEndian.Uint32(idv)
+		if t.nextSeq, err = t.loadCounter("seq"); err != nil {
+			return nil, err
+		}
+		cnt, err := t.loadCounter("cnt")
+		if err != nil {
+			return nil, err
+		}
+		t.count = int(cnt)
+		return t, nil
+	}
+	// Allocate the next table id: count existing 'T' records.
+	var maxID uint32
+	s := bt.PrefixScan([]byte{'T'})
+	for {
+		_, v, ok, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if len(v) == 4 {
+			if id := binary.BigEndian.Uint32(v); id > maxID {
+				maxID = id
+			}
+		}
+	}
+	t.id = maxID + 1
+	idBuf := binary.BigEndian.AppendUint32(nil, t.id)
+	if err := bt.Put(tableKey(name), idBuf); err != nil {
+		return nil, err
+	}
+	if err := t.saveCounters(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+func equalFold(a, b string) bool { return lower(a) == lower(b) }
+
+func lower(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if 'A' <= c && c <= 'Z' {
+			out[i] = c + 'a' - 'A'
+		}
+	}
+	return string(out)
+}
+
+func (t *BTreeTable) loadCounter(what string) (uint64, error) {
+	v, ok, err := t.bt.Get(metaKey(t.id, what))
+	if err != nil || !ok {
+		return 0, err
+	}
+	if len(v) != 8 {
+		return 0, fmt.Errorf("storage: table %s: corrupt %s counter", t.name, what)
+	}
+	return binary.BigEndian.Uint64(v), nil
+}
+
+func (t *BTreeTable) saveCounters() error {
+	if err := t.bt.Put(metaKey(t.id, "seq"), binary.BigEndian.AppendUint64(nil, t.nextSeq)); err != nil {
+		return err
+	}
+	return t.bt.Put(metaKey(t.id, "cnt"), binary.BigEndian.AppendUint64(nil, uint64(t.count)))
+}
+
+// Name returns the table name.
+func (t *BTreeTable) Name() string { return t.name }
+
+// ColNames returns the column names (shared slice).
+func (t *BTreeTable) ColNames() []string { return t.cols }
+
+// InsertRow stores r. Counters are persisted on Sync, not per row.
+func (t *BTreeTable) InsertRow(r *ordb.Row) error {
+	enc, err := encodeRow(r)
+	if err != nil {
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seq := t.nextSeq
+	t.nextSeq++
+	if err := t.bt.Put(dataKey(t.id, seq), enc); err != nil {
+		return err
+	}
+	if t.object && r.OID != 0 {
+		if err := t.bt.Put(oidKey(t.id, r.OID), binary.BigEndian.AppendUint64(nil, seq)); err != nil {
+			return err
+		}
+	}
+	for _, ci := range t.idxCols {
+		norm, ok := normIndexBytes(r.Vals[ci])
+		if !ok {
+			continue
+		}
+		if err := t.bt.Put(idxKey(t.id, ci, norm, seq), nil); err != nil {
+			return err
+		}
+	}
+	t.count++
+	return nil
+}
+
+// Sync persists the counters and flushes the tree.
+func (t *BTreeTable) Sync() error {
+	t.mu.Lock()
+	err := t.saveCounters()
+	t.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return t.bt.Sync()
+}
+
+// Cursor implements ordb.ExternalRows: rows in seq (insertion) order.
+func (t *BTreeTable) Cursor() ordb.Cursor {
+	return &btCursor{t: t, scan: t.bt.PrefixScan(dataPrefix(t.id))}
+}
+
+type btCursor struct {
+	t    *BTreeTable
+	scan *Scan
+	err  error
+}
+
+func (c *btCursor) Next() (*ordb.Row, bool) {
+	if c.err != nil {
+		return nil, false
+	}
+	_, v, ok, err := c.scan.Next()
+	if err != nil {
+		c.err = err
+		return nil, false
+	}
+	if !ok {
+		return nil, false
+	}
+	r, err := decodeRow(v)
+	if err != nil {
+		c.err = err
+		return nil, false
+	}
+	return r, true
+}
+
+func (c *btCursor) Close() {}
+
+// Err reports a scan or decode failure that ended the cursor early.
+func (c *btCursor) Err() error { return c.err }
+
+// fetchBySeq loads and decodes the row stored under seq.
+func (t *BTreeTable) fetchBySeq(seq uint64) (*ordb.Row, error) {
+	v, ok, err := t.bt.Get(dataKey(t.id, seq))
+	if err != nil || !ok {
+		return nil, err
+	}
+	return decodeRow(v)
+}
+
+// ProbeEqual implements ordb.ExternalRows. The stored index norm is
+// truncated, so matches re-verify the fetched row's full norm.
+func (t *BTreeTable) ProbeEqual(col string, v ordb.Value) ([]*ordb.Row, bool) {
+	ci, ok := t.idxCols[lower(col)]
+	if !ok {
+		return nil, false
+	}
+	if ordb.IsNull(v) {
+		return nil, true
+	}
+	norm, ok := normIndexBytes(v)
+	if !ok {
+		return nil, false
+	}
+	var rows []*ordb.Row
+	s := t.bt.Range(idxPrefix(t.id, ci, norm), prefixSuccessor(idxPrefix(t.id, ci, norm)))
+	for {
+		k, _, ok, err := s.Next()
+		if err != nil {
+			return nil, false
+		}
+		if !ok {
+			break
+		}
+		seq, ok := idxKeySeq(k)
+		if !ok {
+			continue
+		}
+		r, err := t.fetchBySeq(seq)
+		if err != nil || r == nil {
+			continue
+		}
+		rn, ok := normIndexBytes(r.Vals[ci])
+		if !ok || !normsEqual(rn, norm) {
+			continue // truncated-prefix collision
+		}
+		rows = append(rows, r)
+	}
+	return rows, true
+}
+
+// Lookup implements ordb.ExternalRows.
+func (t *BTreeTable) Lookup(oid ordb.OID) (*ordb.Row, bool) {
+	if !t.object {
+		return nil, false
+	}
+	v, ok, err := t.bt.Get(oidKey(t.id, oid))
+	if err != nil || !ok || len(v) != 8 {
+		return nil, false
+	}
+	r, err := t.fetchBySeq(binary.BigEndian.Uint64(v))
+	if err != nil || r == nil {
+		return nil, false
+	}
+	return r, true
+}
+
+// DeleteWhere implements ordb.ExternalRows: two-phase like the resident
+// path — match everything first, then mutate, so a predicate error
+// leaves the tree untouched.
+func (t *BTreeTable) DeleteWhere(pred func(*ordb.Row) (bool, error)) (int, error) {
+	type victim struct {
+		seq uint64
+		row *ordb.Row
+	}
+	var victims []victim
+	s := t.bt.PrefixScan(dataPrefix(t.id))
+	for {
+		k, v, ok, err := s.Next()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		r, err := decodeRow(v)
+		if err != nil {
+			return 0, err
+		}
+		match := pred == nil
+		if !match {
+			match, err = pred(r)
+			if err != nil {
+				return 0, err
+			}
+		}
+		if match {
+			seq := binary.BigEndian.Uint64(k[len(k)-8:])
+			victims = append(victims, victim{seq: seq, row: r})
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, vc := range victims {
+		if err := t.bt.Delete(dataKey(t.id, vc.seq)); err != nil {
+			return 0, err
+		}
+		if t.object && vc.row.OID != 0 {
+			if err := t.bt.Delete(oidKey(t.id, vc.row.OID)); err != nil {
+				return 0, err
+			}
+		}
+		for _, ci := range t.idxCols {
+			norm, ok := normIndexBytes(vc.row.Vals[ci])
+			if !ok {
+				continue
+			}
+			if err := t.bt.Delete(idxKey(t.id, ci, norm, vc.seq)); err != nil {
+				return 0, err
+			}
+		}
+		t.count--
+	}
+	if len(victims) > 0 {
+		if err := t.saveCounters(); err != nil {
+			return len(victims), err
+		}
+	}
+	return len(victims), nil
+}
+
+// Count implements ordb.ExternalRows.
+func (t *BTreeTable) Count() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// RowCount aliases Count for the storage.Table interface.
+func (t *BTreeTable) RowCount() int { return t.Count() }

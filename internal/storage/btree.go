@@ -1,0 +1,615 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// BTree is an on-disk B-tree keyed by arbitrary byte strings in
+// bytes.Compare order, with fixed-size pages behind a pinning page
+// cache. It is the key-value layer under BTreeTable (btable.go): row
+// payloads, OID lookups and secondary-index entries all live in one
+// tree, separated by key prefixes.
+//
+// Concurrency: a single mutex serializes all operations. The engine's
+// MVCC read path therefore queues on the external backend where the
+// in-memory path is lock-free — the price of spilling past RAM; see
+// DESIGN.md §11. Durability is sync-on-demand: Sync writes the meta page
+// and fsyncs, and the store flushes after each document load. Pages are
+// updated in place, so a crash between Sync points can corrupt the file;
+// the btree backend is for capacity, not durability, and is rejected in
+// combination with the WAL (server wiring enforces this).
+type BTree struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	cache  *pageCache
+	root   uint32
+	npages uint32
+	puts   int64
+	gets   int64
+}
+
+// BTreeStats is a point-in-time snapshot of tree and cache counters.
+type BTreeStats struct {
+	Pages          uint32
+	PageCacheHits  int64
+	PageCacheMiss  int64
+	PageEvictions  int64
+	Puts           int64
+	Gets           int64
+	PageCacheSlots int
+}
+
+// OpenBTree opens (or creates) the tree file at path. cacheSlots bounds
+// the page cache; <= 0 selects the default of 256 pages (1 MiB).
+func OpenBTree(path string, cacheSlots int) (*BTree, error) {
+	if cacheSlots <= 0 {
+		cacheSlots = 256
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	bt := &BTree{f: f, path: path, cache: newPageCache(f, cacheSlots)}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		bt.root, bt.npages = 0, 1
+		if err := bt.writeMeta(); err != nil {
+			f.Close()
+			return nil, err
+		}
+		return bt, nil
+	}
+	buf := make([]byte, PageSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read meta page: %w", err)
+	}
+	root, npages, err := decodeMeta(buf)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	bt.root, bt.npages = root, npages
+	return bt, nil
+}
+
+// Path reports the backing file.
+func (bt *BTree) Path() string { return bt.path }
+
+// Stats returns a snapshot of the counters.
+func (bt *BTree) Stats() BTreeStats {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	return BTreeStats{
+		Pages:          bt.npages,
+		PageCacheHits:  bt.cache.hits,
+		PageCacheMiss:  bt.cache.misses,
+		PageEvictions:  bt.cache.evictions,
+		Puts:           bt.puts,
+		Gets:           bt.gets,
+		PageCacheSlots: bt.cache.slots,
+	}
+}
+
+// Sync writes the meta page and flushes the file to stable storage.
+func (bt *BTree) Sync() error {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	if err := bt.writeMeta(); err != nil {
+		return err
+	}
+	return bt.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (bt *BTree) Close() error {
+	bt.mu.Lock()
+	err := bt.writeMeta()
+	if serr := bt.f.Sync(); err == nil {
+		err = serr
+	}
+	if cerr := bt.f.Close(); err == nil {
+		err = cerr
+	}
+	bt.mu.Unlock()
+	return err
+}
+
+func (bt *BTree) writeMeta() error {
+	buf := make([]byte, PageSize)
+	encodeMeta(buf, bt.root, bt.npages)
+	if _, err := bt.f.WriteAt(buf, 0); err != nil {
+		return fmt.Errorf("storage: write meta page: %w", err)
+	}
+	return nil
+}
+
+func (bt *BTree) alloc() uint32 {
+	id := bt.npages
+	bt.npages++
+	return id
+}
+
+// readNode loads and decodes a node page (unpinning the cache slot once
+// decoded — the decoded node aliases the cached buffer only until the
+// next cache operation, so decode copies are taken where needed).
+func (bt *BTree) readNode(id uint32) (*node, error) {
+	p, err := bt.cache.get(id)
+	if err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(id, p.buf)
+	bt.cache.unpin(p)
+	if err != nil {
+		return nil, err
+	}
+	// Copy out: the cache buffer may be evicted or overwritten while the
+	// caller still holds the node.
+	n = n.clone()
+	return n, nil
+}
+
+func (n *node) clone() *node {
+	c := &node{id: n.id, leaf: n.leaf}
+	c.keys = make([][]byte, len(n.keys))
+	for i, k := range n.keys {
+		c.keys[i] = append([]byte(nil), k...)
+	}
+	if n.leaf {
+		c.cells = make([][]byte, len(n.cells))
+		for i, v := range n.cells {
+			c.cells[i] = append([]byte(nil), v...)
+		}
+	} else {
+		c.kids = append([]uint32(nil), n.kids...)
+	}
+	return c
+}
+
+func (bt *BTree) writeNode(n *node) error {
+	buf := make([]byte, PageSize)
+	if err := encodeNode(n, buf); err != nil {
+		return err
+	}
+	return bt.cache.write(n.id, buf)
+}
+
+// makeCell encodes val as a leaf cell, spilling oversized values into
+// overflow pages.
+func (bt *BTree) makeCell(val []byte) ([]byte, error) {
+	if len(val) <= inlineMax {
+		return append([]byte{0}, val...), nil
+	}
+	first := uint32(0)
+	var prevID uint32
+	var prevBuf []byte
+	for off := 0; off < len(val); off += ovflPayload {
+		end := off + ovflPayload
+		if end > len(val) {
+			end = len(val)
+		}
+		id := bt.alloc()
+		buf := make([]byte, PageSize)
+		binary.BigEndian.PutUint16(buf[4:6], uint16(end-off))
+		copy(buf[ovflHeader:], val[off:end])
+		if first == 0 {
+			first = id
+		} else {
+			binary.BigEndian.PutUint32(prevBuf[0:4], id)
+			if err := bt.cache.write(prevID, prevBuf); err != nil {
+				return nil, err
+			}
+		}
+		prevID, prevBuf = id, buf
+	}
+	if err := bt.cache.write(prevID, prevBuf); err != nil {
+		return nil, err
+	}
+	cell := make([]byte, 9)
+	cell[0] = 1
+	binary.BigEndian.PutUint32(cell[1:5], first)
+	binary.BigEndian.PutUint32(cell[5:9], uint32(len(val)))
+	return cell, nil
+}
+
+// resolveCell decodes a leaf cell back into the stored value.
+func (bt *BTree) resolveCell(cell []byte) ([]byte, error) {
+	if len(cell) == 0 {
+		return nil, errCorruptPage
+	}
+	if cell[0] == 0 {
+		return append([]byte(nil), cell[1:]...), nil
+	}
+	if len(cell) != 9 {
+		return nil, fmt.Errorf("%w: bad overflow cell", errCorruptPage)
+	}
+	id := binary.BigEndian.Uint32(cell[1:5])
+	total := int(binary.BigEndian.Uint32(cell[5:9]))
+	out := make([]byte, 0, total)
+	for id != 0 && len(out) < total {
+		p, err := bt.cache.get(id)
+		if err != nil {
+			return nil, err
+		}
+		next := binary.BigEndian.Uint32(p.buf[0:4])
+		used := int(binary.BigEndian.Uint16(p.buf[4:6]))
+		if used > ovflPayload {
+			bt.cache.unpin(p)
+			return nil, fmt.Errorf("%w: overflow page %d", errCorruptPage, id)
+		}
+		out = append(out, p.buf[ovflHeader:ovflHeader+used]...)
+		bt.cache.unpin(p)
+		id = next
+	}
+	if len(out) != total {
+		return nil, fmt.Errorf("%w: truncated overflow chain", errCorruptPage)
+	}
+	return out, nil
+}
+
+// Get returns the value stored under key.
+func (bt *BTree) Get(key []byte) ([]byte, bool, error) {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	bt.gets++
+	if bt.root == 0 {
+		return nil, false, nil
+	}
+	id := bt.root
+	for {
+		n, err := bt.readNode(id)
+		if err != nil {
+			return nil, false, err
+		}
+		if n.leaf {
+			i, ok := n.search(key)
+			if !ok {
+				return nil, false, nil
+			}
+			v, err := bt.resolveCell(n.cells[i])
+			return v, err == nil, err
+		}
+		id = n.kids[n.childIndex(key)]
+	}
+}
+
+// search finds key in a leaf.
+func (n *node) search(key []byte) (int, bool) {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.keys) && bytes.Equal(n.keys[lo], key)
+}
+
+// childIndex picks the branch child for key: kids[i] holds keys < keys[i]
+// is not quite right — separators satisfy: child i holds keys <= keys[i]
+// ... we use the convention that child i holds keys k with
+// keys[i-1] < k <= keys[i] (child 0: k <= keys[0], last child: k > last).
+func (n *node) childIndex(key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(key, n.keys[mid]) > 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// childIndexAfter picks the branch child that can contain keys strictly
+// greater than key: the first child whose separator exceeds it.
+func (n *node) childIndexAfter(key []byte) int {
+	lo, hi := 0, len(n.keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(n.keys[mid], key) > 0 {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// Put inserts or replaces key.
+func (bt *BTree) Put(key, val []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return ErrKeyTooLong
+	}
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	bt.puts++
+	cell, err := bt.makeCell(val)
+	if err != nil {
+		return err
+	}
+	if bt.root == 0 {
+		root := &node{id: bt.alloc(), leaf: true}
+		root.keys = [][]byte{append([]byte(nil), key...)}
+		root.cells = [][]byte{cell}
+		if err := bt.writeNode(root); err != nil {
+			return err
+		}
+		bt.root = root.id
+		return nil
+	}
+	sep, right, err := bt.insert(bt.root, key, cell)
+	if err != nil {
+		return err
+	}
+	if right != 0 {
+		// Root split: grow the tree by one level.
+		nr := &node{id: bt.alloc(), leaf: false}
+		nr.keys = [][]byte{sep}
+		nr.kids = []uint32{bt.root, right}
+		if err := bt.writeNode(nr); err != nil {
+			return err
+		}
+		bt.root = nr.id
+	}
+	return nil
+}
+
+// insert places (key, cell) under page id. On split it returns the
+// separator key and the new right sibling's page id.
+func (bt *BTree) insert(id uint32, key, cell []byte) ([]byte, uint32, error) {
+	n, err := bt.readNode(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		i, ok := n.search(key)
+		if ok {
+			n.cells[i] = cell
+		} else {
+			n.keys = append(n.keys, nil)
+			copy(n.keys[i+1:], n.keys[i:])
+			n.keys[i] = append([]byte(nil), key...)
+			n.cells = append(n.cells, nil)
+			copy(n.cells[i+1:], n.cells[i:])
+			n.cells[i] = cell
+		}
+	} else {
+		ci := n.childIndex(key)
+		sep, right, err := bt.insert(n.kids[ci], key, cell)
+		if err != nil {
+			return nil, 0, err
+		}
+		if right == 0 {
+			return nil, 0, nil // child absorbed the insert; nothing changed here
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[ci+1:], n.keys[ci:])
+		n.keys[ci] = sep
+		n.kids = append(n.kids, 0)
+		copy(n.kids[ci+2:], n.kids[ci+1:])
+		n.kids[ci+1] = right
+	}
+	if n.encodedSize() <= PageSize {
+		return nil, 0, bt.writeNode(n)
+	}
+	return bt.split(n)
+}
+
+// split divides an oversized node at its byte midpoint and writes both
+// halves. Separator convention: left child holds keys <= sep.
+func (bt *BTree) split(n *node) ([]byte, uint32, error) {
+	mid := len(n.keys) / 2
+	if mid == 0 {
+		mid = 1
+	}
+	if mid >= len(n.keys) {
+		mid = len(n.keys) - 1
+	}
+	right := &node{id: bt.alloc(), leaf: n.leaf}
+	var sep []byte
+	if n.leaf {
+		// Left keeps keys[0:mid], right gets keys[mid:]; sep = last left key.
+		right.keys = append(right.keys, n.keys[mid:]...)
+		right.cells = append(right.cells, n.cells[mid:]...)
+		n.keys = n.keys[:mid]
+		n.cells = n.cells[:mid]
+		sep = append([]byte(nil), n.keys[mid-1]...)
+	} else {
+		// Branch: the separator moves up, it is not duplicated.
+		sep = append([]byte(nil), n.keys[mid]...)
+		right.keys = append(right.keys, n.keys[mid+1:]...)
+		right.kids = append(right.kids, n.kids[mid+1:]...)
+		n.keys = n.keys[:mid]
+		n.kids = n.kids[:mid+1]
+	}
+	if err := bt.writeNode(n); err != nil {
+		return nil, 0, err
+	}
+	if err := bt.writeNode(right); err != nil {
+		return nil, 0, err
+	}
+	return sep, right.id, nil
+}
+
+// Delete removes key if present. Pages are never merged or reclaimed —
+// compaction is rebuild-the-file, acceptable for a backend whose
+// deletes are rare (document removal).
+func (bt *BTree) Delete(key []byte) error {
+	bt.mu.Lock()
+	defer bt.mu.Unlock()
+	if bt.root == 0 {
+		return nil
+	}
+	id := bt.root
+	var path []*node
+	for {
+		n, err := bt.readNode(id)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			i, ok := n.search(key)
+			if !ok {
+				return nil
+			}
+			n.keys = append(n.keys[:i], n.keys[i+1:]...)
+			n.cells = append(n.cells[:i], n.cells[i+1:]...)
+			return bt.writeNode(n)
+		}
+		path = append(path, n)
+		id = n.kids[n.childIndex(key)]
+	}
+}
+
+// Range returns an ordered cursor over keys in [lo, hi). A nil hi means
+// "to the end". The cursor re-descends from the root at every leaf
+// boundary, so it stays valid under concurrent mutation: it never
+// revisits a key and sees every key that is present for the whole scan.
+func (bt *BTree) Range(lo, hi []byte) *Scan {
+	return &Scan{bt: bt, next: append([]byte(nil), lo...), hi: append([]byte(nil), hi...), hasHi: hi != nil}
+}
+
+// PrefixScan scans every key beginning with prefix, in order.
+func (bt *BTree) PrefixScan(prefix []byte) *Scan {
+	return bt.Range(prefix, prefixSuccessor(prefix))
+}
+
+// prefixSuccessor returns the smallest key greater than every key with
+// the given prefix (nil = no upper bound).
+func prefixSuccessor(prefix []byte) []byte {
+	for i := len(prefix) - 1; i >= 0; i-- {
+		if prefix[i] != 0xff {
+			out := append([]byte(nil), prefix[:i+1]...)
+			out[i]++
+			return out
+		}
+	}
+	return nil
+}
+
+// Scan is an ordered key-range cursor.
+type Scan struct {
+	bt    *BTree
+	next  []byte // smallest key not yet excluded
+	hi    []byte
+	hasHi bool
+	// started flips after the first leaf load: from then on, keys equal
+	// to `next` have already been returned and are skipped.
+	started bool
+	buf     []kvPair
+	i       int
+	done    bool
+}
+
+type kvPair struct {
+	key  []byte
+	cell []byte
+}
+
+// Next returns the next key and value in order; ok reports whether one
+// was produced.
+func (s *Scan) Next() (key, val []byte, ok bool, err error) {
+	for {
+		if s.done {
+			return nil, nil, false, nil
+		}
+		if s.i < len(s.buf) {
+			p := s.buf[s.i]
+			s.i++
+			v, err := s.resolve(p.cell)
+			if err != nil {
+				s.done = true
+				return nil, nil, false, err
+			}
+			return p.key, v, true, nil
+		}
+		if err := s.fill(); err != nil {
+			s.done = true
+			return nil, nil, false, err
+		}
+		if len(s.buf) == 0 {
+			s.done = true
+			return nil, nil, false, nil
+		}
+	}
+}
+
+func (s *Scan) resolve(cell []byte) ([]byte, error) {
+	s.bt.mu.Lock()
+	defer s.bt.mu.Unlock()
+	return s.bt.resolveCell(cell)
+}
+
+// fill loads the next leaf's worth of in-range entries. Each descent
+// records the tightest ancestor separator bounding the visited subtree;
+// when a leaf yields nothing new, the scan jumps to that bound and
+// re-descends for strictly greater keys — guaranteed progress because
+// the bound exceeds every key already covered.
+func (s *Scan) fill() error {
+	s.bt.mu.Lock()
+	defer s.bt.mu.Unlock()
+	s.buf, s.i = s.buf[:0], 0
+	for {
+		if s.bt.root == 0 {
+			return nil
+		}
+		id := s.bt.root
+		var ub []byte // nil while on the rightmost path
+		var n *node
+		for {
+			var err error
+			n, err = s.bt.readNode(id)
+			if err != nil {
+				return err
+			}
+			if n.leaf {
+				break
+			}
+			var ci int
+			if s.started {
+				ci = n.childIndexAfter(s.next)
+			} else {
+				ci = n.childIndex(s.next)
+			}
+			if ci < len(n.keys) {
+				ub = n.keys[ci]
+			}
+			id = n.kids[ci]
+		}
+		for i := 0; i < len(n.keys); i++ {
+			k := n.keys[i]
+			if c := bytes.Compare(k, s.next); c < 0 || c == 0 && s.started {
+				continue // at or before the last returned key
+			}
+			if s.hasHi && bytes.Compare(k, s.hi) >= 0 {
+				break
+			}
+			s.buf = append(s.buf, kvPair{key: k, cell: n.cells[i]})
+		}
+		if len(s.buf) > 0 {
+			last := s.buf[len(s.buf)-1].key
+			s.next = append(s.next[:0], last...)
+			s.started = true
+			return nil
+		}
+		if ub == nil || s.hasHi && bytes.Compare(ub, s.hi) >= 0 {
+			return nil // rightmost leaf (or rest of tree out of range): done
+		}
+		// Everything <= ub has been covered; continue strictly after it.
+		s.next = append(s.next[:0], ub...)
+		s.started = true
+	}
+}

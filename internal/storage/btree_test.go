@@ -1,0 +1,283 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+func openTemp(t *testing.T, slots int) *BTree {
+	t.Helper()
+	bt, err := OpenBTree(filepath.Join(t.TempDir(), "t.xbt"), slots)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bt.Close() })
+	return bt
+}
+
+func TestBTreePutGet(t *testing.T) {
+	bt := openTemp(t, 0)
+	const n = 5000
+	r := rand.New(rand.NewSource(1))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%06d", r.Intn(1000000)))
+		if err := bt.Put(keys[i], []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		v, ok, err := bt.Get(keys[i])
+		if err != nil || !ok {
+			t.Fatalf("Get(%q) = %v, %v", keys[i], ok, err)
+		}
+		// Later duplicates overwrite; only assert the value matches some
+		// insertion of this key.
+		if !bytes.HasPrefix(v, []byte("val-")) {
+			t.Fatalf("Get(%q) = %q", keys[i], v)
+		}
+	}
+	if _, ok, _ := bt.Get([]byte("missing")); ok {
+		t.Fatal("found missing key")
+	}
+}
+
+func TestBTreeOverwrite(t *testing.T) {
+	bt := openTemp(t, 0)
+	k := []byte("k")
+	for i := 0; i < 100; i++ {
+		if err := bt.Put(k, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, ok, err := bt.Get(k)
+	if err != nil || !ok || string(v) != "v99" {
+		t.Fatalf("Get = %q, %v, %v", v, ok, err)
+	}
+}
+
+func TestBTreeOverflowValues(t *testing.T) {
+	bt := openTemp(t, 0)
+	big := bytes.Repeat([]byte("x"), 3*PageSize+17)
+	if err := bt.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	if err := bt.Put([]byte("small"), []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := bt.Get([]byte("big"))
+	if err != nil || !ok || !bytes.Equal(v, big) {
+		t.Fatalf("big value round-trip failed: ok=%v err=%v len=%d", ok, err, len(v))
+	}
+}
+
+func TestBTreeKeyTooLong(t *testing.T) {
+	bt := openTemp(t, 0)
+	if err := bt.Put(bytes.Repeat([]byte("k"), maxKeyLen+1), nil); err != ErrKeyTooLong {
+		t.Fatalf("err = %v, want ErrKeyTooLong", err)
+	}
+	if err := bt.Put(nil, []byte("v")); err != ErrKeyTooLong {
+		t.Fatalf("empty key err = %v, want ErrKeyTooLong", err)
+	}
+}
+
+func TestBTreeRangeBounds(t *testing.T) {
+	bt := openTemp(t, 0)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("k%04d", i))
+		if err := bt.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collect := func(lo, hi []byte) []string {
+		var out []string
+		s := bt.Range(lo, hi)
+		for {
+			k, _, ok, err := s.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				return out
+			}
+			out = append(out, string(k))
+		}
+	}
+	got := collect([]byte("k0100"), []byte("k0105"))
+	want := []string{"k0100", "k0101", "k0102", "k0103", "k0104"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	// Half-open: hi excluded, lo included; nil hi runs to the end.
+	if n := len(collect([]byte("k0990"), nil)); n != 10 {
+		t.Fatalf("open-ended range = %d keys, want 10", n)
+	}
+	if n := len(collect(nil, []byte("k0010"))); n != 10 {
+		t.Fatalf("prefix range = %d keys, want 10", n)
+	}
+	// Empty range.
+	if n := len(collect([]byte("k0500"), []byte("k0500"))); n != 0 {
+		t.Fatalf("empty range = %d keys", n)
+	}
+}
+
+func TestBTreePrefixScan(t *testing.T) {
+	bt := openTemp(t, 0)
+	for _, k := range []string{"a1", "a2", "ab", "b1", "b2", "c"} {
+		if err := bt.Put([]byte(k), []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []string
+	s := bt.PrefixScan([]byte("a"))
+	for {
+		k, _, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(k))
+	}
+	if fmt.Sprint(got) != "[a1 a2 ab]" {
+		t.Fatalf("prefix scan = %v", got)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := openTemp(t, 0)
+	for i := 0; i < 500; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i += 2 {
+		if err := bt.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		_, ok, err := bt.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != (i%2 == 1) {
+			t.Fatalf("key %d present=%v", i, ok)
+		}
+	}
+	// Deleting a missing key is a no-op.
+	if err := bt.Delete([]byte("zzz")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeReopen(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.xbt")
+	bt, err := OpenBTree(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%05d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	bt, err = OpenBTree(path, 16) // tiny cache forces real page reads
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bt.Close()
+	for i := 0; i < 2000; i += 97 {
+		v, ok, err := bt.Get([]byte(fmt.Sprintf("k%05d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("after reopen: Get k%05d = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	st := bt.Stats()
+	if st.PageCacheMiss == 0 {
+		t.Fatal("expected cache misses after reopen")
+	}
+	if st.Pages < 2 {
+		t.Fatalf("Pages = %d", st.Pages)
+	}
+}
+
+func TestBTreeScanSurvivesMutation(t *testing.T) {
+	bt := openTemp(t, 0)
+	for i := 0; i < 300; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := bt.Range(nil, nil)
+	var got []string
+	for {
+		k, _, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, string(k))
+		// Mutate mid-scan: delete behind the cursor, insert ahead.
+		if len(got) == 150 {
+			for i := 0; i < 100; i++ {
+				if err := bt.Delete([]byte(fmt.Sprintf("k%03d", i))); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := bt.Put([]byte("k999"), []byte("new")); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// No duplicates, ascending order.
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("scan out of order: %s >= %s", got[i-1], got[i])
+		}
+	}
+	if got[len(got)-1] != "k999" {
+		t.Fatalf("insert ahead of cursor not seen: last = %s", got[len(got)-1])
+	}
+}
+
+func TestPageCachePinning(t *testing.T) {
+	bt := openTemp(t, 8) // minimum cache
+	// Insert enough to exceed 8 pages comfortably.
+	val := bytes.Repeat([]byte("v"), 256)
+	for i := 0; i < 3000; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%06d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := bt.Stats()
+	if st.PageEvictions == 0 {
+		t.Fatal("expected evictions with an 8-slot cache")
+	}
+	// Full scan under the tiny cache still sees every key.
+	s := bt.Range(nil, nil)
+	n := 0
+	for {
+		_, _, ok, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("scan saw %d keys, want 3000", n)
+	}
+}

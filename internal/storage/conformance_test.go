@@ -1,0 +1,257 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"xmlordb/internal/ordb"
+)
+
+// The conformance suite runs the same scenarios against both backends
+// through the shared storage.Table surface, pinning down the contract
+// the executor's scan and probe legs rely on: insertion-order scans,
+// index-probe equivalence with a filter scan, delete-during-scan
+// stability, and (for the on-disk backend) reopen fidelity.
+
+type fixture struct {
+	name string
+	// open builds a fresh backend with columns (Name Str, N Num) and an
+	// equality index on Name.
+	open func(t *testing.T) harness
+}
+
+type harness struct {
+	tab    Table
+	insert func(name string, n float64)
+	// deleteWhere removes rows matching pred.
+	deleteWhere func(pred func(*ordb.Row) (bool, error)) int
+	// reopen simulates crash-reopen and returns the reborn table; nil for
+	// backends without persistence.
+	reopen func() Table
+}
+
+func fixtures() []fixture {
+	return []fixture{
+		{name: "mem", open: openMemFixture},
+		{name: "btree", open: openBTreeFixture},
+	}
+}
+
+func openMemFixture(t *testing.T) harness {
+	db := ordb.New(ordb.ModeOracle9)
+	tab, err := db.CreateTable(ordb.TableSpec{Name: "T", Columns: []ordb.Column{
+		{Name: "Name", Type: ordb.VarcharType{Len: 100}, PrimaryKey: false},
+		{Name: "N", Type: ordb.NumberType{}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.CreateIndex("IxName", "Name"); err != nil {
+		t.Fatal(err)
+	}
+	return harness{
+		tab: tab,
+		insert: func(name string, n float64) {
+			if _, err := tab.Insert([]ordb.Value{ordb.Str(name), ordb.Num(n)}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		deleteWhere: func(pred func(*ordb.Row) (bool, error)) int {
+			n, err := tab.Delete(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		},
+	}
+}
+
+func openBTreeFixture(t *testing.T) harness {
+	path := filepath.Join(t.TempDir(), "conf.xbt")
+	bt, err := OpenBTree(path, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { bt.Close() })
+	cols := []string{"Name", "N"}
+	tab, err := NewBTreeTable(bt, "T", cols, false, []string{"Name"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness{
+		tab: tab,
+		insert: func(name string, n float64) {
+			if err := tab.InsertRow(ordb.NewRow(0, []ordb.Value{ordb.Str(name), ordb.Num(n)})); err != nil {
+				t.Fatal(err)
+			}
+		},
+		deleteWhere: func(pred func(*ordb.Row) (bool, error)) int {
+			n, err := tab.DeleteWhere(pred)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return n
+		},
+		reopen: func() Table {
+			if err := tab.Sync(); err != nil {
+				t.Fatal(err)
+			}
+			if err := bt.Close(); err != nil {
+				t.Fatal(err)
+			}
+			bt2, err := OpenBTree(path, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { bt2.Close() })
+			tab2, err := NewBTreeTable(bt2, "T", cols, false, []string{"Name"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tab2
+		},
+	}
+}
+
+func scanNames(t *testing.T, tab Table) []string {
+	t.Helper()
+	c := tab.Cursor()
+	defer c.Close()
+	var out []string
+	for {
+		r, ok := c.Next()
+		if !ok {
+			break
+		}
+		out = append(out, string(r.Vals[0].(ordb.Str)))
+	}
+	return out
+}
+
+func TestConformanceScanOrder(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			h := fx.open(t)
+			var want []string
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("row-%02d", i)
+				h.insert(name, float64(i))
+				want = append(want, name)
+			}
+			got := scanNames(t, h.tab)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("scan order = %v", got)
+			}
+			if h.tab.RowCount() != 50 {
+				t.Fatalf("RowCount = %d", h.tab.RowCount())
+			}
+		})
+	}
+}
+
+func TestConformanceProbeEqual(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			h := fx.open(t)
+			for i := 0; i < 30; i++ {
+				h.insert(fmt.Sprintf("g%d", i%3), float64(i))
+			}
+			rows, ok := h.tab.ProbeEqual("Name", ordb.Str("g1"))
+			if !ok {
+				t.Fatal("probe on indexed column refused")
+			}
+			if len(rows) != 10 {
+				t.Fatalf("probe matched %d rows, want 10", len(rows))
+			}
+			// CHAR-padding insignificance: trailing spaces normalize away.
+			rows, ok = h.tab.ProbeEqual("Name", ordb.Str("g1   "))
+			if !ok || len(rows) != 10 {
+				t.Fatalf("padded probe = %d rows, ok=%v", len(rows), ok)
+			}
+			// NULL probes nothing, definitively.
+			rows, ok = h.tab.ProbeEqual("Name", ordb.Null{})
+			if !ok || len(rows) != 0 {
+				t.Fatalf("NULL probe = %d rows, ok=%v", len(rows), ok)
+			}
+			// Probe miss.
+			rows, ok = h.tab.ProbeEqual("Name", ordb.Str("absent"))
+			if !ok || len(rows) != 0 {
+				t.Fatalf("miss probe = %d rows, ok=%v", len(rows), ok)
+			}
+		})
+	}
+}
+
+func TestConformanceDeleteDuringScan(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			h := fx.open(t)
+			for i := 0; i < 40; i++ {
+				h.insert(fmt.Sprintf("row-%02d", i), float64(i))
+			}
+			c := h.tab.Cursor()
+			defer c.Close()
+			var seen []string
+			for {
+				r, ok := c.Next()
+				if !ok {
+					break
+				}
+				seen = append(seen, string(r.Vals[0].(ordb.Str)))
+				if len(seen) == 10 {
+					// Delete rows 20-29 mid-scan; the cursor must neither
+					// duplicate nor disorder what it still returns.
+					n := h.deleteWhere(func(r *ordb.Row) (bool, error) {
+						v := float64(r.Vals[1].(ordb.Num))
+						return v >= 20 && v < 30, nil
+					})
+					if n != 10 {
+						t.Fatalf("deleted %d rows, want 10", n)
+					}
+				}
+			}
+			for i := 1; i < len(seen); i++ {
+				if seen[i-1] >= seen[i] {
+					t.Fatalf("scan disordered at %d: %v", i, seen[i-1:i+1])
+				}
+			}
+			// First 10 were returned before the delete; everything after is
+			// a subset of the survivors, so the scan never exceeds 40 and
+			// retains at least the 30 surviving rows minus those already
+			// passed.
+			if len(seen) < 30 || len(seen) > 40 {
+				t.Fatalf("scan returned %d rows", len(seen))
+			}
+			if h.tab.RowCount() != 30 {
+				t.Fatalf("RowCount after delete = %d", h.tab.RowCount())
+			}
+		})
+	}
+}
+
+func TestConformanceReopen(t *testing.T) {
+	for _, fx := range fixtures() {
+		t.Run(fx.name, func(t *testing.T) {
+			h := fx.open(t)
+			if h.reopen == nil {
+				t.Skip("backend has no persistence")
+			}
+			for i := 0; i < 25; i++ {
+				h.insert(fmt.Sprintf("row-%02d", i), float64(i))
+			}
+			tab := h.reopen()
+			got := scanNames(t, tab)
+			if len(got) != 25 || got[0] != "row-00" || got[24] != "row-24" {
+				t.Fatalf("after reopen: %v", got)
+			}
+			if tab.RowCount() != 25 {
+				t.Fatalf("RowCount after reopen = %d", tab.RowCount())
+			}
+			rows, ok := tab.ProbeEqual("Name", ordb.Str("row-13"))
+			if !ok || len(rows) != 1 {
+				t.Fatalf("probe after reopen = %d rows, ok=%v", len(rows), ok)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"time"
+
+	"xmlordb/internal/ordb"
+)
+
+// Key layouts for the b-tree backend. All of a store's tables share one
+// tree; a leading tag byte plus a fixed-width table id keeps each
+// table's entries in a contiguous, prefix-scannable key range:
+//
+//	'T' name                     → uint32 table id (allocation record)
+//	'M' tid what                 → uint64 counter ("seq" next row seq, "cnt" row count)
+//	'D' tid seq(8)               → encoded row (rowcodec.go); seq preserves insertion order
+//	'O' tid oid(8)               → seq(8) — OID → row lookup for Deref
+//	'I' tid col(2) norm… seq(8)  → empty — secondary equality index
+//
+// Index norms are value-kind-tagged and truncated to normPrefixMax bytes
+// so they respect maxKeyLen; probes re-verify the full, untruncated norm
+// against the fetched row before accepting a match.
+
+const normPrefixMax = 256
+
+func tableKey(name string) []byte {
+	return append([]byte{'T'}, name...)
+}
+
+func metaKey(tid uint32, what string) []byte {
+	k := make([]byte, 0, 5+len(what))
+	k = append(k, 'M')
+	k = binary.BigEndian.AppendUint32(k, tid)
+	return append(k, what...)
+}
+
+func dataPrefix(tid uint32) []byte {
+	k := make([]byte, 0, 5)
+	k = append(k, 'D')
+	return binary.BigEndian.AppendUint32(k, tid)
+}
+
+func dataKey(tid uint32, seq uint64) []byte {
+	return binary.BigEndian.AppendUint64(dataPrefix(tid), seq)
+}
+
+func oidKey(tid uint32, oid ordb.OID) []byte {
+	k := make([]byte, 0, 13)
+	k = append(k, 'O')
+	k = binary.BigEndian.AppendUint32(k, tid)
+	return binary.BigEndian.AppendUint64(k, uint64(oid))
+}
+
+// normIndexBytes mirrors ordb's makeIndexKey normalization byte-for-byte
+// in semantics: two values are index-equal there iff their norms are
+// bytes.Equal here. The second result is false for non-scalar values,
+// which are not indexable.
+func normIndexBytes(v ordb.Value) ([]byte, bool) {
+	switch x := v.(type) {
+	case ordb.Str:
+		return append([]byte{'s'}, strings.TrimRight(string(x), " ")...), true
+	case ordb.Num:
+		return binary.BigEndian.AppendUint64([]byte{'n'}, math.Float64bits(float64(x))), true
+	case ordb.DateVal:
+		return binary.BigEndian.AppendUint64([]byte{'d'}, uint64(time.Time(x).UnixNano())), true
+	case ordb.Ref:
+		k := append([]byte{'r'}, x.Table...)
+		k = append(k, 0)
+		return binary.BigEndian.AppendUint64(k, uint64(x.OID)), true
+	default:
+		return nil, false
+	}
+}
+
+func idxPrefixRoot(tid uint32, colIdx int) []byte {
+	k := make([]byte, 0, 7)
+	k = append(k, 'I')
+	k = binary.BigEndian.AppendUint32(k, tid)
+	return binary.BigEndian.AppendUint16(k, uint16(colIdx))
+}
+
+// idxPrefix is the scan prefix for all entries whose (possibly
+// truncated) norm equals norm's prefix.
+func idxPrefix(tid uint32, colIdx int, norm []byte) []byte {
+	if len(norm) > normPrefixMax {
+		norm = norm[:normPrefixMax]
+	}
+	k := idxPrefixRoot(tid, colIdx)
+	k = binary.AppendUvarint(k, uint64(len(norm)))
+	return append(k, norm...)
+}
+
+func idxKey(tid uint32, colIdx int, norm []byte, seq uint64) []byte {
+	return binary.BigEndian.AppendUint64(idxPrefix(tid, colIdx, norm), seq)
+}
+
+// idxKeySeq recovers the row seq from the tail of an index key.
+func idxKeySeq(key []byte) (uint64, bool) {
+	if len(key) < 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(key[len(key)-8:]), true
+}
+
+// normsEqual compares full (untruncated) norms.
+func normsEqual(a, b []byte) bool { return bytes.Equal(a, b) }

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// On-disk page format. Every page is PageSize bytes. Page 0 is the meta
+// page; all other pages are B-tree nodes or value-overflow pages.
+//
+// Meta page:
+//
+//	[0:4)   magic "xbt1"
+//	[4:8)   format version (uint32)
+//	[8:12)  root page id (0 = empty tree)
+//	[12:16) allocated page count (including the meta page)
+//
+// Node page:
+//
+//	[0]     node type: 'L' leaf, 'B' branch
+//	[1:3)   entry count (uint16)
+//	leaf    entries: uvarint klen, key, uvarint clen, cell
+//	branch  uint32 child0, then per key: uvarint klen, key, uint32 child
+//
+// A leaf cell is either an inline value (0x00 + bytes) or an overflow
+// reference (0x01 + uint32 first overflow page + uint32 total length).
+// Overflow pages chain with a uint32 next-page header and a uint16 used
+// count. Keys are capped at maxKeyLen so a page always fits at least two
+// entries and branch fanout stays healthy.
+
+const (
+	// PageSize is the fixed on-disk page size.
+	PageSize = 4096
+
+	metaMagic   = "xbt1"
+	formatVer   = 1
+	maxKeyLen   = 272
+	inlineMax   = 1024
+	nodeHeader  = 3
+	ovflHeader  = 6
+	ovflPayload = PageSize - ovflHeader
+)
+
+var (
+	errCorruptPage = errors.New("storage: corrupt page")
+	// ErrKeyTooLong reports a key exceeding the page format's cap.
+	ErrKeyTooLong = errors.New("storage: key exceeds maximum length")
+)
+
+// node is the in-memory form of a B-tree page.
+type node struct {
+	id   uint32
+	leaf bool
+	keys [][]byte
+	// cells holds the encoded leaf value cells (inline or overflow ref).
+	cells [][]byte
+	// kids holds branch children; len(kids) == len(keys)+1.
+	kids []uint32
+}
+
+// encodedSize reports the page bytes the node serializes to.
+func (n *node) encodedSize() int {
+	sz := nodeHeader
+	if n.leaf {
+		for i, k := range n.keys {
+			sz += uvarintLen(uint64(len(k))) + len(k)
+			sz += uvarintLen(uint64(len(n.cells[i]))) + len(n.cells[i])
+		}
+		return sz
+	}
+	sz += 4
+	for _, k := range n.keys {
+		sz += uvarintLen(uint64(len(k))) + len(k) + 4
+	}
+	return sz
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// encodeNode serializes n into a PageSize buffer.
+func encodeNode(n *node, buf []byte) error {
+	if n.encodedSize() > PageSize {
+		return fmt.Errorf("storage: node %d overflows page (%d bytes)", n.id, n.encodedSize())
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	if n.leaf {
+		buf[0] = 'L'
+	} else {
+		buf[0] = 'B'
+	}
+	binary.BigEndian.PutUint16(buf[1:3], uint16(len(n.keys)))
+	off := nodeHeader
+	if n.leaf {
+		for i, k := range n.keys {
+			off += binary.PutUvarint(buf[off:], uint64(len(k)))
+			off += copy(buf[off:], k)
+			off += binary.PutUvarint(buf[off:], uint64(len(n.cells[i])))
+			off += copy(buf[off:], n.cells[i])
+		}
+		return nil
+	}
+	binary.BigEndian.PutUint32(buf[off:], n.kids[0])
+	off += 4
+	for i, k := range n.keys {
+		off += binary.PutUvarint(buf[off:], uint64(len(k)))
+		off += copy(buf[off:], k)
+		binary.BigEndian.PutUint32(buf[off:], n.kids[i+1])
+		off += 4
+	}
+	return nil
+}
+
+// decodeNode parses a node page. It never panics on corrupt input: every
+// length is bounds-checked, which is what FuzzBTreePage exercises.
+func decodeNode(id uint32, buf []byte) (*node, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("%w: page %d has %d bytes", errCorruptPage, id, len(buf))
+	}
+	if buf[0] != 'L' && buf[0] != 'B' {
+		return nil, fmt.Errorf("%w: page %d has node type %#x", errCorruptPage, id, buf[0])
+	}
+	n := &node{id: id, leaf: buf[0] == 'L'}
+	count := int(binary.BigEndian.Uint16(buf[1:3]))
+	// A page cannot hold more entries than one byte each.
+	if count > PageSize {
+		return nil, fmt.Errorf("%w: page %d claims %d entries", errCorruptPage, id, count)
+	}
+	off := nodeHeader
+	readBytes := func(what string) ([]byte, error) {
+		l, sz := binary.Uvarint(buf[off:])
+		if sz <= 0 || l > PageSize {
+			return nil, fmt.Errorf("%w: page %d: bad %s length", errCorruptPage, id, what)
+		}
+		off += sz
+		if off+int(l) > len(buf) {
+			return nil, fmt.Errorf("%w: page %d: %s overruns page", errCorruptPage, id, what)
+		}
+		b := buf[off : off+int(l) : off+int(l)]
+		off += int(l)
+		return b, nil
+	}
+	if n.leaf {
+		for i := 0; i < count; i++ {
+			k, err := readBytes("key")
+			if err != nil {
+				return nil, err
+			}
+			c, err := readBytes("cell")
+			if err != nil {
+				return nil, err
+			}
+			if len(c) == 0 {
+				return nil, fmt.Errorf("%w: page %d: empty cell", errCorruptPage, id)
+			}
+			n.keys = append(n.keys, k)
+			n.cells = append(n.cells, c)
+		}
+		return n, nil
+	}
+	if off+4 > len(buf) {
+		return nil, fmt.Errorf("%w: page %d: truncated branch", errCorruptPage, id)
+	}
+	n.kids = append(n.kids, binary.BigEndian.Uint32(buf[off:]))
+	off += 4
+	for i := 0; i < count; i++ {
+		k, err := readBytes("separator")
+		if err != nil {
+			return nil, err
+		}
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("%w: page %d: truncated child pointer", errCorruptPage, id)
+		}
+		n.keys = append(n.keys, k)
+		n.kids = append(n.kids, binary.BigEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return n, nil
+}
+
+// encodeMeta writes the meta page.
+func encodeMeta(buf []byte, root, npages uint32) {
+	for i := range buf {
+		buf[i] = 0
+	}
+	copy(buf[0:4], metaMagic)
+	binary.BigEndian.PutUint32(buf[4:8], formatVer)
+	binary.BigEndian.PutUint32(buf[8:12], root)
+	binary.BigEndian.PutUint32(buf[12:16], npages)
+}
+
+// decodeMeta parses the meta page.
+func decodeMeta(buf []byte) (root, npages uint32, err error) {
+	if len(buf) < 16 || string(buf[0:4]) != metaMagic {
+		return 0, 0, fmt.Errorf("%w: bad meta magic", errCorruptPage)
+	}
+	if v := binary.BigEndian.Uint32(buf[4:8]); v != formatVer {
+		return 0, 0, fmt.Errorf("storage: unsupported b-tree format version %d", v)
+	}
+	root = binary.BigEndian.Uint32(buf[8:12])
+	npages = binary.BigEndian.Uint32(buf[12:16])
+	if npages == 0 {
+		return 0, 0, fmt.Errorf("%w: zero page count", errCorruptPage)
+	}
+	return root, npages, nil
+}

@@ -1,0 +1,104 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+)
+
+// pageCache keeps recently used pages in memory with pin counting. Pages
+// are written through on every mutation, so cached pages are always
+// clean and eviction is a plain drop. A pinned page is never evicted:
+// tree descents pin each page they hold decoded state for and unpin on
+// the way out, so a long range scan cannot have its current leaf yanked
+// away by cache pressure from a concurrent writer.
+type pageCache struct {
+	f     *os.File
+	slots int
+
+	pages map[uint32]*cachedPage
+	lru   *list.List // front = most recently used; values are *cachedPage
+
+	hits, misses, evictions int64
+}
+
+type cachedPage struct {
+	id   uint32
+	buf  []byte
+	pins int
+	el   *list.Element
+}
+
+func newPageCache(f *os.File, slots int) *pageCache {
+	if slots < 8 {
+		slots = 8
+	}
+	return &pageCache{f: f, slots: slots, pages: map[uint32]*cachedPage{}, lru: list.New()}
+}
+
+// get returns the page pinned; callers must unpin it.
+func (c *pageCache) get(id uint32) (*cachedPage, error) {
+	if p, ok := c.pages[id]; ok {
+		c.hits++
+		p.pins++
+		c.lru.MoveToFront(p.el)
+		return p, nil
+	}
+	c.misses++
+	buf := make([]byte, PageSize)
+	if _, err := c.f.ReadAt(buf, int64(id)*PageSize); err != nil {
+		return nil, fmt.Errorf("storage: read page %d: %w", id, err)
+	}
+	p := &cachedPage{id: id, buf: buf, pins: 1}
+	p.el = c.lru.PushFront(p)
+	c.pages[id] = p
+	c.evict()
+	return p, nil
+}
+
+// unpin releases a get (or install) reference.
+func (c *pageCache) unpin(p *cachedPage) {
+	if p.pins > 0 {
+		p.pins--
+	}
+}
+
+// write stores buf as page id: write-through to the file, cache updated
+// in place. The page enters the cache pinned if it was; callers that
+// install fresh pages pass a pinned=false page via install instead.
+func (c *pageCache) write(id uint32, buf []byte) error {
+	if _, err := c.f.WriteAt(buf, int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: write page %d: %w", id, err)
+	}
+	if p, ok := c.pages[id]; ok {
+		copy(p.buf, buf)
+		c.lru.MoveToFront(p.el)
+	} else {
+		p := &cachedPage{id: id, buf: append([]byte(nil), buf...)}
+		p.el = c.lru.PushFront(p)
+		c.pages[id] = p
+		c.evict()
+	}
+	return nil
+}
+
+// evict drops unpinned pages beyond capacity, least recently used first.
+func (c *pageCache) evict() {
+	for len(c.pages) > c.slots {
+		dropped := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			p := el.Value.(*cachedPage)
+			if p.pins > 0 {
+				continue
+			}
+			c.lru.Remove(el)
+			delete(c.pages, p.id)
+			c.evictions++
+			dropped = true
+			break
+		}
+		if !dropped {
+			return // everything pinned; allow temporary overshoot
+		}
+	}
+}

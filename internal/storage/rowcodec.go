@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"xmlordb/internal/ordb"
+)
+
+// Row serialization for the b-tree backend. A compact tagged binary
+// format rather than gob: rows are encoded once per flush and decoded on
+// every scan, so decode speed and density matter more than generality.
+//
+//	row    = uint64 OID (big-endian), uvarint ncols, ncols × value
+//	value  = 'n'                                       Null
+//	       | 's' uvarint len, bytes                    Str
+//	       | 'f' uint64 float bits                     Num
+//	       | 'd' uvarint len, time.MarshalBinary       DateVal
+//	       | 'r' uvarint len, table, uint64 oid        Ref
+//	       | 'o' uvarint len, typename, uvarint n, n×v Object
+//	       | 'c' uvarint len, typename, uvarint n, n×v Coll
+var errCorruptRow = fmt.Errorf("storage: corrupt row encoding")
+
+func encodeRow(r *ordb.Row) ([]byte, error) {
+	buf := make([]byte, 8, 64)
+	binary.BigEndian.PutUint64(buf, uint64(r.OID))
+	buf = binary.AppendUvarint(buf, uint64(len(r.Vals)))
+	var err error
+	for _, v := range r.Vals {
+		if buf, err = encodeValue(buf, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func encodeValue(buf []byte, v ordb.Value) ([]byte, error) {
+	switch v := v.(type) {
+	case ordb.Null, nil:
+		return append(buf, 'n'), nil
+	case ordb.Str:
+		buf = append(buf, 's')
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		return append(buf, v...), nil
+	case ordb.Num:
+		buf = append(buf, 'f')
+		return binary.BigEndian.AppendUint64(buf, math.Float64bits(float64(v))), nil
+	case ordb.DateVal:
+		b, err := time.Time(v).MarshalBinary()
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, 'd')
+		buf = binary.AppendUvarint(buf, uint64(len(b)))
+		return append(buf, b...), nil
+	case ordb.Ref:
+		buf = append(buf, 'r')
+		buf = binary.AppendUvarint(buf, uint64(len(v.Table)))
+		buf = append(buf, v.Table...)
+		return binary.BigEndian.AppendUint64(buf, uint64(v.OID)), nil
+	case *ordb.Object:
+		return encodeComposite(buf, 'o', v.TypeName, v.Attrs)
+	case *ordb.Coll:
+		return encodeComposite(buf, 'c', v.TypeName, v.Elems)
+	default:
+		return nil, fmt.Errorf("storage: cannot encode value of type %T", v)
+	}
+}
+
+func encodeComposite(buf []byte, tag byte, typeName string, vals []ordb.Value) ([]byte, error) {
+	buf = append(buf, tag)
+	buf = binary.AppendUvarint(buf, uint64(len(typeName)))
+	buf = append(buf, typeName...)
+	buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	var err error
+	for _, v := range vals {
+		if buf, err = encodeValue(buf, v); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func decodeRow(buf []byte) (*ordb.Row, error) {
+	if len(buf) < 8 {
+		return nil, errCorruptRow
+	}
+	r := &ordb.Row{OID: ordb.OID(binary.BigEndian.Uint64(buf))}
+	d := &rowDecoder{buf: buf, off: 8}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	r.Vals = make([]ordb.Value, 0, n)
+	for i := uint64(0); i < n; i++ {
+		v, err := d.value(0)
+		if err != nil {
+			return nil, err
+		}
+		r.Vals = append(r.Vals, v)
+	}
+	if d.off != len(d.buf) {
+		return nil, errCorruptRow
+	}
+	return r, nil
+}
+
+type rowDecoder struct {
+	buf []byte
+	off int
+}
+
+func (d *rowDecoder) uvarint() (uint64, error) {
+	v, sz := binary.Uvarint(d.buf[d.off:])
+	if sz <= 0 {
+		return 0, errCorruptRow
+	}
+	d.off += sz
+	return v, nil
+}
+
+func (d *rowDecoder) bytes() ([]byte, error) {
+	l, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if l > uint64(len(d.buf)-d.off) {
+		return nil, errCorruptRow
+	}
+	b := d.buf[d.off : d.off+int(l)]
+	d.off += int(l)
+	return b, nil
+}
+
+// maxValueDepth caps nesting so corrupt input cannot recurse unboundedly.
+const maxValueDepth = 64
+
+func (d *rowDecoder) value(depth int) (ordb.Value, error) {
+	if depth > maxValueDepth {
+		return nil, errCorruptRow
+	}
+	if d.off >= len(d.buf) {
+		return nil, errCorruptRow
+	}
+	tag := d.buf[d.off]
+	d.off++
+	switch tag {
+	case 'n':
+		return ordb.Null{}, nil
+	case 's':
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		return ordb.Str(b), nil
+	case 'f':
+		if len(d.buf)-d.off < 8 {
+			return nil, errCorruptRow
+		}
+		bits := binary.BigEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return ordb.Num(math.Float64frombits(bits)), nil
+	case 'd':
+		b, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		var t time.Time
+		if err := t.UnmarshalBinary(b); err != nil {
+			return nil, fmt.Errorf("%w: %v", errCorruptRow, err)
+		}
+		return ordb.DateVal(t), nil
+	case 'r':
+		tb, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		if len(d.buf)-d.off < 8 {
+			return nil, errCorruptRow
+		}
+		oid := binary.BigEndian.Uint64(d.buf[d.off:])
+		d.off += 8
+		return ordb.Ref{Table: string(tb), OID: ordb.OID(oid)}, nil
+	case 'o', 'c':
+		tn, err := d.bytes()
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if n > uint64(len(d.buf)-d.off) {
+			return nil, errCorruptRow
+		}
+		vals := make([]ordb.Value, 0, n)
+		for i := uint64(0); i < n; i++ {
+			v, err := d.value(depth + 1)
+			if err != nil {
+				return nil, err
+			}
+			vals = append(vals, v)
+		}
+		if tag == 'o' {
+			return &ordb.Object{TypeName: string(tn), Attrs: vals}, nil
+		}
+		return &ordb.Coll{TypeName: string(tn), Elems: vals}, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown value tag %#x", errCorruptRow, tag)
+	}
+}

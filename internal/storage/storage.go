@@ -1,0 +1,30 @@
+// Package storage defines the pluggable row-storage surface under the
+// engine and provides the on-disk B-tree backend. The in-memory MVCC
+// engine (internal/ordb) is itself a backend — its Table satisfies the
+// same read surface — so the query layer above is storage-agnostic; see
+// DESIGN.md §11.
+package storage
+
+import "xmlordb/internal/ordb"
+
+// Table is the minimal read surface the executor's scan and probe legs
+// need from any row store.
+type Table interface {
+	// ColNames returns the column names in declaration order.
+	ColNames() []string
+	// Cursor iterates all rows in insertion order.
+	Cursor() ordb.Cursor
+	// ProbeEqual returns the rows whose column equals v; the second
+	// result is false when the store cannot answer by index.
+	ProbeEqual(col string, v ordb.Value) ([]*ordb.Row, bool)
+	// RowCount reports the number of stored rows.
+	RowCount() int
+}
+
+// Both backends satisfy the shared surface.
+var (
+	_ Table = (*ordb.Table)(nil)
+	_ Table = (*BTreeTable)(nil)
+
+	_ ordb.ExternalRows = (*BTreeTable)(nil)
+)

@@ -326,6 +326,17 @@ type StoreStats struct {
 	WALReplayed      int    `json:"wal_replayed,omitempty"`
 	WALLastLSN       uint64 `json:"wal_last_lsn,omitempty"`
 	WALCheckpointLSN uint64 `json:"wal_checkpoint_lsn,omitempty"`
+	// Backend names the store's storage backend ("mem" or "btree"); the
+	// BTree* fields report the on-disk tree's page and cache counters and
+	// stay zero for mem-backed stores.
+	Backend           string `json:"backend,omitempty"`
+	BTreePages        int    `json:"btree_pages,omitempty"`
+	BTreePuts         int64  `json:"btree_puts,omitempty"`
+	BTreeGets         int64  `json:"btree_gets,omitempty"`
+	BTreeCacheHits    int64  `json:"btree_cache_hits,omitempty"`
+	BTreeCacheMisses  int64  `json:"btree_cache_misses,omitempty"`
+	BTreeCacheEvicted int64  `json:"btree_cache_evicted,omitempty"`
+	BTreeCacheSlots   int    `json:"btree_cache_slots,omitempty"`
 }
 
 // Framing errors.

@@ -83,6 +83,18 @@ type Config struct {
 	// DisableMetadata turns off the Section 5 meta-database; round trips
 	// then lose prolog and entity references (experiment E4).
 	DisableMetadata bool
+	// Backend selects row storage: "" or "mem" keeps every row resident
+	// in the MVCC engine; "btree" spills each loaded document to an
+	// on-disk B-tree and evicts it from memory, so corpora larger than
+	// RAM stay queryable (see backend.go and DESIGN.md §11). Mutually
+	// exclusive with WAL durability (OpenDir) and snapshot Save.
+	Backend string
+	// BackendPath is the btree file location; empty means a temp file
+	// that is removed on Close.
+	BackendPath string
+	// BackendCacheSlots caps the btree page cache (0 = default 256
+	// pages of 4 KiB).
+	BackendCacheSlots int
 }
 
 func (c Config) mode() ordb.Mode {
@@ -152,6 +164,9 @@ type Store struct {
 	// atomic pointer because lock-free readers (STATS, ReadView) can
 	// race with Close, which detaches it; load it once per operation.
 	wal atomic.Pointer[walState]
+	// backend, when non-nil, is the attached on-disk B-tree row store
+	// (Config.Backend "btree"; see backend.go).
+	backend *backendState
 }
 
 // Open analyzes dtdText (the declarations of a DTD, without a DOCTYPE
@@ -236,11 +251,30 @@ func OpenShared(base *Store, dtdText, root string, cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return openDTDOn(base.Engine, d, root, cfg)
+	s, err := openDTDOn(base.Engine, d, root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// A shared store inherits the base store's backend: the engine is
+	// one database, so the new schema's tables spill to the same tree.
+	if base.backend != nil {
+		s.backend = base.backend
+		if err := s.backend.attachTables(s.Engine.DB()); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 func openDTD(d *dtd.DTD, root string, cfg Config) (*Store, error) {
-	return openDTDOn(nil, d, root, cfg)
+	s, err := openDTDOn(nil, d, root, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.attachBackend(); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func openDTDOn(en *sql.Engine, d *dtd.DTD, root string, cfg Config) (*Store, error) {
@@ -312,6 +346,11 @@ func (s *Store) load(doc *xmldom.Document, docName, xmlText string) (int, error)
 		return 0, err
 	}
 	if err := s.walLogLoad(doc, docName, xmlText, id); err != nil {
+		return id, err
+	}
+	// A btree store spills the just-loaded rows to disk immediately so
+	// the resident set stays bounded by one document.
+	if _, err := s.FlushToBackend(); err != nil {
 		return id, err
 	}
 	return id, nil
