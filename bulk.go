@@ -1,0 +1,158 @@
+// Bulk-load support: the store-level half of the internal/ingest
+// pipeline. PrepareXML does everything that is safe off the engine —
+// parse, DTD validation, and (for pure nested schemas) the full shred
+// into a root-row value tree — so a pool of workers can run it
+// concurrently; LoadPrepared applies a prepared document under the
+// single-writer discipline, inside whatever transaction the commit
+// stage has open, so a batch of documents becomes one engine commit,
+// one WAL commit unit, and one published MVCC version.
+package xmlordb
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"xmlordb/internal/dtd"
+	"xmlordb/internal/loader"
+	"xmlordb/internal/xmldom"
+	"xmlordb/internal/xmlparser"
+)
+
+// PreparedDoc is one parsed, validated and (when the schema allows)
+// pre-shredded document awaiting LoadPrepared.
+type PreparedDoc struct {
+	// Name is the document name registered in the meta-database.
+	Name string
+	// XML is the original text, kept byte-for-byte for the WAL redo
+	// record (empty when the document arrived as a DOM).
+	XML string
+	// Doc is the parsed DOM.
+	Doc *xmldom.Document
+	// prep is the engine-free shred; nil means the schema needs REF rows
+	// and LoadPrepared falls back to the one-transaction Load path.
+	prep *loader.Prepared
+}
+
+// Shredded reports whether the document was pre-shredded off the engine
+// (pure nested schemas) or will take the Load fallback (REF schemas).
+func (p *PreparedDoc) Shredded() bool { return p.prep != nil }
+
+// PrepareXML parses and validates a document and, for pure nested
+// schemas, shreds it into row values — all without touching the engine,
+// so any number of goroutines may call it concurrently while a single
+// writer applies the results with LoadPrepared. Schemas that store rows
+// by REF (recursion, ID targets, StrategyRef) cannot shred off-engine;
+// their PreparedDoc carries just the validated DOM and LoadPrepared
+// runs the ordinary Load for it.
+func (s *Store) PrepareXML(xmlText, docName string) (*PreparedDoc, error) {
+	res, err := xmlparser.ParseWith(xmlText, xmlparser.Options{KeepEntityRefs: true})
+	if err != nil {
+		return nil, err
+	}
+	if err := dtd.Validate(s.DTD, res.Doc); err != nil {
+		return nil, err
+	}
+	pd := &PreparedDoc{Name: docName, XML: xmlText, Doc: res.Doc}
+	prep, err := s.Loader.Prepare(res.Doc)
+	switch {
+	case err == nil:
+		pd.prep = prep
+	case errors.Is(err, loader.ErrNotPreparable):
+		// Apply-time fallback to Load; same rows, same errors.
+	default:
+		return nil, err
+	}
+	return pd, nil
+}
+
+// LoadPrepared applies one prepared document and returns its DocID. It
+// requires the caller to hold the store's writer exclusion, like Load.
+// Inside an open engine transaction the document joins it through a
+// savepoint, so a failed document rolls back alone while the rest of
+// the batch stands — the ingest commit stage's per-document isolation.
+// The WAL record is buffered with the enclosing transaction and reaches
+// the log as part of its single commit unit.
+func (s *Store) LoadPrepared(p *PreparedDoc) (int, error) {
+	var id int
+	var err error
+	if p.prep != nil {
+		id, err = s.Loader.LoadPrepared(p.Doc, p.Name, p.prep)
+	} else {
+		id, err = s.Loader.Load(p.Doc, p.Name)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if err := s.walLogLoad(p.Doc, p.Name, p.XML, id); err != nil {
+		return id, err
+	}
+	// No-op inside an open transaction; the ingest commit stage flushes
+	// once per committed batch instead.
+	if _, err := s.FlushToBackend(); err != nil {
+		return id, err
+	}
+	return id, nil
+}
+
+// ingestCounters accumulate bulk-ingest activity for STATS. Plain
+// atomics: they are written by the single ingest writer and read
+// lock-free by statsPayload.
+type ingestCounters struct {
+	runs    atomic.Int64
+	docs    atomic.Int64
+	failed  atomic.Int64
+	batches atomic.Int64
+	bytes   atomic.Int64
+	nanos   atomic.Int64
+	workers atomic.Int64 // workers of the most recent run
+}
+
+// IngestStats reports cumulative bulk-ingest counters for the store.
+type IngestStats struct {
+	// Runs counts completed ingest runs (successful or not).
+	Runs int64
+	// Docs / Failed count documents loaded and documents rejected.
+	Docs, Failed int64
+	// Batches counts engine commits (= WAL commit units) the runs used.
+	Batches int64
+	// Bytes totals the XML text ingested.
+	Bytes int64
+	// Nanos totals wall-clock ingest time.
+	Nanos int64
+	// Workers is the worker count of the most recent run.
+	Workers int64
+}
+
+// DocsPerSec is the cumulative ingest rate (0 when no time recorded).
+func (is IngestStats) DocsPerSec() float64 {
+	if is.Nanos <= 0 {
+		return 0
+	}
+	return float64(is.Docs) / (float64(is.Nanos) / float64(time.Second))
+}
+
+// AddIngestStats accumulates one ingest run's counters (called by
+// internal/ingest when a run finishes).
+func (s *Store) AddIngestStats(docs, failed, batches int64, bytes int64, elapsed time.Duration, workers int) {
+	s.ingest.runs.Add(1)
+	s.ingest.docs.Add(docs)
+	s.ingest.failed.Add(failed)
+	s.ingest.batches.Add(batches)
+	s.ingest.bytes.Add(bytes)
+	s.ingest.nanos.Add(int64(elapsed))
+	s.ingest.workers.Store(int64(workers))
+}
+
+// IngestStats reports the store's cumulative bulk-ingest counters.
+func (s *Store) IngestStats() IngestStats {
+	return IngestStats{
+		Runs:    s.ingest.runs.Load(),
+		Docs:    s.ingest.docs.Load(),
+		Failed:  s.ingest.failed.Load(),
+		Batches: s.ingest.batches.Load(),
+		Bytes:   s.ingest.bytes.Load(),
+		Nanos:   s.ingest.nanos.Load(),
+		Workers: s.ingest.workers.Load(),
+	}
+}

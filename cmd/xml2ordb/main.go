@@ -26,6 +26,10 @@
 //	-schema-id s            schema identifier prefix
 //	-q sql                  query to run (query subcommand; repeatable via ';')
 //	-xsd file.xsd           analyze an XML Schema instead of the document's DTD
+//	-j n                    load: parallel parse/shred workers (0 = GOMAXPROCS)
+//	-batch-docs n           load: documents per commit batch (0 = default)
+//	-batch-bytes n          load: XML bytes per commit batch (0 = default)
+//	-keep-going             load: report per-file errors and keep loading
 package main
 
 import (
@@ -34,8 +38,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"xmlordb"
+	"xmlordb/internal/ingest"
 	"xmlordb/internal/xmldom"
 	"xmlordb/internal/xmlparser"
 )
@@ -63,6 +69,10 @@ func run(args []string) error {
 		schemaID     = fs.String("schema-id", "", "schema identifier prefix")
 		query        = fs.String("q", "", "SQL to run (query subcommand)")
 		xsdFile      = fs.String("xsd", "", "XML Schema file to analyze instead of the document's DTD")
+		jobs         = fs.Int("j", 0, "load: parallel parse/shred workers (0 = GOMAXPROCS)")
+		batchDocs    = fs.Int("batch-docs", 0, "load: documents per commit batch (0 = default)")
+		batchBytes   = fs.Int64("batch-bytes", 0, "load: XML bytes per commit batch (0 = default)")
+		keepGoing    = fs.Bool("keep-going", false, "load: report per-file errors and keep loading")
 	)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -123,7 +133,12 @@ func run(args []string) error {
 		fmt.Println(stmt + ";")
 		return nil
 	case "load":
-		return loadCmd(files, *xsdFile, cfg)
+		return loadCmd(files, *xsdFile, cfg, ingest.Options{
+			Workers:    *jobs,
+			BatchDocs:  *batchDocs,
+			BatchBytes: *batchBytes,
+			KeepGoing:  *keepGoing,
+		})
 	case "query":
 		return queryCmd(files[0], *xsdFile, cfg, *query)
 	case "xpath":
@@ -211,33 +226,43 @@ func openFile(path, xsdPath string, cfg xmlordb.Config) (*xmlordb.Store, *xmldom
 	return store, res.Doc, nil
 }
 
-func loadCmd(files []string, xsdPath string, cfg xmlordb.Config) error {
-	store, doc, err := openFile(files[0], xsdPath, cfg)
+// loadCmd feeds every input file through the pipelined ingest
+// subsystem: the first file's DTD opens the store, then all files —
+// including the first — are read, parsed and shredded by the worker
+// pool and committed in batches. A bad file is reported with its name
+// and, under -keep-going, does not stop the run; documents committed
+// before a failure stay committed either way.
+func loadCmd(files []string, xsdPath string, cfg xmlordb.Config, opts ingest.Options) error {
+	store, _, err := openFile(files[0], xsdPath, cfg)
 	if err != nil {
 		return err
 	}
-	id, err := store.Load(doc, files[0])
-	if err != nil {
-		return err
+	res, runErr := ingest.Run(store, ingest.Files(files), opts)
+	if res == nil {
+		return runErr
 	}
-	fmt.Printf("%s: DocID %d\n", files[0], id)
-	for _, f := range files[1:] {
-		text, err := os.ReadFile(f)
-		if err != nil {
-			return err
+	for _, dr := range res.Docs {
+		if dr.Err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", dr.Err)
+		} else {
+			fmt.Printf("%s: DocID %d\n", dr.Name, dr.DocID)
 		}
-		id, err := store.LoadXML(string(text), f)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("%s: DocID %d\n", f, id)
 	}
+	fmt.Printf("loaded %d, failed %d in %v (%.0f docs/s, %d workers, %d batches, %.0f%% worker utilization)\n",
+		res.Loaded, res.Failed, res.Elapsed.Round(time.Millisecond),
+		res.DocsPerSec(), res.Workers, res.Batches, res.Utilization*100)
 	stats := store.DB().Stats()
 	types, tables, views, storage := store.DB().SchemaObjectCount()
 	fmt.Printf("engine: %d inserts; catalog: %d types, %d tables, %d views, %d storage tables\n",
 		stats.Inserts, types, tables, views, storage)
 	for _, w := range store.Warnings() {
 		fmt.Println("warning:", w)
+	}
+	if runErr != nil {
+		return runErr
+	}
+	if res.Failed > 0 {
+		return fmt.Errorf("%d of %d documents failed", res.Failed, res.Loaded+res.Failed)
 	}
 	return nil
 }

@@ -103,6 +103,74 @@ func TestLoadCommand(t *testing.T) {
 	}
 }
 
+// sampleFileN writes n copies of the sample document (distinct student
+// names) into one temp dir and returns their paths.
+func sampleFileN(t *testing.T, n int) []string {
+	t.Helper()
+	dir := t.TempDir()
+	paths := make([]string, n)
+	for i := range paths {
+		doc := strings.Replace(sampleDoc, "Conrad", "Conrad"+strings.Repeat("I", i+1), 1)
+		paths[i] = filepath.Join(dir, "doc"+strings.Repeat("x", i+1)+".xml")
+		if err := os.WriteFile(paths[i], []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return paths
+}
+
+func TestLoadCommandParallel(t *testing.T) {
+	files := sampleFileN(t, 5)
+	out, err := capture(t, func() error {
+		return run(append([]string{"load", "-j", "4", "-batch-docs", "2"}, files...))
+	})
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	for id := 1; id <= 5; id++ {
+		if !strings.Contains(out, "DocID "+string(rune('0'+id))) {
+			t.Errorf("load output missing DocID %d:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "loaded 5, failed 0") {
+		t.Errorf("load summary missing:\n%s", out)
+	}
+}
+
+func TestLoadCommandKeepGoingReportsBadFiles(t *testing.T) {
+	files := sampleFileN(t, 3)
+	bad := filepath.Join(filepath.Dir(files[0]), "bad.xml")
+	if err := os.WriteFile(bad, []byte("not xml"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"load", "-keep-going", files[0], bad, files[1], files[2]}
+	out, err := capture(t, func() error { return run(args) })
+	if err == nil {
+		t.Fatal("load with a bad file exited zero")
+	}
+	if !strings.Contains(err.Error(), "1 of 4 documents failed") {
+		t.Errorf("error %v should summarize the failure count", err)
+	}
+	// Good files before and after the bad one all committed.
+	if !strings.Contains(out, "loaded 3, failed 1") {
+		t.Errorf("load summary missing:\n%s", out)
+	}
+}
+
+func TestLoadCommandValidatesKnobs(t *testing.T) {
+	file := sampleFile(t)
+	cases := [][]string{
+		{"load", "-j", "-1", file},
+		{"load", "-batch-docs", "-2", file},
+		{"load", "-batch-bytes", "-3", file},
+	}
+	for _, args := range cases {
+		if _, err := capture(t, func() error { return run(args) }); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
 func TestQueryCommand(t *testing.T) {
 	out, err := capture(t, func() error {
 		return run([]string{"query", "-q",

@@ -9,6 +9,7 @@
 //	xmlbench -exp W1,W2           # run a comma-separated subset
 //	xmlbench -list                # list experiment IDs
 //	xmlbench -json                # emit results as JSON instead of tables
+//	xmlbench -exp E11 -j 4        # pin the ingest sweep to one worker count
 //	xmlbench -cpuprofile cpu.out  # write a CPU profile of the run
 //	xmlbench -memprofile mem.out  # write a heap profile after the run
 package main
@@ -31,7 +32,18 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit results as a JSON array")
 	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
 	memprofile := flag.String("memprofile", "", "write heap profile to file")
+	jobs := flag.Int("j", 0, "pin E11's ingest worker sweep to one count (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	// -j follows the shared ingest knob convention (0 = GOMAXPROCS,
+	// negative rejected), but only an explicit flag pins the sweep.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "j" {
+			if err := bench.SetIngestJobs(*jobs); err != nil {
+				fatalf("%v", err)
+			}
+		}
+	})
 
 	if *list {
 		for _, id := range bench.Experiments {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xmlordb/internal/client"
+	"xmlordb/internal/wire"
+)
+
+// The bulk-ingest chaos test is the crash torture test aimed at the
+// BULKLOAD pipeline: a stream of bulk requests — each one several
+// commit batches inside the server — runs against a durable store, the
+// process is SIGKILLed mid-ingest, and recovery must honor the batch
+// contract:
+//
+//   - every document of every acknowledged BULKLOAD response survives,
+//   - the survivors form a gapless DocID prefix (batches commit in
+//     corpus order through the sequential WAL, so a later batch can
+//     never outlive an earlier one), and
+//   - every surviving document retrieves whole — a batch is one commit
+//     unit, so a crash can drop a trailing batch but never tear one.
+
+// runBulkCrashCycle streams BULKLOAD requests (bulkSize docs apiece,
+// several engine batches each) until the kill lands. Documents are
+// numbered globally so doc i carries <LName>Doci</LName> and — since
+// batches commit in corpus order — is expected at DocID i, which is
+// exactly the shape recoveredDocIDs verifies. Returns the DocIDs from
+// acknowledged responses.
+func runBulkCrashCycle(t *testing.T, proc *serverProc, minAcks int) []int {
+	t.Helper()
+	const bulkSize = 8
+	c, err := client.Dial(proc.addr, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	var acked []int
+	var ackCount atomic.Int64
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(30 * time.Second)
+		for ackCount.Load() < int64(minAcks) {
+			if time.Now().After(deadline) {
+				t.Error("server never reached the ack threshold")
+				proc.kill(t)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+		proc.kill(t)
+	}()
+	for next := 1; ; {
+		docs := make([]wire.BulkDoc, bulkSize)
+		for j := range docs {
+			i := next + j
+			docs[j] = wire.BulkDoc{Name: fmt.Sprintf("bulk%d.xml", i), XML: crashDoc(i)}
+		}
+		bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{Workers: 2, BatchDocs: 3})
+		if err != nil {
+			break // the kill landed mid-request
+		}
+		if bulk.Loaded != bulkSize {
+			t.Errorf("bulk load reported %d of %d docs", bulk.Loaded, bulkSize)
+		}
+		for _, dr := range bulk.Docs {
+			acked = append(acked, dr.DocID)
+		}
+		ackCount.Add(int64(bulk.Loaded))
+		next += bulkSize
+	}
+	<-killed
+	if len(acked) < minAcks {
+		t.Fatalf("server died after only %d acked docs, want >= %d", len(acked), minAcks)
+	}
+	return acked
+}
+
+func TestBulkIngestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess torture test")
+	}
+	bin := buildServerBinary(t)
+	dtdFile := writeDTDFile(t)
+	dataDir := t.TempDir()
+
+	proc := startServerProc(t, bin, dataDir, dtdFile, "always")
+	acked := runBulkCrashCycle(t, proc, 24)
+	t.Logf("server acknowledged %d bulk-loaded docs before SIGKILL", len(acked))
+
+	proc2 := startServerProc(t, bin, dataDir, dtdFile, "always")
+	// recoveredDocIDs also verifies each survivor retrieves whole:
+	// DocID i must still carry its <LName>Doci</LName> student row.
+	got := recoveredDocIDs(t, proc2.addr)
+	for _, id := range acked {
+		if !got[id] {
+			t.Errorf("acked bulk doc %d lost after crash", id)
+		}
+	}
+	// Gapless prefix: the in-flight request may have committed trailing
+	// batches beyond the last acknowledged response, but batches apply
+	// in corpus order through one WAL, so the survivors are 1..max.
+	max := 0
+	for id := range got {
+		if id > max {
+			max = id
+		}
+	}
+	for id := 1; id <= max; id++ {
+		if !got[id] {
+			t.Errorf("gap in recovered bulk prefix: doc %d missing but doc %d present", id, max)
+		}
+	}
+	t.Logf("recovered gapless prefix 1..%d (%d acked)", max, len(acked))
+
+	// The recovered store keeps accepting bulk writes.
+	c, err := client.Dial(proc2.addr, client.WithTimeout(10*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bulk, err := c.BulkLoad(context.Background(),
+		[]wire.BulkDoc{{Name: "post.xml", XML: crashDoc(max + 1)}}, client.BulkOptions{})
+	if err != nil || bulk.Loaded != 1 {
+		t.Fatalf("bulk load after recovery: %+v, %v", bulk, err)
+	}
+}

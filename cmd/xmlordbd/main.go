@@ -60,6 +60,10 @@
 //	                        shard identity for a standalone shard server
 //	                        behind an `xmlordbd router`: this process is
 //	                        shard <index> (0-based) of <count>
+//	-ingest-workers 0       default BULKLOAD pipeline workers
+//	                        (0 = GOMAXPROCS)
+//	-ingest-batch-docs 0    default BULKLOAD documents per commit batch
+//	-ingest-batch-bytes 0   default BULKLOAD bytes per commit batch
 //
 // Router flags (xmlordbd router -addr :7799 host1:7788 host2:7788 ...):
 //
@@ -76,6 +80,9 @@
 //	ping | stores | stats | save | promote | position | shardmap
 //	open  <name> <dtd-file> [root]      install a store from a DTD
 //	load  <doc.xml>...                  load documents, print DocIDs
+//	bulkload <doc.xml>...               pipelined bulk ingest: one BULKLOAD
+//	                                    batch (client -j/-batch-docs/
+//	                                    -batch-bytes/-keep-going apply)
 //	sql   <statement>                   run SQL (or read from stdin with -)
 //	xpath <path>                        translate + run an XPath
 //	retrieve <docid>                    print a reconstructed document
@@ -164,9 +171,21 @@ func runServe(args []string, out io.Writer) error {
 		shards       = fs.Int("shards", 0, "embedded sharding: boot N in-process shard servers and route -addr over them")
 		shardIndex   = fs.Int("shard-index", 0, "this server's 0-based slot in a sharded topology (with -shard-count)")
 		shardCount   = fs.Int("shard-count", 0, "shard topology size this server belongs to (0 = unsharded)")
+		ingWorkers   = fs.Int("ingest-workers", 0, "default BULKLOAD pipeline workers (0 = GOMAXPROCS)")
+		ingBatchDocs = fs.Int("ingest-batch-docs", 0, "default BULKLOAD documents per commit batch (0 = built-in default)")
+		ingBatchByte = fs.Int64("ingest-batch-bytes", 0, "default BULKLOAD XML bytes per commit batch (0 = built-in default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ingWorkers < 0 {
+		return fmt.Errorf("-ingest-workers must be >= 0 (0 = GOMAXPROCS), got %d", *ingWorkers)
+	}
+	if *ingBatchDocs < 0 {
+		return fmt.Errorf("-ingest-batch-docs must be >= 0 (0 = default), got %d", *ingBatchDocs)
+	}
+	if *ingBatchByte < 0 {
+		return fmt.Errorf("-ingest-batch-bytes must be >= 0 (0 = default), got %d", *ingBatchByte)
 	}
 	cfg := server.Config{
 		MaxRequestBytes:   *maxRequest,
@@ -193,6 +212,9 @@ func runServe(args []string, out io.Writer) error {
 		Backend:           *backend,
 		ShardIndex:        *shardIndex,
 		ShardCount:        *shardCount,
+		IngestWorkers:     *ingWorkers,
+		IngestBatchDocs:   *ingBatchDocs,
+		IngestBatchBytes:  *ingBatchByte,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, "xmlordbd: "+format+"\n", a...)
 		},
@@ -414,9 +436,13 @@ func contains(xs []string, s string) bool {
 func runClient(args []string, out io.Writer, repl bool) error {
 	fs := flag.NewFlagSet("client", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", "127.0.0.1:7788", "server address")
-		store   = fs.String("store", "", "target store name")
-		timeout = fs.Duration("timeout", 30*time.Second, "per-call timeout")
+		addr       = fs.String("addr", "127.0.0.1:7788", "server address")
+		store      = fs.String("store", "", "target store name")
+		timeout    = fs.Duration("timeout", 30*time.Second, "per-call timeout")
+		jobs       = fs.Int("j", 0, "bulkload: pipeline workers (0 = server default)")
+		batchDocs  = fs.Int("batch-docs", 0, "bulkload: documents per commit batch (0 = server default)")
+		batchBytes = fs.Int64("batch-bytes", 0, "bulkload: XML bytes per commit batch (0 = server default)")
+		keepGoing  = fs.Bool("keep-going", false, "bulkload: report per-document errors and keep loading")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -449,10 +475,15 @@ func runClient(args []string, out io.Writer, repl bool) error {
 	if len(rest) == 0 {
 		return fmt.Errorf("missing client verb")
 	}
-	return clientVerb(ctx, c, rest, out)
+	return clientVerb(ctx, c, rest, out, client.BulkOptions{
+		Workers:    *jobs,
+		BatchDocs:  *batchDocs,
+		BatchBytes: *batchBytes,
+		KeepGoing:  *keepGoing,
+	})
 }
 
-func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Writer) error {
+func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Writer, bulkOpts client.BulkOptions) error {
 	verb, rest := strings.ToLower(args[0]), args[1:]
 	switch verb {
 	case "ping":
@@ -498,6 +529,35 @@ func clientVerb(ctx context.Context, c *client.Client, args []string, out io.Wri
 				return fmt.Errorf("%s: %w", f, err)
 			}
 			fmt.Fprintf(out, "%s: DocID %d\n", f, id)
+		}
+	case "bulkload":
+		if len(rest) == 0 {
+			return fmt.Errorf("usage: bulkload <doc.xml>...")
+		}
+		docs := make([]wire.BulkDoc, len(rest))
+		for i, f := range rest {
+			xmlText, err := os.ReadFile(f)
+			if err != nil {
+				return err
+			}
+			docs[i] = wire.BulkDoc{Name: f, XML: string(xmlText)}
+		}
+		bulk, err := c.BulkLoad(ctx, docs, bulkOpts)
+		if bulk != nil {
+			for _, dr := range bulk.Docs {
+				if dr.Error != "" {
+					fmt.Fprintf(out, "%s: error: %s\n", dr.Name, dr.Error)
+				} else {
+					fmt.Fprintf(out, "%s: DocID %d\n", dr.Name, dr.DocID)
+				}
+			}
+			fmt.Fprintf(out, "loaded %d, failed %d\n", bulk.Loaded, bulk.Failed)
+		}
+		if err != nil {
+			return err
+		}
+		if bulk != nil && bulk.Failed > 0 {
+			return fmt.Errorf("%d of %d documents failed", bulk.Failed, bulk.Loaded+bulk.Failed)
 		}
 	case "sql":
 		if len(rest) == 0 {
@@ -661,6 +721,15 @@ func printStats(out io.Writer, st *wire.Stats) {
 				s.WALRecords, s.WALBytes, s.WALCommits, s.WALFsyncs, batch,
 				s.WALReplayed, s.WALLastLSN, s.WALCheckpointLSN)
 		}
+		if s.IngestRuns > 0 {
+			rate := float64(0)
+			if s.IngestNanos > 0 {
+				rate = float64(s.IngestDocs) / (float64(s.IngestNanos) / float64(time.Second))
+			}
+			fmt.Fprintf(out, "  ingest: %d run(s); %d doc(s) loaded, %d failed; %d batch(es); %d bytes; %.0f docs/s; last run %d worker(s)\n",
+				s.IngestRuns, s.IngestDocs, s.IngestFailed, s.IngestBatches,
+				s.IngestBytes, rate, s.IngestWorkers)
+		}
 	}
 	for _, v := range st.Verbs {
 		avg := time.Duration(0)
@@ -776,7 +845,7 @@ func runRepl(ctx context.Context, c *client.Client, out io.Writer) error {
 		case "sql":
 			err = runSQL(ctx, c, strings.TrimSpace(strings.TrimPrefix(line, fields[0])), out)
 		default:
-			err = clientVerb(ctx, c, fields, out)
+			err = clientVerb(ctx, c, fields, out, client.BulkOptions{})
 		}
 		if err != nil {
 			fmt.Fprintln(out, "error:", err)

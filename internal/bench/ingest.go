@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"xmlordb"
+	"xmlordb/internal/ingest"
+	"xmlordb/internal/wal"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+)
+
+// e11Workers is E11's worker sweep. SetIngestJobs pins it to a single
+// point (the xmlbench -j flag).
+var e11Workers = []int{1, 2, 4, 8}
+
+// SetIngestJobs pins the E11 worker sweep to one count. The knob
+// follows the shared ingest convention — 0 means GOMAXPROCS, negative
+// is rejected — by running through the same Options.Normalize the CLIs
+// and the server use.
+func SetIngestJobs(n int) error {
+	o := ingest.Options{Workers: n}
+	if err := o.Normalize(); err != nil {
+		return err
+	}
+	e11Workers = []int{o.Workers}
+	return nil
+}
+
+// e11Doc is a mid-sized university document: enough parse+shred work
+// per document that the worker stage has something to parallelize, but
+// small enough that a durable sweep stays quick.
+func e11Doc(i int) string {
+	return xmldom.Serialize(workload.University(workload.UniversityParams{
+		Students: 4, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 2, Seed: int64(i),
+	}))
+}
+
+// E11 measures the pipelined bulk-ingest subsystem against the
+// sequential Load loop it replaces, on a durable store with sync=always
+// so both effects are visible at once: the worker stage parallelizes
+// parse/validate/shred, and the batched commit stage amortizes one
+// fsync across BatchDocs documents where the sequential loop pays one
+// per document. Each configuration loads an identical corpus into a
+// fresh store.
+func E11() (*Table, error) {
+	t := &Table{
+		ID:    "E11",
+		Title: "Bulk ingest: pipelined load vs sequential, throughput vs worker count",
+		Header: []string{"loader", "workers", "docs", "docs/s", "speedup",
+			"batches", "utilization"},
+	}
+	const nDocs = 96
+	docs := make([]ingest.Doc, nDocs)
+	for i := range docs {
+		docs[i] = ingest.Doc{Name: fmt.Sprintf("e11-%03d.xml", i), XML: e11Doc(i)}
+	}
+
+	freshStore := func() (*xmlordb.Store, string, error) {
+		dir, err := os.MkdirTemp("", "xmlordb-e11-")
+		if err != nil {
+			return nil, "", err
+		}
+		store, err := xmlordb.OpenDir(dir, workload.UniversityDTD, "University",
+			xmlordb.Config{DisableMetadata: true},
+			xmlordb.DurableOptions{Sync: wal.SyncAlways})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, "", err
+		}
+		return store, dir, nil
+	}
+
+	// Sequential baseline: one Load, one commit, one fsync per document.
+	store, dir, err := freshStore()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	for _, d := range docs {
+		if _, err := store.LoadXML(d.XML, d.Name); err != nil {
+			store.Close()
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("E11 sequential load: %w", err)
+		}
+	}
+	seqElapsed := time.Since(start)
+	store.Close()
+	os.RemoveAll(dir)
+	seqRate := float64(nDocs) / seqElapsed.Seconds()
+	t.Rows = append(t.Rows, []string{
+		"sequential", "1", fmt.Sprintf("%d", nDocs),
+		fmt.Sprintf("%.0f", seqRate), "1.00x", fmt.Sprintf("%d", nDocs), "-",
+	})
+
+	for _, w := range e11Workers {
+		store, dir, err := freshStore()
+		if err != nil {
+			return nil, err
+		}
+		res, err := ingest.Run(store, ingest.Docs(docs), ingest.Options{Workers: w})
+		store.Close()
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("E11 ingest (%d workers): %w", w, err)
+		}
+		if res.Loaded != nDocs {
+			return nil, fmt.Errorf("E11 ingest (%d workers): loaded %d of %d", w, res.Loaded, nDocs)
+		}
+		rate := res.DocsPerSec()
+		t.Rows = append(t.Rows, []string{
+			"ingest", fmt.Sprintf("%d", w), fmt.Sprintf("%d", nDocs),
+			fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2fx", rate/seqRate),
+			fmt.Sprintf("%d", res.Batches),
+			fmt.Sprintf("%.0f%%", res.Utilization*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"durable store, sync=always: the sequential loop pays one fsync per document, the pipeline one per batch",
+		fmt.Sprintf("default batch budgets (%d docs / %d MiB); identical corpus, fresh store per configuration",
+			ingest.DefaultBatchDocs, ingest.DefaultBatchBytes>>20),
+		"the commit stage is a single writer, so worker scaling shows on the parse/validate/shred side; "+
+			"once commit saturates, extra workers only raise utilization slack",
+		fmt.Sprintf("host has %d CPU(s): parse/shred workers need a core each to scale; on fewer cores "+
+			"the batch-commit amortization still shows while worker speedup flattens", runtime.NumCPU()))
+	return t, nil
+}

@@ -240,6 +240,34 @@ func (c *Client) Load(ctx context.Context, docName, xmlText string) (int, error)
 	return resp.DocID, nil
 }
 
+// BulkOptions tunes a BulkLoad: pipeline worker count, commit-batch
+// budgets and whether one bad document stops the run. Zero values take
+// the server's defaults.
+type BulkOptions struct {
+	Workers    int
+	BatchDocs  int
+	BatchBytes int64
+	KeepGoing  bool
+}
+
+// BulkLoad pushes a batch of documents through the server's pipelined
+// ingest subsystem (against a router, each document's owning shard runs
+// its own pipeline). The BulkResult carries per-document outcomes and
+// is returned even alongside a non-nil error: batches that committed
+// before a failure are real, and the result says which documents landed.
+func (c *Client) BulkLoad(ctx context.Context, docs []wire.BulkDoc, opts BulkOptions) (*wire.BulkResult, error) {
+	resp, err := c.do(ctx, &wire.Request{Verb: wire.VerbBulkLoad, Docs: docs,
+		Workers: opts.Workers, BatchDocs: opts.BatchDocs,
+		BatchBytes: opts.BatchBytes, KeepGoing: opts.KeepGoing})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK && resp.Code == wire.CodeReadOnly {
+		return nil, &repl.ReadOnlyError{Primary: resp.Primary}
+	}
+	return resp.Bulk, resp.Err()
+}
+
 // Result is a wire-decoded query result set.
 type Result struct {
 	Cols []string

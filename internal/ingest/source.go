@@ -1,0 +1,81 @@
+package ingest
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Doc is one document fed to the pipeline. Either XML carries the text
+// inline, or Path names a file a worker reads (parallelizing the read
+// I/O along with the parse). Name is the document name registered in
+// the meta-database; empty Name defaults to Path.
+type Doc struct {
+	Name string
+	XML  string
+	Path string
+}
+
+// Source yields the documents of a corpus, one per Next call, ending
+// with io.EOF. Next is called from a single goroutine (the pipeline's
+// source stage), so implementations need no locking.
+type Source interface {
+	Next() (Doc, error)
+}
+
+// sliceSource serves a fixed slice of documents.
+type sliceSource struct {
+	docs []Doc
+	i    int
+}
+
+func (s *sliceSource) Next() (Doc, error) {
+	if s.i >= len(s.docs) {
+		return Doc{}, io.EOF
+	}
+	d := s.docs[s.i]
+	s.i++
+	return d, nil
+}
+
+// Docs returns a source over in-memory documents (the embedded and
+// server-side entry points).
+func Docs(docs []Doc) Source {
+	return &sliceSource{docs: docs}
+}
+
+// Files returns a source over a list of file paths; workers read each
+// file as part of the parallel stage, so a missing or unreadable file
+// is a per-document failure, not a run failure.
+func Files(paths []string) Source {
+	docs := make([]Doc, len(paths))
+	for i, p := range paths {
+		docs[i] = Doc{Name: p, Path: p}
+	}
+	return &sliceSource{docs: docs}
+}
+
+// Dir returns a source over every *.xml file under root (recursively),
+// in sorted path order so runs are deterministic. The walk happens
+// eagerly — it touches only names, never contents — so walk errors
+// surface here rather than mid-pipeline.
+func Dir(root string) (Source, error) {
+	var paths []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.EqualFold(filepath.Ext(path), ".xml") {
+			paths = append(paths, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: walking %s: %w", root, err)
+	}
+	sort.Strings(paths)
+	return Files(paths), nil
+}

@@ -1,0 +1,82 @@
+package ingest
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xmlordb"
+	"xmlordb/internal/workload"
+	"xmlordb/internal/xmldom"
+)
+
+// Readers racing a bulk ingest must never observe a partially loaded
+// document: versions publish only at batch commit, so every MVCC view
+// holds a gapless prefix of whole documents. Run under -race (CI does).
+func TestReadersDuringIngestSeeWholeDocumentsOnly(t *testing.T) {
+	const nDocs = 40
+	const students = 4
+
+	docs := make([]Doc, nDocs)
+	for i := range docs {
+		p := workload.UniversityParams{Students: students, CoursesPerStudent: 2, ProfsPerCourse: 1, SubjectsPerProf: 1, Seed: int64(i + 1)}
+		docs[i] = Doc{Name: fmt.Sprintf("doc-%03d.xml", i), XML: xmldom.Serialize(workload.University(p))}
+	}
+
+	st := openUniversity(t, xmlordb.Config{})
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	report := func(format string, args ...any) {
+		select {
+		case errs <- fmt.Errorf(format, args...):
+		default:
+		}
+	}
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !done.Load() {
+				view := st.ReadView()
+				// Walk the visible prefix. Every retrievable document
+				// must be complete (all its students present); the first
+				// miss must end the prefix (no gaps).
+				for id := 1; id <= nDocs; id++ {
+					xml, err := view.RetrieveXML(id)
+					if err != nil {
+						// Document not in this version: the rest must be
+						// absent too, or the view exposed a gap.
+						for later := id + 1; later <= nDocs; later++ {
+							if _, lerr := view.RetrieveXML(later); lerr == nil {
+								report("view shows doc %d but not doc %d: non-prefix visibility", later, id)
+							}
+						}
+						break
+					}
+					if got := strings.Count(xml, "<Student "); got != students {
+						report("doc %d visible with %d of %d students: partial document", id, got, students)
+					}
+				}
+			}
+		}()
+	}
+
+	res, err := Run(st, Docs(docs), Options{Workers: 4, BatchDocs: 3})
+	done.Store(true)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if res.Loaded != nDocs {
+		t.Fatalf("loaded %d, want %d", res.Loaded, nDocs)
+	}
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}

@@ -88,6 +88,11 @@ type load struct {
 	// document full of repeated attribute values and tags boxes each
 	// distinct string once instead of once per occurrence.
 	strs map[string]ordb.Value
+	// recordDocID marks an engine-free Prepare pass: the DocID is not
+	// known yet, so every FieldDocID slot emits a placeholder and records
+	// its index path in docIDPaths for LoadPrepared to patch.
+	recordDocID bool
+	docIDPaths  [][]int
 }
 
 // strVal boxes s as an ordb.Value, reusing the box for short strings
@@ -290,6 +295,9 @@ func (st *load) buildVals(el *xmldom.Element, m *mapping.ElemMapping, parent *or
 func (st *load) fieldValue(el *xmldom.Element, m *mapping.ElemMapping, f mapping.Field, parent *ordb.Ref) (ordb.Value, error) {
 	switch f.Kind {
 	case mapping.FieldDocID:
+		if st.recordDocID {
+			st.docIDPaths = append(st.docIDPaths, append([]int(nil), st.path...))
+		}
 		return ordb.Num(st.docID), nil
 	case mapping.FieldGenID:
 		st.genSeq++

@@ -1,0 +1,116 @@
+// Engine-free document preparation: the parallel half of the bulk
+// ingest pipeline (internal/ingest). Prepare shreds a document into the
+// root row's nested value tree without touching the engine, so many
+// documents can be shredded concurrently on worker goroutines;
+// LoadPrepared then inserts a prepared row under the engine's
+// single-writer discipline, patching in the DocID that only the commit
+// stage can assign (DocIDs come from a deterministic max-scan, so they
+// depend on commit order).
+//
+// Only the paper's pure nested mapping qualifies: a document whose
+// schema stores rows by REF (recursion, ID targets, StrategyRef)
+// interleaves inserts with shredding — the same boundary InsertSQL
+// draws — and such documents fall back to the one-transaction Load path.
+package loader
+
+import (
+	"errors"
+	"fmt"
+
+	"xmlordb/internal/mapping"
+	"xmlordb/internal/ordb"
+	"xmlordb/internal/xmldom"
+)
+
+// ErrNotPreparable reports that a document cannot be shredded off the
+// engine: its schema needs REF-linked object-table rows, whose inserts
+// are part of shredding itself. Callers fall back to Load.
+var ErrNotPreparable = errors.New(
+	"loader: schema stores rows by REF; prepare-free shredding needs the pure nested strategy")
+
+// Prepared is the engine-free shredding of one document: the root row's
+// field values (DocID placeholders included) plus the index paths of
+// every FieldDocID slot awaiting the real DocID.
+type Prepared struct {
+	fields     []ordb.Value
+	docIDPaths [][]int
+}
+
+// Prepare shreds the document into a Prepared row without touching the
+// engine. It is safe to call from many goroutines concurrently — it
+// reads only the immutable schema — which is exactly how the ingest
+// worker pool uses it. Returns ErrNotPreparable when the schema needs
+// REF rows; other errors mean the document itself is unloadable.
+func (l *Loader) Prepare(doc *xmldom.Document) (*Prepared, error) {
+	if l.sch.Opts.Strategy != mapping.StrategyNested {
+		return nil, ErrNotPreparable
+	}
+	root := doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("loader: document has no root element")
+	}
+	if root.Name != l.sch.RootElem {
+		return nil, fmt.Errorf("loader: document root %q does not match schema root %q",
+			root.Name, l.sch.RootElem)
+	}
+	rm := l.sch.Elems[root.Name]
+	if rm.StoredByRef || len(l.sch.ObjectTables()) > 0 {
+		return nil, ErrNotPreparable
+	}
+	st := &load{Loader: l, ids: map[string]ordb.Ref{}, strs: map[string]ordb.Value{}, recordDocID: true}
+	fields, err := st.buildVals(root, rm, nil, 1)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.pending) > 0 {
+		// An IDREF can only resolve against object-table rows, of which
+		// this fast path has none; route through Load so the failure
+		// surfaces exactly as it would sequentially.
+		return nil, ErrNotPreparable
+	}
+	return &Prepared{fields: fields, docIDPaths: st.docIDPaths}, nil
+}
+
+// LoadPrepared inserts a prepared row, assigning the DocID inside the
+// transaction and patching it into every recorded FieldDocID slot. It
+// mirrors Load's transactional shape — meta registration and the root
+// insert in one RunInTx, so inside an enclosing transaction the whole
+// document rolls back via its own savepoint — and must run under the
+// store's single-writer discipline.
+func (l *Loader) LoadPrepared(doc *xmldom.Document, docName string, p *Prepared) (int, error) {
+	rootTab, err := l.en.DB().Table(l.sch.RootTable)
+	if err != nil {
+		return 0, err
+	}
+	var docID int
+	err = l.en.DB().RunInTx(func() error {
+		if l.Meta != nil {
+			id, err := l.Meta.Register(doc, l.sch, docName, "")
+			if err != nil {
+				return err
+			}
+			docID = id
+		} else {
+			docID = l.nextDocID(rootTab)
+		}
+		rowVals := make([]ordb.Value, 0, len(p.fields)+1)
+		rowVals = append(rowVals, ordb.Num(docID))
+		rowVals = append(rowVals, p.fields...)
+		for _, path := range p.docIDPaths {
+			v, perr := patched(rowVals, path, ordb.Num(docID))
+			if perr != nil {
+				return perr
+			}
+			rowVals = v
+		}
+		_, ierr := rootTab.Insert(rowVals)
+		return ierr
+	})
+	if err != nil {
+		return 0, err
+	}
+	if docID > l.lastDocID {
+		l.lastDocID = docID
+	}
+	return docID, nil
+}

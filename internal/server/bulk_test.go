@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/client"
+	"xmlordb/internal/wire"
+)
+
+func bulkDocs(n int) []wire.BulkDoc {
+	docs := make([]wire.BulkDoc, n)
+	for i := range docs {
+		docs[i] = wire.BulkDoc{
+			Name: fmt.Sprintf("bulk-%03d.xml", i),
+			XML:  uniDoc(fmt.Sprintf("Student%03d", i), 10000+i),
+		}
+	}
+	return docs
+}
+
+func TestBulkLoadEndToEnd(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	docs := bulkDocs(10)
+	bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{Workers: 4, BatchDocs: 3})
+	if err != nil {
+		t.Fatalf("BulkLoad: %v", err)
+	}
+	if bulk == nil || bulk.Loaded != 10 || bulk.Failed != 0 {
+		t.Fatalf("bulk = %+v, want 10 loaded", bulk)
+	}
+	if len(bulk.Docs) != 10 {
+		t.Fatalf("per-doc results = %d, want 10", len(bulk.Docs))
+	}
+	// Documents commit in corpus order, so DocIDs are 1..10 in order and
+	// each retrieves to a document naming its student.
+	for i, dr := range bulk.Docs {
+		if dr.DocID != i+1 || dr.Error != "" {
+			t.Fatalf("doc %d: %+v, want docid %d", i, dr, i+1)
+		}
+		xml, err := c.Retrieve(ctx, dr.DocID)
+		if err != nil {
+			t.Fatalf("Retrieve %d: %v", dr.DocID, err)
+		}
+		if want := fmt.Sprintf("<LName>Student%03d</LName>", i); !strings.Contains(xml, want) {
+			t.Fatalf("doc %d retrieved without %q", dr.DocID, want)
+		}
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ss *wire.StoreStats
+	for i := range stats.StoreStats {
+		if stats.StoreStats[i].Name == "uni" {
+			ss = &stats.StoreStats[i]
+		}
+	}
+	if ss == nil {
+		t.Fatal("no uni store stats")
+	}
+	if ss.IngestRuns != 1 || ss.IngestDocs != 10 || ss.IngestBatches == 0 || ss.IngestWorkers != 4 {
+		t.Fatalf("ingest stats = runs %d docs %d batches %d workers %d",
+			ss.IngestRuns, ss.IngestDocs, ss.IngestBatches, ss.IngestWorkers)
+	}
+}
+
+func TestBulkLoadKeepGoingIsolatesBadDocuments(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	docs := bulkDocs(6)
+	docs[2].XML = `<University><Bogus/></University>` // invalid against the DTD
+	bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{Workers: 2, BatchDocs: 2, KeepGoing: true})
+	if err != nil {
+		t.Fatalf("BulkLoad keep-going: %v", err)
+	}
+	if bulk.Loaded != 5 || bulk.Failed != 1 {
+		t.Fatalf("bulk = %+v, want 5 loaded / 1 failed", bulk)
+	}
+	bad := bulk.Docs[2]
+	if bad.Error == "" || !strings.Contains(bad.Error, "bulk-002.xml") {
+		t.Fatalf("bad doc result %+v should carry an error naming the file", bad)
+	}
+	// The five survivors got gapless DocIDs 1..5.
+	want := 1
+	for i, dr := range bulk.Docs {
+		if i == 2 {
+			continue
+		}
+		if dr.DocID != want {
+			t.Fatalf("doc %d got docid %d, want %d", i, dr.DocID, want)
+		}
+		want++
+	}
+}
+
+func TestBulkLoadStopsAtFirstErrorKeepingPrefix(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	docs := bulkDocs(6)
+	docs[3].XML = `not xml at all`
+	bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{Workers: 2, BatchDocs: 2})
+	if err == nil {
+		t.Fatal("BulkLoad with a bad document and no KeepGoing succeeded")
+	}
+	if code := errCode(t, err); code != wire.CodeEngine {
+		t.Fatalf("code = %q, want %q", code, wire.CodeEngine)
+	}
+	// The committed prefix (docs 0..2) survives and is reported.
+	if bulk == nil || bulk.Loaded != 3 {
+		t.Fatalf("bulk = %+v, want the 3-document prefix loaded", bulk)
+	}
+	for id := 1; id <= 3; id++ {
+		if _, err := c.Retrieve(ctx, id); err != nil {
+			t.Fatalf("prefix doc %d not retrievable: %v", id, err)
+		}
+	}
+	if _, err := c.Retrieve(ctx, 4); err == nil {
+		t.Fatal("doc past the failure is retrievable")
+	}
+}
+
+func TestBulkLoadRejectedInsideTransaction(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.BulkLoad(ctx, bulkDocs(2), client.BulkOptions{})
+	if err == nil {
+		t.Fatal("BulkLoad inside a transaction succeeded")
+	}
+	if code := errCode(t, err); code != wire.CodeTx {
+		t.Fatalf("code = %q, want %q", code, wire.CodeTx)
+	}
+	if err := c.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadValidatesOptions(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	c := mustDial(t, addr)
+	ctx := context.Background()
+
+	cases := []client.BulkOptions{
+		{Workers: -1},
+		{BatchDocs: -4},
+		{BatchBytes: -1},
+	}
+	for _, opts := range cases {
+		_, err := c.BulkLoad(ctx, bulkDocs(1), opts)
+		if err == nil {
+			t.Fatalf("BulkLoad with %+v succeeded", opts)
+		}
+		if code := errCode(t, err); code != wire.CodeBadRequest {
+			t.Fatalf("options %+v: code = %q, want %q", opts, code, wire.CodeBadRequest)
+		}
+	}
+	if _, err := c.BulkLoad(ctx, nil, client.BulkOptions{}); err == nil {
+		t.Fatal("BulkLoad with no docs succeeded")
+	}
+}
+
+func errCode(t *testing.T, err error) string {
+	t.Helper()
+	var se *wire.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v is not a wire.ServerError", err)
+	}
+	return se.Code
+}

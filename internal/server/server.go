@@ -154,6 +154,14 @@ type Config struct {
 	// larger topologies are rejected.
 	ShardCount int
 	ShardIndex int
+	// IngestWorkers is the default parse/shred concurrency for BULKLOAD
+	// requests that do not choose their own (0 = GOMAXPROCS).
+	IngestWorkers int
+	// IngestBatchDocs / IngestBatchBytes are the default commit-batch
+	// budgets for BULKLOAD requests that do not choose their own
+	// (0 = the ingest package defaults).
+	IngestBatchDocs  int
+	IngestBatchBytes int64
 	// Logf receives server log lines (default: discarded).
 	Logf func(format string, args ...any)
 }
@@ -815,6 +823,15 @@ func (s *Server) statsPayload() *wire.Stats {
 			ss.WALReplayed = ws.Replayed
 			ss.WALLastLSN = ws.LastLSN
 			ss.WALCheckpointLSN = ws.CheckpointLSN
+		}
+		if is := store.IngestStats(); is.Runs > 0 {
+			ss.IngestRuns = is.Runs
+			ss.IngestDocs = is.Docs
+			ss.IngestFailed = is.Failed
+			ss.IngestBatches = is.Batches
+			ss.IngestBytes = is.Bytes
+			ss.IngestNanos = is.Nanos
+			ss.IngestWorkers = int(is.Workers)
 		}
 		ss.Backend = store.Backend()
 		if bs, ok := store.BackendStats(); ok {

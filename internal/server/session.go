@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"xmlordb"
+	"xmlordb/internal/ingest"
 	"xmlordb/internal/ordb"
 	"xmlordb/internal/sql"
 	"xmlordb/internal/wire"
@@ -392,7 +393,7 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 	// whether or not the store has synced yet. Reads (RETRIEVE, XPATH,
 	// SELECT, STATS) serve normally.
 	switch verb {
-	case wire.VerbLoad, wire.VerbDelete, wire.VerbBegin, wire.VerbCommit, wire.VerbRollback:
+	case wire.VerbLoad, wire.VerbBulkLoad, wire.VerbDelete, wire.VerbBegin, wire.VerbCommit, wire.VerbRollback:
 		if ss.srv.isReadOnly() {
 			return ss.srv.readOnlyResp()
 		}
@@ -428,6 +429,9 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 			}
 			return &wire.Response{OK: true, DocID: id}
 		})
+
+	case wire.VerbBulkLoad:
+		return ss.bulkLoad(hs, req)
 
 	case wire.VerbRetrieve:
 		if req.DocID <= 0 {
@@ -493,6 +497,73 @@ func (ss *session) dispatch(verb string, req *wire.Request) *wire.Response {
 	default:
 		return fail(wire.CodeBadRequest, "unknown verb %q", req.Verb)
 	}
+}
+
+// bulkLoad runs the pipelined ingest subsystem over the request's
+// documents. Batches commit as the pipeline progresses, so BULKLOAD
+// refuses to run inside an open session transaction — the session's
+// ROLLBACK could not undo its commits. A failed run still returns the
+// Bulk payload: batches before the failure committed, and the caller
+// needs to know which documents made it.
+func (ss *session) bulkLoad(hs *hostedStore, req *wire.Request) *wire.Response {
+	if len(req.Docs) == 0 {
+		return fail(wire.CodeBadRequest, "BULKLOAD requires docs")
+	}
+	if ss.tx != nil {
+		return fail(wire.CodeTx, "BULKLOAD commits in batches and cannot run inside a transaction")
+	}
+	docs := make([]ingest.Doc, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.XML == "" {
+			return fail(wire.CodeBadRequest, "BULKLOAD doc %d has no xml", i)
+		}
+		name := d.Name
+		if name == "" {
+			name = fmt.Sprintf("session-%d-bulk-%d.xml", ss.id, i+1)
+		}
+		docs[i] = ingest.Doc{Name: name, XML: d.XML}
+	}
+	opts := ingest.Options{
+		Workers:    req.Workers,
+		BatchDocs:  req.BatchDocs,
+		BatchBytes: req.BatchBytes,
+		KeepGoing:  req.KeepGoing,
+	}
+	if opts.Workers == 0 {
+		opts.Workers = ss.srv.cfg.IngestWorkers
+	}
+	if opts.BatchDocs == 0 {
+		opts.BatchDocs = ss.srv.cfg.IngestBatchDocs
+	}
+	if opts.BatchBytes == 0 {
+		opts.BatchBytes = ss.srv.cfg.IngestBatchBytes
+	}
+	if err := opts.Normalize(); err != nil {
+		return fail(wire.CodeBadRequest, "%v", err)
+	}
+	return ss.withWrite(hs, func() *wire.Response {
+		res, err := ingest.Run(hs.store, ingest.Docs(docs), opts)
+		var bulk *wire.BulkResult
+		if res != nil {
+			bulk = &wire.BulkResult{Loaded: res.Loaded, Failed: res.Failed}
+			for _, dr := range res.Docs {
+				out := wire.BulkDocResult{Name: dr.Name, DocID: dr.DocID}
+				if dr.Err != nil {
+					out.Error = dr.Err.Error()
+				}
+				bulk.Docs = append(bulk.Docs, out)
+			}
+			if res.Loaded > 0 {
+				// Batches committed even when the run then failed; make
+				// sure the snapshot loop sees them.
+				hs.markDirty()
+			}
+		}
+		if err != nil {
+			return &wire.Response{OK: false, Code: wire.CodeEngine, Error: err.Error(), Bulk: bulk}
+		}
+		return &wire.Response{OK: true, Bulk: bulk}
+	})
 }
 
 // dispatchSQL classifies the statement first: SELECTs run under the read

@@ -70,6 +70,19 @@ func (ss *session) dispatchRouted(verb string, req *wire.Request) *wire.Response
 			resp.DocID = shard.GlobalDocID(resp.DocID, idx, n)
 		}
 		return resp
+	case wire.VerbBulkLoad:
+		// Per-document DocIDs globalize even on a failed run: batches
+		// before the failure committed, and their results are real.
+		resp := ss.dispatch(verb, req)
+		if resp.Bulk != nil {
+			for i := range resp.Bulk.Docs {
+				if resp.Bulk.Docs[i].DocID > 0 {
+					resp.Bulk.Docs[i].DocID = shard.GlobalDocID(resp.Bulk.Docs[i].DocID, idx, n)
+				}
+				resp.Bulk.Docs[i].Shard = idx
+			}
+		}
+		return resp
 	}
 	return ss.dispatch(verb, req)
 }

@@ -1,0 +1,104 @@
+package shard_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"xmlordb/internal/client"
+	"xmlordb/internal/shard"
+	"xmlordb/internal/wire"
+)
+
+func TestRouterBulkLoadScattersToOwners(t *testing.T) {
+	const n = 2
+	_, routerAddr, _ := bootCluster(t, n)
+	c := mustDial(t, routerAddr)
+	ctx := context.Background()
+
+	const nDocs = 12
+	docs := make([]wire.BulkDoc, nDocs)
+	for i := range docs {
+		docs[i] = wire.BulkDoc{
+			Name: fmt.Sprintf("bulk-%03d.xml", i),
+			XML:  uniDoc(fmt.Sprintf("Student%03d", i), 20000+i),
+		}
+	}
+
+	bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{Workers: 2, BatchDocs: 3})
+	if err != nil {
+		t.Fatalf("BulkLoad via router: %v", err)
+	}
+	if bulk.Loaded != nDocs || bulk.Failed != 0 {
+		t.Fatalf("bulk = %+v, want %d loaded", bulk, nDocs)
+	}
+	if len(bulk.Docs) != nDocs {
+		t.Fatalf("per-doc results = %d, want %d", len(bulk.Docs), nDocs)
+	}
+	perShard := make([]int, n)
+	for i, dr := range bulk.Docs {
+		if dr.Error != "" || dr.DocID <= 0 {
+			t.Fatalf("doc %d failed: %+v", i, dr)
+		}
+		// The router's attribution must match the name-hash routing and
+		// the global DocID's own arithmetic.
+		if want := shard.OwnerOfName(docs[i].Name, n); dr.Shard != want {
+			t.Fatalf("doc %q attributed to shard %d, want %d", docs[i].Name, dr.Shard, want)
+		}
+		if owner := shard.OwnerOfDocID(dr.DocID, n); owner != dr.Shard {
+			t.Fatalf("doc %q: global docid %d belongs to shard %d, attributed to %d",
+				docs[i].Name, dr.DocID, owner, dr.Shard)
+		}
+		perShard[dr.Shard]++
+		// The global DocID routes the retrieval back to the same document.
+		xml, err := c.Retrieve(ctx, dr.DocID)
+		if err != nil {
+			t.Fatalf("Retrieve %d: %v", dr.DocID, err)
+		}
+		if want := fmt.Sprintf("<LName>Student%03d</LName>", i); !strings.Contains(xml, want) {
+			t.Fatalf("docid %d retrieved the wrong document (missing %q)", dr.DocID, want)
+		}
+	}
+	for i, got := range perShard {
+		if got == 0 {
+			t.Fatalf("shard %d received no documents; distribution %v", i, perShard)
+		}
+	}
+}
+
+func TestRouterBulkLoadKeepGoingAndTxRules(t *testing.T) {
+	_, routerAddr, _ := bootCluster(t, 2)
+	c := mustDial(t, routerAddr)
+	ctx := context.Background()
+
+	docs := []wire.BulkDoc{
+		{Name: "ok-1.xml", XML: uniDoc("Alpha", 1)},
+		{Name: "bad.xml", XML: `<University><Bogus/></University>`},
+		{Name: "ok-2.xml", XML: uniDoc("Beta", 2)},
+	}
+	bulk, err := c.BulkLoad(ctx, docs, client.BulkOptions{KeepGoing: true})
+	if err != nil {
+		t.Fatalf("BulkLoad keep-going: %v", err)
+	}
+	if bulk.Loaded != 2 || bulk.Failed != 1 {
+		t.Fatalf("bulk = %+v, want 2 loaded / 1 failed", bulk)
+	}
+	if bulk.Docs[1].Error == "" || !strings.Contains(bulk.Docs[1].Error, "bad.xml") {
+		t.Fatalf("bad doc result %+v should name the document", bulk.Docs[1])
+	}
+
+	if err := c.Begin(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.BulkLoad(ctx, docs[:1], client.BulkOptions{})
+	if err == nil {
+		t.Fatal("BulkLoad inside a router transaction succeeded")
+	}
+	if code := serverErrCode(t, err); code != wire.CodeTx {
+		t.Fatalf("code = %q, want %q", code, wire.CodeTx)
+	}
+	if err := c.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

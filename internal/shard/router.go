@@ -528,6 +528,9 @@ func (ss *rsession) dispatch(verb string, req *wire.Request) *wire.Response {
 		}
 		return ss.routedWrite(OwnerOfName(fr.Name, n), &fr)
 
+	case wire.VerbBulkLoad:
+		return ss.bulkLoad(req)
+
 	case wire.VerbRetrieve:
 		if req.DocID <= 0 {
 			return fail(wire.CodeBadRequest, "RETRIEVE requires docid")
@@ -679,6 +682,119 @@ func (ss *rsession) dispatchSQL(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{OK: true, Affected: aff}
 	}
+}
+
+// bulkLoad partitions a BULKLOAD batch by document owner and forwards
+// one sub-batch per shard concurrently — each shard runs its own ingest
+// pipeline over its slice of the corpus, so the fan-out multiplies the
+// pipelines as well as the parsing. Per-document results merge back
+// into request order, each stamped with the shard that loaded it.
+// Batches commit shard-side as the pipelines progress, so BULKLOAD
+// cannot run inside a session transaction, and a failed leg does not
+// undo the others: the merged Bulk payload reports exactly which
+// documents landed where.
+func (ss *rsession) bulkLoad(req *wire.Request) *wire.Response {
+	if len(req.Docs) == 0 {
+		return fail(wire.CodeBadRequest, "BULKLOAD requires docs")
+	}
+	if ss.txOpen {
+		return fail(wire.CodeTx, "BULKLOAD commits in batches and cannot run inside a transaction")
+	}
+	n := len(ss.backends)
+	// Name anonymous documents here, not shard-side, so routing and the
+	// shard's registry agree on each document's owner.
+	named := make([]wire.BulkDoc, len(req.Docs))
+	for i, d := range req.Docs {
+		if d.Name == "" {
+			ss.loadSeq++
+			d.Name = fmt.Sprintf("router-%d.xml", ss.loadSeq)
+		}
+		named[i] = d
+	}
+	parts := make([][]wire.BulkDoc, n) // per-shard sub-batches
+	slots := make([][]int, n)          // original index of each sub-batch entry
+	for i, d := range named {
+		o := OwnerOfName(d.Name, n)
+		parts[o] = append(parts[o], d)
+		slots[o] = append(slots[o], i)
+	}
+
+	results := make([]scatterResult, n)
+	var wg sync.WaitGroup
+	for i := range ss.backends {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fr := *req
+			fr.Docs = parts[i]
+			if fr.Store == "" {
+				fr.Store = ss.store
+			}
+			fr.Shards = n
+			fr.Shard = i + 1
+			results[i].resp, results[i].err = ss.backends[i].call(&fr)
+		}(i)
+	}
+	wg.Wait()
+
+	merged := &wire.BulkResult{Docs: make([]wire.BulkDocResult, len(named))}
+	var errs []wire.ShardError
+	for i := range ss.backends {
+		if len(parts[i]) == 0 {
+			continue
+		}
+		res := results[i]
+		var legErr *wire.ShardError
+		switch {
+		case res.err != nil:
+			legErr = &wire.ShardError{Shard: i, Addr: ss.backends[i].addr,
+				Code: wire.CodeShardUnavailable, Error: res.err.Error()}
+		case !res.resp.OK:
+			legErr = &wire.ShardError{Shard: i, Addr: ss.backends[i].addr,
+				Code: res.resp.Code, Error: res.resp.Error}
+		}
+		if legErr != nil {
+			errs = append(errs, *legErr)
+		}
+		// Even a failed leg can carry per-document results — batches
+		// before the failure committed — so merge whatever it reported.
+		var legDocs []wire.BulkDocResult
+		if res.resp != nil && res.resp.Bulk != nil {
+			legDocs = res.resp.Bulk.Docs
+		}
+		for j, slot := range slots[i] {
+			if j < len(legDocs) {
+				merged.Docs[slot] = legDocs[j]
+				continue
+			}
+			// The shard never reported this document; charge the leg error.
+			dr := wire.BulkDocResult{Name: named[slot].Name, Shard: i}
+			if legErr != nil {
+				dr.Error = fmt.Sprintf("shard %d (%s): %s", i, ss.backends[i].addr, legErr.Error)
+			} else {
+				dr.Error = fmt.Sprintf("shard %d (%s): no result reported", i, ss.backends[i].addr)
+			}
+			merged.Docs[slot] = dr
+		}
+	}
+	for i := range merged.Docs {
+		if merged.Docs[i].Error == "" && merged.Docs[i].DocID > 0 {
+			merged.Loaded++
+		} else {
+			merged.Failed++
+		}
+	}
+	if len(errs) == 0 {
+		return &wire.Response{OK: true, Bulk: merged}
+	}
+	first := errs[0]
+	out := fail(first.Code, "shard %d (%s): %s", first.Shard, first.Addr, first.Error)
+	out.ShardErrors = errs
+	out.Bulk = merged
+	return out
 }
 
 // begin opens the session transaction. The backend BEGIN is deferred

@@ -36,6 +36,14 @@ const (
 	VerbSave     = "SAVE"     // force a snapshot of the session's store
 	VerbQuit     = "QUIT"     // close the session
 
+	// VerbBulkLoad loads a batch of documents through the server's
+	// pipelined ingest subsystem (Docs; optional Workers, BatchDocs,
+	// BatchBytes, KeepGoing). The response's Bulk payload reports a
+	// per-document outcome — DocID or error — so one bad document does
+	// not obscure the rest. Batches commit as the pipeline progresses;
+	// BULKLOAD therefore cannot run inside a session transaction.
+	VerbBulkLoad = "BULKLOAD"
+
 	// VerbReplicate switches the connection into a replication stream:
 	// the request carries the replica's store name and last-applied LSN,
 	// and after an OK response the server sends ReplFrame frames
@@ -148,6 +156,24 @@ type Request struct {
 	// routed this request to. A shard server holding a different slot
 	// rejects with CodeShardMismatch. 0 = no assertion.
 	Shard int `json:"shard,omitempty"`
+	// Docs is the document batch for BULKLOAD.
+	Docs []BulkDoc `json:"docs,omitempty"`
+	// Workers sets the BULKLOAD pipeline's parse/shred concurrency
+	// (0 = server default).
+	Workers int `json:"workers,omitempty"`
+	// BatchDocs / BatchBytes bound one BULKLOAD commit batch (0 = server
+	// default).
+	BatchDocs  int   `json:"batch_docs,omitempty"`
+	BatchBytes int64 `json:"batch_bytes,omitempty"`
+	// KeepGoing makes BULKLOAD record per-document failures and continue
+	// instead of stopping at the first bad document.
+	KeepGoing bool `json:"keep_going,omitempty"`
+}
+
+// BulkDoc is one document inside a BULKLOAD request.
+type BulkDoc struct {
+	Name string `json:"name,omitempty"`
+	XML  string `json:"xml"`
 }
 
 // Response is one server frame.
@@ -202,6 +228,28 @@ type Response struct {
 	// this list carries every failing shard so callers can tell one
 	// dead shard from a total outage.
 	ShardErrors []ShardError `json:"shard_errors,omitempty"`
+	// Bulk carries the per-document outcome of a BULKLOAD.
+	Bulk *BulkResult `json:"bulk,omitempty"`
+}
+
+// BulkResult is the BULKLOAD outcome: per-document results in request
+// order plus the loaded/failed tallies. A response can be OK with
+// Failed > 0 when KeepGoing was set — the batch partially succeeded and
+// Docs says which documents made it.
+type BulkResult struct {
+	Loaded int             `json:"loaded"`
+	Failed int             `json:"failed,omitempty"`
+	Docs   []BulkDocResult `json:"docs,omitempty"`
+}
+
+// BulkDocResult is one document's outcome inside a BULKLOAD. Shard is
+// the 0-based shard that loaded the document on a routed bulk load
+// (-1 = unsharded), so callers can retrieve it directly.
+type BulkDocResult struct {
+	Name  string `json:"name,omitempty"`
+	DocID int    `json:"docid,omitempty"`
+	Error string `json:"error,omitempty"`
+	Shard int    `json:"shard,omitempty"`
 }
 
 // ShardMap is the shard topology of a sharded deployment. Count == 0
@@ -337,6 +385,16 @@ type StoreStats struct {
 	BTreeCacheMisses  int64  `json:"btree_cache_misses,omitempty"`
 	BTreeCacheEvicted int64  `json:"btree_cache_evicted,omitempty"`
 	BTreeCacheSlots   int    `json:"btree_cache_slots,omitempty"`
+	// Ingest* report the store's bulk-ingest counters: pipeline runs,
+	// documents loaded/failed, commit batches, raw XML bytes, total
+	// pipeline wall-clock nanos and the worker count of the last run.
+	IngestRuns    int64 `json:"ingest_runs,omitempty"`
+	IngestDocs    int64 `json:"ingest_docs,omitempty"`
+	IngestFailed  int64 `json:"ingest_failed,omitempty"`
+	IngestBatches int64 `json:"ingest_batches,omitempty"`
+	IngestBytes   int64 `json:"ingest_bytes,omitempty"`
+	IngestNanos   int64 `json:"ingest_nanos,omitempty"`
+	IngestWorkers int   `json:"ingest_workers,omitempty"`
 }
 
 // Framing errors.

@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -18,6 +19,8 @@ func TestRequestRoundTrip(t *testing.T) {
 		{Verb: VerbXPath, Path: `/University/Student[@StudNo="1"]`},
 		{Verb: VerbRetrieve, DocID: 7},
 		{Verb: VerbBegin, Store: "other"},
+		{Verb: VerbBulkLoad, Docs: []BulkDoc{{Name: "a.xml", XML: "<a/>"}, {XML: "<a>2</a>"}},
+			Workers: 4, BatchDocs: 32, BatchBytes: 1 << 20, KeepGoing: true},
 	}
 	for _, req := range cases {
 		var buf bytes.Buffer
@@ -35,7 +38,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("decode %+v: %v", req, err)
 		}
-		if *got != req {
+		if !reflect.DeepEqual(*got, req) {
 			t.Errorf("round trip: got %+v, want %+v", *got, req)
 		}
 	}
@@ -171,7 +174,7 @@ func TestShardFramesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *got != req {
+	if !reflect.DeepEqual(*got, req) {
 		t.Fatalf("request round trip: got %+v, want %+v", *got, req)
 	}
 

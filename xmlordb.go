@@ -167,6 +167,8 @@ type Store struct {
 	// backend, when non-nil, is the attached on-disk B-tree row store
 	// (Config.Backend "btree"; see backend.go).
 	backend *backendState
+	// ingest accumulates bulk-ingest counters for STATS (see bulk.go).
+	ingest ingestCounters
 }
 
 // Open analyzes dtdText (the declarations of a DTD, without a DOCTYPE
